@@ -1,0 +1,50 @@
+//! E6 — encoding ablation: direct vs success-tree hard-clause encodings and
+//! the OLL vs Linear SAT–UNSAT algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ft_bench::bench_trees;
+use ft_generators::Family;
+use mpmcs::{AlgorithmChoice, EncodingStyle, MpmcsOptions, MpmcsSolver};
+
+fn bench_encodings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encodings");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let trees = bench_trees(&[500, 2000], &[Family::RandomMixed], 2020);
+    let variants = [
+        ("direct+oll", EncodingStyle::Direct, AlgorithmChoice::Oll),
+        (
+            "success-tree+oll",
+            EncodingStyle::SuccessTree,
+            AlgorithmChoice::Oll,
+        ),
+        (
+            "direct+linear-su",
+            EncodingStyle::Direct,
+            AlgorithmChoice::LinearSu,
+        ),
+    ];
+    for (tree_name, tree) in &trees {
+        for (variant_name, encoding, algorithm) in variants {
+            let solver = MpmcsSolver::with_options(MpmcsOptions {
+                algorithm,
+                encoding,
+                ..MpmcsOptions::new()
+            });
+            group.bench_with_input(
+                BenchmarkId::new(variant_name, tree_name),
+                tree,
+                |b, tree| {
+                    b.iter(|| black_box(solver.solve(black_box(tree)).expect("solvable")));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encodings);
+criterion_main!(benches);

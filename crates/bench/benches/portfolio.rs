@@ -1,0 +1,36 @@
+//! E4 — the Step 5 ablation: the parallel portfolio against each single
+//! MaxSAT configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ft_bench::{algorithm_line_up, bench_trees};
+use ft_generators::Family;
+use mpmcs::{MpmcsOptions, MpmcsSolver};
+
+fn bench_portfolio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("portfolio");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let trees = bench_trees(&[500, 2000], &[Family::RandomMixed, Family::AndHeavy], 2020);
+    for (tree_name, tree) in &trees {
+        for (algo_name, algorithm) in algorithm_line_up() {
+            let solver = MpmcsSolver::with_options(MpmcsOptions {
+                algorithm,
+                ..MpmcsOptions::new()
+            });
+            group.bench_with_input(
+                BenchmarkId::new(algo_name, tree_name),
+                tree,
+                |b, tree| {
+                    b.iter(|| black_box(solver.solve(black_box(tree)).expect("solvable")));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_portfolio);
+criterion_main!(benches);

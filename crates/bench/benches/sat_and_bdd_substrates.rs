@@ -1,0 +1,68 @@
+//! Substrate micro-benchmarks: the CDCL SAT solver, the Tseitin encoder, and
+//! the BDD engine on fault-tree-shaped workloads. These do not correspond to
+//! a paper table; they characterise the building blocks the pipeline rests on
+//! and help attribute regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bdd_engine::{compile_fault_tree, VariableOrdering};
+use fault_tree::StructureFormula;
+use ft_bench::bench_trees;
+use ft_generators::Family;
+use sat_solver::tseitin::TseitinEncoder;
+use sat_solver::Solver;
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let trees = bench_trees(&[500, 2000], &[Family::RandomMixed], 2020);
+    for (name, tree) in &trees {
+        let formula = StructureFormula::of(tree);
+        group.bench_with_input(BenchmarkId::new("tseitin", name), tree, |b, tree| {
+            b.iter(|| {
+                let mut encoder = TseitinEncoder::with_reserved_vars(tree.num_events());
+                encoder.assert_true(black_box(formula.failure_expr()));
+                black_box(encoder.into_cnf())
+            });
+        });
+        let mut encoder = TseitinEncoder::with_reserved_vars(tree.num_events());
+        encoder.assert_true(formula.failure_expr());
+        let cnf = encoder.into_cnf();
+        group.bench_with_input(BenchmarkId::new("sat_solve", name), &cnf, |b, cnf| {
+            b.iter(|| {
+                let mut solver = Solver::from_cnf(black_box(cnf));
+                black_box(solver.solve())
+            });
+        });
+        // BDD compilation is exponential in the worst case and takes minutes
+        // per iteration on the 2000-node random-mixed tree; keep the BDD
+        // micro-benchmarks to the 500-node instance where one compile is a
+        // few milliseconds. The SAT/Tseitin benches above still cover both
+        // sizes, which is the comparison that matters for the paper.
+        if tree.node_count() <= 600 {
+            group.bench_with_input(BenchmarkId::new("bdd_compile", name), tree, |b, tree| {
+                b.iter(|| {
+                    black_box(compile_fault_tree(
+                        black_box(tree),
+                        VariableOrdering::DepthFirst,
+                    ))
+                });
+            });
+            group.bench_with_input(
+                BenchmarkId::new("bdd_probability", name),
+                tree,
+                |b, tree| {
+                    let compiled = compile_fault_tree(tree, VariableOrdering::DepthFirst);
+                    b.iter(|| black_box(compiled.top_event_probability(black_box(tree))));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E3 — scalability of the MaxSAT MPMCS pipeline with tree size
+//! ("thousands of nodes in seconds", Section IV of the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ft_bench::bench_trees;
+use ft_generators::Family;
+use mpmcs::MpmcsSolver;
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let solver = MpmcsSolver::new();
+    let trees = bench_trees(
+        &[100, 500, 1000, 2500],
+        &[Family::RandomMixed, Family::OrHeavy],
+        2020,
+    );
+    for (name, tree) in &trees {
+        group.bench_with_input(BenchmarkId::from_parameter(name), tree, |b, tree| {
+            b.iter(|| black_box(solver.solve(black_box(tree)).expect("solvable")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

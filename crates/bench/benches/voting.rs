@@ -1,0 +1,27 @@
+//! E7 — the voting-gate extension: MPMCS on k-out-of-N-heavy trees (listed as
+//! future work in the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ft_bench::bench_trees;
+use ft_generators::Family;
+use mpmcs::MpmcsSolver;
+
+fn bench_voting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("voting");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let solver = MpmcsSolver::new();
+    let trees = bench_trees(&[250, 1000, 2500], &[Family::VotingHeavy], 2020);
+    for (name, tree) in &trees {
+        group.bench_with_input(BenchmarkId::new("voting-heavy", name), tree, |b, tree| {
+            b.iter(|| black_box(solver.solve(black_box(tree)).expect("solvable")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_voting);
+criterion_main!(benches);

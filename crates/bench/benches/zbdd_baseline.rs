@@ -1,0 +1,35 @@
+//! E8 — the ZBDD minimal-cut-set engine as an additional MPMCS baseline,
+//! benchmarked against the MaxSAT pipeline on moderate workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bdd_engine::ZbddAnalysis;
+use ft_bench::bench_trees;
+use ft_generators::{replicated_fps, Family};
+use mpmcs::MpmcsSolver;
+
+fn bench_zbdd_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zbdd_baseline");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let solver = MpmcsSolver::new();
+    let mut trees = bench_trees(&[100, 250, 500], &[Family::RandomMixed], 2020);
+    trees.push(("replicated-fps-40".to_string(), replicated_fps(40)));
+    for (name, tree) in &trees {
+        group.bench_with_input(BenchmarkId::new("maxsat", name), tree, |b, tree| {
+            b.iter(|| black_box(solver.solve(black_box(tree)).expect("solvable")));
+        });
+        group.bench_with_input(BenchmarkId::new("zbdd", name), tree, |b, tree| {
+            b.iter(|| {
+                let analysis = ZbddAnalysis::new(black_box(tree));
+                black_box(analysis.maximum_probability_mcs(tree))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_zbdd_baseline);
+criterion_main!(benches);

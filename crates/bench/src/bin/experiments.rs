@@ -1,0 +1,78 @@
+//! Prints the tables and series of the paper's evaluation (experiments E1–E7
+//! of `DESIGN.md`).
+//!
+//! ```text
+//! cargo run --release -p ft-bench --bin experiments -- all
+//! cargo run --release -p ft-bench --bin experiments -- table1 fig2 scalability
+//! cargo run --release -p ft-bench --bin experiments -- scalability --quick
+//! ```
+
+use std::process::ExitCode;
+
+use ft_bench::{
+    baselines, encodings, extended_baselines, extended_measures, fig2, portfolio, scalability,
+    table1, voting, BASELINE_SIZES, SCALABILITY_SIZES,
+};
+
+const SEED: u64 = 2020;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut selected: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    if selected.is_empty() || selected.contains(&"all") {
+        selected = vec![
+            "table1",
+            "fig2",
+            "scalability",
+            "portfolio",
+            "baselines",
+            "encodings",
+            "voting",
+            "extended-baselines",
+            "measures",
+        ];
+    }
+
+    let scal_sizes: Vec<usize> = if quick {
+        vec![100, 250, 500, 1000]
+    } else {
+        SCALABILITY_SIZES.to_vec()
+    };
+    let base_sizes: Vec<usize> = if quick {
+        vec![50, 100, 250]
+    } else {
+        BASELINE_SIZES.to_vec()
+    };
+    let ablation_sizes: Vec<usize> = if quick {
+        vec![250, 500]
+    } else {
+        vec![500, 1000, 2500, 5000]
+    };
+
+    for experiment in selected {
+        let output = match experiment {
+            "table1" => table1(),
+            "fig2" => fig2(),
+            "scalability" => scalability(&scal_sizes, SEED),
+            "portfolio" => portfolio(&ablation_sizes, SEED),
+            "baselines" => baselines(&base_sizes, SEED),
+            "encodings" => encodings(&ablation_sizes, SEED),
+            "voting" => voting(&ablation_sizes, SEED),
+            "extended-baselines" => extended_baselines(&base_sizes, SEED),
+            "measures" => extended_measures(),
+            other => {
+                eprintln!(
+                    "unknown experiment {other:?}; available: table1 fig2 scalability portfolio baselines encodings voting extended-baselines measures all"
+                );
+                return ExitCode::from(2);
+            }
+        };
+        println!("{output}");
+    }
+    ExitCode::SUCCESS
+}

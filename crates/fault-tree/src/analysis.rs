@@ -1,0 +1,188 @@
+//! Structural (qualitative) analysis of fault trees.
+//!
+//! These analyses complement the probabilistic MPMCS computation: single
+//! points of failure, node statistics, and event reachability. They operate
+//! purely on the tree structure.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cutset::CutSet;
+use crate::event::EventId;
+use crate::gate::GateKind;
+use crate::tree::{FaultTree, NodeId};
+
+/// Summary statistics of a fault tree.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeStats {
+    /// Number of basic events.
+    pub num_events: usize,
+    /// Number of gates.
+    pub num_gates: usize,
+    /// Number of AND gates.
+    pub num_and: usize,
+    /// Number of OR gates.
+    pub num_or: usize,
+    /// Number of voting gates.
+    pub num_vot: usize,
+    /// Longest event-to-top path length.
+    pub depth: usize,
+    /// Number of events that feed more than one gate (shared events, making
+    /// the structure a DAG rather than a tree).
+    pub shared_events: usize,
+}
+
+/// Structural analyses over a fault tree.
+#[derive(Clone, Debug)]
+pub struct StructuralAnalysis<'a> {
+    tree: &'a FaultTree,
+}
+
+impl<'a> StructuralAnalysis<'a> {
+    /// Creates an analysis view over `tree`.
+    pub fn new(tree: &'a FaultTree) -> Self {
+        StructuralAnalysis { tree }
+    }
+
+    /// Computes summary statistics.
+    pub fn stats(&self) -> TreeStats {
+        let mut num_and = 0;
+        let mut num_or = 0;
+        let mut num_vot = 0;
+        let mut fan_out: HashMap<EventId, usize> = HashMap::new();
+        for gate in self.tree.gates() {
+            match gate.kind() {
+                GateKind::And => num_and += 1,
+                GateKind::Or => num_or += 1,
+                GateKind::Vot { .. } => num_vot += 1,
+            }
+            for &input in gate.inputs() {
+                if let NodeId::Event(e) = input {
+                    *fan_out.entry(e).or_insert(0) += 1;
+                }
+            }
+        }
+        TreeStats {
+            num_events: self.tree.num_events(),
+            num_gates: self.tree.num_gates(),
+            num_and,
+            num_or,
+            num_vot,
+            depth: self.tree.depth(),
+            shared_events: fan_out.values().filter(|&&count| count > 1).count(),
+        }
+    }
+
+    /// Single points of failure: events that trigger the top event on their
+    /// own (equivalently, singleton minimal cut sets).
+    pub fn single_points_of_failure(&self) -> Vec<EventId> {
+        self.tree
+            .event_ids()
+            .filter(|&e| self.tree.is_cut_set(&CutSet::from_iter([e])))
+            .collect()
+    }
+
+    /// Events that cannot influence the top event at all (never reachable from
+    /// the top node). Such events typically indicate a modelling mistake.
+    pub fn unreachable_events(&self) -> Vec<EventId> {
+        let mut reachable = vec![false; self.tree.num_events()];
+        let mut stack = vec![self.tree.top()];
+        let mut visited_gates = vec![false; self.tree.num_gates()];
+        while let Some(node) = stack.pop() {
+            match node {
+                NodeId::Event(e) => reachable[e.index()] = true,
+                NodeId::Gate(g) => {
+                    if visited_gates[g.index()] {
+                        continue;
+                    }
+                    visited_gates[g.index()] = true;
+                    stack.extend(self.tree.gate(g).inputs().iter().copied());
+                }
+            }
+        }
+        self.tree
+            .event_ids()
+            .filter(|e| !reachable[e.index()])
+            .collect()
+    }
+
+    /// For every event, the number of gates it feeds directly.
+    pub fn event_fan_out(&self) -> Vec<usize> {
+        let mut fan_out = vec![0usize; self.tree.num_events()];
+        for gate in self.tree.gates() {
+            for &input in gate.inputs() {
+                if let NodeId::Event(e) = input {
+                    fan_out[e.index()] += 1;
+                }
+            }
+        }
+        fan_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{fire_protection_system, redundant_sensor_network};
+    use crate::tree::FaultTreeBuilder;
+
+    #[test]
+    fn stats_of_the_fire_protection_system() {
+        let tree = fire_protection_system();
+        let stats = StructuralAnalysis::new(&tree).stats();
+        assert_eq!(stats.num_events, 7);
+        assert_eq!(stats.num_gates, 5);
+        assert_eq!(stats.num_and, 2);
+        assert_eq!(stats.num_or, 3);
+        assert_eq!(stats.num_vot, 0);
+        assert_eq!(stats.depth, 4);
+        assert_eq!(stats.shared_events, 0);
+    }
+
+    #[test]
+    fn single_points_of_failure_are_the_singleton_cut_sets() {
+        let tree = fire_protection_system();
+        let spofs = StructuralAnalysis::new(&tree).single_points_of_failure();
+        let names: Vec<&str> = spofs.iter().map(|&e| tree.event(e).name()).collect();
+        // x3 (no water) and x4 (nozzles blocked) reach the top through OR gates only.
+        assert_eq!(names, vec!["x3", "x4"]);
+    }
+
+    #[test]
+    fn voting_trees_have_no_spof_from_the_quorum() {
+        let tree = redundant_sensor_network();
+        let spofs = StructuralAnalysis::new(&tree).single_points_of_failure();
+        let names: Vec<&str> = spofs.iter().map(|&e| tree.event(e).name()).collect();
+        assert_eq!(names, vec!["field bus fails", "power supply fails"]);
+    }
+
+    #[test]
+    fn unreachable_events_are_reported() {
+        let mut b = FaultTreeBuilder::new("unreachable");
+        let used = b.basic_event("used", 0.1).unwrap();
+        let _orphan = b.basic_event("orphan", 0.2).unwrap();
+        let top = b.or_gate("top", [used.into()]).unwrap();
+        let tree = b.build(top.into()).unwrap();
+        let analysis = StructuralAnalysis::new(&tree);
+        let orphans = analysis.unreachable_events();
+        assert_eq!(orphans.len(), 1);
+        assert_eq!(tree.event(orphans[0]).name(), "orphan");
+        // The fire protection system has none.
+        let tree = fire_protection_system();
+        assert!(StructuralAnalysis::new(&tree).unreachable_events().is_empty());
+    }
+
+    #[test]
+    fn fan_out_counts_shared_events() {
+        let mut b = FaultTreeBuilder::new("shared");
+        let shared = b.basic_event("shared", 0.1).unwrap();
+        let other = b.basic_event("other", 0.2).unwrap();
+        let g1 = b.and_gate("g1", [shared.into(), other.into()]).unwrap();
+        let g2 = b.or_gate("g2", [shared.into(), g1.into()]).unwrap();
+        let tree = b.build(g2.into()).unwrap();
+        let analysis = StructuralAnalysis::new(&tree);
+        assert_eq!(analysis.event_fan_out(), vec![2, 1]);
+        assert_eq!(analysis.stats().shared_events, 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Cut sets: sets of basic events that jointly trigger the top event.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::EventId;
+use crate::probability::{LogWeight, Probability};
+use crate::tree::FaultTree;
+
+/// A set of basic events.
+///
+/// A *cut set* is a set of events whose joint occurrence triggers the top
+/// event; a *minimal cut set* (MCS) additionally has no proper subset with
+/// that property. The type itself is just an ordered event set — whether it
+/// actually cuts a given tree is checked by
+/// [`FaultTree::is_cut_set`]/[`FaultTree::is_minimal_cut_set`].
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CutSet {
+    events: BTreeSet<EventId>,
+}
+
+impl CutSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        CutSet::default()
+    }
+
+    /// Adds an event; returns `true` if it was not already present.
+    pub fn insert(&mut self, event: EventId) -> bool {
+        self.events.insert(event)
+    }
+
+    /// Removes an event; returns `true` if it was present.
+    pub fn remove(&mut self, event: EventId) -> bool {
+        self.events.remove(&event)
+    }
+
+    /// `true` if the event belongs to the set.
+    pub fn contains(&self, event: EventId) -> bool {
+        self.events.contains(&event)
+    }
+
+    /// Number of events in the set.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over the events in ascending identifier order.
+    pub fn iter(&self) -> impl Iterator<Item = EventId> + '_ {
+        self.events.iter().copied()
+    }
+
+    /// `true` if `self` is a subset of `other`.
+    pub fn is_subset(&self, other: &CutSet) -> bool {
+        self.events.is_subset(&other.events)
+    }
+
+    /// `true` if `self` is a proper subset of `other`.
+    pub fn is_proper_subset(&self, other: &CutSet) -> bool {
+        self.len() < other.len() && self.is_subset(other)
+    }
+
+    /// The joint occurrence probability of the events in the set, assuming
+    /// statistical independence (the standard fault-tree assumption, and the
+    /// one used by the paper): the product of the individual probabilities.
+    pub fn probability(&self, tree: &FaultTree) -> f64 {
+        self.events
+            .iter()
+            .map(|&e| tree.event(e).probability().value())
+            .product()
+    }
+
+    /// The total logarithmic weight `Σ -ln(pᵢ)` of the set (paper Step 3).
+    pub fn log_weight(&self, tree: &FaultTree) -> LogWeight {
+        self.events
+            .iter()
+            .map(|&e| tree.event(e).probability().log_weight())
+            .sum()
+    }
+
+    /// The joint probability recovered from the logarithmic weight via the
+    /// reverse transformation `exp(-Σ wᵢ)` (paper Step 6).
+    pub fn probability_from_log(&self, tree: &FaultTree) -> Probability {
+        self.log_weight(tree).to_probability()
+    }
+
+    /// Renders the set with event names from the tree.
+    pub fn display_names(&self, tree: &FaultTree) -> String {
+        let names: Vec<&str> = self.events.iter().map(|&e| tree.event(e).name()).collect();
+        format!("{{{}}}", names.join(", "))
+    }
+}
+
+impl FromIterator<EventId> for CutSet {
+    fn from_iter<T: IntoIterator<Item = EventId>>(iter: T) -> Self {
+        CutSet {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<EventId> for CutSet {
+    fn extend<T: IntoIterator<Item = EventId>>(&mut self, iter: T) {
+        self.events.extend(iter);
+    }
+}
+
+impl fmt::Display for CutSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ids: Vec<String> = self.events.iter().map(|e| e.to_string()).collect();
+        write!(f, "{{{}}}", ids.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::fire_protection_system;
+
+    fn e(i: usize) -> EventId {
+        EventId::from_index(i)
+    }
+
+    #[test]
+    fn set_operations_behave_like_a_set() {
+        let mut cut = CutSet::new();
+        assert!(cut.is_empty());
+        assert!(cut.insert(e(3)));
+        assert!(!cut.insert(e(3)));
+        assert!(cut.insert(e(1)));
+        assert_eq!(cut.len(), 2);
+        assert!(cut.contains(e(1)));
+        assert!(!cut.contains(e(0)));
+        assert!(cut.remove(e(1)));
+        assert!(!cut.remove(e(1)));
+        assert_eq!(cut.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_deterministic() {
+        let cut = CutSet::from_iter([e(5), e(1), e(3)]);
+        let order: Vec<usize> = cut.iter().map(|id| id.index()).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+        assert_eq!(cut.to_string(), "{e1, e3, e5}");
+    }
+
+    #[test]
+    fn subset_relations() {
+        let small = CutSet::from_iter([e(1), e(2)]);
+        let large = CutSet::from_iter([e(1), e(2), e(3)]);
+        assert!(small.is_subset(&large));
+        assert!(small.is_proper_subset(&large));
+        assert!(!large.is_subset(&small));
+        assert!(small.is_subset(&small));
+        assert!(!small.is_proper_subset(&small));
+    }
+
+    #[test]
+    fn probability_is_the_product_of_member_probabilities() {
+        let tree = fire_protection_system();
+        let x1 = tree.event_by_name("x1").unwrap();
+        let x2 = tree.event_by_name("x2").unwrap();
+        let cut = CutSet::from_iter([x1, x2]);
+        // The paper: MPMCS {x1, x2} has joint probability 0.2 * 0.1 = 0.02.
+        assert!((cut.probability(&tree) - 0.02).abs() < 1e-12);
+        // Reverse log-space transformation agrees (paper Step 6).
+        assert!((cut.probability_from_log(&tree).value() - 0.02).abs() < 1e-9);
+        assert_eq!(cut.display_names(&tree), "{x1, x2}");
+    }
+
+    #[test]
+    fn empty_cut_set_has_probability_one() {
+        let tree = fire_protection_system();
+        let cut = CutSet::new();
+        assert_eq!(cut.probability(&tree), 1.0);
+        assert_eq!(cut.log_weight(&tree).value(), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cut = CutSet::from_iter([e(0), e(4)]);
+        let json = serde_json::to_string(&cut).unwrap();
+        let back: CutSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(cut, back);
+    }
+}

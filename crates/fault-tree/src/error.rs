@@ -1,0 +1,135 @@
+//! Error type for fault-tree construction, validation and parsing.
+
+use std::fmt;
+
+/// Errors produced while building, validating, or parsing fault trees.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultTreeError {
+    /// A probability was outside the `[0, 1]` interval or not finite.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// A gate was declared with no inputs.
+    EmptyGate {
+        /// Name of the offending gate.
+        gate: String,
+    },
+    /// A voting gate was declared with an inconsistent threshold.
+    InvalidVotingThreshold {
+        /// Name of the offending gate.
+        gate: String,
+        /// The declared threshold `k`.
+        k: usize,
+        /// The number of inputs `n`.
+        n: usize,
+    },
+    /// A node identifier did not refer to any declared node.
+    UnknownNode {
+        /// The unresolved name or identifier.
+        name: String,
+    },
+    /// The same name was declared twice.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// The gate structure contains a cycle.
+    CyclicStructure {
+        /// Name of a node on the detected cycle.
+        node: String,
+    },
+    /// The tree has no top event or the top node is invalid.
+    MissingTop,
+    /// A parse error with location information.
+    Parse {
+        /// Line number (1-based) where the error occurred, when known.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for FaultTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultTreeError::InvalidProbability { value } => {
+                write!(f, "probability {value} is not within [0, 1]")
+            }
+            FaultTreeError::EmptyGate { gate } => write!(f, "gate {gate:?} has no inputs"),
+            FaultTreeError::InvalidVotingThreshold { gate, k, n } => write!(
+                f,
+                "voting gate {gate:?} requires {k} of {n} inputs, which is not a valid threshold"
+            ),
+            FaultTreeError::UnknownNode { name } => write!(f, "unknown node {name:?}"),
+            FaultTreeError::DuplicateName { name } => write!(f, "duplicate node name {name:?}"),
+            FaultTreeError::CyclicStructure { node } => {
+                write!(f, "the gate structure contains a cycle through {node:?}")
+            }
+            FaultTreeError::MissingTop => write!(f, "the fault tree has no valid top event"),
+            FaultTreeError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultTreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(FaultTreeError, &str)> = vec![
+            (FaultTreeError::InvalidProbability { value: 1.5 }, "1.5"),
+            (
+                FaultTreeError::EmptyGate {
+                    gate: "G1".to_string(),
+                },
+                "G1",
+            ),
+            (
+                FaultTreeError::InvalidVotingThreshold {
+                    gate: "G2".to_string(),
+                    k: 5,
+                    n: 3,
+                },
+                "5 of 3",
+            ),
+            (
+                FaultTreeError::UnknownNode {
+                    name: "x9".to_string(),
+                },
+                "x9",
+            ),
+            (
+                FaultTreeError::DuplicateName {
+                    name: "x1".to_string(),
+                },
+                "x1",
+            ),
+            (
+                FaultTreeError::CyclicStructure {
+                    node: "G0".to_string(),
+                },
+                "cycle",
+            ),
+            (FaultTreeError::MissingTop, "top"),
+            (
+                FaultTreeError::Parse {
+                    line: 3,
+                    message: "bad token".to_string(),
+                },
+                "line 3",
+            ),
+        ];
+        for (error, needle) in cases {
+            assert!(
+                error.to_string().contains(needle),
+                "{error} should mention {needle}"
+            );
+        }
+    }
+}

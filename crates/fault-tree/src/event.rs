@@ -1,0 +1,124 @@
+//! Basic events: the leaves of a fault tree.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::probability::Probability;
+
+/// Identifier of a basic event (dense index within its [`FaultTree`](crate::FaultTree)).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct EventId(pub(crate) u32);
+
+impl EventId {
+    /// Creates an identifier from a dense index.
+    pub fn from_index(index: usize) -> Self {
+        EventId(index as u32)
+    }
+
+    /// The dense index of this event.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A basic event: an atomic failure mode with a probability of occurrence.
+///
+/// Basic events model hardware failures, human errors, software faults,
+/// communication failures, cyber attacks, and any other leaf-level condition
+/// of the analysed system.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BasicEvent {
+    name: String,
+    probability: Probability,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    description: Option<String>,
+}
+
+impl BasicEvent {
+    /// Creates a basic event.
+    pub fn new(name: impl Into<String>, probability: Probability) -> Self {
+        BasicEvent {
+            name: name.into(),
+            probability,
+            description: None,
+        }
+    }
+
+    /// Creates a basic event with a free-form description.
+    pub fn with_description(
+        name: impl Into<String>,
+        probability: Probability,
+        description: impl Into<String>,
+    ) -> Self {
+        BasicEvent {
+            name: name.into(),
+            probability,
+            description: Some(description.into()),
+        }
+    }
+
+    /// The event name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The probability of occurrence.
+    pub fn probability(&self) -> Probability {
+        self.probability
+    }
+
+    /// Optional free-form description.
+    pub fn description(&self) -> Option<&str> {
+        self.description.as_deref()
+    }
+
+    /// Replaces the probability (used by sensitivity analyses).
+    pub fn set_probability(&mut self, probability: Probability) {
+        self.probability = probability;
+    }
+}
+
+impl fmt::Display for BasicEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (p={})", self.name, self.probability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_id_round_trips_its_index() {
+        let id = EventId::from_index(12);
+        assert_eq!(id.index(), 12);
+        assert_eq!(id.to_string(), "e12");
+    }
+
+    #[test]
+    fn basic_event_accessors() {
+        let p = Probability::new(0.2).unwrap();
+        let mut event = BasicEvent::with_description("x1", p, "sensor 1 fails");
+        assert_eq!(event.name(), "x1");
+        assert_eq!(event.probability().value(), 0.2);
+        assert_eq!(event.description(), Some("sensor 1 fails"));
+        assert!(event.to_string().contains("x1"));
+        event.set_probability(Probability::new(0.5).unwrap());
+        assert_eq!(event.probability().value(), 0.5);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let event = BasicEvent::new("x3", Probability::new(0.001).unwrap());
+        let json = serde_json::to_string(&event).unwrap();
+        let back: BasicEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(event, back);
+    }
+}

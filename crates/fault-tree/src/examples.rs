@@ -1,0 +1,424 @@
+//! Canonical example fault trees used in the paper, the documentation, the
+//! tests and the benchmarks.
+
+use crate::tree::{FaultTree, FaultTreeBuilder};
+
+/// The cyber-physical Fire Protection System (FPS) of the paper's Fig. 1.
+///
+/// The FPS fails if either the fire detection system or the fire suppression
+/// mechanism fails:
+///
+/// * detection fails when both sensors fail (`x1 ∧ x2`),
+/// * suppression fails when there is no water (`x3`), the sprinkler nozzles
+///   are blocked (`x4`), or the triggering system fails, i.e. neither the
+///   automatic mode (`x5`) nor the remotely operated mode works; the remote
+///   mode fails when the communication channel fails (`x6`) or is taken down
+///   by a cyber attack (`x7`).
+///
+/// Probabilities follow Table I of the paper; the Maximum Probability Minimal
+/// Cut Set is `{x1, x2}` with joint probability `0.02`.
+///
+/// # Panics
+///
+/// Never panics: the construction is statically valid.
+pub fn fire_protection_system() -> FaultTree {
+    let mut b = FaultTreeBuilder::new("fire protection system");
+    let x1 = b
+        .basic_event("x1", 0.2)
+        .expect("valid probability for sensor 1 failure");
+    let x2 = b.basic_event("x2", 0.1).expect("valid probability");
+    let x3 = b.basic_event("x3", 0.001).expect("valid probability");
+    let x4 = b.basic_event("x4", 0.002).expect("valid probability");
+    let x5 = b.basic_event("x5", 0.05).expect("valid probability");
+    let x6 = b.basic_event("x6", 0.1).expect("valid probability");
+    let x7 = b.basic_event("x7", 0.05).expect("valid probability");
+
+    let detection = b
+        .and_gate("detection system fails", [x1.into(), x2.into()])
+        .expect("valid gate");
+    let remote = b
+        .or_gate("remote operation fails", [x6.into(), x7.into()])
+        .expect("valid gate");
+    let triggering = b
+        .and_gate("triggering system fails", [x5.into(), remote.into()])
+        .expect("valid gate");
+    let suppression = b
+        .or_gate(
+            "suppression mechanism fails",
+            [x3.into(), x4.into(), triggering.into()],
+        )
+        .expect("valid gate");
+    let top = b
+        .or_gate("fire protection system fails", [detection.into(), suppression.into()])
+        .expect("valid gate");
+    b.build(top.into()).expect("the FPS example is a valid tree")
+}
+
+/// A classic pressure-tank rupture fault tree (adapted from the NASA Fault
+/// Tree Handbook), used as a second domain example.
+///
+/// The tank ruptures if the tank itself fails, or if it is over-pressurised —
+/// which requires the relief valve to fail while the pressure switch channel
+/// fails (switch stuck, or both the monitor and the operator miss the alarm).
+///
+/// # Panics
+///
+/// Never panics: the construction is statically valid.
+pub fn pressure_tank_system() -> FaultTree {
+    let mut b = FaultTreeBuilder::new("pressure tank rupture");
+    let tank = b.basic_event("tank rupture (mechanical)", 1e-5).expect("valid");
+    let relief = b.basic_event("relief valve stuck closed", 1e-3).expect("valid");
+    let switch = b.basic_event("pressure switch stuck", 5e-3).expect("valid");
+    let monitor = b.basic_event("monitor fails", 1e-2).expect("valid");
+    let operator = b.basic_event("operator misses alarm", 0.1).expect("valid");
+
+    let alarm_chain = b
+        .and_gate("alarm chain fails", [monitor.into(), operator.into()])
+        .expect("valid gate");
+    let switch_channel = b
+        .or_gate("switch channel fails", [switch.into(), alarm_chain.into()])
+        .expect("valid gate");
+    let overpressure = b
+        .and_gate("over-pressurisation", [relief.into(), switch_channel.into()])
+        .expect("valid gate");
+    let top = b
+        .or_gate("tank ruptures", [tank.into(), overpressure.into()])
+        .expect("valid gate");
+    b.build(top.into())
+        .expect("the pressure tank example is a valid tree")
+}
+
+/// A redundant sensor network with a 2-out-of-3 voting gate, exercising the
+/// voting-gate extension mentioned as future work in the paper.
+///
+/// # Panics
+///
+/// Never panics: the construction is statically valid.
+pub fn redundant_sensor_network() -> FaultTree {
+    let mut b = FaultTreeBuilder::new("redundant sensor network");
+    let s1 = b.basic_event("sensor 1 fails", 0.05).expect("valid");
+    let s2 = b.basic_event("sensor 2 fails", 0.08).expect("valid");
+    let s3 = b.basic_event("sensor 3 fails", 0.1).expect("valid");
+    let bus = b.basic_event("field bus fails", 0.01).expect("valid");
+    let power = b.basic_event("power supply fails", 0.002).expect("valid");
+
+    let sensors = b
+        .voting_gate("sensor quorum lost", 2, [s1.into(), s2.into(), s3.into()])
+        .expect("valid gate");
+    let infra = b
+        .or_gate("infrastructure fails", [bus.into(), power.into()])
+        .expect("valid gate");
+    let top = b
+        .or_gate("measurement unavailable", [sensors.into(), infra.into()])
+        .expect("valid gate");
+    b.build(top.into())
+        .expect("the sensor network example is a valid tree")
+}
+
+/// A water-treatment SCADA availability tree mixing physical failures with
+/// cyber attacks, in the spirit of the industrial-control-system case studies
+/// the paper's reference [4] analyses.
+///
+/// Chlorination is lost if dosing fails (pump or valve), if the PLC stops
+/// commanding the process (hardware fault, or a compromise through either the
+/// engineering workstation or the exposed remote-access service), or if both
+/// redundant water-quality sensors are unavailable (each failing on its own
+/// or through the shared field network).
+///
+/// # Panics
+///
+/// Never panics: the construction is statically valid.
+pub fn water_treatment_scada() -> FaultTree {
+    let mut b = FaultTreeBuilder::new("water treatment chlorination unavailable");
+    let pump = b.basic_event("dosing pump fails", 0.02).expect("valid");
+    let valve = b.basic_event("dosing valve stuck", 0.01).expect("valid");
+    let plc_hw = b.basic_event("PLC hardware fault", 0.005).expect("valid");
+    let ews = b
+        .basic_event("engineering workstation compromised", 0.03)
+        .expect("valid");
+    let ra = b
+        .basic_event("remote access service exploited", 0.08)
+        .expect("valid");
+    let s1 = b.basic_event("quality sensor 1 fails", 0.05).expect("valid");
+    let s2 = b.basic_event("quality sensor 2 fails", 0.06).expect("valid");
+    let net = b.basic_event("field network down", 0.01).expect("valid");
+
+    let dosing = b
+        .or_gate("dosing line fails", [pump.into(), valve.into()])
+        .expect("valid gate");
+    let cyber = b
+        .or_gate("PLC compromised", [ews.into(), ra.into()])
+        .expect("valid gate");
+    let plc = b
+        .or_gate("PLC stops controlling", [plc_hw.into(), cyber.into()])
+        .expect("valid gate");
+    let s1_unavailable = b
+        .or_gate("sensor 1 unavailable", [s1.into(), net.into()])
+        .expect("valid gate");
+    let s2_unavailable = b
+        .or_gate("sensor 2 unavailable", [s2.into(), net.into()])
+        .expect("valid gate");
+    let sensing = b
+        .and_gate(
+            "water quality measurement lost",
+            [s1_unavailable.into(), s2_unavailable.into()],
+        )
+        .expect("valid gate");
+    let top = b
+        .or_gate(
+            "chlorination unavailable",
+            [dosing.into(), plc.into(), sensing.into()],
+        )
+        .expect("valid gate");
+    b.build(top.into())
+        .expect("the SCADA example is a valid tree")
+}
+
+/// A railway level-crossing protection tree: the crossing is unprotected if
+/// the barrier fails to lower **and** the warning signals fail, where both
+/// depend on a shared detection subsystem (a DAG, not a tree).
+///
+/// # Panics
+///
+/// Never panics: the construction is statically valid.
+pub fn railway_level_crossing() -> FaultTree {
+    let mut b = FaultTreeBuilder::new("level crossing unprotected on train approach");
+    let d1 = b.basic_event("approach detector 1 fails", 0.01).expect("valid");
+    let d2 = b.basic_event("approach detector 2 fails", 0.015).expect("valid");
+    let logic = b.basic_event("interlocking logic fault", 0.001).expect("valid");
+    let motor = b.basic_event("barrier motor fails", 0.02).expect("valid");
+    let mech = b.basic_event("barrier mechanism jammed", 0.005).expect("valid");
+    let lamps = b.basic_event("warning lamps burnt out", 0.03).expect("valid");
+    let bell = b.basic_event("warning bell fails", 0.04).expect("valid");
+    let power = b.basic_event("local power supply fails", 0.002).expect("valid");
+
+    let detection = b
+        .and_gate("train not detected", [d1.into(), d2.into()])
+        .expect("valid gate");
+    let command = b
+        .or_gate(
+            "no lowering command issued",
+            [detection.into(), logic.into(), power.into()],
+        )
+        .expect("valid gate");
+    let barrier = b
+        .or_gate(
+            "barrier stays open",
+            [command.into(), motor.into(), mech.into()],
+        )
+        .expect("valid gate");
+    let signals = b
+        .or_gate(
+            "road users not warned",
+            [command.into(), lamps.into(), bell.into()],
+        )
+        .expect("valid gate");
+    let top = b
+        .and_gate("crossing unprotected", [barrier.into(), signals.into()])
+        .expect("valid gate");
+    b.build(top.into())
+        .expect("the level crossing example is a valid tree")
+}
+
+/// An aircraft hydraulic-power tree with triple redundancy and a 2-out-of-3
+/// voting gate, large enough to exercise shared events, voting gates and
+/// three levels of redundancy at once.
+///
+/// # Panics
+///
+/// Never panics: the construction is statically valid.
+pub fn aircraft_hydraulic_system() -> FaultTree {
+    let mut b = FaultTreeBuilder::new("loss of aircraft hydraulic power");
+    let mut circuits = Vec::new();
+    let reservoir = b
+        .basic_event("shared reservoir contamination", 0.0005)
+        .expect("valid");
+    for (i, (p_pump, p_line, p_valve)) in [(0.002, 0.001, 0.0015), (0.003, 0.001, 0.0015), (0.004, 0.002, 0.001)]
+        .iter()
+        .enumerate()
+    {
+        let pump = b
+            .basic_event(format!("engine-driven pump {} fails", i + 1), *p_pump)
+            .expect("valid");
+        let line = b
+            .basic_event(format!("hydraulic line {} ruptures", i + 1), *p_line)
+            .expect("valid");
+        let valve = b
+            .basic_event(format!("priority valve {} stuck", i + 1), *p_valve)
+            .expect("valid");
+        let circuit = b
+            .or_gate(
+                format!("circuit {} lost", i + 1),
+                [pump.into(), line.into(), valve.into(), reservoir.into()],
+            )
+            .expect("valid gate");
+        circuits.push(circuit);
+    }
+    let electric = b
+        .basic_event("electric backup pump fails", 0.01)
+        .expect("valid");
+    let rat = b
+        .basic_event("ram air turbine fails to deploy", 0.02)
+        .expect("valid");
+    let degraded = b
+        .voting_gate(
+            "two or more circuits lost",
+            2,
+            circuits.iter().map(|&c| c.into()),
+        )
+        .expect("valid gate");
+    let backup = b
+        .and_gate("backup power lost", [electric.into(), rat.into()])
+        .expect("valid gate");
+    let top = b
+        .and_gate(
+            "insufficient hydraulic power",
+            [degraded.into(), backup.into()],
+        )
+        .expect("valid gate");
+    b.build(top.into())
+        .expect("the hydraulic example is a valid tree")
+}
+
+/// Returns every named example in this module, with a short identifier that
+/// CLI tools and benchmarks can use to select one.
+pub fn all_examples() -> Vec<(&'static str, FaultTree)> {
+    vec![
+        ("fps", fire_protection_system()),
+        ("pressure-tank", pressure_tank_system()),
+        ("sensor-network", redundant_sensor_network()),
+        ("scada", water_treatment_scada()),
+        ("level-crossing", railway_level_crossing()),
+        ("hydraulics", aircraft_hydraulic_system()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cutset::CutSet;
+
+    #[test]
+    fn fire_protection_system_matches_the_paper() {
+        let tree = fire_protection_system();
+        assert_eq!(tree.num_events(), 7);
+        assert_eq!(tree.num_gates(), 5);
+        assert_eq!(tree.node_count(), 12);
+        assert!(tree.validate().is_ok());
+        // Table I probabilities.
+        let expected = [0.2, 0.1, 0.001, 0.002, 0.05, 0.1, 0.05];
+        for (i, &p) in expected.iter().enumerate() {
+            let name = format!("x{}", i + 1);
+            let id = tree.event_by_name(&name).expect("event exists");
+            assert_eq!(tree.event(id).probability().value(), p);
+        }
+        // The paper's MPMCS {x1, x2} with probability 0.02.
+        let cut = CutSet::from_iter([
+            tree.event_by_name("x1").unwrap(),
+            tree.event_by_name("x2").unwrap(),
+        ]);
+        assert!(tree.is_minimal_cut_set(&cut));
+        assert!((cut.probability(&tree) - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pressure_tank_system_is_valid() {
+        let tree = pressure_tank_system();
+        assert!(tree.validate().is_ok());
+        assert_eq!(tree.num_events(), 5);
+        assert_eq!(tree.depth(), 4);
+        // The single-event cut {tank rupture} is minimal.
+        let tank = tree.event_by_name("tank rupture (mechanical)").unwrap();
+        assert!(tree.is_minimal_cut_set(&CutSet::from_iter([tank])));
+    }
+
+    #[test]
+    fn water_treatment_scada_has_the_expected_single_points_of_failure() {
+        let tree = water_treatment_scada();
+        assert!(tree.validate().is_ok());
+        assert_eq!(tree.num_events(), 8);
+        // Every dosing/PLC-side event is a single-point cut; the sensors are not.
+        for spof in [
+            "dosing pump fails",
+            "dosing valve stuck",
+            "PLC hardware fault",
+            "engineering workstation compromised",
+            "remote access service exploited",
+        ] {
+            let id = tree.event_by_name(spof).unwrap();
+            assert!(
+                tree.is_minimal_cut_set(&CutSet::from_iter([id])),
+                "{spof} should be a SPOF"
+            );
+        }
+        let s1 = tree.event_by_name("quality sensor 1 fails").unwrap();
+        assert!(!tree.is_cut_set(&CutSet::from_iter([s1])));
+        // The shared field network alone takes out both sensors.
+        let net = tree.event_by_name("field network down").unwrap();
+        assert!(tree.is_cut_set(&CutSet::from_iter([net])));
+    }
+
+    #[test]
+    fn railway_level_crossing_shares_the_detection_subtree() {
+        let tree = railway_level_crossing();
+        assert!(tree.validate().is_ok());
+        // The shared "no lowering command" subtree means the two detectors
+        // together defeat both the barrier and the signals.
+        let d1 = tree.event_by_name("approach detector 1 fails").unwrap();
+        let d2 = tree.event_by_name("approach detector 2 fails").unwrap();
+        assert!(tree.is_minimal_cut_set(&CutSet::from_iter([d1, d2])));
+        // A barrier-only failure is not a cut set: the signals still warn.
+        let motor = tree.event_by_name("barrier motor fails").unwrap();
+        assert!(!tree.is_cut_set(&CutSet::from_iter([motor])));
+        let lamps = tree.event_by_name("warning lamps burnt out").unwrap();
+        let bell = tree.event_by_name("warning bell fails").unwrap();
+        assert!(tree.is_cut_set(&CutSet::from_iter([motor, lamps, bell])));
+    }
+
+    #[test]
+    fn aircraft_hydraulics_requires_degraded_circuits_and_lost_backup() {
+        let tree = aircraft_hydraulic_system();
+        assert!(tree.validate().is_ok());
+        let reservoir = tree
+            .event_by_name("shared reservoir contamination")
+            .unwrap();
+        let electric = tree.event_by_name("electric backup pump fails").unwrap();
+        let rat = tree.event_by_name("ram air turbine fails to deploy").unwrap();
+        // The shared reservoir knocks out all three circuits, but backup power
+        // must also be lost before the top event occurs.
+        assert!(!tree.is_cut_set(&CutSet::from_iter([reservoir])));
+        assert!(tree.is_minimal_cut_set(&CutSet::from_iter([reservoir, electric, rat])));
+        // Two pumps alone do not cut without the backup failing too.
+        let p1 = tree.event_by_name("engine-driven pump 1 fails").unwrap();
+        let p2 = tree.event_by_name("engine-driven pump 2 fails").unwrap();
+        assert!(!tree.is_cut_set(&CutSet::from_iter([p1, p2])));
+        assert!(tree.is_minimal_cut_set(&CutSet::from_iter([p1, p2, electric, rat])));
+    }
+
+    #[test]
+    fn all_examples_are_valid_and_uniquely_named() {
+        let examples = all_examples();
+        assert_eq!(examples.len(), 6);
+        let mut names: Vec<&str> = examples.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+        for (name, tree) in &examples {
+            assert!(tree.validate().is_ok(), "{name} must validate");
+            assert!(tree.num_events() >= 3, "{name} is non-trivial");
+        }
+    }
+
+    #[test]
+    fn redundant_sensor_network_uses_a_voting_gate() {
+        let tree = redundant_sensor_network();
+        assert!(tree.validate().is_ok());
+        let s1 = tree.event_by_name("sensor 1 fails").unwrap();
+        let s2 = tree.event_by_name("sensor 2 fails").unwrap();
+        let s3 = tree.event_by_name("sensor 3 fails").unwrap();
+        // Any two sensors form a minimal cut set; a single one does not cut.
+        assert!(tree.is_minimal_cut_set(&CutSet::from_iter([s1, s2])));
+        assert!(tree.is_minimal_cut_set(&CutSet::from_iter([s2, s3])));
+        assert!(!tree.is_cut_set(&CutSet::from_iter([s1])));
+    }
+}

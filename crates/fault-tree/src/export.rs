@@ -1,0 +1,208 @@
+//! Rendering fault trees for human consumption.
+//!
+//! The original MPMCS4FTA tool emits a JSON file that a web page renders as a
+//! picture of the fault tree with the MPMCS highlighted (the paper's Fig. 2).
+//! This module provides the equivalent offline artefacts:
+//!
+//! * [`to_dot`] / [`to_dot_with_highlight`] — Graphviz DOT output, optionally
+//!   highlighting a cut set (render with `dot -Tsvg`),
+//! * [`to_ascii`] — an indented textual rendering suitable for terminals and
+//!   log files.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use crate::cutset::CutSet;
+use crate::event::EventId;
+use crate::gate::GateKind;
+use crate::tree::{FaultTree, NodeId};
+
+/// Renders the tree as a Graphviz DOT digraph.
+///
+/// Gates are drawn as boxes labelled with their kind (`AND`, `OR`, `k/n`),
+/// basic events as ellipses labelled with their name and probability. Edges
+/// point from a gate to its inputs, mirroring the usual top-down drawing of
+/// fault trees.
+pub fn to_dot(tree: &FaultTree) -> String {
+    to_dot_with_highlight(tree, None)
+}
+
+/// Renders the tree as DOT, filling the events of `highlight` (typically the
+/// MPMCS) in red — the textual equivalent of the paper's Fig. 2.
+pub fn to_dot_with_highlight(tree: &FaultTree, highlight: Option<&CutSet>) -> String {
+    let highlighted: HashSet<EventId> = highlight
+        .map(|cut| cut.iter().collect())
+        .unwrap_or_default();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(tree.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+    for id in tree.gate_ids() {
+        let gate = tree.gate(id);
+        let label = match gate.kind() {
+            GateKind::And => "AND".to_string(),
+            GateKind::Or => "OR".to_string(),
+            GateKind::Vot { k } => format!("{k}/{}", gate.inputs().len()),
+        };
+        let shape = if NodeId::Gate(id) == tree.top() {
+            "doubleoctagon"
+        } else {
+            "box"
+        };
+        let _ = writeln!(
+            out,
+            "  g{} [shape={shape}, label=\"{}\\n{}\"];",
+            id.index(),
+            escape(gate.name()),
+            label
+        );
+    }
+    for id in tree.event_ids() {
+        let event = tree.event(id);
+        let fill = if highlighted.contains(&id) {
+            ", style=filled, fillcolor=\"#e74c3c\", fontcolor=white"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  e{} [shape=ellipse, label=\"{}\\np={}\"{}];",
+            id.index(),
+            escape(event.name()),
+            event.probability().value(),
+            fill
+        );
+    }
+    for id in tree.gate_ids() {
+        for &input in tree.gate(id).inputs() {
+            let target = match input {
+                NodeId::Event(e) => format!("e{}", e.index()),
+                NodeId::Gate(g) => format!("g{}", g.index()),
+            };
+            let _ = writeln!(out, "  g{} -> {};", id.index(), target);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the tree as an indented ASCII outline rooted at the top event.
+///
+/// Shared subtrees (the tree is a DAG) are expanded at every occurrence but
+/// marked with `(shared)` after the first expansion, so the output stays
+/// readable for moderately sized trees.
+pub fn to_ascii(tree: &FaultTree) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", tree.name());
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    render_ascii(tree, tree.top(), 0, &mut seen, &mut out);
+    out
+}
+
+fn render_ascii(
+    tree: &FaultTree,
+    node: NodeId,
+    depth: usize,
+    seen: &mut HashSet<NodeId>,
+    out: &mut String,
+) {
+    let indent = "  ".repeat(depth + 1);
+    match node {
+        NodeId::Event(e) => {
+            let event = tree.event(e);
+            let _ = writeln!(
+                out,
+                "{indent}[{}] p={}",
+                event.name(),
+                event.probability().value()
+            );
+        }
+        NodeId::Gate(g) => {
+            let gate = tree.gate(g);
+            let kind = match gate.kind() {
+                GateKind::And => "AND".to_string(),
+                GateKind::Or => "OR".to_string(),
+                GateKind::Vot { k } => format!("{k}/{} VOTE", gate.inputs().len()),
+            };
+            let shared = if !seen.insert(node) { " (shared)" } else { "" };
+            let _ = writeln!(out, "{indent}{} <{kind}>{shared}", gate.name());
+            for &input in gate.inputs() {
+                render_ascii(tree, input, depth + 1, seen, out);
+            }
+        }
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{fire_protection_system, redundant_sensor_network};
+
+    #[test]
+    fn dot_output_mentions_every_node() {
+        let tree = fire_protection_system();
+        let dot = to_dot(&tree);
+        assert!(dot.starts_with("digraph"));
+        for event in tree.events() {
+            assert!(dot.contains(event.name()), "missing {}", event.name());
+        }
+        for gate in tree.gates() {
+            assert!(dot.contains(gate.name()), "missing {}", gate.name());
+        }
+        // One edge per gate input.
+        let edges = dot.matches(" -> ").count();
+        let expected: usize = tree.gates().iter().map(|g| g.inputs().len()).sum();
+        assert_eq!(edges, expected);
+    }
+
+    #[test]
+    fn highlighted_events_are_filled_red() {
+        let tree = fire_protection_system();
+        let cut = CutSet::from_iter([
+            tree.event_by_name("x1").unwrap(),
+            tree.event_by_name("x2").unwrap(),
+        ]);
+        let dot = to_dot_with_highlight(&tree, Some(&cut));
+        assert_eq!(dot.matches("#e74c3c").count(), 2);
+        let plain = to_dot(&tree);
+        assert_eq!(plain.matches("#e74c3c").count(), 0);
+    }
+
+    #[test]
+    fn voting_gates_show_their_threshold() {
+        let tree = redundant_sensor_network();
+        let dot = to_dot(&tree);
+        assert!(dot.contains("2/3"));
+        let ascii = to_ascii(&tree);
+        assert!(ascii.contains("2/3 VOTE"));
+    }
+
+    #[test]
+    fn ascii_output_indents_children_under_their_gate() {
+        let tree = fire_protection_system();
+        let ascii = to_ascii(&tree);
+        assert!(ascii.contains("fire protection system fails"));
+        // x1 is two levels below the top gate.
+        let x1_line = ascii
+            .lines()
+            .find(|line| line.contains("[x1]"))
+            .expect("x1 is rendered");
+        assert!(x1_line.starts_with("      "));
+    }
+
+    #[test]
+    fn quotes_and_backslashes_are_escaped_in_dot() {
+        use crate::tree::FaultTreeBuilder;
+        let mut b = FaultTreeBuilder::new("weird \"names\"");
+        let e = b.basic_event("ev\\ent \"x\"", 0.1).unwrap();
+        let top = b.or_gate("top", [e.into()]).unwrap();
+        let tree = b.build(top.into()).unwrap();
+        let dot = to_dot(&tree);
+        assert!(dot.contains("ev\\\\ent \\\"x\\\""));
+        assert!(dot.contains("weird \\\"names\\\""));
+    }
+}

@@ -1,0 +1,212 @@
+//! Boolean structure formulas of fault trees (paper Step 1).
+//!
+//! A fault tree `F` with basic events `x₁ … xₙ` induces a monotone Boolean
+//! *structure function* `f(t)` describing when the top event occurs. This
+//! module converts a [`FaultTree`] into a [`BoolExpr`] in which the solver
+//! variable `Var(i)` stands for event `EventId(i)`, and also produces the two
+//! derived formulas the paper uses:
+//!
+//! * the **success tree** `X(t) = ¬f(t)` (complement of the structure
+//!   function), and
+//! * the **dual form** `Y(t)` obtained by swapping AND/OR gates (and
+//!   complementing voting thresholds) while keeping events positive, so that
+//!   `Y(t)` over `yᵢ = ¬xᵢ` equals `X(t)` over `xᵢ`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sat_solver::{BoolExpr, Var};
+
+use crate::gate::{GateId, GateKind};
+use crate::tree::{FaultTree, NodeId};
+
+/// The Boolean structure function of a fault tree, plus its derived forms.
+#[derive(Clone, Debug)]
+pub struct StructureFormula {
+    failure: Arc<BoolExpr>,
+    dual: Arc<BoolExpr>,
+    num_events: usize,
+}
+
+impl StructureFormula {
+    /// Builds the structure formula of `tree`. Shared gates (DAG structure)
+    /// are translated once and shared in the resulting expression.
+    pub fn of(tree: &FaultTree) -> Self {
+        let mut cache: HashMap<GateId, Arc<BoolExpr>> = HashMap::new();
+        let failure = Self::node_expr(tree, tree.top(), false, &mut cache);
+        let mut dual_cache: HashMap<GateId, Arc<BoolExpr>> = HashMap::new();
+        let dual = Self::node_expr(tree, tree.top(), true, &mut dual_cache);
+        StructureFormula {
+            failure,
+            dual,
+            num_events: tree.num_events(),
+        }
+    }
+
+    fn node_expr(
+        tree: &FaultTree,
+        node: NodeId,
+        dual: bool,
+        cache: &mut HashMap<GateId, Arc<BoolExpr>>,
+    ) -> Arc<BoolExpr> {
+        match node {
+            NodeId::Event(e) => BoolExpr::var(Var::from_index(e.index())),
+            NodeId::Gate(g) => {
+                if let Some(cached) = cache.get(&g) {
+                    return cached.clone();
+                }
+                let gate = tree.gate(g);
+                let children: Vec<Arc<BoolExpr>> = gate
+                    .inputs()
+                    .iter()
+                    .map(|&input| Self::node_expr(tree, input, dual, cache))
+                    .collect();
+                let kind = if dual {
+                    gate.kind().dual(gate.inputs().len())
+                } else {
+                    gate.kind()
+                };
+                let expr = match kind {
+                    GateKind::And => BoolExpr::and(children),
+                    GateKind::Or => BoolExpr::or(children),
+                    GateKind::Vot { k } => BoolExpr::at_least(k, children),
+                };
+                cache.insert(g, expr.clone());
+                expr
+            }
+        }
+    }
+
+    /// The failure formula `f(t)`: true exactly when the top event occurs.
+    /// Variable `i` corresponds to `EventId(i)`.
+    pub fn failure_expr(&self) -> &Arc<BoolExpr> {
+        &self.failure
+    }
+
+    /// The success-tree formula `X(t) = ¬f(t)` (paper Step 1).
+    pub fn success_expr(&self) -> Arc<BoolExpr> {
+        BoolExpr::not(self.failure.clone())
+    }
+
+    /// The dual formula `Y(t)`: gates swapped (AND ↔ OR, `k/n` ↔ `(n−k+1)/n`),
+    /// events kept positive. Evaluating `Y` on `yᵢ = ¬xᵢ` gives `X(t)` on `xᵢ`.
+    pub fn dual_expr(&self) -> &Arc<BoolExpr> {
+        &self.dual
+    }
+
+    /// Number of basic events (the variables `0..n` of the formulas).
+    pub fn num_events(&self) -> usize {
+        self.num_events
+    }
+
+    /// Evaluates the failure formula on an occurrence vector indexed by event.
+    pub fn evaluate(&self, occurred: &[bool]) -> bool {
+        self.failure
+            .evaluate(occurred)
+            .expect("occurrence vector must cover every basic event")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{fire_protection_system, pressure_tank_system};
+    use crate::tree::FaultTreeBuilder;
+
+    /// The formula and the direct tree evaluation must agree on every
+    /// assignment (exhaustive for small trees).
+    fn assert_formula_matches_tree(tree: &FaultTree) {
+        let formula = StructureFormula::of(tree);
+        let n = tree.num_events();
+        assert!(n <= 16, "exhaustive check only for small trees");
+        for mask in 0..(1u32 << n) {
+            let occurred: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            assert_eq!(
+                formula.evaluate(&occurred),
+                tree.evaluate(&occurred),
+                "mask {mask:b}"
+            );
+            // Success tree is the complement.
+            assert_eq!(
+                formula.success_expr().evaluate(&occurred),
+                Some(!tree.evaluate(&occurred))
+            );
+            // Dual over complemented inputs equals the success tree (paper's
+            // Y(t) reformulation).
+            let complemented: Vec<bool> = occurred.iter().map(|b| !b).collect();
+            assert_eq!(
+                formula.dual_expr().evaluate(&complemented),
+                Some(!tree.evaluate(&occurred)),
+                "dual mismatch for mask {mask:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn fire_protection_formula_matches_the_paper() {
+        let tree = fire_protection_system();
+        let formula = StructureFormula::of(&tree);
+        assert_eq!(formula.num_events(), 7);
+        // f(t) = (x1 ∧ x2) ∨ (x3 ∨ x4 ∨ (x5 ∧ (x6 ∨ x7)))
+        // Check a few characteristic points.
+        assert!(formula.evaluate(&[true, true, false, false, false, false, false]));
+        assert!(formula.evaluate(&[false, false, true, false, false, false, false]));
+        assert!(formula.evaluate(&[false, false, false, false, true, false, true]));
+        assert!(!formula.evaluate(&[true, false, false, false, true, false, false]));
+        assert_formula_matches_tree(&tree);
+    }
+
+    #[test]
+    fn pressure_tank_formula_matches_the_tree() {
+        assert_formula_matches_tree(&pressure_tank_system());
+    }
+
+    #[test]
+    fn voting_gates_are_translated_with_their_duals() {
+        let mut b = FaultTreeBuilder::new("vote");
+        let events: Vec<_> = (0..5)
+            .map(|i| b.basic_event(format!("e{i}"), 0.1).unwrap())
+            .collect();
+        let top = b
+            .voting_gate("top", 3, events.iter().map(|&e| e.into()))
+            .unwrap();
+        let tree = b.build(top.into()).unwrap();
+        assert_formula_matches_tree(&tree);
+    }
+
+    #[test]
+    fn shared_gates_are_translated_once() {
+        let mut b = FaultTreeBuilder::new("shared");
+        let a = b.basic_event("a", 0.1).unwrap();
+        let c = b.basic_event("c", 0.1).unwrap();
+        let shared = b.and_gate("shared", [a.into(), c.into()]).unwrap();
+        let left = b.or_gate("left", [shared.into(), a.into()]).unwrap();
+        let right = b.or_gate("right", [shared.into(), c.into()]).unwrap();
+        let top = b.and_gate("top", [left.into(), right.into()]).unwrap();
+        let tree = b.build(top.into()).unwrap();
+        let formula = StructureFormula::of(&tree);
+        // The shared AND gate must be a single shared Arc in the expression.
+        let failure = formula.failure_expr();
+        fn count_ands(expr: &Arc<BoolExpr>, seen: &mut Vec<*const BoolExpr>) -> usize {
+            let ptr = Arc::as_ptr(expr);
+            if seen.contains(&ptr) {
+                return 0;
+            }
+            seen.push(ptr);
+            match &**expr {
+                BoolExpr::And(cs) | BoolExpr::Or(cs) => {
+                    let mut total = matches!(&**expr, BoolExpr::And(_)) as usize;
+                    for c in cs {
+                        total += count_ands(c, seen);
+                    }
+                    total
+                }
+                _ => 0,
+            }
+        }
+        let mut seen = Vec::new();
+        // Distinct AND nodes: the shared gate and the top gate — not three.
+        assert_eq!(count_ands(failure, &mut seen), 2);
+        assert_formula_matches_tree(&tree);
+    }
+}

@@ -1,0 +1,198 @@
+//! Gates: the internal nodes of a fault tree.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::tree::NodeId;
+
+/// Identifier of a gate (dense index within its [`FaultTree`](crate::FaultTree)).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct GateId(pub(crate) u32);
+
+impl GateId {
+    /// Creates an identifier from a dense index.
+    pub fn from_index(index: usize) -> Self {
+        GateId(index as u32)
+    }
+
+    /// The dense index of this gate.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// The logical function computed by a gate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum GateKind {
+    /// The gate fires when **all** inputs fire.
+    And,
+    /// The gate fires when **any** input fires.
+    Or,
+    /// The gate fires when at least `k` inputs fire (a voting / k-out-of-n
+    /// gate — the extension the paper lists as future work).
+    Vot {
+        /// The threshold `k`.
+        k: usize,
+    },
+}
+
+impl GateKind {
+    /// Short lowercase name of the gate kind (`and`, `or`, `vot`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            GateKind::And => "and",
+            GateKind::Or => "or",
+            GateKind::Vot { .. } => "vot",
+        }
+    }
+
+    /// Evaluates the gate over the boolean values of its inputs.
+    pub fn evaluate(&self, inputs: impl IntoIterator<Item = bool>) -> bool {
+        match self {
+            GateKind::And => inputs.into_iter().all(|b| b),
+            GateKind::Or => inputs.into_iter().any(|b| b),
+            GateKind::Vot { k } => inputs.into_iter().filter(|&b| b).count() >= *k,
+        }
+    }
+
+    /// The *dual* gate kind used when complementing a fault tree into a
+    /// success tree (paper Step 1): AND ↔ OR, and a `k/n` voting gate becomes
+    /// an `(n−k+1)/n` voting gate.
+    pub fn dual(&self, num_inputs: usize) -> GateKind {
+        match self {
+            GateKind::And => GateKind::Or,
+            GateKind::Or => GateKind::And,
+            GateKind::Vot { k } => GateKind::Vot {
+                k: num_inputs - k + 1,
+            },
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateKind::Vot { k } => write!(f, "vot({k})"),
+            other => write!(f, "{}", other.name()),
+        }
+    }
+}
+
+/// A gate: a named logical combination of other nodes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Gate {
+    name: String,
+    kind: GateKind,
+    inputs: Vec<NodeId>,
+}
+
+impl Gate {
+    /// Creates a gate without validation.
+    ///
+    /// Prefer [`FaultTreeBuilder::gate`](crate::FaultTreeBuilder::gate) when
+    /// building a tree incrementally; this constructor exists for
+    /// tree-rewriting code that assembles a full gate list and then validates
+    /// it in one go through [`FaultTree::from_parts`](crate::FaultTree::from_parts).
+    pub fn new(name: impl Into<String>, kind: GateKind, inputs: Vec<NodeId>) -> Self {
+        Gate {
+            name: name.into(),
+            kind,
+            inputs,
+        }
+    }
+
+    /// The gate name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The logical function of the gate.
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// The gate inputs, in declaration order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] ({} inputs)", self.name, self.kind, self.inputs.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventId;
+
+    #[test]
+    fn gate_kind_evaluation() {
+        assert!(GateKind::And.evaluate([true, true, true]));
+        assert!(!GateKind::And.evaluate([true, false]));
+        assert!(GateKind::Or.evaluate([false, true]));
+        assert!(!GateKind::Or.evaluate([false, false]));
+        assert!(GateKind::Vot { k: 2 }.evaluate([true, false, true]));
+        assert!(!GateKind::Vot { k: 2 }.evaluate([true, false, false]));
+    }
+
+    #[test]
+    fn duals_swap_and_and_or() {
+        assert_eq!(GateKind::And.dual(3), GateKind::Or);
+        assert_eq!(GateKind::Or.dual(3), GateKind::And);
+        // NOT(at least 2 of 3) == at least 2 of 3 complemented inputs.
+        assert_eq!(GateKind::Vot { k: 2 }.dual(3), GateKind::Vot { k: 2 });
+        assert_eq!(GateKind::Vot { k: 1 }.dual(4), GateKind::Vot { k: 4 });
+    }
+
+    #[test]
+    fn voting_dual_is_an_involution_and_matches_de_morgan() {
+        // For every n, k: NOT vot(k, xs) == vot(n-k+1, n) over negated inputs.
+        for n in 1..=5usize {
+            for k in 1..=n {
+                let kind = GateKind::Vot { k };
+                let dual = kind.dual(n);
+                for mask in 0..(1u32 << n) {
+                    let values: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+                    let negated: Vec<bool> = values.iter().map(|b| !b).collect();
+                    assert_eq!(
+                        !kind.evaluate(values.clone()),
+                        dual.evaluate(negated),
+                        "n={n} k={k} mask={mask:b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gate_accessors_and_display() {
+        let gate = Gate::new(
+            "G1",
+            GateKind::Vot { k: 2 },
+            vec![NodeId::Event(EventId::from_index(0)), NodeId::Event(EventId::from_index(1))],
+        );
+        assert_eq!(gate.name(), "G1");
+        assert_eq!(gate.kind(), GateKind::Vot { k: 2 });
+        assert_eq!(gate.inputs().len(), 2);
+        assert!(gate.to_string().contains("vot(2)"));
+        assert_eq!(GateKind::And.to_string(), "and");
+    }
+
+    #[test]
+    fn gate_id_round_trips_its_index() {
+        let id = GateId::from_index(3);
+        assert_eq!(id.index(), 3);
+        assert_eq!(id.to_string(), "g3");
+    }
+}

@@ -1,0 +1,372 @@
+//! The Galileo textual fault-tree format (static subset).
+//!
+//! Example:
+//!
+//! ```text
+//! toplevel "System";
+//! "System" or "Detection" "Suppression";
+//! "Detection" and "x1" "x2";
+//! "Quorum" 2of3 "a" "b" "c";
+//! "x1" prob=0.2;
+//! "x2" prob=0.1;
+//! ```
+//!
+//! Lines end with `;`; names may be double-quoted or bare; `//` starts a
+//! comment. Only the static subset (AND, OR, `k of n`, `prob=`) is supported —
+//! dynamic gates (SPARE, FDEP, PAND) are out of scope for this reproduction.
+
+use std::collections::HashMap;
+
+use crate::error::FaultTreeError;
+use crate::event::{BasicEvent, EventId};
+use crate::gate::{Gate, GateId, GateKind};
+use crate::probability::Probability;
+use crate::tree::{FaultTree, NodeId};
+
+/// Intermediate name-keyed node representation shared with the JSON parser.
+#[derive(Debug, Clone)]
+pub(crate) enum RawNode {
+    /// A gate with a kind and named inputs.
+    Gate {
+        /// The logical function of the gate.
+        kind: GateKind,
+        /// Names of the input nodes.
+        inputs: Vec<String>,
+    },
+    /// A basic event with a probability.
+    Event {
+        /// Probability of occurrence.
+        probability: f64,
+    },
+}
+
+fn parse_error(line: usize, message: impl Into<String>) -> FaultTreeError {
+    FaultTreeError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+fn tokenize(line: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '"' => {
+                chars.next();
+                let mut name = String::new();
+                for ch in chars.by_ref() {
+                    if ch == '"' {
+                        break;
+                    }
+                    name.push(ch);
+                }
+                tokens.push(name);
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            _ => {
+                let mut token = String::new();
+                while let Some(&ch) = chars.peek() {
+                    if ch.is_whitespace() || ch == '"' {
+                        break;
+                    }
+                    token.push(ch);
+                    chars.next();
+                }
+                tokens.push(token);
+            }
+        }
+    }
+    tokens
+}
+
+/// Parses a fault tree from Galileo text.
+///
+/// # Errors
+///
+/// Returns [`FaultTreeError::Parse`] for syntax errors and the usual
+/// structural errors (unknown nodes, cycles, invalid thresholds) for
+/// semantically invalid trees.
+pub fn parse_galileo(input: &str) -> Result<FaultTree, FaultTreeError> {
+    let mut toplevel: Option<String> = None;
+    let mut raw: HashMap<String, RawNode> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+
+    for (lineno, raw_line) in input.lines().enumerate() {
+        let line_number = lineno + 1;
+        let line = match raw_line.find("//") {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let line = line
+            .strip_suffix(';')
+            .ok_or_else(|| parse_error(line_number, "expected line to end with ';'"))?
+            .trim();
+        let tokens = tokenize(line);
+        if tokens.is_empty() {
+            continue;
+        }
+        if tokens[0].eq_ignore_ascii_case("toplevel") {
+            if tokens.len() != 2 {
+                return Err(parse_error(line_number, "toplevel expects exactly one name"));
+            }
+            toplevel = Some(tokens[1].clone());
+            continue;
+        }
+        let name = tokens[0].clone();
+        if tokens.len() < 2 {
+            return Err(parse_error(line_number, "missing node definition"));
+        }
+        if raw.contains_key(&name) {
+            return Err(FaultTreeError::DuplicateName { name });
+        }
+        let second = tokens[1].to_ascii_lowercase();
+        let node = if let Some(prob_text) = second.strip_prefix("prob=") {
+            let probability: f64 = prob_text
+                .parse()
+                .map_err(|_| parse_error(line_number, format!("invalid probability {prob_text:?}")))?;
+            RawNode::Event { probability }
+        } else if second == "and" || second == "or" {
+            let kind = if second == "and" {
+                GateKind::And
+            } else {
+                GateKind::Or
+            };
+            RawNode::Gate {
+                kind,
+                inputs: tokens[2..].to_vec(),
+            }
+        } else if let Some((k_text, n_text)) = second.split_once("of") {
+            let k: usize = k_text
+                .parse()
+                .map_err(|_| parse_error(line_number, format!("invalid voting threshold {second:?}")))?;
+            let declared_n: usize = n_text
+                .parse()
+                .map_err(|_| parse_error(line_number, format!("invalid voting arity {second:?}")))?;
+            let inputs = tokens[2..].to_vec();
+            if inputs.len() != declared_n {
+                return Err(parse_error(
+                    line_number,
+                    format!(
+                        "voting gate {name:?} declares {declared_n} inputs but lists {}",
+                        inputs.len()
+                    ),
+                ));
+            }
+            RawNode::Gate {
+                kind: GateKind::Vot { k },
+                inputs,
+            }
+        } else {
+            return Err(parse_error(
+                line_number,
+                format!("unsupported gate type or attribute {:?}", tokens[1]),
+            ));
+        };
+        order.push(name.clone());
+        raw.insert(name, node);
+    }
+
+    let toplevel = toplevel.ok_or(FaultTreeError::MissingTop)?;
+    build_tree("galileo import", &toplevel, &raw, &order)
+}
+
+/// Builds a [`FaultTree`] from name-keyed raw nodes (shared with the JSON parser).
+pub(crate) fn build_tree(
+    tree_name: &str,
+    toplevel: &str,
+    raw: &HashMap<String, RawNode>,
+    order: &[String],
+) -> Result<FaultTree, FaultTreeError> {
+    // Assign dense ids: events first, then gates, in declaration order.
+    let mut event_ids: HashMap<&str, EventId> = HashMap::new();
+    let mut gate_ids: HashMap<&str, GateId> = HashMap::new();
+    let mut events: Vec<BasicEvent> = Vec::new();
+    let mut gate_names: Vec<&String> = Vec::new();
+    for name in order {
+        match &raw[name] {
+            RawNode::Event { probability } => {
+                let id = EventId::from_index(events.len());
+                events.push(BasicEvent::new(name.clone(), Probability::new(*probability)?));
+                event_ids.insert(name, id);
+            }
+            RawNode::Gate { .. } => {
+                let id = GateId::from_index(gate_names.len());
+                gate_ids.insert(name, id);
+                gate_names.push(name);
+            }
+        }
+    }
+    let resolve = |name: &str| -> Result<NodeId, FaultTreeError> {
+        if let Some(&e) = event_ids.get(name) {
+            Ok(NodeId::Event(e))
+        } else if let Some(&g) = gate_ids.get(name) {
+            Ok(NodeId::Gate(g))
+        } else {
+            Err(FaultTreeError::UnknownNode {
+                name: name.to_string(),
+            })
+        }
+    };
+    let mut gates: Vec<Gate> = Vec::new();
+    for name in &gate_names {
+        if let RawNode::Gate { kind, inputs } = &raw[*name] {
+            let resolved: Result<Vec<NodeId>, FaultTreeError> =
+                inputs.iter().map(|i| resolve(i)).collect();
+            gates.push(Gate::new((*name).clone(), *kind, resolved?));
+        }
+    }
+    let top = resolve(toplevel)?;
+    FaultTree::from_parts(tree_name, events, gates, top)
+}
+
+/// Renders a fault tree in Galileo syntax.
+pub fn to_galileo_string(tree: &FaultTree) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("toplevel \"{}\";\n", tree.node_name(tree.top())));
+    for gate in tree.gates() {
+        let kind = match gate.kind() {
+            GateKind::And => "and".to_string(),
+            GateKind::Or => "or".to_string(),
+            GateKind::Vot { k } => format!("{k}of{}", gate.inputs().len()),
+        };
+        let inputs: Vec<String> = gate
+            .inputs()
+            .iter()
+            .map(|&i| format!("\"{}\"", tree.node_name(i)))
+            .collect();
+        out.push_str(&format!("\"{}\" {} {};\n", gate.name(), kind, inputs.join(" ")));
+    }
+    for event in tree.events() {
+        out.push_str(&format!(
+            "\"{}\" prob={};\n",
+            event.name(),
+            event.probability().value()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::fire_protection_system;
+
+    const FPS_GALILEO: &str = r#"
+// Fire protection system (paper Fig. 1)
+toplevel "top";
+"top" or "detection" "suppression";
+"detection" and "x1" "x2";
+"suppression" or "x3" "x4" "triggering";
+"triggering" and "x5" "remote";
+"remote" or "x6" "x7";
+"x1" prob=0.2;
+"x2" prob=0.1;
+"x3" prob=0.001;
+"x4" prob=0.002;
+"x5" prob=0.05;
+"x6" prob=0.1;
+"x7" prob=0.05;
+"#;
+
+    #[test]
+    fn parses_the_fire_protection_system() {
+        let tree = parse_galileo(FPS_GALILEO).expect("valid Galileo input");
+        assert_eq!(tree.num_events(), 7);
+        assert_eq!(tree.num_gates(), 5);
+        // Same structure function as the programmatic example.
+        let reference = fire_protection_system();
+        for mask in 0..(1u32 << 7) {
+            let occurred: Vec<bool> = (0..7).map(|i| mask & (1 << i) != 0).collect();
+            // Event order differs (declaration order), so remap by name.
+            let mut remapped = vec![false; 7];
+            for (i, value) in occurred.iter().enumerate() {
+                let name = format!("x{}", i + 1);
+                let id = tree.event_by_name(&name).unwrap();
+                remapped[id.index()] = *value;
+            }
+            let mut reference_occurred = vec![false; 7];
+            for (i, value) in occurred.iter().enumerate() {
+                let name = format!("x{}", i + 1);
+                let id = reference.event_by_name(&name).unwrap();
+                reference_occurred[id.index()] = *value;
+            }
+            assert_eq!(
+                tree.evaluate(&remapped),
+                reference.evaluate(&reference_occurred),
+                "mask {mask:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_voting_gates_and_bare_names() {
+        let text = "toplevel top;\ntop 2of3 a b c;\na prob=0.1;\nb prob=0.2;\nc prob=0.3;\n";
+        let tree = parse_galileo(text).expect("valid Galileo input");
+        assert_eq!(tree.num_events(), 3);
+        assert_eq!(tree.gates()[0].kind(), GateKind::Vot { k: 2 });
+        assert!(tree.evaluate(&[true, true, false]));
+        assert!(!tree.evaluate(&[true, false, false]));
+    }
+
+    #[test]
+    fn round_trips_through_the_writer() {
+        let tree = fire_protection_system();
+        let text = to_galileo_string(&tree);
+        let parsed = parse_galileo(&text).expect("round trip");
+        assert_eq!(parsed.num_events(), tree.num_events());
+        assert_eq!(parsed.num_gates(), tree.num_gates());
+        for mask in 0..(1u32 << 7) {
+            let occurred: Vec<bool> = (0..7).map(|i| mask & (1 << i) != 0).collect();
+            let mut remapped = vec![false; 7];
+            for id in tree.event_ids() {
+                let name = tree.event(id).name();
+                let other = parsed.event_by_name(name).unwrap();
+                remapped[other.index()] = occurred[id.index()];
+            }
+            assert_eq!(parsed.evaluate(&remapped), tree.evaluate(&occurred));
+        }
+    }
+
+    #[test]
+    fn reports_helpful_errors() {
+        assert!(matches!(
+            parse_galileo("toplevel a\n"),
+            Err(FaultTreeError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_galileo("toplevel a;\na prob=oops;\n"),
+            Err(FaultTreeError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_galileo("toplevel a;\na spare b c;\nb prob=0.1;\nc prob=0.1;\n"),
+            Err(FaultTreeError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_galileo("toplevel a;\na and b;\n"),
+            Err(FaultTreeError::UnknownNode { .. })
+        ));
+        assert!(matches!(
+            parse_galileo("a and a;\na prob=0.1;\n"),
+            Err(FaultTreeError::DuplicateName { .. }) | Err(FaultTreeError::MissingTop)
+        ));
+        assert!(matches!(
+            parse_galileo("toplevel q;\nq 2of3 a b;\na prob=0.1;\nb prob=0.1;\n"),
+            Err(FaultTreeError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_toplevel_is_an_error() {
+        assert!(matches!(
+            parse_galileo("\"a\" prob=0.5;\n"),
+            Err(FaultTreeError::MissingTop)
+        ));
+    }
+}

@@ -1,0 +1,284 @@
+//! JSON fault-tree format, mirroring the input format of the original
+//! MPMCS4FTA tool.
+//!
+//! ```json
+//! {
+//!   "name": "fire protection system",
+//!   "top": "top",
+//!   "events": [
+//!     { "name": "x1", "probability": 0.2, "description": "sensor 1 fails" }
+//!   ],
+//!   "gates": [
+//!     { "name": "detection", "kind": "and", "inputs": ["x1", "x2"] },
+//!     { "name": "quorum", "kind": "vot", "k": 2, "inputs": ["a", "b", "c"] }
+//!   ]
+//! }
+//! ```
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::FaultTreeError;
+use crate::gate::GateKind;
+use crate::tree::{FaultTree, NodeId};
+
+use super::galileo::{build_tree, RawNode};
+
+/// A JSON-serialisable fault-tree document.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultTreeDocument {
+    /// Name of the fault tree.
+    pub name: String,
+    /// Name of the top node (gate or event).
+    pub top: String,
+    /// Basic event declarations.
+    pub events: Vec<EventDocument>,
+    /// Gate declarations.
+    pub gates: Vec<GateDocument>,
+}
+
+/// A basic event declaration inside a [`FaultTreeDocument`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EventDocument {
+    /// Event name (must be unique across events and gates).
+    pub name: String,
+    /// Probability of occurrence in `[0, 1]`.
+    pub probability: f64,
+    /// Optional free-form description.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub description: Option<String>,
+}
+
+/// A gate declaration inside a [`FaultTreeDocument`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GateDocument {
+    /// Gate name (must be unique across events and gates).
+    pub name: String,
+    /// Gate kind: `"and"`, `"or"`, or `"vot"`.
+    pub kind: String,
+    /// Voting threshold, required when `kind == "vot"`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub k: Option<usize>,
+    /// Names of the input nodes.
+    pub inputs: Vec<String>,
+}
+
+impl FaultTreeDocument {
+    /// Converts the document into a validated [`FaultTree`].
+    ///
+    /// # Errors
+    ///
+    /// Returns structural errors (duplicate names, unknown nodes, invalid
+    /// probabilities or thresholds, cycles) and [`FaultTreeError::Parse`] for
+    /// unknown gate kinds.
+    pub fn into_tree(self) -> Result<FaultTree, FaultTreeError> {
+        let mut raw: HashMap<String, RawNode> = HashMap::new();
+        let mut order: Vec<String> = Vec::new();
+        for event in &self.events {
+            if raw.contains_key(&event.name) {
+                return Err(FaultTreeError::DuplicateName {
+                    name: event.name.clone(),
+                });
+            }
+            raw.insert(
+                event.name.clone(),
+                RawNode::Event {
+                    probability: event.probability,
+                },
+            );
+            order.push(event.name.clone());
+        }
+        for gate in &self.gates {
+            if raw.contains_key(&gate.name) {
+                return Err(FaultTreeError::DuplicateName {
+                    name: gate.name.clone(),
+                });
+            }
+            let kind = match gate.kind.to_ascii_lowercase().as_str() {
+                "and" => GateKind::And,
+                "or" => GateKind::Or,
+                "vot" | "voting" | "kofn" => GateKind::Vot {
+                    k: gate.k.ok_or_else(|| FaultTreeError::Parse {
+                        line: 0,
+                        message: format!("voting gate {:?} needs a \"k\" field", gate.name),
+                    })?,
+                },
+                other => {
+                    return Err(FaultTreeError::Parse {
+                        line: 0,
+                        message: format!("unknown gate kind {other:?}"),
+                    })
+                }
+            };
+            raw.insert(
+                gate.name.clone(),
+                RawNode::Gate {
+                    kind,
+                    inputs: gate.inputs.clone(),
+                },
+            );
+            order.push(gate.name.clone());
+        }
+        let tree = build_tree(&self.name, &self.top, &raw, &order)?;
+        // Re-attach event descriptions (build_tree only keeps probabilities).
+        let mut events = tree.events().to_vec();
+        for doc in &self.events {
+            if let Some(id) = tree.event_by_name(&doc.name) {
+                if let Some(description) = &doc.description {
+                    events[id.index()] = crate::BasicEvent::with_description(
+                        doc.name.clone(),
+                        events[id.index()].probability(),
+                        description.clone(),
+                    );
+                }
+            }
+        }
+        FaultTree::from_parts(tree.name(), events, tree.gates().to_vec(), tree.top())
+    }
+
+    /// Builds a document from a fault tree.
+    pub fn from_tree(tree: &FaultTree) -> Self {
+        FaultTreeDocument {
+            name: tree.name().to_string(),
+            top: tree.node_name(tree.top()).to_string(),
+            events: tree
+                .events()
+                .iter()
+                .map(|e| EventDocument {
+                    name: e.name().to_string(),
+                    probability: e.probability().value(),
+                    description: e.description().map(str::to_string),
+                })
+                .collect(),
+            gates: tree
+                .gates()
+                .iter()
+                .map(|g| GateDocument {
+                    name: g.name().to_string(),
+                    kind: g.kind().name().to_string(),
+                    k: match g.kind() {
+                        GateKind::Vot { k } => Some(k),
+                        _ => None,
+                    },
+                    inputs: g
+                        .inputs()
+                        .iter()
+                        .map(|&i: &NodeId| tree.node_name(i).to_string())
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Parses a fault tree from a JSON string.
+///
+/// # Errors
+///
+/// Returns [`FaultTreeError::Parse`] for malformed JSON and structural errors
+/// for semantically invalid trees.
+pub fn from_json_str(input: &str) -> Result<FaultTree, FaultTreeError> {
+    let document: FaultTreeDocument =
+        serde_json::from_str(input).map_err(|e| FaultTreeError::Parse {
+            line: e.line(),
+            message: e.to_string(),
+        })?;
+    document.into_tree()
+}
+
+/// Renders a fault tree as a pretty-printed JSON string.
+pub fn to_json_string(tree: &FaultTree) -> String {
+    serde_json::to_string_pretty(&FaultTreeDocument::from_tree(tree))
+        .expect("fault tree documents always serialise")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{fire_protection_system, redundant_sensor_network};
+
+    #[test]
+    fn json_round_trip_preserves_structure_and_probabilities() {
+        for tree in [fire_protection_system(), redundant_sensor_network()] {
+            let json = to_json_string(&tree);
+            let parsed = from_json_str(&json).expect("round trip");
+            assert_eq!(parsed.num_events(), tree.num_events());
+            assert_eq!(parsed.num_gates(), tree.num_gates());
+            for id in tree.event_ids() {
+                let name = tree.event(id).name();
+                let other = parsed.event_by_name(name).expect("event preserved");
+                assert_eq!(
+                    parsed.event(other).probability().value(),
+                    tree.event(id).probability().value()
+                );
+            }
+            let n = tree.num_events();
+            for mask in 0..(1u32 << n) {
+                let occurred: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+                let mut remapped = vec![false; n];
+                for id in tree.event_ids() {
+                    let other = parsed.event_by_name(tree.event(id).name()).unwrap();
+                    remapped[other.index()] = occurred[id.index()];
+                }
+                assert_eq!(parsed.evaluate(&remapped), tree.evaluate(&occurred));
+            }
+        }
+    }
+
+    #[test]
+    fn parses_a_handwritten_document() {
+        let json = r#"{
+            "name": "demo",
+            "top": "g",
+            "events": [
+                { "name": "a", "probability": 0.5 },
+                { "name": "b", "probability": 0.25, "description": "backup fails" }
+            ],
+            "gates": [
+                { "name": "g", "kind": "and", "inputs": ["a", "b"] }
+            ]
+        }"#;
+        let tree = from_json_str(json).expect("valid document");
+        assert_eq!(tree.num_events(), 2);
+        assert_eq!(tree.num_gates(), 1);
+        let b = tree.event_by_name("b").unwrap();
+        assert_eq!(tree.event(b).description(), Some("backup fails"));
+        assert!(tree.evaluate(&[true, true]));
+        assert!(!tree.evaluate(&[true, false]));
+    }
+
+    #[test]
+    fn voting_gates_need_a_threshold() {
+        let json = r#"{
+            "name": "demo", "top": "g",
+            "events": [ { "name": "a", "probability": 0.5 }, { "name": "b", "probability": 0.5 } ],
+            "gates": [ { "name": "g", "kind": "vot", "inputs": ["a", "b"] } ]
+        }"#;
+        assert!(matches!(from_json_str(json), Err(FaultTreeError::Parse { .. })));
+    }
+
+    #[test]
+    fn unknown_gate_kinds_and_bad_json_are_rejected() {
+        let json = r#"{
+            "name": "demo", "top": "g",
+            "events": [ { "name": "a", "probability": 0.5 } ],
+            "gates": [ { "name": "g", "kind": "xor", "inputs": ["a"] } ]
+        }"#;
+        assert!(matches!(from_json_str(json), Err(FaultTreeError::Parse { .. })));
+        assert!(matches!(from_json_str("{ not json"), Err(FaultTreeError::Parse { .. })));
+    }
+
+    #[test]
+    fn duplicate_names_across_events_and_gates_are_rejected() {
+        let json = r#"{
+            "name": "demo", "top": "a",
+            "events": [ { "name": "a", "probability": 0.5 } ],
+            "gates": [ { "name": "a", "kind": "or", "inputs": ["a"] } ]
+        }"#;
+        assert!(matches!(
+            from_json_str(json),
+            Err(FaultTreeError::DuplicateName { .. })
+        ));
+    }
+}

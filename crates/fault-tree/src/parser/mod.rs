@@ -1,0 +1,16 @@
+//! Parsers and writers for fault-tree exchange formats.
+//!
+//! Two formats are supported:
+//!
+//! * [`galileo`] — the widely used Galileo textual format (static subset:
+//!   `and`, `or`, `k of n` gates and `prob=` basic events), as consumed by
+//!   classic FTA tools.
+//! * [`json`] — a JSON document mirroring the input format of the original
+//!   MPMCS4FTA tool (named events with probabilities, named gates with typed
+//!   inputs, an explicit top gate).
+
+pub mod galileo;
+pub mod json;
+
+pub use galileo::{parse_galileo, to_galileo_string};
+pub use json::{from_json_str, to_json_string, FaultTreeDocument};

@@ -1,0 +1,203 @@
+//! Probabilities and their logarithmic weights (paper Steps 3 and 6).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::FaultTreeError;
+
+/// A probability value, validated to lie in `[0, 1]`.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Probability(f64);
+
+impl Probability {
+    /// Creates a probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultTreeError::InvalidProbability`] when `value` is not
+    /// finite or lies outside `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, FaultTreeError> {
+        if value.is_finite() && (0.0..=1.0).contains(&value) {
+            Ok(Probability(value))
+        } else {
+            Err(FaultTreeError::InvalidProbability { value })
+        }
+    }
+
+    /// The certain event.
+    pub const ONE: Probability = Probability(1.0);
+    /// The impossible event.
+    pub const ZERO: Probability = Probability(0.0);
+
+    /// The raw value in `[0, 1]`.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The negative natural logarithm `w = -ln(p)` used as a MaxSAT weight
+    /// (paper Step 3). `p = 0` maps to `+∞`.
+    pub fn log_weight(self) -> LogWeight {
+        LogWeight(-self.0.ln())
+    }
+
+    /// The complement `1 - p`.
+    pub fn complement(self) -> Probability {
+        Probability(1.0 - self.0)
+    }
+}
+
+impl fmt::Display for Probability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Probability {
+    type Error = FaultTreeError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Probability::new(value)
+    }
+}
+
+impl From<Probability> for f64 {
+    fn from(p: Probability) -> f64 {
+        p.value()
+    }
+}
+
+/// A non-negative logarithmic weight `w = -ln(p)`.
+///
+/// Lower probabilities map to larger weights, so *minimising* a sum of
+/// weights maximises the product of the corresponding probabilities — the key
+/// observation behind the paper's MaxSAT encoding.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct LogWeight(f64);
+
+impl LogWeight {
+    /// Creates a weight directly from its value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or NaN.
+    pub fn new(value: f64) -> Self {
+        assert!(!value.is_nan() && value >= 0.0, "log weights are non-negative");
+        LogWeight(value)
+    }
+
+    /// The raw weight value (possibly `+∞` for probability zero).
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The reverse transformation `p = exp(-w)` (paper Step 6).
+    pub fn to_probability(self) -> Probability {
+        Probability((-self.0).exp().clamp(0.0, 1.0))
+    }
+}
+
+impl std::ops::Add for LogWeight {
+    type Output = LogWeight;
+
+    fn add(self, rhs: LogWeight) -> LogWeight {
+        LogWeight(self.0 + rhs.0)
+    }
+}
+
+impl std::iter::Sum for LogWeight {
+    fn sum<I: Iterator<Item = LogWeight>>(iter: I) -> LogWeight {
+        LogWeight(iter.map(|w| w.0).sum())
+    }
+}
+
+impl fmt::Display for LogWeight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_probabilities_are_accepted() {
+        for p in [0.0, 0.001, 0.5, 1.0] {
+            assert_eq!(Probability::new(p).unwrap().value(), p);
+        }
+    }
+
+    #[test]
+    fn invalid_probabilities_are_rejected() {
+        for p in [-0.1, 1.1, f64::NAN, f64::INFINITY] {
+            assert!(Probability::new(p).is_err(), "{p} should be rejected");
+        }
+    }
+
+    #[test]
+    fn log_weights_match_the_paper_table_1() {
+        // Table I of the paper: p(x1)=0.2 → 1.60944, p(x3)=0.001 → 6.90776.
+        let cases = [
+            (0.2, 1.60944),
+            (0.1, 2.30259),
+            (0.001, 6.90776),
+            (0.002, 6.21461),
+            (0.05, 2.99573),
+        ];
+        for (p, expected) in cases {
+            let w = Probability::new(p).unwrap().log_weight().value();
+            assert!(
+                (w - expected).abs() < 1e-4,
+                "-ln({p}) = {w}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn reverse_transformation_round_trips() {
+        for p in [0.001, 0.02, 0.3, 0.9999, 1.0] {
+            let prob = Probability::new(p).unwrap();
+            let back = prob.log_weight().to_probability().value();
+            assert!((back - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_probability_has_infinite_weight() {
+        let w = Probability::ZERO.log_weight();
+        assert!(w.value().is_infinite());
+        assert_eq!(w.to_probability().value(), 0.0);
+    }
+
+    #[test]
+    fn weights_add_and_sum_as_products_of_probabilities() {
+        let a = Probability::new(0.2).unwrap();
+        let b = Probability::new(0.1).unwrap();
+        let sum = a.log_weight() + b.log_weight();
+        assert!((sum.to_probability().value() - 0.02).abs() < 1e-12);
+        let total: LogWeight = [a, b].iter().map(|p| p.log_weight()).sum();
+        assert!((total.to_probability().value() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complement_is_one_minus_p() {
+        let p = Probability::new(0.25).unwrap();
+        assert!((p.complement().value() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip_and_validation() {
+        let p: Probability = serde_json::from_str("0.25").unwrap();
+        assert_eq!(p.value(), 0.25);
+        assert!(serde_json::from_str::<Probability>("1.5").is_err());
+        assert_eq!(serde_json::to_string(&p).unwrap(), "0.25");
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_log_weight_is_rejected() {
+        let _ = LogWeight::new(-1.0);
+    }
+}

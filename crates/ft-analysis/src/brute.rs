@@ -1,0 +1,115 @@
+//! Exhaustive (brute force) cut set analysis.
+//!
+//! Exponential in the number of events; intended as a ground-truth oracle for
+//! tests and for very small trees. Every other algorithm in the workspace is
+//! property-tested against this module.
+
+use fault_tree::{CutSet, EventId, FaultTree};
+
+/// Maximum number of events accepted by the brute force routines.
+pub const MAX_EVENTS: usize = 24;
+
+/// Enumerates **all** minimal cut sets by scanning every subset of events.
+///
+/// # Panics
+///
+/// Panics if the tree has more than [`MAX_EVENTS`] events.
+pub fn all_minimal_cut_sets(tree: &FaultTree) -> Vec<CutSet> {
+    let n = tree.num_events();
+    assert!(
+        n <= MAX_EVENTS,
+        "brute force enumeration is limited to {MAX_EVENTS} events"
+    );
+    let mut cuts: Vec<CutSet> = Vec::new();
+    for mask in 0..(1u64 << n) {
+        let occurred: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+        if !tree.evaluate(&occurred) {
+            continue;
+        }
+        let cut: CutSet = (0..n)
+            .filter(|&i| occurred[i])
+            .map(EventId::from_index)
+            .collect();
+        if tree.is_minimal_cut_set(&cut) {
+            cuts.push(cut);
+        }
+    }
+    cuts
+}
+
+/// The maximum probability minimal cut set by exhaustive enumeration, or
+/// `None` if the tree has no cut set.
+///
+/// # Panics
+///
+/// Panics if the tree has more than [`MAX_EVENTS`] events.
+pub fn maximum_probability_mcs(tree: &FaultTree) -> Option<(CutSet, f64)> {
+    all_minimal_cut_sets(tree)
+        .into_iter()
+        .map(|cut| {
+            let p = cut.probability(tree);
+            (cut, p)
+        })
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+}
+
+/// The exact top-event probability by summing over all event subsets
+/// (exponential; oracle only).
+///
+/// # Panics
+///
+/// Panics if the tree has more than [`MAX_EVENTS`] events.
+pub fn exact_top_event_probability(tree: &FaultTree) -> f64 {
+    let n = tree.num_events();
+    assert!(
+        n <= MAX_EVENTS,
+        "brute force probability is limited to {MAX_EVENTS} events"
+    );
+    let mut total = 0.0;
+    for mask in 0..(1u64 << n) {
+        let occurred: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+        if !tree.evaluate(&occurred) {
+            continue;
+        }
+        let mut weight = 1.0;
+        for (i, &happened) in occurred.iter().enumerate() {
+            let p = tree.event(EventId::from_index(i)).probability().value();
+            weight *= if happened { p } else { 1.0 - p };
+        }
+        total += weight;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fault_tree::examples::{fire_protection_system, pressure_tank_system};
+
+    #[test]
+    fn fps_brute_force_matches_the_paper() {
+        let tree = fire_protection_system();
+        let cuts = all_minimal_cut_sets(&tree);
+        assert_eq!(cuts.len(), 5);
+        let (best, probability) = maximum_probability_mcs(&tree).expect("has cuts");
+        assert_eq!(best.display_names(&tree), "{x1, x2}");
+        assert!((probability - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_probability_matches_hand_computation() {
+        let tree = fire_protection_system();
+        let p_trigger = 0.05 * (1.0 - 0.9 * 0.95);
+        let p_suppr = 1.0 - (1.0 - 0.001) * (1.0 - 0.002) * (1.0 - p_trigger);
+        let expected = 1.0 - (1.0 - 0.02) * (1.0 - p_suppr);
+        assert!((exact_top_event_probability(&tree) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pressure_tank_brute_force() {
+        let tree = pressure_tank_system();
+        assert_eq!(all_minimal_cut_sets(&tree).len(), 3);
+        let (_, probability) = maximum_probability_mcs(&tree).expect("has cuts");
+        assert!((probability - 1e-5).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,271 @@
+//! Common-cause failure (CCF) modelling with the beta-factor model.
+//!
+//! Minimal cut sets computed under the independence assumption can be badly
+//! optimistic when a group of components shares a susceptibility (same
+//! manufacturing batch, same power feed, same maintenance crew, same
+//! software). The *beta-factor* model is the standard first-order remedy:
+//! a fraction `β` of each group member's failure probability is attributed
+//! to a single shared common-cause event, and the remaining `1 − β` stays
+//! with the individual component.
+//!
+//! [`apply_beta_factor`] rewrites a fault tree accordingly: every member
+//! event `e` of the group is replaced by `OR(e_independent, ccf)` where
+//! `p(e_independent) = (1 − β)·p(e)` and the new shared event `ccf` has the
+//! probability `β · p̄` for the group's geometric-mean probability `p̄`.
+//! The transformed tree can then be fed to any analysis in the workspace —
+//! in particular, the MPMCS frequently becomes the common-cause event itself,
+//! which is precisely the insight the model is meant to surface.
+
+use fault_tree::{EventId, FaultTree, FaultTreeError, Gate, GateKind, NodeId, Probability};
+
+/// Description of one common-cause group.
+#[derive(Clone, Debug)]
+pub struct CcfGroup {
+    /// Name given to the shared common-cause basic event.
+    pub name: String,
+    /// The member events (must contain at least two distinct events).
+    pub members: Vec<EventId>,
+    /// The beta factor, in `[0, 1]`: the fraction of each member's failure
+    /// probability attributed to the common cause.
+    pub beta: f64,
+}
+
+/// Errors reported by the CCF transformation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CcfError {
+    /// The group has fewer than two distinct members.
+    GroupTooSmall,
+    /// The beta factor is outside `[0, 1]`.
+    InvalidBeta(f64),
+    /// A member event id does not exist in the tree.
+    UnknownMember(EventId),
+    /// The requested common-cause event name is already used in the tree.
+    NameClash(String),
+    /// The rewritten tree failed validation (e.g. a name clash with the
+    /// requested common-cause event name).
+    Rebuild(FaultTreeError),
+}
+
+impl std::fmt::Display for CcfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CcfError::GroupTooSmall => write!(f, "a common-cause group needs at least two members"),
+            CcfError::InvalidBeta(beta) => write!(f, "beta factor {beta} is outside [0, 1]"),
+            CcfError::UnknownMember(event) => {
+                write!(f, "common-cause member event index {} not in tree", event.index())
+            }
+            CcfError::NameClash(name) => {
+                write!(f, "the tree already contains a node named {name:?}")
+            }
+            CcfError::Rebuild(err) => write!(f, "rebuilding the tree failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for CcfError {}
+
+impl From<FaultTreeError> for CcfError {
+    fn from(err: FaultTreeError) -> Self {
+        CcfError::Rebuild(err)
+    }
+}
+
+/// Applies the beta-factor model for one common-cause group and returns the
+/// rewritten tree.
+///
+/// The returned tree contains one additional basic event (the common cause)
+/// and one additional OR gate per group member; all original event ids keep
+/// their indices, so cut sets over the original events remain interpretable
+/// (the common-cause event is the one whose name equals `group.name`).
+///
+/// # Errors
+///
+/// Returns a [`CcfError`] if the group is malformed or the rewritten tree
+/// fails validation.
+pub fn apply_beta_factor(tree: &FaultTree, group: &CcfGroup) -> Result<FaultTree, CcfError> {
+    let mut members = group.members.clone();
+    members.sort_by_key(|e| e.index());
+    members.dedup();
+    if members.len() < 2 {
+        return Err(CcfError::GroupTooSmall);
+    }
+    if !(0.0..=1.0).contains(&group.beta) {
+        return Err(CcfError::InvalidBeta(group.beta));
+    }
+    for &member in &members {
+        if member.index() >= tree.num_events() {
+            return Err(CcfError::UnknownMember(member));
+        }
+    }
+    if tree.event_by_name(&group.name).is_some() || tree.gate_by_name(&group.name).is_some() {
+        return Err(CcfError::NameClash(group.name.clone()));
+    }
+
+    // Scale the members' probabilities and append the shared event.
+    let mut events = tree.events().to_vec();
+    let geometric_mean = {
+        let log_sum: f64 = members
+            .iter()
+            .map(|&m| tree.event(m).probability().value().max(f64::MIN_POSITIVE).ln())
+            .sum();
+        (log_sum / members.len() as f64).exp()
+    };
+    for &member in &members {
+        let p = events[member.index()].probability().value();
+        events[member.index()]
+            .set_probability(Probability::new((1.0 - group.beta) * p).expect("(1-β)p ∈ [0,1]"));
+    }
+    let ccf_probability = (group.beta * geometric_mean).clamp(0.0, 1.0);
+    let ccf_event = EventId::from_index(events.len());
+    events.push(fault_tree::BasicEvent::with_description(
+        group.name.clone(),
+        Probability::new(ccf_probability).expect("β·p̄ ∈ [0,1]"),
+        format!(
+            "beta-factor common cause (β = {}, {} members)",
+            group.beta,
+            members.len()
+        ),
+    ));
+
+    // Insert an OR(member, ccf) gate for every member and redirect all former
+    // references to the member towards that gate.
+    let mut gates = tree.gates().to_vec();
+    let mut replacement = std::collections::HashMap::new();
+    for &member in &members {
+        let gate_id = fault_tree::GateId::from_index(gates.len());
+        gates.push(Gate::new(
+            format!("{} (with {})", tree.event(member).name(), group.name),
+            GateKind::Or,
+            vec![NodeId::Event(member), NodeId::Event(ccf_event)],
+        ));
+        replacement.insert(NodeId::Event(member), NodeId::Gate(gate_id));
+    }
+    let original_gates = tree.num_gates();
+    for gate in gates.iter_mut().take(original_gates) {
+        let rewired: Vec<NodeId> = gate
+            .inputs()
+            .iter()
+            .map(|input| replacement.get(input).copied().unwrap_or(*input))
+            .collect();
+        *gate = Gate::new(gate.name(), gate.kind(), rewired);
+    }
+    let top = match tree.top() {
+        top @ NodeId::Event(_) => replacement.get(&top).copied().unwrap_or(top),
+        top => top,
+    };
+
+    Ok(FaultTree::from_parts(
+        format!("{} (beta-factor CCF)", tree.name()),
+        events,
+        gates,
+        top,
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use crate::mocus::Mocus;
+    use fault_tree::examples::fire_protection_system;
+
+    fn sensor_group(tree: &FaultTree, beta: f64) -> CcfGroup {
+        CcfGroup {
+            name: "sensors common cause".to_string(),
+            members: vec![
+                tree.event_by_name("x1").unwrap(),
+                tree.event_by_name("x2").unwrap(),
+            ],
+            beta,
+        }
+    }
+
+    #[test]
+    fn beta_factor_increases_the_top_event_probability() {
+        let tree = fire_protection_system();
+        let before = brute::exact_top_event_probability(&tree);
+        let with_ccf = apply_beta_factor(&tree, &sensor_group(&tree, 0.1)).unwrap();
+        assert!(with_ccf.validate().is_ok());
+        let after = brute::exact_top_event_probability(&with_ccf);
+        // The AND of the two sensors is now dominated by the shared cause, so
+        // the detection branch (and hence the top) gets more likely even
+        // though each individual probability went down.
+        assert!(after > before, "after {after} vs before {before}");
+    }
+
+    #[test]
+    fn zero_beta_keeps_the_distribution_unchanged() {
+        let tree = fire_protection_system();
+        let rewritten = apply_beta_factor(&tree, &sensor_group(&tree, 0.0)).unwrap();
+        let before = brute::exact_top_event_probability(&tree);
+        let after = brute::exact_top_event_probability(&rewritten);
+        assert!((before - after).abs() < 1e-12);
+    }
+
+    #[test]
+    fn the_common_cause_becomes_a_single_event_cut_set() {
+        let tree = fire_protection_system();
+        let rewritten = apply_beta_factor(&tree, &sensor_group(&tree, 0.2)).unwrap();
+        let ccf = rewritten.event_by_name("sensors common cause").unwrap();
+        let cuts = Mocus::new(&rewritten).minimal_cut_sets().unwrap();
+        assert!(cuts
+            .iter()
+            .any(|c| c.len() == 1 && c.contains(ccf)));
+        // The individual-sensor cut set {x1, x2} still exists.
+        let x1 = rewritten.event_by_name("x1").unwrap();
+        let x2 = rewritten.event_by_name("x2").unwrap();
+        assert!(cuts.iter().any(|c| c.contains(x1) && c.contains(x2)));
+    }
+
+    #[test]
+    fn member_probabilities_are_scaled_by_one_minus_beta() {
+        let tree = fire_protection_system();
+        let rewritten = apply_beta_factor(&tree, &sensor_group(&tree, 0.25)).unwrap();
+        let x1 = rewritten.event_by_name("x1").unwrap();
+        assert!((rewritten.event(x1).probability().value() - 0.15).abs() < 1e-12);
+        let ccf = rewritten.event_by_name("sensors common cause").unwrap();
+        let geometric_mean = (0.2f64 * 0.1).sqrt();
+        assert!(
+            (rewritten.event(ccf).probability().value() - 0.25 * geometric_mean).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn malformed_groups_are_rejected() {
+        let tree = fire_protection_system();
+        let x1 = tree.event_by_name("x1").unwrap();
+        let small = CcfGroup {
+            name: "ccf".into(),
+            members: vec![x1, x1],
+            beta: 0.1,
+        };
+        assert!(matches!(
+            apply_beta_factor(&tree, &small),
+            Err(CcfError::GroupTooSmall)
+        ));
+        let bad_beta = CcfGroup {
+            beta: 1.5,
+            ..sensor_group(&tree, 0.1)
+        };
+        assert!(matches!(
+            apply_beta_factor(&tree, &bad_beta),
+            Err(CcfError::InvalidBeta(_))
+        ));
+        let unknown = CcfGroup {
+            members: vec![x1, EventId::from_index(99)],
+            ..sensor_group(&tree, 0.1)
+        };
+        assert!(matches!(
+            apply_beta_factor(&tree, &unknown),
+            Err(CcfError::UnknownMember(_))
+        ));
+        let clash = CcfGroup {
+            name: "x3".into(),
+            ..sensor_group(&tree, 0.1)
+        };
+        assert!(matches!(
+            apply_beta_factor(&tree, &clash),
+            Err(CcfError::NameClash(_))
+        ));
+    }
+}

@@ -1,0 +1,44 @@
+//! Classical fault tree analysis algorithms.
+//!
+//! This crate collects the non-MaxSAT baselines and companions used by the
+//! MPMCS4FTA-rs workspace:
+//!
+//! * [`mocus`] — the classic MOCUS top-down minimal cut set algorithm,
+//! * [`brute`] — exhaustive enumeration, used as a ground-truth oracle in
+//!   tests and for tiny trees,
+//! * [`quant`] — MCS-based top-event probability bounds (rare-event
+//!   approximation, min-cut upper bound, inclusion–exclusion),
+//! * [`importance`] — Birnbaum, Fussell–Vesely, RAW, RRW, criticality and
+//!   structural importance measures,
+//! * [`pathset`] — minimal path sets (the dual of cut sets) and the
+//!   maximum-reliability minimal path set,
+//! * [`modules`] — independent-module detection and modular quantification,
+//! * [`montecarlo`] — sampling-based top-event estimation and uncertainty
+//!   propagation on the event probabilities,
+//! * [`sensitivity`] — tornado (what-if) analysis and MPMCS stability
+//!   margins,
+//! * [`ccf`] — beta-factor common-cause failure modelling.
+//!
+//! # Example
+//!
+//! ```rust
+//! use fault_tree::examples::fire_protection_system;
+//! use ft_analysis::mocus::Mocus;
+//!
+//! let tree = fire_protection_system();
+//! let cut_sets = Mocus::new(&tree).minimal_cut_sets().unwrap();
+//! assert_eq!(cut_sets.len(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod ccf;
+pub mod importance;
+pub mod mocus;
+pub mod modules;
+pub mod montecarlo;
+pub mod pathset;
+pub mod quant;
+pub mod sensitivity;

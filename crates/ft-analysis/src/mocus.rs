@@ -1,0 +1,261 @@
+//! MOCUS: the classic top-down minimal cut set algorithm (Fussell & Vesely).
+//!
+//! Starting from the singleton family `{{top}}`, every gate occurring in a
+//! set is repeatedly expanded: an AND gate replaces itself by all of its
+//! inputs inside the same set, an OR gate splits the set into one copy per
+//! input, and a `k/n` voting gate splits into one copy per `k`-subset of its
+//! inputs. When no gates remain the family contains only basic-event sets;
+//! an absorption pass removes non-minimal ones.
+//!
+//! MOCUS enumerates *every* minimal cut set, so its cost grows with the
+//! number of cut sets — which is exactly the behaviour the MaxSAT approach
+//! avoids. A configurable budget keeps the baseline from exploding on
+//! adversarial trees.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use fault_tree::{CutSet, FaultTree, GateKind, NodeId};
+
+/// Errors produced by the MOCUS expansion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MocusError {
+    /// The number of intermediate sets exceeded the configured budget.
+    BudgetExceeded {
+        /// The configured budget.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for MocusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MocusError::BudgetExceeded { budget } => {
+                write!(f, "MOCUS expansion exceeded the budget of {budget} sets")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MocusError {}
+
+/// The MOCUS minimal cut set generator.
+#[derive(Clone, Debug)]
+pub struct Mocus<'a> {
+    tree: &'a FaultTree,
+    max_sets: usize,
+}
+
+impl<'a> Mocus<'a> {
+    /// Default budget on the number of intermediate sets.
+    pub const DEFAULT_MAX_SETS: usize = 1_000_000;
+
+    /// Creates a MOCUS run over `tree` with the default budget.
+    pub fn new(tree: &'a FaultTree) -> Self {
+        Mocus {
+            tree,
+            max_sets: Self::DEFAULT_MAX_SETS,
+        }
+    }
+
+    /// Overrides the intermediate-set budget.
+    pub fn with_budget(tree: &'a FaultTree, max_sets: usize) -> Self {
+        Mocus { tree, max_sets }
+    }
+
+    /// Computes all minimal cut sets.
+    ///
+    /// # Errors
+    ///
+    /// [`MocusError::BudgetExceeded`] when the expansion grows beyond the
+    /// configured budget.
+    pub fn minimal_cut_sets(&self) -> Result<Vec<CutSet>, MocusError> {
+        // Each working set is a sorted set of nodes (gates still to expand,
+        // events already resolved).
+        let mut families: Vec<BTreeSet<NodeId>> = vec![BTreeSet::from([self.tree.top()])];
+        loop {
+            if families.len() > self.max_sets {
+                return Err(MocusError::BudgetExceeded {
+                    budget: self.max_sets,
+                });
+            }
+            // Find a set still containing a gate.
+            let position = families.iter().position(|set| {
+                set.iter().any(|node| matches!(node, NodeId::Gate(_)))
+            });
+            let Some(index) = position else { break };
+            let set = families.swap_remove(index);
+            let gate_node = *set
+                .iter()
+                .find(|node| matches!(node, NodeId::Gate(_)))
+                .expect("set contains a gate");
+            let NodeId::Gate(gate_id) = gate_node else {
+                unreachable!("filtered for gates")
+            };
+            let gate = self.tree.gate(gate_id);
+            let mut base = set.clone();
+            base.remove(&gate_node);
+            match gate.kind() {
+                GateKind::And => {
+                    let mut expanded = base;
+                    expanded.extend(gate.inputs().iter().copied());
+                    families.push(expanded);
+                }
+                GateKind::Or => {
+                    for &input in gate.inputs() {
+                        let mut expanded = base.clone();
+                        expanded.insert(input);
+                        families.push(expanded);
+                        if families.len() > self.max_sets {
+                            return Err(MocusError::BudgetExceeded {
+                                budget: self.max_sets,
+                            });
+                        }
+                    }
+                }
+                GateKind::Vot { k } => {
+                    for combination in combinations(gate.inputs(), k) {
+                        let mut expanded = base.clone();
+                        expanded.extend(combination);
+                        families.push(expanded);
+                        if families.len() > self.max_sets {
+                            return Err(MocusError::BudgetExceeded {
+                                budget: self.max_sets,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // All sets now contain only events; convert and minimise.
+        let mut candidates: Vec<CutSet> = families
+            .into_iter()
+            .map(|set| {
+                set.into_iter()
+                    .map(|node| match node {
+                        NodeId::Event(e) => e,
+                        NodeId::Gate(_) => unreachable!("all gates were expanded"),
+                    })
+                    .collect::<CutSet>()
+            })
+            .collect();
+        candidates.sort_by_key(CutSet::len);
+        let mut minimal: Vec<CutSet> = Vec::new();
+        for candidate in candidates {
+            if !minimal.iter().any(|kept| kept.is_subset(&candidate)) {
+                minimal.push(candidate);
+            }
+        }
+        Ok(minimal)
+    }
+
+    /// The MOCUS baseline for the MPMCS problem: enumerate everything, keep
+    /// the most probable minimal cut set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MocusError::BudgetExceeded`]; returns `Ok(None)` when the
+    /// tree has no cut set.
+    pub fn maximum_probability_mcs(&self) -> Result<Option<(CutSet, f64)>, MocusError> {
+        let all = self.minimal_cut_sets()?;
+        Ok(all
+            .into_iter()
+            .map(|cut| {
+                let p = cut.probability(self.tree);
+                (cut, p)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)))
+    }
+}
+
+/// All `k`-element combinations of `items` (in input order).
+fn combinations<T: Copy>(items: &[T], k: usize) -> Vec<Vec<T>> {
+    fn recurse<T: Copy>(items: &[T], k: usize, start: usize, current: &mut Vec<T>, out: &mut Vec<Vec<T>>) {
+        if current.len() == k {
+            out.push(current.clone());
+            return;
+        }
+        let needed = k - current.len();
+        for i in start..=items.len().saturating_sub(needed) {
+            current.push(items[i]);
+            recurse(items, k, i + 1, current, out);
+            current.pop();
+        }
+    }
+    let mut out = Vec::new();
+    if k <= items.len() {
+        recurse(items, k, 0, &mut Vec::new(), &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fault_tree::examples::{
+        fire_protection_system, pressure_tank_system, redundant_sensor_network,
+    };
+
+    #[test]
+    fn combinations_enumerate_k_subsets() {
+        let items = [1, 2, 3, 4];
+        assert_eq!(combinations(&items, 0), vec![Vec::<i32>::new()]);
+        assert_eq!(combinations(&items, 1).len(), 4);
+        assert_eq!(combinations(&items, 2).len(), 6);
+        assert_eq!(combinations(&items, 4).len(), 1);
+        assert_eq!(combinations(&items, 5).len(), 0);
+    }
+
+    #[test]
+    fn fps_cut_sets_match_the_paper() {
+        let tree = fire_protection_system();
+        let mut names: Vec<String> = Mocus::new(&tree)
+            .minimal_cut_sets()
+            .expect("small tree")
+            .iter()
+            .map(|c| c.display_names(&tree))
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["{x1, x2}", "{x3}", "{x4}", "{x5, x6}", "{x5, x7}"]);
+    }
+
+    #[test]
+    fn mocus_mpmcs_matches_the_paper_answer() {
+        let tree = fire_protection_system();
+        let (cut, probability) = Mocus::new(&tree)
+            .maximum_probability_mcs()
+            .expect("small tree")
+            .expect("has cut sets");
+        assert_eq!(cut.display_names(&tree), "{x1, x2}");
+        assert!((probability - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voting_gates_expand_into_combinations() {
+        let tree = redundant_sensor_network();
+        let cut_sets = Mocus::new(&tree).minimal_cut_sets().expect("small tree");
+        assert_eq!(cut_sets.len(), 5);
+        for cut in &cut_sets {
+            assert!(tree.is_minimal_cut_set(cut));
+        }
+    }
+
+    #[test]
+    fn pressure_tank_cut_sets_are_minimal_and_complete() {
+        let tree = pressure_tank_system();
+        let cut_sets = Mocus::new(&tree).minimal_cut_sets().expect("small tree");
+        assert_eq!(cut_sets.len(), 3);
+        for cut in &cut_sets {
+            assert!(tree.is_minimal_cut_set(cut));
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let tree = fire_protection_system();
+        assert!(matches!(
+            Mocus::with_budget(&tree, 2).minimal_cut_sets(),
+            Err(MocusError::BudgetExceeded { .. })
+        ));
+    }
+}

@@ -1,0 +1,339 @@
+//! Module (independent subtree) detection and modular quantification.
+//!
+//! A gate is a *module* when no node below it is also reachable from outside
+//! its subtree: the subtree interacts with the rest of the tree only through
+//! the gate's output. Modules are the backbone of classical FTA tooling —
+//! they let a large tree be quantified exactly by composing exact results for
+//! independent pieces, and they bound where shared (repeated) events can
+//! invalidate the simple bottom-up probability propagation.
+//!
+//! This module provides:
+//!
+//! * [`modules`] — the set of gates that are modules,
+//! * [`gate_event_support`] — the basic events below each gate,
+//! * [`independent_top_probability`] — the exact top-event probability by
+//!   bottom-up propagation, available when every gate's inputs have pairwise
+//!   disjoint event supports (`None` otherwise),
+//! * [`ModularReport`] — a summary used by the CLI and the examples.
+
+use std::collections::HashSet;
+
+use fault_tree::{EventId, FaultTree, GateId, GateKind, NodeId};
+
+/// Returns, for each gate (indexed by `GateId::index`), the set of basic
+/// events appearing anywhere below it.
+pub fn gate_event_support(tree: &FaultTree) -> Vec<HashSet<EventId>> {
+    let mut supports: Vec<Option<HashSet<EventId>>> = vec![None; tree.num_gates()];
+    for id in tree.gate_ids() {
+        support_of(tree, id, &mut supports);
+    }
+    supports
+        .into_iter()
+        .map(|s| s.expect("every gate has been visited"))
+        .collect()
+}
+
+fn support_of(
+    tree: &FaultTree,
+    gate: GateId,
+    supports: &mut Vec<Option<HashSet<EventId>>>,
+) -> HashSet<EventId> {
+    if let Some(existing) = &supports[gate.index()] {
+        return existing.clone();
+    }
+    let mut support = HashSet::new();
+    for &input in tree.gate(gate).inputs() {
+        match input {
+            NodeId::Event(e) => {
+                support.insert(e);
+            }
+            NodeId::Gate(g) => {
+                support.extend(support_of(tree, g, supports));
+            }
+        }
+    }
+    supports[gate.index()] = Some(support.clone());
+    support
+}
+
+/// Returns the gates that are independent modules of the tree.
+///
+/// A gate `g` is a module when every node in its subtree (other than `g`
+/// itself) has all of its parents inside the subtree — equivalently, nothing
+/// below `g` is shared with the rest of the tree. The top gate is always a
+/// module.
+pub fn modules(tree: &FaultTree) -> Vec<GateId> {
+    // Parent lists over all nodes.
+    let mut event_parents: Vec<Vec<GateId>> = vec![Vec::new(); tree.num_events()];
+    let mut gate_parents: Vec<Vec<GateId>> = vec![Vec::new(); tree.num_gates()];
+    for id in tree.gate_ids() {
+        for &input in tree.gate(id).inputs() {
+            match input {
+                NodeId::Event(e) => event_parents[e.index()].push(id),
+                NodeId::Gate(g) => gate_parents[g.index()].push(id),
+            }
+        }
+    }
+    let mut result = Vec::new();
+    for id in tree.gate_ids() {
+        if is_module(tree, id, &event_parents, &gate_parents) {
+            result.push(id);
+        }
+    }
+    result
+}
+
+fn is_module(
+    tree: &FaultTree,
+    gate: GateId,
+    event_parents: &[Vec<GateId>],
+    gate_parents: &[Vec<GateId>],
+) -> bool {
+    // Collect the subtree (gates and events) below `gate`, inclusive.
+    let mut sub_gates: HashSet<GateId> = HashSet::new();
+    let mut sub_events: HashSet<EventId> = HashSet::new();
+    let mut stack = vec![gate];
+    while let Some(g) = stack.pop() {
+        if !sub_gates.insert(g) {
+            continue;
+        }
+        for &input in tree.gate(g).inputs() {
+            match input {
+                NodeId::Event(e) => {
+                    sub_events.insert(e);
+                }
+                NodeId::Gate(child) => stack.push(child),
+            }
+        }
+    }
+    // Every internal node must have all parents inside the subtree.
+    for &g in &sub_gates {
+        if g == gate {
+            continue;
+        }
+        if gate_parents[g.index()].iter().any(|p| !sub_gates.contains(p)) {
+            return false;
+        }
+    }
+    for &e in &sub_events {
+        if event_parents[e.index()].iter().any(|p| !sub_gates.contains(p)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Exact top-event probability by bottom-up propagation, when that is sound.
+///
+/// Propagation computes each gate's probability from its inputs assuming
+/// independence (`AND` = product, `OR` = 1 − Π(1 − p), `k/n` = the
+/// Poisson-binomial tail). That is exact precisely when every gate's input
+/// subtrees have pairwise disjoint basic-event supports; the function returns
+/// `None` when any gate shares an event between two of its input branches, in
+/// which case a BDD or inclusion–exclusion must be used instead.
+pub fn independent_top_probability(tree: &FaultTree) -> Option<f64> {
+    let supports = gate_event_support(tree);
+    // Check pairwise disjointness of each gate's input supports.
+    for id in tree.gate_ids() {
+        let gate = tree.gate(id);
+        let mut seen: HashSet<EventId> = HashSet::new();
+        for &input in gate.inputs() {
+            let branch: HashSet<EventId> = match input {
+                NodeId::Event(e) => [e].into_iter().collect(),
+                NodeId::Gate(g) => supports[g.index()].clone(),
+            };
+            for e in branch {
+                if !seen.insert(e) {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(propagated_probability(tree, tree.top()))
+}
+
+fn propagated_probability(tree: &FaultTree, node: NodeId) -> f64 {
+    match node {
+        NodeId::Event(e) => tree.event(e).probability().value(),
+        NodeId::Gate(g) => {
+            let gate = tree.gate(g);
+            let inputs: Vec<f64> = gate
+                .inputs()
+                .iter()
+                .map(|&input| propagated_probability(tree, input))
+                .collect();
+            match gate.kind() {
+                GateKind::And => inputs.iter().product(),
+                GateKind::Or => 1.0 - inputs.iter().map(|p| 1.0 - p).product::<f64>(),
+                GateKind::Vot { k } => at_least_k_probability(k, &inputs),
+            }
+        }
+    }
+}
+
+/// Probability that at least `k` of the independent inputs occur
+/// (Poisson-binomial tail, computed by dynamic programming).
+pub fn at_least_k_probability(k: usize, probabilities: &[f64]) -> f64 {
+    let n = probabilities.len();
+    if k == 0 {
+        return 1.0;
+    }
+    if k > n {
+        return 0.0;
+    }
+    // distribution[j] = probability that exactly j of the inputs seen so far occur.
+    let mut distribution = vec![0.0; n + 1];
+    distribution[0] = 1.0;
+    for (i, &p) in probabilities.iter().enumerate() {
+        for j in (0..=i + 1).rev() {
+            let with = if j > 0 { distribution[j - 1] * p } else { 0.0 };
+            let without = distribution[j] * (1.0 - p);
+            distribution[j] = with + without;
+        }
+    }
+    distribution[k..].iter().sum()
+}
+
+/// A human-readable summary of the modular structure of a tree.
+#[derive(Clone, Debug)]
+pub struct ModularReport {
+    /// Gates that are independent modules.
+    pub modules: Vec<GateId>,
+    /// Number of basic events that appear under more than one parent gate
+    /// (repeated events are what breaks simple bottom-up quantification).
+    pub repeated_events: usize,
+    /// Exact top-event probability by propagation, when available.
+    pub independent_probability: Option<f64>,
+}
+
+impl ModularReport {
+    /// Analyses the tree.
+    pub fn of(tree: &FaultTree) -> Self {
+        let mut parent_count = vec![0usize; tree.num_events()];
+        for id in tree.gate_ids() {
+            for &input in tree.gate(id).inputs() {
+                if let NodeId::Event(e) = input {
+                    parent_count[e.index()] += 1;
+                }
+            }
+        }
+        ModularReport {
+            modules: modules(tree),
+            repeated_events: parent_count.iter().filter(|&&c| c > 1).count(),
+            independent_probability: independent_top_probability(tree),
+        }
+    }
+
+    /// Renders the report as text (used by the CLI).
+    pub fn render(&self, tree: &FaultTree) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "modules: {} of {} gates\n",
+            self.modules.len(),
+            tree.num_gates()
+        ));
+        for &gate in &self.modules {
+            out.push_str(&format!("  - {}\n", tree.gate(gate).name()));
+        }
+        out.push_str(&format!("repeated events: {}\n", self.repeated_events));
+        match self.independent_probability {
+            Some(p) => out.push_str(&format!("exact top probability (modular): {p:.6e}\n")),
+            None => out.push_str("exact modular quantification unavailable (shared events)\n"),
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use fault_tree::examples::{
+        aircraft_hydraulic_system, fire_protection_system, railway_level_crossing,
+        redundant_sensor_network,
+    };
+    use fault_tree::FaultTreeBuilder;
+
+    #[test]
+    fn every_gate_of_a_proper_tree_is_a_module() {
+        // The FPS example shares no events between branches, so every gate is
+        // a module and bottom-up propagation is exact.
+        let tree = fire_protection_system();
+        let found = modules(&tree);
+        assert_eq!(found.len(), tree.num_gates());
+        let propagated = independent_top_probability(&tree).expect("no shared events");
+        let exact = brute::exact_top_event_probability(&tree);
+        assert!((propagated - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_subtrees_are_not_modules_of_their_parents() {
+        let tree = railway_level_crossing();
+        let found = modules(&tree);
+        // The "no lowering command" gate is shared by the barrier and the
+        // signal branches, so those two parents are not modules; the shared
+        // gate itself still is one (its own subtree is private).
+        let shared = tree.gate_by_name("no lowering command issued").unwrap();
+        let barrier = tree.gate_by_name("barrier stays open").unwrap();
+        let signals = tree.gate_by_name("road users not warned").unwrap();
+        assert!(found.contains(&shared));
+        assert!(!found.contains(&barrier));
+        assert!(!found.contains(&signals));
+        // The top gate is always a module.
+        let top = match tree.top() {
+            fault_tree::NodeId::Gate(g) => g,
+            _ => unreachable!(),
+        };
+        assert!(found.contains(&top));
+        // Bottom-up propagation is not sound here.
+        assert!(independent_top_probability(&tree).is_none());
+    }
+
+    #[test]
+    fn shared_events_break_independent_propagation() {
+        let tree = aircraft_hydraulic_system();
+        // The reservoir event feeds all three circuits.
+        assert!(independent_top_probability(&tree).is_none());
+        let report = ModularReport::of(&tree);
+        assert!(report.repeated_events >= 1);
+        assert!(report.render(&tree).contains("shared events"));
+    }
+
+    #[test]
+    fn voting_gate_propagation_matches_brute_force() {
+        let tree = redundant_sensor_network();
+        let propagated = independent_top_probability(&tree).expect("no shared events");
+        let exact = brute::exact_top_event_probability(&tree);
+        assert!((propagated - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_binomial_tail_edge_cases() {
+        assert_eq!(at_least_k_probability(0, &[0.3, 0.4]), 1.0);
+        assert_eq!(at_least_k_probability(3, &[0.3, 0.4]), 0.0);
+        // Exactly AND / OR at the extremes.
+        let ps = [0.2, 0.5, 0.7];
+        assert!((at_least_k_probability(3, &ps) - 0.2 * 0.5 * 0.7).abs() < 1e-12);
+        let or = 1.0 - 0.8 * 0.5 * 0.3;
+        assert!((at_least_k_probability(1, &ps) - or).abs() < 1e-12);
+        // 2-out-of-3 with equal probabilities: 3p²(1−p) + p³.
+        let p: f64 = 0.3;
+        let expected = 3.0 * p * p * (1.0 - p) + p.powi(3);
+        assert!((at_least_k_probability(2, &[p, p, p]) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn event_supports_are_computed_per_gate() {
+        let mut b = FaultTreeBuilder::new("support");
+        let a = b.basic_event("a", 0.1).unwrap();
+        let c = b.basic_event("c", 0.2).unwrap();
+        let d = b.basic_event("d", 0.3).unwrap();
+        let inner = b.and_gate("inner", [a.into(), c.into()]).unwrap();
+        let top = b.or_gate("top", [inner.into(), d.into()]).unwrap();
+        let tree = b.build(top.into()).unwrap();
+        let supports = gate_event_support(&tree);
+        assert_eq!(supports[inner.index()].len(), 2);
+        assert_eq!(supports[top.index()].len(), 3);
+        assert!(supports[top.index()].contains(&d));
+    }
+}

@@ -1,0 +1,346 @@
+//! Monte Carlo estimation and uncertainty propagation.
+//!
+//! Two complementary uses of sampling in classical FTA, both of which scale
+//! to trees far beyond the reach of the exact (exponential) oracle:
+//!
+//! * [`estimate_top_probability`] — estimate `P(top)` by sampling basic-event
+//!   occurrence vectors and evaluating the structure function, with a
+//!   standard error and a 95% confidence interval;
+//! * [`propagate_uncertainty`] — treat the basic-event probabilities
+//!   themselves as uncertain (a multiplicative *error factor*, the usual
+//!   practice in probabilistic risk assessment), sample probability vectors,
+//!   and report percentiles of the induced top-event probability as well as
+//!   how often the identity of the MPMCS changes.
+
+use fault_tree::{CutSet, FaultTree, Probability};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration shared by the Monte Carlo routines.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MonteCarloConfig {
+    /// Number of samples to draw.
+    pub samples: usize,
+    /// Seed for the deterministic random number generator.
+    pub seed: u64,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig {
+            samples: 100_000,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// A Monte Carlo estimate with its sampling uncertainty.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MonteCarloEstimate {
+    /// Point estimate (sample mean).
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Lower end of the 95% confidence interval (clamped to `[0, 1]`).
+    pub ci95_low: f64,
+    /// Upper end of the 95% confidence interval (clamped to `[0, 1]`).
+    pub ci95_high: f64,
+    /// Number of samples used.
+    pub samples: usize,
+}
+
+/// Estimates the top-event probability by direct sampling of the basic
+/// events.
+///
+/// Each sample draws an occurrence vector (event `i` occurs with probability
+/// `p_i`, independently) and evaluates the structure function; the estimate
+/// is the fraction of samples in which the top event occurred.
+pub fn estimate_top_probability(tree: &FaultTree, config: &MonteCarloConfig) -> MonteCarloEstimate {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let probabilities: Vec<f64> = tree
+        .events()
+        .iter()
+        .map(|e| e.probability().value())
+        .collect();
+    let samples = config.samples.max(1);
+    let mut hits = 0usize;
+    let mut occurred = vec![false; probabilities.len()];
+    for _ in 0..samples {
+        for (slot, &p) in occurred.iter_mut().zip(&probabilities) {
+            *slot = rng.gen::<f64>() < p;
+        }
+        if tree.evaluate(&occurred) {
+            hits += 1;
+        }
+    }
+    let mean = hits as f64 / samples as f64;
+    // Binomial standard error.
+    let std_error = (mean * (1.0 - mean) / samples as f64).sqrt();
+    MonteCarloEstimate {
+        mean,
+        std_error,
+        ci95_low: (mean - 1.96 * std_error).max(0.0),
+        ci95_high: (mean + 1.96 * std_error).min(1.0),
+        samples,
+    }
+}
+
+/// How the uncertainty on each basic-event probability is modelled.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum UncertaintyModel {
+    /// Log-uniform between `p / error_factor` and `p · error_factor`
+    /// (clamped to `[0, 1]`), the standard "error factor" idiom of
+    /// probabilistic risk assessment.
+    ErrorFactor(f64),
+    /// Uniform on `[p · (1 − spread), p · (1 + spread)]`, clamped to `[0, 1]`.
+    RelativeSpread(f64),
+}
+
+/// Summary statistics of an uncertainty-propagation run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UncertaintyReport {
+    /// Mean of the sampled top-event probabilities.
+    pub mean: f64,
+    /// 5th percentile of the sampled top-event probabilities.
+    pub p05: f64,
+    /// Median of the sampled top-event probabilities.
+    pub p50: f64,
+    /// 95th percentile of the sampled top-event probabilities.
+    pub p95: f64,
+    /// Fraction of samples in which the maximum-probability MCS differs from
+    /// the nominal one (how robust the MPMCS identity is to data uncertainty).
+    pub mpmcs_switch_rate: f64,
+    /// Number of probability vectors sampled.
+    pub samples: usize,
+}
+
+/// Propagates uncertainty on the basic-event probabilities to the top event
+/// and to the MPMCS choice.
+///
+/// The top-event probability for each sampled probability vector is computed
+/// from the provided minimal cut sets with the min-cut upper bound (the
+/// standard MCS-based quantification), so the routine needs the cut sets but
+/// never re-runs an exact analysis per sample. The nominal MPMCS is the cut
+/// set with the highest probability under the tree's nominal probabilities.
+///
+/// # Panics
+///
+/// Panics if `cut_sets` is empty.
+pub fn propagate_uncertainty(
+    tree: &FaultTree,
+    cut_sets: &[CutSet],
+    model: UncertaintyModel,
+    config: &MonteCarloConfig,
+) -> UncertaintyReport {
+    assert!(
+        !cut_sets.is_empty(),
+        "uncertainty propagation needs at least one minimal cut set"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let nominal: Vec<f64> = tree
+        .events()
+        .iter()
+        .map(|e| e.probability().value())
+        .collect();
+    let nominal_mpmcs = index_of_best(cut_sets, &nominal);
+    let samples = config.samples.max(1);
+    let mut tops = Vec::with_capacity(samples);
+    let mut switches = 0usize;
+    let mut perturbed = vec![0.0; nominal.len()];
+    for _ in 0..samples {
+        for (slot, &p) in perturbed.iter_mut().zip(&nominal) {
+            *slot = sample_probability(p, model, &mut rng);
+        }
+        tops.push(mcub(cut_sets, &perturbed));
+        if index_of_best(cut_sets, &perturbed) != nominal_mpmcs {
+            switches += 1;
+        }
+    }
+    tops.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mean = tops.iter().sum::<f64>() / samples as f64;
+    UncertaintyReport {
+        mean,
+        p05: percentile(&tops, 0.05),
+        p50: percentile(&tops, 0.50),
+        p95: percentile(&tops, 0.95),
+        mpmcs_switch_rate: switches as f64 / samples as f64,
+        samples,
+    }
+}
+
+/// Samples one perturbed probability according to the uncertainty model.
+fn sample_probability(p: f64, model: UncertaintyModel, rng: &mut StdRng) -> f64 {
+    let value = match model {
+        UncertaintyModel::ErrorFactor(ef) => {
+            let ef = ef.max(1.0);
+            let low = (p / ef).max(f64::MIN_POSITIVE);
+            let high = (p * ef).min(1.0);
+            let u: f64 = rng.gen();
+            (low.ln() + u * (high.ln() - low.ln())).exp()
+        }
+        UncertaintyModel::RelativeSpread(spread) => {
+            let spread = spread.clamp(0.0, 1.0);
+            let u: f64 = rng.gen();
+            p * (1.0 - spread + 2.0 * spread * u)
+        }
+    };
+    value.clamp(0.0, 1.0)
+}
+
+fn cut_probability(cut: &CutSet, probabilities: &[f64]) -> f64 {
+    cut.iter().map(|e| probabilities[e.index()]).product()
+}
+
+fn mcub(cut_sets: &[CutSet], probabilities: &[f64]) -> f64 {
+    1.0 - cut_sets
+        .iter()
+        .map(|c| 1.0 - cut_probability(c, probabilities))
+        .product::<f64>()
+}
+
+fn index_of_best(cut_sets: &[CutSet], probabilities: &[f64]) -> usize {
+    let mut best = 0;
+    let mut best_p = f64::NEG_INFINITY;
+    for (i, cut) in cut_sets.iter().enumerate() {
+        let p = cut_probability(cut, probabilities);
+        if p > best_p {
+            best_p = p;
+            best = i;
+        }
+    }
+    best
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let position = q * (sorted.len() - 1) as f64;
+    let low = position.floor() as usize;
+    let high = position.ceil() as usize;
+    if low == high {
+        sorted[low]
+    } else {
+        let fraction = position - low as f64;
+        sorted[low] * (1.0 - fraction) + sorted[high] * fraction
+    }
+}
+
+/// Builds a copy of the tree with every probability multiplied by `factor`
+/// (clamped to `[0, 1]`); a convenience for stress scenarios ("what if every
+/// component were twice as likely to fail?").
+pub fn scale_probabilities(tree: &FaultTree, factor: f64) -> FaultTree {
+    let events: Vec<_> = tree
+        .events()
+        .iter()
+        .map(|event| {
+            let scaled = (event.probability().value() * factor).clamp(0.0, 1.0);
+            let mut event = event.clone();
+            event.set_probability(Probability::new(scaled).expect("clamped to [0,1]"));
+            event
+        })
+        .collect();
+    FaultTree::from_parts(tree.name(), events, tree.gates().to_vec(), tree.top())
+        .expect("scaling probabilities keeps the tree valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use crate::mocus::Mocus;
+    use fault_tree::examples::fire_protection_system;
+
+    #[test]
+    fn sampling_converges_to_the_exact_probability() {
+        let tree = fire_protection_system();
+        let exact = brute::exact_top_event_probability(&tree);
+        let estimate = estimate_top_probability(
+            &tree,
+            &MonteCarloConfig {
+                samples: 200_000,
+                seed: 7,
+            },
+        );
+        assert!(
+            (estimate.mean - exact).abs() < 5.0 * estimate.std_error.max(1e-4),
+            "estimate {} vs exact {}",
+            estimate.mean,
+            exact
+        );
+        assert!(estimate.ci95_low <= exact && exact <= estimate.ci95_high);
+    }
+
+    #[test]
+    fn estimates_are_deterministic_for_a_fixed_seed() {
+        let tree = fire_protection_system();
+        let config = MonteCarloConfig {
+            samples: 10_000,
+            seed: 42,
+        };
+        let a = estimate_top_probability(&tree, &config);
+        let b = estimate_top_probability(&tree, &config);
+        assert_eq!(a, b);
+        let c = estimate_top_probability(
+            &tree,
+            &MonteCarloConfig {
+                samples: 10_000,
+                seed: 43,
+            },
+        );
+        assert_ne!(a.mean, c.mean);
+    }
+
+    #[test]
+    fn uncertainty_report_brackets_the_nominal_probability() {
+        let tree = fire_protection_system();
+        let cut_sets = Mocus::new(&tree).minimal_cut_sets().unwrap();
+        let report = propagate_uncertainty(
+            &tree,
+            &cut_sets,
+            UncertaintyModel::ErrorFactor(3.0),
+            &MonteCarloConfig {
+                samples: 5_000,
+                seed: 11,
+            },
+        );
+        assert!(report.p05 <= report.p50 && report.p50 <= report.p95);
+        let nominal = crate::quant::min_cut_upper_bound(&tree, &cut_sets);
+        assert!(report.p05 < nominal && nominal < report.p95);
+        // With an error factor of 3 the MPMCS {x1,x2} (0.02) can be overtaken
+        // by {x5,x6} (0.005) only occasionally.
+        assert!(report.mpmcs_switch_rate < 0.5);
+        assert_eq!(report.samples, 5_000);
+    }
+
+    #[test]
+    fn zero_spread_leaves_probabilities_unchanged() {
+        let tree = fire_protection_system();
+        let cut_sets = Mocus::new(&tree).minimal_cut_sets().unwrap();
+        let report = propagate_uncertainty(
+            &tree,
+            &cut_sets,
+            UncertaintyModel::RelativeSpread(0.0),
+            &MonteCarloConfig {
+                samples: 200,
+                seed: 3,
+            },
+        );
+        let nominal = crate::quant::min_cut_upper_bound(&tree, &cut_sets);
+        assert!((report.p50 - nominal).abs() < 1e-12);
+        assert_eq!(report.mpmcs_switch_rate, 0.0);
+    }
+
+    #[test]
+    fn scale_probabilities_clamps_to_one() {
+        let tree = fire_protection_system();
+        let doubled = scale_probabilities(&tree, 10.0);
+        for (before, after) in tree.events().iter().zip(doubled.events()) {
+            let expected = (before.probability().value() * 10.0).min(1.0);
+            assert!((after.probability().value() - expected).abs() < 1e-12);
+        }
+        let exact_before = brute::exact_top_event_probability(&tree);
+        let exact_after = brute::exact_top_event_probability(&doubled);
+        assert!(exact_after >= exact_before);
+    }
+}

@@ -1,0 +1,245 @@
+//! Minimal path sets: the dual notion to minimal cut sets.
+//!
+//! A *path set* is a set of basic events whose joint **non-occurrence**
+//! guarantees that the top event cannot occur, whatever the remaining events
+//! do; a *minimal path set* (MPS) contains no smaller path set. Path sets are
+//! the classical dual to cut sets: the minimal path sets of a fault tree are
+//! exactly the minimal cut sets of its [dual
+//! structure](fault_tree::transform::dual_structure).
+//!
+//! Where the paper's MPMCS answers "what is the most probable way the system
+//! fails", the maximum-reliability minimal path set answers the complementary
+//! question: "which minimal set of components, if kept working, most probably
+//! keeps the system up" — a direct aid for defence prioritisation.
+
+use fault_tree::transform::dual_structure;
+use fault_tree::{CutSet, EventId, FaultTree};
+
+use crate::mocus::{Mocus, MocusError};
+
+/// A set of basic events interpreted as a path set (the events that must all
+/// *not* occur).
+///
+/// Internally path sets reuse [`CutSet`] as the event-set container; the
+/// semantics differ only in how the probability is computed.
+pub type PathSet = CutSet;
+
+/// Returns `true` if the joint non-occurrence of `path` prevents the top
+/// event regardless of the other events.
+pub fn is_path_set(tree: &FaultTree, path: &PathSet) -> bool {
+    // Set every event outside the path to occurring, every event inside to
+    // not occurring; the top event must not occur.
+    let occurred: Vec<bool> = tree
+        .event_ids()
+        .map(|event| !path.contains(event))
+        .collect();
+    !tree.evaluate(&occurred)
+}
+
+/// Returns `true` if `path` is a path set and no proper subset of it is.
+pub fn is_minimal_path_set(tree: &FaultTree, path: &PathSet) -> bool {
+    if !is_path_set(tree, path) {
+        return false;
+    }
+    for event in path.iter() {
+        let mut smaller = path.clone();
+        smaller.remove(event);
+        if is_path_set(tree, &smaller) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The *reliability* of a path set: the probability that none of its events
+/// occurs, `Π (1 − p(e))`.
+pub fn path_set_reliability(tree: &FaultTree, path: &PathSet) -> f64 {
+    path.iter()
+        .map(|event| 1.0 - tree.event(event).probability().value())
+        .product()
+}
+
+/// Enumerates every minimal path set by running MOCUS on the dual structure.
+///
+/// # Errors
+///
+/// Returns [`MocusError`] if the intermediate set count exceeds the default
+/// MOCUS budget; use [`minimal_path_sets_with_budget`] to raise it.
+pub fn minimal_path_sets(tree: &FaultTree) -> Result<Vec<PathSet>, MocusError> {
+    let dual = dual_structure(tree);
+    Mocus::new(&dual).minimal_cut_sets()
+}
+
+/// Like [`minimal_path_sets`] but with an explicit budget on the number of
+/// intermediate sets MOCUS may hold.
+///
+/// # Errors
+///
+/// Returns [`MocusError`] if the budget is exceeded.
+pub fn minimal_path_sets_with_budget(
+    tree: &FaultTree,
+    max_sets: usize,
+) -> Result<Vec<PathSet>, MocusError> {
+    let dual = dual_structure(tree);
+    Mocus::with_budget(&dual, max_sets).minimal_cut_sets()
+}
+
+/// The minimal path set with the highest reliability (the most probable
+/// minimal way for the system to survive), together with that reliability.
+///
+/// Returns `None` when the tree has no path set (the top event is a
+/// tautology over the events, which cannot happen for coherent trees built
+/// from AND/OR/VOT gates with at least one event).
+///
+/// # Errors
+///
+/// Returns [`MocusError`] if path-set enumeration exceeds the budget.
+pub fn maximum_reliability_path_set(
+    tree: &FaultTree,
+) -> Result<Option<(PathSet, f64)>, MocusError> {
+    let paths = minimal_path_sets(tree)?;
+    Ok(paths
+        .into_iter()
+        .map(|path| {
+            let reliability = path_set_reliability(tree, &path);
+            (path, reliability)
+        })
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)))
+}
+
+/// Exhaustively enumerates the minimal path sets of a small tree (at most
+/// [`crate::brute::MAX_EVENTS`] events); the oracle used by the tests.
+///
+/// # Panics
+///
+/// Panics if the tree has more than [`crate::brute::MAX_EVENTS`] events.
+pub fn brute_force_minimal_path_sets(tree: &FaultTree) -> Vec<PathSet> {
+    let n = tree.num_events();
+    assert!(
+        n <= crate::brute::MAX_EVENTS,
+        "brute force path-set enumeration is limited to {} events",
+        crate::brute::MAX_EVENTS
+    );
+    let mut paths = Vec::new();
+    for mask in 0..(1u64 << n) {
+        let path: PathSet = (0..n)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(EventId::from_index)
+            .collect();
+        if is_minimal_path_set(tree, &path) {
+            paths.push(path);
+        }
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fault_tree::examples::{
+        fire_protection_system, pressure_tank_system, redundant_sensor_network,
+    };
+    use std::collections::BTreeSet;
+
+    fn as_name_sets(tree: &FaultTree, sets: &[PathSet]) -> BTreeSet<String> {
+        sets.iter().map(|s| s.display_names(tree)).collect()
+    }
+
+    #[test]
+    fn fps_minimal_path_sets_match_the_brute_force_oracle() {
+        let tree = fire_protection_system();
+        let via_dual = minimal_path_sets(&tree).unwrap();
+        let oracle = brute_force_minimal_path_sets(&tree);
+        assert_eq!(as_name_sets(&tree, &via_dual), as_name_sets(&tree, &oracle));
+        // f(t) = (x1∧x2) ∨ x3 ∨ x4 ∨ (x5∧(x6∨x7)): blocking every product
+        // requires one of {x1,x2} plus x3, x4 and one of {x5} or {x6,x7}.
+        let expected: BTreeSet<String> = [
+            "{x1, x3, x4, x5}",
+            "{x1, x3, x4, x6, x7}",
+            "{x2, x3, x4, x5}",
+            "{x2, x3, x4, x6, x7}",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+        assert_eq!(as_name_sets(&tree, &via_dual), expected);
+    }
+
+    #[test]
+    fn every_enumerated_path_set_is_minimal() {
+        for tree in [
+            fire_protection_system(),
+            pressure_tank_system(),
+            redundant_sensor_network(),
+        ] {
+            for path in minimal_path_sets(&tree).unwrap() {
+                assert!(is_minimal_path_set(&tree, &path), "{}", tree.name());
+            }
+        }
+    }
+
+    #[test]
+    fn maximum_reliability_path_set_of_the_fps() {
+        let tree = fire_protection_system();
+        let (best, reliability) = maximum_reliability_path_set(&tree).unwrap().unwrap();
+        // {x2, x3, x4, x5}: (1−0.1)(1−0.001)(1−0.002)(1−0.05) is the largest
+        // product — x2 is less likely to fail than x1, and keeping x5 alone is
+        // more reliable than keeping both x6 and x7.
+        assert_eq!(best.display_names(&tree), "{x2, x3, x4, x5}");
+        let expected = 0.9 * 0.999 * 0.998 * 0.95;
+        assert!((reliability - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_and_cut_sets_intersect() {
+        // Classical theorem: every minimal cut set intersects every minimal
+        // path set (otherwise the cut could fire while the path blocks it).
+        for tree in [
+            fire_protection_system(),
+            pressure_tank_system(),
+            redundant_sensor_network(),
+        ] {
+            let cuts = crate::brute::all_minimal_cut_sets(&tree);
+            let paths = minimal_path_sets(&tree).unwrap();
+            for cut in &cuts {
+                for path in &paths {
+                    assert!(
+                        cut.iter().any(|e| path.contains(e)),
+                        "{}: cut {} misses path {}",
+                        tree.name(),
+                        cut.display_names(&tree),
+                        path.display_names(&tree)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_path_sets_are_rejected() {
+        let tree = fire_protection_system();
+        let x3 = tree.event_by_name("x3").unwrap();
+        let x4 = tree.event_by_name("x4").unwrap();
+        // Blocking only x3 and x4 still lets {x1,x2} fire the top event.
+        assert!(!is_path_set(&tree, &PathSet::from_iter([x3, x4])));
+        // A superset of a minimal path set is a path set but not minimal.
+        let x1 = tree.event_by_name("x1").unwrap();
+        let x2 = tree.event_by_name("x2").unwrap();
+        let x5 = tree.event_by_name("x5").unwrap();
+        let superset = PathSet::from_iter([x1, x2, x3, x4, x5]);
+        assert!(is_path_set(&tree, &superset));
+        assert!(!is_minimal_path_set(&tree, &superset));
+    }
+
+    #[test]
+    fn voting_gate_path_sets() {
+        let tree = redundant_sensor_network();
+        let paths = minimal_path_sets(&tree).unwrap();
+        let oracle = brute_force_minimal_path_sets(&tree);
+        assert_eq!(as_name_sets(&tree, &paths), as_name_sets(&tree, &oracle));
+        // Keeping two of the three sensors plus the bus and power blocks the
+        // 2-out-of-3 quorum loss and the infrastructure OR.
+        assert!(paths.iter().all(|p| p.len() == 4));
+        assert_eq!(paths.len(), 3);
+    }
+}

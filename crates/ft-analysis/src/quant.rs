@@ -1,0 +1,109 @@
+//! MCS-based quantification of the top-event probability.
+//!
+//! Given the minimal cut sets `K₁ … Kₘ` of a fault tree, the top event is the
+//! union of the cut-set events, and its probability can be bounded or
+//! approximated without building a BDD:
+//!
+//! * **rare-event approximation**: `Σ P(Kⱼ)` (an upper bound, tight when all
+//!   probabilities are small),
+//! * **min-cut upper bound (MCUB)**: `1 − Π (1 − P(Kⱼ))`,
+//! * **inclusion–exclusion**: exact, but exponential in the number of cut
+//!   sets; limited here to a configurable number of cut sets.
+
+use fault_tree::{CutSet, FaultTree};
+
+/// Rare-event approximation: the sum of the cut-set probabilities.
+///
+/// An upper bound on the exact top-event probability; accurate when all cut
+/// set probabilities are small.
+pub fn rare_event_approximation(tree: &FaultTree, cut_sets: &[CutSet]) -> f64 {
+    cut_sets.iter().map(|c| c.probability(tree)).sum()
+}
+
+/// Min-cut upper bound: `1 − Π (1 − P(Kⱼ))`.
+///
+/// Also an upper bound, always at most the rare-event approximation, and
+/// exact when no event appears in two cut sets.
+pub fn min_cut_upper_bound(tree: &FaultTree, cut_sets: &[CutSet]) -> f64 {
+    1.0 - cut_sets
+        .iter()
+        .map(|c| 1.0 - c.probability(tree))
+        .product::<f64>()
+}
+
+/// Exact top-event probability by inclusion–exclusion over the cut sets.
+///
+/// The number of terms is `2^m − 1` for `m` cut sets; `None` is returned when
+/// `m > max_cut_sets` to avoid accidental blow-ups.
+pub fn inclusion_exclusion(
+    tree: &FaultTree,
+    cut_sets: &[CutSet],
+    max_cut_sets: usize,
+) -> Option<f64> {
+    let m = cut_sets.len();
+    if m > max_cut_sets || m >= 63 {
+        return None;
+    }
+    let mut total = 0.0;
+    for mask in 1u64..(1u64 << m) {
+        let mut union = CutSet::new();
+        for (j, cut) in cut_sets.iter().enumerate() {
+            if mask & (1 << j) != 0 {
+                union.extend(cut.iter());
+            }
+        }
+        let term = union.probability(tree);
+        if mask.count_ones() % 2 == 1 {
+            total += term;
+        } else {
+            total -= term;
+        }
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use crate::mocus::Mocus;
+    use fault_tree::examples::{fire_protection_system, pressure_tank_system};
+
+    #[test]
+    fn inclusion_exclusion_is_exact_on_the_fps() {
+        let tree = fire_protection_system();
+        let cut_sets = Mocus::new(&tree).minimal_cut_sets().unwrap();
+        let exact = brute::exact_top_event_probability(&tree);
+        let ie = inclusion_exclusion(&tree, &cut_sets, 32).expect("few cut sets");
+        assert!((ie - exact).abs() < 1e-12, "IE {ie} vs exact {exact}");
+    }
+
+    #[test]
+    fn bounds_are_ordered_correctly() {
+        for tree in [fire_protection_system(), pressure_tank_system()] {
+            let cut_sets = Mocus::new(&tree).minimal_cut_sets().unwrap();
+            let exact = brute::exact_top_event_probability(&tree);
+            let rare = rare_event_approximation(&tree, &cut_sets);
+            let mcub = min_cut_upper_bound(&tree, &cut_sets);
+            assert!(exact <= mcub + 1e-12, "{}", tree.name());
+            assert!(mcub <= rare + 1e-12, "{}", tree.name());
+            // The approximations are still close for these small probabilities.
+            assert!((rare - exact) / exact < 0.1, "{}", tree.name());
+        }
+    }
+
+    #[test]
+    fn inclusion_exclusion_respects_the_limit() {
+        let tree = fire_protection_system();
+        let cut_sets = Mocus::new(&tree).minimal_cut_sets().unwrap();
+        assert!(inclusion_exclusion(&tree, &cut_sets, 2).is_none());
+    }
+
+    #[test]
+    fn empty_cut_set_list_means_zero_probability() {
+        let tree = fire_protection_system();
+        assert_eq!(rare_event_approximation(&tree, &[]), 0.0);
+        assert_eq!(min_cut_upper_bound(&tree, &[]), 0.0);
+        assert_eq!(inclusion_exclusion(&tree, &[], 10), Some(0.0));
+    }
+}

@@ -1,0 +1,276 @@
+//! Sensitivity and what-if analysis on basic-event probabilities.
+//!
+//! The MPMCS is a function of the event probabilities, not only of the tree
+//! structure; risk owners therefore ask two follow-up questions the moment
+//! they see one:
+//!
+//! 1. *How much would the overall risk move if this event's probability were
+//!    better or worse than estimated?* — answered by the tornado analysis
+//!    ([`tornado`]), which recomputes the top-event probability with each
+//!    event's probability scaled down and up by a factor.
+//! 2. *How robust is the identity of the MPMCS to errors in the data?* —
+//!    answered by [`switch_threshold`], the probability value at which the
+//!    current MPMCS would be overtaken by the best competing cut set, and by
+//!    [`MpmcsStability`], the per-event summary.
+
+use fault_tree::{CutSet, EventId, FaultTree};
+
+/// One bar of a tornado diagram: the top-event probability when the event's
+/// probability is divided and multiplied by the scaling factor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TornadoBar {
+    /// The perturbed event.
+    pub event: EventId,
+    /// Top-event probability (min-cut upper bound) with `p / factor`.
+    pub low: f64,
+    /// Top-event probability (min-cut upper bound) with `p · factor`
+    /// (clamped to 1).
+    pub high: f64,
+    /// `high − low`: the swing attributable to this event.
+    pub swing: f64,
+}
+
+/// Computes a tornado diagram over all basic events from the minimal cut
+/// sets, using the min-cut upper bound as the quantification.
+///
+/// Bars are returned sorted by decreasing swing, the conventional tornado
+/// ordering.
+///
+/// # Panics
+///
+/// Panics if `factor` is not strictly positive.
+pub fn tornado(tree: &FaultTree, cut_sets: &[CutSet], factor: f64) -> Vec<TornadoBar> {
+    assert!(factor > 0.0, "the scaling factor must be positive");
+    let nominal: Vec<f64> = tree
+        .events()
+        .iter()
+        .map(|e| e.probability().value())
+        .collect();
+    let mut bars: Vec<TornadoBar> = tree
+        .event_ids()
+        .map(|event| {
+            let mut perturbed = nominal.clone();
+            perturbed[event.index()] = (nominal[event.index()] / factor).clamp(0.0, 1.0);
+            let low = mcub(cut_sets, &perturbed);
+            perturbed[event.index()] = (nominal[event.index()] * factor).clamp(0.0, 1.0);
+            let high = mcub(cut_sets, &perturbed);
+            TornadoBar {
+                event,
+                low,
+                high,
+                swing: high - low,
+            }
+        })
+        .collect();
+    bars.sort_by(|a, b| b.swing.partial_cmp(&a.swing).unwrap_or(std::cmp::Ordering::Equal));
+    bars
+}
+
+fn cut_probability(cut: &CutSet, probabilities: &[f64]) -> f64 {
+    cut.iter().map(|e| probabilities[e.index()]).product()
+}
+
+fn mcub(cut_sets: &[CutSet], probabilities: &[f64]) -> f64 {
+    1.0 - cut_sets
+        .iter()
+        .map(|c| 1.0 - cut_probability(c, probabilities))
+        .product::<f64>()
+}
+
+/// The probability value of `event` below which the current MPMCS would no
+/// longer be the maximum-probability cut set.
+///
+/// Only meaningful for events that belong to the nominal MPMCS; returns
+/// `None` when the event is not in the MPMCS, when there is no competing cut
+/// set without the event (the MPMCS can never be overtaken by lowering this
+/// probability), or when the tree has no cut set at all.
+pub fn switch_threshold(tree: &FaultTree, cut_sets: &[CutSet], event: EventId) -> Option<f64> {
+    let probabilities: Vec<f64> = tree
+        .events()
+        .iter()
+        .map(|e| e.probability().value())
+        .collect();
+    let (best_index, best_probability) = cut_sets
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, cut_probability(c, &probabilities)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))?;
+    let best = &cut_sets[best_index];
+    if !best.contains(event) {
+        return None;
+    }
+    // The best competitor that does not contain the event keeps its
+    // probability constant as p(event) varies.
+    let competitor = cut_sets
+        .iter()
+        .filter(|c| !c.contains(event))
+        .map(|c| cut_probability(c, &probabilities))
+        .fold(None, |acc: Option<f64>, p| {
+            Some(acc.map_or(p, |best| best.max(p)))
+        })?;
+    let p_event = probabilities[event.index()];
+    if p_event <= 0.0 || best_probability <= 0.0 {
+        return None;
+    }
+    // best_probability scales linearly in p(event): it equals competitor when
+    // p(event) = competitor / (best_probability / p_event).
+    Some((competitor * p_event / best_probability).clamp(0.0, 1.0))
+}
+
+/// Stability of the MPMCS with respect to each of its member events.
+#[derive(Clone, Debug)]
+pub struct MpmcsStability {
+    /// The nominal maximum-probability minimal cut set.
+    pub mpmcs: CutSet,
+    /// Its nominal probability.
+    pub probability: f64,
+    /// For each member event: the switch threshold (if any) and the relative
+    /// margin `1 − threshold / p(event)` — how much the probability estimate
+    /// could shrink before the MPMCS changes.
+    pub margins: Vec<(EventId, Option<f64>, Option<f64>)>,
+}
+
+impl MpmcsStability {
+    /// Analyses the stability of the maximum-probability cut set among
+    /// `cut_sets`. Returns `None` if `cut_sets` is empty.
+    pub fn of(tree: &FaultTree, cut_sets: &[CutSet]) -> Option<Self> {
+        let probabilities: Vec<f64> = tree
+            .events()
+            .iter()
+            .map(|e| e.probability().value())
+            .collect();
+        let (best_index, probability) = cut_sets
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, cut_probability(c, &probabilities)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))?;
+        let mpmcs = cut_sets[best_index].clone();
+        let margins = mpmcs
+            .iter()
+            .map(|event| {
+                let threshold = switch_threshold(tree, cut_sets, event);
+                let margin = threshold.map(|t| 1.0 - t / probabilities[event.index()]);
+                (event, threshold, margin)
+            })
+            .collect();
+        Some(MpmcsStability {
+            mpmcs,
+            probability,
+            margins,
+        })
+    }
+
+    /// Renders the stability analysis as text (used by the CLI and examples).
+    pub fn render(&self, tree: &FaultTree) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "MPMCS {} with probability {:.6e}\n",
+            self.mpmcs.display_names(tree),
+            self.probability
+        ));
+        for (event, threshold, margin) in &self.margins {
+            let name = tree.event(*event).name();
+            match (threshold, margin) {
+                (Some(t), Some(m)) => out.push_str(&format!(
+                    "  {name}: switches below p = {t:.3e} (margin {:.1}%)\n",
+                    m * 100.0
+                )),
+                _ => out.push_str(&format!("  {name}: never overtaken by lowering p\n")),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mocus::Mocus;
+    use fault_tree::examples::fire_protection_system;
+    use fault_tree::FaultTreeBuilder;
+
+    fn fps_cut_sets() -> (FaultTree, Vec<CutSet>) {
+        let tree = fire_protection_system();
+        let cuts = Mocus::new(&tree).minimal_cut_sets().unwrap();
+        (tree, cuts)
+    }
+
+    #[test]
+    fn tornado_ranks_the_detection_sensors_first() {
+        let (tree, cuts) = fps_cut_sets();
+        let bars = tornado(&tree, &cuts, 2.0);
+        assert_eq!(bars.len(), 7);
+        // Swings are non-negative and sorted decreasingly.
+        for pair in bars.windows(2) {
+            assert!(pair[0].swing >= pair[1].swing - 1e-15);
+        }
+        // x1 and x2 drive the dominant cut set {x1,x2}=0.02, so they have the
+        // largest swings; x3 (0.001, single-event cut) contributes far less.
+        let first_two: Vec<&str> = bars[..2]
+            .iter()
+            .map(|b| tree.event(b.event).name())
+            .collect();
+        assert!(first_two.contains(&"x1") && first_two.contains(&"x2"));
+        for bar in &bars {
+            assert!(bar.low <= bar.high + 1e-15);
+        }
+    }
+
+    #[test]
+    fn switch_threshold_matches_the_hand_computation() {
+        let (tree, cuts) = fps_cut_sets();
+        let x1 = tree.event_by_name("x1").unwrap();
+        // MPMCS {x1,x2} has probability 0.02; the best competitor without x1
+        // is {x5,x6} with 0.005. The switch happens when p(x1)·0.1 = 0.005,
+        // i.e. p(x1) = 0.05.
+        let threshold = switch_threshold(&tree, &cuts, x1).expect("x1 is in the MPMCS");
+        assert!((threshold - 0.05).abs() < 1e-12);
+        // x3 is not in the MPMCS.
+        let x3 = tree.event_by_name("x3").unwrap();
+        assert!(switch_threshold(&tree, &cuts, x3).is_none());
+    }
+
+    #[test]
+    fn stability_report_contains_margins_for_every_member() {
+        let (tree, cuts) = fps_cut_sets();
+        let stability = MpmcsStability::of(&tree, &cuts).expect("cut sets exist");
+        assert_eq!(stability.mpmcs.display_names(&tree), "{x1, x2}");
+        assert!((stability.probability - 0.02).abs() < 1e-12);
+        assert_eq!(stability.margins.len(), 2);
+        for (_, threshold, margin) in &stability.margins {
+            assert!(threshold.is_some());
+            let margin = margin.expect("margin accompanies threshold");
+            assert!(margin > 0.0 && margin < 1.0);
+        }
+        let text = stability.render(&tree);
+        assert!(text.contains("{x1, x2}"));
+        assert!(text.contains("margin"));
+    }
+
+    #[test]
+    fn single_cut_set_is_never_overtaken() {
+        let mut b = FaultTreeBuilder::new("single");
+        let a = b.basic_event("a", 0.3).unwrap();
+        let c = b.basic_event("c", 0.4).unwrap();
+        let top = b.and_gate("top", [a.into(), c.into()]).unwrap();
+        let tree = b.build(top.into()).unwrap();
+        let cuts = Mocus::new(&tree).minimal_cut_sets().unwrap();
+        assert_eq!(cuts.len(), 1);
+        assert!(switch_threshold(&tree, &cuts, a).is_none());
+        let stability = MpmcsStability::of(&tree, &cuts).unwrap();
+        assert!(stability.render(&tree).contains("never overtaken"));
+    }
+
+    #[test]
+    fn empty_cut_sets_yield_no_stability_report() {
+        let (tree, _) = fps_cut_sets();
+        assert!(MpmcsStability::of(&tree, &[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn tornado_rejects_a_non_positive_factor() {
+        let (tree, cuts) = fps_cut_sets();
+        let _ = tornado(&tree, &cuts, 0.0);
+    }
+}

@@ -1,0 +1,635 @@
+//! Synthetic fault-tree workload generators.
+//!
+//! The paper's evaluation reports that the MaxSAT approach "scales to fault
+//! trees with thousands of nodes in seconds", but the instances themselves
+//! are not published. This crate provides seeded, reproducible generators
+//! covering the same size range and a spectrum of structures, so the
+//! scalability experiments (and the property-based tests) have controlled
+//! workloads to run on.
+//!
+//! # Example
+//!
+//! ```rust
+//! use ft_generators::{random_tree, RandomTreeConfig};
+//!
+//! let config = RandomTreeConfig { num_events: 200, ..RandomTreeConfig::default() };
+//! let tree = random_tree(&config, 42);
+//! assert_eq!(tree.num_events(), 200);
+//! assert!(tree.validate().is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use fault_tree::{FaultTree, FaultTreeBuilder, GateKind, NodeId};
+
+/// Parameters of the random fault-tree generator.
+#[derive(Clone, Debug)]
+pub struct RandomTreeConfig {
+    /// Number of basic events.
+    pub num_events: usize,
+    /// Maximum number of inputs per gate (at least 2).
+    pub max_children: usize,
+    /// Probability that a generated gate is an AND gate.
+    pub and_ratio: f64,
+    /// Probability that a generated gate is a voting gate (with a random
+    /// threshold); the remainder are OR gates.
+    pub vot_ratio: f64,
+    /// Probability of adding one extra, already-used event as an additional
+    /// gate input (creates shared events, i.e. a DAG).
+    pub shared_event_ratio: f64,
+    /// Range of basic-event probabilities (uniformly sampled).
+    pub probability_range: (f64, f64),
+}
+
+impl Default for RandomTreeConfig {
+    fn default() -> Self {
+        RandomTreeConfig {
+            num_events: 100,
+            max_children: 4,
+            and_ratio: 0.4,
+            vot_ratio: 0.05,
+            shared_event_ratio: 0.1,
+            probability_range: (0.001, 0.2),
+        }
+    }
+}
+
+impl RandomTreeConfig {
+    /// A configuration aimed at a total node count (events + gates) close to
+    /// `total_nodes`, assuming the default branching factor.
+    pub fn with_total_nodes(total_nodes: usize) -> Self {
+        // With max_children = 4 the average arity is ~3, so roughly 2/3 of the
+        // nodes are events and 1/3 are gates.
+        let num_events = (total_nodes * 2 / 3).max(2);
+        RandomTreeConfig {
+            num_events,
+            ..RandomTreeConfig::default()
+        }
+    }
+}
+
+/// Generates a random fault tree.
+///
+/// The construction is bottom-up: basic events are combined by random gates
+/// until a single root remains, so every event is reachable from the top and
+/// the structure is acyclic by construction. The same `(config, seed)` pair
+/// always yields the same tree.
+///
+/// # Panics
+///
+/// Panics if `config.num_events == 0` or `config.max_children < 2`.
+pub fn random_tree(config: &RandomTreeConfig, seed: u64) -> FaultTree {
+    assert!(config.num_events > 0, "at least one event is required");
+    assert!(config.max_children >= 2, "gates need at least two children");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = FaultTreeBuilder::new(format!(
+        "random-{}events-seed{}",
+        config.num_events, seed
+    ));
+    let (p_min, p_max) = config.probability_range;
+    let mut pool: Vec<NodeId> = (0..config.num_events)
+        .map(|i| {
+            let p = rng.gen_range(p_min..=p_max);
+            NodeId::from(
+                builder
+                    .basic_event(format!("e{i}"), p)
+                    .expect("generated probabilities are valid"),
+            )
+        })
+        .collect();
+    let mut consumed_events: Vec<NodeId> = Vec::new();
+    let mut gate_index = 0usize;
+
+    if pool.len() == 1 {
+        let top = pool[0];
+        return builder.build(top).expect("single-event tree is valid");
+    }
+
+    while pool.len() > 1 {
+        let arity = rng.gen_range(2..=config.max_children.min(pool.len()));
+        pool.shuffle(&mut rng);
+        let mut inputs: Vec<NodeId> = pool.split_off(pool.len() - arity);
+        // Occasionally re-use an already consumed event to create sharing.
+        if !consumed_events.is_empty() && rng.gen_bool(config.shared_event_ratio) {
+            let extra = consumed_events[rng.gen_range(0..consumed_events.len())];
+            if !inputs.contains(&extra) {
+                inputs.push(extra);
+            }
+        }
+        for input in &inputs {
+            if matches!(input, NodeId::Event(_)) {
+                consumed_events.push(*input);
+            }
+        }
+        let choice: f64 = rng.gen();
+        let kind = if choice < config.and_ratio {
+            GateKind::And
+        } else if choice < config.and_ratio + config.vot_ratio && inputs.len() >= 3 {
+            GateKind::Vot {
+                k: rng.gen_range(2..inputs.len()),
+            }
+        } else {
+            GateKind::Or
+        };
+        let gate = builder
+            .gate(format!("g{gate_index}"), kind, inputs)
+            .expect("generated gates are valid");
+        gate_index += 1;
+        pool.push(gate.into());
+    }
+    let top = pool[0];
+    builder.build(top).expect("generated trees are valid")
+}
+
+/// A balanced tree of alternating AND/OR layers (`depth` gate layers over
+/// `2^depth` events). ANDs on even layers counted from the leaves.
+///
+/// # Panics
+///
+/// Panics if `depth == 0`.
+pub fn alternating_and_or(depth: usize, seed: u64) -> FaultTree {
+    assert!(depth > 0, "depth must be at least 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = FaultTreeBuilder::new(format!("alternating-depth{depth}-seed{seed}"));
+    let num_leaves = 1usize << depth;
+    let mut layer: Vec<NodeId> = (0..num_leaves)
+        .map(|i| {
+            let p = rng.gen_range(0.01..=0.2);
+            NodeId::from(builder.basic_event(format!("e{i}"), p).expect("valid"))
+        })
+        .collect();
+    let mut level = 0usize;
+    let mut gate_index = 0usize;
+    while layer.len() > 1 {
+        let kind = if level % 2 == 0 {
+            GateKind::And
+        } else {
+            GateKind::Or
+        };
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair in layer.chunks(2) {
+            if pair.len() == 1 {
+                next.push(pair[0]);
+                continue;
+            }
+            let gate = builder
+                .gate(format!("g{gate_index}"), kind, pair.to_vec())
+                .expect("valid");
+            gate_index += 1;
+            next.push(gate.into());
+        }
+        layer = next;
+        level += 1;
+    }
+    builder.build(layer[0]).expect("valid alternating tree")
+}
+
+/// A single OR gate over `n` events (every singleton is a minimal cut set).
+pub fn wide_or(n: usize, seed: u64) -> FaultTree {
+    flat_gate(n, seed, GateKind::Or, "wide-or")
+}
+
+/// A single AND gate over `n` events (one minimal cut set containing all
+/// events).
+pub fn wide_and(n: usize, seed: u64) -> FaultTree {
+    flat_gate(n, seed, GateKind::And, "wide-and")
+}
+
+/// A single `k`-out-of-`n` voting gate over `n` events.
+///
+/// # Panics
+///
+/// Panics if `k` is not a valid threshold for `n`.
+pub fn wide_voting(k: usize, n: usize, seed: u64) -> FaultTree {
+    assert!(k >= 1 && k <= n, "invalid voting threshold");
+    flat_gate(n, seed, GateKind::Vot { k }, "wide-voting")
+}
+
+fn flat_gate(n: usize, seed: u64, kind: GateKind, name: &str) -> FaultTree {
+    assert!(n >= 1, "at least one event is required");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = FaultTreeBuilder::new(format!("{name}-{n}-seed{seed}"));
+    let events: Vec<NodeId> = (0..n)
+        .map(|i| {
+            let p = rng.gen_range(0.001..=0.3);
+            NodeId::from(builder.basic_event(format!("e{i}"), p).expect("valid"))
+        })
+        .collect();
+    if events.len() == 1 {
+        return builder.build(events[0]).expect("valid");
+    }
+    let kind = match kind {
+        GateKind::Vot { k } => GateKind::Vot { k },
+        other => other,
+    };
+    let top = builder.gate("top", kind, events).expect("valid");
+    builder.build(top.into()).expect("valid")
+}
+
+/// A named scalability workload: a structural family instantiated at a target
+/// node count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Random mixed AND/OR/VOT trees (the default scalability family).
+    RandomMixed,
+    /// Random trees with a high proportion of AND gates (larger cut sets).
+    AndHeavy,
+    /// Random trees with a high proportion of OR gates (many cut sets).
+    OrHeavy,
+    /// Random trees with many shared events (DAG structure).
+    SharedDag,
+    /// Random trees with a sizeable fraction of voting gates.
+    VotingHeavy,
+}
+
+impl Family {
+    /// All families, in a stable order.
+    pub fn all() -> [Family; 5] {
+        [
+            Family::RandomMixed,
+            Family::AndHeavy,
+            Family::OrHeavy,
+            Family::SharedDag,
+            Family::VotingHeavy,
+        ]
+    }
+
+    /// A short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::RandomMixed => "random-mixed",
+            Family::AndHeavy => "and-heavy",
+            Family::OrHeavy => "or-heavy",
+            Family::SharedDag => "shared-dag",
+            Family::VotingHeavy => "voting-heavy",
+        }
+    }
+
+    /// The generator configuration of this family for a target node count.
+    pub fn config(&self, total_nodes: usize) -> RandomTreeConfig {
+        let base = RandomTreeConfig::with_total_nodes(total_nodes);
+        match self {
+            Family::RandomMixed => base,
+            Family::AndHeavy => RandomTreeConfig {
+                and_ratio: 0.7,
+                vot_ratio: 0.0,
+                ..base
+            },
+            Family::OrHeavy => RandomTreeConfig {
+                and_ratio: 0.15,
+                vot_ratio: 0.0,
+                ..base
+            },
+            Family::SharedDag => RandomTreeConfig {
+                shared_event_ratio: 0.4,
+                ..base
+            },
+            Family::VotingHeavy => RandomTreeConfig {
+                vot_ratio: 0.3,
+                ..base
+            },
+        }
+    }
+
+    /// Generates the family instance with the given target node count.
+    pub fn generate(&self, total_nodes: usize, seed: u64) -> FaultTree {
+        random_tree(&self.config(total_nodes), seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_trees_are_valid_and_reproducible() {
+        let config = RandomTreeConfig::default();
+        let a = random_tree(&config, 7);
+        let b = random_tree(&config, 7);
+        let c = random_tree(&config, 8);
+        assert_eq!(a, b, "same seed gives the same tree");
+        assert_ne!(a, c, "different seeds give different trees");
+        assert!(a.validate().is_ok());
+        assert_eq!(a.num_events(), config.num_events);
+        assert!(a.num_gates() > 0);
+    }
+
+    #[test]
+    fn all_events_are_reachable_from_the_top() {
+        use fault_tree::StructuralAnalysis;
+        for seed in 0..5 {
+            let tree = random_tree(&RandomTreeConfig::default(), seed);
+            assert!(StructuralAnalysis::new(&tree).unreachable_events().is_empty());
+        }
+    }
+
+    #[test]
+    fn total_node_target_is_approximately_met() {
+        for target in [50usize, 200, 1000] {
+            let config = RandomTreeConfig::with_total_nodes(target);
+            let tree = random_tree(&config, 1);
+            let total = tree.node_count();
+            assert!(
+                total as f64 > target as f64 * 0.6 && (total as f64) < target as f64 * 1.5,
+                "target {target} produced {total} nodes"
+            );
+        }
+    }
+
+    #[test]
+    fn single_event_config_is_handled() {
+        let config = RandomTreeConfig {
+            num_events: 1,
+            ..RandomTreeConfig::default()
+        };
+        let tree = random_tree(&config, 0);
+        assert_eq!(tree.num_events(), 1);
+        assert_eq!(tree.num_gates(), 0);
+    }
+
+    #[test]
+    fn alternating_tree_has_the_expected_shape() {
+        let tree = alternating_and_or(4, 3);
+        assert_eq!(tree.num_events(), 16);
+        assert_eq!(tree.num_gates(), 15);
+        assert_eq!(tree.depth(), 4);
+        assert!(tree.validate().is_ok());
+    }
+
+    #[test]
+    fn wide_gates_have_the_expected_cut_structure() {
+        use fault_tree::CutSet;
+        let or = wide_or(10, 1);
+        let first = or.event_ids().next().unwrap();
+        assert!(or.is_minimal_cut_set(&CutSet::from_iter([first])));
+
+        let and = wide_and(10, 1);
+        let all: CutSet = and.event_ids().collect();
+        assert!(and.is_minimal_cut_set(&all));
+
+        let vote = wide_voting(3, 6, 1);
+        let three: CutSet = vote.event_ids().take(3).collect();
+        let two: CutSet = vote.event_ids().take(2).collect();
+        assert!(vote.is_minimal_cut_set(&three));
+        assert!(!vote.is_cut_set(&two));
+    }
+
+    #[test]
+    fn families_generate_valid_trees_with_distinct_structure() {
+        for family in Family::all() {
+            let tree = family.generate(300, 11);
+            assert!(tree.validate().is_ok(), "{}", family.name());
+            assert!(tree.num_events() > 50, "{}", family.name());
+        }
+        // The voting-heavy family actually contains voting gates.
+        let voting = Family::VotingHeavy.generate(400, 5);
+        use fault_tree::StructuralAnalysis;
+        assert!(StructuralAnalysis::new(&voting).stats().num_vot > 0);
+        // The shared family actually shares events.
+        let shared = Family::SharedDag.generate(400, 5);
+        assert!(StructuralAnalysis::new(&shared).stats().shared_events > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_events_are_rejected() {
+        let config = RandomTreeConfig {
+            num_events: 0,
+            ..RandomTreeConfig::default()
+        };
+        let _ = random_tree(&config, 0);
+    }
+}
+
+/// Generates a *modular* tree: `modules` independent subtrees (each a small
+/// random tree over its own private events) combined under a top OR gate.
+///
+/// Modular trees are the best case for classical modular quantification and a
+/// useful contrast workload for the MaxSAT approach, which does not depend on
+/// modularity.
+///
+/// # Panics
+///
+/// Panics if `modules` is zero or `events_per_module` is zero.
+pub fn modular_tree(modules: usize, events_per_module: usize, seed: u64) -> FaultTree {
+    assert!(modules > 0, "at least one module is required");
+    assert!(events_per_module > 0, "modules need at least one event");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = FaultTreeBuilder::new(format!(
+        "modular-{modules}x{events_per_module}-seed{seed}"
+    ));
+    let mut module_roots: Vec<NodeId> = Vec::with_capacity(modules);
+    for m in 0..modules {
+        // Each module is a two-level AND-of-ORs block over private events.
+        let mut leaves: Vec<NodeId> = (0..events_per_module)
+            .map(|i| {
+                let p = rng.gen_range(0.001..=0.2);
+                NodeId::from(
+                    builder
+                        .basic_event(format!("m{m}e{i}"), p)
+                        .expect("generated probabilities are valid"),
+                )
+            })
+            .collect();
+        let mut ors: Vec<NodeId> = Vec::new();
+        let mut or_index = 0usize;
+        while leaves.len() > 1 {
+            let take = 2.min(leaves.len());
+            let inputs: Vec<NodeId> = leaves.split_off(leaves.len() - take);
+            let gate = builder
+                .or_gate(format!("m{m}or{or_index}"), inputs)
+                .expect("valid gate");
+            or_index += 1;
+            ors.push(gate.into());
+        }
+        ors.extend(leaves);
+        let root = if ors.len() == 1 {
+            ors[0]
+        } else {
+            builder
+                .and_gate(format!("m{m}root"), ors)
+                .expect("valid gate")
+                .into()
+        };
+        module_roots.push(root);
+    }
+    let top = if module_roots.len() == 1 {
+        module_roots[0]
+    } else {
+        builder
+            .or_gate("top", module_roots)
+            .expect("valid gate")
+            .into()
+    };
+    builder.build(top).expect("modular trees are valid")
+}
+
+/// Generates a deep chain: a path of alternating AND/OR gates of the given
+/// depth, each gate combining one fresh basic event with the previous gate.
+///
+/// Deep chains stress the Tseitin encoding depth and the BDD ordering
+/// heuristics without growing the cut-set count.
+///
+/// # Panics
+///
+/// Panics if `depth` is zero.
+pub fn deep_chain(depth: usize, seed: u64) -> FaultTree {
+    assert!(depth > 0, "the chain needs at least one level");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = FaultTreeBuilder::new(format!("chain-{depth}-seed{seed}"));
+    let first = builder
+        .basic_event("leaf0", rng.gen_range(0.001..=0.2))
+        .expect("valid probability");
+    let mut current: NodeId = first.into();
+    for level in 1..=depth {
+        let event = builder
+            .basic_event(format!("leaf{level}"), rng.gen_range(0.001..=0.2))
+            .expect("valid probability");
+        let gate = if level % 2 == 0 {
+            builder
+                .and_gate(format!("g{level}"), [current, event.into()])
+                .expect("valid gate")
+        } else {
+            builder
+                .or_gate(format!("g{level}"), [current, event.into()])
+                .expect("valid gate")
+        };
+        current = gate.into();
+    }
+    builder.build(current).expect("chains are valid")
+}
+
+/// Replicates the paper's fire-protection-system tree `copies` times under a
+/// top OR gate, renaming events `c<i>_x<j>`.
+///
+/// The result preserves the paper's local structure (so the global MPMCS is a
+/// copy of `{x1, x2}`) while scaling the instance size linearly — a
+/// reproducible, structure-true scalability workload.
+///
+/// # Panics
+///
+/// Panics if `copies` is zero.
+pub fn replicated_fps(copies: usize) -> FaultTree {
+    assert!(copies > 0, "at least one copy is required");
+    let mut builder = FaultTreeBuilder::new(format!("replicated-fps-{copies}"));
+    let probabilities = [0.2, 0.1, 0.001, 0.002, 0.05, 0.1, 0.05];
+    let mut roots: Vec<NodeId> = Vec::with_capacity(copies);
+    for c in 0..copies {
+        let events: Vec<_> = probabilities
+            .iter()
+            .enumerate()
+            .map(|(j, &p)| {
+                builder
+                    .basic_event(format!("c{c}_x{}", j + 1), p)
+                    .expect("valid probability")
+            })
+            .collect();
+        let detection = builder
+            .and_gate(format!("c{c}_detection"), [events[0].into(), events[1].into()])
+            .expect("valid gate");
+        let remote = builder
+            .or_gate(format!("c{c}_remote"), [events[5].into(), events[6].into()])
+            .expect("valid gate");
+        let trigger = builder
+            .and_gate(format!("c{c}_trigger"), [events[4].into(), remote.into()])
+            .expect("valid gate");
+        let suppression = builder
+            .or_gate(
+                format!("c{c}_suppression"),
+                [events[2].into(), events[3].into(), trigger.into()],
+            )
+            .expect("valid gate");
+        let root = builder
+            .or_gate(
+                format!("c{c}_fps"),
+                [detection.into(), suppression.into()],
+            )
+            .expect("valid gate");
+        roots.push(root.into());
+    }
+    let top = if roots.len() == 1 {
+        roots[0]
+    } else {
+        builder.or_gate("top", roots).expect("valid gate").into()
+    };
+    builder.build(top).expect("replicated FPS trees are valid")
+}
+
+/// The named workloads used by the extended benchmark harness, beyond the
+/// random [`Family`] sweeps: one representative per structural idiom.
+pub fn benchmark_suite(seed: u64) -> Vec<(String, FaultTree)> {
+    vec![
+        ("modular-20x10".to_string(), modular_tree(20, 10, seed)),
+        ("modular-100x10".to_string(), modular_tree(100, 10, seed)),
+        ("chain-200".to_string(), deep_chain(200, seed)),
+        ("chain-1000".to_string(), deep_chain(1000, seed)),
+        ("replicated-fps-50".to_string(), replicated_fps(50)),
+        ("replicated-fps-500".to_string(), replicated_fps(500)),
+    ]
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use super::*;
+    use fault_tree::CutSet;
+
+    #[test]
+    fn modular_trees_are_valid_and_have_private_events_per_module() {
+        let tree = modular_tree(5, 4, 3);
+        assert!(tree.validate().is_ok());
+        assert_eq!(tree.num_events(), 20);
+        // Module event names are prefixed with their module index.
+        for m in 0..5 {
+            assert!(tree.event_by_name(&format!("m{m}e0")).is_some());
+        }
+        // Same seed reproduces the same tree.
+        assert_eq!(modular_tree(5, 4, 3), modular_tree(5, 4, 3));
+    }
+
+    #[test]
+    fn deep_chain_has_one_event_and_gate_per_level() {
+        let tree = deep_chain(50, 9);
+        assert!(tree.validate().is_ok());
+        assert_eq!(tree.num_events(), 51);
+        assert_eq!(tree.num_gates(), 50);
+        assert_eq!(tree.depth(), 50);
+    }
+
+    #[test]
+    fn replicated_fps_preserves_the_paper_mpmcs_in_every_copy() {
+        let tree = replicated_fps(3);
+        assert!(tree.validate().is_ok());
+        assert_eq!(tree.num_events(), 21);
+        for c in 0..3 {
+            let x1 = tree.event_by_name(&format!("c{c}_x1")).unwrap();
+            let x2 = tree.event_by_name(&format!("c{c}_x2")).unwrap();
+            let cut = CutSet::from_iter([x1, x2]);
+            assert!(tree.is_minimal_cut_set(&cut));
+            assert!((cut.probability(&tree) - 0.02).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn benchmark_suite_provides_distinctly_named_valid_trees() {
+        let suite = benchmark_suite(1);
+        assert_eq!(suite.len(), 6);
+        let mut names: Vec<&str> = suite.iter().map(|(n, _)| n.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+        for (name, tree) in &suite {
+            assert!(tree.validate().is_ok(), "{name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one copy")]
+    fn replicated_fps_rejects_zero_copies() {
+        let _ = replicated_fps(0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Totalizer cardinality encoding (Bailleux–Boufkhad).
+//!
+//! Given input literals `x_1 … x_n`, the totalizer introduces output literals
+//! `o_1 … o_n` together with clauses enforcing the *sum side* implication
+//! `(at least j inputs are true) ⇒ o_j`. This single direction is exactly what
+//! the core-guided OLL algorithm needs: assuming `¬o_j` then forbids models
+//! with `j` or more violated members of a core.
+
+use sat_solver::Lit;
+
+use super::ClauseSink;
+
+/// A built totalizer over a fixed set of input literals.
+#[derive(Clone, Debug)]
+pub struct Totalizer {
+    inputs: Vec<Lit>,
+    outputs: Vec<Lit>,
+}
+
+impl Totalizer {
+    /// Builds a totalizer over `inputs`, emitting clauses into `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn build<S: ClauseSink>(sink: &mut S, inputs: &[Lit]) -> Self {
+        assert!(!inputs.is_empty(), "totalizer needs at least one input");
+        let outputs = Self::build_node(sink, inputs);
+        Totalizer {
+            inputs: inputs.to_vec(),
+            outputs,
+        }
+    }
+
+    fn build_node<S: ClauseSink>(sink: &mut S, inputs: &[Lit]) -> Vec<Lit> {
+        if inputs.len() == 1 {
+            return vec![inputs[0]];
+        }
+        let mid = inputs.len() / 2;
+        let left = Self::build_node(sink, &inputs[..mid]);
+        let right = Self::build_node(sink, &inputs[mid..]);
+        let total = left.len() + right.len();
+        let outputs: Vec<Lit> = (0..total).map(|_| Lit::positive(sink.add_var())).collect();
+        // Sum-side clauses: (≥i from left) ∧ (≥j from right) ⇒ (≥ i+j overall).
+        for i in 0..=left.len() {
+            for j in 0..=right.len() {
+                if i + j == 0 {
+                    continue;
+                }
+                let mut clause = Vec::with_capacity(3);
+                if i > 0 {
+                    clause.push(!left[i - 1]);
+                }
+                if j > 0 {
+                    clause.push(!right[j - 1]);
+                }
+                clause.push(outputs[i + j - 1]);
+                sink.add_sink_clause(&clause);
+            }
+        }
+        outputs
+    }
+
+    /// The input literals.
+    pub fn inputs(&self) -> &[Lit] {
+        &self.inputs
+    }
+
+    /// Output literals: `outputs()[j]` is the literal implied when at least
+    /// `j + 1` inputs are true.
+    pub fn outputs(&self) -> &[Lit] {
+        &self.outputs
+    }
+
+    /// The output literal meaning "at least `bound` inputs are true".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero or exceeds the number of inputs.
+    pub fn at_least(&self, bound: usize) -> Lit {
+        assert!(bound >= 1 && bound <= self.outputs.len());
+        self.outputs[bound - 1]
+    }
+
+    /// Number of inputs.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// `true` if the totalizer has no inputs (never constructed this way).
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::WcnfInstance;
+    use sat_solver::{Lit, SolveResult, Solver, Var};
+
+    /// Exhaustively verifies the sum-side semantics: for every assignment of
+    /// the inputs, forcing `¬o_{k+1}` is consistent iff at most `k` inputs are
+    /// true.
+    #[test]
+    fn at_most_k_via_negated_outputs_is_exact() {
+        let n = 5;
+        for k in 0..n {
+            let mut inst = WcnfInstance::with_vars(n);
+            let inputs: Vec<Lit> = (0..n).map(|i| Lit::positive(Var::from_index(i))).collect();
+            let tot = Totalizer::build(&mut inst, &inputs);
+            // Enforce "at most k": negate all outputs above k.
+            for bound in (k + 1)..=n {
+                inst.add_hard([!tot.at_least(bound)]);
+            }
+            for mask in 0..(1u32 << n) {
+                let mut solver = Solver::new();
+                solver.ensure_vars(inst.num_vars());
+                for clause in inst.hard_clauses() {
+                    solver.add_clause(clause.iter().copied());
+                }
+                let assumptions: Vec<Lit> = (0..n)
+                    .map(|i| Lit::new(Var::from_index(i), mask & (1 << i) == 0))
+                    .collect();
+                let true_count = (0..n).filter(|i| mask & (1 << i) != 0).count();
+                let result = solver.solve_with_assumptions(&assumptions);
+                assert_eq!(
+                    result.is_sat(),
+                    true_count <= k,
+                    "n={n} k={k} mask={mask:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_input_totalizer_is_the_input_itself() {
+        let mut inst = WcnfInstance::with_vars(1);
+        let x = Lit::positive(Var::from_index(0));
+        let tot = Totalizer::build(&mut inst, &[x]);
+        assert_eq!(tot.at_least(1), x);
+        assert_eq!(tot.len(), 1);
+        assert!(!tot.is_empty());
+        assert_eq!(inst.num_hard(), 0);
+    }
+
+    #[test]
+    fn outputs_accumulate_with_forced_inputs() {
+        // Force three of four inputs true; o_3 must be implied, and assuming
+        // ¬o_3 must be unsatisfiable while ¬o_4 stays satisfiable.
+        let n = 4;
+        let mut solver = Solver::new();
+        solver.ensure_vars(n);
+        let inputs: Vec<Lit> = (0..n).map(|i| Lit::positive(Var::from_index(i))).collect();
+        let tot = Totalizer::build(&mut solver, &inputs);
+        for lit in inputs.iter().take(3) {
+            solver.add_clause([*lit]);
+        }
+        assert_eq!(
+            solver.solve_with_assumptions(&[!tot.at_least(3)]),
+            SolveResult::Unsat
+        );
+        assert!(solver.solve_with_assumptions(&[!tot.at_least(4)]).is_sat());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_input_list_is_rejected() {
+        let mut inst = WcnfInstance::new();
+        let _ = Totalizer::build(&mut inst, &[]);
+    }
+}

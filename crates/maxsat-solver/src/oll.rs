@@ -1,0 +1,310 @@
+//! Core-guided OLL (RC2-style) Weighted Partial MaxSAT.
+//!
+//! The algorithm repeatedly asks the SAT solver for a model in which every
+//! remaining soft constraint holds (passed as assumptions). Each
+//! unsatisfiable core raises the lower bound by the smallest weight in the
+//! core and is reformulated: a totalizer counts how many core members are
+//! violated, and "more than one violated" becomes a new (cheaper) soft
+//! constraint. The first satisfiable call yields a provably optimal model.
+//!
+//! This strategy shines when the optimum violates few soft clauses — which is
+//! exactly the minimal-cut-set setting, where solutions contain a handful of
+//! basic events out of thousands.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use sat_solver::{Lit, SolveResult, Solver, SolverConfig, Var};
+
+use crate::encodings::totalizer::Totalizer;
+use crate::instance::WcnfInstance;
+use crate::result::{MaxSatOutcome, MaxSatResult, MaxSatStats};
+use crate::MaxSatAlgorithm;
+
+/// Configuration of the [`OllSolver`].
+#[derive(Clone, Debug)]
+pub struct OllConfig {
+    /// Configuration of the underlying SAT solver.
+    pub sat_config: SolverConfig,
+    /// When a core consists of a single soft literal, add its negation as a
+    /// hard unit clause (the literal is implied by the hard clauses anyway).
+    pub harden_singleton_cores: bool,
+}
+
+impl Default for OllConfig {
+    fn default() -> Self {
+        OllConfig {
+            sat_config: SolverConfig::default(),
+            harden_singleton_cores: true,
+        }
+    }
+}
+
+/// Core-guided OLL solver.
+#[derive(Clone, Debug, Default)]
+pub struct OllSolver {
+    config: OllConfig,
+}
+
+impl OllSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: OllConfig) -> Self {
+        OllSolver { config }
+    }
+
+    /// Creates a solver whose underlying SAT solver uses `sat_config`.
+    pub fn with_sat_config(sat_config: SolverConfig) -> Self {
+        OllSolver {
+            config: OllConfig {
+                sat_config,
+                ..OllConfig::default()
+            },
+        }
+    }
+}
+
+/// Normalises the soft clauses of `instance` into *assumption literals*:
+/// assuming the literal means "this soft clause is satisfied". Returns the
+/// aggregated weight map and the cost of soft clauses that can never be
+/// satisfied (empty clauses).
+pub(crate) fn normalize_softs(
+    solver: &mut Solver,
+    instance: &WcnfInstance,
+) -> (BTreeMap<Lit, u64>, u64) {
+    let mut weights: BTreeMap<Lit, u64> = BTreeMap::new();
+    let mut baseline = 0u64;
+    for soft in instance.soft_clauses() {
+        match soft.lits.len() {
+            0 => baseline += soft.weight,
+            1 => *weights.entry(soft.lits[0]).or_insert(0) += soft.weight,
+            _ => {
+                let relax = Lit::positive(solver.new_var());
+                let mut clause = soft.lits.clone();
+                clause.push(relax);
+                solver.add_clause(clause);
+                *weights.entry(!relax).or_insert(0) += soft.weight;
+            }
+        }
+    }
+    (weights, baseline)
+}
+
+/// Extracts a model vector covering the instance variables.
+pub(crate) fn extract_model(model: &sat_solver::Model, num_vars: usize) -> Vec<bool> {
+    (0..num_vars)
+        .map(|i| {
+            if i < model.len() {
+                model.value(Var::from_index(i))
+            } else {
+                false
+            }
+        })
+        .collect()
+}
+
+impl MaxSatAlgorithm for OllSolver {
+    fn name(&self) -> &'static str {
+        "oll"
+    }
+
+    fn solve_with_stop(&self, instance: &WcnfInstance, stop: &AtomicBool) -> Option<MaxSatResult> {
+        let mut stats = MaxSatStats {
+            algorithm: self.name().to_string(),
+            ..MaxSatStats::default()
+        };
+        let mut solver = Solver::with_config(self.config.sat_config.clone());
+        solver.ensure_vars(instance.num_vars());
+        for clause in instance.hard_clauses() {
+            solver.add_clause(clause.iter().copied());
+        }
+        let (mut weights, baseline) = normalize_softs(&mut solver, instance);
+        let mut lower_bound = baseline;
+
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                return None;
+            }
+            let assumptions: Vec<Lit> = weights.keys().copied().collect();
+            stats.sat_calls += 1;
+            match solver.solve_with_assumptions(&assumptions) {
+                SolveResult::Sat(model) => {
+                    let model_vec = extract_model(&model, instance.num_vars());
+                    let (hard_ok, cost) = instance
+                        .evaluate(&model_vec)
+                        .expect("model covers instance variables");
+                    debug_assert!(hard_ok, "SAT model must satisfy all hard clauses");
+                    debug_assert_eq!(
+                        cost, lower_bound,
+                        "OLL invariant: model cost equals the established lower bound"
+                    );
+                    stats.lower_bound = lower_bound;
+                    stats.upper_bound = cost;
+                    return Some(MaxSatResult {
+                        outcome: MaxSatOutcome::Optimum {
+                            model: model_vec,
+                            cost,
+                        },
+                        stats,
+                    });
+                }
+                SolveResult::Unsat => {
+                    let core: Vec<Lit> = solver.unsat_core().to_vec();
+                    if core.is_empty() {
+                        return Some(MaxSatResult {
+                            outcome: MaxSatOutcome::Unsatisfiable,
+                            stats,
+                        });
+                    }
+                    stats.cores += 1;
+                    let w_min = core
+                        .iter()
+                        .map(|l| weights.get(l).copied().unwrap_or(u64::MAX))
+                        .min()
+                        .expect("non-empty core");
+                    debug_assert!(w_min > 0 && w_min < u64::MAX);
+                    lower_bound += w_min;
+                    stats.lower_bound = lower_bound;
+                    for lit in &core {
+                        if let Some(w) = weights.get_mut(lit) {
+                            *w -= w_min;
+                            if *w == 0 {
+                                weights.remove(lit);
+                            }
+                        }
+                    }
+                    if core.len() == 1 {
+                        if self.config.harden_singleton_cores {
+                            solver.add_clause([!core[0]]);
+                        }
+                    } else {
+                        // Count how many core members are violated; paying
+                        // w_min once is already accounted for in the lower
+                        // bound, every additional violation costs w_min more.
+                        let violated: Vec<Lit> = core.iter().map(|&l| !l).collect();
+                        let totalizer = Totalizer::build(&mut solver, &violated);
+                        for bound in 2..=violated.len() {
+                            let output = totalizer.at_least(bound);
+                            *weights.entry(!output).or_insert(0) += w_min;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::{brute_force_optimum, random_instance, verify_optimum};
+
+    fn pos(i: usize) -> Lit {
+        Lit::positive(Var::from_index(i))
+    }
+    fn neg(i: usize) -> Lit {
+        Lit::negative(Var::from_index(i))
+    }
+
+    #[test]
+    fn picks_the_cheapest_way_to_satisfy_hard_clauses() {
+        let mut inst = WcnfInstance::with_vars(2);
+        inst.add_hard([pos(0), pos(1)]);
+        inst.add_soft([neg(0)], 5);
+        inst.add_soft([neg(1)], 3);
+        let result = OllSolver::default().solve(&inst);
+        assert_eq!(result.outcome.cost(), Some(3));
+        let model = result.outcome.model().unwrap();
+        assert!(!model[0] && model[1]);
+    }
+
+    #[test]
+    fn reports_unsatisfiable_hard_clauses() {
+        let mut inst = WcnfInstance::with_vars(1);
+        inst.add_hard([pos(0)]);
+        inst.add_hard([neg(0)]);
+        inst.add_soft([pos(0)], 1);
+        let result = OllSolver::default().solve(&inst);
+        assert_eq!(result.outcome, MaxSatOutcome::Unsatisfiable);
+    }
+
+    #[test]
+    fn no_soft_clauses_means_cost_zero() {
+        let mut inst = WcnfInstance::with_vars(2);
+        inst.add_hard([pos(0), pos(1)]);
+        let result = OllSolver::default().solve(&inst);
+        assert_eq!(result.outcome.cost(), Some(0));
+    }
+
+    #[test]
+    fn empty_soft_clause_contributes_a_fixed_cost() {
+        let mut inst = WcnfInstance::with_vars(1);
+        inst.add_hard([pos(0)]);
+        inst.add_soft(Vec::<Lit>::new(), 9);
+        inst.add_soft([neg(0)], 2);
+        let result = OllSolver::default().solve(&inst);
+        assert_eq!(result.outcome.cost(), Some(11));
+    }
+
+    #[test]
+    fn weighted_cores_are_split_correctly() {
+        // Hard: at least two of x0..x2 must hold. Softs prefer all false with
+        // different weights; optimum picks the two cheapest.
+        let mut inst = WcnfInstance::with_vars(3);
+        inst.add_hard([pos(0), pos(1)]);
+        inst.add_hard([pos(0), pos(2)]);
+        inst.add_hard([pos(1), pos(2)]);
+        inst.add_soft([neg(0)], 10);
+        inst.add_soft([neg(1)], 4);
+        inst.add_soft([neg(2)], 6);
+        let result = OllSolver::default().solve(&inst);
+        assert_eq!(result.outcome.cost(), Some(10)); // 4 + 6
+        let model = result.outcome.model().unwrap();
+        assert!(!model[0] && model[1] && model[2]);
+    }
+
+    #[test]
+    fn non_unit_soft_clauses_are_relaxed() {
+        // Soft clause (x0 ∨ x1) with weight 7, hard clause forcing both false.
+        let mut inst = WcnfInstance::with_vars(2);
+        inst.add_hard([neg(0)]);
+        inst.add_hard([neg(1)]);
+        inst.add_soft([pos(0), pos(1)], 7);
+        let result = OllSolver::default().solve(&inst);
+        assert_eq!(result.outcome.cost(), Some(7));
+    }
+
+    #[test]
+    fn duplicate_soft_literals_aggregate_their_weights() {
+        let mut inst = WcnfInstance::with_vars(1);
+        inst.add_hard([pos(0)]);
+        inst.add_soft([neg(0)], 2);
+        inst.add_soft([neg(0)], 3);
+        let result = OllSolver::default().solve(&inst);
+        assert_eq!(result.outcome.cost(), Some(5));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        for seed in 0..25 {
+            let inst = random_instance(seed, 8, 12, 6);
+            let expected = brute_force_optimum(&inst);
+            let result = OllSolver::default().solve(&inst);
+            match expected {
+                None => assert_eq!(result.outcome, MaxSatOutcome::Unsatisfiable, "seed {seed}"),
+                Some(cost) => {
+                    assert_eq!(result.outcome.cost(), Some(cost), "seed {seed}");
+                    verify_optimum(&inst, &result);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stop_flag_interrupts_the_search() {
+        let mut inst = WcnfInstance::with_vars(2);
+        inst.add_hard([pos(0), pos(1)]);
+        inst.add_soft([neg(0)], 1);
+        let stop = AtomicBool::new(true);
+        assert!(OllSolver::default().solve_with_stop(&inst, &stop).is_none());
+    }
+}

@@ -1,0 +1,266 @@
+//! Parallel MaxSAT portfolio (paper Step 5).
+//!
+//! Different MaxSAT algorithms — and the same algorithm under different SAT
+//! solver configurations — behave very differently on individual instances.
+//! The portfolio runs several pre-configured solvers in parallel threads and
+//! returns the answer of the first one that finishes, which gives a much more
+//! stable runtime profile than any single configuration.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+
+use sat_solver::SolverConfig;
+
+use crate::instance::WcnfInstance;
+use crate::linear::{LinearSuConfig, LinearSuSolver};
+use crate::oll::{OllConfig, OllSolver};
+use crate::result::{MaxSatOutcome, MaxSatResult, MaxSatStats};
+use crate::MaxSatAlgorithm;
+
+/// One competitor in the portfolio.
+pub enum PortfolioEntry {
+    /// A core-guided OLL solver.
+    Oll(OllConfig),
+    /// A linear SAT–UNSAT solver.
+    LinearSu(LinearSuConfig),
+    /// Any other boxed algorithm.
+    Custom(Box<dyn MaxSatAlgorithm + Send + Sync>),
+}
+
+impl std::fmt::Debug for PortfolioEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PortfolioEntry::Oll(_) => write!(f, "PortfolioEntry::Oll"),
+            PortfolioEntry::LinearSu(_) => write!(f, "PortfolioEntry::LinearSu"),
+            PortfolioEntry::Custom(c) => write!(f, "PortfolioEntry::Custom({})", c.name()),
+        }
+    }
+}
+
+/// Configuration of the [`PortfolioSolver`].
+#[derive(Debug)]
+pub struct PortfolioConfig {
+    /// The competing solver configurations.
+    pub entries: Vec<PortfolioEntry>,
+    /// Run sequentially (first entry only) instead of spawning threads; used
+    /// for reproducible traces and debugging.
+    pub sequential: bool,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig {
+            entries: default_entries(),
+            sequential: false,
+        }
+    }
+}
+
+/// The default portfolio: OLL with two different SAT configurations plus a
+/// linear SAT–UNSAT solver, mirroring the heterogeneous solver line-up of the
+/// original MPMCS4FTA tool.
+pub fn default_entries() -> Vec<PortfolioEntry> {
+    let mut aggressive = SolverConfig::default();
+    aggressive.var_decay = 0.85;
+    aggressive.restart_first = 50;
+    aggressive.seed = 1;
+    let mut diverse = SolverConfig::default();
+    diverse.random_var_freq = 0.02;
+    diverse.default_phase = true;
+    diverse.seed = 7;
+    vec![
+        PortfolioEntry::Oll(OllConfig::default()),
+        PortfolioEntry::Oll(OllConfig {
+            sat_config: aggressive,
+            ..OllConfig::default()
+        }),
+        PortfolioEntry::LinearSu(LinearSuConfig {
+            sat_config: diverse,
+            ..LinearSuConfig::default()
+        }),
+    ]
+}
+
+/// A parallel first-to-finish portfolio of MaxSAT solvers.
+#[derive(Debug, Default)]
+pub struct PortfolioSolver {
+    config: PortfolioConfig,
+}
+
+impl PortfolioSolver {
+    /// Creates a portfolio with the given configuration.
+    pub fn new(config: PortfolioConfig) -> Self {
+        PortfolioSolver { config }
+    }
+
+    /// Creates a portfolio that runs only the first default entry,
+    /// sequentially (deterministic, single-threaded).
+    pub fn sequential() -> Self {
+        PortfolioSolver {
+            config: PortfolioConfig {
+                entries: default_entries(),
+                sequential: true,
+            },
+        }
+    }
+
+    fn run_entry(
+        entry: &PortfolioEntry,
+        instance: &WcnfInstance,
+        stop: &AtomicBool,
+    ) -> Option<MaxSatResult> {
+        match entry {
+            PortfolioEntry::Oll(config) => {
+                OllSolver::new(config.clone()).solve_with_stop(instance, stop)
+            }
+            PortfolioEntry::LinearSu(config) => {
+                LinearSuSolver::new(config.clone()).solve_with_stop(instance, stop)
+            }
+            PortfolioEntry::Custom(solver) => solver.solve_with_stop(instance, stop),
+        }
+    }
+}
+
+impl MaxSatAlgorithm for PortfolioSolver {
+    fn name(&self) -> &'static str {
+        "portfolio"
+    }
+
+    fn solve_with_stop(&self, instance: &WcnfInstance, stop: &AtomicBool) -> Option<MaxSatResult> {
+        if self.config.entries.is_empty() {
+            return Some(MaxSatResult {
+                outcome: MaxSatOutcome::Unsatisfiable,
+                stats: MaxSatStats {
+                    algorithm: "portfolio(empty)".to_string(),
+                    ..MaxSatStats::default()
+                },
+            });
+        }
+        if self.config.sequential || self.config.entries.len() == 1 {
+            let mut result = Self::run_entry(&self.config.entries[0], instance, stop)?;
+            result.stats.algorithm = format!("portfolio[{}]", result.stats.algorithm);
+            return Some(result);
+        }
+
+        let shared_stop = Arc::new(AtomicBool::new(false));
+        let instance = Arc::new(instance.clone());
+        let (sender, receiver) = mpsc::channel::<Option<MaxSatResult>>();
+        let mut handles = Vec::new();
+        for entry in &self.config.entries {
+            // Portfolio entries are rebuilt per thread from their configs so
+            // that each thread owns its solver.
+            let entry: PortfolioEntry = match entry {
+                PortfolioEntry::Oll(c) => PortfolioEntry::Oll(c.clone()),
+                PortfolioEntry::LinearSu(c) => PortfolioEntry::LinearSu(c.clone()),
+                PortfolioEntry::Custom(_) => continue,
+            };
+            let instance = Arc::clone(&instance);
+            let shared_stop = Arc::clone(&shared_stop);
+            let sender = sender.clone();
+            handles.push(thread::spawn(move || {
+                let result = Self::run_entry(&entry, &instance, &shared_stop);
+                let _ = sender.send(result);
+            }));
+        }
+        // Custom entries cannot be cloned into threads; run them on the
+        // calling thread after spawning the others (they still race through
+        // the shared stop flag).
+        for entry in &self.config.entries {
+            if let PortfolioEntry::Custom(solver) = entry {
+                let result = solver.solve_with_stop(&instance, &shared_stop);
+                let _ = sender.send(result);
+            }
+        }
+        drop(sender);
+
+        let mut winner: Option<MaxSatResult> = None;
+        // Also honour the caller's stop flag while waiting.
+        while let Ok(message) = receiver.recv() {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            if let Some(result) = message {
+                winner = Some(result);
+                break;
+            }
+        }
+        shared_stop.store(true, Ordering::Relaxed);
+        for handle in handles {
+            let _ = handle.join();
+        }
+        let mut winner = winner?;
+        winner.stats.algorithm = format!("portfolio[{}]", winner.stats.algorithm);
+        Some(winner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::{brute_force_optimum, random_instance};
+    use sat_solver::{Lit, Var};
+
+    fn pos(i: usize) -> Lit {
+        Lit::positive(Var::from_index(i))
+    }
+    fn neg(i: usize) -> Lit {
+        Lit::negative(Var::from_index(i))
+    }
+
+    #[test]
+    fn parallel_portfolio_finds_the_optimum() {
+        let mut inst = WcnfInstance::with_vars(3);
+        inst.add_hard([pos(0), pos(1), pos(2)]);
+        inst.add_soft([neg(0)], 4);
+        inst.add_soft([neg(1)], 8);
+        inst.add_soft([neg(2)], 6);
+        let result = PortfolioSolver::default().solve(&inst);
+        assert_eq!(result.outcome.cost(), Some(4));
+        assert!(result.stats.algorithm.starts_with("portfolio["));
+    }
+
+    #[test]
+    fn sequential_mode_is_deterministic() {
+        let mut inst = WcnfInstance::with_vars(2);
+        inst.add_hard([pos(0), pos(1)]);
+        inst.add_soft([neg(0)], 2);
+        inst.add_soft([neg(1)], 1);
+        let a = PortfolioSolver::sequential().solve(&inst);
+        let b = PortfolioSolver::sequential().solve(&inst);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.outcome.cost(), Some(1));
+    }
+
+    #[test]
+    fn unsatisfiable_instances_are_reported() {
+        let mut inst = WcnfInstance::with_vars(1);
+        inst.add_hard([pos(0)]);
+        inst.add_hard([neg(0)]);
+        inst.add_soft([pos(0)], 3);
+        let result = PortfolioSolver::default().solve(&inst);
+        assert_eq!(result.outcome, MaxSatOutcome::Unsatisfiable);
+    }
+
+    #[test]
+    fn portfolio_agrees_with_brute_force_on_random_instances() {
+        for seed in 900..910 {
+            let inst = random_instance(seed, 8, 14, 6);
+            let expected = brute_force_optimum(&inst);
+            let result = PortfolioSolver::default().solve(&inst);
+            assert_eq!(result.outcome.cost(), expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_portfolio_reports_unsatisfiable() {
+        let solver = PortfolioSolver::new(PortfolioConfig {
+            entries: Vec::new(),
+            sequential: false,
+        });
+        let inst = WcnfInstance::with_vars(1);
+        let result = solver.solve(&inst);
+        assert_eq!(result.outcome, MaxSatOutcome::Unsatisfiable);
+    }
+}

@@ -1,0 +1,117 @@
+//! Result and statistics types shared by all MaxSAT algorithms.
+
+use std::fmt;
+
+/// Outcome of a MaxSAT solving run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MaxSatOutcome {
+    /// An optimal model of the hard clauses was found.
+    Optimum {
+        /// A model of the hard clauses minimising the soft penalty, indexed by
+        /// variable.
+        model: Vec<bool>,
+        /// The optimal cost (total weight of falsified soft clauses).
+        cost: u64,
+    },
+    /// The hard clauses are unsatisfiable.
+    Unsatisfiable,
+}
+
+impl MaxSatOutcome {
+    /// Returns the optimal cost, if an optimum was found.
+    pub fn cost(&self) -> Option<u64> {
+        match self {
+            MaxSatOutcome::Optimum { cost, .. } => Some(*cost),
+            MaxSatOutcome::Unsatisfiable => None,
+        }
+    }
+
+    /// Returns the optimal model, if an optimum was found.
+    pub fn model(&self) -> Option<&[bool]> {
+        match self {
+            MaxSatOutcome::Optimum { model, .. } => Some(model),
+            MaxSatOutcome::Unsatisfiable => None,
+        }
+    }
+
+    /// `true` if an optimum was found.
+    pub fn is_optimum(&self) -> bool {
+        matches!(self, MaxSatOutcome::Optimum { .. })
+    }
+}
+
+/// Counters describing a MaxSAT run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MaxSatStats {
+    /// Number of SAT solver calls.
+    pub sat_calls: u64,
+    /// Number of unsatisfiable cores extracted (core-guided algorithms).
+    pub cores: u64,
+    /// Number of model-improving iterations (linear algorithms).
+    pub improvements: u64,
+    /// Final lower bound on the optimum established by the search.
+    pub lower_bound: u64,
+    /// Final upper bound on the optimum established by the search.
+    pub upper_bound: u64,
+    /// Name of the algorithm (or of the winning portfolio entry).
+    pub algorithm: String,
+}
+
+impl fmt::Display for MaxSatStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: sat_calls={} cores={} improvements={} lb={} ub={}",
+            self.algorithm,
+            self.sat_calls,
+            self.cores,
+            self.improvements,
+            self.lower_bound,
+            self.upper_bound
+        )
+    }
+}
+
+/// The result of a MaxSAT run: outcome plus statistics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MaxSatResult {
+    /// The outcome (optimum or unsatisfiable).
+    pub outcome: MaxSatOutcome,
+    /// Statistics describing the run.
+    pub stats: MaxSatStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accessors() {
+        let opt = MaxSatOutcome::Optimum {
+            model: vec![true, false],
+            cost: 7,
+        };
+        assert!(opt.is_optimum());
+        assert_eq!(opt.cost(), Some(7));
+        assert_eq!(opt.model(), Some([true, false].as_slice()));
+
+        let unsat = MaxSatOutcome::Unsatisfiable;
+        assert!(!unsat.is_optimum());
+        assert_eq!(unsat.cost(), None);
+        assert_eq!(unsat.model(), None);
+    }
+
+    #[test]
+    fn stats_display_mentions_algorithm_and_bounds() {
+        let stats = MaxSatStats {
+            algorithm: "oll".to_string(),
+            sat_calls: 3,
+            lower_bound: 5,
+            upper_bound: 5,
+            ..MaxSatStats::default()
+        };
+        let text = stats.to_string();
+        assert!(text.contains("oll"));
+        assert!(text.contains("lb=5"));
+    }
+}

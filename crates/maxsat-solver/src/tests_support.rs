@@ -1,0 +1,62 @@
+//! Shared helpers for the unit tests of the MaxSAT algorithms.
+//!
+//! Compiled only under `cfg(test)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sat_solver::{Lit, Var};
+
+use crate::instance::WcnfInstance;
+use crate::result::MaxSatResult;
+
+/// Generates a pseudo-random Weighted Partial MaxSAT instance.
+pub fn random_instance(seed: u64, num_vars: usize, num_hard: usize, num_soft: usize) -> WcnfInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inst = WcnfInstance::with_vars(num_vars);
+    for _ in 0..num_hard {
+        let len = rng.gen_range(1..=3);
+        let clause: Vec<Lit> = (0..len)
+            .map(|_| Lit::new(Var::from_index(rng.gen_range(0..num_vars)), rng.gen_bool(0.5)))
+            .collect();
+        inst.add_hard(clause);
+    }
+    for _ in 0..num_soft {
+        let len = rng.gen_range(1..=2);
+        let clause: Vec<Lit> = (0..len)
+            .map(|_| Lit::new(Var::from_index(rng.gen_range(0..num_vars)), rng.gen_bool(0.5)))
+            .collect();
+        inst.add_soft(clause, rng.gen_range(1..=20));
+    }
+    inst
+}
+
+/// Exhaustive optimum: minimum soft cost over all models of the hard clauses,
+/// or `None` if the hard clauses are unsatisfiable. Only usable for small
+/// variable counts.
+pub fn brute_force_optimum(instance: &WcnfInstance) -> Option<u64> {
+    let n = instance.num_vars();
+    assert!(n <= 20, "brute force is exponential in the variable count");
+    let mut best: Option<u64> = None;
+    for mask in 0..(1u64 << n) {
+        let model: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+        let (hard_ok, cost) = instance.evaluate(&model).expect("total model");
+        if hard_ok {
+            best = Some(best.map_or(cost, |b: u64| b.min(cost)));
+        }
+    }
+    best
+}
+
+/// Asserts that a claimed optimum is internally consistent: the model
+/// satisfies the hard clauses and its cost matches the reported cost.
+pub fn verify_optimum(instance: &WcnfInstance, result: &MaxSatResult) {
+    let model = result.outcome.model().expect("optimum expected");
+    let (hard_ok, cost) = instance.evaluate(model).expect("total model");
+    assert!(hard_ok, "claimed optimum violates a hard clause");
+    assert_eq!(
+        Some(cost),
+        result.outcome.cost(),
+        "reported cost does not match the model"
+    );
+}

@@ -1,0 +1,254 @@
+//! Reading and writing Weighted Partial MaxSAT instances in the WCNF format.
+//!
+//! Both the classic header format (`p wcnf <vars> <clauses> <top>`, hard
+//! clauses carry the `top` weight) and the 2022 MaxSAT-Evaluation format
+//! (no header, hard clauses start with `h`) are supported.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use sat_solver::Lit;
+
+use crate::instance::WcnfInstance;
+
+/// Errors produced while parsing WCNF input.
+#[derive(Debug)]
+pub enum ParseWcnfError {
+    /// An I/O error occurred while reading.
+    Io(io::Error),
+    /// A token could not be parsed.
+    InvalidToken {
+        /// Line number (1-based).
+        line: usize,
+        /// Offending token.
+        token: String,
+    },
+    /// The `p wcnf` header is malformed.
+    InvalidHeader {
+        /// Line number (1-based).
+        line: usize,
+    },
+    /// A clause line is empty or lacks the terminating zero.
+    MalformedClause {
+        /// Line number (1-based).
+        line: usize,
+    },
+}
+
+impl fmt::Display for ParseWcnfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseWcnfError::Io(e) => write!(f, "i/o error while reading WCNF: {e}"),
+            ParseWcnfError::InvalidToken { line, token } => {
+                write!(f, "invalid WCNF token {token:?} on line {line}")
+            }
+            ParseWcnfError::InvalidHeader { line } => {
+                write!(f, "invalid WCNF header on line {line}")
+            }
+            ParseWcnfError::MalformedClause { line } => {
+                write!(f, "malformed WCNF clause on line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseWcnfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseWcnfError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseWcnfError {
+    fn from(e: io::Error) -> Self {
+        ParseWcnfError::Io(e)
+    }
+}
+
+/// Parses a WCNF instance from a reader (classic or 2022 format).
+///
+/// # Errors
+///
+/// Returns [`ParseWcnfError`] on I/O failures or malformed input.
+pub fn parse_wcnf<R: BufRead>(reader: R) -> Result<WcnfInstance, ParseWcnfError> {
+    let mut instance = WcnfInstance::new();
+    let mut top: Option<u64> = None;
+    let mut declared_vars = 0usize;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if line.starts_with('p') {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if parts.len() >= 4 && parts[1] == "wcnf" {
+                declared_vars = parts[2]
+                    .parse()
+                    .map_err(|_| ParseWcnfError::InvalidHeader { line: lineno + 1 })?;
+                top = if parts.len() >= 5 {
+                    Some(
+                        parts[4]
+                            .parse()
+                            .map_err(|_| ParseWcnfError::InvalidHeader { line: lineno + 1 })?,
+                    )
+                } else {
+                    None
+                };
+                continue;
+            }
+            return Err(ParseWcnfError::InvalidHeader { line: lineno + 1 });
+        }
+        let mut tokens = line.split_whitespace().peekable();
+        let first = match tokens.peek() {
+            Some(t) => *t,
+            None => continue,
+        };
+        let is_hard_2022 = first == "h";
+        let weight: Option<u64> = if is_hard_2022 {
+            tokens.next();
+            None
+        } else {
+            let w: u64 = first
+                .parse()
+                .map_err(|_| ParseWcnfError::InvalidToken {
+                    line: lineno + 1,
+                    token: first.to_string(),
+                })?;
+            tokens.next();
+            Some(w)
+        };
+        let mut lits = Vec::new();
+        let mut terminated = false;
+        for token in tokens {
+            let value: i64 = token.parse().map_err(|_| ParseWcnfError::InvalidToken {
+                line: lineno + 1,
+                token: token.to_string(),
+            })?;
+            if value == 0 {
+                terminated = true;
+                break;
+            }
+            lits.push(Lit::from_dimacs(value));
+        }
+        if !terminated {
+            return Err(ParseWcnfError::MalformedClause { line: lineno + 1 });
+        }
+        match (weight, top) {
+            (None, _) => instance.add_hard(lits),
+            (Some(w), Some(t)) if w >= t => instance.add_hard(lits),
+            (Some(0), _) => {} // zero-weight soft clauses carry no information
+            (Some(w), _) => instance.add_soft(lits, w),
+        }
+    }
+    instance.ensure_vars(declared_vars);
+    Ok(instance)
+}
+
+/// Parses a WCNF instance from a string.
+///
+/// # Errors
+///
+/// See [`parse_wcnf`].
+pub fn parse_wcnf_str(input: &str) -> Result<WcnfInstance, ParseWcnfError> {
+    parse_wcnf(input.as_bytes())
+}
+
+/// Writes an instance in the classic `p wcnf` format.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_wcnf<W: Write>(writer: &mut W, instance: &WcnfInstance) -> io::Result<()> {
+    let top = instance.total_soft_weight() + 1;
+    writeln!(
+        writer,
+        "p wcnf {} {} {}",
+        instance.num_vars(),
+        instance.num_hard() + instance.num_soft(),
+        top
+    )?;
+    for clause in instance.hard_clauses() {
+        write!(writer, "{top} ")?;
+        for lit in clause {
+            write!(writer, "{} ", lit.to_dimacs())?;
+        }
+        writeln!(writer, "0")?;
+    }
+    for soft in instance.soft_clauses() {
+        write!(writer, "{} ", soft.weight)?;
+        for lit in &soft.lits {
+            write!(writer, "{} ", lit.to_dimacs())?;
+        }
+        writeln!(writer, "0")?;
+    }
+    Ok(())
+}
+
+/// Renders an instance to a WCNF string.
+pub fn to_wcnf_string(instance: &WcnfInstance) -> String {
+    let mut buffer = Vec::new();
+    write_wcnf(&mut buffer, instance).expect("writing to a Vec cannot fail");
+    String::from_utf8(buffer).expect("WCNF output is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MaxSatAlgorithm, OllSolver};
+    use sat_solver::Var;
+
+    #[test]
+    fn parses_the_classic_format() {
+        let text = "c comment\np wcnf 3 4 100\n100 1 2 0\n100 -1 3 0\n5 -2 0\n7 -3 0\n";
+        let inst = parse_wcnf_str(text).expect("valid WCNF");
+        assert_eq!(inst.num_vars(), 3);
+        assert_eq!(inst.num_hard(), 2);
+        assert_eq!(inst.num_soft(), 2);
+        assert_eq!(inst.total_soft_weight(), 12);
+    }
+
+    #[test]
+    fn parses_the_2022_format() {
+        let text = "h 1 2 0\n3 -1 0\n4 -2 0\n";
+        let inst = parse_wcnf_str(text).expect("valid WCNF");
+        assert_eq!(inst.num_hard(), 1);
+        assert_eq!(inst.num_soft(), 2);
+        let result = OllSolver::default().solve(&inst);
+        assert_eq!(result.outcome.cost(), Some(3));
+    }
+
+    #[test]
+    fn round_trips_through_the_writer() {
+        let mut inst = WcnfInstance::with_vars(2);
+        inst.add_hard([Lit::positive(Var::from_index(0)), Lit::positive(Var::from_index(1))]);
+        inst.add_soft([Lit::negative(Var::from_index(0))], 4);
+        inst.add_soft([Lit::negative(Var::from_index(1))], 9);
+        let text = to_wcnf_string(&inst);
+        let parsed = parse_wcnf_str(&text).expect("round trip");
+        assert_eq!(parsed.num_hard(), inst.num_hard());
+        assert_eq!(parsed.num_soft(), inst.num_soft());
+        assert_eq!(parsed.total_soft_weight(), inst.total_soft_weight());
+        let a = OllSolver::default().solve(&inst);
+        let b = OllSolver::default().solve(&parsed);
+        assert_eq!(a.outcome.cost(), b.outcome.cost());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(matches!(
+            parse_wcnf_str("p wcnf x 1 10\n"),
+            Err(ParseWcnfError::InvalidHeader { .. })
+        ));
+        assert!(matches!(
+            parse_wcnf_str("10 1 2\n"),
+            Err(ParseWcnfError::MalformedClause { .. })
+        ));
+        assert!(matches!(
+            parse_wcnf_str("10 1 z 0\n"),
+            Err(ParseWcnfError::InvalidToken { .. })
+        ));
+    }
+}

@@ -1,0 +1,267 @@
+//! Enumeration of minimal cut sets in decreasing probability order.
+//!
+//! The MPMCS machinery naturally extends to ranking: after reporting the
+//! optimum, a *blocking clause* excludes it (and all of its supersets) and
+//! the next call returns the second most probable minimal cut set, and so on.
+//! Running the loop to exhaustion enumerates **all** minimal cut sets of the
+//! tree ordered by probability, which subsumes the classic qualitative
+//! cut-set analysis.
+
+use fault_tree::FaultTree;
+
+use crate::error::MpmcsError;
+use crate::solver::{MpmcsSolution, MpmcsSolver};
+
+/// How many cut sets to enumerate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnumerationLimit {
+    /// Enumerate every minimal cut set.
+    All,
+    /// Stop after at most this many cut sets.
+    AtMost(usize),
+}
+
+impl EnumerationLimit {
+    fn allows(&self, count: usize) -> bool {
+        match self {
+            EnumerationLimit::All => true,
+            EnumerationLimit::AtMost(limit) => count < *limit,
+        }
+    }
+}
+
+impl MpmcsSolver {
+    /// Returns the `k` most probable minimal cut sets, in non-increasing
+    /// probability order. Fewer than `k` are returned when the tree has fewer
+    /// minimal cut sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpmcsError::NoCutSet`] when the tree has no cut set at all,
+    /// and propagates internal verification errors.
+    pub fn solve_top_k(
+        &self,
+        tree: &FaultTree,
+        k: usize,
+    ) -> Result<Vec<MpmcsSolution>, MpmcsError> {
+        self.enumerate(tree, EnumerationLimit::AtMost(k))
+    }
+
+    /// Enumerates minimal cut sets in non-increasing probability order, up to
+    /// the given limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpmcsError::NoCutSet`] when the tree has no cut set at all,
+    /// and propagates internal verification errors.
+    pub fn enumerate(
+        &self,
+        tree: &FaultTree,
+        limit: EnumerationLimit,
+    ) -> Result<Vec<MpmcsSolution>, MpmcsError> {
+        let mut encoding = self.encode(tree);
+        let mut solutions: Vec<MpmcsSolution> = Vec::new();
+        while limit.allows(solutions.len()) {
+            match self.solve_encoded(tree, &encoding) {
+                Ok(solution) => {
+                    encoding.block_cut(&solution.cut_set);
+                    solutions.push(solution);
+                }
+                Err(MpmcsError::NoCutSet) => {
+                    if solutions.is_empty() {
+                        return Err(MpmcsError::NoCutSet);
+                    }
+                    break;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(solutions)
+    }
+}
+
+impl MpmcsSolver {
+    /// Enumerates every minimal cut set whose probability is at least
+    /// `threshold`, in non-increasing probability order.
+    ///
+    /// This is the "risk triage" view of the enumeration API: rather than a
+    /// fixed count, the caller states the probability level below which cut
+    /// sets are no longer actionable. An empty vector is returned when even
+    /// the MPMCS falls below the threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpmcsError::NoCutSet`] when the tree has no cut set at all,
+    /// and propagates internal verification errors.
+    pub fn enumerate_above(
+        &self,
+        tree: &FaultTree,
+        threshold: f64,
+    ) -> Result<Vec<MpmcsSolution>, MpmcsError> {
+        let mut encoding = self.encode(tree);
+        let mut solutions: Vec<MpmcsSolution> = Vec::new();
+        loop {
+            match self.solve_encoded(tree, &encoding) {
+                Ok(solution) => {
+                    if solution.probability < threshold {
+                        break;
+                    }
+                    encoding.block_cut(&solution.cut_set);
+                    solutions.push(solution);
+                }
+                Err(MpmcsError::NoCutSet) => {
+                    if solutions.is_empty() {
+                        return Err(MpmcsError::NoCutSet);
+                    }
+                    break;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(solutions)
+    }
+
+    /// Enumerates every minimal cut set whose probability is within a factor
+    /// of the optimum: all cut sets `K` with `P(K) ≥ P(MPMCS) / factor`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpmcsError::NoCutSet`] when the tree has no cut set at all,
+    /// and propagates internal verification errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1`.
+    pub fn enumerate_within_factor(
+        &self,
+        tree: &FaultTree,
+        factor: f64,
+    ) -> Result<Vec<MpmcsSolution>, MpmcsError> {
+        assert!(factor >= 1.0, "the factor must be at least 1");
+        let best = self.solve(tree)?;
+        self.enumerate_above(tree, best.probability / factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fault_tree::examples::{fire_protection_system, pressure_tank_system};
+    use fault_tree::CutSet;
+
+    #[test]
+    fn top_k_of_the_fire_protection_system_is_ordered_by_probability() {
+        let tree = fire_protection_system();
+        let solver = MpmcsSolver::sequential();
+        let top3 = solver.solve_top_k(&tree, 3).expect("solvable");
+        assert_eq!(top3.len(), 3);
+        // Candidate MCSs and probabilities:
+        // {x1,x2}=0.02, {x3}=0.001, {x4}=0.002, {x5,x6}=0.005, {x5,x7}=0.0025.
+        assert_eq!(top3[0].event_names(&tree), vec!["x1", "x2"]);
+        assert!((top3[0].probability - 0.02).abs() < 1e-9);
+        assert_eq!(top3[1].event_names(&tree), vec!["x5", "x6"]);
+        assert!((top3[1].probability - 0.005).abs() < 1e-9);
+        assert_eq!(top3[2].event_names(&tree), vec!["x5", "x7"]);
+        assert!((top3[2].probability - 0.0025).abs() < 1e-9);
+        // Ordering is non-increasing.
+        for pair in top3.windows(2) {
+            assert!(pair[0].probability >= pair[1].probability - 1e-15);
+        }
+    }
+
+    #[test]
+    fn enumerating_all_mcs_of_the_fps_finds_exactly_five() {
+        let tree = fire_protection_system();
+        let solver = MpmcsSolver::sequential();
+        let all = solver
+            .enumerate(&tree, EnumerationLimit::All)
+            .expect("solvable");
+        assert_eq!(all.len(), 5);
+        let mut names: Vec<Vec<String>> = all.iter().map(|s| s.event_names(&tree)).collect();
+        names.sort();
+        assert_eq!(
+            names,
+            vec![
+                vec!["x1".to_string(), "x2".to_string()],
+                vec!["x3".to_string()],
+                vec!["x4".to_string()],
+                vec!["x5".to_string(), "x6".to_string()],
+                vec!["x5".to_string(), "x7".to_string()],
+            ]
+        );
+        // Every reported set is a minimal cut set and they are pairwise distinct.
+        for solution in &all {
+            assert!(tree.is_minimal_cut_set(&solution.cut_set));
+        }
+        let distinct: std::collections::BTreeSet<CutSet> =
+            all.iter().map(|s| s.cut_set.clone()).collect();
+        assert_eq!(distinct.len(), all.len());
+    }
+
+    #[test]
+    fn asking_for_more_than_available_returns_what_exists() {
+        let tree = pressure_tank_system();
+        let solver = MpmcsSolver::sequential();
+        let many = solver.solve_top_k(&tree, 50).expect("solvable");
+        // The pressure tank tree has exactly 3 minimal cut sets.
+        assert_eq!(many.len(), 3);
+        assert!((many[0].probability - 1e-5).abs() < 1e-15);
+        assert!((many[1].probability - 5e-6).abs() < 1e-15);
+        assert!((many[2].probability - 1e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn top_one_equals_the_plain_solve() {
+        let tree = fire_protection_system();
+        let solver = MpmcsSolver::sequential();
+        let single = solver.solve(&tree).expect("solvable");
+        let top1 = solver.solve_top_k(&tree, 1).expect("solvable");
+        assert_eq!(top1.len(), 1);
+        assert_eq!(top1[0].cut_set, single.cut_set);
+    }
+}
+
+#[cfg(test)]
+mod threshold_tests {
+    use super::*;
+    use fault_tree::examples::fire_protection_system;
+
+    #[test]
+    fn enumerate_above_keeps_only_cut_sets_at_or_over_the_threshold() {
+        let tree = fire_protection_system();
+        let solver = MpmcsSolver::sequential();
+        // Threshold 0.002 keeps {x1,x2}=0.02, {x5,x6}=0.005, {x5,x7}=0.0025 and
+        // {x4}=0.002 but drops {x3}=0.001.
+        let kept = solver.enumerate_above(&tree, 0.002).expect("solvable");
+        assert_eq!(kept.len(), 4);
+        assert!(kept.iter().all(|s| s.probability >= 0.002 - 1e-15));
+        // A threshold above the optimum returns an empty list (but no error).
+        let none = solver.enumerate_above(&tree, 0.5).expect("solvable");
+        assert!(none.is_empty());
+        // A zero threshold returns every minimal cut set.
+        let all = solver.enumerate_above(&tree, 0.0).expect("solvable");
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn enumerate_within_factor_brackets_the_optimum() {
+        let tree = fire_protection_system();
+        let solver = MpmcsSolver::sequential();
+        // Factor 5: keep everything with probability >= 0.02/5 = 0.004,
+        // i.e. {x1,x2}=0.02 and {x5,x6}=0.005.
+        let close = solver.enumerate_within_factor(&tree, 5.0).expect("solvable");
+        assert_eq!(close.len(), 2);
+        assert_eq!(close[0].event_names(&tree), vec!["x1", "x2"]);
+        assert_eq!(close[1].event_names(&tree), vec!["x5", "x6"]);
+        // Factor 1: only the optimum itself.
+        let only = solver.enumerate_within_factor(&tree, 1.0).expect("solvable");
+        assert_eq!(only.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn enumerate_within_factor_rejects_factors_below_one() {
+        let tree = fire_protection_system();
+        let _ = MpmcsSolver::sequential().enumerate_within_factor(&tree, 0.5);
+    }
+}

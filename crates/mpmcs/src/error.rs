@@ -1,0 +1,47 @@
+//! Error type for the MPMCS pipeline.
+
+use std::fmt;
+
+/// Errors produced while computing maximum probability minimal cut sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpmcsError {
+    /// The top event can never occur: the fault tree has no cut set at all.
+    ///
+    /// This happens only for degenerate trees (e.g. a voting gate whose
+    /// threshold exceeds the reachable events after simplification); for any
+    /// well-formed monotone tree the set of all events is a cut set.
+    NoCutSet,
+    /// The MaxSAT portfolio was interrupted before producing an optimum.
+    Interrupted,
+    /// An internal invariant was violated (reported with a description).
+    ///
+    /// This indicates a bug in the pipeline rather than a problem with the
+    /// input; the message is meant for bug reports.
+    Internal(String),
+}
+
+impl fmt::Display for MpmcsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpmcsError::NoCutSet => {
+                write!(f, "the fault tree has no cut set: the top event cannot occur")
+            }
+            MpmcsError::Interrupted => write!(f, "the MaxSAT search was interrupted"),
+            MpmcsError::Internal(message) => write!(f, "internal MPMCS error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for MpmcsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(MpmcsError::NoCutSet.to_string().contains("no cut set"));
+        assert!(MpmcsError::Interrupted.to_string().contains("interrupted"));
+        assert!(MpmcsError::Internal("oops".into()).to_string().contains("oops"));
+    }
+}

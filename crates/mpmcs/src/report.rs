@@ -1,0 +1,126 @@
+//! JSON reports mirroring the output of the original MPMCS4FTA tool (Fig. 2
+//! of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use fault_tree::FaultTree;
+
+use crate::solver::MpmcsSolution;
+
+/// One basic event of the reported cut set.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReportEvent {
+    /// Event name.
+    pub name: String,
+    /// Probability of occurrence.
+    pub probability: f64,
+    /// Logarithmic weight `−ln p` (paper Table I).
+    pub log_weight: f64,
+}
+
+/// A serialisable MPMCS analysis report.
+///
+/// The original tool emits a JSON file that a browser front-end renders; this
+/// report carries the same analysis content (tree summary, the MPMCS, its
+/// probability, and solver metadata).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MpmcsReport {
+    /// Name of the analysed fault tree.
+    pub tree: String,
+    /// Number of basic events in the tree.
+    pub num_events: usize,
+    /// Number of gates in the tree.
+    pub num_gates: usize,
+    /// The events of the maximum probability minimal cut set.
+    pub mpmcs: Vec<ReportEvent>,
+    /// Joint probability of the MPMCS.
+    pub probability: f64,
+    /// Total logarithmic weight of the MPMCS.
+    pub log_weight: f64,
+    /// Algorithm (or winning portfolio entry) that produced the answer.
+    pub algorithm: String,
+    /// Wall-clock solving time in milliseconds.
+    pub solve_time_ms: f64,
+    /// Number of SAT calls performed by the MaxSAT search.
+    pub sat_calls: u64,
+}
+
+impl MpmcsReport {
+    /// Builds a report from a solution.
+    pub fn new(tree: &FaultTree, solution: &MpmcsSolution) -> Self {
+        MpmcsReport {
+            tree: tree.name().to_string(),
+            num_events: tree.num_events(),
+            num_gates: tree.num_gates(),
+            mpmcs: solution
+                .cut_set
+                .iter()
+                .map(|e| {
+                    let event = tree.event(e);
+                    ReportEvent {
+                        name: event.name().to_string(),
+                        probability: event.probability().value(),
+                        log_weight: event.probability().log_weight().value(),
+                    }
+                })
+                .collect(),
+            probability: solution.probability,
+            log_weight: solution.log_weight,
+            algorithm: solution.algorithm.clone(),
+            solve_time_ms: solution.duration.as_secs_f64() * 1e3,
+            sat_calls: solution.stats.sat_calls,
+        }
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("reports always serialise")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::MpmcsSolver;
+    use fault_tree::examples::fire_protection_system;
+
+    #[test]
+    fn report_reflects_the_fig2_content() {
+        let tree = fire_protection_system();
+        let solution = MpmcsSolver::sequential().solve(&tree).expect("solvable");
+        let report = MpmcsReport::new(&tree, &solution);
+        assert_eq!(report.tree, "fire protection system");
+        assert_eq!(report.num_events, 7);
+        assert_eq!(report.num_gates, 5);
+        assert_eq!(report.mpmcs.len(), 2);
+        assert_eq!(report.mpmcs[0].name, "x1");
+        assert_eq!(report.mpmcs[1].name, "x2");
+        assert!((report.probability - 0.02).abs() < 1e-9);
+        assert!(report.sat_calls > 0);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let tree = fire_protection_system();
+        let solution = MpmcsSolver::sequential().solve(&tree).expect("solvable");
+        let report = MpmcsReport::new(&tree, &solution);
+        let json = report.to_json();
+        assert!(json.contains("\"x1\""));
+        assert!(json.contains("probability"));
+        let back: MpmcsReport = serde_json::from_str(&json).expect("valid JSON");
+        // Floating point values may lose their last bit through the decimal
+        // representation; compare structure exactly and numbers approximately.
+        assert_eq!(report.tree, back.tree);
+        assert_eq!(report.num_events, back.num_events);
+        assert_eq!(report.num_gates, back.num_gates);
+        assert_eq!(report.algorithm, back.algorithm);
+        assert_eq!(report.sat_calls, back.sat_calls);
+        assert_eq!(report.mpmcs.len(), back.mpmcs.len());
+        for (a, b) in report.mpmcs.iter().zip(&back.mpmcs) {
+            assert_eq!(a.name, b.name);
+            assert!((a.probability - b.probability).abs() < 1e-12);
+            assert!((a.log_weight - b.log_weight).abs() < 1e-12);
+        }
+        assert!((report.probability - back.probability).abs() < 1e-12);
+    }
+}

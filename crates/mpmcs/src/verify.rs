@@ -1,0 +1,135 @@
+//! Step 6 post-processing: minimality repair and verification of MPMCS
+//! answers.
+//!
+//! The MaxSAT optimum is guaranteed to be an inclusion-minimal cut set as
+//! long as every event has a strictly positive weight. Events with
+//! probability 1 carry weight 0, so the solver may include them spuriously;
+//! [`minimise`] removes every removable event (which can only increase or
+//! preserve the joint probability, since all probabilities are ≤ 1), and
+//! [`check_solution`] asserts the final invariants.
+
+use fault_tree::{CutSet, FaultTree};
+
+use crate::error::MpmcsError;
+
+/// Greedily removes events that are not needed for the set to remain a cut
+/// set, turning any cut set into a minimal one.
+///
+/// Events are considered in increasing probability order so that the least
+/// probable (most "expensive") removable events are dropped first, maximising
+/// the resulting joint probability.
+pub fn minimise(tree: &FaultTree, cut: &CutSet) -> CutSet {
+    let mut events: Vec<_> = cut.iter().collect();
+    events.sort_by(|a, b| {
+        let pa = tree.event(*a).probability().value();
+        let pb = tree.event(*b).probability().value();
+        pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut current = cut.clone();
+    for event in events {
+        let mut candidate = current.clone();
+        candidate.remove(event);
+        if tree.is_cut_set(&candidate) {
+            current = candidate;
+        }
+    }
+    current
+}
+
+/// Checks that `cut` is a minimal cut set of `tree` and that `probability`
+/// matches its joint probability.
+///
+/// # Errors
+///
+/// Returns [`MpmcsError::Internal`] describing the first violated invariant.
+pub fn check_solution(
+    tree: &FaultTree,
+    cut: &CutSet,
+    probability: f64,
+) -> Result<(), MpmcsError> {
+    if !tree.is_cut_set(cut) {
+        return Err(MpmcsError::Internal(format!(
+            "claimed MPMCS {} does not trigger the top event",
+            cut.display_names(tree)
+        )));
+    }
+    if !tree.is_minimal_cut_set(cut) {
+        return Err(MpmcsError::Internal(format!(
+            "claimed MPMCS {} is not minimal",
+            cut.display_names(tree)
+        )));
+    }
+    let expected = cut.probability(tree);
+    let tolerance = 1e-9 * expected.max(1e-300);
+    if (probability - expected).abs() > tolerance.max(1e-12) {
+        return Err(MpmcsError::Internal(format!(
+            "probability mismatch: reported {probability}, recomputed {expected}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fault_tree::examples::fire_protection_system;
+    use fault_tree::FaultTreeBuilder;
+
+    #[test]
+    fn minimise_removes_superfluous_events() {
+        let tree = fire_protection_system();
+        let x1 = tree.event_by_name("x1").unwrap();
+        let x2 = tree.event_by_name("x2").unwrap();
+        let x3 = tree.event_by_name("x3").unwrap();
+        // {x1, x2, x3} is a cut set but not minimal; x3 alone already cuts,
+        // and is kept because it is the most probable... actually x3 has the
+        // lowest probability (0.001); removing the cheap-to-remove events
+        // first keeps the most probable minimal subset.
+        let bloated = CutSet::from_iter([x1, x2, x3]);
+        let minimal = minimise(&tree, &bloated);
+        assert!(tree.is_minimal_cut_set(&minimal));
+        assert!(minimal.is_subset(&bloated));
+        // The greedy order removes x3 (p=0.001) first, leaving {x1, x2}.
+        assert_eq!(minimal.display_names(&tree), "{x1, x2}");
+    }
+
+    #[test]
+    fn minimise_keeps_already_minimal_sets_unchanged() {
+        let tree = fire_protection_system();
+        let x1 = tree.event_by_name("x1").unwrap();
+        let x2 = tree.event_by_name("x2").unwrap();
+        let cut = CutSet::from_iter([x1, x2]);
+        assert_eq!(minimise(&tree, &cut), cut);
+    }
+
+    #[test]
+    fn minimise_handles_probability_one_events() {
+        let mut b = FaultTreeBuilder::new("certain");
+        let certain = b.basic_event("certain", 1.0).unwrap();
+        let rare = b.basic_event("rare", 0.01).unwrap();
+        let top = b.or_gate("top", [certain.into(), rare.into()]).unwrap();
+        let tree = b.build(top.into()).unwrap();
+        // Both events together form a non-minimal cut set; the repair keeps
+        // the certain event (higher probability).
+        let cut = CutSet::from_iter([certain, rare]);
+        let minimal = minimise(&tree, &cut);
+        assert_eq!(minimal.len(), 1);
+        assert!(minimal.contains(certain));
+    }
+
+    #[test]
+    fn check_solution_accepts_correct_answers_and_rejects_wrong_ones() {
+        let tree = fire_protection_system();
+        let x1 = tree.event_by_name("x1").unwrap();
+        let x2 = tree.event_by_name("x2").unwrap();
+        let x3 = tree.event_by_name("x3").unwrap();
+        let good = CutSet::from_iter([x1, x2]);
+        assert!(check_solution(&tree, &good, 0.02).is_ok());
+        // Not a cut set.
+        assert!(check_solution(&tree, &CutSet::from_iter([x1]), 0.2).is_err());
+        // Not minimal.
+        assert!(check_solution(&tree, &CutSet::from_iter([x1, x2, x3]), 0.00002).is_err());
+        // Wrong probability.
+        assert!(check_solution(&tree, &good, 0.5).is_err());
+    }
+}

@@ -1,0 +1,688 @@
+//! Library backing the `mpmcs4fta` command line tool.
+//!
+//! The original MPMCS4FTA tool is a command-line program that reads a fault
+//! tree, computes the Maximum Probability Minimal Cut Set, and writes the
+//! result as JSON. This crate reproduces that workflow: argument parsing,
+//! input-format detection (JSON or Galileo), solving, and JSON report
+//! generation, all exposed as a library so it can be unit tested and reused.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::path::PathBuf;
+
+use fault_tree::parser::{galileo, json};
+use fault_tree::{examples, FaultTree};
+use ft_generators::{random_tree, RandomTreeConfig};
+use mpmcs::{AlgorithmChoice, EnumerationLimit, MpmcsOptions, MpmcsReport, MpmcsSolver};
+
+/// Errors surfaced to the command line user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Command line arguments could not be interpreted.
+    Usage(String),
+    /// The input file could not be read.
+    Io(std::io::Error),
+    /// The input could not be parsed as a fault tree.
+    Parse(fault_tree::FaultTreeError),
+    /// The solver failed.
+    Solve(mpmcs::MpmcsError),
+    /// A classical analysis (MOCUS, BDD) exceeded its budget or failed.
+    Analysis(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(message) => write!(f, "{message}\n\n{USAGE}"),
+            CliError::Io(e) => write!(f, "cannot read input: {e}"),
+            CliError::Parse(e) => write!(f, "cannot parse fault tree: {e}"),
+            CliError::Solve(e) => write!(f, "solver error: {e}"),
+            CliError::Analysis(message) => write!(f, "analysis error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<fault_tree::FaultTreeError> for CliError {
+    fn from(e: fault_tree::FaultTreeError) -> Self {
+        CliError::Parse(e)
+    }
+}
+
+impl From<mpmcs::MpmcsError> for CliError {
+    fn from(e: mpmcs::MpmcsError) -> Self {
+        CliError::Solve(e)
+    }
+}
+
+/// The usage string printed on `--help` or argument errors.
+pub const USAGE: &str = "\
+mpmcs4fta — Maximum Probability Minimal Cut Sets for Fault Tree Analysis
+
+USAGE:
+    mpmcs4fta [OPTIONS] <INPUT>
+    mpmcs4fta [OPTIONS] --example fps|tank|sensors
+    mpmcs4fta [OPTIONS] --generate <NODES> [--seed <SEED>]
+
+INPUT:
+    A fault tree in JSON (.json) or Galileo (.dft/.galileo/anything else) format.
+
+OPTIONS:
+    --format <json|galileo>     Force the input format (default: by extension)
+    --algorithm <NAME>          portfolio (default) | sequential | oll | linear-su
+    --analysis <NAME>           mpmcs (default) | path-set | importance | modules |
+                                stability | dot | ascii
+    --top-k <N>                 Report the N most probable minimal cut sets
+    --all                       Report every minimal cut set (ordered by probability)
+    --output <FILE>             Write the JSON report to FILE instead of stdout
+    --quiet                     Suppress the human-readable summary on stderr
+    --help                      Show this message
+
+ANALYSES:
+    mpmcs        the Maximum Probability Minimal Cut Set (paper pipeline)
+    path-set     maximum-reliability minimal path sets (dual problem)
+    importance   Birnbaum / Fussell-Vesely / RAW / RRW / criticality table
+    modules      independent modules and modular quantification
+    stability    MPMCS stability margins under probability perturbations
+    dot          Graphviz DOT rendering with the MPMCS highlighted
+    ascii        indented textual rendering of the tree
+";
+
+/// Which analysis the tool runs on the loaded tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnalysisKind {
+    /// The paper's MPMCS pipeline (default).
+    #[default]
+    Mpmcs,
+    /// Maximum-reliability minimal path sets (the dual optimisation).
+    PathSet,
+    /// The per-event importance table.
+    Importance,
+    /// Module detection and modular quantification.
+    Modules,
+    /// MPMCS stability margins.
+    Stability,
+    /// Graphviz DOT output with the MPMCS highlighted.
+    Dot,
+    /// Indented ASCII rendering of the tree.
+    Ascii,
+}
+
+/// How the fault tree is obtained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InputSource {
+    /// Read from a file (with an optional format override).
+    File {
+        /// Path to the input file.
+        path: PathBuf,
+        /// Forced format, if any.
+        format: Option<InputFormat>,
+    },
+    /// Use one of the built-in examples.
+    Example(String),
+    /// Generate a random tree of roughly this many nodes.
+    Generated {
+        /// Target total node count.
+        nodes: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+/// Supported input formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputFormat {
+    /// The JSON document format.
+    Json,
+    /// The Galileo textual format.
+    Galileo,
+}
+
+/// Parsed command line options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliOptions {
+    /// Where the fault tree comes from.
+    pub input: InputSource,
+    /// Which analysis to run.
+    pub analysis: AnalysisKind,
+    /// Which MaxSAT strategy to use.
+    pub algorithm: AlgorithmChoice,
+    /// How many cut sets to report (`None` = just the MPMCS).
+    pub top_k: Option<usize>,
+    /// Report all minimal cut sets.
+    pub all: bool,
+    /// Where to write the JSON report (`None` = stdout).
+    pub output: Option<PathBuf>,
+    /// Suppress the human-readable summary.
+    pub quiet: bool,
+}
+
+/// Parses command line arguments (excluding the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] describing the problem, including when
+/// `--help` is requested.
+pub fn parse_args<I, S>(args: I) -> Result<CliOptions, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let mut input: Option<InputSource> = None;
+    let mut format: Option<InputFormat> = None;
+    let mut analysis = AnalysisKind::Mpmcs;
+    let mut algorithm = AlgorithmChoice::Portfolio;
+    let mut top_k: Option<usize> = None;
+    let mut all = false;
+    let mut output: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut generate: Option<usize> = None;
+    let mut seed = 42u64;
+
+    let args: Vec<String> = args.into_iter().map(Into::into).collect();
+    let mut i = 0;
+    let usage = |message: &str| CliError::Usage(message.to_string());
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let mut value = |name: &str| -> Result<String, CliError> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{name} expects a value")))
+        };
+        match arg {
+            "--help" | "-h" => return Err(usage("help requested")),
+            "--format" => {
+                format = Some(match value("--format")?.as_str() {
+                    "json" => InputFormat::Json,
+                    "galileo" | "dft" => InputFormat::Galileo,
+                    other => return Err(CliError::Usage(format!("unknown format {other:?}"))),
+                })
+            }
+            "--algorithm" => {
+                algorithm = match value("--algorithm")?.as_str() {
+                    "portfolio" => AlgorithmChoice::Portfolio,
+                    "sequential" => AlgorithmChoice::SequentialPortfolio,
+                    "oll" => AlgorithmChoice::Oll,
+                    "linear-su" | "linear" => AlgorithmChoice::LinearSu,
+                    other => {
+                        return Err(CliError::Usage(format!("unknown algorithm {other:?}")))
+                    }
+                }
+            }
+            "--analysis" => {
+                analysis = match value("--analysis")?.as_str() {
+                    "mpmcs" | "cut-set" => AnalysisKind::Mpmcs,
+                    "path-set" | "pathset" | "path" => AnalysisKind::PathSet,
+                    "importance" => AnalysisKind::Importance,
+                    "modules" | "module" => AnalysisKind::Modules,
+                    "stability" => AnalysisKind::Stability,
+                    "dot" | "graphviz" => AnalysisKind::Dot,
+                    "ascii" | "text" => AnalysisKind::Ascii,
+                    other => {
+                        return Err(CliError::Usage(format!("unknown analysis {other:?}")))
+                    }
+                }
+            }
+            "--top-k" => {
+                top_k = Some(value("--top-k")?.parse().map_err(|_| {
+                    CliError::Usage("--top-k expects a positive integer".to_string())
+                })?)
+            }
+            "--all" => all = true,
+            "--output" => output = Some(PathBuf::from(value("--output")?)),
+            "--quiet" => quiet = true,
+            "--example" => input = Some(InputSource::Example(value("--example")?)),
+            "--generate" => {
+                generate = Some(value("--generate")?.parse().map_err(|_| {
+                    CliError::Usage("--generate expects a node count".to_string())
+                })?)
+            }
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--seed expects an integer".to_string()))?
+            }
+            other if other.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown option {other:?}")))
+            }
+            path => {
+                if input.is_some() {
+                    return Err(usage("multiple inputs given"));
+                }
+                input = Some(InputSource::File {
+                    path: PathBuf::from(path),
+                    format: None,
+                });
+            }
+        }
+        i += 1;
+    }
+    if let Some(nodes) = generate {
+        input = Some(InputSource::Generated { nodes, seed });
+    }
+    let mut input = input.ok_or_else(|| usage("no input given"))?;
+    if let (InputSource::File { format: slot, .. }, Some(forced)) = (&mut input, format) {
+        *slot = Some(forced);
+    }
+    if top_k == Some(0) {
+        return Err(usage("--top-k must be at least 1"));
+    }
+    Ok(CliOptions {
+        input,
+        analysis,
+        algorithm,
+        top_k,
+        all,
+        output,
+        quiet,
+    })
+}
+
+/// Loads the fault tree described by the options.
+///
+/// # Errors
+///
+/// I/O and parse errors are reported as [`CliError`].
+pub fn load_tree(options: &CliOptions) -> Result<FaultTree, CliError> {
+    match &options.input {
+        InputSource::Example(name) => match name.as_str() {
+            "fps" | "fire" => Ok(examples::fire_protection_system()),
+            "tank" | "pressure" => Ok(examples::pressure_tank_system()),
+            "sensors" | "voting" => Ok(examples::redundant_sensor_network()),
+            "scada" | "water" => Ok(examples::water_treatment_scada()),
+            "crossing" | "railway" => Ok(examples::railway_level_crossing()),
+            "hydraulics" | "aircraft" => Ok(examples::aircraft_hydraulic_system()),
+            other => Err(CliError::Usage(format!(
+                "unknown example {other:?}; available: fps, tank, sensors, scada, crossing, hydraulics"
+            ))),
+        },
+        InputSource::Generated { nodes, seed } => Ok(random_tree(
+            &RandomTreeConfig::with_total_nodes(*nodes),
+            *seed,
+        )),
+        InputSource::File { path, format } => {
+            let text = fs::read_to_string(path)?;
+            let format = format.unwrap_or_else(|| {
+                if path.extension().and_then(|e| e.to_str()) == Some("json") {
+                    InputFormat::Json
+                } else {
+                    InputFormat::Galileo
+                }
+            });
+            let tree = match format {
+                InputFormat::Json => json::from_json_str(&text)?,
+                InputFormat::Galileo => galileo::parse_galileo(&text)?,
+            };
+            Ok(tree)
+        }
+    }
+}
+
+/// Runs the selected analysis and returns the machine-readable output (JSON,
+/// or DOT/ASCII text for the rendering analyses) plus a human-readable
+/// summary.
+///
+/// # Errors
+///
+/// Solver failures are reported as [`CliError::Solve`]; budget overruns of
+/// the classical analyses as [`CliError::Analysis`].
+pub fn run(options: &CliOptions) -> Result<(String, String), CliError> {
+    let tree = load_tree(options)?;
+    match options.analysis {
+        AnalysisKind::Mpmcs => run_mpmcs(options, &tree),
+        AnalysisKind::PathSet => run_path_set(options, &tree),
+        AnalysisKind::Importance => run_importance(&tree),
+        AnalysisKind::Modules => run_modules(&tree),
+        AnalysisKind::Stability => run_stability(&tree),
+        AnalysisKind::Dot => run_dot(options, &tree),
+        AnalysisKind::Ascii => Ok((
+            fault_tree::export::to_ascii(&tree),
+            format!("tree: {} rendered as text\n", tree.name()),
+        )),
+    }
+}
+
+/// The number of minimal cut sets the classical analyses are allowed to
+/// enumerate before giving up with [`CliError::Analysis`].
+const MOCUS_BUDGET: usize = 50_000;
+
+fn cut_sets_for_analysis(tree: &FaultTree) -> Result<Vec<fault_tree::CutSet>, CliError> {
+    ft_analysis::mocus::Mocus::with_budget(tree, MOCUS_BUDGET)
+        .minimal_cut_sets()
+        .map_err(|e| CliError::Analysis(e.to_string()))
+}
+
+fn exact_top_probability(tree: &FaultTree) -> f64 {
+    bdd_engine::compile_fault_tree(tree, bdd_engine::VariableOrdering::DepthFirst)
+        .top_event_probability(tree)
+}
+
+fn run_mpmcs(options: &CliOptions, tree: &FaultTree) -> Result<(String, String), CliError> {
+    let solver = MpmcsSolver::with_options(MpmcsOptions {
+        algorithm: options.algorithm,
+        ..MpmcsOptions::new()
+    });
+    let solutions = if options.all {
+        solver.enumerate(tree, EnumerationLimit::All)?
+    } else if let Some(k) = options.top_k {
+        solver.solve_top_k(tree, k)?
+    } else {
+        vec![solver.solve(tree)?]
+    };
+    let reports: Vec<MpmcsReport> = solutions
+        .iter()
+        .map(|solution| MpmcsReport::new(tree, solution))
+        .collect();
+    let json = if reports.len() == 1 {
+        reports[0].to_json()
+    } else {
+        serde_json::to_string_pretty(&reports).expect("reports always serialise")
+    };
+    let mut summary = String::new();
+    summary.push_str(&format!(
+        "tree: {} ({} events, {} gates)\n",
+        tree.name(),
+        tree.num_events(),
+        tree.num_gates()
+    ));
+    for (rank, solution) in solutions.iter().enumerate() {
+        summary.push_str(&format!(
+            "#{}: {} p={:.6e} ({} events, {}, {:.2} ms)\n",
+            rank + 1,
+            solution.cut_set.display_names(tree),
+            solution.probability,
+            solution.cut_set.len(),
+            solution.algorithm,
+            solution.duration.as_secs_f64() * 1e3
+        ));
+    }
+    Ok((json, summary))
+}
+
+fn run_path_set(options: &CliOptions, tree: &FaultTree) -> Result<(String, String), CliError> {
+    let solver = MpmcsSolver::with_options(MpmcsOptions {
+        algorithm: options.algorithm,
+        ..MpmcsOptions::new()
+    });
+    let solutions = if options.all {
+        solver.enumerate_path_sets(tree, EnumerationLimit::All)?
+    } else if let Some(k) = options.top_k {
+        solver.enumerate_path_sets(tree, EnumerationLimit::AtMost(k))?
+    } else {
+        vec![solver.solve_max_reliability_path_set(tree)?]
+    };
+    let json = serde_json::to_string_pretty(
+        &solutions
+            .iter()
+            .map(|solution| {
+                serde_json::json!({
+                    "events": solution.event_names(tree),
+                    "reliability": solution.reliability,
+                    "log_weight": solution.log_weight,
+                    "algorithm": solution.algorithm,
+                })
+            })
+            .collect::<Vec<_>>(),
+    )
+    .expect("path-set reports always serialise");
+    let mut summary = format!("maximum-reliability minimal path sets of {}\n", tree.name());
+    for (rank, solution) in solutions.iter().enumerate() {
+        summary.push_str(&format!(
+            "#{}: {} reliability={:.6}\n",
+            rank + 1,
+            solution.path_set.display_names(tree),
+            solution.reliability
+        ));
+    }
+    Ok((json, summary))
+}
+
+fn run_importance(tree: &FaultTree) -> Result<(String, String), CliError> {
+    let cut_sets = cut_sets_for_analysis(tree)?;
+    let table =
+        ft_analysis::importance::ImportanceTable::compute(tree, &cut_sets, exact_top_probability);
+    let json = serde_json::to_string_pretty(
+        &tree
+            .event_ids()
+            .map(|event| {
+                let i = event.index();
+                serde_json::json!({
+                    "event": tree.event(event).name(),
+                    "birnbaum": table.birnbaum[i],
+                    "fussell_vesely": table.fussell_vesely[i],
+                    "raw": table.raw[i],
+                    "rrw": if table.rrw[i].is_finite() { Some(table.rrw[i]) } else { None },
+                    "criticality": table.criticality[i],
+                    "structural": table.structural[i],
+                })
+            })
+            .collect::<Vec<_>>(),
+    )
+    .expect("importance tables always serialise");
+    Ok((json, table.render(tree)))
+}
+
+fn run_modules(tree: &FaultTree) -> Result<(String, String), CliError> {
+    let report = ft_analysis::modules::ModularReport::of(tree);
+    let json = serde_json::to_string_pretty(&serde_json::json!({
+        "modules": report
+            .modules
+            .iter()
+            .map(|&g| tree.gate(g).name())
+            .collect::<Vec<_>>(),
+        "repeated_events": report.repeated_events,
+        "independent_probability": report.independent_probability,
+    }))
+    .expect("module reports always serialise");
+    Ok((json, report.render(tree)))
+}
+
+fn run_stability(tree: &FaultTree) -> Result<(String, String), CliError> {
+    let cut_sets = cut_sets_for_analysis(tree)?;
+    let stability = ft_analysis::sensitivity::MpmcsStability::of(tree, &cut_sets)
+        .ok_or_else(|| CliError::Analysis("the tree has no minimal cut set".to_string()))?;
+    let json = serde_json::to_string_pretty(&serde_json::json!({
+        "mpmcs": stability.mpmcs.display_names(tree),
+        "probability": stability.probability,
+        "margins": stability
+            .margins
+            .iter()
+            .map(|(event, threshold, margin)| {
+                serde_json::json!({
+                    "event": tree.event(*event).name(),
+                    "switch_threshold": threshold,
+                    "relative_margin": margin,
+                })
+            })
+            .collect::<Vec<_>>(),
+    }))
+    .expect("stability reports always serialise");
+    Ok((json, stability.render(tree)))
+}
+
+fn run_dot(options: &CliOptions, tree: &FaultTree) -> Result<(String, String), CliError> {
+    let solver = MpmcsSolver::with_options(MpmcsOptions {
+        algorithm: options.algorithm,
+        ..MpmcsOptions::new()
+    });
+    let solution = solver.solve(tree)?;
+    let dot = fault_tree::export::to_dot_with_highlight(tree, Some(&solution.cut_set));
+    let summary = format!(
+        "DOT rendering of {} with MPMCS {} (p={:.6e}) highlighted\n",
+        tree.name(),
+        solution.cut_set.display_names(tree),
+        solution.probability
+    );
+    Ok((dot, summary))
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_typical_invocation() {
+        let options = parse_args(["--algorithm", "oll", "--top-k", "3", "tree.json"]).unwrap();
+        assert_eq!(options.algorithm, AlgorithmChoice::Oll);
+        assert_eq!(options.top_k, Some(3));
+        assert!(matches!(options.input, InputSource::File { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        assert!(matches!(parse_args(["--help"]), Err(CliError::Usage(_))));
+        assert!(matches!(parse_args(["--top-k"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(["--top-k", "0", "x.json"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["--algorithm", "magic", "x.json"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(parse_args(Vec::<String>::new()), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(["a.json", "b.json"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["--unknown", "x.json"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn runs_the_builtin_example_end_to_end() {
+        let options = parse_args(["--example", "fps", "--algorithm", "sequential", "--quiet"]).unwrap();
+        let (json, summary) = run(&options).unwrap();
+        assert!(json.contains("\"x1\""));
+        assert!(json.contains("\"x2\""));
+        assert!(summary.contains("{x1, x2}"));
+        assert!(summary.contains("7 events"));
+    }
+
+    #[test]
+    fn runs_top_k_and_all_modes() {
+        let options = parse_args(["--example", "fps", "--top-k", "2", "--algorithm", "oll"]).unwrap();
+        let (json, summary) = run(&options).unwrap();
+        assert!(summary.lines().count() >= 3);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.as_array().map(|a| a.len()), Some(2));
+
+        let options = parse_args(["--example", "fps", "--all", "--algorithm", "oll"]).unwrap();
+        let (json, _) = run(&options).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.as_array().map(|a| a.len()), Some(5));
+    }
+
+    #[test]
+    fn runs_on_generated_trees() {
+        let options = parse_args(["--generate", "150", "--seed", "3", "--algorithm", "oll"]).unwrap();
+        let (json, _) = run(&options).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(parsed["probability"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn loads_files_in_both_formats() {
+        use std::io::Write;
+        let dir = std::env::temp_dir();
+        let galileo_path = dir.join("mpmcs4fta_cli_test.dft");
+        let mut file = fs::File::create(&galileo_path).unwrap();
+        write!(
+            file,
+            "toplevel top;\ntop and a b;\na prob=0.5;\nb prob=0.25;\n"
+        )
+        .unwrap();
+        let options = parse_args([galileo_path.to_str().unwrap(), "--algorithm", "oll"]).unwrap();
+        let (json, _) = run(&options).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!((parsed["probability"].as_f64().unwrap() - 0.125).abs() < 1e-9);
+
+        let json_path = dir.join("mpmcs4fta_cli_test.json");
+        let tree = examples::fire_protection_system();
+        fs::write(&json_path, fault_tree::parser::json::to_json_string(&tree)).unwrap();
+        let options = parse_args([json_path.to_str().unwrap(), "--algorithm", "oll"]).unwrap();
+        let (json, _) = run(&options).unwrap();
+        assert!(json.contains("\"x1\""));
+        let _ = fs::remove_file(galileo_path);
+        let _ = fs::remove_file(json_path);
+    }
+
+    #[test]
+    fn unknown_examples_are_rejected() {
+        let options = parse_args(["--example", "nope"]).unwrap();
+        assert!(matches!(run(&options), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn path_set_analysis_reports_the_dual_optimum() {
+        let options =
+            parse_args(["--example", "fps", "--analysis", "path-set", "--algorithm", "oll"]).unwrap();
+        let (json, summary) = run(&options).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.as_array().map(|a| a.len()), Some(1));
+        assert!(summary.contains("reliability"));
+        let all = parse_args([
+            "--example", "fps", "--analysis", "path-set", "--all", "--algorithm", "oll",
+        ])
+        .unwrap();
+        let (json, _) = run(&all).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.as_array().map(|a| a.len()), Some(4));
+    }
+
+    #[test]
+    fn importance_modules_and_stability_analyses_render_tables() {
+        let importance =
+            parse_args(["--example", "fps", "--analysis", "importance"]).unwrap();
+        let (json, summary) = run(&importance).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.as_array().map(|a| a.len()), Some(7));
+        assert!(summary.contains("birnbaum"));
+
+        let modules = parse_args(["--example", "fps", "--analysis", "modules"]).unwrap();
+        let (json, summary) = run(&modules).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["repeated_events"].as_u64(), Some(0));
+        assert!(summary.contains("modules"));
+
+        let stability = parse_args(["--example", "fps", "--analysis", "stability"]).unwrap();
+        let (json, summary) = run(&stability).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["mpmcs"].as_str(), Some("{x1, x2}"));
+        assert!(summary.contains("margin"));
+    }
+
+    #[test]
+    fn dot_and_ascii_analyses_render_the_tree() {
+        let dot = parse_args(["--example", "scada", "--analysis", "dot", "--algorithm", "oll"]).unwrap();
+        let (output, summary) = run(&dot).unwrap();
+        assert!(output.starts_with("digraph"));
+        assert!(summary.contains("highlighted"));
+
+        let ascii = parse_args(["--example", "hydraulics", "--analysis", "ascii"]).unwrap();
+        let (output, _) = run(&ascii).unwrap();
+        assert!(output.contains("2/3 VOTE"));
+    }
+
+    #[test]
+    fn unknown_analyses_are_rejected() {
+        assert!(matches!(
+            parse_args(["--example", "fps", "--analysis", "magic"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

@@ -1,0 +1,44 @@
+//! The `mpmcs4fta` command line entry point.
+
+use std::process::ExitCode;
+
+use mpmcs4fta_cli::{parse_args, run, CliError};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(args) {
+        Ok(options) => options,
+        Err(error) => {
+            eprintln!("{error}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&options) {
+        Ok((json, summary)) => {
+            if !options.quiet {
+                eprint!("{summary}");
+            }
+            match &options.output {
+                Some(path) => {
+                    if let Err(error) = std::fs::write(path, json) {
+                        eprintln!("cannot write {}: {error}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                    if !options.quiet {
+                        eprintln!("report written to {}", path.display());
+                    }
+                }
+                None => println!("{json}"),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(error @ CliError::Usage(_)) => {
+            eprintln!("{error}");
+            ExitCode::from(2)
+        }
+        Err(error) => {
+            eprintln!("{error}");
+            ExitCode::FAILURE
+        }
+    }
+}

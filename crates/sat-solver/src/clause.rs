@@ -1,0 +1,148 @@
+//! Clause storage.
+//!
+//! Clauses live in a [`ClauseDb`] (crate-private) and are referred to by a
+//! stable [`ClauseRef`]. Learnt clauses carry an activity used for database
+//! reduction.
+
+use crate::lit::Lit;
+
+/// A reference to a clause stored in the solver's clause database.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ClauseRef(pub(crate) u32);
+
+impl ClauseRef {
+    /// Dense index of the clause inside the database.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A disjunction of literals.
+#[derive(Clone, Debug)]
+pub struct Clause {
+    pub(crate) lits: Vec<Lit>,
+    pub(crate) learnt: bool,
+    pub(crate) activity: f64,
+    pub(crate) deleted: bool,
+    /// Literal block distance (glue) for learnt clauses.
+    pub(crate) lbd: u32,
+}
+
+impl Clause {
+    pub(crate) fn new(lits: Vec<Lit>, learnt: bool) -> Self {
+        Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+            deleted: false,
+            lbd: 0,
+        }
+    }
+
+    /// The literals of this clause.
+    #[inline]
+    pub fn literals(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Number of literals in the clause.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// `true` if the clause has no literals (the empty clause, i.e. ⊥).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// `true` if this clause was learnt during conflict analysis.
+    #[inline]
+    pub fn is_learnt(&self) -> bool {
+        self.learnt
+    }
+}
+
+/// The clause database: original and learnt clauses, addressed by [`ClauseRef`].
+#[derive(Default, Debug)]
+pub(crate) struct ClauseDb {
+    pub(crate) clauses: Vec<Clause>,
+    /// Number of non-deleted learnt clauses.
+    pub(crate) num_learnt: usize,
+    /// Sum of wasted (deleted) clause slots, used to trigger compaction.
+    pub(crate) wasted: usize,
+}
+
+impl ClauseDb {
+    pub(crate) fn add(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        let idx = self.clauses.len();
+        self.clauses.push(Clause::new(lits, learnt));
+        if learnt {
+            self.num_learnt += 1;
+        }
+        ClauseRef(idx as u32)
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, cref: ClauseRef) -> &Clause {
+        &self.clauses[cref.index()]
+    }
+
+    #[inline]
+    pub(crate) fn get_mut(&mut self, cref: ClauseRef) -> &mut Clause {
+        &mut self.clauses[cref.index()]
+    }
+
+    pub(crate) fn delete(&mut self, cref: ClauseRef) {
+        let clause = &mut self.clauses[cref.index()];
+        if !clause.deleted {
+            clause.deleted = true;
+            self.wasted += clause.lits.len();
+            if clause.learnt {
+                self.num_learnt -= 1;
+            }
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.clauses.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::{Lit, Var};
+
+    fn lit(i: usize) -> Lit {
+        Lit::positive(Var::from_index(i))
+    }
+
+    #[test]
+    fn adding_and_fetching_clauses() {
+        let mut db = ClauseDb::default();
+        let c0 = db.add(vec![lit(0), lit(1)], false);
+        let c1 = db.add(vec![lit(2)], true);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.get(c0).len(), 2);
+        assert!(db.get(c1).is_learnt());
+        assert_eq!(db.num_learnt, 1);
+        assert!(!db.get(c0).is_empty());
+    }
+
+    #[test]
+    fn deleting_learnt_clauses_updates_counters() {
+        let mut db = ClauseDb::default();
+        let c = db.add(vec![lit(0), lit(1), lit(2)], true);
+        assert_eq!(db.num_learnt, 1);
+        db.delete(c);
+        assert_eq!(db.num_learnt, 0);
+        assert_eq!(db.wasted, 3);
+        // Deleting twice is idempotent.
+        db.delete(c);
+        assert_eq!(db.num_learnt, 0);
+        assert_eq!(db.wasted, 3);
+    }
+}

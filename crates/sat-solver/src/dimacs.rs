@@ -1,0 +1,218 @@
+//! Reading and writing CNF formulas in the DIMACS format.
+//!
+//! The parser accepts the usual liberal variant of the format: comment lines
+//! starting with `c`, an optional `p cnf <vars> <clauses>` header, clauses
+//! spanning multiple lines, and extra whitespace.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::cnf::CnfFormula;
+use crate::lit::Lit;
+
+/// Errors produced while parsing DIMACS input.
+#[derive(Debug)]
+pub enum ParseDimacsError {
+    /// An I/O error occurred while reading.
+    Io(io::Error),
+    /// A token could not be parsed as an integer.
+    InvalidToken {
+        /// Line number (1-based).
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// The `p cnf` header is malformed.
+    InvalidHeader {
+        /// Line number (1-based).
+        line: usize,
+    },
+    /// A clause was not terminated by `0` at end of input.
+    UnterminatedClause,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDimacsError::Io(e) => write!(f, "i/o error while reading DIMACS: {e}"),
+            ParseDimacsError::InvalidToken { line, token } => {
+                write!(f, "invalid DIMACS token {token:?} on line {line}")
+            }
+            ParseDimacsError::InvalidHeader { line } => {
+                write!(f, "invalid DIMACS header on line {line}")
+            }
+            ParseDimacsError::UnterminatedClause => {
+                write!(f, "unterminated clause at end of DIMACS input")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseDimacsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseDimacsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseDimacsError {
+    fn from(e: io::Error) -> Self {
+        ParseDimacsError::Io(e)
+    }
+}
+
+/// Parses a DIMACS CNF formula from a reader.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on I/O failures, malformed headers or tokens,
+/// and unterminated clauses.
+pub fn parse_dimacs<R: BufRead>(reader: R) -> Result<CnfFormula, ParseDimacsError> {
+    let mut cnf = CnfFormula::new();
+    let mut current: Vec<Lit> = Vec::new();
+    let mut declared_vars = 0usize;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if line.starts_with('p') {
+            let mut parts = line.split_whitespace();
+            let _p = parts.next();
+            let fmt_token = parts.next();
+            let vars = parts.next().and_then(|t| t.parse::<usize>().ok());
+            let clauses = parts.next().and_then(|t| t.parse::<usize>().ok());
+            match (fmt_token, vars, clauses) {
+                (Some("cnf"), Some(v), Some(_)) => {
+                    declared_vars = v;
+                    continue;
+                }
+                _ => return Err(ParseDimacsError::InvalidHeader { line: lineno + 1 }),
+            }
+        }
+        for token in line.split_whitespace() {
+            let value: i64 = token.parse().map_err(|_| ParseDimacsError::InvalidToken {
+                line: lineno + 1,
+                token: token.to_string(),
+            })?;
+            if value == 0 {
+                cnf.add_clause(current.drain(..));
+            } else {
+                current.push(Lit::from_dimacs(value));
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseDimacsError::UnterminatedClause);
+    }
+    cnf.ensure_vars(declared_vars);
+    Ok(cnf)
+}
+
+/// Parses a DIMACS CNF formula from a string.
+///
+/// # Errors
+///
+/// See [`parse_dimacs`].
+pub fn parse_dimacs_str(input: &str) -> Result<CnfFormula, ParseDimacsError> {
+    parse_dimacs(input.as_bytes())
+}
+
+/// Writes a formula in DIMACS format.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_dimacs<W: Write>(writer: &mut W, cnf: &CnfFormula) -> io::Result<()> {
+    writeln!(writer, "p cnf {} {}", cnf.num_vars(), cnf.num_clauses())?;
+    for clause in cnf.clauses() {
+        for lit in clause {
+            write!(writer, "{} ", lit.to_dimacs())?;
+        }
+        writeln!(writer, "0")?;
+    }
+    Ok(())
+}
+
+/// Renders a formula to a DIMACS string.
+pub fn to_dimacs_string(cnf: &CnfFormula) -> String {
+    let mut buffer = Vec::new();
+    write_dimacs(&mut buffer, cnf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buffer).expect("DIMACS output is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+    use crate::solver::Solver;
+
+    #[test]
+    fn parses_a_simple_instance() {
+        let text = "c example\np cnf 3 2\n1 -3 0\n2 3 -1 0\n";
+        let cnf = parse_dimacs_str(text).expect("valid DIMACS");
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.num_clauses(), 2);
+        let clauses: Vec<Vec<i64>> = cnf
+            .clauses()
+            .map(|c| c.iter().map(|l| l.to_dimacs()).collect())
+            .collect();
+        assert_eq!(clauses, vec![vec![1, -3], vec![2, 3, -1]]);
+    }
+
+    #[test]
+    fn parses_clauses_spanning_lines_and_comments() {
+        let text = "p cnf 2 1\nc a comment\n1\n-2\n0\n";
+        let cnf = parse_dimacs_str(text).expect("valid DIMACS");
+        assert_eq!(cnf.num_clauses(), 1);
+        assert_eq!(cnf.clauses().next().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_tokens_and_unterminated_clauses() {
+        assert!(matches!(
+            parse_dimacs_str("p cnf 2 1\n1 x 0\n"),
+            Err(ParseDimacsError::InvalidToken { .. })
+        ));
+        assert!(matches!(
+            parse_dimacs_str("p cnf 2 1\n1 2\n"),
+            Err(ParseDimacsError::UnterminatedClause)
+        ));
+        assert!(matches!(
+            parse_dimacs_str("p dnf 2 1\n1 2 0\n"),
+            Err(ParseDimacsError::InvalidHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn write_then_parse_round_trips() {
+        let mut cnf = CnfFormula::new();
+        cnf.add_clause([Lit::positive(Var::from_index(0)), Lit::negative(Var::from_index(4))]);
+        cnf.add_clause([Lit::negative(Var::from_index(2))]);
+        let text = to_dimacs_string(&cnf);
+        let parsed = parse_dimacs_str(&text).expect("round trip");
+        assert_eq!(parsed.num_vars(), cnf.num_vars());
+        let a: Vec<Vec<i64>> = cnf
+            .clauses()
+            .map(|c| c.iter().map(|l| l.to_dimacs()).collect())
+            .collect();
+        let b: Vec<Vec<i64>> = parsed
+            .clauses()
+            .map(|c| c.iter().map(|l| l.to_dimacs()).collect())
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parsed_formula_is_solvable() {
+        let text = "p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n";
+        let cnf = parse_dimacs_str(text).expect("valid DIMACS");
+        let mut solver = Solver::from_cnf(&cnf);
+        let result = solver.solve();
+        let model = result.model().expect("satisfiable");
+        assert_eq!(cnf.evaluate(model.as_slice()), Some(true));
+    }
+}

@@ -1,0 +1,248 @@
+//! A Boolean expression tree used as the input language of the Tseitin encoder.
+//!
+//! Fault trees are compiled to [`BoolExpr`] (by the `fault-tree` crate) and
+//! then to CNF (paper Step 2). The expression type supports the gate
+//! vocabulary of the paper plus the voting (`at least k of n`) extension
+//! mentioned as future work.
+
+use std::sync::Arc;
+
+use crate::lit::Var;
+
+/// A Boolean expression over solver variables.
+///
+/// Sub-expressions are reference counted so that shared subtrees (fault-tree
+/// DAGs with repeated events or shared gates) are represented — and encoded —
+/// only once.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum BoolExpr {
+    /// The constant `true`.
+    True,
+    /// The constant `false`.
+    False,
+    /// A variable.
+    Var(Var),
+    /// Negation of a sub-expression.
+    Not(Arc<BoolExpr>),
+    /// Conjunction of the sub-expressions (empty conjunction is `true`).
+    And(Vec<Arc<BoolExpr>>),
+    /// Disjunction of the sub-expressions (empty disjunction is `false`).
+    Or(Vec<Arc<BoolExpr>>),
+    /// At least `k` of the sub-expressions hold (a voting / k-out-of-n gate).
+    AtLeast(usize, Vec<Arc<BoolExpr>>),
+}
+
+impl BoolExpr {
+    /// A variable expression.
+    pub fn var(var: Var) -> Arc<BoolExpr> {
+        Arc::new(BoolExpr::Var(var))
+    }
+
+    /// Negation, with double-negation and constant simplification.
+    pub fn not(expr: Arc<BoolExpr>) -> Arc<BoolExpr> {
+        match &*expr {
+            BoolExpr::Not(inner) => inner.clone(),
+            BoolExpr::True => Arc::new(BoolExpr::False),
+            BoolExpr::False => Arc::new(BoolExpr::True),
+            _ => Arc::new(BoolExpr::Not(expr)),
+        }
+    }
+
+    /// N-ary conjunction with constant folding.
+    pub fn and(children: Vec<Arc<BoolExpr>>) -> Arc<BoolExpr> {
+        let mut kept = Vec::with_capacity(children.len());
+        for child in children {
+            match &*child {
+                BoolExpr::True => {}
+                BoolExpr::False => return Arc::new(BoolExpr::False),
+                _ => kept.push(child),
+            }
+        }
+        match kept.len() {
+            0 => Arc::new(BoolExpr::True),
+            1 => kept.pop().expect("single child"),
+            _ => Arc::new(BoolExpr::And(kept)),
+        }
+    }
+
+    /// N-ary disjunction with constant folding.
+    pub fn or(children: Vec<Arc<BoolExpr>>) -> Arc<BoolExpr> {
+        let mut kept = Vec::with_capacity(children.len());
+        for child in children {
+            match &*child {
+                BoolExpr::False => {}
+                BoolExpr::True => return Arc::new(BoolExpr::True),
+                _ => kept.push(child),
+            }
+        }
+        match kept.len() {
+            0 => Arc::new(BoolExpr::False),
+            1 => kept.pop().expect("single child"),
+            _ => Arc::new(BoolExpr::Or(kept)),
+        }
+    }
+
+    /// `at least k of n` with boundary simplification (`k == 0` ⇒ true,
+    /// `k > n` ⇒ false, `k == 1` ⇒ OR, `k == n` ⇒ AND).
+    pub fn at_least(k: usize, children: Vec<Arc<BoolExpr>>) -> Arc<BoolExpr> {
+        let n = children.len();
+        if k == 0 {
+            return Arc::new(BoolExpr::True);
+        }
+        if k > n {
+            return Arc::new(BoolExpr::False);
+        }
+        if k == 1 {
+            return BoolExpr::or(children);
+        }
+        if k == n {
+            return BoolExpr::and(children);
+        }
+        Arc::new(BoolExpr::AtLeast(k, children))
+    }
+
+    /// Evaluates the expression under a total assignment indexed by variable.
+    ///
+    /// Returns `None` if the assignment does not cover some variable.
+    pub fn evaluate(&self, assignment: &[bool]) -> Option<bool> {
+        match self {
+            BoolExpr::True => Some(true),
+            BoolExpr::False => Some(false),
+            BoolExpr::Var(v) => assignment.get(v.index()).copied(),
+            BoolExpr::Not(e) => e.evaluate(assignment).map(|b| !b),
+            BoolExpr::And(children) => {
+                for c in children {
+                    if !c.evaluate(assignment)? {
+                        return Some(false);
+                    }
+                }
+                Some(true)
+            }
+            BoolExpr::Or(children) => {
+                for c in children {
+                    if c.evaluate(assignment)? {
+                        return Some(true);
+                    }
+                }
+                Some(false)
+            }
+            BoolExpr::AtLeast(k, children) => {
+                let mut count = 0usize;
+                for c in children {
+                    if c.evaluate(assignment)? {
+                        count += 1;
+                        if count >= *k {
+                            return Some(true);
+                        }
+                    }
+                }
+                Some(count >= *k)
+            }
+        }
+    }
+
+    /// Collects the set of variables occurring in the expression (sorted,
+    /// deduplicated).
+    pub fn variables(&self) -> Vec<Var> {
+        fn walk(expr: &BoolExpr, acc: &mut Vec<Var>) {
+            match expr {
+                BoolExpr::True | BoolExpr::False => {}
+                BoolExpr::Var(v) => acc.push(*v),
+                BoolExpr::Not(e) => walk(e, acc),
+                BoolExpr::And(cs) | BoolExpr::Or(cs) | BoolExpr::AtLeast(_, cs) => {
+                    for c in cs {
+                        walk(c, acc);
+                    }
+                }
+            }
+        }
+        let mut vars = Vec::new();
+        walk(self, &mut vars);
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
+    /// Number of nodes in the expression tree (shared nodes counted once per
+    /// occurrence).
+    pub fn node_count(&self) -> usize {
+        match self {
+            BoolExpr::True | BoolExpr::False | BoolExpr::Var(_) => 1,
+            BoolExpr::Not(e) => 1 + e.node_count(),
+            BoolExpr::And(cs) | BoolExpr::Or(cs) | BoolExpr::AtLeast(_, cs) => {
+                1 + cs.iter().map(|c| c.node_count()).sum::<usize>()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> Arc<BoolExpr> {
+        BoolExpr::var(Var::from_index(i))
+    }
+
+    #[test]
+    fn constant_folding_in_and_or() {
+        let t = Arc::new(BoolExpr::True);
+        let f = Arc::new(BoolExpr::False);
+        assert_eq!(*BoolExpr::and(vec![t.clone(), v(0)]), BoolExpr::Var(Var::from_index(0)));
+        assert_eq!(*BoolExpr::and(vec![f.clone(), v(0)]), BoolExpr::False);
+        assert_eq!(*BoolExpr::or(vec![f.clone(), v(1)]), BoolExpr::Var(Var::from_index(1)));
+        assert_eq!(*BoolExpr::or(vec![t, v(1)]), BoolExpr::True);
+        assert_eq!(*BoolExpr::and(vec![]), BoolExpr::True);
+        assert_eq!(*BoolExpr::or(vec![]), BoolExpr::False);
+    }
+
+    #[test]
+    fn double_negation_is_removed() {
+        let e = BoolExpr::not(BoolExpr::not(v(3)));
+        assert_eq!(*e, BoolExpr::Var(Var::from_index(3)));
+    }
+
+    #[test]
+    fn at_least_boundary_cases() {
+        assert_eq!(*BoolExpr::at_least(0, vec![v(0), v(1)]), BoolExpr::True);
+        assert_eq!(*BoolExpr::at_least(3, vec![v(0), v(1)]), BoolExpr::False);
+        // k == 1 is OR, k == n is AND.
+        assert!(matches!(*BoolExpr::at_least(1, vec![v(0), v(1)]), BoolExpr::Or(_)));
+        assert!(matches!(*BoolExpr::at_least(2, vec![v(0), v(1)]), BoolExpr::And(_)));
+        assert!(matches!(
+            *BoolExpr::at_least(2, vec![v(0), v(1), v(2)]),
+            BoolExpr::AtLeast(2, _)
+        ));
+    }
+
+    #[test]
+    fn evaluation_matches_semantics() {
+        // (x0 ∧ x1) ∨ ¬x2
+        let e = BoolExpr::or(vec![BoolExpr::and(vec![v(0), v(1)]), BoolExpr::not(v(2))]);
+        assert_eq!(e.evaluate(&[true, true, true]), Some(true));
+        assert_eq!(e.evaluate(&[true, false, true]), Some(false));
+        assert_eq!(e.evaluate(&[false, false, false]), Some(true));
+        assert_eq!(e.evaluate(&[true]), None);
+    }
+
+    #[test]
+    fn at_least_evaluation_counts_true_children() {
+        let e = BoolExpr::at_least(2, vec![v(0), v(1), v(2)]);
+        assert_eq!(e.evaluate(&[true, true, false]), Some(true));
+        assert_eq!(e.evaluate(&[true, false, false]), Some(false));
+        assert_eq!(e.evaluate(&[false, true, true]), Some(true));
+    }
+
+    #[test]
+    fn variables_are_collected_and_deduplicated() {
+        let e = BoolExpr::and(vec![v(2), BoolExpr::or(vec![v(0), v(2), v(5)])]);
+        let vars: Vec<usize> = e.variables().iter().map(|v| v.index()).collect();
+        assert_eq!(vars, vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn node_count_counts_tree_nodes() {
+        let e = BoolExpr::and(vec![v(0), BoolExpr::or(vec![v(1), v(2)])]);
+        assert_eq!(e.node_count(), 5);
+    }
+}

@@ -1,0 +1,192 @@
+//! An indexed max-heap over variables ordered by VSIDS activity.
+//!
+//! The heap supports `decrease`/`increase` by position lookup, which the
+//! solver needs when it bumps the activity of a variable that is already
+//! enqueued.
+
+use crate::lit::Var;
+
+/// Indexed binary max-heap keyed by an external activity array.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct VarHeap {
+    /// Heap of variable indices.
+    heap: Vec<u32>,
+    /// Position of each variable in `heap`, or `usize::MAX` if absent.
+    positions: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarHeap {
+    pub(crate) fn new() -> Self {
+        VarHeap::default()
+    }
+
+    /// Ensures the position table covers `n` variables.
+    pub(crate) fn grow(&mut self, n: usize) {
+        if self.positions.len() < n {
+            self.positions.resize(n, ABSENT);
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub(crate) fn contains(&self, var: Var) -> bool {
+        self.positions
+            .get(var.index())
+            .map(|&p| p != ABSENT)
+            .unwrap_or(false)
+    }
+
+    pub(crate) fn insert(&mut self, var: Var, activity: &[f64]) {
+        self.grow(var.index() + 1);
+        if self.contains(var) {
+            return;
+        }
+        let pos = self.heap.len();
+        self.heap.push(var.0);
+        self.positions[var.index()] = pos;
+        self.sift_up(pos, activity);
+    }
+
+    /// Removes and returns the variable with maximum activity.
+    pub(crate) fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("non-empty heap");
+        self.positions[top as usize] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.positions[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(Var(top))
+    }
+
+    /// Restores the heap property after the activity of `var` increased.
+    pub(crate) fn update(&mut self, var: Var, activity: &[f64]) {
+        if let Some(&pos) = self.positions.get(var.index()) {
+            if pos != ABSENT {
+                self.sift_up(pos, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut pos: usize, activity: &[f64]) {
+        let var = self.heap[pos];
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            let parent_var = self.heap[parent];
+            if activity[var as usize] > activity[parent_var as usize] {
+                self.heap[pos] = parent_var;
+                self.positions[parent_var as usize] = pos;
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+        self.heap[pos] = var;
+        self.positions[var as usize] = pos;
+    }
+
+    fn sift_down(&mut self, mut pos: usize, activity: &[f64]) {
+        let var = self.heap[pos];
+        let len = self.heap.len();
+        loop {
+            let left = 2 * pos + 1;
+            if left >= len {
+                break;
+            }
+            let right = left + 1;
+            let mut child = left;
+            if right < len
+                && activity[self.heap[right] as usize] > activity[self.heap[left] as usize]
+            {
+                child = right;
+            }
+            let child_var = self.heap[child];
+            if activity[child_var as usize] > activity[var as usize] {
+                self.heap[pos] = child_var;
+                self.positions[child_var as usize] = pos;
+                pos = child;
+            } else {
+                break;
+            }
+        }
+        self.heap[pos] = var;
+        self.positions[var as usize] = pos;
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self, activity: &[f64]) {
+        for (pos, &v) in self.heap.iter().enumerate() {
+            assert_eq!(self.positions[v as usize], pos);
+            if pos > 0 {
+                let parent = self.heap[(pos - 1) / 2];
+                assert!(activity[parent as usize] >= activity[v as usize]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![0.5, 3.0, 1.0, 2.0, 0.1];
+        let mut heap = VarHeap::new();
+        heap.grow(5);
+        for i in 0..5 {
+            heap.insert(Var::from_index(i), &activity);
+        }
+        heap.check_invariants(&activity);
+        let order: Vec<usize> = std::iter::from_fn(|| heap.pop_max(&activity))
+            .map(|v| v.index())
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 0, 4]);
+        assert!(heap.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_is_ignored() {
+        let activity = vec![1.0, 2.0];
+        let mut heap = VarHeap::new();
+        heap.insert(Var::from_index(0), &activity);
+        heap.insert(Var::from_index(0), &activity);
+        assert_eq!(heap.pop_max(&activity), Some(Var::from_index(0)));
+        assert_eq!(heap.pop_max(&activity), None);
+    }
+
+    #[test]
+    fn update_after_activity_bump_reorders() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut heap = VarHeap::new();
+        for i in 0..3 {
+            heap.insert(Var::from_index(i), &activity);
+        }
+        // Bump variable 0 above everything else.
+        activity[0] = 10.0;
+        heap.update(Var::from_index(0), &activity);
+        heap.check_invariants(&activity);
+        assert_eq!(heap.pop_max(&activity), Some(Var::from_index(0)));
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let activity = vec![1.0; 4];
+        let mut heap = VarHeap::new();
+        heap.grow(4);
+        assert!(!heap.contains(Var::from_index(2)));
+        heap.insert(Var::from_index(2), &activity);
+        assert!(heap.contains(Var::from_index(2)));
+        heap.pop_max(&activity);
+        assert!(!heap.contains(Var::from_index(2)));
+    }
+}

@@ -1,0 +1,53 @@
+//! A from-scratch CDCL (conflict-driven clause learning) SAT solver.
+//!
+//! This crate is the SAT substrate of the MPMCS4FTA-rs workspace. It provides
+//! everything the MaxSAT layer and the MPMCS pipeline need:
+//!
+//! * [`Lit`] / [`Var`] — compact literal and variable types.
+//! * [`CnfFormula`] — a clause database that can be built incrementally,
+//!   read from and written to DIMACS (see [`dimacs`]).
+//! * [`BoolExpr`] and [`tseitin::TseitinEncoder`] — an arbitrary Boolean
+//!   expression tree (with AND/OR/NOT and `at-least-k` voting operators) and
+//!   its polynomial-size, equisatisfiable CNF conversion (paper Step 2).
+//! * [`Solver`] — a CDCL solver with two-literal watches, first-UIP clause
+//!   learning, VSIDS branching, phase saving, Luby restarts, learnt-clause
+//!   database reduction, and **solving under assumptions** with final-core
+//!   extraction (needed by the core-guided MaxSAT algorithms).
+//!
+//! # Example
+//!
+//! ```rust
+//! use sat_solver::{Solver, Lit, SolveResult};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! solver.add_clause([Lit::positive(a), Lit::positive(b)]);
+//! solver.add_clause([Lit::negative(a)]);
+//! match solver.solve() {
+//!     SolveResult::Sat(model) => assert!(model.value(b)),
+//!     SolveResult::Unsat => unreachable!("formula is satisfiable"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clause;
+mod cnf;
+pub mod dimacs;
+pub mod preprocess;
+mod expr;
+mod heap;
+mod lit;
+mod solver;
+mod stats;
+pub mod tseitin;
+
+pub use clause::{Clause, ClauseRef};
+pub use preprocess::{preprocess, preprocess_with, PreprocessConfig, PreprocessResult, PreprocessStats};
+pub use cnf::CnfFormula;
+pub use expr::BoolExpr;
+pub use lit::{LBool, Lit, Var};
+pub use solver::{Model, SolveResult, Solver, SolverConfig};
+pub use stats::SolverStats;

@@ -1,0 +1,473 @@
+//! CNF preprocessing: cheap simplifications applied before search.
+//!
+//! Production SAT pipelines shrink the input formula before handing it to the
+//! CDCL engine. This module implements the standard inprocessing-free subset,
+//! sufficient for the fault-tree CNFs produced by the Tseitin encoder:
+//!
+//! * clause normalisation — duplicate-literal removal and tautology deletion,
+//! * top-level unit propagation to fixpoint, with conflict detection,
+//! * pure-literal elimination,
+//! * clause subsumption and self-subsuming resolution (strengthening).
+//!
+//! The result is *equisatisfiable* with the input over the same variable set;
+//! [`PreprocessResult::forced`] lists the literals the preprocessor fixed so
+//! callers can rebuild a full model of the original formula from a model of
+//! the simplified one (see [`PreprocessResult::extend_model`]).
+//!
+//! Note that pure-literal elimination is only sound for a standalone
+//! satisfiability query. Callers that add clauses incrementally or attach
+//! soft clauses to the variables (as the MaxSAT layer does) should use
+//! [`PreprocessConfig::for_incremental`], which keeps every variable.
+
+use std::collections::HashSet;
+
+use crate::cnf::CnfFormula;
+use crate::lit::Lit;
+
+/// Which simplifications to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PreprocessConfig {
+    /// Propagate top-level unit clauses to fixpoint.
+    pub unit_propagation: bool,
+    /// Fix literals that occur in only one polarity.
+    pub pure_literals: bool,
+    /// Remove clauses subsumed by smaller clauses and strengthen clauses by
+    /// self-subsuming resolution.
+    pub subsumption: bool,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig {
+            unit_propagation: true,
+            pure_literals: true,
+            subsumption: true,
+        }
+    }
+}
+
+impl PreprocessConfig {
+    /// A configuration that is safe when more clauses (or soft clauses over
+    /// the same variables) will be added later: pure-literal elimination is
+    /// disabled because purity is not stable under clause addition.
+    pub fn for_incremental() -> Self {
+        PreprocessConfig {
+            pure_literals: false,
+            ..PreprocessConfig::default()
+        }
+    }
+}
+
+/// Counters describing what the preprocessor did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PreprocessStats {
+    /// Tautological clauses removed.
+    pub tautologies: usize,
+    /// Literals fixed by top-level unit propagation.
+    pub propagated_units: usize,
+    /// Literals fixed by pure-literal elimination.
+    pub pure_literals: usize,
+    /// Clauses removed because another clause subsumes them.
+    pub subsumed: usize,
+    /// Literals removed by self-subsuming resolution.
+    pub strengthened: usize,
+}
+
+/// The outcome of preprocessing.
+#[derive(Clone, Debug)]
+pub struct PreprocessResult {
+    /// The simplified formula (same variable numbering as the input).
+    pub formula: CnfFormula,
+    /// `true` if the input was proven unsatisfiable at the top level.
+    pub conflict: bool,
+    /// Literals fixed by the preprocessor (unit propagation and pure
+    /// literals). Models of [`formula`](Self::formula) must be extended with
+    /// these to obtain models of the original input.
+    pub forced: Vec<Lit>,
+    /// What was simplified.
+    pub stats: PreprocessStats,
+}
+
+impl PreprocessResult {
+    /// Extends a model of the simplified formula into a model of the original
+    /// formula by applying the forced literals (later entries win, matching
+    /// the order in which they were derived).
+    pub fn extend_model(&self, model: &mut [bool]) {
+        for &lit in &self.forced {
+            if lit.var().index() < model.len() {
+                model[lit.var().index()] = lit.is_positive();
+            }
+        }
+    }
+}
+
+/// Runs the default preprocessing pipeline.
+pub fn preprocess(cnf: &CnfFormula) -> PreprocessResult {
+    preprocess_with(cnf, PreprocessConfig::default())
+}
+
+/// Runs preprocessing with an explicit configuration.
+pub fn preprocess_with(cnf: &CnfFormula, config: PreprocessConfig) -> PreprocessResult {
+    let num_vars = cnf.num_vars();
+    let mut stats = PreprocessStats::default();
+
+    // Phase 0: normalise clauses (dedup literals, drop tautologies).
+    let mut clauses: Vec<Vec<Lit>> = Vec::with_capacity(cnf.num_clauses());
+    for clause in cnf.clauses() {
+        let mut lits: Vec<Lit> = clause.to_vec();
+        lits.sort_by_key(|l| l.code());
+        lits.dedup();
+        let tautology = lits
+            .windows(2)
+            .any(|pair| pair[0].var() == pair[1].var() && pair[0] != pair[1]);
+        if tautology {
+            stats.tautologies += 1;
+            continue;
+        }
+        clauses.push(lits);
+    }
+
+    // assignment[var] = Some(value) once a literal is fixed.
+    let mut assignment: Vec<Option<bool>> = vec![None; num_vars];
+    let mut forced: Vec<Lit> = Vec::new();
+    let mut conflict = false;
+
+    let fix = |lit: Lit,
+                   assignment: &mut Vec<Option<bool>>,
+                   forced: &mut Vec<Lit>,
+                   conflict: &mut bool| {
+        match assignment[lit.var().index()] {
+            Some(value) if value != lit.is_positive() => *conflict = true,
+            Some(_) => {}
+            None => {
+                assignment[lit.var().index()] = Some(lit.is_positive());
+                forced.push(lit);
+            }
+        }
+    };
+
+    // Phase 1 + 2: alternate unit propagation and pure-literal elimination
+    // until neither makes progress.
+    loop {
+        let mut progress = false;
+
+        if config.unit_propagation && !conflict {
+            loop {
+                let mut changed = false;
+                let mut remaining: Vec<Vec<Lit>> = Vec::with_capacity(clauses.len());
+                for clause in clauses.drain(..) {
+                    let mut reduced: Vec<Lit> = Vec::with_capacity(clause.len());
+                    let mut satisfied = false;
+                    for &lit in &clause {
+                        match assignment[lit.var().index()] {
+                            Some(value) if value == lit.is_positive() => {
+                                satisfied = true;
+                                break;
+                            }
+                            Some(_) => {}
+                            None => reduced.push(lit),
+                        }
+                    }
+                    if satisfied {
+                        changed = true;
+                        continue;
+                    }
+                    match reduced.len() {
+                        0 => {
+                            conflict = true;
+                            changed = true;
+                        }
+                        1 => {
+                            stats.propagated_units += 1;
+                            fix(reduced[0], &mut assignment, &mut forced, &mut conflict);
+                            changed = true;
+                        }
+                        _ => {
+                            if reduced.len() != clause.len() {
+                                changed = true;
+                            }
+                            remaining.push(reduced);
+                        }
+                    }
+                }
+                clauses = remaining;
+                if !changed || conflict {
+                    break;
+                }
+                progress = true;
+            }
+        }
+
+        if config.pure_literals && !conflict {
+            let mut positive = vec![false; num_vars];
+            let mut negative = vec![false; num_vars];
+            for clause in &clauses {
+                for &lit in clause {
+                    if lit.is_positive() {
+                        positive[lit.var().index()] = true;
+                    } else {
+                        negative[lit.var().index()] = true;
+                    }
+                }
+            }
+            let mut pure: Vec<Lit> = Vec::new();
+            for index in 0..num_vars {
+                if assignment[index].is_some() {
+                    continue;
+                }
+                match (positive[index], negative[index]) {
+                    (true, false) => pure.push(Lit::positive(crate::lit::Var::from_index(index))),
+                    (false, true) => pure.push(Lit::negative(crate::lit::Var::from_index(index))),
+                    _ => {}
+                }
+            }
+            if !pure.is_empty() {
+                progress = true;
+                for lit in pure {
+                    stats.pure_literals += 1;
+                    fix(lit, &mut assignment, &mut forced, &mut conflict);
+                }
+                // Remove the (now satisfied) clauses containing a pure literal.
+                clauses.retain(|clause| {
+                    !clause
+                        .iter()
+                        .any(|lit| assignment[lit.var().index()] == Some(lit.is_positive()))
+                });
+            }
+        }
+
+        if !progress || conflict {
+            break;
+        }
+    }
+
+    // Phase 3: subsumption and self-subsuming resolution (quadratic with an
+    // early size filter; the fault-tree CNFs have short clauses).
+    if config.subsumption && !conflict {
+        clauses.sort_by_key(Vec::len);
+        let mut kept: Vec<Vec<Lit>> = Vec::with_capacity(clauses.len());
+        'outer: for mut clause in clauses {
+            loop {
+                let mut strengthened = false;
+                for small in &kept {
+                    if small.len() > clause.len() {
+                        break;
+                    }
+                    match subsumes_or_strengthens(small, &clause) {
+                        Subsumption::Subsumed => {
+                            stats.subsumed += 1;
+                            continue 'outer;
+                        }
+                        Subsumption::Strengthen(lit) => {
+                            clause.retain(|&l| l != lit);
+                            stats.strengthened += 1;
+                            strengthened = true;
+                            break;
+                        }
+                        Subsumption::None => {}
+                    }
+                }
+                if !strengthened {
+                    break;
+                }
+                if clause.is_empty() {
+                    conflict = true;
+                    break 'outer;
+                }
+            }
+            kept.push(clause);
+        }
+        clauses = kept;
+    }
+
+    let mut formula = CnfFormula::with_vars(num_vars);
+    if conflict {
+        formula.add_clause(Vec::<Lit>::new());
+    } else {
+        for clause in clauses {
+            formula.add_clause(clause);
+        }
+    }
+    PreprocessResult {
+        formula,
+        conflict,
+        forced,
+        stats,
+    }
+}
+
+enum Subsumption {
+    /// The small clause subsumes the big one (every literal occurs in it).
+    Subsumed,
+    /// Self-subsuming resolution applies: all but one literal of the small
+    /// clause occur in the big one, and that one occurs negated — the negated
+    /// occurrence can be removed from the big clause.
+    Strengthen(Lit),
+    /// Neither relation holds.
+    None,
+}
+
+fn subsumes_or_strengthens(small: &[Lit], big: &[Lit]) -> Subsumption {
+    let big_set: HashSet<Lit> = big.iter().copied().collect();
+    let mut flipped: Option<Lit> = None;
+    for &lit in small {
+        if big_set.contains(&lit) {
+            continue;
+        }
+        if big_set.contains(&!lit) && flipped.is_none() {
+            flipped = Some(!lit);
+            continue;
+        }
+        return Subsumption::None;
+    }
+    match flipped {
+        None => Subsumption::Subsumed,
+        Some(lit) => Subsumption::Strengthen(lit),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+    use crate::solver::{SolveResult, Solver};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn lit(index: usize, positive: bool) -> Lit {
+        Lit::new(Var::from_index(index), !positive)
+    }
+
+    #[test]
+    fn tautologies_and_duplicates_are_removed() {
+        let mut cnf = CnfFormula::with_vars(3);
+        cnf.add_clause([lit(0, true), lit(0, false)]); // tautology
+        cnf.add_clause([lit(1, true), lit(1, true), lit(2, false)]); // duplicate literal
+        // Normalisation only, so the surviving clause is observable.
+        let result = preprocess_with(
+            &cnf,
+            PreprocessConfig {
+                unit_propagation: false,
+                pure_literals: false,
+                subsumption: false,
+            },
+        );
+        assert!(!result.conflict);
+        assert_eq!(result.stats.tautologies, 1);
+        let clauses: Vec<&[Lit]> = result.formula.clauses().collect();
+        assert_eq!(clauses.len(), 1);
+        assert_eq!(clauses[0].len(), 2);
+        // With the full pipeline both remaining literals are pure and the
+        // formula collapses to the empty (trivially satisfiable) formula.
+        let full = preprocess(&cnf);
+        assert!(!full.conflict);
+        assert_eq!(full.formula.num_clauses(), 0);
+        assert_eq!(full.stats.pure_literals, 2);
+    }
+
+    #[test]
+    fn unit_propagation_fixes_chains_and_detects_conflicts() {
+        // x0, x0 → x1, x1 → x2 : all three forced true.
+        let mut cnf = CnfFormula::with_vars(3);
+        cnf.add_clause([lit(0, true)]);
+        cnf.add_clause([lit(0, false), lit(1, true)]);
+        cnf.add_clause([lit(1, false), lit(2, true)]);
+        let result = preprocess(&cnf);
+        assert!(!result.conflict);
+        assert_eq!(result.forced.len(), 3);
+        assert_eq!(result.formula.num_clauses(), 0);
+        let mut model = vec![false; 3];
+        result.extend_model(&mut model);
+        assert_eq!(model, vec![true, true, true]);
+
+        // x0 and ¬x0: conflict at the top level.
+        let mut cnf = CnfFormula::with_vars(1);
+        cnf.add_clause([lit(0, true)]);
+        cnf.add_clause([lit(0, false)]);
+        let result = preprocess(&cnf);
+        assert!(result.conflict);
+        let mut solver = Solver::from_cnf(&result.formula);
+        assert!(matches!(solver.solve(), SolveResult::Unsat));
+    }
+
+    #[test]
+    fn pure_literals_are_eliminated_only_in_standalone_mode() {
+        // x0 occurs only positively; x1 both ways.
+        let mut cnf = CnfFormula::with_vars(2);
+        cnf.add_clause([lit(0, true), lit(1, true)]);
+        cnf.add_clause([lit(0, true), lit(1, false)]);
+        let standalone = preprocess(&cnf);
+        assert_eq!(standalone.stats.pure_literals, 1);
+        assert_eq!(standalone.formula.num_clauses(), 0);
+
+        let incremental = preprocess_with(&cnf, PreprocessConfig::for_incremental());
+        assert_eq!(incremental.stats.pure_literals, 0);
+        assert_eq!(incremental.formula.num_clauses(), 2);
+    }
+
+    #[test]
+    fn subsumption_removes_supersets_and_strengthens_clauses() {
+        let mut cnf = CnfFormula::with_vars(4);
+        cnf.add_clause([lit(0, true), lit(1, true)]);
+        // Subsumed by the first clause.
+        cnf.add_clause([lit(0, true), lit(1, true), lit(2, true)]);
+        // Self-subsuming resolution with the first clause removes ¬x1.
+        cnf.add_clause([lit(0, true), lit(1, false), lit(3, true)]);
+        let result = preprocess_with(
+            &cnf,
+            PreprocessConfig {
+                unit_propagation: false,
+                pure_literals: false,
+                subsumption: true,
+            },
+        );
+        assert!(!result.conflict);
+        assert_eq!(result.stats.subsumed, 1);
+        assert_eq!(result.stats.strengthened, 1);
+        let mut lengths: Vec<usize> = result.formula.clauses().map(<[Lit]>::len).collect();
+        lengths.sort_unstable();
+        assert_eq!(lengths, vec![2, 2]);
+    }
+
+    #[test]
+    fn preprocessing_preserves_satisfiability_on_random_formulas() {
+        let mut rng = StdRng::seed_from_u64(20200505);
+        for case in 0..60 {
+            let num_vars = rng.gen_range(3..10);
+            let num_clauses = rng.gen_range(2..30);
+            let mut cnf = CnfFormula::with_vars(num_vars);
+            for _ in 0..num_clauses {
+                let len = rng.gen_range(1..4);
+                let clause: Vec<Lit> = (0..len)
+                    .map(|_| lit(rng.gen_range(0..num_vars), rng.gen()))
+                    .collect();
+                cnf.add_clause(clause);
+            }
+            let original_sat = matches!(Solver::from_cnf(&cnf).solve(), SolveResult::Sat(_));
+            let result = preprocess(&cnf);
+            if result.conflict {
+                assert!(!original_sat, "case {case}: spurious conflict");
+                continue;
+            }
+            match Solver::from_cnf(&result.formula).solve() {
+                SolveResult::Sat(model) => {
+                    assert!(original_sat, "case {case}: spurious model");
+                    // The preprocessed model plus the forced literals must
+                    // satisfy the original formula.
+                    let mut full: Vec<bool> = (0..num_vars)
+                        .map(|v| model.value(Var::from_index(v)))
+                        .collect();
+                    result.extend_model(&mut full);
+                    assert_eq!(
+                        cnf.evaluate(&full),
+                        Some(true),
+                        "case {case}: extended model does not satisfy the input"
+                    );
+                }
+                SolveResult::Unsat => {
+                    assert!(!original_sat, "case {case}: lost satisfiability");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,1036 @@
+//! The CDCL solver.
+//!
+//! The implementation follows the classic MiniSat architecture: two-literal
+//! watches with blockers, first-UIP conflict analysis with basic clause
+//! minimisation, VSIDS variable activities with phase saving, Luby restarts,
+//! and activity/LBD-guided learnt-clause database reduction. Assumptions are
+//! supported and a final conflict (unsat core over the assumptions) is
+//! produced when solving under assumptions fails, which the core-guided
+//! MaxSAT algorithms rely on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::clause::{ClauseDb, ClauseRef};
+use crate::cnf::CnfFormula;
+use crate::heap::VarHeap;
+use crate::lit::{LBool, Lit, Var};
+use crate::stats::SolverStats;
+
+/// Tunable solver parameters.
+///
+/// The defaults mirror MiniSat's. The parallel MaxSAT portfolio (paper Step 5)
+/// instantiates solvers with different configurations so that the racers
+/// explore the search space differently.
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    /// Multiplicative decay applied to variable activities (0 < decay < 1).
+    pub var_decay: f64,
+    /// Multiplicative decay applied to clause activities (0 < decay < 1).
+    pub clause_decay: f64,
+    /// Frequency of random branching decisions in `[0, 1)`.
+    pub random_var_freq: f64,
+    /// Initial number of conflicts between restarts.
+    pub restart_first: u64,
+    /// Default polarity assigned to fresh variables (phase saving overrides it).
+    pub default_phase: bool,
+    /// Seed for the solver-internal RNG (random decisions, tie breaking).
+    pub seed: u64,
+    /// Initial learnt-clause limit as a fraction of the original clause count.
+    pub learntsize_factor: f64,
+    /// Growth factor applied to the learnt-clause limit after each reduction.
+    pub learntsize_inc: f64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            random_var_freq: 0.0,
+            restart_first: 100,
+            default_phase: false,
+            seed: 42,
+            learntsize_factor: 1.0 / 3.0,
+            learntsize_inc: 1.1,
+        }
+    }
+}
+
+/// A total satisfying assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    /// Truth value of `var` in the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable was not known to the solver.
+    pub fn value(&self, var: Var) -> bool {
+        self.values[var.index()]
+    }
+
+    /// Truth value of a literal in the model.
+    pub fn lit_value(&self, lit: Lit) -> bool {
+        self.value(lit.var()) ^ lit.is_negative()
+    }
+
+    /// The model as a boolean slice indexed by variable.
+    pub fn as_slice(&self) -> &[bool] {
+        &self.values
+    }
+
+    /// Number of variables covered by the model.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the model covers no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Outcome of a `solve` call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveResult {
+    /// The formula (under the given assumptions) is satisfiable.
+    Sat(Model),
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+}
+
+impl SolveResult {
+    /// `true` if the result is [`SolveResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+
+    /// Returns the model if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            SolveResult::Unsat => None,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+/// A CDCL SAT solver.
+///
+/// See the [crate-level documentation](crate) for an example.
+pub struct Solver {
+    config: SolverConfig,
+    db: ClauseDb,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    phase: Vec<bool>,
+    reason: Vec<Option<ClauseRef>>,
+    level: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    order: VarHeap,
+    seen: Vec<bool>,
+    ok: bool,
+    stats: SolverStats,
+    rng: StdRng,
+    max_learnt: f64,
+    num_original_clauses: usize,
+    unsat_core: Vec<Lit>,
+    last_model: Option<Model>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl std::fmt::Debug for Solver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Solver")
+            .field("num_vars", &self.num_vars())
+            .field("num_clauses", &self.db.len())
+            .field("ok", &self.ok)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Solver {
+    /// Creates a solver with the default configuration.
+    pub fn new() -> Self {
+        Solver::with_config(SolverConfig::default())
+    }
+
+    /// Creates a solver with an explicit configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Solver {
+            config,
+            db: ClauseDb::default(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            phase: Vec::new(),
+            reason: Vec::new(),
+            level: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            order: VarHeap::new(),
+            seen: Vec::new(),
+            ok: true,
+            stats: SolverStats::default(),
+            rng,
+            max_learnt: 0.0,
+            num_original_clauses: 0,
+            unsat_core: Vec::new(),
+            last_model: None,
+        }
+    }
+
+    /// Creates a solver preloaded with the clauses of `cnf`.
+    pub fn from_cnf(cnf: &CnfFormula) -> Self {
+        let mut solver = Solver::new();
+        solver.add_cnf(cnf);
+        solver
+    }
+
+    /// Number of variables known to the solver.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of clauses (original + learnt, including lazily deleted ones).
+    pub fn num_clauses(&self) -> usize {
+        self.db.len()
+    }
+
+    /// Search statistics accumulated so far.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// `false` once the clause database has been proven unsatisfiable at the
+    /// top level (no assumptions involved).
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assigns.len());
+        self.assigns.push(LBool::Undef);
+        self.phase.push(self.config.default_phase);
+        self.reason.push(None);
+        self.level.push(0);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Ensures variables `0..n` exist.
+    pub fn ensure_vars(&mut self, n: usize) {
+        while self.num_vars() < n {
+            self.new_var();
+        }
+    }
+
+    /// Adds all clauses of a [`CnfFormula`].
+    pub fn add_cnf(&mut self, cnf: &CnfFormula) {
+        self.ensure_vars(cnf.num_vars());
+        for clause in cnf.clauses() {
+            self.add_clause(clause.iter().copied());
+        }
+    }
+
+    /// Adds a clause. Returns `false` if the clause database became
+    /// unsatisfiable at the top level.
+    ///
+    /// Clauses may only be added between `solve` calls (the solver is always
+    /// at decision level 0 at that point).
+    pub fn add_clause<I>(&mut self, lits: I) -> bool
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return false;
+        }
+        let mut clause: Vec<Lit> = lits.into_iter().collect();
+        for lit in &clause {
+            self.ensure_vars(lit.var().index() + 1);
+        }
+        clause.sort_unstable();
+        clause.dedup();
+        // Tautology / top-level simplification.
+        let mut simplified = Vec::with_capacity(clause.len());
+        let mut i = 0;
+        while i < clause.len() {
+            let lit = clause[i];
+            if i + 1 < clause.len() && clause[i + 1] == !lit {
+                return true; // tautology: p ∨ ¬p
+            }
+            match self.lit_value(lit) {
+                LBool::True => return true, // clause already satisfied at level 0
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => simplified.push(lit),
+            }
+            i += 1;
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(simplified[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                let cref = self.db.add(simplified, false);
+                self.num_original_clauses += 1;
+                self.attach_clause(cref);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, cref: ClauseRef) {
+        let (l0, l1) = {
+            let c = self.db.get(cref);
+            (c.lits[0], c.lits[1])
+        };
+        self.watches[(!l0).code()].push(Watcher {
+            cref,
+            blocker: l1,
+        });
+        self.watches[(!l1).code()].push(Watcher {
+            cref,
+            blocker: l0,
+        });
+    }
+
+    #[inline]
+    fn var_value(&self, var: Var) -> LBool {
+        self.assigns[var.index()]
+    }
+
+    #[inline]
+    fn lit_value(&self, lit: Lit) -> LBool {
+        let v = self.assigns[lit.var().index()];
+        if lit.is_negative() {
+            v.negate()
+        } else {
+            v
+        }
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    fn unchecked_enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) {
+        debug_assert!(self.lit_value(lit).is_undef());
+        let v = lit.var().index();
+        self.assigns[v] = LBool::from_bool(lit.is_positive());
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(lit);
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let target = self.trail_lim[level as usize];
+        while self.trail.len() > target {
+            let lit = self.trail.pop().expect("trail not empty");
+            let v = lit.var();
+            self.phase[v.index()] = self.var_value(v) == LBool::True;
+            self.assigns[v.index()] = LBool::Undef;
+            self.reason[v.index()] = None;
+            if !self.order.contains(v) {
+                self.order.insert(v, &self.activity);
+            }
+        }
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn var_bump_activity(&mut self, var: Var) {
+        let idx = var.index();
+        self.activity[idx] += self.var_inc;
+        if self.activity[idx] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.update(var, &self.activity);
+    }
+
+    fn var_decay_activity(&mut self) {
+        self.var_inc /= self.config.var_decay;
+    }
+
+    fn clause_bump_activity(&mut self, cref: ClauseRef) {
+        let c = self.db.get_mut(cref);
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for clause in &mut self.db.clauses {
+                clause.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn clause_decay_activity(&mut self) {
+        self.cla_inc /= self.config.clause_decay;
+    }
+
+    /// Unit propagation. Returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let watchers = std::mem::take(&mut self.watches[p.code()]);
+            let mut kept = Vec::with_capacity(watchers.len());
+            let mut idx = 0;
+            while idx < watchers.len() {
+                let w = watchers[idx];
+                idx += 1;
+                if self.lit_value(w.blocker) == LBool::True {
+                    kept.push(w);
+                    continue;
+                }
+                if self.db.get(w.cref).deleted {
+                    continue; // lazily drop watchers of deleted clauses
+                }
+                let false_lit = !p;
+                {
+                    let clause = self.db.get_mut(w.cref);
+                    if clause.lits[0] == false_lit {
+                        clause.lits.swap(0, 1);
+                    }
+                }
+                let first = self.db.get(w.cref).lits[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    kept.push(Watcher {
+                        cref: w.cref,
+                        blocker: first,
+                    });
+                    continue;
+                }
+                // Look for a replacement watch.
+                let len = self.db.get(w.cref).lits.len();
+                let mut replaced = false;
+                for k in 2..len {
+                    let cand = self.db.get(w.cref).lits[k];
+                    if self.lit_value(cand) != LBool::False {
+                        self.db.get_mut(w.cref).lits.swap(1, k);
+                        self.watches[(!cand).code()].push(Watcher {
+                            cref: w.cref,
+                            blocker: first,
+                        });
+                        replaced = true;
+                        break;
+                    }
+                }
+                if replaced {
+                    continue;
+                }
+                // Unit or conflicting: keep watching.
+                kept.push(Watcher {
+                    cref: w.cref,
+                    blocker: first,
+                });
+                if self.lit_value(first) == LBool::False {
+                    conflict = Some(w.cref);
+                    self.qhead = self.trail.len();
+                    while idx < watchers.len() {
+                        kept.push(watchers[idx]);
+                        idx += 1;
+                    }
+                } else {
+                    self.unchecked_enqueue(first, Some(w.cref));
+                }
+            }
+            self.watches[p.code()] = kept;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, mut conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::positive(Var::from_index(0))];
+        let mut path_count = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+
+        loop {
+            if self.db.get(conflict).learnt {
+                self.clause_bump_activity(conflict);
+            }
+            let lits: Vec<Lit> = self.db.get(conflict).lits.clone();
+            let start = usize::from(p.is_some());
+            for &q in &lits[start..] {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.var_bump_activity(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next literal of the current level to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().index()] = false;
+            path_count -= 1;
+            if path_count == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            p = Some(pl);
+            conflict = self.reason[pl.var().index()]
+                .expect("propagated literal at conflict level must have a reason");
+        }
+
+        // Basic (non-recursive) clause minimisation: a literal is redundant if
+        // its reason clause is fully covered by the remaining learnt literals.
+        let mut minimized = Vec::with_capacity(learnt.len());
+        minimized.push(learnt[0]);
+        for &lit in &learnt[1..] {
+            let keep = match self.reason[lit.var().index()] {
+                None => true,
+                Some(reason) => {
+                    let reason_lits = &self.db.get(reason).lits;
+                    reason_lits.iter().skip(1).any(|&r| {
+                        !self.seen[r.var().index()] && self.level[r.var().index()] > 0
+                    })
+                }
+            };
+            if keep {
+                minimized.push(lit);
+            }
+        }
+        // Clear the seen flags of all literals touched.
+        for &lit in &learnt {
+            self.seen[lit.var().index()] = false;
+        }
+        let mut learnt = minimized;
+
+        // Compute the backtrack level and move the corresponding literal to
+        // position 1 so that it is watched.
+        let backtrack_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, backtrack_level)
+    }
+
+    /// Computes the subset of assumptions responsible for falsifying `p`
+    /// (the final conflict). `p` is the assumption that was found false.
+    fn analyze_final(&mut self, p: Lit) {
+        self.unsat_core.clear();
+        self.unsat_core.push(p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[p.var().index()] = true;
+        let bottom = self.trail_lim[0];
+        for i in (bottom..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let v = lit.var();
+            if !self.seen[v.index()] {
+                continue;
+            }
+            match self.reason[v.index()] {
+                None => {
+                    debug_assert!(self.level[v.index()] > 0);
+                    // A decision below/at the assumption levels is an assumption;
+                    // record its negation (the final conflict is a clause).
+                    self.unsat_core.push(!lit);
+                }
+                Some(reason) => {
+                    let lits: Vec<Lit> = self.db.get(reason).lits.clone();
+                    for &q in &lits[1..] {
+                        if self.level[q.var().index()] > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[v.index()] = false;
+        }
+        self.seen[p.var().index()] = false;
+    }
+
+    fn pick_branch_lit(&mut self) -> Option<Lit> {
+        // Optional random decisions for portfolio diversification.
+        if self.config.random_var_freq > 0.0
+            && self.rng.gen::<f64>() < self.config.random_var_freq
+            && self.num_vars() > 0
+        {
+            let idx = self.rng.gen_range(0..self.num_vars());
+            let v = Var::from_index(idx);
+            if self.var_value(v).is_undef() {
+                return Some(Lit::new(v, !self.phase[idx]));
+            }
+        }
+        loop {
+            let v = self.order.pop_max(&self.activity)?;
+            if self.var_value(v).is_undef() {
+                return Some(Lit::new(v, !self.phase[v.index()]));
+            }
+        }
+    }
+
+    fn reduce_db(&mut self) {
+        let mut learnt_refs: Vec<ClauseRef> = Vec::new();
+        for (i, c) in self.db.clauses.iter().enumerate() {
+            if c.learnt && !c.deleted && c.lits.len() > 2 {
+                learnt_refs.push(ClauseRef(i as u32));
+            }
+        }
+        learnt_refs.sort_by(|&a, &b| {
+            let ca = self.db.get(a);
+            let cb = self.db.get(b);
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then(ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let to_remove = learnt_refs.len() / 2;
+        let mut removed = 0;
+        for cref in learnt_refs {
+            if removed >= to_remove {
+                break;
+            }
+            if self.is_locked(cref) || self.db.get(cref).lbd <= 2 {
+                continue;
+            }
+            self.db.delete(cref);
+            self.stats.deleted_clauses += 1;
+            removed += 1;
+        }
+        self.stats.learnt_clauses = self.db.num_learnt as u64;
+    }
+
+    fn is_locked(&self, cref: ClauseRef) -> bool {
+        let first = self.db.get(cref).lits[0];
+        self.lit_value(first) == LBool::True && self.reason[first.var().index()] == Some(cref)
+    }
+
+    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    /// CDCL search with a conflict budget. Returns `Some(result)` when decided
+    /// within the budget, `None` when the budget is exhausted (restart).
+    fn search(&mut self, conflict_budget: u64, assumptions: &[Lit]) -> Option<bool> {
+        let mut conflicts = 0u64;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                conflicts += 1;
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    self.unsat_core.clear();
+                    return Some(false);
+                }
+                let (learnt, backtrack_level) = self.analyze(conflict);
+                self.cancel_until(backtrack_level);
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(learnt[0], None);
+                } else {
+                    let lbd = self.compute_lbd(&learnt);
+                    let asserting = learnt[0];
+                    let cref = self.db.add(learnt, true);
+                    self.db.get_mut(cref).lbd = lbd;
+                    self.attach_clause(cref);
+                    self.clause_bump_activity(cref);
+                    self.unchecked_enqueue(asserting, Some(cref));
+                }
+                self.var_decay_activity();
+                self.clause_decay_activity();
+                self.stats.learnt_clauses = self.db.num_learnt as u64;
+            } else {
+                if conflicts >= conflict_budget {
+                    self.cancel_until(0);
+                    return None;
+                }
+                if self.db.num_learnt as f64 > self.max_learnt {
+                    self.reduce_db();
+                    self.max_learnt *= self.config.learntsize_inc;
+                }
+                // Apply pending assumptions as decisions.
+                let mut next: Option<Lit> = None;
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let p = assumptions[self.decision_level() as usize];
+                    match self.lit_value(p) {
+                        LBool::True => self.new_decision_level(),
+                        LBool::False => {
+                            self.analyze_final(!p);
+                            // The core stores assumption literals themselves.
+                            let core: Vec<Lit> =
+                                self.unsat_core.iter().map(|&l| !l).collect();
+                            self.unsat_core = core;
+                            return Some(false);
+                        }
+                        LBool::Undef => {
+                            next = Some(p);
+                            break;
+                        }
+                    }
+                }
+                let next = match next {
+                    Some(lit) => lit,
+                    None => {
+                        self.stats.decisions += 1;
+                        match self.pick_branch_lit() {
+                            Some(lit) => lit,
+                            None => return Some(true),
+                        }
+                    }
+                };
+                self.new_decision_level();
+                self.unchecked_enqueue(next, None);
+            }
+        }
+    }
+
+    fn luby(y: f64, mut x: u64) -> f64 {
+        let (mut size, mut seq) = (1u64, 0u32);
+        while size < x + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        while size - 1 != x {
+            size = (size - 1) >> 1;
+            seq -= 1;
+            x %= size;
+        }
+        y.powi(seq as i32)
+    }
+
+    /// Solves the current clause database.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given assumptions.
+    ///
+    /// When the result is [`SolveResult::Unsat`], [`Solver::unsat_core`]
+    /// returns a subset of the assumptions that is already unsatisfiable
+    /// together with the clause database (the *final conflict*).
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.stats.solve_calls += 1;
+        self.unsat_core.clear();
+        self.last_model = None;
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        for lit in assumptions {
+            self.ensure_vars(lit.var().index() + 1);
+        }
+        if self.max_learnt <= 0.0 {
+            self.max_learnt =
+                (self.num_original_clauses as f64 * self.config.learntsize_factor).max(1000.0);
+        }
+        let mut restarts = 0u64;
+        let result = loop {
+            let budget =
+                (Self::luby(2.0, restarts) * self.config.restart_first as f64).max(1.0) as u64;
+            match self.search(budget, assumptions) {
+                Some(answer) => break answer,
+                None => {
+                    restarts += 1;
+                    self.stats.restarts += 1;
+                }
+            }
+        };
+        let outcome = if result {
+            let values: Vec<bool> = (0..self.num_vars())
+                .map(|i| match self.assigns[i] {
+                    LBool::True => true,
+                    LBool::False => false,
+                    LBool::Undef => self.phase[i],
+                })
+                .collect();
+            let model = Model { values };
+            self.last_model = Some(model.clone());
+            SolveResult::Sat(model)
+        } else {
+            SolveResult::Unsat
+        };
+        self.cancel_until(0);
+        outcome
+    }
+
+    /// The final conflict of the last failed `solve_with_assumptions` call:
+    /// a subset of the assumptions that cannot be jointly satisfied.
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.unsat_core
+    }
+
+    /// The model of the last successful solve call, if any.
+    pub fn last_model(&self) -> Option<&Model> {
+        self.last_model.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(i: usize) -> Lit {
+        Lit::positive(Var::from_index(i))
+    }
+    fn neg(i: usize) -> Lit {
+        Lit::negative(Var::from_index(i))
+    }
+
+    #[test]
+    fn trivially_satisfiable() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([Lit::positive(a)]);
+        match s.solve() {
+            SolveResult::Sat(m) => assert!(m.value(a)),
+            SolveResult::Unsat => panic!("expected SAT"),
+        }
+    }
+
+    #[test]
+    fn trivially_unsatisfiable() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([Lit::positive(a)]);
+        s.add_clause([Lit::negative(a)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(!s.is_ok());
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        // (¬a ∨ b) ∧ (¬b ∨ c) ∧ a  ⟹  c
+        let mut s = Solver::new();
+        s.ensure_vars(3);
+        s.add_clause([neg(0), pos(1)]);
+        s.add_clause([neg(1), pos(2)]);
+        s.add_clause([pos(0)]);
+        match s.solve() {
+            SolveResult::Sat(m) => {
+                assert!(m.value(Var::from_index(0)));
+                assert!(m.value(Var::from_index(1)));
+                assert!(m.value(Var::from_index(2)));
+            }
+            SolveResult::Unsat => panic!("expected SAT"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // Variables p_{i,j}: pigeon i in hole j, i in 0..3, j in 0..2.
+        let mut s = Solver::new();
+        let var = |i: usize, j: usize| Var::from_index(i * 2 + j);
+        s.ensure_vars(6);
+        for i in 0..3 {
+            s.add_clause([Lit::positive(var(i, 0)), Lit::positive(var(i, 1))]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([Lit::negative(var(i1, j)), Lit::negative(var(i2, j))]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_flip_satisfiability() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([Lit::positive(a), Lit::positive(b)]);
+        // Assuming both false must fail...
+        let result = s.solve_with_assumptions(&[Lit::negative(a), Lit::negative(b)]);
+        assert_eq!(result, SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(!core.is_empty());
+        assert!(core.iter().all(|l| *l == Lit::negative(a) || *l == Lit::negative(b)));
+        // ...but the solver is still usable and SAT without assumptions.
+        assert!(s.is_ok());
+        assert!(s.solve().is_sat());
+        // And SAT with a single assumption.
+        match s.solve_with_assumptions(&[Lit::negative(a)]) {
+            SolveResult::Sat(m) => assert!(m.value(b)),
+            SolveResult::Unsat => panic!("expected SAT"),
+        }
+    }
+
+    #[test]
+    fn unsat_core_is_a_subset_of_assumptions() {
+        let mut s = Solver::new();
+        s.ensure_vars(4);
+        // x0 and x1 conflict through the clauses; x2, x3 are irrelevant.
+        s.add_clause([neg(0), neg(1)]);
+        let assumptions = [pos(0), pos(2), pos(1), pos(3)];
+        assert_eq!(s.solve_with_assumptions(&assumptions), SolveResult::Unsat);
+        let core = s.unsat_core();
+        assert!(!core.is_empty());
+        for lit in core {
+            assert!(assumptions.contains(lit), "core literal {lit:?} not an assumption");
+        }
+        // The irrelevant assumptions should not both be required; the core must
+        // mention x0 or x1.
+        assert!(core.contains(&pos(0)) || core.contains(&pos(1)));
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses_are_handled() {
+        let mut s = Solver::new();
+        s.ensure_vars(2);
+        s.add_clause([pos(0), pos(0), pos(1)]);
+        s.add_clause([pos(0), neg(0)]);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses_on_random_3sat() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for instance in 0..20 {
+            let num_vars = 30;
+            let num_clauses = 100;
+            let mut cnf = CnfFormula::with_vars(num_vars);
+            for _ in 0..num_clauses {
+                let mut clause = Vec::new();
+                for _ in 0..3 {
+                    let v = Var::from_index(rng.gen_range(0..num_vars));
+                    clause.push(Lit::new(v, rng.gen_bool(0.5)));
+                }
+                cnf.add_clause(clause);
+            }
+            let mut s = Solver::from_cnf(&cnf);
+            if let SolveResult::Sat(model) = s.solve() {
+                assert_eq!(
+                    cnf.evaluate(model.as_slice()),
+                    Some(true),
+                    "model must satisfy instance {instance}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solver_is_reusable_across_incremental_clause_additions() {
+        let mut s = Solver::new();
+        s.ensure_vars(3);
+        s.add_clause([pos(0), pos(1), pos(2)]);
+        assert!(s.solve().is_sat());
+        s.add_clause([neg(0)]);
+        assert!(s.solve().is_sat());
+        s.add_clause([neg(1)]);
+        match s.solve() {
+            SolveResult::Sat(m) => assert!(m.value(Var::from_index(2))),
+            SolveResult::Unsat => panic!("expected SAT"),
+        }
+        s.add_clause([neg(2)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut s = Solver::new();
+        s.ensure_vars(6);
+        for i in 0..5 {
+            s.add_clause([neg(i), pos(i + 1)]);
+        }
+        s.add_clause([pos(0)]);
+        s.solve();
+        assert!(s.stats().solve_calls >= 1);
+        assert!(s.stats().propagations > 0);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let seq: Vec<f64> = (0..9).map(|i| Solver::luby(2.0, i)).collect();
+        assert_eq!(seq, vec![1.0, 1.0, 2.0, 1.0, 1.0, 2.0, 4.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn default_phase_false_prefers_negative_models() {
+        let mut s = Solver::new();
+        s.ensure_vars(4);
+        // All clauses satisfied by everything-false except the one forcing x0.
+        s.add_clause([pos(0), pos(1), pos(2), pos(3)]);
+        match s.solve() {
+            SolveResult::Sat(m) => {
+                let true_count = m.as_slice().iter().filter(|&&b| b).count();
+                assert!(true_count <= 2, "phase saving should keep the model sparse");
+            }
+            SolveResult::Unsat => panic!("expected SAT"),
+        }
+    }
+}

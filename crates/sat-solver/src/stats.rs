@@ -1,0 +1,53 @@
+//! Solver statistics, exposed for benchmarking and experiment reporting.
+
+use std::fmt;
+
+/// Counters accumulated by the CDCL search.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions taken.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// Number of learnt clauses deleted by database reductions.
+    pub deleted_clauses: u64,
+    /// Number of top-level `solve` / `solve_with_assumptions` calls.
+    pub solve_calls: u64,
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "decisions={} propagations={} conflicts={} restarts={} learnt={} deleted={} solves={}",
+            self.decisions,
+            self.propagations,
+            self.conflicts,
+            self.restarts,
+            self.learnt_clauses,
+            self.deleted_clauses,
+            self.solve_calls
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_all_zero_and_displays() {
+        let stats = SolverStats::default();
+        assert_eq!(stats.decisions, 0);
+        assert_eq!(stats.conflicts, 0);
+        let text = stats.to_string();
+        assert!(text.contains("decisions=0"));
+        assert!(text.contains("solves=0"));
+    }
+}

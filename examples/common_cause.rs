@@ -1,0 +1,80 @@
+//! Common-cause failure analysis with the beta-factor model.
+//!
+//! Redundancy only helps while the redundant components fail independently.
+//! This example takes the aircraft hydraulic system (three redundant circuits
+//! behind a 2-out-of-3 voting gate) and shows how a common-cause
+//! susceptibility between the engine-driven pumps changes the picture:
+//!
+//! * without CCF, the MPMCS needs several independent failures;
+//! * with a beta-factor group over the three pumps, a single shared cause
+//!   plus the loss of backup power becomes the dominant scenario.
+//!
+//! Run with: `cargo run --release --example common_cause`
+
+use fault_tree::examples::aircraft_hydraulic_system;
+use ft_analysis::ccf::{apply_beta_factor, CcfGroup};
+use ft_analysis::modules::ModularReport;
+use mpmcs::MpmcsSolver;
+
+fn main() {
+    let tree = aircraft_hydraulic_system();
+    let solver = MpmcsSolver::new();
+
+    println!("system: {}\n", tree.name());
+    let report = ModularReport::of(&tree);
+    print!("{}", report.render(&tree));
+
+    let baseline = solver
+        .solve(&tree)
+        .expect("the hydraulic tree has cut sets");
+    println!(
+        "\nwithout common-cause modelling:\n  MPMCS = {}  p = {:.3e}",
+        baseline.cut_set.display_names(&tree),
+        baseline.probability
+    );
+
+    // Beta-factor group over the three engine-driven pumps.
+    let pumps: Vec<_> = (1..=3)
+        .map(|i| {
+            tree.event_by_name(&format!("engine-driven pump {i} fails"))
+                .expect("pump events exist")
+        })
+        .collect();
+    for beta in [0.05, 0.2, 0.5] {
+        let group = CcfGroup {
+            name: format!("pump common cause (beta={beta})"),
+            members: pumps.clone(),
+            beta,
+        };
+        let with_ccf = apply_beta_factor(&tree, &group).expect("valid CCF group");
+        let solution = solver
+            .solve(&with_ccf)
+            .expect("the rewritten tree has cut sets");
+        println!(
+            "\nbeta = {beta}:\n  MPMCS = {}  p = {:.3e}",
+            solution.cut_set.display_names(&with_ccf),
+            solution.probability
+        );
+        println!("  top 3 cut sets:");
+        for (rank, ranked) in solver
+            .solve_top_k(&with_ccf, 3)
+            .expect("solvable")
+            .iter()
+            .enumerate()
+        {
+            println!(
+                "    #{} {:<70} p = {:.3e}",
+                rank + 1,
+                ranked.cut_set.display_names(&with_ccf),
+                ranked.probability
+            );
+        }
+    }
+
+    println!(
+        "\nReading: as beta grows, the shared cause increasingly dominates the\n\
+         individual pump failures, and the most probable failure scenario shifts\n\
+         from independent multi-component combinations to the common cause plus\n\
+         the loss of backup power."
+    );
+}

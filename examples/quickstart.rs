@@ -1,0 +1,57 @@
+//! Quickstart: build a fault tree programmatically and compute its Maximum
+//! Probability Minimal Cut Set.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fault_tree::{FaultTreeBuilder, FaultTreeError};
+use mpmcs::{MpmcsReport, MpmcsSolver};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Model the system as a fault tree.
+    let tree = build_tree()?;
+    println!(
+        "fault tree '{}': {} basic events, {} gates",
+        tree.name(),
+        tree.num_events(),
+        tree.num_gates()
+    );
+
+    // 2. Run the MaxSAT pipeline (paper Steps 1-6).
+    let solver = MpmcsSolver::new();
+    let solution = solver.solve(&tree)?;
+
+    // 3. Inspect the answer.
+    println!(
+        "MPMCS = {}  (probability {:.4}, found by {})",
+        solution.cut_set.display_names(&tree),
+        solution.probability,
+        solution.algorithm
+    );
+
+    // 4. Emit the JSON report of the original MPMCS4FTA tool.
+    let report = MpmcsReport::new(&tree, &solution);
+    println!("{}", report.to_json());
+    Ok(())
+}
+
+/// A small web-service outage model: the service fails if the database
+/// cluster loses both replicas, or if the load balancer fails, or if the
+/// certificate expires while the renewal automation is broken.
+fn build_tree() -> Result<fault_tree::FaultTree, FaultTreeError> {
+    let mut builder = FaultTreeBuilder::new("web service outage");
+    let primary = builder.basic_event("db primary fails", 0.05)?;
+    let replica = builder.basic_event("db replica fails", 0.08)?;
+    let balancer = builder.basic_event("load balancer fails", 0.002)?;
+    let cert = builder.basic_event("certificate expires", 0.02)?;
+    let automation = builder.basic_event("renewal automation broken", 0.1)?;
+
+    let database = builder.and_gate("database cluster down", [primary.into(), replica.into()])?;
+    let tls = builder.and_gate("tls outage", [cert.into(), automation.into()])?;
+    let top = builder.or_gate(
+        "service unavailable",
+        [database.into(), balancer.into(), tls.into()],
+    )?;
+    builder.build(top.into())
+}

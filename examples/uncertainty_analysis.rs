@@ -1,0 +1,91 @@
+//! Uncertainty analysis on a cyber-physical fault tree.
+//!
+//! Event probabilities in a risk model are estimates, not measurements. This
+//! example takes the water-treatment SCADA tree and asks how much the
+//! headline numbers — the top-event probability and the identity of the
+//! Maximum Probability Minimal Cut Set — can be trusted:
+//!
+//! 1. estimate the top-event probability by Monte Carlo sampling and compare
+//!    it with the exact BDD value,
+//! 2. propagate a multiplicative error factor on every event probability and
+//!    report the resulting 5%/50%/95% percentiles,
+//! 3. compute the MPMCS stability margins: how far each member probability
+//!    can drop before a different cut set becomes the most probable one.
+//!
+//! Run with: `cargo run --release --example uncertainty_analysis`
+
+use bdd_engine::{compile_fault_tree, VariableOrdering};
+use fault_tree::examples::water_treatment_scada;
+use ft_analysis::mocus::Mocus;
+use ft_analysis::montecarlo::{
+    estimate_top_probability, propagate_uncertainty, MonteCarloConfig, UncertaintyModel,
+};
+use ft_analysis::sensitivity::{tornado, MpmcsStability};
+use mpmcs::MpmcsSolver;
+
+fn main() {
+    let tree = water_treatment_scada();
+    println!("system: {}", tree.name());
+    println!(
+        "{} basic events, {} gates\n",
+        tree.num_events(),
+        tree.num_gates()
+    );
+
+    // The paper's pipeline: the most probable minimal cut set.
+    let solution = MpmcsSolver::new()
+        .solve(&tree)
+        .expect("the SCADA tree has cut sets");
+    println!(
+        "MPMCS: {} with probability {:.4}",
+        solution.cut_set.display_names(&tree),
+        solution.probability
+    );
+
+    // Exact vs sampled top-event probability.
+    let exact = compile_fault_tree(&tree, VariableOrdering::DepthFirst).top_event_probability(&tree);
+    let config = MonteCarloConfig {
+        samples: 200_000,
+        seed: 2020,
+    };
+    let estimate = estimate_top_probability(&tree, &config);
+    println!("\ntop-event probability");
+    println!("  exact (BDD):        {exact:.6}");
+    println!(
+        "  Monte Carlo:        {:.6}  (95% CI [{:.6}, {:.6}], {} samples)",
+        estimate.mean, estimate.ci95_low, estimate.ci95_high, estimate.samples
+    );
+
+    // Uncertainty propagation with an error factor of 3 on every probability.
+    let cut_sets = Mocus::new(&tree)
+        .minimal_cut_sets()
+        .expect("the SCADA tree is small");
+    let report = propagate_uncertainty(
+        &tree,
+        &cut_sets,
+        UncertaintyModel::ErrorFactor(3.0),
+        &config,
+    );
+    println!("\nuncertainty propagation (error factor 3 on every event)");
+    println!("  P05 / median / P95: {:.6} / {:.6} / {:.6}", report.p05, report.p50, report.p95);
+    println!(
+        "  MPMCS identity changes in {:.1}% of the sampled worlds",
+        report.mpmcs_switch_rate * 100.0
+    );
+
+    // Which probability estimates matter most (tornado) and how stable the
+    // MPMCS is against them.
+    println!("\ntornado analysis (each probability halved / doubled), top 3 swings:");
+    for bar in tornado(&tree, &cut_sets, 2.0).into_iter().take(3) {
+        println!(
+            "  {:<40} swing {:.6} (low {:.6}, high {:.6})",
+            tree.event(bar.event).name(),
+            bar.swing,
+            bar.low,
+            bar.high
+        );
+    }
+
+    let stability = MpmcsStability::of(&tree, &cut_sets).expect("cut sets exist");
+    println!("\n{}", stability.render(&tree));
+}

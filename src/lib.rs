@@ -1,0 +1,24 @@
+//! Umbrella crate of the MPMCS4FTA-rs workspace.
+//!
+//! This crate contains no code of its own; it exists so that the repository
+//! root can host the cross-crate integration tests (`tests/`) and the
+//! runnable examples (`examples/`). The actual functionality lives in the
+//! `crates/` workspace members:
+//!
+//! * [`fault_tree`] — the fault-tree model, parsers and structural analysis;
+//! * [`sat_solver`] — the CDCL SAT solver and Tseitin encoder;
+//! * [`maxsat_solver`] — Weighted Partial MaxSAT algorithms and the parallel
+//!   portfolio;
+//! * [`mpmcs`] — the paper's six-step MPMCS pipeline;
+//! * [`bdd_engine`] — the ROBDD baseline;
+//! * [`ft_analysis`] — MOCUS, brute force, quantification and importance
+//!   measures;
+//! * [`ft_generators`] — synthetic workloads.
+
+pub use bdd_engine;
+pub use fault_tree;
+pub use ft_analysis;
+pub use ft_generators;
+pub use maxsat_solver;
+pub use mpmcs;
+pub use sat_solver;
