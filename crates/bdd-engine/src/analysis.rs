@@ -23,7 +23,10 @@ impl fmt::Display for BddAnalysisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BddAnalysisError::PathBudgetExceeded { budget } => {
-                write!(f, "BDD path enumeration exceeded the budget of {budget} paths")
+                write!(
+                    f,
+                    "BDD path enumeration exceeded the budget of {budget} paths"
+                )
             }
             BddAnalysisError::NoCutSet => write!(f, "the fault tree has no cut set"),
         }
@@ -164,7 +167,9 @@ mod tests {
     fn fps_mpmcs_is_x1_x2() {
         let tree = fire_protection_system();
         let enumeration = McsEnumeration::new(&tree);
-        let (cut, probability) = enumeration.maximum_probability_mcs(&tree).expect("has cuts");
+        let (cut, probability) = enumeration
+            .maximum_probability_mcs(&tree)
+            .expect("has cuts");
         assert_eq!(cut.display_names(&tree), "{x1, x2}");
         assert!((probability - 0.02).abs() < 1e-12);
     }
@@ -175,7 +180,9 @@ mod tests {
         let enumeration = McsEnumeration::new(&tree);
         let cut_sets = enumeration.minimal_cut_sets().expect("small tree");
         assert_eq!(cut_sets.len(), 3);
-        let (cut, probability) = enumeration.maximum_probability_mcs(&tree).expect("has cuts");
+        let (cut, probability) = enumeration
+            .maximum_probability_mcs(&tree)
+            .expect("has cuts");
         assert_eq!(cut.display_names(&tree), "{tank rupture (mechanical)}");
         assert!((probability - 1e-5).abs() < 1e-15);
     }
@@ -195,8 +202,7 @@ mod tests {
     #[test]
     fn path_budget_is_enforced() {
         let tree = fire_protection_system();
-        let enumeration =
-            McsEnumeration::with_ordering(&tree, VariableOrdering::DepthFirst, 1);
+        let enumeration = McsEnumeration::with_ordering(&tree, VariableOrdering::DepthFirst, 1);
         assert!(matches!(
             enumeration.minimal_cut_sets(),
             Err(BddAnalysisError::PathBudgetExceeded { .. })

@@ -225,7 +225,10 @@ mod tests {
         let p_suppr = 1.0 - (1.0 - 0.001) * (1.0 - 0.002) * (1.0 - p_trigger);
         let expected = 1.0 - (1.0 - 0.02) * (1.0 - p_suppr);
         let got = compiled.top_event_probability(&tree);
-        assert!((got - expected).abs() < 1e-12, "got {got}, expected {expected}");
+        assert!(
+            (got - expected).abs() < 1e-12,
+            "got {got}, expected {expected}"
+        );
     }
 
     #[test]
@@ -236,8 +239,7 @@ mod tests {
         assert!(natural.size() >= 1);
         assert!(dfs.size() >= 1);
         assert!(
-            (natural.top_event_probability(&tree) - dfs.top_event_probability(&tree)).abs()
-                < 1e-15
+            (natural.top_event_probability(&tree) - dfs.top_event_probability(&tree)).abs() < 1e-15
         );
     }
 

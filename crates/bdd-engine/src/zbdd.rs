@@ -181,10 +181,18 @@ impl Zbdd {
             return EMPTY;
         }
         if f == BASE {
-            return if self.contains_empty_set(g) { BASE } else { EMPTY };
+            return if self.contains_empty_set(g) {
+                BASE
+            } else {
+                EMPTY
+            };
         }
         if g == BASE {
-            return if self.contains_empty_set(f) { BASE } else { EMPTY };
+            return if self.contains_empty_set(f) {
+                BASE
+            } else {
+                EMPTY
+            };
         }
         let key = if f <= g { (f, g) } else { (g, f) };
         if let Some(&cached) = self.intersect_cache.get(&key) {
@@ -424,10 +432,12 @@ impl Zbdd {
         }
         let level = self.level(f);
         let lo_best = self.best_rec(self.lo(f), weights, cache);
-        let hi_best = self.best_rec(self.hi(f), weights, cache).map(|(mut set, p)| {
-            set.push(level);
-            (set, p * weights[level])
-        });
+        let hi_best = self
+            .best_rec(self.hi(f), weights, cache)
+            .map(|(mut set, p)| {
+                set.push(level);
+                (set, p * weights[level])
+            });
         let best = match (lo_best, hi_best) {
             (None, best) | (best, None) => best,
             (Some(lo), Some(hi)) => Some(if hi.1 > lo.1 { hi } else { lo }),
@@ -509,10 +519,7 @@ impl ZbddAnalysis {
         self.zbdd
             .best_weighted_set(self.root, &weights)
             .map(|(levels, probability)| {
-                let cut: CutSet = levels
-                    .into_iter()
-                    .map(|l| self.event_of_level[l])
-                    .collect();
+                let cut: CutSet = levels.into_iter().map(|l| self.event_of_level[l]).collect();
                 (cut, probability)
             })
     }
@@ -522,7 +529,13 @@ fn depth_first_order(tree: &FaultTree) -> Vec<EventId> {
     let mut order = Vec::with_capacity(tree.num_events());
     let mut seen_events = vec![false; tree.num_events()];
     let mut seen_gates = vec![false; tree.num_gates()];
-    visit(tree, tree.top(), &mut seen_events, &mut seen_gates, &mut order);
+    visit(
+        tree,
+        tree.top(),
+        &mut seen_events,
+        &mut seen_gates,
+        &mut order,
+    );
     // Events unreachable from the top still need a level.
     for event in tree.event_ids() {
         if !seen_events[event.index()] {
@@ -725,7 +738,9 @@ mod tests {
         let c = builder.basic_event("c", 0.3).unwrap();
         let left = builder.or_gate("left", [a.into(), b.into()]).unwrap();
         let right = builder.or_gate("right", [a.into(), c.into()]).unwrap();
-        let top = builder.and_gate("top", [left.into(), right.into()]).unwrap();
+        let top = builder
+            .and_gate("top", [left.into(), right.into()])
+            .unwrap();
         let tree = builder.build(top.into()).unwrap();
         let analysis = ZbddAnalysis::new(&tree);
         let cuts = names(&tree, &analysis.minimal_cut_sets(10));
@@ -752,7 +767,9 @@ mod tests {
         }
         let left = builder.or_gate("left", left_inputs).unwrap();
         let right = builder.or_gate("right", right_inputs).unwrap();
-        let top = builder.and_gate("top", [left.into(), right.into()]).unwrap();
+        let top = builder
+            .and_gate("top", [left.into(), right.into()])
+            .unwrap();
         let tree = builder.build(top.into()).unwrap();
         let analysis = ZbddAnalysis::new(&tree);
         assert_eq!(analysis.count(), 20);

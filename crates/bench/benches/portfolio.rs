@@ -20,13 +20,9 @@ fn bench_portfolio(c: &mut Criterion) {
                 algorithm,
                 ..MpmcsOptions::new()
             });
-            group.bench_with_input(
-                BenchmarkId::new(algo_name, tree_name),
-                tree,
-                |b, tree| {
-                    b.iter(|| black_box(solver.solve(black_box(tree)).expect("solvable")));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algo_name, tree_name), tree, |b, tree| {
+                b.iter(|| black_box(solver.solve(black_box(tree)).expect("solvable")));
+            });
         }
     }
     group.finish();

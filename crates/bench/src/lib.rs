@@ -122,7 +122,8 @@ pub fn scalability_rows(sizes: &[usize], seed: u64) -> Vec<ScalabilityRow> {
     for family in Family::all() {
         for &size in sizes {
             let tree = family.generate(size, seed);
-            let (solution, elapsed) = timed(|| solver.solve(&tree).expect("generated trees have cut sets"));
+            let (solution, elapsed) =
+                timed(|| solver.solve(&tree).expect("generated trees have cut sets"));
             rows.push(ScalabilityRow {
                 family: family.name(),
                 target_nodes: size,
@@ -267,9 +268,7 @@ pub fn portfolio(sizes: &[usize], seed: u64) -> String {
                 probabilities.push(solution.probability);
             }
             assert!(
-                probabilities
-                    .windows(2)
-                    .all(|w| relative_eq(w[0], w[1])),
+                probabilities.windows(2).all(|w| relative_eq(w[0], w[1])),
                 "all algorithms must agree on the optimum"
             );
             out.push_str(&format!(
@@ -315,7 +314,9 @@ pub fn encodings(sizes: &[usize], seed: u64) -> String {
         ));
     }
     let sweep_size = sizes.iter().copied().max().unwrap_or(500);
-    out.push_str(&format!("\nweight quantum sweep (target = {sweep_size} nodes)\n"));
+    out.push_str(&format!(
+        "\nweight quantum sweep (target = {sweep_size} nodes)\n"
+    ));
     out.push_str("quantum   probability     |MPMCS|\n");
     let tree = Family::RandomMixed.generate(sweep_size, seed);
     for quantum in [1e3, 1e6, 1e9, 1e12] {

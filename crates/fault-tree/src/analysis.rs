@@ -6,15 +6,13 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::cutset::CutSet;
 use crate::event::EventId;
 use crate::gate::GateKind;
 use crate::tree::{FaultTree, NodeId};
 
 /// Summary statistics of a fault tree.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TreeStats {
     /// Number of basic events.
     pub num_events: usize,
@@ -32,6 +30,16 @@ pub struct TreeStats {
     /// the structure a DAG rather than a tree).
     pub shared_events: usize,
 }
+
+serde::impl_serde_struct!(TreeStats {
+    num_events,
+    num_gates,
+    num_and,
+    num_or,
+    num_vot,
+    depth,
+    shared_events,
+});
 
 /// Structural analyses over a fault tree.
 #[derive(Clone, Debug)]
@@ -170,7 +178,9 @@ mod tests {
         assert_eq!(tree.event(orphans[0]).name(), "orphan");
         // The fire protection system has none.
         let tree = fire_protection_system();
-        assert!(StructuralAnalysis::new(&tree).unreachable_events().is_empty());
+        assert!(StructuralAnalysis::new(&tree)
+            .unreachable_events()
+            .is_empty());
     }
 
     #[test]

@@ -3,8 +3,6 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::event::EventId;
 use crate::probability::{LogWeight, Probability};
 use crate::tree::FaultTree;
@@ -16,10 +14,12 @@ use crate::tree::FaultTree;
 /// that property. The type itself is just an ordered event set — whether it
 /// actually cuts a given tree is checked by
 /// [`FaultTree::is_cut_set`]/[`FaultTree::is_minimal_cut_set`].
-#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CutSet {
     events: BTreeSet<EventId>,
 }
+
+serde::impl_serde_struct!(CutSet { events });
 
 impl CutSet {
     /// The empty set.

@@ -2,13 +2,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::probability::Probability;
 
 /// Identifier of a basic event (dense index within its [`FaultTree`](crate::FaultTree)).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EventId(pub(crate) u32);
+
+serde::impl_serde_newtype!(EventId);
 
 impl EventId {
     /// Creates an identifier from a dense index.
@@ -33,13 +33,14 @@ impl fmt::Display for EventId {
 /// Basic events model hardware failures, human errors, software faults,
 /// communication failures, cyber attacks, and any other leaf-level condition
 /// of the analysed system.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BasicEvent {
     name: String,
     probability: Probability,
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     description: Option<String>,
 }
+
+serde::impl_serde_struct!(BasicEvent { name, probability } optional { description });
 
 impl BasicEvent {
     /// Creates a basic event.

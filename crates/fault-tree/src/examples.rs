@@ -49,9 +49,13 @@ pub fn fire_protection_system() -> FaultTree {
         )
         .expect("valid gate");
     let top = b
-        .or_gate("fire protection system fails", [detection.into(), suppression.into()])
+        .or_gate(
+            "fire protection system fails",
+            [detection.into(), suppression.into()],
+        )
         .expect("valid gate");
-    b.build(top.into()).expect("the FPS example is a valid tree")
+    b.build(top.into())
+        .expect("the FPS example is a valid tree")
 }
 
 /// A classic pressure-tank rupture fault tree (adapted from the NASA Fault
@@ -66,8 +70,12 @@ pub fn fire_protection_system() -> FaultTree {
 /// Never panics: the construction is statically valid.
 pub fn pressure_tank_system() -> FaultTree {
     let mut b = FaultTreeBuilder::new("pressure tank rupture");
-    let tank = b.basic_event("tank rupture (mechanical)", 1e-5).expect("valid");
-    let relief = b.basic_event("relief valve stuck closed", 1e-3).expect("valid");
+    let tank = b
+        .basic_event("tank rupture (mechanical)", 1e-5)
+        .expect("valid");
+    let relief = b
+        .basic_event("relief valve stuck closed", 1e-3)
+        .expect("valid");
     let switch = b.basic_event("pressure switch stuck", 5e-3).expect("valid");
     let monitor = b.basic_event("monitor fails", 1e-2).expect("valid");
     let operator = b.basic_event("operator misses alarm", 0.1).expect("valid");
@@ -79,7 +87,10 @@ pub fn pressure_tank_system() -> FaultTree {
         .or_gate("switch channel fails", [switch.into(), alarm_chain.into()])
         .expect("valid gate");
     let overpressure = b
-        .and_gate("over-pressurisation", [relief.into(), switch_channel.into()])
+        .and_gate(
+            "over-pressurisation",
+            [relief.into(), switch_channel.into()],
+        )
         .expect("valid gate");
     let top = b
         .or_gate("tank ruptures", [tank.into(), overpressure.into()])
@@ -117,7 +128,7 @@ pub fn redundant_sensor_network() -> FaultTree {
 
 /// A water-treatment SCADA availability tree mixing physical failures with
 /// cyber attacks, in the spirit of the industrial-control-system case studies
-/// the paper's reference [4] analyses.
+/// the paper's reference \[4\] analyses.
 ///
 /// Chlorination is lost if dosing fails (pump or valve), if the PLC stops
 /// commanding the process (hardware fault, or a compromise through either the
@@ -139,8 +150,12 @@ pub fn water_treatment_scada() -> FaultTree {
     let ra = b
         .basic_event("remote access service exploited", 0.08)
         .expect("valid");
-    let s1 = b.basic_event("quality sensor 1 fails", 0.05).expect("valid");
-    let s2 = b.basic_event("quality sensor 2 fails", 0.06).expect("valid");
+    let s1 = b
+        .basic_event("quality sensor 1 fails", 0.05)
+        .expect("valid");
+    let s2 = b
+        .basic_event("quality sensor 2 fails", 0.06)
+        .expect("valid");
     let net = b.basic_event("field network down", 0.01).expect("valid");
 
     let dosing = b
@@ -183,14 +198,26 @@ pub fn water_treatment_scada() -> FaultTree {
 /// Never panics: the construction is statically valid.
 pub fn railway_level_crossing() -> FaultTree {
     let mut b = FaultTreeBuilder::new("level crossing unprotected on train approach");
-    let d1 = b.basic_event("approach detector 1 fails", 0.01).expect("valid");
-    let d2 = b.basic_event("approach detector 2 fails", 0.015).expect("valid");
-    let logic = b.basic_event("interlocking logic fault", 0.001).expect("valid");
+    let d1 = b
+        .basic_event("approach detector 1 fails", 0.01)
+        .expect("valid");
+    let d2 = b
+        .basic_event("approach detector 2 fails", 0.015)
+        .expect("valid");
+    let logic = b
+        .basic_event("interlocking logic fault", 0.001)
+        .expect("valid");
     let motor = b.basic_event("barrier motor fails", 0.02).expect("valid");
-    let mech = b.basic_event("barrier mechanism jammed", 0.005).expect("valid");
-    let lamps = b.basic_event("warning lamps burnt out", 0.03).expect("valid");
+    let mech = b
+        .basic_event("barrier mechanism jammed", 0.005)
+        .expect("valid");
+    let lamps = b
+        .basic_event("warning lamps burnt out", 0.03)
+        .expect("valid");
     let bell = b.basic_event("warning bell fails", 0.04).expect("valid");
-    let power = b.basic_event("local power supply fails", 0.002).expect("valid");
+    let power = b
+        .basic_event("local power supply fails", 0.002)
+        .expect("valid");
 
     let detection = b
         .and_gate("train not detected", [d1.into(), d2.into()])
@@ -233,9 +260,13 @@ pub fn aircraft_hydraulic_system() -> FaultTree {
     let reservoir = b
         .basic_event("shared reservoir contamination", 0.0005)
         .expect("valid");
-    for (i, (p_pump, p_line, p_valve)) in [(0.002, 0.001, 0.0015), (0.003, 0.001, 0.0015), (0.004, 0.002, 0.001)]
-        .iter()
-        .enumerate()
+    for (i, (p_pump, p_line, p_valve)) in [
+        (0.002, 0.001, 0.0015),
+        (0.003, 0.001, 0.0015),
+        (0.004, 0.002, 0.001),
+    ]
+    .iter()
+    .enumerate()
     {
         let pump = b
             .basic_event(format!("engine-driven pump {} fails", i + 1), *p_pump)
@@ -383,7 +414,9 @@ mod tests {
             .event_by_name("shared reservoir contamination")
             .unwrap();
         let electric = tree.event_by_name("electric backup pump fails").unwrap();
-        let rat = tree.event_by_name("ram air turbine fails to deploy").unwrap();
+        let rat = tree
+            .event_by_name("ram air turbine fails to deploy")
+            .unwrap();
         // The shared reservoir knocks out all three circuits, but backup power
         // must also be lost before the top event occurs.
         assert!(!tree.is_cut_set(&CutSet::from_iter([reservoir])));

@@ -2,13 +2,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::tree::NodeId;
 
 /// Identifier of a gate (dense index within its [`FaultTree`](crate::FaultTree)).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct GateId(pub(crate) u32);
+
+serde::impl_serde_newtype!(GateId);
 
 impl GateId {
     /// Creates an identifier from a dense index.
@@ -29,8 +29,7 @@ impl fmt::Display for GateId {
 }
 
 /// The logical function computed by a gate.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
-#[serde(rename_all = "lowercase")]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum GateKind {
     /// The gate fires when **all** inputs fire.
     And,
@@ -42,6 +41,50 @@ pub enum GateKind {
         /// The threshold `k`.
         k: usize,
     },
+}
+
+// Externally tagged with lowercase names, matching serde's derive under
+// `#[serde(rename_all = "lowercase")]`: `"and"`, `"or"`, `{"vot":{"k":2}}`.
+impl serde::Serialize for GateKind {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            GateKind::And => serde::Value::String("and".to_string()),
+            GateKind::Or => serde::Value::String("or".to_string()),
+            GateKind::Vot { k } => {
+                let mut fields = serde::Map::new();
+                fields.insert("k".to_string(), serde::Serialize::to_value(k));
+                let mut tagged = serde::Map::new();
+                tagged.insert("vot".to_string(), serde::Value::Object(fields));
+                serde::Value::Object(tagged)
+            }
+        }
+    }
+}
+
+impl serde::Deserialize for GateKind {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        match value {
+            serde::Value::String(tag) => match tag.as_str() {
+                "and" => Ok(GateKind::And),
+                "or" => Ok(GateKind::Or),
+                other => Err(serde::Error::custom(format!(
+                    "unknown gate kind {other:?}, expected \"and\", \"or\" or \"vot\""
+                ))),
+            },
+            serde::Value::Object(_) => Ok(GateKind::Vot {
+                k: serde::de::field(
+                    value.get("vot").ok_or_else(|| {
+                        serde::Error::custom("unknown gate kind variant, expected \"vot\"")
+                    })?,
+                    "k",
+                )?,
+            }),
+            other => Err(serde::Error::custom(format!(
+                "invalid gate kind: expected string or object, found {}",
+                other.kind()
+            ))),
+        }
+    }
 }
 
 impl GateKind {
@@ -87,12 +130,14 @@ impl fmt::Display for GateKind {
 }
 
 /// A gate: a named logical combination of other nodes.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Gate {
     name: String,
     kind: GateKind,
     inputs: Vec<NodeId>,
 }
+
+serde::impl_serde_struct!(Gate { name, kind, inputs });
 
 impl Gate {
     /// Creates a gate without validation.
@@ -127,7 +172,13 @@ impl Gate {
 
 impl fmt::Display for Gate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} [{}] ({} inputs)", self.name, self.kind, self.inputs.len())
+        write!(
+            f,
+            "{} [{}] ({} inputs)",
+            self.name,
+            self.kind,
+            self.inputs.len()
+        )
     }
 }
 
@@ -180,7 +231,10 @@ mod tests {
         let gate = Gate::new(
             "G1",
             GateKind::Vot { k: 2 },
-            vec![NodeId::Event(EventId::from_index(0)), NodeId::Event(EventId::from_index(1))],
+            vec![
+                NodeId::Event(EventId::from_index(0)),
+                NodeId::Event(EventId::from_index(1)),
+            ],
         );
         assert_eq!(gate.name(), "G1");
         assert_eq!(gate.kind(), GateKind::Vot { k: 2 });

@@ -10,8 +10,8 @@
 //! The crate offers:
 //!
 //! * a validating [`FaultTreeBuilder`],
-//! * conversion to a Boolean [`structure formula`](FaultTree::formula) and to
-//!   the complemented *success tree* (paper Step 1),
+//! * conversion to a Boolean [`StructureFormula`] (via [`StructureFormula::of`])
+//!   and to the complemented *success tree* (paper Step 1),
 //! * [`CutSet`] types with joint-probability computation and minimality
 //!   checks,
 //! * structural analysis (single points of failure, depth, statistics),

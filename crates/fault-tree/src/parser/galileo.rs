@@ -114,7 +114,10 @@ pub fn parse_galileo(input: &str) -> Result<FaultTree, FaultTreeError> {
         }
         if tokens[0].eq_ignore_ascii_case("toplevel") {
             if tokens.len() != 2 {
-                return Err(parse_error(line_number, "toplevel expects exactly one name"));
+                return Err(parse_error(
+                    line_number,
+                    "toplevel expects exactly one name",
+                ));
             }
             toplevel = Some(tokens[1].clone());
             continue;
@@ -128,9 +131,9 @@ pub fn parse_galileo(input: &str) -> Result<FaultTree, FaultTreeError> {
         }
         let second = tokens[1].to_ascii_lowercase();
         let node = if let Some(prob_text) = second.strip_prefix("prob=") {
-            let probability: f64 = prob_text
-                .parse()
-                .map_err(|_| parse_error(line_number, format!("invalid probability {prob_text:?}")))?;
+            let probability: f64 = prob_text.parse().map_err(|_| {
+                parse_error(line_number, format!("invalid probability {prob_text:?}"))
+            })?;
             RawNode::Event { probability }
         } else if second == "and" || second == "or" {
             let kind = if second == "and" {
@@ -143,12 +146,12 @@ pub fn parse_galileo(input: &str) -> Result<FaultTree, FaultTreeError> {
                 inputs: tokens[2..].to_vec(),
             }
         } else if let Some((k_text, n_text)) = second.split_once("of") {
-            let k: usize = k_text
-                .parse()
-                .map_err(|_| parse_error(line_number, format!("invalid voting threshold {second:?}")))?;
-            let declared_n: usize = n_text
-                .parse()
-                .map_err(|_| parse_error(line_number, format!("invalid voting arity {second:?}")))?;
+            let k: usize = k_text.parse().map_err(|_| {
+                parse_error(line_number, format!("invalid voting threshold {second:?}"))
+            })?;
+            let declared_n: usize = n_text.parse().map_err(|_| {
+                parse_error(line_number, format!("invalid voting arity {second:?}"))
+            })?;
             let inputs = tokens[2..].to_vec();
             if inputs.len() != declared_n {
                 return Err(parse_error(
@@ -193,7 +196,10 @@ pub(crate) fn build_tree(
         match &raw[name] {
             RawNode::Event { probability } => {
                 let id = EventId::from_index(events.len());
-                events.push(BasicEvent::new(name.clone(), Probability::new(*probability)?));
+                events.push(BasicEvent::new(
+                    name.clone(),
+                    Probability::new(*probability)?,
+                ));
                 event_ids.insert(name, id);
             }
             RawNode::Gate { .. } => {
@@ -241,7 +247,12 @@ pub fn to_galileo_string(tree: &FaultTree) -> String {
             .iter()
             .map(|&i| format!("\"{}\"", tree.node_name(i)))
             .collect();
-        out.push_str(&format!("\"{}\" {} {};\n", gate.name(), kind, inputs.join(" ")));
+        out.push_str(&format!(
+            "\"{}\" {} {};\n",
+            gate.name(),
+            kind,
+            inputs.join(" ")
+        ));
     }
     for event in tree.events() {
         out.push_str(&format!(

@@ -17,8 +17,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::FaultTreeError;
 use crate::gate::GateKind;
 use crate::tree::{FaultTree, NodeId};
@@ -26,7 +24,7 @@ use crate::tree::{FaultTree, NodeId};
 use super::galileo::{build_tree, RawNode};
 
 /// A JSON-serialisable fault-tree document.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FaultTreeDocument {
     /// Name of the fault tree.
     pub name: String,
@@ -38,31 +36,40 @@ pub struct FaultTreeDocument {
     pub gates: Vec<GateDocument>,
 }
 
+serde::impl_serde_struct!(FaultTreeDocument {
+    name,
+    top,
+    events,
+    gates
+});
+
 /// A basic event declaration inside a [`FaultTreeDocument`].
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EventDocument {
     /// Event name (must be unique across events and gates).
     pub name: String,
     /// Probability of occurrence in `[0, 1]`.
     pub probability: f64,
     /// Optional free-form description.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub description: Option<String>,
 }
 
+serde::impl_serde_struct!(EventDocument { name, probability } optional { description });
+
 /// A gate declaration inside a [`FaultTreeDocument`].
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GateDocument {
     /// Gate name (must be unique across events and gates).
     pub name: String,
     /// Gate kind: `"and"`, `"or"`, or `"vot"`.
     pub kind: String,
     /// Voting threshold, required when `kind == "vot"`.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub k: Option<usize>,
     /// Names of the input nodes.
     pub inputs: Vec<String>,
 }
+
+serde::impl_serde_struct!(GateDocument { name, kind, inputs } optional { k });
 
 impl FaultTreeDocument {
     /// Converts the document into a validated [`FaultTree`].
@@ -255,7 +262,10 @@ mod tests {
             "events": [ { "name": "a", "probability": 0.5 }, { "name": "b", "probability": 0.5 } ],
             "gates": [ { "name": "g", "kind": "vot", "inputs": ["a", "b"] } ]
         }"#;
-        assert!(matches!(from_json_str(json), Err(FaultTreeError::Parse { .. })));
+        assert!(matches!(
+            from_json_str(json),
+            Err(FaultTreeError::Parse { .. })
+        ));
     }
 
     #[test]
@@ -265,8 +275,14 @@ mod tests {
             "events": [ { "name": "a", "probability": 0.5 } ],
             "gates": [ { "name": "g", "kind": "xor", "inputs": ["a"] } ]
         }"#;
-        assert!(matches!(from_json_str(json), Err(FaultTreeError::Parse { .. })));
-        assert!(matches!(from_json_str("{ not json"), Err(FaultTreeError::Parse { .. })));
+        assert!(matches!(
+            from_json_str(json),
+            Err(FaultTreeError::Parse { .. })
+        ));
+        assert!(matches!(
+            from_json_str("{ not json"),
+            Err(FaultTreeError::Parse { .. })
+        ));
     }
 
     #[test]

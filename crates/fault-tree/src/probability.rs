@@ -2,14 +2,26 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::FaultTreeError;
 
 /// A probability value, validated to lie in `[0, 1]`.
-#[derive(Clone, Copy, Debug, PartialEq, PartialOrd, Serialize, Deserialize)]
-#[serde(try_from = "f64", into = "f64")]
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
 pub struct Probability(f64);
+
+// Serialised through `f64`, re-validated on the way back in — the
+// `#[serde(try_from = "f64", into = "f64")]` pattern, written out by hand.
+impl serde::Serialize for Probability {
+    fn to_value(&self) -> serde::Value {
+        serde::Serialize::to_value(&self.0)
+    }
+}
+
+impl serde::Deserialize for Probability {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let raw: f64 = serde::Deserialize::from_value(value)?;
+        Probability::try_from(raw).map_err(|e| serde::Error::custom(e.to_string()))
+    }
+}
 
 impl Probability {
     /// Creates a probability.
@@ -73,8 +85,10 @@ impl From<Probability> for f64 {
 /// Lower probabilities map to larger weights, so *minimising* a sum of
 /// weights maximises the product of the corresponding probabilities — the key
 /// observation behind the paper's MaxSAT encoding.
-#[derive(Clone, Copy, Debug, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
 pub struct LogWeight(f64);
+
+serde::impl_serde_newtype!(LogWeight);
 
 impl LogWeight {
     /// Creates a weight directly from its value.
@@ -83,7 +97,10 @@ impl LogWeight {
     ///
     /// Panics if `value` is negative or NaN.
     pub fn new(value: f64) -> Self {
-        assert!(!value.is_nan() && value >= 0.0, "log weights are non-negative");
+        assert!(
+            !value.is_nan() && value >= 0.0,
+            "log weights are non-negative"
+        );
         LogWeight(value)
     }
 
@@ -136,6 +153,9 @@ mod tests {
         }
     }
 
+    // The expected weights are the paper's printed 5-decimal values; 2.30259
+    // happens to round ln(10), which clippy's approx_constant flags.
+    #[allow(clippy::approx_constant)]
     #[test]
     fn log_weights_match_the_paper_table_1() {
         // Table I of the paper: p(x1)=0.2 → 1.60944, p(x3)=0.001 → 6.90776.

@@ -53,7 +53,8 @@ pub fn simplify(tree: &FaultTree) -> FaultTree {
                     // Flatten same-kind AND/OR children (not voting gates:
                     // their semantics are not associative).
                     let flattened = match (kind, resolved) {
-                        (GateKind::And, NodeId::Gate(child)) | (GateKind::Or, NodeId::Gate(child))
+                        (GateKind::And, NodeId::Gate(child))
+                        | (GateKind::Or, NodeId::Gate(child))
                             if gates[child.index()].kind() == kind =>
                         {
                             gates[child.index()].inputs().to_vec()
@@ -112,7 +113,10 @@ pub fn simplify(tree: &FaultTree) -> FaultTree {
             Gate::new(
                 gate.name(),
                 gate.kind(),
-                gate.inputs().iter().map(|&input| remap_node(input)).collect(),
+                gate.inputs()
+                    .iter()
+                    .map(|&input| remap_node(input))
+                    .collect(),
             )
         })
         .collect();
@@ -150,8 +154,13 @@ pub fn success_tree(tree: &FaultTree) -> FaultTree {
             )
         })
         .collect();
-    FaultTree::from_parts(format!("success({})", tree.name()), events, gates, tree.top())
-        .expect("the dual of a valid tree is valid")
+    FaultTree::from_parts(
+        format!("success({})", tree.name()),
+        events,
+        gates,
+        tree.top(),
+    )
+    .expect("the dual of a valid tree is valid")
 }
 
 /// Materialises the *dual structure* of the fault tree: every gate is
@@ -200,7 +209,11 @@ mod tests {
         assert!(n <= 16);
         for mask in 0..(1u32 << n) {
             let occurred: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
-            assert_eq!(a.evaluate(&occurred), b.evaluate(&occurred), "mask {mask:b}");
+            assert_eq!(
+                a.evaluate(&occurred),
+                b.evaluate(&occurred),
+                "mask {mask:b}"
+            );
         }
     }
 
@@ -222,7 +235,9 @@ mod tests {
         let inner = b.or_gate("inner", [x.into(), y.into()]).unwrap();
         let middle = b.or_gate("middle", [inner.into(), y.into()]).unwrap();
         let single = b.or_gate("single", [z.into()]).unwrap();
-        let top = b.or_gate("top", [middle.into(), single.into(), z.into()]).unwrap();
+        let top = b
+            .or_gate("top", [middle.into(), single.into(), z.into()])
+            .unwrap();
         let tree = b.build(top.into()).unwrap();
         let simplified = simplify(&tree);
         assert_equivalent(&tree, &simplified);
@@ -247,7 +262,9 @@ mod tests {
     #[test]
     fn simplify_does_not_flatten_voting_gates() {
         let mut b = FaultTreeBuilder::new("vote");
-        let events: Vec<_> = (0..4).map(|i| b.basic_event(format!("e{i}"), 0.1).unwrap()).collect();
+        let events: Vec<_> = (0..4)
+            .map(|i| b.basic_event(format!("e{i}"), 0.1).unwrap())
+            .collect();
         let inner = b
             .voting_gate("inner", 2, events[..3].iter().map(|&e| e.into()))
             .unwrap();

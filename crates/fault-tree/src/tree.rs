@@ -3,8 +3,6 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::cutset::CutSet;
 use crate::error::FaultTreeError;
 use crate::event::{BasicEvent, EventId};
@@ -12,12 +10,41 @@ use crate::gate::{Gate, GateId, GateKind};
 use crate::probability::Probability;
 
 /// A reference to a node of the fault tree: either a basic event or a gate.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum NodeId {
     /// A basic event.
     Event(EventId),
     /// A gate.
     Gate(GateId),
+}
+
+// Externally tagged newtype variants, like serde's derive: `{"event": 3}` /
+// `{"gate": 1}` (tags lowercased for consistency with the gate kinds).
+impl serde::Serialize for NodeId {
+    fn to_value(&self) -> serde::Value {
+        let (tag, id) = match self {
+            NodeId::Event(event) => ("event", serde::Serialize::to_value(event)),
+            NodeId::Gate(gate) => ("gate", serde::Serialize::to_value(gate)),
+        };
+        let mut tagged = serde::Map::new();
+        tagged.insert(tag.to_string(), id);
+        serde::Value::Object(tagged)
+    }
+}
+
+impl serde::Deserialize for NodeId {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        if let Some(event) = value.get("event") {
+            Ok(NodeId::Event(serde::Deserialize::from_value(event)?))
+        } else if let Some(gate) = value.get("gate") {
+            Ok(NodeId::Gate(serde::Deserialize::from_value(gate)?))
+        } else {
+            Err(serde::Error::custom(format!(
+                "invalid node id: expected an object tagged `event` or `gate`, found {}",
+                value.kind()
+            )))
+        }
+    }
 }
 
 impl From<EventId> for NodeId {
@@ -46,13 +73,20 @@ impl fmt::Display for NodeId {
 ///
 /// Construct trees with [`FaultTreeBuilder`] or one of the parsers in
 /// [`parser`](crate::parser).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FaultTree {
     name: String,
     events: Vec<BasicEvent>,
     gates: Vec<Gate>,
     top: NodeId,
 }
+
+serde::impl_serde_struct!(FaultTree {
+    name,
+    events,
+    gates,
+    top
+});
 
 impl FaultTree {
     /// The tree name.
@@ -573,7 +607,11 @@ mod tests {
             Err(FaultTreeError::InvalidVotingThreshold { .. })
         ));
         assert!(matches!(
-            b.gate("dangling", GateKind::Or, [NodeId::Gate(GateId::from_index(7))]),
+            b.gate(
+                "dangling",
+                GateKind::Or,
+                [NodeId::Gate(GateId::from_index(7))]
+            ),
             Err(FaultTreeError::UnknownNode { .. })
         ));
         assert!(matches!(
@@ -587,11 +625,23 @@ mod tests {
         // Bypass the builder to construct a cyclic gate graph.
         let events = vec![BasicEvent::new("e", Probability::new(0.1).unwrap())];
         let gates = vec![
-            Gate::new("g0", GateKind::Or, vec![NodeId::Gate(GateId::from_index(1))]),
-            Gate::new("g1", GateKind::Or, vec![NodeId::Gate(GateId::from_index(0))]),
+            Gate::new(
+                "g0",
+                GateKind::Or,
+                vec![NodeId::Gate(GateId::from_index(1))],
+            ),
+            Gate::new(
+                "g1",
+                GateKind::Or,
+                vec![NodeId::Gate(GateId::from_index(0))],
+            ),
         ];
-        let result = FaultTree::from_parts("cyclic", events, gates, NodeId::Gate(GateId::from_index(0)));
-        assert!(matches!(result, Err(FaultTreeError::CyclicStructure { .. })));
+        let result =
+            FaultTree::from_parts("cyclic", events, gates, NodeId::Gate(GateId::from_index(0)));
+        assert!(matches!(
+            result,
+            Err(FaultTreeError::CyclicStructure { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Round-trip tests for both parsers over every named example tree:
+//! parse→export→parse must preserve the structure exactly.
+
+use fault_tree::parser::{galileo, json};
+use fault_tree::{examples, FaultTree, GateKind};
+
+/// Structural equality that is independent of node identifiers: compares
+/// trees by names, probabilities, gate kinds and named input lists.
+fn assert_structurally_equal(a: &FaultTree, b: &FaultTree, context: &str) {
+    assert_eq!(a.num_events(), b.num_events(), "{context}: event count");
+    assert_eq!(a.num_gates(), b.num_gates(), "{context}: gate count");
+    assert_eq!(
+        a.node_name(a.top()),
+        b.node_name(b.top()),
+        "{context}: top node"
+    );
+    for id in a.event_ids() {
+        let event = a.event(id);
+        let other_id = b
+            .event_by_name(event.name())
+            .unwrap_or_else(|| panic!("{context}: event {} lost", event.name()));
+        assert_eq!(
+            b.event(other_id).probability().value(),
+            event.probability().value(),
+            "{context}: probability of {}",
+            event.name()
+        );
+    }
+    for id in a.gate_ids() {
+        let gate = a.gate(id);
+        let other_id = b
+            .gate_by_name(gate.name())
+            .unwrap_or_else(|| panic!("{context}: gate {} lost", gate.name()));
+        let other = b.gate(other_id);
+        assert_eq!(
+            gate.kind(),
+            other.kind(),
+            "{context}: kind of {}",
+            gate.name()
+        );
+        let inputs: Vec<&str> = gate.inputs().iter().map(|&i| a.node_name(i)).collect();
+        let other_inputs: Vec<&str> = other.inputs().iter().map(|&i| b.node_name(i)).collect();
+        assert_eq!(inputs, other_inputs, "{context}: inputs of {}", gate.name());
+    }
+}
+
+#[test]
+fn json_parse_export_parse_is_the_identity() {
+    for (name, tree) in examples::all_examples() {
+        let exported = json::to_json_string(&tree);
+        let once = json::from_json_str(&exported).expect("exported JSON parses");
+        // The JSON document preserves everything, including the tree name and
+        // declaration order, so one round trip reproduces the tree exactly.
+        assert_eq!(once, tree, "JSON round trip of {name}");
+        let twice =
+            json::from_json_str(&json::to_json_string(&once)).expect("re-exported JSON parses");
+        assert_eq!(twice, once, "second JSON round trip of {name}");
+    }
+}
+
+#[test]
+fn galileo_parse_export_parse_is_stable() {
+    for (name, tree) in examples::all_examples() {
+        let exported = galileo::to_galileo_string(&tree);
+        let once = galileo::parse_galileo(&exported).expect("exported Galileo parses");
+        // Galileo carries no tree name, so compare structure rather than the
+        // full value; the second round trip must then be the exact identity.
+        assert_structurally_equal(&tree, &once, &format!("Galileo round trip of {name}"));
+        let twice = galileo::parse_galileo(&galileo::to_galileo_string(&once))
+            .expect("re-exported Galileo parses");
+        assert_eq!(twice, once, "second Galileo round trip of {name}");
+    }
+}
+
+#[test]
+fn voting_gates_survive_both_formats() {
+    let tree = examples::redundant_sensor_network();
+    let has_vot = tree
+        .gate_ids()
+        .any(|g| matches!(tree.gate(g).kind(), GateKind::Vot { .. }));
+    assert!(
+        has_vot,
+        "the sensor network example must contain a voting gate"
+    );
+    let via_json = json::from_json_str(&json::to_json_string(&tree)).expect("json");
+    let via_galileo = galileo::parse_galileo(&galileo::to_galileo_string(&tree)).expect("galileo");
+    for round_tripped in [&via_json, &via_galileo] {
+        let kinds: Vec<GateKind> = tree.gate_ids().map(|g| tree.gate(g).kind()).collect();
+        let other: Vec<GateKind> = round_tripped
+            .gate_ids()
+            .map(|g| round_tripped.gate(g).kind())
+            .collect();
+        assert_eq!(kinds, other, "gate kinds changed in a round trip");
+    }
+}

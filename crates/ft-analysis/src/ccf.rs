@@ -52,7 +52,11 @@ impl std::fmt::Display for CcfError {
             CcfError::GroupTooSmall => write!(f, "a common-cause group needs at least two members"),
             CcfError::InvalidBeta(beta) => write!(f, "beta factor {beta} is outside [0, 1]"),
             CcfError::UnknownMember(event) => {
-                write!(f, "common-cause member event index {} not in tree", event.index())
+                write!(
+                    f,
+                    "common-cause member event index {} not in tree",
+                    event.index()
+                )
             }
             CcfError::NameClash(name) => {
                 write!(f, "the tree already contains a node named {name:?}")
@@ -106,7 +110,13 @@ pub fn apply_beta_factor(tree: &FaultTree, group: &CcfGroup) -> Result<FaultTree
     let geometric_mean = {
         let log_sum: f64 = members
             .iter()
-            .map(|&m| tree.event(m).probability().value().max(f64::MIN_POSITIVE).ln())
+            .map(|&m| {
+                tree.event(m)
+                    .probability()
+                    .value()
+                    .max(f64::MIN_POSITIVE)
+                    .ln()
+            })
             .sum();
         (log_sum / members.len() as f64).exp()
     };
@@ -208,9 +218,7 @@ mod tests {
         let rewritten = apply_beta_factor(&tree, &sensor_group(&tree, 0.2)).unwrap();
         let ccf = rewritten.event_by_name("sensors common cause").unwrap();
         let cuts = Mocus::new(&rewritten).minimal_cut_sets().unwrap();
-        assert!(cuts
-            .iter()
-            .any(|c| c.len() == 1 && c.contains(ccf)));
+        assert!(cuts.iter().any(|c| c.len() == 1 && c.contains(ccf)));
         // The individual-sensor cut set {x1, x2} still exists.
         let x1 = rewritten.event_by_name("x1").unwrap();
         let x2 = rewritten.event_by_name("x2").unwrap();
@@ -225,9 +233,7 @@ mod tests {
         assert!((rewritten.event(x1).probability().value() - 0.15).abs() < 1e-12);
         let ccf = rewritten.event_by_name("sensors common cause").unwrap();
         let geometric_mean = (0.2f64 * 0.1).sqrt();
-        assert!(
-            (rewritten.event(ccf).probability().value() - 0.25 * geometric_mean).abs() < 1e-12
-        );
+        assert!((rewritten.event(ccf).probability().value() - 0.25 * geometric_mean).abs() < 1e-12);
     }
 
     #[test]

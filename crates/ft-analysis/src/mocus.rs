@@ -80,9 +80,9 @@ impl<'a> Mocus<'a> {
                 });
             }
             // Find a set still containing a gate.
-            let position = families.iter().position(|set| {
-                set.iter().any(|node| matches!(node, NodeId::Gate(_)))
-            });
+            let position = families
+                .iter()
+                .position(|set| set.iter().any(|node| matches!(node, NodeId::Gate(_))));
             let Some(index) = position else { break };
             let set = families.swap_remove(index);
             let gate_node = *set
@@ -170,7 +170,13 @@ impl<'a> Mocus<'a> {
 
 /// All `k`-element combinations of `items` (in input order).
 fn combinations<T: Copy>(items: &[T], k: usize) -> Vec<Vec<T>> {
-    fn recurse<T: Copy>(items: &[T], k: usize, start: usize, current: &mut Vec<T>, out: &mut Vec<Vec<T>>) {
+    fn recurse<T: Copy>(
+        items: &[T],
+        k: usize,
+        start: usize,
+        current: &mut Vec<T>,
+        out: &mut Vec<Vec<T>>,
+    ) {
         if current.len() == k {
             out.push(current.clone());
             return;
@@ -216,7 +222,10 @@ mod tests {
             .map(|c| c.display_names(&tree))
             .collect();
         names.sort();
-        assert_eq!(names, vec!["{x1, x2}", "{x3}", "{x4}", "{x5, x6}", "{x5, x7}"]);
+        assert_eq!(
+            names,
+            vec!["{x1, x2}", "{x3}", "{x4}", "{x5, x6}", "{x5, x7}"]
+        );
     }
 
     #[test]

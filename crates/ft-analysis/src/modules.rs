@@ -111,12 +111,18 @@ fn is_module(
         if g == gate {
             continue;
         }
-        if gate_parents[g.index()].iter().any(|p| !sub_gates.contains(p)) {
+        if gate_parents[g.index()]
+            .iter()
+            .any(|p| !sub_gates.contains(p))
+        {
             return false;
         }
     }
     for &e in &sub_events {
-        if event_parents[e.index()].iter().any(|p| !sub_gates.contains(p)) {
+        if event_parents[e.index()]
+            .iter()
+            .any(|p| !sub_gates.contains(p))
+        {
             return false;
         }
     }

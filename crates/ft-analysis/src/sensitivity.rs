@@ -62,7 +62,11 @@ pub fn tornado(tree: &FaultTree, cut_sets: &[CutSet], factor: f64) -> Vec<Tornad
             }
         })
         .collect();
-    bars.sort_by(|a, b| b.swing.partial_cmp(&a.swing).unwrap_or(std::cmp::Ordering::Equal));
+    bars.sort_by(|a, b| {
+        b.swing
+            .partial_cmp(&a.swing)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     bars
 }
 

@@ -87,10 +87,8 @@ pub fn random_tree(config: &RandomTreeConfig, seed: u64) -> FaultTree {
     assert!(config.num_events > 0, "at least one event is required");
     assert!(config.max_children >= 2, "gates need at least two children");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut builder = FaultTreeBuilder::new(format!(
-        "random-{}events-seed{}",
-        config.num_events, seed
-    ));
+    let mut builder =
+        FaultTreeBuilder::new(format!("random-{}events-seed{}", config.num_events, seed));
     let (p_min, p_max) = config.probability_range;
     let mut pool: Vec<NodeId> = (0..config.num_events)
         .map(|i| {
@@ -166,7 +164,7 @@ pub fn alternating_and_or(depth: usize, seed: u64) -> FaultTree {
     let mut level = 0usize;
     let mut gate_index = 0usize;
     while layer.len() > 1 {
-        let kind = if level % 2 == 0 {
+        let kind = if level.is_multiple_of(2) {
             GateKind::And
         } else {
             GateKind::Or
@@ -324,7 +322,9 @@ mod tests {
         use fault_tree::StructuralAnalysis;
         for seed in 0..5 {
             let tree = random_tree(&RandomTreeConfig::default(), seed);
-            assert!(StructuralAnalysis::new(&tree).unreachable_events().is_empty());
+            assert!(StructuralAnalysis::new(&tree)
+                .unreachable_events()
+                .is_empty());
         }
     }
 
@@ -420,9 +420,8 @@ pub fn modular_tree(modules: usize, events_per_module: usize, seed: u64) -> Faul
     assert!(modules > 0, "at least one module is required");
     assert!(events_per_module > 0, "modules need at least one event");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut builder = FaultTreeBuilder::new(format!(
-        "modular-{modules}x{events_per_module}-seed{seed}"
-    ));
+    let mut builder =
+        FaultTreeBuilder::new(format!("modular-{modules}x{events_per_module}-seed{seed}"));
     let mut module_roots: Vec<NodeId> = Vec::with_capacity(modules);
     for m in 0..modules {
         // Each module is a two-level AND-of-ORs block over private events.
@@ -530,7 +529,10 @@ pub fn replicated_fps(copies: usize) -> FaultTree {
             })
             .collect();
         let detection = builder
-            .and_gate(format!("c{c}_detection"), [events[0].into(), events[1].into()])
+            .and_gate(
+                format!("c{c}_detection"),
+                [events[0].into(), events[1].into()],
+            )
             .expect("valid gate");
         let remote = builder
             .or_gate(format!("c{c}_remote"), [events[5].into(), events[6].into()])
@@ -545,10 +547,7 @@ pub fn replicated_fps(copies: usize) -> FaultTree {
             )
             .expect("valid gate");
         let root = builder
-            .or_gate(
-                format!("c{c}_fps"),
-                [detection.into(), suppression.into()],
-            )
+            .or_gate(format!("c{c}_fps"), [detection.into(), suppression.into()])
             .expect("valid gate");
         roots.push(root.into());
     }

@@ -35,7 +35,10 @@ impl fmt::Display for GteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GteError::TooLarge { limit } => {
-                write!(f, "generalized totalizer exceeded the size limit of {limit} outputs")
+                write!(
+                    f,
+                    "generalized totalizer exceeded the size limit of {limit} outputs"
+                )
             }
             GteError::Empty => write!(f, "generalized totalizer needs at least one input"),
         }
@@ -191,7 +194,10 @@ mod tests {
                 solver.add_clause([!lit]);
             }
             for mask in 0..(1u32 << n) {
-                let sum: u64 = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| weights[i]).sum();
+                let sum: u64 = (0..n)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| weights[i])
+                    .sum();
                 let assumptions: Vec<Lit> = (0..n)
                     .map(|i| Lit::new(Var::from_index(i), mask & (1 << i) == 0))
                     .collect();
@@ -205,7 +211,8 @@ mod tests {
     fn max_sum_and_outputs_reflect_the_weights() {
         let mut solver = Solver::new();
         solver.ensure_vars(3);
-        let gte = GteBuilder::build(&mut solver, &weighted_inputs(&[1, 2, 4]), 1_000).expect("fits");
+        let gte =
+            GteBuilder::build(&mut solver, &weighted_inputs(&[1, 2, 4]), 1_000).expect("fits");
         assert_eq!(gte.max_sum(), 7);
         // All subset sums of {1,2,4} are distinct: 1..=7.
         assert_eq!(gte.outputs().len(), 7);

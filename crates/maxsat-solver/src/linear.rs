@@ -71,10 +71,7 @@ impl LinearSuSolver {
             .iter()
             .filter(|(lit, _)| {
                 // `lit` is the "satisfied" polarity; penalty is paid when it is false.
-                let value = model
-                    .get(lit.var().index())
-                    .copied()
-                    .unwrap_or(false);
+                let value = model.get(lit.var().index()).copied().unwrap_or(false);
                 value == lit.is_negative()
             })
             .map(|(_, w)| *w)
@@ -141,9 +138,8 @@ impl MaxSatAlgorithm for LinearSuSolver {
             Err(GteError::TooLarge { .. }) | Err(GteError::Empty) => {
                 // Fall back to the core-guided algorithm; keep its stats but
                 // record that the fallback happened.
-                let mut result =
-                    OllSolver::with_sat_config(self.config.sat_config.clone())
-                        .solve_with_stop(instance, stop)?;
+                let mut result = OllSolver::with_sat_config(self.config.sat_config.clone())
+                    .solve_with_stop(instance, stop)?;
                 result.stats.algorithm = "linear-su(fallback:oll)".to_string();
                 result.stats.sat_calls += stats.sat_calls;
                 return Some(result);

@@ -44,8 +44,10 @@ impl std::fmt::Debug for PortfolioEntry {
 pub struct PortfolioConfig {
     /// The competing solver configurations.
     pub entries: Vec<PortfolioEntry>,
-    /// Run sequentially (first entry only) instead of spawning threads; used
-    /// for reproducible traces and debugging.
+    /// Deterministic mode: run every entry sequentially on the calling
+    /// thread, in declaration order, and pick the winner by `(cost,
+    /// declaration order)` instead of by wall-clock arrival. Used for
+    /// reproducible traces, regression tests and debugging.
     pub sequential: bool,
 }
 
@@ -62,14 +64,18 @@ impl Default for PortfolioConfig {
 /// linear SAT–UNSAT solver, mirroring the heterogeneous solver line-up of the
 /// original MPMCS4FTA tool.
 pub fn default_entries() -> Vec<PortfolioEntry> {
-    let mut aggressive = SolverConfig::default();
-    aggressive.var_decay = 0.85;
-    aggressive.restart_first = 50;
-    aggressive.seed = 1;
-    let mut diverse = SolverConfig::default();
-    diverse.random_var_freq = 0.02;
-    diverse.default_phase = true;
-    diverse.seed = 7;
+    let aggressive = SolverConfig {
+        var_decay: 0.85,
+        restart_first: 50,
+        seed: 1,
+        ..SolverConfig::default()
+    };
+    let diverse = SolverConfig {
+        random_var_freq: 0.02,
+        default_phase: true,
+        seed: 7,
+        ..SolverConfig::default()
+    };
     vec![
         PortfolioEntry::Oll(OllConfig::default()),
         PortfolioEntry::Oll(OllConfig {
@@ -95,8 +101,8 @@ impl PortfolioSolver {
         PortfolioSolver { config }
     }
 
-    /// Creates a portfolio that runs only the first default entry,
-    /// sequentially (deterministic, single-threaded).
+    /// Creates a portfolio that runs the default entries sequentially on the
+    /// calling thread (deterministic, single-threaded).
     pub fn sequential() -> Self {
         PortfolioSolver {
             config: PortfolioConfig {
@@ -139,8 +145,41 @@ impl MaxSatAlgorithm for PortfolioSolver {
             });
         }
         if self.config.sequential || self.config.entries.len() == 1 {
-            let mut result = Self::run_entry(&self.config.entries[0], instance, stop)?;
+            // Deterministic mode: every entry runs to completion on the
+            // calling thread, in declaration order, and the winner is chosen
+            // by (cost, declaration order) — never by timing. Two runs over
+            // the same instance therefore return the same optimum AND the
+            // same model, which the parallel race cannot promise.
+            let mut winner: Option<MaxSatResult> = None;
+            let mut total_sat_calls = 0u64;
+            for entry in &self.config.entries {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Some(result) = Self::run_entry(entry, instance, stop) else {
+                    continue;
+                };
+                total_sat_calls += result.stats.sat_calls;
+                if result.outcome == MaxSatOutcome::Unsatisfiable {
+                    // Hard-clause unsatisfiability is a property of the
+                    // instance; no later entry can answer differently.
+                    winner = Some(result);
+                    break;
+                }
+                let improves = match &winner {
+                    None => true,
+                    Some(best) => result.outcome.cost() < best.outcome.cost(),
+                };
+                if improves {
+                    winner = Some(result);
+                }
+            }
+            let mut result = winner?;
             result.stats.algorithm = format!("portfolio[{}]", result.stats.algorithm);
+            // The reported wall time spans every entry that ran, so report
+            // the SAT-call total over the same span (the convention the OLL
+            // fallback in linear.rs also follows).
+            result.stats.sat_calls = total_sat_calls;
             return Some(result);
         }
 
@@ -231,6 +270,90 @@ mod tests {
         let b = PortfolioSolver::sequential().solve(&inst);
         assert_eq!(a.outcome, b.outcome);
         assert_eq!(a.outcome.cost(), Some(1));
+    }
+
+    /// Regression test: the deterministic mode must return identical optima
+    /// AND identical models across runs, even when the instance has several
+    /// optimal models that the racing parallel entries could disagree on.
+    #[test]
+    fn sequential_mode_returns_identical_optima_and_model_order() {
+        // x0 ∨ x1 with symmetric soft clauses: [true,false] and [false,true]
+        // are both optimal at cost 5, so a timing race could return either.
+        let mut symmetric = WcnfInstance::with_vars(2);
+        symmetric.add_hard([pos(0), pos(1)]);
+        symmetric.add_soft([neg(0)], 5);
+        symmetric.add_soft([neg(1)], 5);
+        // Plus a batch of random instances with ties in their weights.
+        let mut instances = vec![symmetric];
+        for seed in 700..706 {
+            instances.push(random_instance(seed, 7, 10, 5));
+        }
+        for (index, inst) in instances.iter().enumerate() {
+            let first = PortfolioSolver::sequential().solve(inst);
+            let second = PortfolioSolver::sequential().solve(inst);
+            assert_eq!(
+                first.outcome, second.outcome,
+                "instance {index}: optima or model order diverged"
+            );
+            assert_eq!(
+                first.outcome.model().map(<[bool]>::to_vec),
+                second.outcome.model().map(<[bool]>::to_vec),
+                "instance {index}: model diverged"
+            );
+            assert_eq!(
+                first.stats.algorithm, second.stats.algorithm,
+                "instance {index}: winning entry diverged"
+            );
+        }
+    }
+
+    /// The deterministic mode consults every entry, not just the first: a
+    /// custom entry that reports a suboptimal cost must lose to a later
+    /// exact solver.
+    #[test]
+    fn sequential_mode_picks_the_best_entry_not_the_first() {
+        struct Suboptimal;
+        impl crate::MaxSatAlgorithm for Suboptimal {
+            fn name(&self) -> &'static str {
+                "suboptimal-mock"
+            }
+            fn solve_with_stop(
+                &self,
+                instance: &WcnfInstance,
+                _stop: &std::sync::atomic::AtomicBool,
+            ) -> Option<MaxSatResult> {
+                Some(MaxSatResult {
+                    outcome: MaxSatOutcome::Optimum {
+                        model: vec![true; instance.num_vars()],
+                        cost: u64::MAX,
+                    },
+                    stats: MaxSatStats {
+                        algorithm: "suboptimal-mock".to_string(),
+                        ..MaxSatStats::default()
+                    },
+                })
+            }
+        }
+
+        let mut inst = WcnfInstance::with_vars(3);
+        inst.add_hard([pos(0), pos(1), pos(2)]);
+        inst.add_soft([neg(0)], 4);
+        inst.add_soft([neg(1)], 8);
+        inst.add_soft([neg(2)], 6);
+        let solver = PortfolioSolver::new(PortfolioConfig {
+            entries: vec![
+                PortfolioEntry::Custom(Box::new(Suboptimal)),
+                PortfolioEntry::Oll(OllConfig::default()),
+            ],
+            sequential: true,
+        });
+        let result = solver.solve(&inst);
+        assert_eq!(result.outcome.cost(), Some(4));
+        assert!(
+            !result.stats.algorithm.contains("suboptimal-mock"),
+            "the mock entry must not win: {}",
+            result.stats.algorithm
+        );
     }
 
     #[test]

@@ -11,20 +11,35 @@ use crate::instance::WcnfInstance;
 use crate::result::MaxSatResult;
 
 /// Generates a pseudo-random Weighted Partial MaxSAT instance.
-pub fn random_instance(seed: u64, num_vars: usize, num_hard: usize, num_soft: usize) -> WcnfInstance {
+pub fn random_instance(
+    seed: u64,
+    num_vars: usize,
+    num_hard: usize,
+    num_soft: usize,
+) -> WcnfInstance {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut inst = WcnfInstance::with_vars(num_vars);
     for _ in 0..num_hard {
         let len = rng.gen_range(1..=3);
         let clause: Vec<Lit> = (0..len)
-            .map(|_| Lit::new(Var::from_index(rng.gen_range(0..num_vars)), rng.gen_bool(0.5)))
+            .map(|_| {
+                Lit::new(
+                    Var::from_index(rng.gen_range(0..num_vars)),
+                    rng.gen_bool(0.5),
+                )
+            })
             .collect();
         inst.add_hard(clause);
     }
     for _ in 0..num_soft {
         let len = rng.gen_range(1..=2);
         let clause: Vec<Lit> = (0..len)
-            .map(|_| Lit::new(Var::from_index(rng.gen_range(0..num_vars)), rng.gen_bool(0.5)))
+            .map(|_| {
+                Lit::new(
+                    Var::from_index(rng.gen_range(0..num_vars)),
+                    rng.gen_bool(0.5),
+                )
+            })
             .collect();
         inst.add_soft(clause, rng.gen_range(1..=20));
     }

@@ -111,12 +111,10 @@ pub fn parse_wcnf<R: BufRead>(reader: R) -> Result<WcnfInstance, ParseWcnfError>
             tokens.next();
             None
         } else {
-            let w: u64 = first
-                .parse()
-                .map_err(|_| ParseWcnfError::InvalidToken {
-                    line: lineno + 1,
-                    token: first.to_string(),
-                })?;
+            let w: u64 = first.parse().map_err(|_| ParseWcnfError::InvalidToken {
+                line: lineno + 1,
+                token: first.to_string(),
+            })?;
             tokens.next();
             Some(w)
         };
@@ -223,7 +221,10 @@ mod tests {
     #[test]
     fn round_trips_through_the_writer() {
         let mut inst = WcnfInstance::with_vars(2);
-        inst.add_hard([Lit::positive(Var::from_index(0)), Lit::positive(Var::from_index(1))]);
+        inst.add_hard([
+            Lit::positive(Var::from_index(0)),
+            Lit::positive(Var::from_index(1)),
+        ]);
         inst.add_soft([Lit::negative(Var::from_index(0))], 4);
         inst.add_soft([Lit::negative(Var::from_index(1))], 9);
         let text = to_wcnf_string(&inst);

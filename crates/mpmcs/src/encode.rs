@@ -224,12 +224,17 @@ mod tests {
         assert_eq!(scale.scale(2.0), 2_000_000_000);
     }
 
+    // The expected weights are the paper's printed 5-decimal values; 2.30259
+    // happens to round ln(10), which clippy's approx_constant flags.
+    #[allow(clippy::approx_constant)]
     #[test]
     fn encoding_matches_table_1_of_the_paper() {
         let tree = fire_protection_system();
         let encoding = MpmcsEncoding::new(&tree);
         assert_eq!(encoding.num_events(), 7);
-        let expected = [1.60944, 2.30259, 6.90776, 6.21461, 2.99573, 2.30259, 2.99573];
+        let expected = [
+            1.60944, 2.30259, 6.90776, 6.21461, 2.99573, 2.30259, 2.99573,
+        ];
         for (i, &w) in expected.iter().enumerate() {
             assert!(
                 (encoding.log_weights()[i] - w).abs() < 1e-4,
@@ -246,9 +251,13 @@ mod tests {
     #[test]
     fn both_encoding_styles_yield_the_same_optimal_cut() {
         for tree in [fire_protection_system(), redundant_sensor_network()] {
-            let direct = MpmcsEncoding::with_style(&tree, EncodingStyle::Direct, WeightScale::default());
-            let success =
-                MpmcsEncoding::with_style(&tree, EncodingStyle::SuccessTree, WeightScale::default());
+            let direct =
+                MpmcsEncoding::with_style(&tree, EncodingStyle::Direct, WeightScale::default());
+            let success = MpmcsEncoding::with_style(
+                &tree,
+                EncodingStyle::SuccessTree,
+                WeightScale::default(),
+            );
             let solver = OllSolver::default();
             let a = solver.solve(direct.instance());
             let b = solver.solve(success.instance());
@@ -265,6 +274,9 @@ mod tests {
         }
     }
 
+    // 2.30259 is the paper's printed weight for p = 0.1 (it also rounds
+    // ln(10), which clippy's approx_constant flags).
+    #[allow(clippy::approx_constant)]
     #[test]
     fn decode_maps_model_bits_to_events() {
         let tree = fire_protection_system();

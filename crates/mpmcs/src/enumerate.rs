@@ -249,12 +249,16 @@ mod threshold_tests {
         let solver = MpmcsSolver::sequential();
         // Factor 5: keep everything with probability >= 0.02/5 = 0.004,
         // i.e. {x1,x2}=0.02 and {x5,x6}=0.005.
-        let close = solver.enumerate_within_factor(&tree, 5.0).expect("solvable");
+        let close = solver
+            .enumerate_within_factor(&tree, 5.0)
+            .expect("solvable");
         assert_eq!(close.len(), 2);
         assert_eq!(close[0].event_names(&tree), vec!["x1", "x2"]);
         assert_eq!(close[1].event_names(&tree), vec!["x5", "x6"]);
         // Factor 1: only the optimum itself.
-        let only = solver.enumerate_within_factor(&tree, 1.0).expect("solvable");
+        let only = solver
+            .enumerate_within_factor(&tree, 1.0)
+            .expect("solvable");
         assert_eq!(only.len(), 1);
     }
 

@@ -24,7 +24,10 @@ impl fmt::Display for MpmcsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MpmcsError::NoCutSet => {
-                write!(f, "the fault tree has no cut set: the top event cannot occur")
+                write!(
+                    f,
+                    "the fault tree has no cut set: the top event cannot occur"
+                )
             }
             MpmcsError::Interrupted => write!(f, "the MaxSAT search was interrupted"),
             MpmcsError::Internal(message) => write!(f, "internal MPMCS error: {message}"),
@@ -42,6 +45,8 @@ mod tests {
     fn display_messages_are_informative() {
         assert!(MpmcsError::NoCutSet.to_string().contains("no cut set"));
         assert!(MpmcsError::Interrupted.to_string().contains("interrupted"));
-        assert!(MpmcsError::Internal("oops".into()).to_string().contains("oops"));
+        assert!(MpmcsError::Internal("oops".into())
+            .to_string()
+            .contains("oops"));
     }
 }

@@ -1,14 +1,12 @@
 //! JSON reports mirroring the output of the original MPMCS4FTA tool (Fig. 2
 //! of the paper).
 
-use serde::{Deserialize, Serialize};
-
 use fault_tree::FaultTree;
 
 use crate::solver::MpmcsSolution;
 
 /// One basic event of the reported cut set.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ReportEvent {
     /// Event name.
     pub name: String,
@@ -18,12 +16,18 @@ pub struct ReportEvent {
     pub log_weight: f64,
 }
 
+serde::impl_serde_struct!(ReportEvent {
+    name,
+    probability,
+    log_weight
+});
+
 /// A serialisable MPMCS analysis report.
 ///
 /// The original tool emits a JSON file that a browser front-end renders; this
 /// report carries the same analysis content (tree summary, the MPMCS, its
 /// probability, and solver metadata).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MpmcsReport {
     /// Name of the analysed fault tree.
     pub tree: String,
@@ -44,6 +48,18 @@ pub struct MpmcsReport {
     /// Number of SAT calls performed by the MaxSAT search.
     pub sat_calls: u64,
 }
+
+serde::impl_serde_struct!(MpmcsReport {
+    tree,
+    num_events,
+    num_gates,
+    mpmcs,
+    probability,
+    log_weight,
+    algorithm,
+    solve_time_ms,
+    sat_calls,
+});
 
 impl MpmcsReport {
     /// Builds a report from a solution.

@@ -42,11 +42,7 @@ pub fn minimise(tree: &FaultTree, cut: &CutSet) -> CutSet {
 /// # Errors
 ///
 /// Returns [`MpmcsError::Internal`] describing the first violated invariant.
-pub fn check_solution(
-    tree: &FaultTree,
-    cut: &CutSet,
-    probability: f64,
-) -> Result<(), MpmcsError> {
+pub fn check_solution(tree: &FaultTree, cut: &CutSet, probability: f64) -> Result<(), MpmcsError> {
     if !tree.is_cut_set(cut) {
         return Err(MpmcsError::Internal(format!(
             "claimed MPMCS {} does not trigger the top event",

@@ -215,9 +215,7 @@ where
                     "sequential" => AlgorithmChoice::SequentialPortfolio,
                     "oll" => AlgorithmChoice::Oll,
                     "linear-su" | "linear" => AlgorithmChoice::LinearSu,
-                    other => {
-                        return Err(CliError::Usage(format!("unknown algorithm {other:?}")))
-                    }
+                    other => return Err(CliError::Usage(format!("unknown algorithm {other:?}"))),
                 }
             }
             "--analysis" => {
@@ -229,9 +227,7 @@ where
                     "stability" => AnalysisKind::Stability,
                     "dot" | "graphviz" => AnalysisKind::Dot,
                     "ascii" | "text" => AnalysisKind::Ascii,
-                    other => {
-                        return Err(CliError::Usage(format!("unknown analysis {other:?}")))
-                    }
+                    other => return Err(CliError::Usage(format!("unknown analysis {other:?}"))),
                 }
             }
             "--top-k" => {
@@ -244,9 +240,10 @@ where
             "--quiet" => quiet = true,
             "--example" => input = Some(InputSource::Example(value("--example")?)),
             "--generate" => {
-                generate = Some(value("--generate")?.parse().map_err(|_| {
-                    CliError::Usage("--generate expects a node count".to_string())
-                })?)
+                generate =
+                    Some(value("--generate")?.parse().map_err(|_| {
+                        CliError::Usage("--generate expects a node count".to_string())
+                    })?)
             }
             "--seed" => {
                 seed = value("--seed")?
@@ -527,7 +524,6 @@ fn run_dot(options: &CliOptions, tree: &FaultTree) -> Result<(String, String), C
     Ok((dot, summary))
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -552,7 +548,10 @@ mod tests {
             parse_args(["--algorithm", "magic", "x.json"]),
             Err(CliError::Usage(_))
         ));
-        assert!(matches!(parse_args(Vec::<String>::new()), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(Vec::<String>::new()),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(
             parse_args(["a.json", "b.json"]),
             Err(CliError::Usage(_))
@@ -565,7 +564,8 @@ mod tests {
 
     #[test]
     fn runs_the_builtin_example_end_to_end() {
-        let options = parse_args(["--example", "fps", "--algorithm", "sequential", "--quiet"]).unwrap();
+        let options =
+            parse_args(["--example", "fps", "--algorithm", "sequential", "--quiet"]).unwrap();
         let (json, summary) = run(&options).unwrap();
         assert!(json.contains("\"x1\""));
         assert!(json.contains("\"x2\""));
@@ -575,7 +575,8 @@ mod tests {
 
     #[test]
     fn runs_top_k_and_all_modes() {
-        let options = parse_args(["--example", "fps", "--top-k", "2", "--algorithm", "oll"]).unwrap();
+        let options =
+            parse_args(["--example", "fps", "--top-k", "2", "--algorithm", "oll"]).unwrap();
         let (json, summary) = run(&options).unwrap();
         assert!(summary.lines().count() >= 3);
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
@@ -589,7 +590,8 @@ mod tests {
 
     #[test]
     fn runs_on_generated_trees() {
-        let options = parse_args(["--generate", "150", "--seed", "3", "--algorithm", "oll"]).unwrap();
+        let options =
+            parse_args(["--generate", "150", "--seed", "3", "--algorithm", "oll"]).unwrap();
         let (json, _) = run(&options).unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert!(parsed["probability"].as_f64().unwrap() > 0.0);
@@ -629,14 +631,27 @@ mod tests {
 
     #[test]
     fn path_set_analysis_reports_the_dual_optimum() {
-        let options =
-            parse_args(["--example", "fps", "--analysis", "path-set", "--algorithm", "oll"]).unwrap();
+        let options = parse_args([
+            "--example",
+            "fps",
+            "--analysis",
+            "path-set",
+            "--algorithm",
+            "oll",
+        ])
+        .unwrap();
         let (json, summary) = run(&options).unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed.as_array().map(|a| a.len()), Some(1));
         assert!(summary.contains("reliability"));
         let all = parse_args([
-            "--example", "fps", "--analysis", "path-set", "--all", "--algorithm", "oll",
+            "--example",
+            "fps",
+            "--analysis",
+            "path-set",
+            "--all",
+            "--algorithm",
+            "oll",
         ])
         .unwrap();
         let (json, _) = run(&all).unwrap();
@@ -646,8 +661,7 @@ mod tests {
 
     #[test]
     fn importance_modules_and_stability_analyses_render_tables() {
-        let importance =
-            parse_args(["--example", "fps", "--analysis", "importance"]).unwrap();
+        let importance = parse_args(["--example", "fps", "--analysis", "importance"]).unwrap();
         let (json, summary) = run(&importance).unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed.as_array().map(|a| a.len()), Some(7));
@@ -668,7 +682,15 @@ mod tests {
 
     #[test]
     fn dot_and_ascii_analyses_render_the_tree() {
-        let dot = parse_args(["--example", "scada", "--analysis", "dot", "--algorithm", "oll"]).unwrap();
+        let dot = parse_args([
+            "--example",
+            "scada",
+            "--analysis",
+            "dot",
+            "--algorithm",
+            "oll",
+        ])
+        .unwrap();
         let (output, summary) = run(&dot).unwrap();
         assert!(output.starts_with("digraph"));
         assert!(summary.contains("highlighted"));

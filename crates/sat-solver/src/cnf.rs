@@ -180,7 +180,9 @@ mod tests {
 
     #[test]
     fn from_iterator_collects_clauses() {
-        let cnf: CnfFormula = vec![vec![pos(0), pos(1)], vec![neg(1)]].into_iter().collect();
+        let cnf: CnfFormula = vec![vec![pos(0), pos(1)], vec![neg(1)]]
+            .into_iter()
+            .collect();
         assert_eq!(cnf.num_clauses(), 2);
         assert_eq!(cnf.num_vars(), 2);
     }

@@ -190,7 +190,10 @@ mod tests {
     #[test]
     fn write_then_parse_round_trips() {
         let mut cnf = CnfFormula::new();
-        cnf.add_clause([Lit::positive(Var::from_index(0)), Lit::negative(Var::from_index(4))]);
+        cnf.add_clause([
+            Lit::positive(Var::from_index(0)),
+            Lit::negative(Var::from_index(4)),
+        ]);
         cnf.add_clause([Lit::negative(Var::from_index(2))]);
         let text = to_dimacs_string(&cnf);
         let parsed = parse_dimacs_str(&text).expect("round trip");

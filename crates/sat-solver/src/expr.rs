@@ -39,6 +39,9 @@ impl BoolExpr {
     }
 
     /// Negation, with double-negation and constant simplification.
+    // Not `std::ops::Not`: this is a simplifying smart constructor over
+    // `Arc<BoolExpr>`, not a by-value negation of `BoolExpr`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(expr: Arc<BoolExpr>) -> Arc<BoolExpr> {
         match &*expr {
             BoolExpr::Not(inner) => inner.clone(),
@@ -188,9 +191,15 @@ mod tests {
     fn constant_folding_in_and_or() {
         let t = Arc::new(BoolExpr::True);
         let f = Arc::new(BoolExpr::False);
-        assert_eq!(*BoolExpr::and(vec![t.clone(), v(0)]), BoolExpr::Var(Var::from_index(0)));
+        assert_eq!(
+            *BoolExpr::and(vec![t.clone(), v(0)]),
+            BoolExpr::Var(Var::from_index(0))
+        );
         assert_eq!(*BoolExpr::and(vec![f.clone(), v(0)]), BoolExpr::False);
-        assert_eq!(*BoolExpr::or(vec![f.clone(), v(1)]), BoolExpr::Var(Var::from_index(1)));
+        assert_eq!(
+            *BoolExpr::or(vec![f.clone(), v(1)]),
+            BoolExpr::Var(Var::from_index(1))
+        );
         assert_eq!(*BoolExpr::or(vec![t, v(1)]), BoolExpr::True);
         assert_eq!(*BoolExpr::and(vec![]), BoolExpr::True);
         assert_eq!(*BoolExpr::or(vec![]), BoolExpr::False);
@@ -207,8 +216,14 @@ mod tests {
         assert_eq!(*BoolExpr::at_least(0, vec![v(0), v(1)]), BoolExpr::True);
         assert_eq!(*BoolExpr::at_least(3, vec![v(0), v(1)]), BoolExpr::False);
         // k == 1 is OR, k == n is AND.
-        assert!(matches!(*BoolExpr::at_least(1, vec![v(0), v(1)]), BoolExpr::Or(_)));
-        assert!(matches!(*BoolExpr::at_least(2, vec![v(0), v(1)]), BoolExpr::And(_)));
+        assert!(matches!(
+            *BoolExpr::at_least(1, vec![v(0), v(1)]),
+            BoolExpr::Or(_)
+        ));
+        assert!(matches!(
+            *BoolExpr::at_least(2, vec![v(0), v(1)]),
+            BoolExpr::And(_)
+        ));
         assert!(matches!(
             *BoolExpr::at_least(2, vec![v(0), v(1), v(2)]),
             BoolExpr::AtLeast(2, _)

@@ -36,18 +36,20 @@
 mod clause;
 mod cnf;
 pub mod dimacs;
-pub mod preprocess;
 mod expr;
 mod heap;
 mod lit;
+pub mod preprocess;
 mod solver;
 mod stats;
 pub mod tseitin;
 
 pub use clause::{Clause, ClauseRef};
-pub use preprocess::{preprocess, preprocess_with, PreprocessConfig, PreprocessResult, PreprocessStats};
 pub use cnf::CnfFormula;
 pub use expr::BoolExpr;
 pub use lit::{LBool, Lit, Var};
+pub use preprocess::{
+    preprocess, preprocess_with, PreprocessConfig, PreprocessResult, PreprocessStats,
+};
 pub use solver::{Model, SolveResult, Solver, SolverConfig};
 pub use stats::SolverStats;

@@ -133,9 +133,9 @@ pub fn preprocess_with(cnf: &CnfFormula, config: PreprocessConfig) -> Preprocess
     let mut conflict = false;
 
     let fix = |lit: Lit,
-                   assignment: &mut Vec<Option<bool>>,
-                   forced: &mut Vec<Lit>,
-                   conflict: &mut bool| {
+               assignment: &mut Vec<Option<bool>>,
+               forced: &mut Vec<Lit>,
+               conflict: &mut bool| {
         match assignment[lit.var().index()] {
             Some(value) if value != lit.is_positive() => *conflict = true,
             Some(_) => {}
@@ -343,7 +343,7 @@ mod tests {
         let mut cnf = CnfFormula::with_vars(3);
         cnf.add_clause([lit(0, true), lit(0, false)]); // tautology
         cnf.add_clause([lit(1, true), lit(1, true), lit(2, false)]); // duplicate literal
-        // Normalisation only, so the surviving clause is observable.
+                                                                     // Normalisation only, so the surviving clause is observable.
         let result = preprocess_with(
             &cnf,
             PreprocessConfig {

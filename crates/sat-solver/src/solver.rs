@@ -322,14 +322,8 @@ impl Solver {
             let c = self.db.get(cref);
             (c.lits[0], c.lits[1])
         };
-        self.watches[(!l0).code()].push(Watcher {
-            cref,
-            blocker: l1,
-        });
-        self.watches[(!l1).code()].push(Watcher {
-            cref,
-            blocker: l0,
-        });
+        self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
     }
 
     #[inline]
@@ -546,9 +540,10 @@ impl Solver {
                 None => true,
                 Some(reason) => {
                     let reason_lits = &self.db.get(reason).lits;
-                    reason_lits.iter().skip(1).any(|&r| {
-                        !self.seen[r.var().index()] && self.level[r.var().index()] > 0
-                    })
+                    reason_lits
+                        .iter()
+                        .skip(1)
+                        .any(|&r| !self.seen[r.var().index()] && self.level[r.var().index()] > 0)
                 }
             };
             if keep {
@@ -645,9 +640,11 @@ impl Solver {
         learnt_refs.sort_by(|&a, &b| {
             let ca = self.db.get(a);
             let cb = self.db.get(b);
-            cb.lbd
-                .cmp(&ca.lbd)
-                .then(ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal))
+            cb.lbd.cmp(&ca.lbd).then(
+                ca.activity
+                    .partial_cmp(&cb.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         let to_remove = learnt_refs.len() / 2;
         let mut removed = 0;
@@ -724,8 +721,7 @@ impl Solver {
                         LBool::False => {
                             self.analyze_final(!p);
                             // The core stores assumption literals themselves.
-                            let core: Vec<Lit> =
-                                self.unsat_core.iter().map(|&l| !l).collect();
+                            let core: Vec<Lit> = self.unsat_core.iter().map(|&l| !l).collect();
                             self.unsat_core = core;
                             return Some(false);
                         }
@@ -917,7 +913,9 @@ mod tests {
         assert_eq!(result, SolveResult::Unsat);
         let core = s.unsat_core().to_vec();
         assert!(!core.is_empty());
-        assert!(core.iter().all(|l| *l == Lit::negative(a) || *l == Lit::negative(b)));
+        assert!(core
+            .iter()
+            .all(|l| *l == Lit::negative(a) || *l == Lit::negative(b)));
         // ...but the solver is still usable and SAT without assumptions.
         assert!(s.is_ok());
         assert!(s.solve().is_sat());
@@ -939,7 +937,10 @@ mod tests {
         let core = s.unsat_core();
         assert!(!core.is_empty());
         for lit in core {
-            assert!(assumptions.contains(lit), "core literal {lit:?} not an assumption");
+            assert!(
+                assumptions.contains(lit),
+                "core literal {lit:?} not an assumption"
+            );
         }
         // The irrelevant assumptions should not both be required; the core must
         // mention x0 or x1.

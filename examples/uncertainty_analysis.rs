@@ -43,7 +43,8 @@ fn main() {
     );
 
     // Exact vs sampled top-event probability.
-    let exact = compile_fault_tree(&tree, VariableOrdering::DepthFirst).top_event_probability(&tree);
+    let exact =
+        compile_fault_tree(&tree, VariableOrdering::DepthFirst).top_event_probability(&tree);
     let config = MonteCarloConfig {
         samples: 200_000,
         seed: 2020,
@@ -67,7 +68,10 @@ fn main() {
         &config,
     );
     println!("\nuncertainty propagation (error factor 3 on every event)");
-    println!("  P05 / median / P95: {:.6} / {:.6} / {:.6}", report.p05, report.p50, report.p95);
+    println!(
+        "  P05 / median / P95: {:.6} / {:.6} / {:.6}",
+        report.p05, report.p50, report.p95
+    );
     println!(
         "  MPMCS identity changes in {:.1}% of the sampled worlds",
         report.mpmcs_switch_rate * 100.0

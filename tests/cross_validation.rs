@@ -55,7 +55,11 @@ fn cut_set_engines_agree_on_random_trees() {
             sets
         };
         let reference = normalise(brute::all_minimal_cut_sets(&tree));
-        let bdd = normalise(McsEnumeration::new(&tree).minimal_cut_sets().expect("small"));
+        let bdd = normalise(
+            McsEnumeration::new(&tree)
+                .minimal_cut_sets()
+                .expect("small"),
+        );
         let mocus = normalise(Mocus::new(&tree).minimal_cut_sets().expect("small"));
         assert_eq!(bdd, reference, "seed {seed}");
         assert_eq!(mocus, reference, "seed {seed}");

@@ -12,9 +12,7 @@ use ft_analysis::ccf::{apply_beta_factor, CcfGroup};
 use ft_analysis::importance::ImportanceTable;
 use ft_analysis::mocus::Mocus;
 use ft_analysis::modules::{independent_top_probability, ModularReport};
-use ft_analysis::pathset::{
-    is_minimal_path_set, maximum_reliability_path_set, minimal_path_sets,
-};
+use ft_analysis::pathset::{is_minimal_path_set, maximum_reliability_path_set, minimal_path_sets};
 use ft_generators::{modular_tree, replicated_fps, Family};
 use mpmcs::{EnumerationLimit, MpmcsSolver};
 
@@ -102,8 +100,7 @@ fn modular_quantification_matches_the_bdd_on_modular_trees() {
         let tree = modular_tree(8, 6, seed);
         let report = ModularReport::of(&tree);
         assert_eq!(report.repeated_events, 0);
-        let propagated =
-            independent_top_probability(&tree).expect("modular trees share no events");
+        let propagated = independent_top_probability(&tree).expect("modular trees share no events");
         let exact = exact_probability(&tree);
         assert!(
             (propagated - exact).abs() < 1e-9,
@@ -168,10 +165,7 @@ fn beta_factor_ccf_shifts_the_mpmcs_towards_the_common_cause() {
     let solution = solver.solve(&with_ccf).expect("solvable");
     // With beta = 0.6 the shared cause (p ≈ 0.6·√0.02 ≈ 0.085) is a
     // single-event cut set more probable than the residual pair.
-    assert_eq!(
-        solution.event_names(&with_ccf),
-        vec!["sensor common cause"]
-    );
+    assert_eq!(solution.event_names(&with_ccf), vec!["sensor common cause"]);
     assert!(solution.probability > baseline.probability);
     // The exact top-event probability grows as well.
     assert!(exact_probability(&with_ccf) > exact_probability(&tree));

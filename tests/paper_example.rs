@@ -9,6 +9,9 @@ use ft_analysis::{brute, mocus::Mocus, quant};
 use mpmcs::{AlgorithmChoice, EnumerationLimit, MpmcsOptions, MpmcsReport, MpmcsSolver};
 
 /// Table I of the paper: probabilities and `-log` weights.
+// The expected weights are the paper's printed 5-decimal values; 2.30259
+// happens to round ln(10), which clippy's approx_constant flags.
+#[allow(clippy::approx_constant)]
 #[test]
 fn table_one_weights_are_reproduced() {
     let tree = fire_protection_system();

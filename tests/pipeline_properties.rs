@@ -1,127 +1,196 @@
-//! Property-based tests (proptest) over the whole pipeline: randomly shaped
-//! fault trees with random probabilities, checked against the exhaustive
-//! oracle and against structural invariants.
+//! Property-style tests over the whole pipeline: randomly shaped fault trees
+//! with random probabilities, checked against the exhaustive oracle and
+//! against structural invariants.
+//!
+//! Originally written with `proptest`; rewritten as seeded-PRNG case loops so
+//! the workspace builds offline with zero external dependencies. Each
+//! property runs a fixed number of deterministic cases, and every assertion
+//! carries its case seed so failures reproduce directly.
 
-use proptest::prelude::*;
-
-use fault_tree::{CutSet, EventId, FaultTree, FaultTreeBuilder, GateKind, NodeId, StructureFormula};
+use fault_tree::{
+    CutSet, EventId, FaultTree, FaultTreeBuilder, GateKind, NodeId, StructureFormula,
+};
 use ft_analysis::brute;
 use mpmcs::{AlgorithmChoice, MpmcsOptions, MpmcsSolver};
 
-/// A proptest strategy producing small random fault trees (up to `max_events`
-/// basic events) by composing random gates bottom-up.
-fn arbitrary_tree(max_events: usize) -> impl Strategy<Value = FaultTree> {
-    let events = 2..=max_events;
-    (events, any::<u64>()).prop_map(|(num_events, seed)| {
-        // A tiny deterministic PRNG keeps the strategy independent of `rand`.
-        let mut state = seed | 1;
-        let mut next = move |bound: usize| {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            (state as usize) % bound.max(1)
-        };
-        let mut builder = FaultTreeBuilder::new("proptest tree");
-        let mut pool: Vec<NodeId> = (0..num_events)
-            .map(|i| {
-                let p = 0.01 + 0.9 * (next(1000) as f64) / 1000.0;
-                NodeId::from(builder.basic_event(format!("e{i}"), p).expect("valid probability"))
-            })
-            .collect();
-        let mut gate_index = 0usize;
-        while pool.len() > 1 {
-            let arity = 2 + next(3).min(pool.len() - 2);
-            let mut inputs = Vec::new();
-            for _ in 0..arity.min(pool.len()) {
-                let pick = next(pool.len());
-                inputs.push(pool.swap_remove(pick));
-            }
-            let kind = match next(4) {
-                0 => GateKind::And,
-                1 if inputs.len() >= 3 => GateKind::Vot {
-                    k: 2 + next(inputs.len() - 2),
-                },
-                _ => GateKind::Or,
-            };
-            let gate = builder
-                .gate(format!("g{gate_index}"), kind, inputs)
-                .expect("valid gate");
-            gate_index += 1;
-            pool.push(gate.into());
-        }
-        builder.build(pool[0]).expect("valid tree")
-    })
+/// Cases per property (the proptest suite ran 24).
+const CASES: u64 = 24;
+
+/// The tiny deterministic xorshift generator the original proptest strategy
+/// used internally; now it drives the whole suite.
+struct XorShift64 {
+    state: u64,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64 { state: seed | 1 }
+    }
 
-    /// The MaxSAT MPMCS always is a minimal cut set whose probability equals
-    /// the exhaustive optimum.
-    #[test]
-    fn mpmcs_is_optimal_and_minimal(tree in arbitrary_tree(9)) {
+    fn next_u64(&mut self) -> u64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        self.state
+    }
+
+    /// A value in `0..bound` (`0` when `bound` is 0 or 1).
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() as usize) % bound.max(1)
+    }
+}
+
+/// Builds a small random fault tree (up to `max_events` basic events) by
+/// composing random gates bottom-up — the proptest strategy, parameterised by
+/// an explicit seed.
+fn arbitrary_tree(max_events: usize, seed: u64) -> FaultTree {
+    let mut rng = XorShift64::new(seed);
+    let num_events = 2 + rng.below(max_events - 1);
+    let mut builder = FaultTreeBuilder::new("property tree");
+    let mut pool: Vec<NodeId> = (0..num_events)
+        .map(|i| {
+            let p = 0.01 + 0.9 * (rng.below(1000) as f64) / 1000.0;
+            NodeId::from(
+                builder
+                    .basic_event(format!("e{i}"), p)
+                    .expect("valid probability"),
+            )
+        })
+        .collect();
+    let mut gate_index = 0usize;
+    while pool.len() > 1 {
+        let arity = 2 + rng.below(3).min(pool.len() - 2);
+        let mut inputs = Vec::new();
+        for _ in 0..arity.min(pool.len()) {
+            let pick = rng.below(pool.len());
+            inputs.push(pool.swap_remove(pick));
+        }
+        let kind = match rng.below(4) {
+            0 => GateKind::And,
+            1 if inputs.len() >= 3 => GateKind::Vot {
+                k: 2 + rng.below(inputs.len() - 2),
+            },
+            _ => GateKind::Or,
+        };
+        let gate = builder
+            .gate(format!("g{gate_index}"), kind, inputs)
+            .expect("valid gate");
+        gate_index += 1;
+        pool.push(gate.into());
+    }
+    builder.build(pool[0]).expect("valid tree")
+}
+
+/// The MaxSAT MPMCS always is a minimal cut set whose probability equals the
+/// exhaustive optimum.
+#[test]
+fn mpmcs_is_optimal_and_minimal() {
+    for case in 0..CASES {
+        let seed = 0x5EED_0001 ^ (case << 8);
+        let tree = arbitrary_tree(9, seed);
         let solver = MpmcsSolver::with_options(MpmcsOptions {
             algorithm: AlgorithmChoice::Oll,
             ..MpmcsOptions::new()
         });
         let solution = solver.solve(&tree).expect("monotone trees have cut sets");
-        prop_assert!(tree.is_minimal_cut_set(&solution.cut_set));
+        assert!(
+            tree.is_minimal_cut_set(&solution.cut_set),
+            "seed {seed}: MPMCS is not a minimal cut set"
+        );
         let (_, expected) = brute::maximum_probability_mcs(&tree).expect("has cut sets");
-        prop_assert!((solution.probability - expected).abs() <= 1e-9 * expected.max(1e-300));
+        assert!(
+            (solution.probability - expected).abs() <= 1e-9 * expected.max(1e-300),
+            "seed {seed}: {} != optimum {expected}",
+            solution.probability
+        );
     }
+}
 
-    /// The structure formula, the success tree and the dual formula are
-    /// mutually consistent on random assignments.
-    #[test]
-    fn formula_success_and_dual_are_consistent(
-        tree in arbitrary_tree(10),
-        assignment_bits in any::<u32>(),
-    ) {
+/// The structure formula, the success tree and the dual formula are mutually
+/// consistent on random assignments.
+#[test]
+fn formula_success_and_dual_are_consistent() {
+    for case in 0..CASES {
+        let seed = 0x5EED_0002 ^ (case << 8);
+        let tree = arbitrary_tree(10, seed);
+        let assignment_bits = XorShift64::new(seed ^ 0xA55A).next_u64() as u32;
         let formula = StructureFormula::of(&tree);
         let n = tree.num_events();
-        let occurred: Vec<bool> = (0..n).map(|i| assignment_bits & (1 << (i % 32)) != 0).collect();
+        let occurred: Vec<bool> = (0..n)
+            .map(|i| assignment_bits & (1 << (i % 32)) != 0)
+            .collect();
         let failure = tree.evaluate(&occurred);
-        prop_assert_eq!(formula.evaluate(&occurred), failure);
-        prop_assert_eq!(formula.success_expr().evaluate(&occurred), Some(!failure));
+        assert_eq!(formula.evaluate(&occurred), failure, "seed {seed}");
+        assert_eq!(
+            formula.success_expr().evaluate(&occurred),
+            Some(!failure),
+            "seed {seed}"
+        );
         let complemented: Vec<bool> = occurred.iter().map(|b| !b).collect();
-        prop_assert_eq!(formula.dual_expr().evaluate(&complemented), Some(!failure));
+        assert_eq!(
+            formula.dual_expr().evaluate(&complemented),
+            Some(!failure),
+            "seed {seed}"
+        );
     }
+}
 
-    /// Cut-set probability computed directly and through log-space agree
-    /// (paper Steps 3 and 6 are inverse transformations).
-    #[test]
-    fn log_space_round_trip_matches_direct_product(tree in arbitrary_tree(10), picks in any::<u16>()) {
+/// Cut-set probability computed directly and through log-space agree (paper
+/// Steps 3 and 6 are inverse transformations).
+#[test]
+fn log_space_round_trip_matches_direct_product() {
+    for case in 0..CASES {
+        let seed = 0x5EED_0003 ^ (case << 8);
+        let tree = arbitrary_tree(10, seed);
+        let picks = XorShift64::new(seed ^ 0x1CE).next_u64() as u16;
         let chosen: CutSet = tree
             .event_ids()
             .filter(|e| picks & (1 << (e.index() % 16)) != 0)
             .collect();
         let direct = chosen.probability(&tree);
         let via_log = chosen.probability_from_log(&tree).value();
-        prop_assert!((direct - via_log).abs() <= 1e-9 * direct.max(1e-300));
+        assert!(
+            (direct - via_log).abs() <= 1e-9 * direct.max(1e-300),
+            "seed {seed}: direct {direct} != via log {via_log}"
+        );
     }
+}
 
-    /// The greedy minimality repair always returns a minimal cut set that is a
-    /// subset of its input whenever the input is a cut set.
-    #[test]
-    fn minimise_yields_minimal_subsets(tree in arbitrary_tree(9)) {
+/// The greedy minimality repair always returns a minimal cut set that is a
+/// subset of its input whenever the input is a cut set.
+#[test]
+fn minimise_yields_minimal_subsets() {
+    let mut exercised = 0u32;
+    for case in 0..CASES {
+        let seed = 0x5EED_0004 ^ (case << 8);
+        let tree = arbitrary_tree(9, seed);
         let all: CutSet = tree.event_ids().collect();
-        prop_assume!(tree.is_cut_set(&all));
+        if !tree.is_cut_set(&all) {
+            // The proptest suite discarded these cases via prop_assume!.
+            continue;
+        }
+        exercised += 1;
         let minimal = mpmcs::verify::minimise(&tree, &all);
-        prop_assert!(minimal.is_subset(&all));
-        prop_assert!(tree.is_minimal_cut_set(&minimal));
+        assert!(minimal.is_subset(&all), "seed {seed}");
+        assert!(tree.is_minimal_cut_set(&minimal), "seed {seed}");
     }
+    assert!(exercised > 0, "every generated tree was discarded");
+}
 
-    /// Every minimal cut set reported by the exhaustive oracle is accepted by
-    /// the checking API, and removing any event breaks it.
-    #[test]
-    fn oracle_cut_sets_satisfy_the_checking_api(tree in arbitrary_tree(8)) {
+/// Every minimal cut set reported by the exhaustive oracle is accepted by
+/// the checking API, and removing any event breaks it.
+#[test]
+fn oracle_cut_sets_satisfy_the_checking_api() {
+    for case in 0..CASES {
+        let seed = 0x5EED_0005 ^ (case << 8);
+        let tree = arbitrary_tree(8, seed);
         for cut in brute::all_minimal_cut_sets(&tree) {
-            prop_assert!(tree.is_cut_set(&cut));
-            prop_assert!(tree.is_minimal_cut_set(&cut));
+            assert!(tree.is_cut_set(&cut), "seed {seed}");
+            assert!(tree.is_minimal_cut_set(&cut), "seed {seed}");
             for event in cut.iter().collect::<Vec<EventId>>() {
                 let mut reduced = cut.clone();
                 reduced.remove(event);
-                prop_assert!(!tree.is_cut_set(&reduced));
+                assert!(!tree.is_cut_set(&reduced), "seed {seed}");
             }
         }
     }

@@ -1,0 +1,255 @@
+//! In-tree, dependency-free substitute for `criterion`.
+//!
+//! The build environment of this repository has no reachable crates.io
+//! registry, so the workspace must compile fully offline. This crate keeps
+//! the `benches/*.rs` files source-compatible with Criterion —
+//! [`Criterion::benchmark_group`], [`BenchmarkId`], `b.iter(..)`,
+//! [`criterion_group!`]/[`criterion_main!`] — but replaces the statistical
+//! machinery with a tiny wall-clock harness: each benchmark runs a short
+//! warm-up followed by `sample_size` timed iterations (capped by
+//! `measurement_time`) and prints the mean time per iteration.
+//!
+//! Set `BENCH_SAMPLE_SIZE` to override every group's sample size, e.g.
+//! `BENCH_SAMPLE_SIZE=1 cargo bench` for a fast smoke run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group: a function part plus an
+/// optional parameter part, rendered as `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An identifier with distinct function and parameter parts.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An identifier that is just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the payload.
+pub struct Bencher<'a> {
+    samples: usize,
+    budget: Duration,
+    elapsed: &'a mut Duration,
+    iterations: &'a mut u64,
+}
+
+impl Bencher<'_> {
+    /// Runs `payload` once as warm-up, then repeatedly while recording the
+    /// elapsed wall time, stopping at the sample count or the time budget
+    /// (whichever comes first).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        black_box(payload());
+        let start = Instant::now();
+        let mut done = 0u64;
+        loop {
+            black_box(payload());
+            done += 1;
+            if done >= self.samples as u64 || start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        *self.elapsed += start.elapsed();
+        *self.iterations += done;
+    }
+}
+
+/// A named collection of benchmarks with shared settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs (Criterion's
+    /// statistical sample count; here simply the iteration count). Overridden
+    /// globally by the `BENCH_SAMPLE_SIZE` environment variable.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Accepted for source compatibility; warm-up is a single untimed
+    /// iteration in this substitute.
+    pub fn warm_up_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark time budget.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut payload: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let samples = self.effective_sample_size();
+        let mut elapsed = Duration::ZERO;
+        let mut iterations = 0u64;
+        payload(&mut Bencher {
+            samples,
+            budget: self.measurement_time,
+            elapsed: &mut elapsed,
+            iterations: &mut iterations,
+        });
+        self.criterion.report(&self.name, &id, elapsed, iterations);
+        self
+    }
+
+    /// Runs one benchmark parameterised by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut payload: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| payload(b, input))
+    }
+
+    /// Ends the group (prints nothing extra; exists for source
+    /// compatibility).
+    pub fn finish(self) {}
+
+    fn effective_sample_size(&self) -> usize {
+        std::env::var("BENCH_SAMPLE_SIZE")
+            .ok()
+            .and_then(|raw| raw.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(self.sample_size)
+    }
+}
+
+/// The top-level harness handle passed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, payload: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, payload);
+        self
+    }
+
+    fn report(&mut self, group: &str, id: &BenchmarkId, elapsed: Duration, iterations: u64) {
+        let per_iter = if iterations == 0 {
+            Duration::ZERO
+        } else {
+            elapsed / u32::try_from(iterations.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)
+        };
+        let name = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        println!(
+            "{name}: {:.3} ms/iter ({iterations} iterations, {:.3} s total)",
+            per_iter.as_secs_f64() * 1e3,
+            elapsed.as_secs_f64(),
+        );
+    }
+}
+
+/// Declares a bench group function, Criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, Criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut criterion = Criterion::default();
+        let mut runs = 0u32;
+        {
+            let mut group = criterion.benchmark_group("demo");
+            group
+                .sample_size(3)
+                .measurement_time(Duration::from_millis(50));
+            group.bench_function(BenchmarkId::new("count", 1), |b| {
+                b.iter(|| runs += 1);
+            });
+            group.bench_with_input(BenchmarkId::from_parameter("x"), &5u32, |b, &x| {
+                b.iter(|| black_box(x * 2));
+            });
+            group.finish();
+        }
+        // 3 timed + 1 warm-up iterations.
+        assert_eq!(runs, 4);
+    }
+}

@@ -1,0 +1,459 @@
+//! In-tree, dependency-free substitute for `serde`.
+//!
+//! The build environment of this repository has no reachable crates.io
+//! registry, so the workspace must compile fully offline. This crate provides
+//! the small serialisation substrate the workspace needs: a JSON [`Value`]
+//! model, [`Serialize`]/[`Deserialize`] traits implemented via that model
+//! (instead of serde's visitor architecture), impls for the std types the
+//! workspace serialises, and two helper macros —
+//! [`impl_serde_struct!`](crate::impl_serde_struct) and
+//! [`impl_serde_newtype!`](crate::impl_serde_newtype) — replacing
+//! `#[derive(Serialize, Deserialize)]` on plain structs and newtypes.
+//!
+//! Text parsing and printing live in the sibling `serde_json` substitute,
+//! which re-exports [`Value`], [`Map`] and [`Error`] from here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+mod value;
+
+pub use value::{Map, Number, Value};
+
+/// Serialisation / deserialisation failure.
+///
+/// Mirrors the `serde_json::Error` surface the workspace relies on: a message
+/// plus the input line it was detected on (0 when the error is semantic
+/// rather than syntactic).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    line: usize,
+    message: String,
+}
+
+impl Error {
+    /// Creates a semantic (line-less) error.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            line: 0,
+            message: message.into(),
+        }
+    }
+
+    /// Creates an error anchored to a 1-based input line.
+    pub fn at_line(line: usize, message: impl Into<String>) -> Self {
+        Error {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The 1-based input line of the error, or 0 when not tied to input text.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "{} at line {}", self.message, self.line)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into a JSON [`Value`].
+pub trait Serialize {
+    /// The JSON representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from its JSON representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when `value` has the wrong shape or fails the type's
+    /// validation.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// --------------------------------------------------------------------------
+// Serialize impls for std types
+// --------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_i128(*self as i128))
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(f64::from(*self)))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        for (key, value) in self {
+            map.insert(key.clone(), value.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+// --------------------------------------------------------------------------
+// Deserialize impls for std types
+// --------------------------------------------------------------------------
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::custom(format!("expected boolean, found {}", value.kind())))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, found {}", value.kind())))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, found {}", value.kind())))
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value.as_i128().ok_or_else(|| {
+                    Error::custom(format!("expected integer, found {}", value.kind()))
+                })?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, found {}", value.kind())))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, found {}", value.kind())))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+// --------------------------------------------------------------------------
+// Field helpers used by the impl macros (and by hand-written impls)
+// --------------------------------------------------------------------------
+
+/// Helpers for hand-written [`Deserialize`] impls over JSON objects.
+pub mod de {
+    use super::{Deserialize, Error, Value};
+
+    /// Reads a required object field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when `value` is not an object, the field is missing,
+    /// or the field fails to deserialise.
+    pub fn field<T: Deserialize>(value: &Value, key: &str) -> Result<T, Error> {
+        let object = value
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, found {}", value.kind())))?;
+        let field = object
+            .get(key)
+            .ok_or_else(|| Error::custom(format!("missing field `{key}`")))?;
+        T::from_value(field).map_err(|e| Error::custom(format!("field `{key}`: {e}")))
+    }
+
+    /// Reads an optional object field (`None` when missing or `null`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when `value` is not an object or a present,
+    /// non-null field fails to deserialise.
+    pub fn opt_field<T: Deserialize>(value: &Value, key: &str) -> Result<Option<T>, Error> {
+        let object = value
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, found {}", value.kind())))?;
+        match object.get(key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(field) => T::from_value(field)
+                .map(Some)
+                .map_err(|e| Error::custom(format!("field `{key}`: {e}"))),
+        }
+    }
+}
+
+/// Implements [`Serialize`]/[`Deserialize`] for a plain struct with named
+/// fields, replacing `#[derive(Serialize, Deserialize)]`.
+///
+/// Fields after the `optional` keyword must have type `Option<_>`; they are
+/// skipped when `None` (the `#[serde(default, skip_serializing_if =
+/// "Option::is_none")]` pattern) and default to `None` when absent.
+///
+/// ```
+/// struct Point { x: i64, label: Option<String> }
+/// serde::impl_serde_struct!(Point { x } optional { label });
+/// ```
+#[macro_export]
+macro_rules! impl_serde_struct {
+    ($ty:ident { $($field:ident),* $(,)? }) => {
+        $crate::impl_serde_struct!($ty { $($field),* } optional {});
+    };
+    ($ty:ident { $($field:ident),* $(,)? } optional { $($opt:ident),* $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                let mut map = $crate::Map::new();
+                $(
+                    map.insert(
+                        stringify!($field).to_string(),
+                        $crate::Serialize::to_value(&self.$field),
+                    );
+                )*
+                $(
+                    if let Some(inner) = &self.$opt {
+                        map.insert(
+                            stringify!($opt).to_string(),
+                            $crate::Serialize::to_value(inner),
+                        );
+                    }
+                )*
+                $crate::Value::Object(map)
+            }
+        }
+
+        impl $crate::Deserialize for $ty {
+            fn from_value(value: &$crate::Value) -> Result<Self, $crate::Error> {
+                Ok($ty {
+                    $( $field: $crate::de::field(value, stringify!($field))?, )*
+                    $( $opt: $crate::de::opt_field(value, stringify!($opt))?, )*
+                })
+            }
+        }
+    };
+}
+
+/// Implements [`Serialize`]/[`Deserialize`] for a one-field tuple struct as a
+/// transparent wrapper around its inner value, matching serde's derive
+/// behaviour on newtypes.
+///
+/// ```
+/// struct Meters(f64);
+/// serde::impl_serde_newtype!(Meters);
+/// ```
+#[macro_export]
+macro_rules! impl_serde_newtype {
+    ($ty:ident) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Serialize::to_value(&self.0)
+            }
+        }
+
+        impl $crate::Deserialize for $ty {
+            fn from_value(value: &$crate::Value) -> Result<Self, $crate::Error> {
+                Ok($ty($crate::Deserialize::from_value(value)?))
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Point {
+        x: i64,
+        y: f64,
+        label: Option<String>,
+    }
+
+    impl_serde_struct!(Point { x, y } optional { label });
+
+    #[derive(Debug, PartialEq)]
+    struct Wrapper(u32);
+
+    impl_serde_newtype!(Wrapper);
+
+    #[test]
+    fn struct_macro_round_trips_and_skips_none() {
+        let with = Point {
+            x: -3,
+            y: 0.5,
+            label: Some("a".to_string()),
+        };
+        let without = Point {
+            x: 7,
+            y: 1.25,
+            label: None,
+        };
+        for point in [&with, &without] {
+            let value = point.to_value();
+            assert_eq!(&Point::from_value(&value).unwrap(), point);
+        }
+        let map = match without.to_value() {
+            Value::Object(map) => map,
+            other => panic!("expected object, got {other:?}"),
+        };
+        assert!(map.get("label").is_none(), "None fields must be skipped");
+    }
+
+    #[test]
+    fn missing_required_fields_are_errors() {
+        let mut map = Map::new();
+        map.insert("x".to_string(), Value::Number(Number::from_i128(1)));
+        let err = Point::from_value(&Value::Object(map)).unwrap_err();
+        assert!(err.to_string().contains("missing field `y`"), "{err}");
+    }
+
+    #[test]
+    fn newtype_macro_is_transparent() {
+        let w = Wrapper(9);
+        assert_eq!(w.to_value(), Value::Number(Number::from_i128(9)));
+        assert_eq!(Wrapper::from_value(&w.to_value()).unwrap(), w);
+    }
+
+    #[test]
+    fn int_deserialize_checks_range_and_kind() {
+        assert!(u8::from_value(&Value::Number(Number::from_i128(300))).is_err());
+        assert!(u64::from_value(&Value::Number(Number::from_i128(-1))).is_err());
+        assert!(usize::from_value(&Value::String("5".to_string())).is_err());
+        assert_eq!(
+            i64::from_value(&Value::Number(Number::from_i128(-12))).unwrap(),
+            -12
+        );
+    }
+}

@@ -1,0 +1,333 @@
+//! The JSON value model shared by the `serde` and `serde_json` substitutes.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON number: either an exact 64-bit integer or a double.
+///
+/// Integers and floats that denote the same quantity (e.g. `1` and `1.0`)
+/// compare equal, so values survive a print/parse round trip that normalises
+/// `1.0` to `1`.
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    /// An integer that fits `i64`.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+}
+
+impl Number {
+    /// Builds a number from a (possibly wide) integer, falling back to a
+    /// float when it exceeds the `i64` range.
+    pub fn from_i128(value: i128) -> Self {
+        match i64::try_from(value) {
+            Ok(small) => Number::Int(small),
+            Err(_) => Number::Float(value as f64),
+        }
+    }
+
+    /// Builds a number from a double.
+    pub fn from_f64(value: f64) -> Self {
+        Number::Float(value)
+    }
+
+    /// The value as a double.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::Int(n) => n as f64,
+            Number::Float(x) => x,
+        }
+    }
+
+    /// The value as a wide integer, when it is one (floats qualify only if
+    /// they are finite and integral).
+    pub fn as_i128(self) -> Option<i128> {
+        match self {
+            Number::Int(n) => Some(i128::from(n)),
+            Number::Float(x) if x.is_finite() && x.fract() == 0.0 => Some(x as i128),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => a == b,
+            (a, b) => a.as_f64() == b.as_f64(),
+        }
+    }
+}
+
+/// A JSON object preserving insertion order (documents stay human-diffable).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Inserts a key/value pair, replacing any previous value for the key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (existing, slot) in &mut self.entries {
+            if *existing == key {
+                return Some(std::mem::replace(slot, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// The value stored under `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries
+            .iter()
+            .find(|(existing, _)| existing == key)
+            .map(|(_, value)| value)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the object has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries
+            .iter()
+            .map(|(key, value)| (key.as_str(), value))
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut map = Map::new();
+        for (key, value) in iter {
+            map.insert(key, value);
+        }
+        map
+    }
+}
+
+/// A JSON document tree, mirroring `serde_json::Value`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// Short description of the value's type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// `true` when the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The boolean, when the value is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string slice, when the value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as a double, when the value is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The number as an `i64`, when it is an integral number in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i128().and_then(|wide| i64::try_from(wide).ok()),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, when it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_i128().and_then(|wide| u64::try_from(wide).ok()),
+            _ => None,
+        }
+    }
+
+    /// The number as a wide integer, when it is integral.
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Value::Number(n) => n.as_i128(),
+            _ => None,
+        }
+    }
+
+    /// The element vector, when the value is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(elements) => Some(elements),
+            _ => None,
+        }
+    }
+
+    /// The object, when the value is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|map| map.get(key))
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+macro_rules! impl_value_int_eq {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_i128() == Some(*other as i128)
+            }
+        }
+    )*};
+}
+
+impl_value_int_eq!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+const NULL: Value = Value::Null;
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    /// Indexing never panics: missing keys and non-objects yield `null`,
+    /// matching `serde_json`'s behaviour.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    /// Out-of-range indices and non-arrays yield `null`.
+    fn index(&self, index: usize) -> &Value {
+        self.as_array()
+            .and_then(|elements| elements.get(index))
+            .unwrap_or(&NULL)
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::Int(n) => write!(f, "{n}"),
+            // Rust's shortest-round-trip formatting; non-finite values have
+            // no JSON representation and are rendered as null by the writer.
+            Number::Float(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_compare_across_kinds() {
+        assert_eq!(Number::Int(3), Number::Float(3.0));
+        assert_ne!(Number::Int(3), Number::Float(3.5));
+        assert_eq!(Number::from_i128(1 << 40), Number::Int(1 << 40));
+    }
+
+    #[test]
+    fn indexing_is_total() {
+        let mut map = Map::new();
+        map.insert("k".to_string(), Value::Bool(true));
+        let value = Value::Object(map);
+        assert_eq!(value["k"], Value::Bool(true));
+        assert!(value["missing"].is_null());
+        assert!(value["missing"]["deeper"].is_null());
+        assert!(Value::Array(vec![])[3].is_null());
+    }
+
+    #[test]
+    fn map_insert_replaces_existing_keys() {
+        let mut map = Map::new();
+        map.insert("a".to_string(), Value::Bool(false));
+        let old = map.insert("a".to_string(), Value::Bool(true));
+        assert_eq!(old, Some(Value::Bool(false)));
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.get("a"), Some(&Value::Bool(true)));
+    }
+}

@@ -1,0 +1,172 @@
+//! In-tree, dependency-free substitute for `serde_json`.
+//!
+//! The build environment of this repository has no reachable crates.io
+//! registry, so the workspace must compile fully offline. This crate provides
+//! the `serde_json` surface the workspace uses: [`from_str`], [`to_string`],
+//! [`to_string_pretty`], [`to_value`], the [`json!`] macro, and the
+//! [`Value`]/[`Map`]/[`Error`] types (re-exported from the sibling `serde`
+//! substitute, where the value model lives).
+//!
+//! Two deliberate deviations from the real crate, both documented at the
+//! affected item: non-finite floats serialise as `null` instead of erroring,
+//! and integral floats print in integer form (`1`, not `1.0`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde::{Error, Map, Number, Value};
+
+mod read;
+mod write;
+
+pub use read::parse_value;
+
+/// Serialises `value` as a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails in this substitute (non-finite floats become `null`); the
+/// `Result` return type mirrors `serde_json` so call sites stay unchanged.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::write_compact(&value.to_value()))
+}
+
+/// Serialises `value` as human-readable JSON with two-space indentation.
+///
+/// # Errors
+///
+/// Never fails in this substitute; see [`to_string`].
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::write_pretty(&value.to_value()))
+}
+
+/// Converts any serialisable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Parses JSON text and deserialises it into `T`.
+///
+/// # Errors
+///
+/// Returns [`Error`] for malformed JSON (with the offending 1-based line
+/// available through [`Error::line`]) and for shape/validation failures of
+/// `T` (line 0).
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T, Error> {
+    let value = read::parse_value(input)?;
+    T::from_value(&value)
+}
+
+/// Builds a [`Value`] from JSON-like syntax.
+///
+/// Supports the subset the workspace uses: `null`, array literals, object
+/// literals with string-literal keys, and arbitrary serialisable expressions
+/// in value position (including nested `json!` calls, which are ordinary
+/// expressions producing a [`Value`]).
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ([ $($element:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$element) ),* ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert($key.to_string(), $crate::to_value(&$value)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_reprints_documents() {
+        let text = r#"{"name":"demo","xs":[1,2.5,true,null],"nested":{"k":"v"}}"#;
+        let value: Value = from_str(text).unwrap();
+        assert_eq!(value["name"].as_str(), Some("demo"));
+        assert_eq!(value["xs"][1].as_f64(), Some(2.5));
+        assert_eq!(value["xs"][2].as_bool(), Some(true));
+        assert!(value["xs"][3].is_null());
+        assert_eq!(value["nested"]["k"].as_str(), Some("v"));
+        let reparsed: Value = from_str(&to_string(&value).unwrap()).unwrap();
+        assert_eq!(reparsed, value);
+        let repretty: Value = from_str(&to_string_pretty(&value).unwrap()).unwrap();
+        assert_eq!(repretty, value);
+    }
+
+    #[test]
+    fn reports_the_error_line() {
+        let text = "{\n  \"a\": 1,\n  \"b\": oops\n}";
+        let err = from_str::<Value>(text).unwrap_err();
+        assert_eq!(err.line(), 3, "{err}");
+        assert!(from_str::<Value>("{ not json").is_err());
+        assert!(from_str::<Value>("").is_err());
+        assert!(from_str::<Value>("1 trailing").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "tab\t quote\" back\\ newline\n unicode \u{1F600} nul\u{0}";
+        let json = to_string(&original).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, original);
+        // Explicit \uXXXX escapes, including a surrogate pair.
+        let parsed: String = from_str(r#""Aé😀""#).unwrap();
+        assert_eq!(parsed, "Aé\u{1F600}");
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly() {
+        for x in [0.25, 1e-9, 123.456, -7.5, 0.1 + 0.2] {
+            let back: f64 = from_str(&to_string(&x).unwrap()).unwrap();
+            assert_eq!(back, x);
+        }
+        assert_eq!(to_string(&0.25).unwrap(), "0.25");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(from_str::<i64>("-9").unwrap(), -9);
+        assert_eq!(from_str::<f64>("1e3").unwrap(), 1000.0);
+        assert_eq!(from_str::<f64>("-2.5E-2").unwrap(), -0.025);
+    }
+
+    #[test]
+    fn non_finite_floats_serialise_as_null() {
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn json_macro_builds_objects_arrays_and_scalars() {
+        let name = "x1".to_string();
+        let maybe: Option<f64> = None;
+        let value = json!({
+            "name": name,
+            "probability": 0.2,
+            "tags": ["a", "b"],
+            "missing": maybe,
+            "nested": json!({ "k": 1 }),
+            "flag": if 1 + 1 == 2 { Some(true) } else { None },
+        });
+        assert_eq!(value["name"].as_str(), Some("x1"));
+        assert_eq!(value["probability"].as_f64(), Some(0.2));
+        assert_eq!(value["tags"].as_array().map(|a| a.len()), Some(2));
+        assert!(value["missing"].is_null());
+        assert_eq!(value["nested"]["k"].as_u64(), Some(1));
+        assert_eq!(value["flag"].as_bool(), Some(true));
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!([1, 2]).as_array().map(|a| a.len()), Some(2));
+        assert_eq!(json!("plain").as_str(), Some("plain"));
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_instead_of_overflowing() {
+        let deep = "[".repeat(4_000) + &"]".repeat(4_000);
+        assert!(from_str::<Value>(&deep).is_err());
+    }
+}

@@ -1,0 +1,276 @@
+//! A recursive-descent JSON parser with line tracking.
+
+use serde::{Error, Map, Number, Value};
+
+/// Nesting depth cap protecting the recursive parser from stack overflow on
+/// adversarial inputs.
+const MAX_DEPTH: usize = 256;
+
+/// Parses a complete JSON document into a [`Value`].
+///
+/// # Errors
+///
+/// Returns [`Error`] (carrying the 1-based line) for malformed input,
+/// trailing content, or nesting deeper than an internal limit.
+pub fn parse_value(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    parser.skip_whitespace();
+    let value = parser.value(0)?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> Error {
+        Error::at_line(self.line, message)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let byte = self.peek()?;
+        self.pos += 1;
+        if byte == b'\n' {
+            self.line += 1;
+        }
+        Some(byte)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, expected: u8) -> Result<(), Error> {
+        match self.bump() {
+            Some(byte) if byte == expected => Ok(()),
+            Some(byte) => Err(self.error(format!(
+                "expected {:?}, found {:?}",
+                expected as char, byte as char
+            ))),
+            None => Err(self.error(format!(
+                "expected {:?}, found end of input",
+                expected as char
+            ))),
+        }
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<(), Error> {
+        for &expected in keyword.as_bytes() {
+            match self.bump() {
+                Some(byte) if byte == expected => {}
+                _ => return Err(self.error(format!("invalid literal, expected `{keyword}`"))),
+            }
+        }
+        Ok(())
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("JSON nested too deeply"));
+        }
+        match self.peek() {
+            Some(b'n') => {
+                self.expect_keyword("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.expect_keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.expect_keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(byte) if byte == b'-' || byte.is_ascii_digit() => self.number(),
+            Some(byte) => Err(self.error(format!("unexpected character {:?}", byte as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut elements = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.bump();
+            return Ok(Value::Array(elements));
+        }
+        loop {
+            self.skip_whitespace();
+            elements.push(self.value(depth + 1)?);
+            self.skip_whitespace();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b']') => return Ok(Value::Array(elements)),
+                Some(byte) => {
+                    return Err(self.error(format!(
+                        "expected ',' or ']' in array, found {:?}",
+                        byte as char
+                    )))
+                }
+                None => return Err(self.error("unterminated array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_whitespace();
+            if self.peek() != Some(b'"') {
+                return Err(self.error("expected string object key"));
+            }
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_whitespace();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b'}') => return Ok(Value::Object(map)),
+                Some(byte) => {
+                    return Err(self.error(format!(
+                        "expected ',' or '}}' in object, found {:?}",
+                        byte as char
+                    )))
+                }
+                None => return Err(self.error("unterminated object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy unescaped UTF-8 runs wholesale.
+            while let Some(byte) = self.peek() {
+                if byte == b'"' || byte == b'\\' || byte < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The input is a &str, so the run is valid UTF-8.
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?,
+                );
+            }
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => out.push(self.unicode_escape()?),
+                    _ => return Err(self.error("invalid escape sequence")),
+                },
+                Some(byte) if byte < 0x20 => {
+                    return Err(self.error("unescaped control character in string"))
+                }
+                _ => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let byte = self
+                .bump()
+                .ok_or_else(|| self.error("truncated \\u escape"))?;
+            let digit = (byte as char)
+                .to_digit(16)
+                .ok_or_else(|| self.error("invalid hex digit in \\u escape"))?;
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, Error> {
+        let first = self.hex4()?;
+        if (0xD800..0xDC00).contains(&first) {
+            // High surrogate: a \uXXXX low surrogate must follow.
+            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                return Err(self.error("unpaired surrogate in \\u escape"));
+            }
+            let second = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&second) {
+                return Err(self.error("invalid low surrogate in \\u escape"));
+            }
+            let code = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+            char::from_u32(code).ok_or_else(|| self.error("invalid surrogate pair"))
+        } else {
+            char::from_u32(first).ok_or_else(|| self.error("invalid \\u escape"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        let mut integral = true;
+        while let Some(byte) = self.peek() {
+            match byte {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if integral {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::Int(n)));
+            }
+        }
+        let x: f64 = text
+            .parse()
+            .map_err(|_| self.error(format!("invalid number {text:?}")))?;
+        if !x.is_finite() {
+            return Err(self.error(format!("number {text:?} is out of range")));
+        }
+        Ok(Value::Number(Number::Float(x)))
+    }
+}

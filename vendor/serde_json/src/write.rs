@@ -1,0 +1,134 @@
+//! Compact and pretty JSON writers.
+
+use serde::{Number, Value};
+
+/// Renders `value` without any whitespace.
+pub fn write_compact(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, None, 0);
+    out
+}
+
+/// Renders `value` with two-space indentation, matching `serde_json`'s
+/// pretty printer closely enough for diffs and tests.
+pub fn write_pretty(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, Some("  "), 0);
+    out
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<&str>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(elements) => {
+            if elements.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, element) in elements.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, element, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, entry)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, entry, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, level: usize) {
+    if let Some(unit) = indent {
+        out.push('\n');
+        for _ in 0..level {
+            out.push_str(unit);
+        }
+    }
+}
+
+fn write_number(out: &mut String, number: Number) {
+    match number {
+        Number::Int(n) => out.push_str(&n.to_string()),
+        Number::Float(x) if x.is_finite() => out.push_str(&x.to_string()),
+        // JSON has no representation for NaN/±inf; real serde_json errors,
+        // this substitute degrades to null so report writing stays total.
+        Number::Float(_) => out.push_str("null"),
+    }
+}
+
+fn write_string(out: &mut String, text: &str) {
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Map;
+
+    #[test]
+    fn pretty_output_matches_the_expected_layout() {
+        let mut inner = Map::new();
+        inner.insert("k".to_string(), Value::Number(Number::Int(1)));
+        let mut map = Map::new();
+        map.insert("name".to_string(), Value::String("demo".to_string()));
+        map.insert(
+            "xs".to_string(),
+            Value::Array(vec![Value::Bool(true), Value::Object(inner)]),
+        );
+        map.insert("empty".to_string(), Value::Array(vec![]));
+        let pretty = write_pretty(&Value::Object(map));
+        let expected = "{\n  \"name\": \"demo\",\n  \"xs\": [\n    true,\n    {\n      \"k\": 1\n    }\n  ],\n  \"empty\": []\n}";
+        assert_eq!(pretty, expected);
+    }
+
+    #[test]
+    fn compact_output_has_no_whitespace() {
+        let mut map = Map::new();
+        map.insert("a".to_string(), Value::Number(Number::Float(0.5)));
+        let compact = write_compact(&Value::Object(map));
+        assert_eq!(compact, "{\"a\":0.5}");
+    }
+}
