@@ -1,5 +1,5 @@
 //! Prints the tables and series of the paper's evaluation (experiments E1–E7
-//! of `DESIGN.md`).
+//! of `DESIGN.md`), plus the post-paper scaling experiments (E10).
 //!
 //! ```text
 //! cargo run --release -p ft-bench --bin experiments -- all
@@ -10,8 +10,8 @@
 use std::process::ExitCode;
 
 use ft_bench::{
-    baselines, encodings, extended_baselines, extended_measures, fig2, portfolio, scalability,
-    table1, voting, BASELINE_SIZES, SCALABILITY_SIZES,
+    baselines, batch_scaling, encodings, extended_baselines, extended_measures, fig2, portfolio,
+    scalability, table1, voting, BASELINE_SIZES, SCALABILITY_SIZES,
 };
 
 const SEED: u64 = 2020;
@@ -35,6 +35,7 @@ fn main() -> ExitCode {
             "voting",
             "extended-baselines",
             "measures",
+            "batch-scaling",
         ];
     }
 
@@ -65,9 +66,16 @@ fn main() -> ExitCode {
             "voting" => voting(&ablation_sizes, SEED),
             "extended-baselines" => extended_baselines(&base_sizes, SEED),
             "measures" => extended_measures(),
+            "batch-scaling" => {
+                if quick {
+                    batch_scaling(8, 100, &[1, 2, 4], SEED)
+                } else {
+                    batch_scaling(16, 250, &[1, 2, 4, 8], SEED)
+                }
+            }
             other => {
                 eprintln!(
-                    "unknown experiment {other:?}; available: table1 fig2 scalability portfolio baselines encodings voting extended-baselines measures all"
+                    "unknown experiment {other:?}; available: table1 fig2 scalability portfolio baselines encodings voting extended-baselines measures batch-scaling all"
                 );
                 return ExitCode::from(2);
             }

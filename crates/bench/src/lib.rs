@@ -548,6 +548,104 @@ pub fn extended_measures() -> String {
     out
 }
 
+/// One row of the batch worker-scaling table (E10): the same batch of trees
+/// analysed end to end by `ft-batch` at a given worker count.
+#[derive(Clone, Debug)]
+pub struct BatchScalingRow {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// End-to-end wall-clock time of the batch.
+    pub wall_time: Duration,
+    /// Speedup relative to the sweep's baseline (first) entry — with the
+    /// conventional `[1, 2, 4, ...]` sweep, `t_1 / t_jobs`.
+    pub speedup: f64,
+    /// Total SAT calls across the batch (identical for every worker count —
+    /// the sharded pool changes scheduling, not the work).
+    pub total_sat_calls: u64,
+}
+
+/// E10 — worker scaling of the parallel batch engine: one batch of
+/// `num_trees` generated trees (target `nodes` total nodes each), analysed
+/// end to end at each worker count of `jobs_sweep`. The deterministic
+/// sequential-portfolio algorithm is used per tree, so the only variable is
+/// the outer worker pool. The first sweep entry is the speedup baseline, so
+/// start the sweep at 1 worker for classic `t_1 / t_n` scaling curves.
+pub fn batch_scaling_rows(
+    num_trees: usize,
+    nodes: usize,
+    jobs_sweep: &[usize],
+    seed: u64,
+) -> Vec<BatchScalingRow> {
+    use ft_batch::{run_batch, BatchConfig, BatchManifest};
+    let manifest = BatchManifest::generated(Family::RandomMixed, nodes, num_trees, seed);
+    let mut rows = Vec::new();
+    let mut baseline_time: Option<Duration> = None;
+    for &jobs in jobs_sweep {
+        let config = BatchConfig {
+            jobs,
+            ..BatchConfig::default()
+        };
+        let (report, wall_time) = timed(|| run_batch(&manifest, &config));
+        assert_eq!(
+            report.summary.failed, 0,
+            "generated batch trees always analyse"
+        );
+        let baseline = *baseline_time.get_or_insert(wall_time);
+        rows.push(BatchScalingRow {
+            jobs,
+            wall_time,
+            speedup: baseline.as_secs_f64() / wall_time.as_secs_f64().max(1e-12),
+            total_sat_calls: report.summary.total_sat_calls,
+        });
+    }
+    rows
+}
+
+/// Formats E10 rows. Speedups above 1× at >1 workers require actual hardware
+/// parallelism; on a single-core host the table degenerates to ~1× across
+/// the sweep, which is itself a useful sanity check (no pool overhead).
+pub fn batch_scaling(num_trees: usize, nodes: usize, jobs_sweep: &[usize], seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# E10 — batch engine worker scaling ({num_trees} × ~{nodes}-node trees, sequential portfolio per tree)\n"
+    ));
+    out.push_str("jobs    wall_ms    speedup  sat_calls\n");
+    for row in batch_scaling_rows(num_trees, nodes, jobs_sweep, seed) {
+        out.push_str(&format!(
+            "{:<7} {:<10.2} {:<8.2} {}\n",
+            row.jobs,
+            ms(row.wall_time),
+            row.speedup,
+            row.total_sat_calls
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod batch_scaling_tests {
+    use super::*;
+
+    #[test]
+    fn batch_scaling_rows_cover_the_sweep_and_do_identical_work() {
+        let rows = batch_scaling_rows(4, 60, &[1, 2, 4], 7);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].jobs, 1);
+        assert!(
+            (rows[0].speedup - 1.0).abs() < 1e-12,
+            "row 1 is the baseline"
+        );
+        // The pool changes scheduling, never the work: every worker count
+        // performs exactly the same SAT calls.
+        assert!(rows
+            .windows(2)
+            .all(|w| w[0].total_sat_calls == w[1].total_sat_calls));
+        let table = batch_scaling(4, 60, &[1, 2], 7);
+        assert!(table.contains("E10"));
+        assert!(table.contains("speedup"));
+    }
+}
+
 #[cfg(test)]
 mod extended_tests {
     use super::*;

@@ -1,0 +1,333 @@
+//! The sharded worker pool that drives a batch run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+use std::time::Instant;
+
+use fault_tree::FaultTree;
+use mpmcs::{AlgorithmChoice, MpmcsOptions, MpmcsReport, MpmcsSolver};
+
+use crate::manifest::{BatchJob, BatchManifest};
+use crate::report::{BatchReport, BatchSummary, ImportanceRow, TreeReport};
+
+/// How many minimal cut sets the importance pre-computation (MOCUS) may
+/// enumerate per tree before the importance table is skipped for that tree.
+const MOCUS_BUDGET: usize = 50_000;
+
+/// Configuration of a batch run.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchConfig {
+    /// Worker threads; `0` asks the OS for the available parallelism. The
+    /// pool never spawns more workers than there are jobs.
+    pub jobs: usize,
+    /// Minimal cut sets to enumerate per tree (at least 1; the first is the
+    /// MPMCS).
+    pub top_k: usize,
+    /// The MaxSAT strategy used for every tree. The default is the
+    /// *sequential* portfolio: parallelism then comes entirely from the
+    /// worker pool (one tree per thread), which keeps per-tree results
+    /// bit-identical for any worker count.
+    pub algorithm: AlgorithmChoice,
+    /// Also compute the Birnbaum / Fussell-Vesely / criticality importance
+    /// table per tree (needs cut-set enumeration; skipped for trees whose
+    /// cut-set count exceeds an internal budget).
+    pub importance: bool,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            jobs: 0,
+            top_k: 1,
+            algorithm: AlgorithmChoice::SequentialPortfolio,
+            importance: false,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// The worker count a manifest of `jobs_available` jobs will actually
+    /// use: the configured count (or the available parallelism when 0),
+    /// capped by the number of jobs and floored at 1.
+    pub fn effective_jobs(&self, jobs_available: usize) -> usize {
+        let requested = if self.jobs == 0 {
+            thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.jobs
+        };
+        requested.min(jobs_available).max(1)
+    }
+}
+
+/// Runs the full MPMCS pipeline on every job of `manifest` using a sharded
+/// worker pool, and aggregates the per-tree results into a deterministic
+/// [`BatchReport`] (results in manifest order; per-tree failures are recorded
+/// in the report instead of aborting the batch).
+///
+/// ```rust
+/// use ft_batch::{run_batch, BatchConfig, BatchManifest};
+/// use ft_generators::Family;
+///
+/// let manifest = BatchManifest::generated(Family::OrHeavy, 50, 4, 11);
+/// let report = run_batch(&manifest, &BatchConfig { jobs: 4, ..BatchConfig::default() });
+/// assert_eq!(report.summary.succeeded, 4);
+/// assert!(report.results.iter().all(|r| r.status == "ok"));
+/// ```
+pub fn run_batch(manifest: &BatchManifest, config: &BatchConfig) -> BatchReport {
+    let start = Instant::now();
+    let total = manifest.jobs.len();
+    let workers = config.effective_jobs(total);
+    let mut slots: Vec<Option<TreeReport>> = (0..total).map(|_| None).collect();
+
+    if total > 0 {
+        let next = AtomicUsize::new(0);
+        let finished: Vec<Vec<(usize, TreeReport)>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let index = next.fetch_add(1, Ordering::Relaxed);
+                            if index >= total {
+                                break;
+                            }
+                            local.push((index, analyze_job(&manifest.jobs[index], config)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("batch workers do not panic"))
+                .collect()
+        });
+        for (index, report) in finished.into_iter().flatten() {
+            slots[index] = Some(report);
+        }
+    }
+
+    let results: Vec<TreeReport> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every job index is analysed exactly once"))
+        .collect();
+    let succeeded = results.iter().filter(|r| r.status == "ok").count();
+    let summary = BatchSummary {
+        trees: total,
+        succeeded,
+        failed: total - succeeded,
+        jobs: workers,
+        top_k: config.top_k.max(1),
+        algorithm: algorithm_name(config.algorithm).to_string(),
+        total_events: results
+            .iter()
+            .filter(|r| r.status == "ok")
+            .map(|r| r.num_events)
+            .sum(),
+        total_cut_sets: results.iter().map(|r| r.cut_sets.len()).sum(),
+        total_sat_calls: results.iter().map(|r| r.sat_calls).sum(),
+        wall_time_ms: start.elapsed().as_secs_f64() * 1e3,
+    };
+    BatchReport { summary, results }
+}
+
+/// The stable display name of a MaxSAT strategy (matches the CLI flags).
+fn algorithm_name(algorithm: AlgorithmChoice) -> &'static str {
+    match algorithm {
+        AlgorithmChoice::Portfolio => "portfolio",
+        AlgorithmChoice::SequentialPortfolio => "sequential",
+        AlgorithmChoice::Oll => "oll",
+        AlgorithmChoice::LinearSu => "linear-su",
+    }
+}
+
+/// Loads and analyses one job, capturing any failure in the report row.
+fn analyze_job(job: &BatchJob, config: &BatchConfig) -> TreeReport {
+    let start = Instant::now();
+    let mut report = TreeReport {
+        name: job.name.clone(),
+        status: "error".to_string(),
+        num_events: 0,
+        num_gates: 0,
+        sat_calls: 0,
+        solve_time_ms: 0.0,
+        cut_sets: Vec::new(),
+        error: None,
+        importance: None,
+    };
+    let tree = match job.load() {
+        Ok(tree) => tree,
+        Err(error) => {
+            report.error = Some(error.to_string());
+            report.solve_time_ms = start.elapsed().as_secs_f64() * 1e3;
+            return report;
+        }
+    };
+    report.num_events = tree.num_events();
+    report.num_gates = tree.num_gates();
+    let solver = MpmcsSolver::with_options(MpmcsOptions {
+        algorithm: config.algorithm,
+        ..MpmcsOptions::new()
+    });
+    match solver.solve_top_k(&tree, config.top_k.max(1)) {
+        Ok(solutions) => {
+            report.status = "ok".to_string();
+            report.sat_calls = solutions.iter().map(|s| s.stats.sat_calls).sum();
+            report.cut_sets = solutions
+                .iter()
+                .map(|solution| MpmcsReport::new(&tree, solution))
+                .collect();
+            if config.importance {
+                report.importance = importance_rows(&tree);
+            }
+        }
+        Err(error) => {
+            report.error = Some(format!("solver error: {error}"));
+        }
+    }
+    report.solve_time_ms = start.elapsed().as_secs_f64() * 1e3;
+    report
+}
+
+/// Computes the importance table, or `None` when cut-set enumeration blows
+/// the budget (large OR-heavy trees) — the batch row stays usable either way.
+fn importance_rows(tree: &FaultTree) -> Option<Vec<ImportanceRow>> {
+    let cut_sets = ft_analysis::mocus::Mocus::with_budget(tree, MOCUS_BUDGET)
+        .minimal_cut_sets()
+        .ok()?;
+    let exact = |t: &FaultTree| {
+        bdd_engine::compile_fault_tree(t, bdd_engine::VariableOrdering::DepthFirst)
+            .top_event_probability(t)
+    };
+    let table = ft_analysis::importance::ImportanceTable::compute(tree, &cut_sets, exact);
+    Some(
+        tree.event_ids()
+            .map(|event| {
+                let i = event.index();
+                ImportanceRow {
+                    event: tree.event(event).name().to_string(),
+                    birnbaum: table.birnbaum[i],
+                    fussell_vesely: table.fussell_vesely[i],
+                    criticality: table.criticality[i],
+                }
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{TreeFormat, TreeSource};
+    use crate::redact_timings;
+    use ft_generators::Family;
+    use std::path::PathBuf;
+
+    #[test]
+    fn results_follow_manifest_order_for_any_worker_count() {
+        let manifest = BatchManifest::generated(Family::RandomMixed, 70, 6, 3);
+        let sequential = run_batch(
+            &manifest,
+            &BatchConfig {
+                jobs: 1,
+                ..BatchConfig::default()
+            },
+        );
+        let parallel = run_batch(
+            &manifest,
+            &BatchConfig {
+                jobs: 4,
+                ..BatchConfig::default()
+            },
+        );
+        assert_eq!(sequential.summary.jobs, 1);
+        assert_eq!(parallel.summary.jobs, 4);
+        assert_eq!(
+            sequential.to_deterministic_json(),
+            parallel.to_deterministic_json(),
+            "worker count must not change the report content"
+        );
+        let names: Vec<&str> = parallel.results.iter().map(|r| r.name.as_str()).collect();
+        let expected: Vec<String> = manifest.jobs.iter().map(|j| j.name.clone()).collect();
+        assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn per_tree_failures_do_not_abort_the_batch() {
+        let mut manifest = BatchManifest::generated(Family::RandomMixed, 60, 1, 1);
+        manifest.jobs.insert(
+            0,
+            crate::BatchJob {
+                name: "missing.json".to_string(),
+                source: TreeSource::File {
+                    path: PathBuf::from("/nonexistent/missing.json"),
+                    format: TreeFormat::Json,
+                },
+            },
+        );
+        let report = run_batch(&manifest, &BatchConfig::default());
+        assert_eq!(report.summary.trees, 2);
+        assert_eq!(report.summary.succeeded, 1);
+        assert_eq!(report.summary.failed, 1);
+        assert_eq!(report.results[0].status, "error");
+        assert!(report.results[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("missing.json"));
+        assert_eq!(report.results[1].status, "ok");
+    }
+
+    #[test]
+    fn top_k_and_importance_are_honoured() {
+        let manifest = BatchManifest::generated(Family::OrHeavy, 40, 1, 5);
+        let report = run_batch(
+            &manifest,
+            &BatchConfig {
+                top_k: 3,
+                importance: true,
+                ..BatchConfig::default()
+            },
+        );
+        let tree = &report.results[0];
+        assert_eq!(tree.status, "ok");
+        assert!(!tree.cut_sets.is_empty() && tree.cut_sets.len() <= 3);
+        // Cut sets are ordered by non-increasing probability.
+        for pair in tree.cut_sets.windows(2) {
+            assert!(pair[0].probability >= pair[1].probability - 1e-15);
+        }
+        let importance = tree.importance.as_ref().expect("importance requested");
+        assert_eq!(importance.len(), tree.num_events);
+        assert!(importance.iter().all(|row| row.birnbaum >= 0.0));
+        assert!(tree.sat_calls > 0);
+        assert_eq!(report.summary.top_k, 3);
+        assert_eq!(report.summary.total_cut_sets, tree.cut_sets.len());
+    }
+
+    #[test]
+    fn empty_manifests_produce_an_empty_report() {
+        let report = run_batch(&BatchManifest::default(), &BatchConfig::default());
+        assert_eq!(report.summary.trees, 0);
+        assert_eq!(report.summary.succeeded, 0);
+        assert!(report.results.is_empty());
+        assert!(report.render_text().contains("0 trees"));
+    }
+
+    #[test]
+    fn redacted_reports_really_hide_the_only_nondeterminism() {
+        // Two runs of the same batch in the same mode: everything except the
+        // timing fields must already be identical.
+        let manifest = BatchManifest::generated(Family::SharedDag, 80, 2, 9);
+        let config = BatchConfig {
+            jobs: 2,
+            top_k: 2,
+            ..BatchConfig::default()
+        };
+        let a = run_batch(&manifest, &config);
+        let b = run_batch(&manifest, &config);
+        assert_eq!(
+            serde_json::to_string_pretty(&redact_timings(&serde_json::to_value(&a))).unwrap(),
+            serde_json::to_string_pretty(&redact_timings(&serde_json::to_value(&b))).unwrap()
+        );
+    }
+}

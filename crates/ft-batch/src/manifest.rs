@@ -1,0 +1,509 @@
+//! Batch manifests: the declarative description of *what* a batch analyses.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use fault_tree::parser::{galileo, json};
+use fault_tree::FaultTree;
+use ft_generators::Family;
+
+/// The extensions recognised as fault-tree model files by the directory scan.
+const MODEL_EXTENSIONS: &[&str] = &["json", "dft", "galileo"];
+
+/// Errors raised while building a manifest or loading one of its trees.
+#[derive(Debug)]
+pub enum BatchError {
+    /// A file or directory could not be read.
+    Io {
+        /// The path that failed.
+        path: PathBuf,
+        /// The underlying I/O error.
+        error: std::io::Error,
+    },
+    /// A model file or manifest document could not be parsed.
+    Parse {
+        /// The job or manifest name the error belongs to.
+        name: String,
+        /// Human-readable description of the parse failure.
+        error: String,
+    },
+    /// The manifest document is structurally invalid.
+    Manifest(String),
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::Io { path, error } => write!(f, "cannot read {}: {error}", path.display()),
+            BatchError::Parse { name, error } => write!(f, "cannot parse {name}: {error}"),
+            BatchError::Manifest(message) => write!(f, "invalid manifest: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// The on-disk format of a model file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeFormat {
+    /// The JSON document format of the original MPMCS4FTA tool.
+    Json,
+    /// The Galileo textual format.
+    Galileo,
+}
+
+impl TreeFormat {
+    /// Infers the format from a file extension (`.json` is JSON, everything
+    /// else is Galileo, matching the single-tree CLI convention).
+    pub fn from_path(path: &Path) -> TreeFormat {
+        if path.extension().and_then(|e| e.to_str()) == Some("json") {
+            TreeFormat::Json
+        } else {
+            TreeFormat::Galileo
+        }
+    }
+}
+
+/// Where one batch job's fault tree comes from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TreeSource {
+    /// A model file on disk.
+    File {
+        /// Path to the model file.
+        path: PathBuf,
+        /// Format of the file.
+        format: TreeFormat,
+    },
+    /// A seeded synthetic tree from [`ft_generators`].
+    Generated {
+        /// Structural family of the generated tree.
+        family: Family,
+        /// Target total node count.
+        nodes: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+/// One unit of batch work: a named fault-tree source.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchJob {
+    /// Stable display name of the job (relative path or generator tag).
+    pub name: String,
+    /// Where the tree comes from.
+    pub source: TreeSource,
+}
+
+impl BatchJob {
+    /// Loads (reads + parses, or generates) the job's fault tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError::Io`] when the model file cannot be read and
+    /// [`BatchError::Parse`] when its contents are not a valid fault tree.
+    pub fn load(&self) -> Result<FaultTree, BatchError> {
+        match &self.source {
+            TreeSource::Generated {
+                family,
+                nodes,
+                seed,
+            } => Ok(family.generate(*nodes, *seed)),
+            TreeSource::File { path, format } => {
+                let text = fs::read_to_string(path).map_err(|error| BatchError::Io {
+                    path: path.clone(),
+                    error,
+                })?;
+                let parsed = match format {
+                    TreeFormat::Json => json::from_json_str(&text),
+                    TreeFormat::Galileo => galileo::parse_galileo(&text),
+                };
+                parsed.map_err(|e| BatchError::Parse {
+                    name: self.name.clone(),
+                    error: e.to_string(),
+                })
+            }
+        }
+    }
+}
+
+/// An ordered list of batch jobs. The order is the report order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BatchManifest {
+    /// The jobs, in report order.
+    pub jobs: Vec<BatchJob>,
+}
+
+impl BatchManifest {
+    /// Builds a manifest from a path: a directory is scanned recursively for
+    /// model files ([`BatchManifest::from_dir`]); a file is read as a JSON
+    /// manifest document ([`BatchManifest::from_manifest_file`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of the two underlying constructors.
+    pub fn from_path(path: &Path) -> Result<BatchManifest, BatchError> {
+        if path.is_dir() {
+            BatchManifest::from_dir(path)
+        } else {
+            BatchManifest::from_manifest_file(path)
+        }
+    }
+
+    /// Scans `dir` recursively for model files (`.json`, `.dft`, `.galileo`)
+    /// and returns them as jobs named by their path relative to `dir`, in
+    /// lexicographic order (so the batch order — and hence the report order —
+    /// is independent of directory-iteration order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError::Io`] when a directory cannot be listed.
+    pub fn from_dir(dir: &Path) -> Result<BatchManifest, BatchError> {
+        let mut files: Vec<PathBuf> = Vec::new();
+        collect_model_files(dir, &mut files)?;
+        files.sort();
+        let jobs = files
+            .into_iter()
+            .map(|path| {
+                let name = path
+                    .strip_prefix(dir)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                BatchJob {
+                    name,
+                    source: TreeSource::File {
+                        format: TreeFormat::from_path(&path),
+                        path,
+                    },
+                }
+            })
+            .collect();
+        Ok(BatchManifest { jobs })
+    }
+
+    /// Reads a JSON manifest document. The format:
+    ///
+    /// ```json
+    /// {
+    ///   "trees": ["models/a.json", "models/b.dft"],
+    ///   "generated": [
+    ///     { "family": "random-mixed", "nodes": 150, "count": 4, "seed": 9 }
+    ///   ]
+    /// }
+    /// ```
+    ///
+    /// Both keys are optional. File paths are resolved relative to the
+    /// manifest's directory. For generated entries, `family` defaults to
+    /// `random-mixed`, `count` to 1 and `seed` to 0; entry `i` of a `count`-ed
+    /// spec uses seed `seed + i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchError::Io`] when the manifest cannot be read,
+    /// [`BatchError::Parse`] when it is not valid JSON, and
+    /// [`BatchError::Manifest`] when it is JSON of the wrong shape (e.g. an
+    /// unknown family name).
+    pub fn from_manifest_file(path: &Path) -> Result<BatchManifest, BatchError> {
+        let text = fs::read_to_string(path).map_err(|error| BatchError::Io {
+            path: path.to_path_buf(),
+            error,
+        })?;
+        let doc: ManifestDoc = serde_json::from_str(&text).map_err(|e| BatchError::Parse {
+            name: path.display().to_string(),
+            error: e.to_string(),
+        })?;
+        let base = path.parent().unwrap_or_else(|| Path::new("."));
+        let mut jobs = Vec::new();
+        for tree in doc.trees.unwrap_or_default() {
+            let resolved = base.join(&tree);
+            jobs.push(BatchJob {
+                name: tree.replace('\\', "/"),
+                source: TreeSource::File {
+                    format: TreeFormat::from_path(&resolved),
+                    path: resolved,
+                },
+            });
+        }
+        for spec in doc.generated.unwrap_or_default() {
+            let family_name = spec.family.as_deref().unwrap_or("random-mixed");
+            let family = Family::by_name(family_name).ok_or_else(|| {
+                BatchError::Manifest(format!(
+                    "unknown family {family_name:?}; available: {}",
+                    Family::all().map(|f| f.name()).join(", ")
+                ))
+            })?;
+            if spec.nodes == 0 {
+                return Err(BatchError::Manifest(
+                    "generated entries need a positive node count".to_string(),
+                ));
+            }
+            let base_seed = spec.seed.unwrap_or(0);
+            for i in 0..spec.count.unwrap_or(1).max(1) {
+                let seed = base_seed.checked_add(i as u64).ok_or_else(|| {
+                    BatchError::Manifest(format!(
+                        "seed {base_seed} + {i} overflows; use a smaller base seed"
+                    ))
+                })?;
+                jobs.push(generated_job(family, spec.nodes, seed));
+            }
+        }
+        Ok(BatchManifest { jobs })
+    }
+
+    /// A purely synthetic manifest: `count` seeded trees of one structural
+    /// family at a target node count, using seeds `base_seed..base_seed+count`
+    /// (wrapping around `u64::MAX`).
+    ///
+    /// ```rust
+    /// use ft_batch::BatchManifest;
+    /// use ft_generators::Family;
+    ///
+    /// let manifest = BatchManifest::generated(Family::AndHeavy, 80, 4, 1);
+    /// assert_eq!(manifest.len(), 4);
+    /// assert!(manifest.jobs[0].load().is_ok());
+    /// ```
+    pub fn generated(family: Family, nodes: usize, count: usize, base_seed: u64) -> BatchManifest {
+        BatchManifest {
+            jobs: (0..count)
+                .map(|i| generated_job(family, nodes, base_seed.wrapping_add(i as u64)))
+                .collect(),
+        }
+    }
+
+    /// The number of jobs in the manifest.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the manifest has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+fn generated_job(family: Family, nodes: usize, seed: u64) -> BatchJob {
+    BatchJob {
+        name: format!("generated/{}-{}n-seed{}", family.name(), nodes, seed),
+        source: TreeSource::Generated {
+            family,
+            nodes,
+            seed,
+        },
+    }
+}
+
+fn collect_model_files(dir: &Path, files: &mut Vec<PathBuf>) -> Result<(), BatchError> {
+    let mut visited = std::collections::HashSet::new();
+    collect_model_files_inner(dir, files, &mut visited)
+}
+
+fn collect_model_files_inner(
+    dir: &Path,
+    files: &mut Vec<PathBuf>,
+    visited: &mut std::collections::HashSet<PathBuf>,
+) -> Result<(), BatchError> {
+    // `is_dir` follows symlinks, so a link back into an ancestor would recurse
+    // forever; tracking canonical paths makes every directory visited once.
+    if let Ok(canonical) = fs::canonicalize(dir) {
+        if !visited.insert(canonical) {
+            return Ok(());
+        }
+    }
+    let entries = fs::read_dir(dir).map_err(|error| BatchError::Io {
+        path: dir.to_path_buf(),
+        error,
+    })?;
+    for entry in entries {
+        let entry = entry.map_err(|error| BatchError::Io {
+            path: dir.to_path_buf(),
+            error,
+        })?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_model_files_inner(&path, files, visited)?;
+        } else if path
+            .extension()
+            .and_then(|e| e.to_str())
+            .is_some_and(|ext| MODEL_EXTENSIONS.contains(&ext))
+        {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The JSON shape of a manifest document.
+#[derive(Debug)]
+struct ManifestDoc {
+    trees: Option<Vec<String>>,
+    generated: Option<Vec<GeneratedSpec>>,
+}
+
+serde::impl_serde_struct!(ManifestDoc {} optional { trees, generated });
+
+/// One `generated` entry of a manifest document.
+#[derive(Debug)]
+struct GeneratedSpec {
+    nodes: usize,
+    family: Option<String>,
+    count: Option<usize>,
+    seed: Option<u64>,
+}
+
+serde::impl_serde_struct!(GeneratedSpec { nodes } optional { family, count, seed });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ft_batch_manifest_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn directory_scan_is_recursive_sorted_and_format_aware() {
+        let dir = temp_dir("scan");
+        fs::create_dir_all(dir.join("sub")).unwrap();
+        fs::write(
+            dir.join("b.dft"),
+            "toplevel top;\ntop and a b;\na prob=0.5;\nb prob=0.25;\n",
+        )
+        .unwrap();
+        let tree = fault_tree::examples::fire_protection_system();
+        fs::write(dir.join("sub/a.json"), json::to_json_string(&tree)).unwrap();
+        fs::write(dir.join("notes.txt"), "not a model").unwrap();
+
+        let manifest = BatchManifest::from_dir(&dir).unwrap();
+        assert_eq!(manifest.len(), 2);
+        assert_eq!(manifest.jobs[0].name, "b.dft");
+        assert_eq!(manifest.jobs[1].name, "sub/a.json");
+        assert!(matches!(
+            manifest.jobs[0].source,
+            TreeSource::File {
+                format: TreeFormat::Galileo,
+                ..
+            }
+        ));
+        assert!(matches!(
+            manifest.jobs[1].source,
+            TreeSource::File {
+                format: TreeFormat::Json,
+                ..
+            }
+        ));
+        assert_eq!(manifest.jobs[1].load().unwrap().num_events(), 7);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_files_mix_trees_and_generated_specs() {
+        let dir = temp_dir("doc");
+        fs::write(
+            dir.join("model.dft"),
+            "toplevel top;\ntop or a b;\na prob=0.1;\nb prob=0.2;\n",
+        )
+        .unwrap();
+        fs::write(
+            dir.join("batch.json"),
+            r#"{
+                "trees": ["model.dft"],
+                "generated": [{ "family": "or-heavy", "nodes": 60, "count": 2, "seed": 5 }]
+            }"#,
+        )
+        .unwrap();
+        let manifest = BatchManifest::from_manifest_file(&dir.join("batch.json")).unwrap();
+        assert_eq!(manifest.len(), 3);
+        assert_eq!(manifest.jobs[0].name, "model.dft");
+        assert_eq!(manifest.jobs[1].name, "generated/or-heavy-60n-seed5");
+        assert_eq!(manifest.jobs[2].name, "generated/or-heavy-60n-seed6");
+        for job in &manifest.jobs {
+            assert!(job.load().is_ok(), "{}", job.name);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn symlinked_directory_cycles_do_not_hang_the_scan() {
+        let dir = temp_dir("cycle");
+        fs::create_dir_all(dir.join("sub")).unwrap();
+        fs::write(
+            dir.join("sub/m.dft"),
+            "toplevel t;\nt or a b;\na prob=0.1;\nb prob=0.2;\n",
+        )
+        .unwrap();
+        std::os::unix::fs::symlink(&dir, dir.join("sub/loop")).unwrap();
+        let manifest = BatchManifest::from_dir(&dir).unwrap();
+        assert_eq!(manifest.len(), 1, "the model is found exactly once");
+        assert_eq!(manifest.jobs[0].name, "sub/m.dft");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_manifests_are_rejected_with_context() {
+        let dir = temp_dir("bad");
+        fs::write(dir.join("broken.json"), "{ not json").unwrap();
+        assert!(matches!(
+            BatchManifest::from_manifest_file(&dir.join("broken.json")),
+            Err(BatchError::Parse { .. })
+        ));
+        fs::write(
+            dir.join("family.json"),
+            r#"{ "generated": [{ "family": "nope", "nodes": 10 }] }"#,
+        )
+        .unwrap();
+        let err = BatchManifest::from_manifest_file(&dir.join("family.json")).unwrap_err();
+        assert!(err.to_string().contains("unknown family"), "{err}");
+        fs::write(
+            dir.join("zero.json"),
+            r#"{ "generated": [{ "nodes": 0 }] }"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            BatchManifest::from_manifest_file(&dir.join("zero.json")),
+            Err(BatchError::Manifest(_))
+        ));
+        // 18446744073709549568 = 2^64 - 2048, the largest u64 that survives
+        // the f64-backed JSON number parsing; 2049 entries overflow from it.
+        fs::write(
+            dir.join("overflow.json"),
+            r#"{ "generated": [{ "nodes": 10, "seed": 18446744073709549568, "count": 2049 }] }"#,
+        )
+        .unwrap();
+        let err = BatchManifest::from_manifest_file(&dir.join("overflow.json")).unwrap_err();
+        assert!(err.to_string().contains("overflows"), "{err}");
+        assert!(matches!(
+            BatchManifest::from_path(&dir.join("missing.json")),
+            Err(BatchError::Io { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_reports_file_errors_per_job() {
+        let job = BatchJob {
+            name: "gone.json".to_string(),
+            source: TreeSource::File {
+                path: PathBuf::from("/nonexistent/gone.json"),
+                format: TreeFormat::Json,
+            },
+        };
+        assert!(matches!(job.load(), Err(BatchError::Io { .. })));
+        let dir = temp_dir("badmodel");
+        fs::write(dir.join("bad.json"), "[1, 2]").unwrap();
+        let job = BatchJob {
+            name: "bad.json".to_string(),
+            source: TreeSource::File {
+                path: dir.join("bad.json"),
+                format: TreeFormat::Json,
+            },
+        };
+        assert!(matches!(job.load(), Err(BatchError::Parse { .. })));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

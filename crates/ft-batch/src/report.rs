@@ -1,0 +1,306 @@
+//! The aggregated, deterministic batch report.
+
+use mpmcs::MpmcsReport;
+use serde::{Map, Number, Value};
+
+/// One row of the optional per-tree importance table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ImportanceRow {
+    /// Basic-event name.
+    pub event: String,
+    /// Birnbaum structural importance `∂P(top)/∂p(event)`.
+    pub birnbaum: f64,
+    /// Fussell-Vesely importance (probability the event contributes to a
+    /// failing cut set, given the top event).
+    pub fussell_vesely: f64,
+    /// Criticality importance (Birnbaum scaled by `p(event)/P(top)`).
+    pub criticality: f64,
+}
+
+serde::impl_serde_struct!(ImportanceRow {
+    event,
+    birnbaum,
+    fussell_vesely,
+    criticality
+});
+
+/// The per-tree slice of a batch report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TreeReport {
+    /// Job name from the manifest (relative path or generator tag).
+    pub name: String,
+    /// `"ok"` or `"error"`.
+    pub status: String,
+    /// Number of basic events (0 when the tree failed to load).
+    pub num_events: usize,
+    /// Number of gates (0 when the tree failed to load).
+    pub num_gates: usize,
+    /// Total SAT-solver calls spent on this tree across all reported cut sets.
+    pub sat_calls: u64,
+    /// Wall-clock time spent loading and analysing this tree, in milliseconds.
+    pub solve_time_ms: f64,
+    /// The reported minimal cut sets, most probable first (the first entry is
+    /// the MPMCS). Empty on error.
+    pub cut_sets: Vec<MpmcsReport>,
+    /// The failure message, for `status == "error"` jobs.
+    pub error: Option<String>,
+    /// The importance table, when the batch was configured to compute it.
+    pub importance: Option<Vec<ImportanceRow>>,
+}
+
+serde::impl_serde_struct!(TreeReport {
+    name,
+    status,
+    num_events,
+    num_gates,
+    sat_calls,
+    solve_time_ms,
+    cut_sets
+} optional { error, importance });
+
+/// Aggregate statistics over a whole batch run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchSummary {
+    /// Number of trees in the batch.
+    pub trees: usize,
+    /// Trees analysed successfully.
+    pub succeeded: usize,
+    /// Trees that failed to load or solve.
+    pub failed: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Cut sets requested per tree.
+    pub top_k: usize,
+    /// MaxSAT strategy used for every tree.
+    pub algorithm: String,
+    /// Total basic events across successfully analysed trees.
+    pub total_events: usize,
+    /// Total minimal cut sets reported across the batch.
+    pub total_cut_sets: usize,
+    /// Total SAT-solver calls across the batch.
+    pub total_sat_calls: u64,
+    /// End-to-end wall-clock time of the batch, in milliseconds.
+    pub wall_time_ms: f64,
+}
+
+serde::impl_serde_struct!(BatchSummary {
+    trees,
+    succeeded,
+    failed,
+    jobs,
+    top_k,
+    algorithm,
+    total_events,
+    total_cut_sets,
+    total_sat_calls,
+    wall_time_ms
+});
+
+/// The aggregated result of one batch run.
+///
+/// `results` follows the manifest order regardless of which worker finished
+/// which tree first, so the report is deterministic for any worker count
+/// (timing fields excepted — see [`redact_timings`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchReport {
+    /// Aggregate statistics.
+    pub summary: BatchSummary,
+    /// Per-tree results, in manifest order.
+    pub results: Vec<TreeReport>,
+}
+
+serde::impl_serde_struct!(BatchReport { summary, results });
+
+impl BatchReport {
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("batch reports always serialise")
+    }
+
+    /// Renders the report as pretty-printed JSON with every timing field
+    /// zeroed ([`redact_timings`]) and the worker count masked — the only two
+    /// pieces of run metadata that legitimately vary between runs of the same
+    /// batch. Two runs of the same batch produce byte-identical output from
+    /// this method regardless of `--jobs`.
+    pub fn to_deterministic_json(&self) -> String {
+        let mut masked = self.clone();
+        masked.summary.jobs = 0;
+        serde_json::to_string_pretty(&redact_timings(&serde_json::to_value(&masked)))
+            .expect("batch reports always serialise")
+    }
+
+    /// Renders a compact human-readable summary (one line per tree plus
+    /// totals), for terminals and logs.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .results
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        for result in &self.results {
+            match result.status.as_str() {
+                "ok" => {
+                    let best = result.cut_sets.first();
+                    out.push_str(&format!(
+                        "{:<width$}  ok     p={:<12} |MPMCS|={:<3} cut_sets={:<3} sat_calls={:<5} {:.2} ms\n",
+                        result.name,
+                        best.map_or_else(|| "-".to_string(), |b| format!("{:.4e}", b.probability)),
+                        best.map_or(0, |b| b.mpmcs.len()),
+                        result.cut_sets.len(),
+                        result.sat_calls,
+                        result.solve_time_ms,
+                    ));
+                }
+                _ => {
+                    out.push_str(&format!(
+                        "{:<width$}  ERROR  {}\n",
+                        result.name,
+                        result.error.as_deref().unwrap_or("unknown failure"),
+                    ));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "batch: {} trees ({} ok, {} failed), {} cut sets, {} SAT calls, {} workers, {:.2} ms\n",
+            self.summary.trees,
+            self.summary.succeeded,
+            self.summary.failed,
+            self.summary.total_cut_sets,
+            self.summary.total_sat_calls,
+            self.summary.jobs,
+            self.summary.wall_time_ms,
+        ));
+        out
+    }
+}
+
+/// Returns a copy of `value` with every object field whose key ends in `_ms`
+/// replaced by the number `0` — the timing fields of batch and MPMCS reports
+/// all follow that naming convention. Used by the determinism regression
+/// tests to compare reports from different worker counts byte-for-byte.
+///
+/// ```rust
+/// use ft_batch::redact_timings;
+///
+/// let report: serde::Value =
+///     serde_json::from_str(r#"{ "solve_time_ms": 12.5, "probability": 0.02 }"#).unwrap();
+/// let redacted = redact_timings(&report);
+/// assert_eq!(redacted.get("solve_time_ms").unwrap().as_f64(), Some(0.0));
+/// assert_eq!(redacted.get("probability").unwrap().as_f64(), Some(0.02));
+/// ```
+pub fn redact_timings(value: &Value) -> Value {
+    match value {
+        Value::Object(map) => Value::Object(
+            map.iter()
+                .map(|(key, entry)| {
+                    let redacted = if key.ends_with("_ms") {
+                        Value::Number(Number::from_i128(0))
+                    } else {
+                        redact_timings(entry)
+                    };
+                    (key.to_string(), redacted)
+                })
+                .collect::<Map>(),
+        ),
+        Value::Array(elements) => Value::Array(elements.iter().map(redact_timings).collect()),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BatchReport {
+        BatchReport {
+            summary: BatchSummary {
+                trees: 2,
+                succeeded: 1,
+                failed: 1,
+                jobs: 4,
+                top_k: 1,
+                algorithm: "sequential".to_string(),
+                total_events: 7,
+                total_cut_sets: 1,
+                total_sat_calls: 9,
+                wall_time_ms: 3.25,
+            },
+            results: vec![
+                TreeReport {
+                    name: "a.json".to_string(),
+                    status: "ok".to_string(),
+                    num_events: 7,
+                    num_gates: 5,
+                    sat_calls: 9,
+                    solve_time_ms: 2.5,
+                    cut_sets: Vec::new(),
+                    error: None,
+                    importance: None,
+                },
+                TreeReport {
+                    name: "b.dft".to_string(),
+                    status: "error".to_string(),
+                    num_events: 0,
+                    num_gates: 0,
+                    sat_calls: 0,
+                    solve_time_ms: 0.0,
+                    cut_sets: Vec::new(),
+                    error: Some("cannot parse b.dft: bad gate".to_string()),
+                    importance: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn reports_round_trip_through_json() {
+        let report = sample_report();
+        let json = report.to_json();
+        let back: BatchReport = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(report.summary.trees, back.summary.trees);
+        assert_eq!(report.results.len(), back.results.len());
+        assert_eq!(report.results[1].error, back.results[1].error);
+    }
+
+    #[test]
+    fn redaction_zeroes_every_timing_field_and_nothing_else() {
+        let report = sample_report();
+        let value = serde_json::to_value(&report);
+        let redacted = redact_timings(&value);
+        assert_eq!(
+            redacted
+                .get("summary")
+                .and_then(|s| s.get("wall_time_ms"))
+                .and_then(Value::as_f64),
+            Some(0.0)
+        );
+        assert_eq!(
+            redacted
+                .get("results")
+                .and_then(|r| r.as_array())
+                .and_then(|r| r[0].get("solve_time_ms"))
+                .and_then(Value::as_f64),
+            Some(0.0)
+        );
+        // Non-timing fields are untouched.
+        assert_eq!(
+            redacted
+                .get("summary")
+                .and_then(|s| s.get("total_sat_calls"))
+                .and_then(Value::as_u64),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn text_rendering_lists_every_tree_and_the_totals() {
+        let text = sample_report().render_text();
+        assert!(text.contains("a.json"));
+        assert!(text.contains("ERROR"));
+        assert!(text.contains("bad gate"));
+        assert!(text.contains("2 trees (1 ok, 1 failed)"));
+    }
+}

@@ -257,6 +257,19 @@ impl Family {
         ]
     }
 
+    /// Looks up a family by its short [`name`](Family::name); the inverse of
+    /// that method, used by batch manifests and command-line front-ends.
+    ///
+    /// ```rust
+    /// use ft_generators::Family;
+    ///
+    /// assert_eq!(Family::by_name("and-heavy"), Some(Family::AndHeavy));
+    /// assert_eq!(Family::by_name("nope"), None);
+    /// ```
+    pub fn by_name(name: &str) -> Option<Family> {
+        Family::all().into_iter().find(|f| f.name() == name)
+    }
+
     /// A short stable name for reports.
     pub fn name(&self) -> &'static str {
         match self {

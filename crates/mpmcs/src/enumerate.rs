@@ -35,6 +35,20 @@ impl MpmcsSolver {
     /// probability order. Fewer than `k` are returned when the tree has fewer
     /// minimal cut sets.
     ///
+    /// ```rust
+    /// use fault_tree::examples::fire_protection_system;
+    /// use mpmcs::MpmcsSolver;
+    ///
+    /// # fn main() -> Result<(), mpmcs::MpmcsError> {
+    /// let tree = fire_protection_system();
+    /// let top2 = MpmcsSolver::sequential().solve_top_k(&tree, 2)?;
+    /// assert_eq!(top2[0].event_names(&tree), vec!["x1", "x2"]); // p = 0.02
+    /// assert_eq!(top2[1].event_names(&tree), vec!["x5", "x6"]); // p = 0.005
+    /// assert!(top2[0].probability >= top2[1].probability);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`MpmcsError::NoCutSet`] when the tree has no cut set at all,
@@ -49,6 +63,22 @@ impl MpmcsSolver {
 
     /// Enumerates minimal cut sets in non-increasing probability order, up to
     /// the given limit.
+    ///
+    /// With [`EnumerationLimit::All`] this subsumes the classic qualitative
+    /// cut-set analysis, ordered by probability:
+    ///
+    /// ```rust
+    /// use fault_tree::examples::fire_protection_system;
+    /// use mpmcs::{EnumerationLimit, MpmcsSolver};
+    ///
+    /// # fn main() -> Result<(), mpmcs::MpmcsError> {
+    /// let tree = fire_protection_system();
+    /// let all = MpmcsSolver::sequential().enumerate(&tree, EnumerationLimit::All)?;
+    /// assert_eq!(all.len(), 5); // the FPS tree has exactly five minimal cut sets
+    /// assert!(all.windows(2).all(|w| w[0].probability >= w[1].probability));
+    /// # Ok(())
+    /// # }
+    /// ```
     ///
     /// # Errors
     ///

@@ -15,6 +15,7 @@ use std::path::PathBuf;
 
 use fault_tree::parser::{galileo, json};
 use fault_tree::{examples, FaultTree};
+use ft_batch::{run_batch, BatchConfig, BatchManifest};
 use ft_generators::{random_tree, RandomTreeConfig};
 use mpmcs::{AlgorithmChoice, EnumerationLimit, MpmcsOptions, MpmcsReport, MpmcsSolver};
 
@@ -31,6 +32,8 @@ pub enum CliError {
     Solve(mpmcs::MpmcsError),
     /// A classical analysis (MOCUS, BDD) exceeded its budget or failed.
     Analysis(String),
+    /// A batch manifest could not be built or read.
+    Batch(ft_batch::BatchError),
 }
 
 impl fmt::Display for CliError {
@@ -41,6 +44,7 @@ impl fmt::Display for CliError {
             CliError::Parse(e) => write!(f, "cannot parse fault tree: {e}"),
             CliError::Solve(e) => write!(f, "solver error: {e}"),
             CliError::Analysis(message) => write!(f, "analysis error: {message}"),
+            CliError::Batch(e) => write!(f, "batch error: {e}"),
         }
     }
 }
@@ -65,28 +69,52 @@ impl From<mpmcs::MpmcsError> for CliError {
     }
 }
 
-/// The usage string printed on `--help` or argument errors.
+impl From<ft_batch::BatchError> for CliError {
+    fn from(e: ft_batch::BatchError) -> Self {
+        CliError::Batch(e)
+    }
+}
+
+/// The usage string printed on `--help` (stdout, exit 0) and appended to
+/// argument errors (stderr, exit 2).
 pub const USAGE: &str = "\
 mpmcs4fta — Maximum Probability Minimal Cut Sets for Fault Tree Analysis
 
 USAGE:
     mpmcs4fta [OPTIONS] <INPUT>
-    mpmcs4fta [OPTIONS] --example fps|tank|sensors
+    mpmcs4fta [OPTIONS] --example fps|tank|sensors|scada|crossing|hydraulics
     mpmcs4fta [OPTIONS] --generate <NODES> [--seed <SEED>]
+    mpmcs4fta [OPTIONS] --batch <DIR|MANIFEST> [--jobs <N>] [--importance]
 
-INPUT:
-    A fault tree in JSON (.json) or Galileo (.dft/.galileo/anything else) format.
+MODES:
+    <INPUT>                     Analyse one fault tree from a file, in JSON
+                                (.json) or Galileo (.dft/.galileo/anything
+                                else) format
+    --example <NAME>            Analyse one of the built-in example systems
+    --generate <NODES>          Analyse a seeded random tree of ~NODES nodes
+    --batch <DIR|MANIFEST>      Analyse a whole fleet in one process: every
+                                model file under DIR (recursively), or the
+                                trees + generated workloads listed in a JSON
+                                MANIFEST; prints one aggregated JSON report
+                                with per-tree results in input order
+    --help, -h                  Show this message
 
 OPTIONS:
     --format <json|galileo>     Force the input format (default: by extension)
-    --algorithm <NAME>          portfolio (default) | sequential | oll | linear-su
+    --algorithm <NAME>          portfolio | sequential | oll | linear-su
+                                (default: portfolio; batch default: sequential,
+                                which keeps batch reports deterministic)
     --analysis <NAME>           mpmcs (default) | path-set | importance | modules |
-                                stability | dot | ascii
+                                stability | dot | ascii   (single-tree modes only)
     --top-k <N>                 Report the N most probable minimal cut sets
-    --all                       Report every minimal cut set (ordered by probability)
+                                (per tree in batch mode)
+    --all                       Report every minimal cut set (single-tree only)
     --output <FILE>             Write the JSON report to FILE instead of stdout
     --quiet                     Suppress the human-readable summary on stderr
-    --help                      Show this message
+
+BATCH OPTIONS:
+    --jobs <N>                  Worker threads (default: all available cores)
+    --importance                Also compute the per-tree importance table
 
 ANALYSES:
     mpmcs        the Maximum Probability Minimal Cut Set (paper pipeline)
@@ -148,15 +176,28 @@ pub enum InputFormat {
     Galileo,
 }
 
+/// The top-level mode the invocation selects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliMode {
+    /// `--help`: print the usage text on stdout and exit successfully.
+    Help,
+    /// Analyse one fault tree.
+    Single(InputSource),
+    /// Analyse a fleet of fault trees: a directory of model files or a JSON
+    /// batch manifest.
+    Batch(PathBuf),
+}
+
 /// Parsed command line options.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliOptions {
-    /// Where the fault tree comes from.
-    pub input: InputSource,
-    /// Which analysis to run.
+    /// What the invocation does.
+    pub mode: CliMode,
+    /// Which analysis to run (single-tree modes).
     pub analysis: AnalysisKind,
-    /// Which MaxSAT strategy to use.
-    pub algorithm: AlgorithmChoice,
+    /// Which MaxSAT strategy to use (`None` = the mode's default: parallel
+    /// portfolio for single trees, deterministic sequential for batches).
+    pub algorithm: Option<AlgorithmChoice>,
     /// How many cut sets to report (`None` = just the MPMCS).
     pub top_k: Option<usize>,
     /// Report all minimal cut sets.
@@ -165,29 +206,40 @@ pub struct CliOptions {
     pub output: Option<PathBuf>,
     /// Suppress the human-readable summary.
     pub quiet: bool,
+    /// Batch worker threads (`0` = all available cores).
+    pub jobs: usize,
+    /// Compute per-tree importance tables in batch mode.
+    pub importance: bool,
 }
 
 /// Parses command line arguments (excluding the program name).
 ///
+/// `--help` is not an error: it yields [`CliMode::Help`], which `main` turns
+/// into the usage text on stdout and a zero exit code.
+///
 /// # Errors
 ///
-/// Returns [`CliError::Usage`] describing the problem, including when
-/// `--help` is requested.
+/// Returns [`CliError::Usage`] describing the problem.
 pub fn parse_args<I, S>(args: I) -> Result<CliOptions, CliError>
 where
     I: IntoIterator<Item = S>,
     S: Into<String>,
 {
     let mut input: Option<InputSource> = None;
+    let mut batch: Option<PathBuf> = None;
     let mut format: Option<InputFormat> = None;
     let mut analysis = AnalysisKind::Mpmcs;
-    let mut algorithm = AlgorithmChoice::Portfolio;
+    let mut algorithm: Option<AlgorithmChoice> = None;
     let mut top_k: Option<usize> = None;
     let mut all = false;
     let mut output: Option<PathBuf> = None;
     let mut quiet = false;
     let mut generate: Option<usize> = None;
     let mut seed = 42u64;
+    let mut seed_given = false;
+    let mut jobs = 0usize;
+    let mut jobs_given = false;
+    let mut importance = false;
 
     let args: Vec<String> = args.into_iter().map(Into::into).collect();
     let mut i = 0;
@@ -201,7 +253,19 @@ where
                 .ok_or_else(|| CliError::Usage(format!("{name} expects a value")))
         };
         match arg {
-            "--help" | "-h" => return Err(usage("help requested")),
+            "--help" | "-h" => {
+                return Ok(CliOptions {
+                    mode: CliMode::Help,
+                    analysis,
+                    algorithm,
+                    top_k,
+                    all,
+                    output,
+                    quiet,
+                    jobs,
+                    importance,
+                })
+            }
             "--format" => {
                 format = Some(match value("--format")?.as_str() {
                     "json" => InputFormat::Json,
@@ -210,13 +274,13 @@ where
                 })
             }
             "--algorithm" => {
-                algorithm = match value("--algorithm")?.as_str() {
+                algorithm = Some(match value("--algorithm")?.as_str() {
                     "portfolio" => AlgorithmChoice::Portfolio,
                     "sequential" => AlgorithmChoice::SequentialPortfolio,
                     "oll" => AlgorithmChoice::Oll,
                     "linear-su" | "linear" => AlgorithmChoice::LinearSu,
                     other => return Err(CliError::Usage(format!("unknown algorithm {other:?}"))),
-                }
+                })
             }
             "--analysis" => {
                 analysis = match value("--analysis")?.as_str() {
@@ -238,6 +302,14 @@ where
             "--all" => all = true,
             "--output" => output = Some(PathBuf::from(value("--output")?)),
             "--quiet" => quiet = true,
+            "--batch" => batch = Some(PathBuf::from(value("--batch")?)),
+            "--jobs" => {
+                jobs_given = true;
+                jobs = value("--jobs")?.parse().map_err(|_| {
+                    CliError::Usage("--jobs expects a non-negative integer".to_string())
+                })?
+            }
+            "--importance" => importance = true,
             "--example" => input = Some(InputSource::Example(value("--example")?)),
             "--generate" => {
                 generate =
@@ -246,6 +318,7 @@ where
                     })?)
             }
             "--seed" => {
+                seed_given = true;
                 seed = value("--seed")?
                     .parse()
                     .map_err(|_| CliError::Usage("--seed expects an integer".to_string()))?
@@ -266,33 +339,75 @@ where
         i += 1;
     }
     if let Some(nodes) = generate {
+        if input.is_some() {
+            return Err(usage("multiple inputs given"));
+        }
         input = Some(InputSource::Generated { nodes, seed });
-    }
-    let mut input = input.ok_or_else(|| usage("no input given"))?;
-    if let (InputSource::File { format: slot, .. }, Some(forced)) = (&mut input, format) {
-        *slot = Some(forced);
     }
     if top_k == Some(0) {
         return Err(usage("--top-k must be at least 1"));
     }
+    let mode = match (batch, input) {
+        (Some(_), Some(_)) => {
+            return Err(usage("--batch cannot be combined with a single-tree input"))
+        }
+        (Some(path), None) => {
+            if all {
+                return Err(usage("--all is not supported in batch mode; use --top-k"));
+            }
+            if analysis != AnalysisKind::Mpmcs {
+                return Err(usage(
+                    "--analysis is not supported in batch mode (batch runs the MPMCS pipeline)",
+                ));
+            }
+            if format.is_some() {
+                return Err(usage(
+                    "--format is not supported in batch mode (formats are detected per file)",
+                ));
+            }
+            if seed_given {
+                return Err(usage(
+                    "--seed only applies to --generate; set seeds in the manifest's generated entries",
+                ));
+            }
+            CliMode::Batch(path)
+        }
+        (None, Some(mut input)) => {
+            if jobs_given {
+                return Err(usage("--jobs only applies to --batch mode"));
+            }
+            if importance {
+                return Err(usage(
+                    "--importance only applies to --batch mode; use --analysis importance for one tree",
+                ));
+            }
+            if let (InputSource::File { format: slot, .. }, Some(forced)) = (&mut input, format) {
+                *slot = Some(forced);
+            }
+            CliMode::Single(input)
+        }
+        (None, None) => return Err(usage("no input given")),
+    };
     Ok(CliOptions {
-        input,
+        mode,
         analysis,
         algorithm,
         top_k,
         all,
         output,
         quiet,
+        jobs,
+        importance,
     })
 }
 
-/// Loads the fault tree described by the options.
+/// Loads the fault tree described by a single-tree input source.
 ///
 /// # Errors
 ///
 /// I/O and parse errors are reported as [`CliError`].
-pub fn load_tree(options: &CliOptions) -> Result<FaultTree, CliError> {
-    match &options.input {
+pub fn load_tree(input: &InputSource) -> Result<FaultTree, CliError> {
+    match input {
         InputSource::Example(name) => match name.as_str() {
             "fps" | "fire" => Ok(examples::fire_protection_system()),
             "tank" | "pressure" => Ok(examples::pressure_tank_system()),
@@ -326,16 +441,22 @@ pub fn load_tree(options: &CliOptions) -> Result<FaultTree, CliError> {
     }
 }
 
-/// Runs the selected analysis and returns the machine-readable output (JSON,
-/// or DOT/ASCII text for the rendering analyses) plus a human-readable
-/// summary.
+/// Runs the selected mode and returns the machine-readable output (JSON, or
+/// DOT/ASCII text for the rendering analyses) plus a human-readable summary.
+/// For [`CliMode::Help`] the usage text is returned as the output.
 ///
 /// # Errors
 ///
 /// Solver failures are reported as [`CliError::Solve`]; budget overruns of
-/// the classical analyses as [`CliError::Analysis`].
+/// the classical analyses as [`CliError::Analysis`]; manifest problems as
+/// [`CliError::Batch`].
 pub fn run(options: &CliOptions) -> Result<(String, String), CliError> {
-    let tree = load_tree(options)?;
+    let input = match &options.mode {
+        CliMode::Help => return Ok((USAGE.to_string(), String::new())),
+        CliMode::Batch(path) => return run_batch_mode(options, path),
+        CliMode::Single(input) => input,
+    };
+    let tree = load_tree(input)?;
     match options.analysis {
         AnalysisKind::Mpmcs => run_mpmcs(options, &tree),
         AnalysisKind::PathSet => run_path_set(options, &tree),
@@ -348,6 +469,33 @@ pub fn run(options: &CliOptions) -> Result<(String, String), CliError> {
             format!("tree: {} rendered as text\n", tree.name()),
         )),
     }
+}
+
+/// Batch mode: build the manifest, fan the trees out over the worker pool,
+/// and aggregate one report (see [`ft_batch`]).
+fn run_batch_mode(
+    options: &CliOptions,
+    path: &std::path::Path,
+) -> Result<(String, String), CliError> {
+    let manifest = BatchManifest::from_path(path)?;
+    if manifest.is_empty() {
+        return Err(CliError::Usage(format!(
+            "no fault-tree models found under {}",
+            path.display()
+        )));
+    }
+    let config = BatchConfig {
+        jobs: options.jobs,
+        top_k: options.top_k.unwrap_or(1),
+        // The batch default is the *sequential* portfolio: parallelism comes
+        // from the worker pool, and per-tree results stay deterministic.
+        algorithm: options
+            .algorithm
+            .unwrap_or(AlgorithmChoice::SequentialPortfolio),
+        importance: options.importance,
+    };
+    let report = run_batch(&manifest, &config);
+    Ok((report.to_json(), report.render_text()))
 }
 
 /// The number of minimal cut sets the classical analyses are allowed to
@@ -367,7 +515,7 @@ fn exact_top_probability(tree: &FaultTree) -> f64 {
 
 fn run_mpmcs(options: &CliOptions, tree: &FaultTree) -> Result<(String, String), CliError> {
     let solver = MpmcsSolver::with_options(MpmcsOptions {
-        algorithm: options.algorithm,
+        algorithm: options.algorithm.unwrap_or_default(),
         ..MpmcsOptions::new()
     });
     let solutions = if options.all {
@@ -409,7 +557,7 @@ fn run_mpmcs(options: &CliOptions, tree: &FaultTree) -> Result<(String, String),
 
 fn run_path_set(options: &CliOptions, tree: &FaultTree) -> Result<(String, String), CliError> {
     let solver = MpmcsSolver::with_options(MpmcsOptions {
-        algorithm: options.algorithm,
+        algorithm: options.algorithm.unwrap_or_default(),
         ..MpmcsOptions::new()
     });
     let solutions = if options.all {
@@ -510,7 +658,7 @@ fn run_stability(tree: &FaultTree) -> Result<(String, String), CliError> {
 
 fn run_dot(options: &CliOptions, tree: &FaultTree) -> Result<(String, String), CliError> {
     let solver = MpmcsSolver::with_options(MpmcsOptions {
-        algorithm: options.algorithm,
+        algorithm: options.algorithm.unwrap_or_default(),
         ..MpmcsOptions::new()
     });
     let solution = solver.solve(tree)?;
@@ -531,14 +679,80 @@ mod tests {
     #[test]
     fn parses_a_typical_invocation() {
         let options = parse_args(["--algorithm", "oll", "--top-k", "3", "tree.json"]).unwrap();
-        assert_eq!(options.algorithm, AlgorithmChoice::Oll);
+        assert_eq!(options.algorithm, Some(AlgorithmChoice::Oll));
         assert_eq!(options.top_k, Some(3));
-        assert!(matches!(options.input, InputSource::File { .. }));
+        assert!(matches!(
+            options.mode,
+            CliMode::Single(InputSource::File { .. })
+        ));
+    }
+
+    #[test]
+    fn help_is_a_successful_mode_not_an_error() {
+        for flags in [vec!["--help"], vec!["-h"], vec!["--example", "fps", "-h"]] {
+            let options = parse_args(flags).unwrap();
+            assert_eq!(options.mode, CliMode::Help);
+        }
+        let (output, summary) = run(&parse_args(["--help"]).unwrap()).unwrap();
+        assert_eq!(output, USAGE);
+        assert!(summary.is_empty());
+        // The usage text documents every mode, including batch.
+        for flag in ["--batch", "--jobs", "--importance", "--top-k", "--analysis"] {
+            assert!(USAGE.contains(flag), "usage must document {flag}");
+        }
+    }
+
+    #[test]
+    fn parses_a_batch_invocation() {
+        let options = parse_args(["--batch", "models/", "--jobs", "4", "--top-k", "2"]).unwrap();
+        assert_eq!(options.mode, CliMode::Batch(PathBuf::from("models/")));
+        assert_eq!(options.jobs, 4);
+        assert_eq!(options.top_k, Some(2));
+        assert!(!options.importance);
+        let options = parse_args(["--batch", "batch.json", "--importance"]).unwrap();
+        assert!(options.importance);
+    }
+
+    #[test]
+    fn batch_conflicts_are_rejected() {
+        assert!(matches!(
+            parse_args(["--batch", "models/", "tree.json"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["--batch", "models/", "--all"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["--batch", "models/", "--analysis", "importance"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["--batch", "models/", "--jobs", "x"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["--batch", "models/", "--format", "json"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["--batch", "models/", "--seed", "9"]),
+            Err(CliError::Usage(_))
+        ));
+        // Batch-only flags are rejected in single-tree mode too, instead of
+        // being silently ignored.
+        assert!(matches!(
+            parse_args(["tree.json", "--jobs", "4"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["tree.json", "--importance"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
     fn rejects_bad_arguments() {
-        assert!(matches!(parse_args(["--help"]), Err(CliError::Usage(_))));
         assert!(matches!(parse_args(["--top-k"]), Err(CliError::Usage(_))));
         assert!(matches!(
             parse_args(["--top-k", "0", "x.json"]),
@@ -706,5 +920,66 @@ mod tests {
             parse_args(["--example", "fps", "--analysis", "magic"]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn batch_mode_aggregates_a_directory_deterministically() {
+        let dir = std::env::temp_dir().join(format!("mpmcs4fta_cli_batch_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("and.dft"),
+            "toplevel top;\ntop and a b;\na prob=0.5;\nb prob=0.25;\n",
+        )
+        .unwrap();
+        let tree = examples::fire_protection_system();
+        fs::write(dir.join("fps.json"), json::to_json_string(&tree)).unwrap();
+
+        let run_with_jobs = |jobs: &str| {
+            let options = parse_args([
+                "--batch",
+                dir.to_str().unwrap(),
+                "--jobs",
+                jobs,
+                "--top-k",
+                "2",
+                "--quiet",
+            ])
+            .unwrap();
+            run(&options).unwrap()
+        };
+        let (json_1, summary) = run_with_jobs("1");
+        let (json_8, _) = run_with_jobs("8");
+
+        let parsed: serde_json::Value = serde_json::from_str(&json_1).unwrap();
+        let results = parsed["results"].as_array().unwrap();
+        assert_eq!(results.len(), 2);
+        // Directory order (lexicographic), not completion order.
+        assert_eq!(results[0]["name"].as_str(), Some("and.dft"));
+        assert_eq!(results[1]["name"].as_str(), Some("fps.json"));
+        assert_eq!(results[1]["cut_sets"].as_array().map(|c| c.len()), Some(2));
+        assert_eq!(parsed["summary"]["succeeded"].as_u64(), Some(2));
+        assert!(summary.contains("2 trees (2 ok, 0 failed)"));
+
+        // Byte-identical across worker counts, modulo timings + worker count:
+        // round-trip through the typed report for its canonical deterministic
+        // rendering.
+        let normalise = |text: &str| {
+            serde_json::from_str::<ft_batch::BatchReport>(text)
+                .expect("run() emits a valid batch report")
+                .to_deterministic_json()
+        };
+        assert_eq!(normalise(&json_1), normalise(&json_8));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_batch_directories_are_a_usage_error() {
+        let dir = std::env::temp_dir().join(format!("mpmcs4fta_cli_empty_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let options = parse_args(["--batch", dir.to_str().unwrap()]).unwrap();
+        assert!(matches!(run(&options), Err(CliError::Usage(_))));
+        let _ = fs::remove_dir_all(&dir);
     }
 }

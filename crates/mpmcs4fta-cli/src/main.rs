@@ -2,7 +2,7 @@
 
 use std::process::ExitCode;
 
-use mpmcs4fta_cli::{parse_args, run, CliError};
+use mpmcs4fta_cli::{parse_args, run, CliError, CliMode, USAGE};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -13,6 +13,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if options.mode == CliMode::Help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     match run(&options) {
         Ok((json, summary)) => {
             if !options.quiet {
