@@ -1,5 +1,6 @@
 //! Prints the tables and series of the paper's evaluation (experiments E1–E7
-//! of `DESIGN.md`), plus the post-paper scaling experiments (E10).
+//! of `DESIGN.md`), plus the post-paper scaling experiments (E10 batch
+//! workers, E11 incremental enumeration).
 //!
 //! ```text
 //! cargo run --release -p ft-bench --bin experiments -- all
@@ -10,8 +11,9 @@
 use std::process::ExitCode;
 
 use ft_bench::{
-    baselines, batch_scaling, encodings, extended_baselines, extended_measures, fig2, portfolio,
-    scalability, table1, voting, BASELINE_SIZES, SCALABILITY_SIZES,
+    baselines, batch_scaling, encodings, enumeration_scaling, extended_baselines,
+    extended_measures, fig2, portfolio, scalability, table1, voting, BASELINE_SIZES,
+    SCALABILITY_SIZES,
 };
 
 const SEED: u64 = 2020;
@@ -36,6 +38,7 @@ fn main() -> ExitCode {
             "extended-baselines",
             "measures",
             "batch-scaling",
+            "enumeration-scaling",
         ];
     }
 
@@ -73,9 +76,23 @@ fn main() -> ExitCode {
                     batch_scaling(16, 250, &[1, 2, 4, 8], SEED)
                 }
             }
+            "enumeration-scaling" => {
+                // The full configuration goes deeper (k) rather than wider:
+                // repeated MPMCS queries on shared-dag trees beyond ~250
+                // nodes — and deep-k sweeps generally — hit a weighted-OLL
+                // cliff in the *from-scratch baseline* (within-call weight
+                // fragmentation, the very pathology the incremental session
+                // compacts its way out of), so larger parameters would
+                // measure instance hardness rather than solver-state reuse.
+                if quick {
+                    enumeration_scaling(&[100, 250], 15, SEED)
+                } else {
+                    enumeration_scaling(&[100, 250], 18, SEED)
+                }
+            }
             other => {
                 eprintln!(
-                    "unknown experiment {other:?}; available: table1 fig2 scalability portfolio baselines encodings voting extended-baselines measures batch-scaling all"
+                    "unknown experiment {other:?}; available: table1 fig2 scalability portfolio baselines encodings voting extended-baselines measures batch-scaling enumeration-scaling all"
                 );
                 return ExitCode::from(2);
             }

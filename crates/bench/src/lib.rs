@@ -622,6 +622,139 @@ pub fn batch_scaling(num_trees: usize, nodes: usize, jobs_sweep: &[usize], seed:
     out
 }
 
+/// One row of the E11 enumeration-scaling table: incremental vs from-scratch
+/// top-k enumeration on one generated tree.
+#[derive(Clone, Debug)]
+pub struct EnumerationScalingRow {
+    /// Structural family name.
+    pub family: &'static str,
+    /// Target total node count.
+    pub target_nodes: usize,
+    /// Cut sets requested (fewer may exist).
+    pub k: usize,
+    /// Cut sets actually found.
+    pub found: usize,
+    /// Wall time of the incremental path (one encoding, one live session).
+    pub incremental_time: Duration,
+    /// Wall time of the from-scratch baseline (fresh pipeline per cut set).
+    pub scratch_time: Duration,
+    /// `scratch_time / incremental_time`.
+    pub speedup: f64,
+    /// Total SAT calls of the incremental path.
+    pub incremental_sat_calls: u64,
+    /// Total SAT calls of the from-scratch baseline.
+    pub scratch_sat_calls: u64,
+}
+
+/// E11 — incremental vs from-scratch top-k enumeration over generated
+/// families. The incremental path encodes the tree once and pushes blocking
+/// clauses into one persistent solver session; the baseline rebuilds the
+/// whole encode→solve pipeline per cut set (the pre-incremental behaviour).
+pub fn enumeration_scaling_rows(
+    sizes: &[usize],
+    k: usize,
+    seed: u64,
+) -> Vec<EnumerationScalingRow> {
+    let incremental_solver = MpmcsSolver::with_options(MpmcsOptions {
+        algorithm: AlgorithmChoice::SequentialPortfolio,
+        incremental: true,
+        ..MpmcsOptions::new()
+    });
+    let scratch_solver = MpmcsSolver::with_options(MpmcsOptions {
+        algorithm: AlgorithmChoice::SequentialPortfolio,
+        incremental: false,
+        ..MpmcsOptions::new()
+    });
+    let mut rows = Vec::new();
+    for family in [Family::RandomMixed, Family::OrHeavy, Family::SharedDag] {
+        for &size in sizes {
+            let tree = family.generate(size, seed);
+            let (incremental, incremental_time) = timed(|| {
+                incremental_solver
+                    .solve_top_k(&tree, k)
+                    .expect("generated trees have cut sets")
+            });
+            let (scratch, scratch_time) = timed(|| {
+                scratch_solver
+                    .solve_top_k(&tree, k)
+                    .expect("generated trees have cut sets")
+            });
+            let agree = incremental.len() == scratch.len()
+                && incremental
+                    .iter()
+                    .zip(&scratch)
+                    .all(|(a, b)| a.cut_set == b.cut_set);
+            // A disagreement is a correctness regression, not a data point:
+            // fail loudly so the CI smoke step turns red instead of printing
+            // `agree=false` and exiting 0.
+            assert!(
+                agree,
+                "incremental and from-scratch top-{k} enumeration diverged on {}-{size}",
+                family.name()
+            );
+            rows.push(EnumerationScalingRow {
+                family: family.name(),
+                target_nodes: size,
+                k,
+                found: incremental.len(),
+                incremental_time,
+                scratch_time,
+                speedup: scratch_time.as_secs_f64() / incremental_time.as_secs_f64().max(1e-12),
+                incremental_sat_calls: incremental.iter().map(|s| s.stats.sat_calls).sum(),
+                scratch_sat_calls: scratch.iter().map(|s| s.stats.sat_calls).sum(),
+            });
+        }
+    }
+    rows
+}
+
+/// Formats E11 rows. The incremental path must return exactly the same cut
+/// sets — `enumeration_scaling_rows` asserts it, so a divergence fails the
+/// study (and the CI smoke step) instead of printing a flag; the table shows
+/// the wall-clock and SAT-call contrast between warm-started and
+/// from-scratch enumeration.
+pub fn enumeration_scaling(sizes: &[usize], k: usize, seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# E11 — top-{k} enumeration: incremental session vs from-scratch pipeline\n"
+    ));
+    out.push_str(
+        "family        target  found  incremental_ms  scratch_ms  speedup  inc_calls  scr_calls\n",
+    );
+    for row in enumeration_scaling_rows(sizes, k, seed) {
+        out.push_str(&format!(
+            "{:<13} {:<7} {:<6} {:<15.2} {:<11.2} {:<8.2} {:<10} {:<10}\n",
+            row.family,
+            row.target_nodes,
+            row.found,
+            ms(row.incremental_time),
+            ms(row.scratch_time),
+            row.speedup,
+            row.incremental_sat_calls,
+            row.scratch_sat_calls
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod enumeration_scaling_tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_scaling_rows_agree_and_render() {
+        let rows = enumeration_scaling_rows(&[40, 80], 5, 6);
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(row.found >= 1);
+            assert!(row.incremental_sat_calls > 0);
+        }
+        let table = enumeration_scaling(&[40], 3, 6);
+        assert!(table.contains("E11"));
+        assert!(table.contains("speedup"));
+    }
+}
+
 #[cfg(test)]
 mod batch_scaling_tests {
     use super::*;

@@ -32,6 +32,11 @@ pub struct BatchConfig {
     /// table per tree (needs cut-set enumeration; skipped for trees whose
     /// cut-set count exceeds an internal budget).
     pub importance: bool,
+    /// Attach the detailed solver statistics block (conflicts, propagations,
+    /// restarts, learnt-clause reuse, session counters) to every reported cut
+    /// set. Like timings, the block is stripped by
+    /// [`BatchReport::to_deterministic_json`](crate::BatchReport::to_deterministic_json).
+    pub stats: bool,
 }
 
 impl Default for BatchConfig {
@@ -41,6 +46,7 @@ impl Default for BatchConfig {
             top_k: 1,
             algorithm: AlgorithmChoice::SequentialPortfolio,
             importance: false,
+            stats: false,
         }
     }
 }
@@ -175,7 +181,13 @@ fn analyze_job(job: &BatchJob, config: &BatchConfig) -> TreeReport {
             report.sat_calls = solutions.iter().map(|s| s.stats.sat_calls).sum();
             report.cut_sets = solutions
                 .iter()
-                .map(|solution| MpmcsReport::new(&tree, solution))
+                .map(|solution| {
+                    if config.stats {
+                        MpmcsReport::with_stats(&tree, solution)
+                    } else {
+                        MpmcsReport::new(&tree, solution)
+                    }
+                })
                 .collect();
             if config.importance {
                 report.importance = importance_rows(&tree);
@@ -302,6 +314,43 @@ mod tests {
         assert!(tree.sat_calls > 0);
         assert_eq!(report.summary.top_k, 3);
         assert_eq!(report.summary.total_cut_sets, tree.cut_sets.len());
+    }
+
+    /// The `stats` flag attaches the solver-statistics block to every cut
+    /// set — and the deterministic rendering strips it again, so turning the
+    /// flag on cannot break byte-level report comparisons.
+    #[test]
+    fn stats_flag_attaches_and_deterministic_json_strips_solver_stats() {
+        let manifest = BatchManifest::generated(Family::RandomMixed, 50, 2, 5);
+        let with_stats = run_batch(
+            &manifest,
+            &BatchConfig {
+                stats: true,
+                top_k: 2,
+                ..BatchConfig::default()
+            },
+        );
+        for tree in &with_stats.results {
+            for cut_set in &tree.cut_sets {
+                let stats = cut_set.solver_stats.as_ref().expect("stats requested");
+                assert!(stats.sat_calls > 0);
+            }
+        }
+        assert!(with_stats.to_json().contains("solver_stats"));
+        assert!(!with_stats.to_deterministic_json().contains("solver_stats"));
+        let without = run_batch(
+            &manifest,
+            &BatchConfig {
+                top_k: 2,
+                ..BatchConfig::default()
+            },
+        );
+        assert!(!without.to_json().contains("solver_stats"));
+        assert_eq!(
+            with_stats.to_deterministic_json(),
+            without.to_deterministic_json(),
+            "--stats must not change the deterministic report"
+        );
     }
 
     #[test]

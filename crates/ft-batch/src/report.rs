@@ -118,15 +118,16 @@ impl BatchReport {
     }
 
     /// Renders the report as pretty-printed JSON with every timing field
-    /// zeroed ([`redact_timings`]) and the worker count masked — the only two
-    /// pieces of run metadata that legitimately vary between runs of the same
-    /// batch. Two runs of the same batch produce byte-identical output from
-    /// this method regardless of `--jobs`.
+    /// zeroed ([`redact_timings`]), every `solver_stats` block dropped
+    /// ([`redact_solver_stats`]) and the worker count masked — the pieces of
+    /// run metadata that describe *how* the answer was computed rather than
+    /// the answer itself. Two runs of the same batch produce byte-identical
+    /// output from this method regardless of `--jobs` or `--stats`.
     pub fn to_deterministic_json(&self) -> String {
         let mut masked = self.clone();
         masked.summary.jobs = 0;
-        serde_json::to_string_pretty(&redact_timings(&serde_json::to_value(&masked)))
-            .expect("batch reports always serialise")
+        let value = redact_solver_stats(&redact_timings(&serde_json::to_value(&masked)));
+        serde_json::to_string_pretty(&value).expect("batch reports always serialise")
     }
 
     /// Renders a compact human-readable summary (one line per tree plus
@@ -192,20 +193,56 @@ impl BatchReport {
 /// assert_eq!(redacted.get("probability").unwrap().as_f64(), Some(0.02));
 /// ```
 pub fn redact_timings(value: &Value) -> Value {
+    rewrite_fields(value, &|key| {
+        key.ends_with("_ms")
+            .then(|| Value::Number(Number::from_i128(0)))
+    })
+}
+
+/// Returns a copy of `value` with every `"solver_stats"` object field
+/// removed. The optional solver-statistics blocks (CLI `--stats`) describe
+/// search effort, not analysis results, so — like timings — they are
+/// stripped before deterministic byte-level report comparisons.
+///
+/// ```rust
+/// use ft_batch::redact_solver_stats;
+///
+/// let report: serde::Value = serde_json::from_str(
+///     r#"{ "probability": 0.02, "solver_stats": { "conflicts": 3 } }"#,
+/// )
+/// .unwrap();
+/// let redacted = redact_solver_stats(&report);
+/// assert!(redacted.get("solver_stats").is_none());
+/// assert_eq!(redacted.get("probability").unwrap().as_f64(), Some(0.02));
+/// ```
+pub fn redact_solver_stats(value: &Value) -> Value {
+    rewrite_fields(value, &|key| (key == "solver_stats").then_some(Value::Null))
+}
+
+/// The shared recursive walker behind the redaction helpers: every object
+/// field whose key the `action` callback claims is replaced by the returned
+/// value (`Value::Null` means *remove the field*); everything else is copied
+/// unchanged.
+fn rewrite_fields(value: &Value, action: &dyn Fn(&str) -> Option<Value>) -> Value {
     match value {
         Value::Object(map) => Value::Object(
             map.iter()
-                .map(|(key, entry)| {
-                    let redacted = if key.ends_with("_ms") {
-                        Value::Number(Number::from_i128(0))
-                    } else {
-                        redact_timings(entry)
+                .filter_map(|(key, entry)| {
+                    let rewritten = match action(key) {
+                        Some(Value::Null) => return None,
+                        Some(replacement) => replacement,
+                        None => rewrite_fields(entry, action),
                     };
-                    (key.to_string(), redacted)
+                    Some((key.to_string(), rewritten))
                 })
                 .collect::<Map>(),
         ),
-        Value::Array(elements) => Value::Array(elements.iter().map(redact_timings).collect()),
+        Value::Array(elements) => Value::Array(
+            elements
+                .iter()
+                .map(|element| rewrite_fields(element, action))
+                .collect(),
+        ),
         other => other.clone(),
     }
 }

@@ -1,0 +1,430 @@
+//! A persistent incremental Weighted Partial MaxSAT session.
+//!
+//! Repeated-query workloads — top-k cut-set enumeration, importance tables,
+//! what-if sweeps — solve a *sequence* of MaxSAT problems that differ only by
+//! added hard clauses (blocking clauses, scenario constraints). Rebuilding a
+//! solver per query throws away every learnt clause, variable activity and
+//! saved phase the previous query paid for. [`IncrementalMaxSat`] keeps one
+//! [`Session`] alive instead: hard clauses may be added **between optima**,
+//! and each [`IncrementalMaxSat::solve`] call resumes the core-guided OLL
+//! search from the accumulated state.
+//!
+//! The soundness argument, the session-compaction safety valve and a
+//! runnable example live on the [`IncrementalMaxSat`] type itself.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use sat_solver::{Lit, Session, SolveResult, SolverStats};
+
+use crate::encodings::totalizer::Totalizer;
+use crate::instance::WcnfInstance;
+use crate::oll::{extract_model, normalize_softs, OllConfig};
+use crate::result::{MaxSatOutcome, MaxSatResult, MaxSatStats};
+
+/// When one `solve` call extracts this many unsatisfiable cores, the session
+/// assumes its accumulated OLL reformulation state has degenerated (weight
+/// fragmentation can make the lower bound climb in unit steps) and compacts:
+/// the solver is rebuilt from the original instance plus every added hard
+/// clause, exactly as a from-scratch solve would see it. At most one
+/// compaction happens per call, and never on a session's first call, so a
+/// one-shot solve behaves exactly like the historical `OllSolver`.
+///
+/// The budget is deliberately small: healthy warm-started queries in the
+/// enumeration workloads need a handful of cores, while a degenerate one
+/// burns thousands — and each wasted core in the degenerate regime is
+/// expensive (the assumption set has exploded), so detecting early matters
+/// more than avoiding a rare false positive (whose cost is just one
+/// from-scratch solve, the historical behaviour).
+const COMPACTION_CORE_BUDGET: u64 = 64;
+
+/// A persistent incremental MaxSAT handle: one solver session shared by a
+/// sequence of optima, with hard clauses accepted between
+/// [`solve`](IncrementalMaxSat::solve) calls.
+///
+/// Created directly via [`IncrementalMaxSat::new`] /
+/// [`IncrementalMaxSat::with_config`], or through
+/// [`PortfolioSolver::incremental`](crate::PortfolioSolver::incremental).
+///
+/// Soundness rests on two standard properties of OLL/RC2: the core
+/// reformulation (totalizer counting + weight splitting) is cost-preserving
+/// for *every* model, not just the optimal one, so the lower bound and
+/// residual weights stay valid when added hard clauses remove models; and
+/// added hard clauses only strengthen the formula, so hardened singleton
+/// cores (clauses implied by the hard part) remain implied.
+///
+/// Reuse is a heuristic, not a guarantee: accumulating the reformulation
+/// across many optima can fragment the residual weights until a query
+/// degenerates (the classic weighted-OLL pathology). A call that blows
+/// through an internal core budget therefore *compacts* the session —
+/// rebuilds the solver from the original instance plus all added hard
+/// clauses — which restores exactly the from-scratch behaviour for that
+/// query while keeping every answer and all cumulative statistics intact.
+///
+/// ```rust
+/// use maxsat_solver::{IncrementalMaxSat, MaxSatOutcome, WcnfInstance};
+/// use sat_solver::{Lit, Var};
+///
+/// let a = Lit::positive(Var::from_index(0));
+/// let b = Lit::positive(Var::from_index(1));
+/// let mut inst = WcnfInstance::with_vars(2);
+/// inst.add_hard([a, b]);
+/// inst.add_soft([!a], 5);
+/// inst.add_soft([!b], 3);
+///
+/// let mut session = IncrementalMaxSat::new(&inst);
+/// let first = session.solve();
+/// assert_eq!(first.outcome.cost(), Some(3)); // {b} is cheapest
+///
+/// // Block the first optimum and ask for the next one.
+/// session.add_hard([!b]);
+/// let second = session.solve();
+/// assert_eq!(second.outcome.cost(), Some(5)); // forced onto {a}
+/// assert!(second.stats.session_calls > first.stats.session_calls);
+/// ```
+#[derive(Debug)]
+pub struct IncrementalMaxSat<'a> {
+    session: Session,
+    /// The original instance, borrowed for model extraction, exact cost
+    /// accounting, and session compaction (one-shot consumers like
+    /// `OllSolver` pay no clone).
+    instance: &'a WcnfInstance,
+    /// Hard clauses added after construction, replayed on compaction.
+    added_hard: Vec<Vec<Lit>>,
+    /// Residual soft weights per assumption literal (OLL reformulation
+    /// state, shared across calls).
+    weights: BTreeMap<Lit, u64>,
+    /// Lower bound established so far; carried across calls, re-derived
+    /// after a compaction.
+    lower_bound: u64,
+    config: OllConfig,
+    /// Counters of solvers retired by compaction, so cumulative statistics
+    /// survive the rebuild.
+    retired: SolverStats,
+    /// Cumulative counters at the end of the previous call (per-call deltas
+    /// are measured against this).
+    checkpoint: SolverStats,
+    /// A compaction is only worthwhile when the degenerate state came from
+    /// *accumulation*: never on a session's first call, and at most once per
+    /// call (the flag rearms when a call completes).
+    compaction_allowed: bool,
+    calls: u64,
+}
+
+impl<'a> IncrementalMaxSat<'a> {
+    /// Creates a session over `instance` with the default (deterministic)
+    /// configuration.
+    pub fn new(instance: &'a WcnfInstance) -> Self {
+        Self::with_config(instance, OllConfig::default())
+    }
+
+    /// Creates a session over `instance` with an explicit OLL configuration.
+    pub fn with_config(instance: &'a WcnfInstance, config: OllConfig) -> Self {
+        let (session, weights, baseline) = build_state(&config, instance, &[]);
+        IncrementalMaxSat {
+            session,
+            instance,
+            added_hard: Vec::new(),
+            weights,
+            lower_bound: baseline,
+            config,
+            retired: SolverStats::default(),
+            checkpoint: SolverStats::default(),
+            compaction_allowed: false,
+            calls: 0,
+        }
+    }
+
+    /// Adds a hard clause between optima (e.g. a blocking clause excluding
+    /// the previous solution and its supersets). The session is at decision
+    /// level 0 between calls, so the addition takes effect immediately.
+    pub fn add_hard<I>(&mut self, lits: I)
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        let clause: Vec<Lit> = lits.into_iter().collect();
+        self.session.add_clause(clause.iter().copied());
+        self.added_hard.push(clause);
+    }
+
+    /// Number of `solve` calls completed so far.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// The lower bound on the current optimum established so far.
+    pub fn lower_bound(&self) -> u64 {
+        self.lower_bound
+    }
+
+    /// Cumulative statistics of the underlying SAT session, including any
+    /// solvers retired by compaction.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.retired.merged(self.session.stats())
+    }
+
+    /// Solves for the optimum of the hard clauses added so far.
+    ///
+    /// Subsequent calls (typically after [`IncrementalMaxSat::add_hard`])
+    /// resume from the accumulated search state; their cost is non-decreasing
+    /// since hard clauses only remove models.
+    pub fn solve(&mut self) -> MaxSatResult {
+        self.solve_with_stop(&AtomicBool::new(false))
+            .expect("solve cannot be interrupted without a stop request")
+    }
+
+    /// Like [`IncrementalMaxSat::solve`], checking `stop` between SAT calls;
+    /// returns `None` if the flag was raised first. The session state stays
+    /// consistent, so a later call can pick the search up again.
+    pub fn solve_with_stop(&mut self, stop: &AtomicBool) -> Option<MaxSatResult> {
+        let mut stats = MaxSatStats {
+            algorithm: "oll".to_string(),
+            ..MaxSatStats::default()
+        };
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                return None;
+            }
+            let assumptions: Vec<Lit> = self.weights.keys().copied().collect();
+            stats.sat_calls += 1;
+            match self.session.solve_with_assumptions(&assumptions) {
+                SolveResult::Sat(model) => {
+                    let model_vec = extract_model(&model, self.instance.num_vars());
+                    let (hard_ok, cost) = self
+                        .instance
+                        .evaluate(&model_vec)
+                        .expect("model covers instance variables");
+                    debug_assert!(hard_ok, "SAT model must satisfy all hard clauses");
+                    debug_assert_eq!(
+                        cost, self.lower_bound,
+                        "OLL invariant: model cost equals the established lower bound"
+                    );
+                    stats.lower_bound = self.lower_bound;
+                    stats.upper_bound = cost;
+                    return Some(self.finish_call(
+                        stats,
+                        MaxSatOutcome::Optimum {
+                            model: model_vec,
+                            cost,
+                        },
+                    ));
+                }
+                SolveResult::Unsat => {
+                    let core: Vec<Lit> = self.session.unsat_core().to_vec();
+                    if core.is_empty() {
+                        return Some(self.finish_call(stats, MaxSatOutcome::Unsatisfiable));
+                    }
+                    stats.cores += 1;
+                    if self.compaction_allowed && stats.cores >= COMPACTION_CORE_BUDGET {
+                        self.compact();
+                        continue;
+                    }
+                    let w_min = core
+                        .iter()
+                        .map(|l| self.weights.get(l).copied().unwrap_or(u64::MAX))
+                        .min()
+                        .expect("non-empty core");
+                    debug_assert!(w_min > 0 && w_min < u64::MAX);
+                    self.lower_bound += w_min;
+                    stats.lower_bound = self.lower_bound;
+                    for lit in &core {
+                        if let Some(w) = self.weights.get_mut(lit) {
+                            *w -= w_min;
+                            if *w == 0 {
+                                self.weights.remove(lit);
+                            }
+                        }
+                    }
+                    if core.len() == 1 {
+                        if self.config.harden_singleton_cores {
+                            self.session.add_clause([!core[0]]);
+                        }
+                    } else {
+                        // Count how many core members are violated; paying
+                        // w_min once is already accounted for in the lower
+                        // bound, every additional violation costs w_min more.
+                        // The totalizer is grown in place inside the live
+                        // session — never re-encoded.
+                        let violated: Vec<Lit> = core.iter().map(|&l| !l).collect();
+                        let totalizer = Totalizer::build(self.session.solver_mut(), &violated);
+                        for bound in 2..=violated.len() {
+                            let output = totalizer.at_least(bound);
+                            *self.weights.entry(!output).or_insert(0) += w_min;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Retires the current solver and rebuilds the reformulation state from
+    /// the original instance plus every added hard clause — the state a
+    /// from-scratch solve would start from. Answers are unaffected; the
+    /// retired solver's counters keep contributing to the cumulative
+    /// statistics.
+    fn compact(&mut self) {
+        self.retired = self.solver_stats();
+        let (session, weights, baseline) =
+            build_state(&self.config, self.instance, &self.added_hard);
+        self.session = session;
+        self.weights = weights;
+        self.lower_bound = baseline;
+        self.compaction_allowed = false;
+    }
+
+    /// Stamps the per-call SAT work and session counters into `stats` and
+    /// wraps up the result.
+    fn finish_call(&mut self, mut stats: MaxSatStats, outcome: MaxSatOutcome) -> MaxSatResult {
+        self.calls += 1;
+        self.compaction_allowed = true;
+        let cumulative = self.solver_stats();
+        stats.absorb_solver(&cumulative.delta_since(&self.checkpoint));
+        stats.session_calls = cumulative.solve_calls;
+        self.checkpoint = cumulative;
+        MaxSatResult { outcome, stats }
+    }
+}
+
+/// Builds a fresh solver session over `instance` plus `added_hard`, with the
+/// softs normalised into assumption literals. Shared by construction and
+/// compaction.
+fn build_state(
+    config: &OllConfig,
+    instance: &WcnfInstance,
+    added_hard: &[Vec<Lit>],
+) -> (Session, BTreeMap<Lit, u64>, u64) {
+    let mut session = Session::with_config(config.sat_config.clone());
+    session.ensure_vars(instance.num_vars());
+    for clause in instance.hard_clauses() {
+        session.add_clause(clause.iter().copied());
+    }
+    for clause in added_hard {
+        session.add_clause(clause.iter().copied());
+    }
+    let (weights, baseline) = normalize_softs(&mut session, instance);
+    (session, weights, baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::{brute_force_optimum, random_instance};
+    use sat_solver::Var;
+
+    fn pos(i: usize) -> Lit {
+        Lit::positive(Var::from_index(i))
+    }
+    fn neg(i: usize) -> Lit {
+        Lit::negative(Var::from_index(i))
+    }
+
+    #[test]
+    fn optima_are_non_decreasing_under_added_hard_clauses() {
+        let mut inst = WcnfInstance::with_vars(3);
+        inst.add_hard([pos(0), pos(1), pos(2)]);
+        inst.add_soft([neg(0)], 9);
+        inst.add_soft([neg(1)], 2);
+        inst.add_soft([neg(2)], 5);
+        let mut session = IncrementalMaxSat::new(&inst);
+        let mut costs = Vec::new();
+        loop {
+            let result = session.solve();
+            let Some(model) = result.outcome.model().map(<[bool]>::to_vec) else {
+                break;
+            };
+            costs.push(result.outcome.cost().unwrap());
+            // Block exactly this assignment of the instance variables.
+            session.add_hard((0..inst.num_vars()).map(|i| Lit::new(Var::from_index(i), model[i])));
+        }
+        assert_eq!(costs.first(), Some(&2));
+        assert!(costs.windows(2).all(|w| w[0] <= w[1]), "{costs:?}");
+        assert_eq!(costs.len(), 7, "all satisfying assignments enumerated");
+    }
+
+    #[test]
+    fn incremental_optima_match_from_scratch_resolves() {
+        // After each optimum, block it as a hard clause and compare the next
+        // incremental optimum against a from-scratch solve of the grown
+        // instance.
+        use crate::{MaxSatAlgorithm, OllSolver};
+        for seed in 300..308 {
+            let inst = random_instance(seed, 7, 10, 5);
+            // The session borrows `inst`; the from-scratch comparison solves
+            // its own growing copy.
+            let mut grown = inst.clone();
+            let mut session = IncrementalMaxSat::new(&inst);
+            for _ in 0..4 {
+                let incremental = session.solve();
+                let scratch = OllSolver::default().solve(&grown);
+                assert_eq!(
+                    incremental.outcome.cost(),
+                    scratch.outcome.cost(),
+                    "seed {seed}"
+                );
+                let Some(model) = incremental.outcome.model().map(<[bool]>::to_vec) else {
+                    break;
+                };
+                let block: Vec<Lit> = (0..inst.num_vars())
+                    .map(|i| Lit::new(Var::from_index(i), model[i]))
+                    .collect();
+                session.add_hard(block.clone());
+                grown.add_hard(block);
+            }
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_hard_clauses_stay_unsatisfiable() {
+        let mut inst = WcnfInstance::with_vars(1);
+        inst.add_hard([pos(0)]);
+        inst.add_soft([neg(0)], 2);
+        let mut session = IncrementalMaxSat::new(&inst);
+        assert_eq!(session.solve().outcome.cost(), Some(2));
+        session.add_hard([neg(0)]);
+        assert_eq!(session.solve().outcome, MaxSatOutcome::Unsatisfiable);
+        // Once unsatisfiable, always unsatisfiable.
+        assert_eq!(session.solve().outcome, MaxSatOutcome::Unsatisfiable);
+        assert_eq!(session.calls(), 3);
+    }
+
+    #[test]
+    fn session_counters_grow_across_calls() {
+        let inst = random_instance(42, 8, 12, 6);
+        let expected = brute_force_optimum(&inst);
+        let mut session = IncrementalMaxSat::new(&inst);
+        let first = session.solve();
+        assert_eq!(first.outcome.cost(), expected);
+        let second = session.solve();
+        assert_eq!(second.outcome.cost(), expected, "idempotent without edits");
+        assert!(second.stats.session_calls > first.stats.session_calls);
+        assert_eq!(
+            session.solver_stats().solve_calls,
+            first.stats.sat_calls + second.stats.sat_calls
+        );
+    }
+
+    /// Session compaction keeps answers and cumulative counters intact: a
+    /// manually triggered compaction mid-sequence must be invisible except
+    /// for the rebuilt solver.
+    #[test]
+    fn compaction_preserves_answers_and_counters() {
+        let mut inst = WcnfInstance::with_vars(3);
+        inst.add_hard([pos(0), pos(1), pos(2)]);
+        inst.add_soft([neg(0)], 9);
+        inst.add_soft([neg(1)], 2);
+        inst.add_soft([neg(2)], 5);
+        let mut session = IncrementalMaxSat::new(&inst);
+        assert_eq!(session.solve().outcome.cost(), Some(2));
+        // Force the most expensive event in, then compact: the rebuilt
+        // session must still report the correct next optimum.
+        session.add_hard([pos(0)]);
+        let before = session.solver_stats().solve_calls;
+        session.compact();
+        let result = session.solve();
+        assert_eq!(result.outcome.cost(), Some(9));
+        assert!(
+            result.stats.session_calls > before,
+            "cumulative counters must survive compaction"
+        );
+    }
+}

@@ -20,6 +20,12 @@
 //! * [`PortfolioSolver`] — the paper's Step 5: several differently-configured
 //!   solvers race in parallel threads and the first to finish wins.
 //!
+//! For *sequences* of closely related optima (top-k enumeration, what-if
+//! sweeps), [`IncrementalMaxSat`] keeps one solver session alive across
+//! queries: hard clauses may be added between optima, and every call resumes
+//! from the learnt clauses, activities and phases the previous calls paid
+//! for. [`PortfolioSolver::incremental`] opens such a session.
+//!
 //! # Example
 //!
 //! ```rust
@@ -47,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod encodings;
+mod incremental;
 mod instance;
 mod linear;
 mod oll;
@@ -58,6 +65,7 @@ pub mod wcnf;
 
 pub use encodings::gte::{GteBuilder, GteError};
 pub use encodings::totalizer::Totalizer;
+pub use incremental::IncrementalMaxSat;
 pub use instance::{SoftClause, WcnfInstance};
 pub use linear::{LinearSuConfig, LinearSuSolver};
 pub use oll::{OllConfig, OllSolver};

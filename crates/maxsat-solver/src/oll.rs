@@ -12,13 +12,13 @@
 //! basic events out of thousands.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::AtomicBool;
 
-use sat_solver::{Lit, SolveResult, Solver, SolverConfig, Var};
+use sat_solver::{Lit, Session, SolverConfig, Var};
 
-use crate::encodings::totalizer::Totalizer;
+use crate::incremental::IncrementalMaxSat;
 use crate::instance::WcnfInstance;
-use crate::result::{MaxSatOutcome, MaxSatResult, MaxSatStats};
+use crate::result::MaxSatResult;
 use crate::MaxSatAlgorithm;
 
 /// Configuration of the [`OllSolver`].
@@ -68,7 +68,7 @@ impl OllSolver {
 /// aggregated weight map and the cost of soft clauses that can never be
 /// satisfied (empty clauses).
 pub(crate) fn normalize_softs(
-    solver: &mut Solver,
+    session: &mut Session,
     instance: &WcnfInstance,
 ) -> (BTreeMap<Lit, u64>, u64) {
     let mut weights: BTreeMap<Lit, u64> = BTreeMap::new();
@@ -78,10 +78,10 @@ pub(crate) fn normalize_softs(
             0 => baseline += soft.weight,
             1 => *weights.entry(soft.lits[0]).or_insert(0) += soft.weight,
             _ => {
-                let relax = Lit::positive(solver.new_var());
+                let relax = Lit::positive(session.new_var());
                 let mut clause = soft.lits.clone();
                 clause.push(relax);
-                solver.add_clause(clause);
+                session.add_clause(clause);
                 *weights.entry(!relax).or_insert(0) += soft.weight;
             }
         }
@@ -108,88 +108,9 @@ impl MaxSatAlgorithm for OllSolver {
     }
 
     fn solve_with_stop(&self, instance: &WcnfInstance, stop: &AtomicBool) -> Option<MaxSatResult> {
-        let mut stats = MaxSatStats {
-            algorithm: self.name().to_string(),
-            ..MaxSatStats::default()
-        };
-        let mut solver = Solver::with_config(self.config.sat_config.clone());
-        solver.ensure_vars(instance.num_vars());
-        for clause in instance.hard_clauses() {
-            solver.add_clause(clause.iter().copied());
-        }
-        let (mut weights, baseline) = normalize_softs(&mut solver, instance);
-        let mut lower_bound = baseline;
-
-        loop {
-            if stop.load(Ordering::Relaxed) {
-                return None;
-            }
-            let assumptions: Vec<Lit> = weights.keys().copied().collect();
-            stats.sat_calls += 1;
-            match solver.solve_with_assumptions(&assumptions) {
-                SolveResult::Sat(model) => {
-                    let model_vec = extract_model(&model, instance.num_vars());
-                    let (hard_ok, cost) = instance
-                        .evaluate(&model_vec)
-                        .expect("model covers instance variables");
-                    debug_assert!(hard_ok, "SAT model must satisfy all hard clauses");
-                    debug_assert_eq!(
-                        cost, lower_bound,
-                        "OLL invariant: model cost equals the established lower bound"
-                    );
-                    stats.lower_bound = lower_bound;
-                    stats.upper_bound = cost;
-                    return Some(MaxSatResult {
-                        outcome: MaxSatOutcome::Optimum {
-                            model: model_vec,
-                            cost,
-                        },
-                        stats,
-                    });
-                }
-                SolveResult::Unsat => {
-                    let core: Vec<Lit> = solver.unsat_core().to_vec();
-                    if core.is_empty() {
-                        return Some(MaxSatResult {
-                            outcome: MaxSatOutcome::Unsatisfiable,
-                            stats,
-                        });
-                    }
-                    stats.cores += 1;
-                    let w_min = core
-                        .iter()
-                        .map(|l| weights.get(l).copied().unwrap_or(u64::MAX))
-                        .min()
-                        .expect("non-empty core");
-                    debug_assert!(w_min > 0 && w_min < u64::MAX);
-                    lower_bound += w_min;
-                    stats.lower_bound = lower_bound;
-                    for lit in &core {
-                        if let Some(w) = weights.get_mut(lit) {
-                            *w -= w_min;
-                            if *w == 0 {
-                                weights.remove(lit);
-                            }
-                        }
-                    }
-                    if core.len() == 1 {
-                        if self.config.harden_singleton_cores {
-                            solver.add_clause([!core[0]]);
-                        }
-                    } else {
-                        // Count how many core members are violated; paying
-                        // w_min once is already accounted for in the lower
-                        // bound, every additional violation costs w_min more.
-                        let violated: Vec<Lit> = core.iter().map(|&l| !l).collect();
-                        let totalizer = Totalizer::build(&mut solver, &violated);
-                        for bound in 2..=violated.len() {
-                            let output = totalizer.at_least(bound);
-                            *weights.entry(!output).or_insert(0) += w_min;
-                        }
-                    }
-                }
-            }
-        }
+        // A one-shot solve is the first call of a fresh incremental session;
+        // the OLL loop itself lives in `IncrementalMaxSat`.
+        IncrementalMaxSat::with_config(instance, self.config.clone()).solve_with_stop(stop)
     }
 }
 
@@ -197,6 +118,7 @@ impl MaxSatAlgorithm for OllSolver {
 mod tests {
     use super::*;
     use crate::tests_support::{brute_force_optimum, random_instance, verify_optimum};
+    use crate::MaxSatOutcome;
 
     fn pos(i: usize) -> Lit {
         Lit::positive(Var::from_index(i))

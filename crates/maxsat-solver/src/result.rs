@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use sat_solver::SolverStats;
+
 /// Outcome of a MaxSAT solving run.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MaxSatOutcome {
@@ -55,19 +57,55 @@ pub struct MaxSatStats {
     pub upper_bound: u64,
     /// Name of the algorithm (or of the winning portfolio entry).
     pub algorithm: String,
+    /// Conflicts encountered by the underlying SAT search during this run
+    /// (for incremental sessions: during this call only).
+    pub conflicts: u64,
+    /// Literals propagated by the underlying SAT search during this run.
+    pub propagations: u64,
+    /// Restarts performed by the underlying SAT search during this run.
+    pub restarts: u64,
+    /// Learnt clauses carried into warm-started SAT calls instead of being
+    /// re-derived — the payoff of incremental solving.
+    pub learnt_reused: u64,
+    /// Cumulative SAT calls of the owning solver session at the end of this
+    /// run. Equals `sat_calls` for a one-shot core-guided run; strictly
+    /// grows across the calls of an
+    /// [`IncrementalMaxSat`](crate::IncrementalMaxSat) session, proving the
+    /// session is shared. Aggregating wrappers (the sequential portfolio's
+    /// cross-entry totals, the linear solver's OLL fallback) report
+    /// `sat_calls` summed over *several* sessions while `session_calls`
+    /// stays the winning session's own count, so there `sat_calls` may
+    /// exceed `session_calls`.
+    pub session_calls: u64,
+}
+
+impl MaxSatStats {
+    /// Copies the SAT-level counters of `solver` into this record (used by
+    /// the algorithms right before returning).
+    pub(crate) fn absorb_solver(&mut self, solver: &SolverStats) {
+        self.conflicts = solver.conflicts;
+        self.propagations = solver.propagations;
+        self.restarts = solver.restarts;
+        self.learnt_reused = solver.learnt_reused;
+    }
 }
 
 impl fmt::Display for MaxSatStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}: sat_calls={} cores={} improvements={} lb={} ub={}",
+            "{}: sat_calls={} cores={} improvements={} lb={} ub={} conflicts={} \
+             propagations={} restarts={} reused={}",
             self.algorithm,
             self.sat_calls,
             self.cores,
             self.improvements,
             self.lower_bound,
-            self.upper_bound
+            self.upper_bound,
+            self.conflicts,
+            self.propagations,
+            self.restarts,
+            self.learnt_reused
         )
     }
 }

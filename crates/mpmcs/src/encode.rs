@@ -184,13 +184,12 @@ impl MpmcsEncoding {
         (log_weight, (-log_weight).exp())
     }
 
-    /// Adds a hard *blocking clause* excluding every model that contains all
-    /// events of `cut`. Used by the top-k / all-MCS enumeration: once a
-    /// minimal cut set has been reported, neither it nor any superset can be
-    /// reported again.
-    pub fn block_cut(&mut self, cut: &CutSet) {
-        let clause: Vec<Lit> = cut
-            .iter()
+    /// The hard *blocking clause* excluding every model that contains all
+    /// events of `cut` (the clause demands at least one event to be absent).
+    /// The incremental enumeration pushes this clause into its live solver
+    /// session; [`MpmcsEncoding::block_cut`] adds it to the instance instead.
+    pub fn blocking_clause(&self, cut: &CutSet) -> Vec<Lit> {
+        cut.iter()
             .map(|e| {
                 let var = Var::from_index(e.index());
                 match self.style {
@@ -198,7 +197,15 @@ impl MpmcsEncoding {
                     EncodingStyle::SuccessTree => Lit::positive(var),
                 }
             })
-            .collect();
+            .collect()
+    }
+
+    /// Adds a hard *blocking clause* excluding every model that contains all
+    /// events of `cut`. Used by the from-scratch top-k / all-MCS enumeration:
+    /// once a minimal cut set has been reported, neither it nor any superset
+    /// can be reported again.
+    pub fn block_cut(&mut self, cut: &CutSet) {
+        let clause = self.blocking_clause(cut);
         self.instance.add_hard(clause);
     }
 }

@@ -6,11 +6,56 @@
 //! Running the loop to exhaustion enumerates **all** minimal cut sets of the
 //! tree ordered by probability, which subsumes the classic qualitative
 //! cut-set analysis.
+//!
+//! By default the whole loop runs inside **one persistent incremental
+//! session** ([`maxsat_solver::IncrementalMaxSat`]): the tree is Tseitin-
+//! encoded exactly once, blocking clauses are pushed into the live session,
+//! and every query after the first resumes from the learnt clauses, variable
+//! activities and saved phases of its predecessors. Setting
+//! [`MpmcsOptions::incremental`](crate::MpmcsOptions) to `false` restores
+//! the historical from-scratch pipeline per cut set (the baseline of the E11
+//! `enumeration-scaling` study).
+
+use std::time::Instant;
 
 use fault_tree::FaultTree;
+use maxsat_solver::{MaxSatOutcome, PortfolioSolver};
 
+use crate::encode::MpmcsEncoding;
 use crate::error::MpmcsError;
 use crate::solver::{MpmcsSolution, MpmcsSolver};
+use crate::verify;
+
+/// Exact integer MaxSAT cost of a solution's cut set (the sum of the scaled
+/// event weights). Two cut sets tie — either may be enumerated first by a
+/// correct solver — exactly when their scaled costs are equal, so this is
+/// the key the canonical tie ordering below is built on.
+fn scaled_cost(encoding: &MpmcsEncoding, solution: &MpmcsSolution) -> u64 {
+    solution
+        .cut_set
+        .iter()
+        .map(|e| encoding.scaled_weights()[e.index()])
+        .sum()
+}
+
+/// Canonicalises the enumeration output: solutions are ordered by exact
+/// scaled cost (which refines the non-increasing probability order) and,
+/// within an equal-cost tie group, by cut set. Successive optima of a
+/// correct solver already arrive in non-decreasing cost order, so this only
+/// permutes within tie groups — it makes exhaustive enumeration order
+/// independent of solver internals, so the incremental session and the
+/// from-scratch baseline produce byte-identical reports. (For a bounded
+/// top-k, *which* members of a tie group straddling the `k` boundary are
+/// reported still follows discovery order — deliberately: completing an
+/// arbitrarily large boundary tie group could dwarf the requested work.)
+fn canonicalize(encoding: &MpmcsEncoding, mut solutions: Vec<MpmcsSolution>) -> Vec<MpmcsSolution> {
+    solutions.sort_by(|a, b| {
+        scaled_cost(encoding, a)
+            .cmp(&scaled_cost(encoding, b))
+            .then_with(|| a.cut_set.cmp(&b.cut_set))
+    });
+    solutions
+}
 
 /// How many cut sets to enumerate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,6 +134,95 @@ impl MpmcsSolver {
         tree: &FaultTree,
         limit: EnumerationLimit,
     ) -> Result<Vec<MpmcsSolution>, MpmcsError> {
+        if !limit.allows(0) {
+            // `AtMost(0)`: nothing can be reported — do not even encode the
+            // tree, let alone run the solver.
+            return Ok(Vec::new());
+        }
+        if self.uses_incremental_enumeration() {
+            self.enumerate_incremental(tree, limit, None)
+        } else {
+            self.enumerate_from_scratch(tree, limit)
+        }
+    }
+
+    /// Whether enumeration runs through the persistent incremental session.
+    /// Requires [`MpmcsOptions::incremental`](crate::MpmcsOptions) and an
+    /// algorithm choice the core-guided session can honour — a pure
+    /// linear-SAT–UNSAT request has no incremental counterpart (its unit
+    /// bound assertions cannot be relaxed for the next, costlier optimum),
+    /// so it keeps the per-cut-set pipeline.
+    fn uses_incremental_enumeration(&self) -> bool {
+        use crate::solver::AlgorithmChoice;
+        self.options().incremental && self.options().algorithm != AlgorithmChoice::LinearSu
+    }
+
+    /// The incremental enumeration driver: one encoding, one live solver
+    /// session, blocking clauses pushed between optima. `threshold` stops
+    /// the loop at the first solution whose probability falls below it
+    /// (that solution is not reported).
+    fn enumerate_incremental(
+        &self,
+        tree: &FaultTree,
+        limit: EnumerationLimit,
+        threshold: Option<f64>,
+    ) -> Result<Vec<MpmcsSolution>, MpmcsError> {
+        let setup_start = Instant::now();
+        // Exactly one tree encoding per enumeration call...
+        let encoding = self.encode(tree);
+        // ...and exactly one solver session shared by every cut set.
+        let mut session = PortfolioSolver::sequential().incremental(encoding.instance());
+        // The encoding + session construction is charged to the first
+        // reported solution, mirroring what the from-scratch pipeline spends
+        // inside every per-solution timer.
+        let mut setup = setup_start.elapsed();
+        let mut solutions: Vec<MpmcsSolution> = Vec::new();
+        while limit.allows(solutions.len()) {
+            let start = Instant::now();
+            let result = session.solve();
+            let duration = start.elapsed() + std::mem::take(&mut setup);
+            match result.outcome {
+                MaxSatOutcome::Unsatisfiable => {
+                    // The cut sets are exhausted (or the tree had none).
+                    if solutions.is_empty() {
+                        return Err(MpmcsError::NoCutSet);
+                    }
+                    break;
+                }
+                MaxSatOutcome::Optimum { ref model, .. } => {
+                    let raw_cut = encoding.decode(model);
+                    let cut = verify::minimise(tree, &raw_cut);
+                    let (log_weight, probability) = encoding.cut_probability(&cut);
+                    if self.options().verify {
+                        verify::check_solution(tree, &cut, probability)?;
+                    }
+                    if threshold.is_some_and(|t| probability < t) {
+                        break;
+                    }
+                    session.add_hard(encoding.blocking_clause(&cut));
+                    solutions.push(MpmcsSolution {
+                        cut_set: cut,
+                        probability,
+                        log_weight,
+                        algorithm: result.stats.algorithm.clone(),
+                        stats: result.stats,
+                        duration,
+                    });
+                }
+            }
+        }
+        Ok(canonicalize(&encoding, solutions))
+    }
+
+    /// The historical per-cut-set pipeline: a fresh encoding copy grows
+    /// blocking clauses and every optimum is solved from scratch. Kept as
+    /// the measured baseline of the incremental path (E11) and for the
+    /// equivalence regression tests.
+    fn enumerate_from_scratch(
+        &self,
+        tree: &FaultTree,
+        limit: EnumerationLimit,
+    ) -> Result<Vec<MpmcsSolution>, MpmcsError> {
         let mut encoding = self.encode(tree);
         let mut solutions: Vec<MpmcsSolution> = Vec::new();
         while limit.allows(solutions.len()) {
@@ -106,7 +240,7 @@ impl MpmcsSolver {
                 Err(other) => return Err(other),
             }
         }
-        Ok(solutions)
+        Ok(canonicalize(&encoding, solutions))
     }
 }
 
@@ -128,6 +262,9 @@ impl MpmcsSolver {
         tree: &FaultTree,
         threshold: f64,
     ) -> Result<Vec<MpmcsSolution>, MpmcsError> {
+        if self.uses_incremental_enumeration() {
+            return self.enumerate_incremental(tree, EnumerationLimit::All, Some(threshold));
+        }
         let mut encoding = self.encode(tree);
         let mut solutions: Vec<MpmcsSolution> = Vec::new();
         loop {
@@ -148,7 +285,7 @@ impl MpmcsSolver {
                 Err(other) => return Err(other),
             }
         }
-        Ok(solutions)
+        Ok(canonicalize(&encoding, solutions))
     }
 
     /// Enumerates every minimal cut set whose probability is within a factor
@@ -176,6 +313,7 @@ impl MpmcsSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::solver::{AlgorithmChoice, MpmcsOptions};
     use fault_tree::examples::{fire_protection_system, pressure_tank_system};
     use fault_tree::CutSet;
 
@@ -248,6 +386,140 @@ mod tests {
         let top1 = solver.solve_top_k(&tree, 1).expect("solvable");
         assert_eq!(top1.len(), 1);
         assert_eq!(top1[0].cut_set, single.cut_set);
+    }
+
+    /// `solve_top_k(_, 0)` / `AtMost(0)` return an empty vector without
+    /// running the solver — even on a tree that has no cut set at all (where
+    /// a solver run would report `NoCutSet`).
+    #[test]
+    fn top_zero_returns_empty_without_solving() {
+        let tree = fire_protection_system();
+        let solver = MpmcsSolver::sequential();
+        assert_eq!(solver.solve_top_k(&tree, 0).expect("no work"), Vec::new());
+        assert_eq!(
+            solver
+                .enumerate(&tree, EnumerationLimit::AtMost(0))
+                .expect("no work"),
+            Vec::new()
+        );
+    }
+
+    /// A tree whose cut sets are exhausted mid-enumeration terminates
+    /// cleanly in the incremental path: asking for more than exist returns
+    /// what exists, with every solution verified.
+    #[test]
+    fn exhaustion_mid_enumeration_terminates_cleanly_incrementally() {
+        let tree = pressure_tank_system();
+        let solver = MpmcsSolver::sequential();
+        assert!(solver.options().incremental);
+        // The pressure tank tree has exactly 3 minimal cut sets; ask for 50.
+        let many = solver.solve_top_k(&tree, 50).expect("solvable");
+        assert_eq!(many.len(), 3);
+        for solution in &many {
+            assert!(tree.is_minimal_cut_set(&solution.cut_set));
+        }
+        // Full enumeration agrees.
+        let all = solver
+            .enumerate(&tree, EnumerationLimit::All)
+            .expect("solvable");
+        assert_eq!(all.len(), 3);
+    }
+
+    /// The acceptance check of the incremental refactor: one enumeration
+    /// call reuses a single solver session across all cut sets, which the
+    /// new `session_calls` counter proves — it accumulates over the whole
+    /// session, so it must grow strictly across solutions and its final
+    /// value must equal the sum of the per-stage SAT calls.
+    #[test]
+    fn incremental_enumeration_reuses_one_session() {
+        let tree = fire_protection_system();
+        let solver = MpmcsSolver::sequential();
+        let all = solver
+            .enumerate(&tree, EnumerationLimit::All)
+            .expect("solvable");
+        assert_eq!(all.len(), 5);
+        // The canonical output order may permute equal-cost tie groups, so
+        // compare the per-solution snapshots as a set: one shared session
+        // means strictly distinct, growing cumulative counters.
+        let mut session_calls: Vec<u64> = all.iter().map(|s| s.stats.session_calls).collect();
+        session_calls.sort_unstable();
+        for pair in session_calls.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "session-cumulative SAT calls must grow across cut sets"
+            );
+        }
+        let per_stage_total: u64 = all.iter().map(|s| s.stats.sat_calls).sum();
+        // The last snapshot covers every reported stage (the extra SAT call
+        // discovering exhaustion belongs to the session, not to a solution).
+        let session_total = *session_calls.last().expect("non-empty");
+        assert_eq!(session_total, per_stage_total);
+
+        // The from-scratch baseline, by contrast, restarts the counter for
+        // every cut set.
+        let scratch_solver = MpmcsSolver::with_options(MpmcsOptions {
+            algorithm: AlgorithmChoice::SequentialPortfolio,
+            incremental: false,
+            ..MpmcsOptions::new()
+        });
+        let scratch = scratch_solver
+            .enumerate(&tree, EnumerationLimit::All)
+            .expect("solvable");
+        assert_eq!(scratch.len(), 5);
+        // Both paths report the same cut sets in the same order.
+        for (a, b) in all.iter().zip(&scratch) {
+            assert_eq!(a.cut_set, b.cut_set);
+            assert!((a.probability - b.probability).abs() < 1e-12);
+        }
+    }
+
+    /// An explicit linear-SAT–UNSAT request is honoured by enumeration: it
+    /// has no incremental counterpart, so it keeps the from-scratch pipeline
+    /// and its own algorithm tag instead of being silently rerouted to the
+    /// core-guided session.
+    #[test]
+    fn linear_su_enumeration_keeps_the_linear_algorithm() {
+        let tree = fire_protection_system();
+        let solver = MpmcsSolver::with_options(MpmcsOptions {
+            algorithm: AlgorithmChoice::LinearSu,
+            ..MpmcsOptions::new()
+        });
+        let top2 = solver.solve_top_k(&tree, 2).expect("solvable");
+        assert_eq!(top2.len(), 2);
+        assert!(
+            top2.iter().all(|s| s.algorithm.starts_with("linear-su")),
+            "{:?}",
+            top2.iter().map(|s| s.algorithm.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    /// Incremental and from-scratch enumeration agree on every generated
+    /// family tree (cut sets, order, probabilities).
+    #[test]
+    fn incremental_enumeration_matches_from_scratch_on_generated_trees() {
+        use ft_generators::Family;
+        for (family, seed) in [
+            (Family::RandomMixed, 11),
+            (Family::OrHeavy, 12),
+            (Family::AndHeavy, 13),
+        ] {
+            let tree = family.generate(60, seed);
+            let incremental = MpmcsSolver::sequential()
+                .solve_top_k(&tree, 8)
+                .expect("solvable");
+            let scratch = MpmcsSolver::with_options(MpmcsOptions {
+                algorithm: AlgorithmChoice::SequentialPortfolio,
+                incremental: false,
+                ..MpmcsOptions::new()
+            })
+            .solve_top_k(&tree, 8)
+            .expect("solvable");
+            assert_eq!(incremental.len(), scratch.len(), "{}", family.name());
+            for (a, b) in incremental.iter().zip(&scratch) {
+                assert_eq!(a.cut_set, b.cut_set, "{}", family.name());
+                assert!((a.probability - b.probability).abs() < 1e-12);
+            }
+        }
     }
 }
 

@@ -56,5 +56,5 @@ pub use encode::{EncodingStyle, MpmcsEncoding, WeightScale};
 pub use enumerate::EnumerationLimit;
 pub use error::MpmcsError;
 pub use pathset::PathSetSolution;
-pub use report::{MpmcsReport, ReportEvent};
+pub use report::{MpmcsReport, ReportEvent, SolverStatsReport};
 pub use solver::{AlgorithmChoice, MpmcsOptions, MpmcsSolution, MpmcsSolver};

@@ -22,6 +22,43 @@ serde::impl_serde_struct!(ReportEvent {
     log_weight
 });
 
+/// Detailed solver statistics for one reported cut set, emitted when the
+/// caller opts in (CLI `--stats`). For incremental enumeration these are
+/// per-stage figures: the work spent on *this* cut set, plus the
+/// session-cumulative call counter proving the session is shared.
+///
+/// Like the timing fields, this block is excluded from deterministic report
+/// comparisons (the `ft-batch` redaction helpers strip it) — solver work
+/// counters are an implementation detail, not part of the answer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolverStatsReport {
+    /// SAT calls spent on this cut set.
+    pub sat_calls: u64,
+    /// Conflicts encountered by the CDCL search.
+    pub conflicts: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses carried into warm-started SAT calls instead of being
+    /// re-derived. Counts every call after a solver's first, so a from-
+    /// scratch MaxSAT run reports its *within-run* reuse; only the
+    /// incremental session additionally reuses state *across* cut sets
+    /// (visible through `session_calls`).
+    pub learnt_reused: u64,
+    /// Cumulative SAT calls of the owning solver session after this cut set.
+    pub session_calls: u64,
+}
+
+serde::impl_serde_struct!(SolverStatsReport {
+    sat_calls,
+    conflicts,
+    propagations,
+    restarts,
+    learnt_reused,
+    session_calls
+});
+
 /// A serialisable MPMCS analysis report.
 ///
 /// The original tool emits a JSON file that a browser front-end renders; this
@@ -47,6 +84,9 @@ pub struct MpmcsReport {
     pub solve_time_ms: f64,
     /// Number of SAT calls performed by the MaxSAT search.
     pub sat_calls: u64,
+    /// Detailed solver statistics, present only when requested
+    /// ([`MpmcsReport::with_stats`], CLI `--stats`).
+    pub solver_stats: Option<SolverStatsReport>,
 }
 
 serde::impl_serde_struct!(MpmcsReport {
@@ -59,7 +99,7 @@ serde::impl_serde_struct!(MpmcsReport {
     algorithm,
     solve_time_ms,
     sat_calls,
-});
+} optional { solver_stats });
 
 impl MpmcsReport {
     /// Builds a report from a solution.
@@ -85,7 +125,24 @@ impl MpmcsReport {
             algorithm: solution.algorithm.clone(),
             solve_time_ms: solution.duration.as_secs_f64() * 1e3,
             sat_calls: solution.stats.sat_calls,
+            solver_stats: None,
         }
+    }
+
+    /// Builds a report carrying the detailed solver statistics block
+    /// (conflicts, propagations, restarts, learnt-clause reuse, session
+    /// counters) alongside the analysis content.
+    pub fn with_stats(tree: &FaultTree, solution: &MpmcsSolution) -> Self {
+        let mut report = MpmcsReport::new(tree, solution);
+        report.solver_stats = Some(SolverStatsReport {
+            sat_calls: solution.stats.sat_calls,
+            conflicts: solution.stats.conflicts,
+            propagations: solution.stats.propagations,
+            restarts: solution.stats.restarts,
+            learnt_reused: solution.stats.learnt_reused,
+            session_calls: solution.stats.session_calls,
+        });
+        report
     }
 
     /// Renders the report as pretty-printed JSON.
@@ -113,6 +170,25 @@ mod tests {
         assert_eq!(report.mpmcs[1].name, "x2");
         assert!((report.probability - 0.02).abs() < 1e-9);
         assert!(report.sat_calls > 0);
+        assert!(report.solver_stats.is_none(), "stats are opt-in");
+    }
+
+    #[test]
+    fn with_stats_carries_the_solver_statistics_block() {
+        let tree = fire_protection_system();
+        let solution = MpmcsSolver::sequential().solve(&tree).expect("solvable");
+        let report = MpmcsReport::with_stats(&tree, &solution);
+        let stats = report.solver_stats.as_ref().expect("stats requested");
+        assert_eq!(stats.sat_calls, report.sat_calls);
+        assert!(stats.propagations > 0);
+        let json = report.to_json();
+        assert!(json.contains("solver_stats"));
+        assert!(json.contains("propagations"));
+        let back: MpmcsReport = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(back.solver_stats, report.solver_stats);
+        // Plain reports omit the block entirely from the JSON.
+        let plain = MpmcsReport::new(&tree, &solution).to_json();
+        assert!(!plain.contains("solver_stats"));
     }
 
     #[test]

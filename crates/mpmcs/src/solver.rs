@@ -37,17 +37,33 @@ pub struct MpmcsOptions {
     pub scale: WeightScale,
     /// Verify every answer against the fault tree (cheap, enabled by default).
     pub verify: bool,
+    /// Drive enumeration (`solve_top_k` / `enumerate` / `enumerate_above`)
+    /// through one persistent incremental solver session: the tree is encoded
+    /// once and blocking clauses are pushed into the live session, which
+    /// keeps learnt clauses, activities and phases across cut sets. Disable
+    /// to fall back to the historical from-scratch pipeline per cut set
+    /// (used as the baseline by the E11 study and the equivalence tests).
+    /// An explicit [`AlgorithmChoice::LinearSu`] request also keeps the
+    /// from-scratch pipeline — the linear algorithm's permanent unit bound
+    /// assertions have no incremental counterpart. All other algorithm
+    /// choices enumerate through the deterministic core-guided session
+    /// (the portfolio's incremental mode), so per-cut-set reports carry the
+    /// `"oll"` algorithm tag rather than a portfolio race's: incremental
+    /// reuse and a wall-clock race over fresh solvers are mutually
+    /// exclusive by construction.
+    pub incremental: bool,
 }
 
 impl MpmcsOptions {
     /// The default options: parallel portfolio, direct encoding, default
-    /// weight scale, verification enabled.
+    /// weight scale, verification enabled, incremental enumeration.
     pub fn new() -> Self {
         MpmcsOptions {
             algorithm: AlgorithmChoice::Portfolio,
             encoding: EncodingStyle::Direct,
             scale: WeightScale::default(),
             verify: true,
+            incremental: true,
         }
     }
 }

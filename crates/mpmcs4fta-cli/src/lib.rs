@@ -109,6 +109,10 @@ OPTIONS:
     --top-k <N>                 Report the N most probable minimal cut sets
                                 (per tree in batch mode)
     --all                       Report every minimal cut set (single-tree only)
+    --stats                     Include detailed solver statistics (conflicts,
+                                propagations, restarts, learnt-clause reuse
+                                across incremental calls) in the JSON report
+                                (mpmcs analysis and batch mode)
     --output <FILE>             Write the JSON report to FILE instead of stdout
     --quiet                     Suppress the human-readable summary on stderr
 
@@ -210,6 +214,9 @@ pub struct CliOptions {
     pub jobs: usize,
     /// Compute per-tree importance tables in batch mode.
     pub importance: bool,
+    /// Include detailed solver statistics in the JSON report (kept out of
+    /// the deterministic batch rendering, like timings).
+    pub stats: bool,
 }
 
 /// Parses command line arguments (excluding the program name).
@@ -240,6 +247,7 @@ where
     let mut jobs = 0usize;
     let mut jobs_given = false;
     let mut importance = false;
+    let mut stats = false;
 
     let args: Vec<String> = args.into_iter().map(Into::into).collect();
     let mut i = 0;
@@ -264,6 +272,7 @@ where
                     quiet,
                     jobs,
                     importance,
+                    stats,
                 })
             }
             "--format" => {
@@ -310,6 +319,7 @@ where
                 })?
             }
             "--importance" => importance = true,
+            "--stats" => stats = true,
             "--example" => input = Some(InputSource::Example(value("--example")?)),
             "--generate" => {
                 generate =
@@ -381,6 +391,11 @@ where
                     "--importance only applies to --batch mode; use --analysis importance for one tree",
                 ));
             }
+            if stats && analysis != AnalysisKind::Mpmcs {
+                return Err(usage(
+                    "--stats only applies to the mpmcs analysis and to --batch mode",
+                ));
+            }
             if let (InputSource::File { format: slot, .. }, Some(forced)) = (&mut input, format) {
                 *slot = Some(forced);
             }
@@ -398,6 +413,7 @@ where
         quiet,
         jobs,
         importance,
+        stats,
     })
 }
 
@@ -493,6 +509,7 @@ fn run_batch_mode(
             .algorithm
             .unwrap_or(AlgorithmChoice::SequentialPortfolio),
         importance: options.importance,
+        stats: options.stats,
     };
     let report = run_batch(&manifest, &config);
     Ok((report.to_json(), report.render_text()))
@@ -527,7 +544,13 @@ fn run_mpmcs(options: &CliOptions, tree: &FaultTree) -> Result<(String, String),
     };
     let reports: Vec<MpmcsReport> = solutions
         .iter()
-        .map(|solution| MpmcsReport::new(tree, solution))
+        .map(|solution| {
+            if options.stats {
+                MpmcsReport::with_stats(tree, solution)
+            } else {
+                MpmcsReport::new(tree, solution)
+            }
+        })
         .collect();
     let json = if reports.len() == 1 {
         reports[0].to_json()
@@ -774,6 +797,75 @@ mod tests {
             parse_args(["--unknown", "x.json"]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn stats_flag_adds_solver_statistics_to_the_report() {
+        let options = parse_args([
+            "--example",
+            "fps",
+            "--algorithm",
+            "sequential",
+            "--stats",
+            "--quiet",
+        ])
+        .unwrap();
+        assert!(options.stats);
+        let (json, _) = run(&options).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let stats = &parsed["solver_stats"];
+        assert!(stats["propagations"].as_u64().unwrap() > 0);
+        assert!(stats["sat_calls"].as_u64().unwrap() > 0);
+        // Without the flag the block is absent.
+        let options =
+            parse_args(["--example", "fps", "--algorithm", "sequential", "--quiet"]).unwrap();
+        let (json, _) = run(&options).unwrap();
+        assert!(!json.contains("solver_stats"));
+        // Enumeration reports carry per-stage stats plus the growing
+        // session-cumulative counter of the shared incremental session.
+        let options = parse_args([
+            "--example",
+            "fps",
+            "--algorithm",
+            "sequential",
+            "--top-k",
+            "3",
+            "--stats",
+            "--quiet",
+        ])
+        .unwrap();
+        let (json, _) = run(&options).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let reports = parsed.as_array().unwrap();
+        assert_eq!(reports.len(), 3);
+        let session_calls: Vec<u64> = reports
+            .iter()
+            .map(|r| r["solver_stats"]["session_calls"].as_u64().unwrap())
+            .collect();
+        assert!(session_calls.windows(2).all(|w| w[0] < w[1]));
+        // --stats is rejected where it cannot apply.
+        assert!(matches!(
+            parse_args(["--example", "fps", "--analysis", "ascii", "--stats"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn stats_flag_flows_into_batch_reports() {
+        let dir = std::env::temp_dir().join(format!("mpmcs4fta_cli_stats_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("and.dft"),
+            "toplevel top;\ntop and a b;\na prob=0.5;\nb prob=0.25;\n",
+        )
+        .unwrap();
+        let options = parse_args(["--batch", dir.to_str().unwrap(), "--stats", "--quiet"]).unwrap();
+        let (json, _) = run(&options).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let stats = &parsed["results"][0]["cut_sets"][0]["solver_stats"];
+        assert!(stats["propagations"].as_u64().unwrap() > 0);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

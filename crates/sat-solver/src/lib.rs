@@ -13,6 +13,10 @@
 //!   learning, VSIDS branching, phase saving, Luby restarts, learnt-clause
 //!   database reduction, and **solving under assumptions** with final-core
 //!   extraction (needed by the core-guided MaxSAT algorithms).
+//! * [`Session`] — a persistent incremental solving session: new clauses and
+//!   fresh variables between solve calls, learnt clauses / activities /
+//!   phases retained, per-call statistics deltas. The MaxSAT layer and the
+//!   cut-set enumeration loop are built on it.
 //!
 //! # Example
 //!
@@ -40,6 +44,7 @@ mod expr;
 mod heap;
 mod lit;
 pub mod preprocess;
+mod session;
 mod solver;
 mod stats;
 pub mod tseitin;
@@ -51,5 +56,6 @@ pub use lit::{LBool, Lit, Var};
 pub use preprocess::{
     preprocess, preprocess_with, PreprocessConfig, PreprocessResult, PreprocessStats,
 };
+pub use session::Session;
 pub use solver::{Model, SolveResult, Solver, SolverConfig};
 pub use stats::SolverStats;

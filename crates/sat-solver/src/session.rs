@@ -1,0 +1,280 @@
+//! Persistent incremental solving sessions — see [`Session`].
+
+use crate::cnf::CnfFormula;
+use crate::lit::{Lit, Var};
+use crate::solver::{Model, SolveResult, Solver, SolverConfig};
+use crate::stats::SolverStats;
+
+/// A persistent incremental solving session.
+///
+/// A `Session` owns a [`Solver`] across a *sequence* of related solve calls.
+/// Between calls the caller may allocate fresh variables and add new
+/// clauses; the session retains everything the search has paid for so far —
+/// learnt clauses, VSIDS variable activities and saved phases — so that
+/// later calls start warm instead of re-deriving the same lemmas from
+/// scratch.
+///
+/// The contract is the standard incremental-SAT one:
+///
+/// * the solver is always at **decision level 0** between calls (every solve
+///   backtracks fully before returning), so clause addition needs no
+///   explicit backtracking step;
+/// * added clauses only ever *strengthen* the formula — there is no clause
+///   removal API, which is exactly the shape of blocking-clause enumeration
+///   and core-guided MaxSAT reformulation;
+/// * per-call work is observable through [`Session::stats_delta`], and the
+///   amount of state carried between calls through the
+///   [`SolverStats::incremental_calls`] / [`SolverStats::learnt_reused`]
+///   counters.
+///
+/// # Example
+///
+/// ```rust
+/// use sat_solver::{Lit, Session, SolveResult, Var};
+///
+/// let mut session = Session::new();
+/// let a = session.new_var();
+/// let b = session.new_var();
+/// session.add_clause([Lit::positive(a), Lit::positive(b)]);
+/// assert!(session.solve().is_sat());
+/// // Strengthen the formula between calls; learnt state is kept.
+/// session.add_clause([Lit::negative(a)]);
+/// match session.solve() {
+///     SolveResult::Sat(model) => assert!(model.value(b)),
+///     SolveResult::Unsat => unreachable!(),
+/// }
+/// assert_eq!(session.calls(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct Session {
+    solver: Solver,
+    checkpoint: SolverStats,
+}
+
+impl Session {
+    /// Creates a session over a fresh solver with the default configuration.
+    pub fn new() -> Self {
+        Session::with_config(SolverConfig::default())
+    }
+
+    /// Creates a session over a fresh solver with an explicit configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        Session {
+            solver: Solver::with_config(config),
+            checkpoint: SolverStats::default(),
+        }
+    }
+
+    /// Creates a session preloaded with the clauses of `cnf`.
+    pub fn from_cnf(cnf: &CnfFormula) -> Self {
+        let mut session = Session::new();
+        session.add_cnf(cnf);
+        session
+    }
+
+    /// Number of variables known to the session.
+    pub fn num_vars(&self) -> usize {
+        self.solver.num_vars()
+    }
+
+    /// Allocates a fresh variable, usable by all subsequent clauses and
+    /// assumptions.
+    pub fn new_var(&mut self) -> Var {
+        self.solver.new_var()
+    }
+
+    /// Ensures variables `0..n` exist.
+    pub fn ensure_vars(&mut self, n: usize) {
+        self.solver.ensure_vars(n);
+    }
+
+    /// Adds a clause between solve calls (the session is at decision level 0,
+    /// so the addition is immediately sound). Returns `false` once the clause
+    /// database is unsatisfiable at the top level.
+    pub fn add_clause<I>(&mut self, lits: I) -> bool
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        self.solver.add_clause(lits)
+    }
+
+    /// Adds all clauses of a CNF formula.
+    pub fn add_cnf(&mut self, cnf: &CnfFormula) {
+        self.solver.add_cnf(cnf);
+    }
+
+    /// Solves the current clause database, retaining learnt clauses,
+    /// activities and phases for the next call.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solver.solve()
+    }
+
+    /// Solves under assumptions; on UNSAT, [`Session::unsat_core`] holds the
+    /// final conflict. State is retained for the next call either way.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solver.solve_with_assumptions(assumptions)
+    }
+
+    /// The final conflict of the last failed assumption-based call: a subset
+    /// of the assumptions that is jointly unsatisfiable with the clauses.
+    pub fn unsat_core(&self) -> &[Lit] {
+        self.solver.unsat_core()
+    }
+
+    /// The model of the last successful solve call, if any.
+    pub fn last_model(&self) -> Option<&Model> {
+        self.solver.last_model()
+    }
+
+    /// `false` once the clause database has been proven unsatisfiable at the
+    /// top level (the session then answers UNSAT forever).
+    pub fn is_ok(&self) -> bool {
+        self.solver.is_ok()
+    }
+
+    /// Cumulative statistics over the whole session.
+    pub fn stats(&self) -> &SolverStats {
+        self.solver.stats()
+    }
+
+    /// Number of solve calls issued so far.
+    pub fn calls(&self) -> u64 {
+        self.solver.stats().solve_calls
+    }
+
+    /// The counters accumulated since the previous `stats_delta` call (or
+    /// since the session started), for per-stage reporting.
+    pub fn stats_delta(&mut self) -> SolverStats {
+        let delta = self.solver.stats().delta_since(&self.checkpoint);
+        self.checkpoint = *self.solver.stats();
+        delta
+    }
+
+    /// Mutable access to the underlying solver, for encoding builders
+    /// (totalizers, generalized totalizers) that allocate fresh variables and
+    /// clauses in place between solve calls.
+    pub fn solver_mut(&mut self) -> &mut Solver {
+        &mut self.solver
+    }
+
+    /// Read access to the underlying solver.
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(i: usize) -> Lit {
+        Lit::positive(Var::from_index(i))
+    }
+    fn neg(i: usize) -> Lit {
+        Lit::negative(Var::from_index(i))
+    }
+
+    #[test]
+    fn session_retains_state_between_calls() {
+        let mut s = Session::new();
+        s.ensure_vars(3);
+        s.add_clause([pos(0), pos(1), pos(2)]);
+        assert!(s.solve().is_sat());
+        s.add_clause([neg(0)]);
+        s.add_clause([neg(1)]);
+        match s.solve() {
+            SolveResult::Sat(m) => assert!(m.value(Var::from_index(2))),
+            SolveResult::Unsat => panic!("expected SAT"),
+        }
+        assert_eq!(s.calls(), 2);
+        assert_eq!(s.stats().incremental_calls, 1);
+    }
+
+    /// Regression test: assumptions and final unsat cores stay correct after
+    /// interleaved incremental clause additions (the access pattern of the
+    /// incremental OLL MaxSAT session).
+    #[test]
+    fn assumptions_and_cores_survive_interleaved_clause_additions() {
+        let mut s = Session::new();
+        s.ensure_vars(4);
+        s.add_clause([pos(0), pos(1)]);
+        // Assuming both disjuncts false is a contradiction...
+        let unsat = s.solve_with_assumptions(&[neg(0), neg(1)]);
+        assert_eq!(unsat, SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(!core.is_empty());
+        assert!(core.iter().all(|l| *l == neg(0) || *l == neg(1)));
+        // ...but the session stays usable.
+        assert!(s.is_ok());
+        assert!(s.solve().is_sat());
+
+        // Interleave: add an implication, then query under assumptions that
+        // contradict it.
+        s.add_clause([neg(0), pos(2)]);
+        let unsat = s.solve_with_assumptions(&[pos(0), neg(2)]);
+        assert_eq!(unsat, SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(!core.is_empty());
+        assert!(core.iter().all(|l| *l == pos(0) || *l == neg(2)));
+
+        // Interleave again: force x1 false so (x0 ∨ x1) now implies x0; the
+        // assumption ¬x0 must fail with a core naming exactly that assumption.
+        s.add_clause([neg(1)]);
+        let unsat = s.solve_with_assumptions(&[neg(0)]);
+        assert_eq!(unsat, SolveResult::Unsat);
+        assert_eq!(s.unsat_core(), &[neg(0)]);
+
+        // SAT queries still work and respect everything added so far.
+        match s.solve() {
+            SolveResult::Sat(m) => {
+                assert!(m.value(Var::from_index(0)));
+                assert!(!m.value(Var::from_index(1)));
+                assert!(m.value(Var::from_index(2)));
+            }
+            SolveResult::Unsat => panic!("expected SAT"),
+        }
+        assert!(s.stats().incremental_calls >= 4);
+    }
+
+    #[test]
+    fn stats_delta_reports_per_call_work() {
+        let mut s = Session::new();
+        s.ensure_vars(6);
+        for i in 0..5 {
+            s.add_clause([neg(i), pos(i + 1)]);
+        }
+        s.add_clause([pos(0)]);
+        assert!(s.solve().is_sat());
+        let first = s.stats_delta();
+        assert_eq!(first.solve_calls, 1);
+        assert!(first.propagations > 0);
+        // A second, trivial call does less new work than the session total.
+        assert!(s.solve().is_sat());
+        let second = s.stats_delta();
+        assert_eq!(second.solve_calls, 1);
+        assert!(second.propagations <= s.stats().propagations);
+    }
+
+    #[test]
+    fn learnt_clauses_are_counted_as_reused_on_warm_starts() {
+        // A pigeonhole-style core forces real conflict-driven learning, so
+        // the second call starts with a non-empty learnt database.
+        let mut s = Session::new();
+        let var = |i: usize, j: usize| Var::from_index(i * 3 + j);
+        s.ensure_vars(12);
+        for i in 0..4 {
+            s.add_clause((0..3).map(|j| Lit::positive(var(i, j))));
+        }
+        for j in 0..3 {
+            for i1 in 0..4 {
+                for i2 in (i1 + 1)..4 {
+                    s.add_clause([Lit::negative(var(i1, j)), Lit::negative(var(i2, j))]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.solver().num_learnt() > 0);
+        let _ = s.solve();
+        assert!(s.stats().learnt_reused > 0);
+    }
+}

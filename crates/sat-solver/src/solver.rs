@@ -221,6 +221,12 @@ impl Solver {
         self.db.len()
     }
 
+    /// Number of learnt clauses currently alive in the database — the state
+    /// an incremental session carries between solve calls.
+    pub fn num_learnt(&self) -> usize {
+        self.db.num_learnt
+    }
+
     /// Search statistics accumulated so far.
     pub fn stats(&self) -> &SolverStats {
         &self.stats
@@ -772,6 +778,12 @@ impl Solver {
     /// returns a subset of the assumptions that is already unsatisfiable
     /// together with the clause database (the *final conflict*).
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if self.stats.solve_calls > 0 {
+            // A warm start: every learnt clause still alive was derived by an
+            // earlier call and is reused instead of re-derived.
+            self.stats.incremental_calls += 1;
+            self.stats.learnt_reused += self.db.num_learnt as u64;
+        }
         self.stats.solve_calls += 1;
         self.unsat_core.clear();
         self.last_model = None;

@@ -1,0 +1,151 @@
+//! Regression suite for the incremental enumeration refactor: driving the
+//! top-k / all-MCS enumeration through one persistent solver session must
+//! produce **byte-identical** JSON reports — modulo wall-clock timings and
+//! solver-effort statistics — to the historical from-scratch pipeline, on
+//! every bundled model file under `examples/trees/`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use fault_tree::parser::{galileo, json};
+use fault_tree::FaultTree;
+use mpmcs::{AlgorithmChoice, EnumerationLimit, MpmcsOptions, MpmcsReport, MpmcsSolver};
+
+fn bundled_trees() -> Vec<(String, FaultTree)> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/trees");
+    let mut paths: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("examples/trees/ ships with the repository")
+        .map(|entry| entry.expect("readable directory entry").path())
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "examples/trees/ must not be empty");
+    paths
+        .into_iter()
+        .map(|path| {
+            let text = fs::read_to_string(&path).expect("readable model file");
+            let tree = if path.extension().and_then(|e| e.to_str()) == Some("json") {
+                json::from_json_str(&text).expect("valid JSON model")
+            } else {
+                galileo::parse_galileo(&text).expect("valid Galileo model")
+            };
+            (
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+                tree,
+            )
+        })
+        .collect()
+}
+
+fn solver(incremental: bool) -> MpmcsSolver {
+    // The OLL algorithm choice gives both paths the same algorithm tag; the
+    // incremental session is OLL-backed, and the from-scratch path runs the
+    // plain OLL solver per cut set.
+    MpmcsSolver::with_options(MpmcsOptions {
+        algorithm: AlgorithmChoice::Oll,
+        incremental,
+        ..MpmcsOptions::new()
+    })
+}
+
+/// Serialises the reports and normalises the fields that legitimately differ
+/// between the two paths: wall-clock timings (`*_ms`) and solver-effort
+/// statistics (`sat_calls`, `solver_stats`). Everything else — tree summary,
+/// cut sets, probabilities, log weights, algorithm, order — must match byte
+/// for byte.
+fn normalized_json(reports: &[MpmcsReport]) -> String {
+    fn zero_sat_calls(value: &serde::Value) -> serde::Value {
+        match value {
+            serde::Value::Object(map) => serde::Value::Object(
+                map.iter()
+                    .map(|(key, entry)| {
+                        let entry = if key == "sat_calls" {
+                            serde::Value::Number(serde::Number::from_i128(0))
+                        } else {
+                            zero_sat_calls(entry)
+                        };
+                        (key.to_string(), entry)
+                    })
+                    .collect(),
+            ),
+            serde::Value::Array(elements) => {
+                serde::Value::Array(elements.iter().map(zero_sat_calls).collect())
+            }
+            other => other.clone(),
+        }
+    }
+    let value = serde_json::to_value(&reports.to_vec());
+    let value = ft_batch::redact_timings(&ft_batch::redact_solver_stats(&value));
+    serde_json::to_string_pretty(&zero_sat_calls(&value)).expect("reports always serialise")
+}
+
+fn reports_for(tree: &FaultTree, solutions: &[mpmcs::MpmcsSolution]) -> Vec<MpmcsReport> {
+    solutions
+        .iter()
+        .map(|solution| MpmcsReport::with_stats(tree, solution))
+        .collect()
+}
+
+#[test]
+fn incremental_enumeration_reports_match_from_scratch_on_all_bundled_trees() {
+    for (name, tree) in bundled_trees() {
+        let incremental = solver(true)
+            .enumerate(&tree, EnumerationLimit::All)
+            .unwrap_or_else(|e| panic!("{name}: incremental enumeration failed: {e}"));
+        let scratch = solver(false)
+            .enumerate(&tree, EnumerationLimit::All)
+            .unwrap_or_else(|e| panic!("{name}: from-scratch enumeration failed: {e}"));
+        assert!(!incremental.is_empty(), "{name}: no cut sets reported");
+        assert_eq!(
+            normalized_json(&reports_for(&tree, &incremental)),
+            normalized_json(&reports_for(&tree, &scratch)),
+            "{name}: full enumeration reports diverged"
+        );
+    }
+}
+
+#[test]
+fn incremental_top_k_reports_match_from_scratch_on_all_bundled_trees() {
+    for (name, tree) in bundled_trees() {
+        for k in [1, 3] {
+            let incremental = solver(true)
+                .solve_top_k(&tree, k)
+                .unwrap_or_else(|e| panic!("{name}: incremental top-{k} failed: {e}"));
+            let scratch = solver(false)
+                .solve_top_k(&tree, k)
+                .unwrap_or_else(|e| panic!("{name}: from-scratch top-{k} failed: {e}"));
+            assert_eq!(
+                normalized_json(&reports_for(&tree, &incremental)),
+                normalized_json(&reports_for(&tree, &scratch)),
+                "{name}: top-{k} reports diverged"
+            );
+        }
+    }
+}
+
+/// The per-stage statistics of the incremental path must prove the session
+/// is shared: the cumulative session counter grows strictly across stages,
+/// while the from-scratch baseline restarts it for every cut set.
+#[test]
+fn session_counters_distinguish_incremental_from_scratch() {
+    let (_, tree) = bundled_trees().remove(0);
+    let incremental = solver(true)
+        .enumerate(&tree, EnumerationLimit::All)
+        .expect("solvable");
+    // The canonical tie ordering may permute solutions within equal-cost
+    // groups, so compare the counters as a set: they must all be distinct
+    // snapshots of one strictly growing session counter.
+    let mut session_calls: Vec<u64> = incremental.iter().map(|s| s.stats.session_calls).collect();
+    session_calls.sort_unstable();
+    for pair in session_calls.windows(2) {
+        assert!(
+            pair[0] < pair[1],
+            "one shared session implies distinct snapshots"
+        );
+    }
+    let scratch = solver(false)
+        .enumerate(&tree, EnumerationLimit::All)
+        .expect("solvable");
+    for solution in &scratch {
+        assert_eq!(solution.stats.session_calls, solution.stats.sat_calls);
+    }
+}
