@@ -22,6 +22,28 @@ pub enum VariableOrdering {
     DepthFirst,
 }
 
+impl VariableOrdering {
+    /// The stable command-line name of the ordering (`"natural"` /
+    /// `"depth-first"`), as accepted by [`VariableOrdering::parse`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            VariableOrdering::Natural => "natural",
+            VariableOrdering::DepthFirst => "depth-first",
+        }
+    }
+
+    /// Parses a command-line ordering name. Accepts the canonical names from
+    /// [`VariableOrdering::name`] plus common aliases (`"dfs"`,
+    /// `"declaration"`).
+    pub fn parse(name: &str) -> Option<VariableOrdering> {
+        match name {
+            "natural" | "declaration" => Some(VariableOrdering::Natural),
+            "depth-first" | "dfs" => Some(VariableOrdering::DepthFirst),
+            _ => None,
+        }
+    }
+}
+
 /// A fault tree compiled to a BDD.
 #[derive(Clone, Debug)]
 pub struct CompiledTree {

@@ -1,0 +1,56 @@
+//! E12 — the same MPMCS / top-k queries answered by every analysis backend
+//! (MaxSAT, BDD, MOCUS) through the unified `ft-backend` layer, with the
+//! modular divide-and-conquer preprocessing off and on. All configurations
+//! return identical cut sets; the contrast is pure engine cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ft_backend::{backend_for, BackendConfig, BackendKind};
+use ft_generators::Family;
+
+fn bench_backend_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_comparison");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    const K: usize = 5;
+    // Sizes stay in the band where every engine is exact and in budget —
+    // the raw BDD true-path enumeration explodes past ~100 nodes on the
+    // random-mixed family (see the E12 notes in `experiments.rs`).
+    for family in [Family::RandomMixed, Family::SharedDag] {
+        for size in [50usize, 80] {
+            let tree = family.generate(size, 2020);
+            for backend in [BackendKind::MaxSat, BackendKind::Bdd, BackendKind::Mocus] {
+                for (tag, preprocess) in [("raw", false), ("modules", true)] {
+                    let config = BackendConfig {
+                        preprocess,
+                        ..BackendConfig::default()
+                    };
+                    let (_, engine) = backend_for(backend, &tree, &config);
+                    group.bench_with_input(
+                        BenchmarkId::from_parameter(format!(
+                            "{}-{size}-{}-{tag}",
+                            family.name(),
+                            backend.name()
+                        )),
+                        &K,
+                        |b, &k| {
+                            b.iter(|| {
+                                black_box(
+                                    engine
+                                        .top_k(black_box(&tree), k)
+                                        .expect("generated trees have cut sets"),
+                                )
+                            });
+                        },
+                    );
+                }
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backend_comparison);
+criterion_main!(benches);

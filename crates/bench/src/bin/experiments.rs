@@ -1,6 +1,6 @@
 //! Prints the tables and series of the paper's evaluation (experiments E1–E7
 //! of `DESIGN.md`), plus the post-paper scaling experiments (E10 batch
-//! workers, E11 incremental enumeration).
+//! workers, E11 incremental enumeration, E12 cross-backend comparison).
 //!
 //! ```text
 //! cargo run --release -p ft-bench --bin experiments -- all
@@ -11,16 +11,17 @@
 use std::process::ExitCode;
 
 use ft_bench::{
-    baselines, batch_scaling, encodings, enumeration_scaling, extended_baselines,
-    extended_measures, fig2, portfolio, scalability, table1, voting, BASELINE_SIZES,
-    SCALABILITY_SIZES,
+    backend_comparison, baselines, batch_scaling, encodings, enumeration_scaling,
+    extended_baselines, extended_measures, fig2, portfolio, scalability, table1, voting,
+    BASELINE_SIZES, SCALABILITY_SIZES,
 };
 
 const SEED: u64 = 2020;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    // `--smoke` is the CI alias for `--quick` (small sizes, same assertions).
+    let quick = args.iter().any(|a| a == "--quick" || a == "--smoke");
     let mut selected: Vec<&str> = args
         .iter()
         .map(String::as_str)
@@ -39,6 +40,7 @@ fn main() -> ExitCode {
             "measures",
             "batch-scaling",
             "enumeration-scaling",
+            "backend-comparison",
         ];
     }
 
@@ -90,9 +92,22 @@ fn main() -> ExitCode {
                     enumeration_scaling(&[100, 250], 18, SEED)
                 }
             }
+            "backend-comparison" => {
+                // Classical engines enumerate every cut set, so the sweep
+                // stays in the size band where all three backends are exact
+                // and in budget: past ~100 nodes the raw BDD true-path
+                // enumeration on the random-mixed family exceeds any
+                // reasonable path budget (which is the paper's very point —
+                // only the MaxSAT pipeline scales past it, measured by E3).
+                if quick {
+                    backend_comparison(&[40, 80], SEED)
+                } else {
+                    backend_comparison(&[40, 60, 80], SEED)
+                }
+            }
             other => {
                 eprintln!(
-                    "unknown experiment {other:?}; available: table1 fig2 scalability portfolio baselines encodings voting extended-baselines measures batch-scaling enumeration-scaling all"
+                    "unknown experiment {other:?}; available: table1 fig2 scalability portfolio baselines encodings voting extended-baselines measures batch-scaling enumeration-scaling backend-comparison all"
                 );
                 return ExitCode::from(2);
             }

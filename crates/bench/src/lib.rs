@@ -14,10 +14,11 @@
 
 use std::time::{Duration, Instant};
 
-use bdd_engine::McsEnumeration;
+use bdd_engine::{McsEnumeration, VariableOrdering};
 use fault_tree::examples::fire_protection_system;
 use fault_tree::{FaultTree, StructuralAnalysis};
 use ft_analysis::mocus::Mocus;
+use ft_backend::{backend_for, BackendConfig, BackendKind};
 use ft_generators::Family;
 use mpmcs::{AlgorithmChoice, EncodingStyle, MpmcsOptions, MpmcsReport, MpmcsSolver, WeightScale};
 
@@ -735,6 +736,197 @@ pub fn enumeration_scaling(sizes: &[usize], k: usize, seed: u64) -> String {
         ));
     }
     out
+}
+
+/// One row of the E12 cross-backend comparison: one backend answering one
+/// query on one generated tree, with the modular preprocessing pass on or
+/// off.
+#[derive(Clone, Debug)]
+pub struct BackendComparisonRow {
+    /// Structural family name.
+    pub family: &'static str,
+    /// Target total node count.
+    pub target_nodes: usize,
+    /// The engine that answered.
+    pub backend: BackendKind,
+    /// Whether the modular divide-and-conquer pass was in front.
+    pub preprocess: bool,
+    /// Wall time of the MPMCS query.
+    pub mpmcs_time: Duration,
+    /// Wall time of the top-k enumeration query.
+    pub top_k_time: Duration,
+    /// Cut sets found by the top-k query.
+    pub found: usize,
+    /// Probability of the MPMCS (must agree across every row of a tree).
+    pub probability: f64,
+}
+
+/// The top-k depth used by the E12 enumeration leg.
+const BACKEND_COMPARISON_K: usize = 5;
+
+/// E12 — the paper's MaxSAT-vs-classical comparison, reproduced through the
+/// unified backend layer: every engine (MaxSAT, BDD, MOCUS) answers the same
+/// MPMCS and top-k queries on the same generated families, with the modular
+/// divide-and-conquer preprocessing off and on. Every row of a tree is
+/// asserted to report the same verified minimal cut sets — modulo
+/// equal-cost tie order at the top-k boundary, where engines may
+/// legitimately differ — before any timing is published.
+pub fn backend_comparison_rows(sizes: &[usize], seed: u64) -> Vec<BackendComparisonRow> {
+    let backends = [BackendKind::MaxSat, BackendKind::Bdd, BackendKind::Mocus];
+    let mut rows = Vec::new();
+    for family in [Family::RandomMixed, Family::AndHeavy, Family::SharedDag] {
+        for &size in sizes {
+            let tree = family.generate(size, seed);
+            let mut reference: Option<Vec<fault_tree::CutSet>> = None;
+            for backend in backends {
+                for preprocess in [false, true] {
+                    let config = BackendConfig {
+                        preprocess,
+                        ..BackendConfig::default()
+                    };
+                    let (_, engine) = backend_for(backend, &tree, &config);
+                    let (best, mpmcs_time) =
+                        timed(|| engine.mpmcs(&tree).expect("generated trees have cut sets"));
+                    let (top, top_k_time) = timed(|| {
+                        engine
+                            .top_k(&tree, BACKEND_COMPARISON_K)
+                            .expect("generated trees have cut sets")
+                    });
+                    let cuts: Vec<fault_tree::CutSet> =
+                        top.iter().map(|s| s.cut_set.clone()).collect();
+                    match &reference {
+                        None => reference = Some(cuts),
+                        Some(expected) => {
+                            // Identical per-rank exact costs always; a cut
+                            // set may differ from the reference only inside
+                            // an equal-cost tie (and must still be minimal).
+                            assert_eq!(expected.len(), cuts.len());
+                            for (rank, (e, c)) in expected.iter().zip(&cuts).enumerate() {
+                                assert_eq!(
+                                    ft_backend::scaled_cut_cost(&tree, e),
+                                    ft_backend::scaled_cut_cost(&tree, c),
+                                    "backend {backend} (preprocess={preprocess}) diverged at \
+                                     rank {rank} on {}-{size}",
+                                    family.name()
+                                );
+                                assert!(
+                                    e == c || tree.is_minimal_cut_set(c),
+                                    "backend {backend} (preprocess={preprocess}) reported a \
+                                     non-minimal tie at rank {rank} on {}-{size}",
+                                    family.name()
+                                );
+                            }
+                        }
+                    }
+                    rows.push(BackendComparisonRow {
+                        family: family.name(),
+                        target_nodes: size,
+                        backend,
+                        preprocess,
+                        mpmcs_time,
+                        top_k_time,
+                        found: top.len(),
+                        probability: best.probability,
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// One row of the E12 ordering leg: compiled BDD sizes per variable ordering
+/// (the measurement behind the CLI's `--bdd-ordering` default).
+#[derive(Clone, Debug)]
+pub struct BddOrderingRow {
+    /// Structural family name.
+    pub family: &'static str,
+    /// Target total node count.
+    pub target_nodes: usize,
+    /// BDD node count under the natural (declaration) ordering.
+    pub natural_size: usize,
+    /// BDD node count under the depth-first ordering.
+    pub depth_first_size: usize,
+}
+
+/// Measures compiled BDD sizes per variable ordering on generated families.
+pub fn bdd_ordering_rows(sizes: &[usize], seed: u64) -> Vec<BddOrderingRow> {
+    let mut rows = Vec::new();
+    for family in [Family::RandomMixed, Family::AndHeavy, Family::SharedDag] {
+        for &size in sizes {
+            let tree = family.generate(size, seed);
+            let natural = bdd_engine::compile_fault_tree(&tree, VariableOrdering::Natural).size();
+            let depth_first =
+                bdd_engine::compile_fault_tree(&tree, VariableOrdering::DepthFirst).size();
+            rows.push(BddOrderingRow {
+                family: family.name(),
+                target_nodes: size,
+                natural_size: natural,
+                depth_first_size: depth_first,
+            });
+        }
+    }
+    rows
+}
+
+/// Formats the E12 study: the cross-backend timing table (MPMCS + top-k per
+/// engine, preprocessing off/on) followed by the BDD ordering comparison.
+pub fn backend_comparison(sizes: &[usize], seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# E12 — cross-backend comparison (maxsat vs bdd vs mocus, top-{BACKEND_COMPARISON_K}, modular preprocessing off/on)\n"
+    ));
+    out.push_str(
+        "family        target  backend  modules  mpmcs_ms   topk_ms    found  probability\n",
+    );
+    for row in backend_comparison_rows(sizes, seed) {
+        out.push_str(&format!(
+            "{:<13} {:<7} {:<8} {:<8} {:<10.2} {:<10.2} {:<6} {:.6e}\n",
+            row.family,
+            row.target_nodes,
+            row.backend.name(),
+            if row.preprocess { "on" } else { "off" },
+            ms(row.mpmcs_time),
+            ms(row.top_k_time),
+            row.found,
+            row.probability
+        ));
+    }
+    out.push_str("\n## BDD variable orderings (compiled node counts)\n");
+    out.push_str("family        target  natural  depth-first\n");
+    let mut depth_first_never_worse = true;
+    for row in bdd_ordering_rows(sizes, seed) {
+        depth_first_never_worse &= row.depth_first_size <= row.natural_size;
+        out.push_str(&format!(
+            "{:<13} {:<7} {:<8} {:<8}\n",
+            row.family, row.target_nodes, row.natural_size, row.depth_first_size
+        ));
+    }
+    out.push_str(&format!(
+        "depth-first ≤ natural on every measured tree: {depth_first_never_worse} \
+         (the CLI default is depth-first)\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod backend_comparison_tests {
+    use super::*;
+
+    #[test]
+    fn backend_comparison_rows_cover_every_engine_and_agree() {
+        let rows = backend_comparison_rows(&[40], 5);
+        // 3 families × 1 size × 3 backends × {off, on}.
+        assert_eq!(rows.len(), 18);
+        for row in &rows {
+            assert!(row.found >= 1);
+            assert!(row.probability > 0.0);
+        }
+        let table = backend_comparison(&[40], 5);
+        assert!(table.contains("E12"));
+        assert!(table.contains("bdd"));
+        assert!(table.contains("depth-first"));
+    }
 }
 
 #[cfg(test)]

@@ -73,20 +73,60 @@ impl fmt::Display for NodeId {
 ///
 /// Construct trees with [`FaultTreeBuilder`] or one of the parsers in
 /// [`parser`](crate::parser).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct FaultTree {
     name: String,
     events: Vec<BasicEvent>,
     gates: Vec<Gate>,
     top: NodeId,
+    /// Name → identifier index over `events`, built once in [`from_parts`].
+    /// For duplicate names (possible through `from_parts`, never through the
+    /// builder or the parsers) the *first* occurrence wins, matching the
+    /// linear scan this index replaced.
+    event_index: HashMap<String, EventId>,
+    /// Name → identifier index over `gates` (same first-wins policy).
+    gate_index: HashMap<String, GateId>,
 }
 
-serde::impl_serde_struct!(FaultTree {
-    name,
-    events,
-    gates,
-    top
-});
+// The name indices are derived from `events`/`gates`, so equality (and the
+// serialised form below) is defined over the declared parts only.
+impl PartialEq for FaultTree {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.events == other.events
+            && self.gates == other.gates
+            && self.top == other.top
+    }
+}
+
+// Manual serde implementations (the derive-style macro would persist the
+// derived name indices): the wire format stays `{name, events, gates, top}`,
+// and deserialisation rebuilds the indices through [`FaultTree::from_parts`],
+// which also re-validates the structural invariants.
+impl serde::Serialize for FaultTree {
+    fn to_value(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert("name".to_string(), serde::Serialize::to_value(&self.name));
+        map.insert(
+            "events".to_string(),
+            serde::Serialize::to_value(&self.events),
+        );
+        map.insert("gates".to_string(), serde::Serialize::to_value(&self.gates));
+        map.insert("top".to_string(), serde::Serialize::to_value(&self.top));
+        serde::Value::Object(map)
+    }
+}
+
+impl serde::Deserialize for FaultTree {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let name: String = serde::de::field(value, "name")?;
+        let events: Vec<BasicEvent> = serde::de::field(value, "events")?;
+        let gates: Vec<Gate> = serde::de::field(value, "gates")?;
+        let top: NodeId = serde::de::field(value, "top")?;
+        FaultTree::from_parts(name, events, gates, top)
+            .map_err(|e| serde::Error::custom(format!("invalid fault tree: {e}")))
+    }
+}
 
 impl FaultTree {
     /// The tree name.
@@ -152,20 +192,15 @@ impl FaultTree {
         (0..self.gates.len()).map(GateId::from_index)
     }
 
-    /// Finds a basic event by name.
+    /// Finds a basic event by name (O(1) hash lookup; the index is built once
+    /// by [`FaultTree::from_parts`]).
     pub fn event_by_name(&self, name: &str) -> Option<EventId> {
-        self.events
-            .iter()
-            .position(|e| e.name() == name)
-            .map(EventId::from_index)
+        self.event_index.get(name).copied()
     }
 
-    /// Finds a gate by name.
+    /// Finds a gate by name (O(1) hash lookup).
     pub fn gate_by_name(&self, name: &str) -> Option<GateId> {
-        self.gates
-            .iter()
-            .position(|g| g.name() == name)
-            .map(GateId::from_index)
+        self.gate_index.get(name).copied()
     }
 
     /// Human-readable name of a node.
@@ -352,11 +387,25 @@ impl FaultTree {
         gates: Vec<Gate>,
         top: NodeId,
     ) -> Result<Self, FaultTreeError> {
+        let mut event_index = HashMap::with_capacity(events.len());
+        for (index, event) in events.iter().enumerate() {
+            event_index
+                .entry(event.name().to_string())
+                .or_insert_with(|| EventId::from_index(index));
+        }
+        let mut gate_index = HashMap::with_capacity(gates.len());
+        for (index, gate) in gates.iter().enumerate() {
+            gate_index
+                .entry(gate.name().to_string())
+                .or_insert_with(|| GateId::from_index(index));
+        }
         let tree = FaultTree {
             name: name.into(),
             events,
             gates,
             top,
+            event_index,
+            gate_index,
         };
         tree.validate()?;
         Ok(tree)
@@ -682,6 +731,47 @@ mod tests {
         assert!(!tree.evaluate(&[true, true, false, false]));
         assert!(tree.evaluate(&[true, true, true, false]));
         assert!(tree.evaluate(&[true, true, true, true]));
+    }
+
+    #[test]
+    fn name_lookups_keep_the_first_of_duplicate_names() {
+        // `from_parts` does not forbid duplicate names (only the builder
+        // does); the hash indices must then answer like the linear scan they
+        // replaced: first declaration wins.
+        let events = vec![
+            BasicEvent::new("dup", Probability::new(0.1).unwrap()),
+            BasicEvent::new("dup", Probability::new(0.2).unwrap()),
+        ];
+        let gates = vec![Gate::new(
+            "top",
+            GateKind::Or,
+            vec![
+                NodeId::Event(EventId::from_index(0)),
+                NodeId::Event(EventId::from_index(1)),
+            ],
+        )];
+        let tree =
+            FaultTree::from_parts("dups", events, gates, NodeId::Gate(GateId::from_index(0)))
+                .unwrap();
+        assert_eq!(tree.event_by_name("dup"), Some(EventId::from_index(0)));
+        assert_eq!(tree.event_by_name("missing"), None);
+        assert_eq!(tree.gate_by_name("top"), Some(GateId::from_index(0)));
+    }
+
+    #[test]
+    fn deserialisation_validates_the_tree() {
+        // The manual serde impl routes through `from_parts`, so structurally
+        // invalid documents are rejected instead of producing a broken tree.
+        let cyclic = r#"{
+            "name": "cyclic",
+            "events": [],
+            "gates": [
+                { "name": "g0", "kind": "or", "inputs": [{ "gate": 1 }] },
+                { "name": "g1", "kind": "or", "inputs": [{ "gate": 0 }] }
+            ],
+            "top": { "gate": 0 }
+        }"#;
+        assert!(serde_json::from_str::<FaultTree>(cyclic).is_err());
     }
 
     #[test]

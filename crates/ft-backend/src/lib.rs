@@ -1,0 +1,330 @@
+//! The unified analysis-backend layer.
+//!
+//! The paper's central claim (Barrère & Hankin, DSN 2020) is that the
+//! MaxSAT formulation of the MPMCS problem outperforms the classical
+//! BDD/MOCUS pipelines. Demonstrating that head-to-head requires all three
+//! engines to answer the *same* queries through the *same* interface — which
+//! is what this crate provides:
+//!
+//! * [`AnalysisBackend`] — one trait for the four core fault-tree queries:
+//!   the MPMCS, top-k enumeration, all-MCS enumeration, and the exact
+//!   top-event probability;
+//! * [`MaxSatBackend`] — the paper's pipeline, wrapping the incremental
+//!   [`mpmcs::MpmcsSolver`];
+//! * [`BddBackend`] — the classical exact engine, wrapping
+//!   [`bdd_engine::McsEnumeration`] and Shannon-decomposition probabilities;
+//! * [`MocusBackend`] — the classic top-down cut-set generator, wrapping
+//!   [`ft_analysis::mocus::Mocus`] plus an exact pivotal-decomposition
+//!   quantification over the enumerated cut sets;
+//! * [`PreprocessedBackend`] — a modular divide-and-conquer pass manager
+//!   that simplifies the tree, splits it at independent modules
+//!   ([`ft_analysis::modules`]), solves every module separately through the
+//!   *same* backend, and composes the results — shrinking SAT encodings,
+//!   BDD sizes and MOCUS expansions alike;
+//! * [`choose_backend`] — the `auto` selection heuristic, picking an engine
+//!   from cheap structural features ([`StructuralFeatures`]).
+//!
+//! Every backend canonicalises its output with the same ordering key the
+//! MaxSAT enumeration uses (exact integer scaled cost, then cut set), so two
+//! backends — or the same backend with preprocessing on and off — produce
+//! byte-identical reports modulo timings and solver statistics. The
+//! cross-backend equivalence is enforced by `tests/backend_equivalence.rs`
+//! at the workspace root and by the CLI's `--cross-check` mode.
+//!
+//! # Quick start
+//!
+//! ```rust
+//! use fault_tree::examples::fire_protection_system;
+//! use ft_backend::{backend_for, BackendConfig, BackendKind};
+//!
+//! let tree = fire_protection_system();
+//! let config = BackendConfig::default();
+//! let (kind, backend) = backend_for(BackendKind::Bdd, &tree, &config);
+//! assert_eq!(kind, BackendKind::Bdd);
+//! let best = backend.mpmcs(&tree).unwrap();
+//! assert_eq!(best.event_names(&tree), vec!["x1", "x2"]);
+//! assert!((best.probability - 0.02).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod auto;
+mod bdd;
+mod maxsat;
+mod mocus;
+mod preprocess;
+mod solution;
+
+use std::fmt;
+
+use bdd_engine::VariableOrdering;
+use fault_tree::FaultTree;
+use mpmcs::AlgorithmChoice;
+
+pub use auto::{choose_backend, StructuralFeatures};
+pub use bdd::BddBackend;
+pub use maxsat::MaxSatBackend;
+pub use mocus::MocusBackend;
+pub use preprocess::{decompose, ModularDecomposition, ModulePiece, PreprocessedBackend};
+pub use solution::{canonical_sort, scaled_cut_cost, BackendSolution};
+
+/// Which analysis engine answers the queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// The paper's Weighted Partial MaxSAT pipeline (default).
+    #[default]
+    MaxSat,
+    /// The classical exact BDD engine.
+    Bdd,
+    /// The classic MOCUS top-down cut-set algorithm.
+    Mocus,
+    /// Pick an engine from cheap structural features ([`choose_backend`]).
+    Auto,
+}
+
+impl BackendKind {
+    /// The stable command-line name of the backend, as accepted by
+    /// [`BackendKind::parse`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::MaxSat => "maxsat",
+            BackendKind::Bdd => "bdd",
+            BackendKind::Mocus => "mocus",
+            BackendKind::Auto => "auto",
+        }
+    }
+
+    /// Parses a command-line backend name.
+    pub fn parse(name: &str) -> Option<BackendKind> {
+        match name {
+            "maxsat" | "sat" => Some(BackendKind::MaxSat),
+            "bdd" => Some(BackendKind::Bdd),
+            "mocus" => Some(BackendKind::Mocus),
+            "auto" => Some(BackendKind::Auto),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration shared by every backend construction site (CLI, batch,
+/// bench harness).
+#[derive(Clone, Copy, Debug)]
+pub struct BackendConfig {
+    /// The MaxSAT strategy used by [`MaxSatBackend`].
+    pub algorithm: AlgorithmChoice,
+    /// The BDD variable ordering used by [`BddBackend`].
+    pub bdd_ordering: VariableOrdering,
+    /// Budget on intermediate MOCUS sets ([`MocusBackend`]).
+    pub mocus_budget: usize,
+    /// Budget on enumerated BDD paths ([`BddBackend`]).
+    pub bdd_path_budget: usize,
+    /// Budget on the pivotal-decomposition recursion nodes the MCS-based
+    /// backends (MOCUS, MaxSAT) may spend computing the exact
+    /// `top_event_probability` from their cut sets; beyond it they report
+    /// [`BackendError::ProbabilityUnsupported`]. (The BDD backend quantifies
+    /// by Shannon decomposition of the diagram and needs no budget.)
+    pub probability_budget: usize,
+    /// Run the modular divide-and-conquer preprocessing pass manager
+    /// ([`PreprocessedBackend`]) in front of the backend.
+    pub preprocess: bool,
+}
+
+impl Default for BackendConfig {
+    fn default() -> Self {
+        BackendConfig {
+            algorithm: AlgorithmChoice::SequentialPortfolio,
+            bdd_ordering: VariableOrdering::DepthFirst,
+            mocus_budget: 1_000_000,
+            bdd_path_budget: 1_000_000,
+            probability_budget: 50_000,
+            preprocess: false,
+        }
+    }
+}
+
+/// Errors surfaced by the analysis backends.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BackendError {
+    /// The tree has no cut set at all (the top event cannot occur).
+    NoCutSet,
+    /// A classical engine exceeded its enumeration budget.
+    Budget {
+        /// The backend that gave up.
+        backend: &'static str,
+        /// Human-readable description of the exceeded budget.
+        detail: String,
+    },
+    /// The exact top-event probability cannot be computed by this backend
+    /// within its budget (the cut-set family's pivotal decomposition outgrew
+    /// the recursion budget).
+    ProbabilityUnsupported {
+        /// The backend that gave up.
+        backend: &'static str,
+        /// Number of minimal cut sets of the tree.
+        cut_sets: usize,
+    },
+    /// An internal invariant was violated (indicates a bug).
+    Internal(String),
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::NoCutSet => write!(f, "the fault tree has no cut set"),
+            BackendError::Budget { backend, detail } => {
+                write!(f, "{backend} backend exceeded its budget: {detail}")
+            }
+            BackendError::ProbabilityUnsupported { backend, cut_sets } => write!(
+                f,
+                "{backend} backend cannot compute the exact top-event probability: \
+                 the pivotal decomposition of {cut_sets} minimal cut sets exceeds \
+                 the quantification budget"
+            ),
+            BackendError::Internal(message) => write!(f, "internal backend error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// One interface for the four core fault-tree analysis queries, implemented
+/// by all three engines.
+///
+/// Implementations return cut sets over the event identifiers of the tree
+/// passed to the query, in the canonical order of [`canonical_sort`]
+/// (non-increasing probability, refined by exact scaled cost, ties broken by
+/// cut set) — so any two backends are directly comparable.
+pub trait AnalysisBackend {
+    /// The stable engine name (`"maxsat"`, `"bdd"`, `"mocus"`).
+    fn name(&self) -> &'static str;
+
+    /// The Maximum Probability Minimal Cut Set of `tree`.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::NoCutSet`] when the top event cannot occur, or a
+    /// budget error from the classical engines.
+    fn mpmcs(&self, tree: &FaultTree) -> Result<BackendSolution, BackendError>;
+
+    /// The `k` most probable minimal cut sets, most probable first. Fewer
+    /// than `k` are returned when the tree has fewer minimal cut sets.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::NoCutSet`] when the tree has no cut set at all, or a
+    /// budget error from the classical engines.
+    fn top_k(&self, tree: &FaultTree, k: usize) -> Result<Vec<BackendSolution>, BackendError>;
+
+    /// Every minimal cut set, most probable first.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::NoCutSet`] when the tree has no cut set at all, or a
+    /// budget error from the classical engines.
+    fn all_mcs(&self, tree: &FaultTree) -> Result<Vec<BackendSolution>, BackendError>;
+
+    /// The exact probability of the top event.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::ProbabilityUnsupported`] when the engine cannot answer
+    /// exactly within its budget (MCS-based engines on trees with many cut
+    /// sets), or a budget error.
+    fn top_event_probability(&self, tree: &FaultTree) -> Result<f64, BackendError>;
+}
+
+/// Resolves [`BackendKind::Auto`] against a concrete tree; other kinds pass
+/// through unchanged.
+pub fn resolve_backend(kind: BackendKind, tree: &FaultTree) -> BackendKind {
+    match kind {
+        BackendKind::Auto => choose_backend(tree),
+        concrete => concrete,
+    }
+}
+
+/// Builds the backend for `kind` (resolving [`BackendKind::Auto`] against
+/// `tree`), wrapping it in the modular preprocessing pass manager when
+/// [`BackendConfig::preprocess`] is set. Returns the resolved kind alongside
+/// the engine.
+pub fn backend_for(
+    kind: BackendKind,
+    tree: &FaultTree,
+    config: &BackendConfig,
+) -> (BackendKind, Box<dyn AnalysisBackend>) {
+    let resolved = resolve_backend(kind, tree);
+    let raw: Box<dyn AnalysisBackend> = match resolved {
+        BackendKind::MaxSat => Box::new(MaxSatBackend::new(
+            config.algorithm,
+            config.probability_budget,
+        )),
+        BackendKind::Bdd => Box::new(BddBackend::new(config.bdd_ordering, config.bdd_path_budget)),
+        BackendKind::Mocus => Box::new(MocusBackend::new(
+            config.mocus_budget,
+            config.probability_budget,
+        )),
+        BackendKind::Auto => unreachable!("resolve_backend never returns Auto"),
+    };
+    let backend = if config.preprocess {
+        Box::new(PreprocessedBackend::new(raw))
+    } else {
+        raw
+    };
+    (resolved, backend)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fault_tree::examples::fire_protection_system;
+
+    #[test]
+    fn kinds_round_trip_through_their_names() {
+        for kind in [
+            BackendKind::MaxSat,
+            BackendKind::Bdd,
+            BackendKind::Mocus,
+            BackendKind::Auto,
+        ] {
+            assert_eq!(BackendKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(BackendKind::parse("zbdd"), None);
+    }
+
+    #[test]
+    fn factory_resolves_auto_to_a_concrete_backend() {
+        let tree = fire_protection_system();
+        let (resolved, backend) = backend_for(BackendKind::Auto, &tree, &BackendConfig::default());
+        assert_ne!(resolved, BackendKind::Auto);
+        assert_eq!(backend.name(), resolved.name());
+    }
+
+    #[test]
+    fn all_three_backends_agree_on_the_paper_example() {
+        let tree = fire_protection_system();
+        let config = BackendConfig::default();
+        let mut answers = Vec::new();
+        for kind in [BackendKind::MaxSat, BackendKind::Bdd, BackendKind::Mocus] {
+            let (_, backend) = backend_for(kind, &tree, &config);
+            let all = backend.all_mcs(&tree).expect("small tree");
+            assert_eq!(all.len(), 5, "{kind}");
+            let best = backend.mpmcs(&tree).expect("small tree");
+            assert_eq!(best.event_names(&tree), vec!["x1", "x2"], "{kind}");
+            assert!((best.probability - 0.02).abs() < 1e-9, "{kind}");
+            let p = backend.top_event_probability(&tree).expect("small tree");
+            answers.push((all.iter().map(|s| s.cut_set.clone()).collect::<Vec<_>>(), p));
+        }
+        // The three engines return the same ordered cut-set lists and agree
+        // on the exact top-event probability.
+        assert_eq!(answers[0].0, answers[1].0);
+        assert_eq!(answers[0].0, answers[2].0);
+        assert!((answers[0].1 - answers[1].1).abs() < 1e-12);
+        assert!((answers[0].1 - answers[2].1).abs() < 1e-12);
+    }
+}

@@ -4,8 +4,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 use std::time::Instant;
 
+use bdd_engine::VariableOrdering;
 use fault_tree::FaultTree;
-use mpmcs::{AlgorithmChoice, MpmcsOptions, MpmcsReport, MpmcsSolver};
+use ft_backend::{backend_for, BackendConfig, BackendKind};
+use mpmcs::AlgorithmChoice;
 
 use crate::manifest::{BatchJob, BatchManifest};
 use crate::report::{BatchReport, BatchSummary, ImportanceRow, TreeReport};
@@ -37,6 +39,15 @@ pub struct BatchConfig {
     /// set. Like timings, the block is stripped by
     /// [`BatchReport::to_deterministic_json`](crate::BatchReport::to_deterministic_json).
     pub stats: bool,
+    /// Which analysis engine answers every per-tree query
+    /// ([`BackendKind::Auto`] resolves per tree from structural features).
+    pub backend: BackendKind,
+    /// The BDD variable ordering used by the BDD backend (and by the
+    /// importance table's exact probability).
+    pub bdd_ordering: VariableOrdering,
+    /// Run the modular divide-and-conquer preprocessing pass in front of
+    /// every per-tree analysis.
+    pub preprocess: bool,
 }
 
 impl Default for BatchConfig {
@@ -47,6 +58,9 @@ impl Default for BatchConfig {
             algorithm: AlgorithmChoice::SequentialPortfolio,
             importance: false,
             stats: false,
+            backend: BackendKind::MaxSat,
+            bdd_ordering: VariableOrdering::DepthFirst,
+            preprocess: false,
         }
     }
 }
@@ -125,6 +139,7 @@ pub fn run_batch(manifest: &BatchManifest, config: &BatchConfig) -> BatchReport 
         jobs: workers,
         top_k: config.top_k.max(1),
         algorithm: algorithm_name(config.algorithm).to_string(),
+        backend: config.backend.name().to_string(),
         total_events: results
             .iter()
             .filter(|r| r.status == "ok")
@@ -153,6 +168,7 @@ fn analyze_job(job: &BatchJob, config: &BatchConfig) -> TreeReport {
     let mut report = TreeReport {
         name: job.name.clone(),
         status: "error".to_string(),
+        backend: config.backend.name().to_string(),
         num_events: 0,
         num_gates: 0,
         sat_calls: 0,
@@ -171,26 +187,27 @@ fn analyze_job(job: &BatchJob, config: &BatchConfig) -> TreeReport {
     };
     report.num_events = tree.num_events();
     report.num_gates = tree.num_gates();
-    let solver = MpmcsSolver::with_options(MpmcsOptions {
+    let backend_config = BackendConfig {
         algorithm: config.algorithm,
-        ..MpmcsOptions::new()
-    });
-    match solver.solve_top_k(&tree, config.top_k.max(1)) {
+        bdd_ordering: config.bdd_ordering,
+        preprocess: config.preprocess,
+        ..BackendConfig::default()
+    };
+    let (resolved, backend) = backend_for(config.backend, &tree, &backend_config);
+    report.backend = resolved.name().to_string();
+    match backend.top_k(&tree, config.top_k.max(1)) {
         Ok(solutions) => {
             report.status = "ok".to_string();
-            report.sat_calls = solutions.iter().map(|s| s.stats.sat_calls).sum();
+            report.sat_calls = solutions
+                .iter()
+                .map(|s| s.stats.as_ref().map_or(0, |stats| stats.sat_calls))
+                .sum();
             report.cut_sets = solutions
                 .iter()
-                .map(|solution| {
-                    if config.stats {
-                        MpmcsReport::with_stats(&tree, solution)
-                    } else {
-                        MpmcsReport::new(&tree, solution)
-                    }
-                })
+                .map(|solution| solution.to_report(&tree, config.stats))
                 .collect();
             if config.importance {
-                report.importance = importance_rows(&tree);
+                report.importance = importance_rows(&tree, config.bdd_ordering);
             }
         }
         Err(error) => {
@@ -203,14 +220,12 @@ fn analyze_job(job: &BatchJob, config: &BatchConfig) -> TreeReport {
 
 /// Computes the importance table, or `None` when cut-set enumeration blows
 /// the budget (large OR-heavy trees) — the batch row stays usable either way.
-fn importance_rows(tree: &FaultTree) -> Option<Vec<ImportanceRow>> {
+fn importance_rows(tree: &FaultTree, ordering: VariableOrdering) -> Option<Vec<ImportanceRow>> {
     let cut_sets = ft_analysis::mocus::Mocus::with_budget(tree, MOCUS_BUDGET)
         .minimal_cut_sets()
         .ok()?;
-    let exact = |t: &FaultTree| {
-        bdd_engine::compile_fault_tree(t, bdd_engine::VariableOrdering::DepthFirst)
-            .top_event_probability(t)
-    };
+    let exact =
+        |t: &FaultTree| bdd_engine::compile_fault_tree(t, ordering).top_event_probability(t);
     let table = ft_analysis::importance::ImportanceTable::compute(tree, &cut_sets, exact);
     Some(
         tree.event_ids()
@@ -351,6 +366,53 @@ mod tests {
             without.to_deterministic_json(),
             "--stats must not change the deterministic report"
         );
+    }
+
+    /// Every backend (and the preprocessing pass) reports the same cut sets
+    /// and probabilities for the same batch — the batch layer's slice of the
+    /// cross-backend equivalence guarantee.
+    #[test]
+    fn classical_backends_and_preprocessing_agree_with_maxsat_batches() {
+        let manifest = BatchManifest::generated(Family::RandomMixed, 50, 3, 21);
+        let reference = run_batch(
+            &manifest,
+            &BatchConfig {
+                top_k: 3,
+                ..BatchConfig::default()
+            },
+        );
+        assert_eq!(reference.summary.backend, "maxsat");
+        for (backend, preprocess) in [
+            (BackendKind::Bdd, false),
+            (BackendKind::Mocus, false),
+            (BackendKind::MaxSat, true),
+            (BackendKind::Auto, false),
+        ] {
+            let other = run_batch(
+                &manifest,
+                &BatchConfig {
+                    top_k: 3,
+                    backend,
+                    preprocess,
+                    ..BatchConfig::default()
+                },
+            );
+            assert_eq!(other.summary.backend, backend.name());
+            for (a, b) in reference.results.iter().zip(&other.results) {
+                assert_eq!(a.status, "ok");
+                assert_eq!(b.status, "ok", "{} {preprocess}", backend.name());
+                assert_eq!(a.cut_sets.len(), b.cut_sets.len());
+                for (x, y) in a.cut_sets.iter().zip(&b.cut_sets) {
+                    let xs: Vec<&str> = x.mpmcs.iter().map(|e| e.name.as_str()).collect();
+                    let ys: Vec<&str> = y.mpmcs.iter().map(|e| e.name.as_str()).collect();
+                    assert_eq!(xs, ys, "{} {preprocess}", backend.name());
+                    assert!((x.probability - y.probability).abs() < 1e-12);
+                }
+                if backend == BackendKind::Auto {
+                    assert_ne!(b.backend, "auto", "auto resolves per tree");
+                }
+            }
+        }
     }
 
     #[test]

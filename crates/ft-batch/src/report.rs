@@ -31,6 +31,9 @@ pub struct TreeReport {
     pub name: String,
     /// `"ok"` or `"error"`.
     pub status: String,
+    /// The analysis engine that answered this tree's queries (for
+    /// `backend = auto` batches this is the per-tree resolved engine).
+    pub backend: String,
     /// Number of basic events (0 when the tree failed to load).
     pub num_events: usize,
     /// Number of gates (0 when the tree failed to load).
@@ -51,6 +54,7 @@ pub struct TreeReport {
 serde::impl_serde_struct!(TreeReport {
     name,
     status,
+    backend,
     num_events,
     num_gates,
     sat_calls,
@@ -73,6 +77,9 @@ pub struct BatchSummary {
     pub top_k: usize,
     /// MaxSAT strategy used for every tree.
     pub algorithm: String,
+    /// The configured analysis engine (`"auto"` when per-tree resolution is
+    /// in effect — see [`TreeReport::backend`] for the resolved engines).
+    pub backend: String,
     /// Total basic events across successfully analysed trees.
     pub total_events: usize,
     /// Total minimal cut sets reported across the batch.
@@ -90,6 +97,7 @@ serde::impl_serde_struct!(BatchSummary {
     jobs,
     top_k,
     algorithm,
+    backend,
     total_events,
     total_cut_sets,
     total_sat_calls,
@@ -165,10 +173,11 @@ impl BatchReport {
             }
         }
         out.push_str(&format!(
-            "batch: {} trees ({} ok, {} failed), {} cut sets, {} SAT calls, {} workers, {:.2} ms\n",
+            "batch: {} trees ({} ok, {} failed), backend {}, {} cut sets, {} SAT calls, {} workers, {:.2} ms\n",
             self.summary.trees,
             self.summary.succeeded,
             self.summary.failed,
+            self.summary.backend,
             self.summary.total_cut_sets,
             self.summary.total_sat_calls,
             self.summary.jobs,
@@ -260,6 +269,7 @@ mod tests {
                 jobs: 4,
                 top_k: 1,
                 algorithm: "sequential".to_string(),
+                backend: "maxsat".to_string(),
                 total_events: 7,
                 total_cut_sets: 1,
                 total_sat_calls: 9,
@@ -269,6 +279,7 @@ mod tests {
                 TreeReport {
                     name: "a.json".to_string(),
                     status: "ok".to_string(),
+                    backend: "maxsat".to_string(),
                     num_events: 7,
                     num_gates: 5,
                     sat_calls: 9,
@@ -280,6 +291,7 @@ mod tests {
                 TreeReport {
                     name: "b.dft".to_string(),
                     status: "error".to_string(),
+                    backend: "maxsat".to_string(),
                     num_events: 0,
                     num_gates: 0,
                     sat_calls: 0,

@@ -80,6 +80,38 @@ pub struct MaxSatStats {
 }
 
 impl MaxSatStats {
+    /// Combines two statistics records into one, summing every work counter.
+    ///
+    /// Used by the modular divide-and-conquer driver of the analysis-backend
+    /// layer: when a query is split over independent modules, each piece is
+    /// solved by its own MaxSAT run and the composed answer carries the total
+    /// search effort. Bounds are not meaningful across different instances,
+    /// so the merged record keeps the tighter invariant-free convention of
+    /// summing them as totals; `algorithm` keeps `self`'s name when the two
+    /// agree and is tagged `"mixed"` otherwise.
+    #[must_use]
+    pub fn merged(&self, other: &MaxSatStats) -> MaxSatStats {
+        MaxSatStats {
+            sat_calls: self.sat_calls + other.sat_calls,
+            cores: self.cores + other.cores,
+            improvements: self.improvements + other.improvements,
+            lower_bound: self.lower_bound + other.lower_bound,
+            upper_bound: self.upper_bound + other.upper_bound,
+            algorithm: if self.algorithm == other.algorithm || other.algorithm.is_empty() {
+                self.algorithm.clone()
+            } else if self.algorithm.is_empty() {
+                other.algorithm.clone()
+            } else {
+                "mixed".to_string()
+            },
+            conflicts: self.conflicts + other.conflicts,
+            propagations: self.propagations + other.propagations,
+            restarts: self.restarts + other.restarts,
+            learnt_reused: self.learnt_reused + other.learnt_reused,
+            session_calls: self.session_calls + other.session_calls,
+        }
+    }
+
     /// Copies the SAT-level counters of `solver` into this record (used by
     /// the algorithms right before returning).
     pub(crate) fn absorb_solver(&mut self, solver: &SolverStats) {

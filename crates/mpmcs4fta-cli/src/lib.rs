@@ -12,9 +12,14 @@
 use std::fmt;
 use std::fs;
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
+use bdd_engine::VariableOrdering;
 use fault_tree::parser::{galileo, json};
 use fault_tree::{examples, FaultTree};
+use ft_backend::{
+    backend_for, AnalysisBackend, BackendConfig, BackendError, BackendKind, BackendSolution,
+};
 use ft_batch::{run_batch, BatchConfig, BatchManifest};
 use ft_generators::{random_tree, RandomTreeConfig};
 use mpmcs::{AlgorithmChoice, EnumerationLimit, MpmcsOptions, MpmcsReport, MpmcsSolver};
@@ -101,9 +106,28 @@ MODES:
 
 OPTIONS:
     --format <json|galileo>     Force the input format (default: by extension)
+    --backend <NAME>            maxsat (default) | bdd | mocus | auto
+                                Which analysis engine answers the mpmcs
+                                queries; auto picks per tree from structural
+                                features (event/gate counts, module count,
+                                cut-set estimate, event sharing)
+    --cross-check               Run the chosen backend AND a reference backend
+                                (maxsat, or bdd when maxsat is chosen), assert
+                                they report identical minimal cut sets, and
+                                report per-backend timings; exits non-zero on
+                                any mismatch (mpmcs analysis only)
+    --bdd-ordering <NAME>       depth-first (default) | natural — the BDD
+                                variable ordering (bdd backend and the
+                                importance table's exact probability)
+    --preprocess                Run the modular divide-and-conquer pass:
+                                simplify the tree, split it at independent
+                                modules, solve the pieces separately and
+                                compose (shrinks encodings for every backend;
+                                per-cut-set solver stats become aggregates)
     --algorithm <NAME>          portfolio | sequential | oll | linear-su
-                                (default: portfolio; batch default: sequential,
-                                which keeps batch reports deterministic)
+                                (maxsat backend only; default: portfolio;
+                                batch default: sequential, which keeps batch
+                                reports deterministic)
     --analysis <NAME>           mpmcs (default) | path-set | importance | modules |
                                 stability | dot | ascii   (single-tree modes only)
     --top-k <N>                 Report the N most probable minimal cut sets
@@ -202,6 +226,14 @@ pub struct CliOptions {
     /// Which MaxSAT strategy to use (`None` = the mode's default: parallel
     /// portfolio for single trees, deterministic sequential for batches).
     pub algorithm: Option<AlgorithmChoice>,
+    /// Which analysis engine answers the MPMCS queries.
+    pub backend: BackendKind,
+    /// Run a second (reference) backend and assert identical cut sets.
+    pub cross_check: bool,
+    /// The BDD variable ordering.
+    pub bdd_ordering: VariableOrdering,
+    /// Run the modular divide-and-conquer preprocessing pass.
+    pub preprocess: bool,
     /// How many cut sets to report (`None` = just the MPMCS).
     pub top_k: Option<usize>,
     /// Report all minimal cut sets.
@@ -237,6 +269,10 @@ where
     let mut format: Option<InputFormat> = None;
     let mut analysis = AnalysisKind::Mpmcs;
     let mut algorithm: Option<AlgorithmChoice> = None;
+    let mut backend = BackendKind::MaxSat;
+    let mut cross_check = false;
+    let mut bdd_ordering = VariableOrdering::DepthFirst;
+    let mut preprocess = false;
     let mut top_k: Option<usize> = None;
     let mut all = false;
     let mut output: Option<PathBuf> = None;
@@ -266,6 +302,10 @@ where
                     mode: CliMode::Help,
                     analysis,
                     algorithm,
+                    backend,
+                    cross_check,
+                    bdd_ordering,
+                    preprocess,
                     top_k,
                     all,
                     output,
@@ -291,6 +331,18 @@ where
                     other => return Err(CliError::Usage(format!("unknown algorithm {other:?}"))),
                 })
             }
+            "--backend" => {
+                let name = value("--backend")?;
+                backend = BackendKind::parse(&name)
+                    .ok_or_else(|| CliError::Usage(format!("unknown backend {name:?}")))?
+            }
+            "--cross-check" => cross_check = true,
+            "--bdd-ordering" => {
+                let name = value("--bdd-ordering")?;
+                bdd_ordering = VariableOrdering::parse(&name)
+                    .ok_or_else(|| CliError::Usage(format!("unknown BDD ordering {name:?}")))?
+            }
+            "--preprocess" => preprocess = true,
             "--analysis" => {
                 analysis = match value("--analysis")?.as_str() {
                     "mpmcs" | "cut-set" => AnalysisKind::Mpmcs,
@@ -357,6 +409,11 @@ where
     if top_k == Some(0) {
         return Err(usage("--top-k must be at least 1"));
     }
+    if algorithm.is_some() && matches!(backend, BackendKind::Bdd | BackendKind::Mocus) {
+        return Err(usage(
+            "--algorithm only applies to the maxsat backend (and to auto when it resolves to maxsat)",
+        ));
+    }
     let mode = match (batch, input) {
         (Some(_), Some(_)) => {
             return Err(usage("--batch cannot be combined with a single-tree input"))
@@ -364,6 +421,11 @@ where
         (Some(path), None) => {
             if all {
                 return Err(usage("--all is not supported in batch mode; use --top-k"));
+            }
+            if cross_check {
+                return Err(usage(
+                    "--cross-check is a single-tree mode; batch runs one backend per tree",
+                ));
             }
             if analysis != AnalysisKind::Mpmcs {
                 return Err(usage(
@@ -396,6 +458,13 @@ where
                     "--stats only applies to the mpmcs analysis and to --batch mode",
                 ));
             }
+            if analysis != AnalysisKind::Mpmcs
+                && (backend != BackendKind::MaxSat || cross_check || preprocess)
+            {
+                return Err(usage(
+                    "--backend / --cross-check / --preprocess only apply to the mpmcs analysis and to --batch mode",
+                ));
+            }
             if let (InputSource::File { format: slot, .. }, Some(forced)) = (&mut input, format) {
                 *slot = Some(forced);
             }
@@ -407,6 +476,10 @@ where
         mode,
         analysis,
         algorithm,
+        backend,
+        cross_check,
+        bdd_ordering,
+        preprocess,
         top_k,
         all,
         output,
@@ -476,7 +549,7 @@ pub fn run(options: &CliOptions) -> Result<(String, String), CliError> {
     match options.analysis {
         AnalysisKind::Mpmcs => run_mpmcs(options, &tree),
         AnalysisKind::PathSet => run_path_set(options, &tree),
-        AnalysisKind::Importance => run_importance(&tree),
+        AnalysisKind::Importance => run_importance(options, &tree),
         AnalysisKind::Modules => run_modules(&tree),
         AnalysisKind::Stability => run_stability(&tree),
         AnalysisKind::Dot => run_dot(options, &tree),
@@ -510,6 +583,9 @@ fn run_batch_mode(
             .unwrap_or(AlgorithmChoice::SequentialPortfolio),
         importance: options.importance,
         stats: options.stats,
+        backend: options.backend,
+        bdd_ordering: options.bdd_ordering,
+        preprocess: options.preprocess,
     };
     let report = run_batch(&manifest, &config);
     Ok((report.to_json(), report.render_text()))
@@ -525,38 +601,115 @@ fn cut_sets_for_analysis(tree: &FaultTree) -> Result<Vec<fault_tree::CutSet>, Cl
         .map_err(|e| CliError::Analysis(e.to_string()))
 }
 
-fn exact_top_probability(tree: &FaultTree) -> f64 {
-    bdd_engine::compile_fault_tree(tree, bdd_engine::VariableOrdering::DepthFirst)
-        .top_event_probability(tree)
+fn exact_top_probability(tree: &FaultTree, ordering: VariableOrdering) -> f64 {
+    bdd_engine::compile_fault_tree(tree, ordering).top_event_probability(tree)
+}
+
+/// The backend-layer configuration implied by the parsed options.
+fn backend_config(options: &CliOptions) -> BackendConfig {
+    BackendConfig {
+        algorithm: options.algorithm.unwrap_or_default(),
+        bdd_ordering: options.bdd_ordering,
+        preprocess: options.preprocess,
+        ..BackendConfig::default()
+    }
+}
+
+/// Runs the configured mpmcs query (single / top-k / all) through a backend.
+fn query_solutions(
+    backend: &dyn AnalysisBackend,
+    tree: &FaultTree,
+    options: &CliOptions,
+) -> Result<Vec<BackendSolution>, CliError> {
+    let result = if options.all {
+        backend.all_mcs(tree)
+    } else if let Some(k) = options.top_k {
+        backend.top_k(tree, k)
+    } else {
+        backend.mpmcs(tree).map(|solution| vec![solution])
+    };
+    result.map_err(|error| match error {
+        BackendError::NoCutSet => CliError::Solve(mpmcs::MpmcsError::NoCutSet),
+        other => CliError::Analysis(other.to_string()),
+    })
+}
+
+/// Compares the two backends' answers of a `--cross-check` run; `Some`
+/// describes the first mismatch. Positions must agree on probability; a
+/// different cut set at a position is tolerated only as an equal-probability
+/// tie where both sides report a verified minimal cut set — which covers the
+/// two places correct engines may legitimately differ: the single-MPMCS
+/// query (any tied optimum is valid) and a top-k boundary straddled by a tie
+/// group (the MaxSAT path keeps discovery order there by design, the
+/// classical backends pick canonically). Full enumerations are canonically
+/// ordered on both sides, so for them this degenerates to exact equality.
+fn cross_check_mismatch(
+    tree: &FaultTree,
+    primary: &[BackendSolution],
+    secondary: &[BackendSolution],
+) -> Option<String> {
+    if primary.len() != secondary.len() {
+        return Some(format!(
+            "cut-set counts differ: {} vs {}",
+            primary.len(),
+            secondary.len()
+        ));
+    }
+    for (rank, (a, b)) in primary.iter().zip(secondary).enumerate() {
+        // Compare in log space: an absolute tolerance on `−ln p` is a
+        // *relative* tolerance on the probability, which FTA needs — cut-set
+        // probabilities routinely live at 1e-12 and below, where any
+        // absolute probability tolerance would wave real divergences
+        // through. (Non-finite log weights — probability-zero cut sets —
+        // must simply agree.)
+        let log_weights_agree = if a.log_weight.is_finite() && b.log_weight.is_finite() {
+            (a.log_weight - b.log_weight).abs() <= 1e-9
+        } else {
+            a.log_weight == b.log_weight
+        };
+        if !log_weights_agree {
+            return Some(format!(
+                "probabilities differ at rank {}: {:.12e} vs {:.12e}",
+                rank + 1,
+                a.probability,
+                b.probability
+            ));
+        }
+        if a.cut_set != b.cut_set {
+            let tie = tree.is_minimal_cut_set(&a.cut_set) && tree.is_minimal_cut_set(&b.cut_set);
+            if !tie {
+                return Some(format!(
+                    "cut sets differ at rank {}: {} vs {}",
+                    rank + 1,
+                    a.cut_set.display_names(tree),
+                    b.cut_set.display_names(tree)
+                ));
+            }
+        }
+    }
+    None
 }
 
 fn run_mpmcs(options: &CliOptions, tree: &FaultTree) -> Result<(String, String), CliError> {
-    let solver = MpmcsSolver::with_options(MpmcsOptions {
-        algorithm: options.algorithm.unwrap_or_default(),
-        ..MpmcsOptions::new()
-    });
-    let solutions = if options.all {
-        solver.enumerate(tree, EnumerationLimit::All)?
-    } else if let Some(k) = options.top_k {
-        solver.solve_top_k(tree, k)?
-    } else {
-        vec![solver.solve(tree)?]
-    };
+    let config = backend_config(options);
+    let (primary_kind, primary) = backend_for(options.backend, tree, &config);
+    let start = Instant::now();
+    let solutions = query_solutions(&*primary, tree, options)?;
+    let primary_elapsed = start.elapsed();
+
     let reports: Vec<MpmcsReport> = solutions
         .iter()
-        .map(|solution| {
-            if options.stats {
-                MpmcsReport::with_stats(tree, solution)
-            } else {
-                MpmcsReport::new(tree, solution)
-            }
-        })
+        .map(|solution| solution.to_report(tree, options.stats))
         .collect();
-    let json = if reports.len() == 1 {
-        reports[0].to_json()
+    // A single report renders as a bare object, several as an array —
+    // exactly the pre-backend-layer output shape (`--top-k 1` has always
+    // produced an object).
+    let report_value = if reports.len() == 1 {
+        serde_json::to_value(&reports[0])
     } else {
-        serde_json::to_string_pretty(&reports).expect("reports always serialise")
+        serde_json::to_value(&reports)
     };
+
     let mut summary = String::new();
     summary.push_str(&format!(
         "tree: {} ({} events, {} gates)\n",
@@ -564,6 +717,17 @@ fn run_mpmcs(options: &CliOptions, tree: &FaultTree) -> Result<(String, String),
         tree.num_events(),
         tree.num_gates()
     ));
+    if options.backend != BackendKind::MaxSat || options.preprocess {
+        summary.push_str(&format!(
+            "backend: {}{}\n",
+            primary_kind.name(),
+            if options.preprocess {
+                " (modular preprocessing)"
+            } else {
+                ""
+            }
+        ));
+    }
     for (rank, solution) in solutions.iter().enumerate() {
         summary.push_str(&format!(
             "#{}: {} p={:.6e} ({} events, {}, {:.2} ms)\n",
@@ -575,6 +739,69 @@ fn run_mpmcs(options: &CliOptions, tree: &FaultTree) -> Result<(String, String),
             solution.duration.as_secs_f64() * 1e3
         ));
     }
+
+    if !options.cross_check {
+        let json = serde_json::to_string_pretty(&report_value).expect("reports always serialise");
+        return Ok((json, summary));
+    }
+
+    // Cross-check: run the reference backend on the same query and insist on
+    // identical answers before reporting anything.
+    let reference_kind = if primary_kind == BackendKind::MaxSat {
+        BackendKind::Bdd
+    } else {
+        BackendKind::MaxSat
+    };
+    let (reference_kind, reference) = backend_for(reference_kind, tree, &config);
+    let start = Instant::now();
+    let reference_solutions = query_solutions(&*reference, tree, options)?;
+    let reference_elapsed = start.elapsed();
+
+    if let Some(mismatch) = cross_check_mismatch(tree, &solutions, &reference_solutions) {
+        return Err(CliError::Analysis(format!(
+            "cross-check mismatch between {} and {}: {mismatch}",
+            primary_kind.name(),
+            reference_kind.name()
+        )));
+    }
+
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let query = if options.all {
+        "all".to_string()
+    } else if let Some(k) = options.top_k {
+        format!("top-{k}")
+    } else {
+        "mpmcs".to_string()
+    };
+    let value = serde_json::json!({
+        "cross_check": serde_json::json!({
+            "query": query,
+            "match": true,
+            "backends": serde_json::json!([
+                serde_json::json!({
+                    "backend": primary_kind.name(),
+                    "solve_time_ms": ms(primary_elapsed),
+                    "cut_sets": solutions.len(),
+                }),
+                serde_json::json!({
+                    "backend": reference_kind.name(),
+                    "solve_time_ms": ms(reference_elapsed),
+                    "cut_sets": reference_solutions.len(),
+                }),
+            ]),
+        }),
+        "report": report_value,
+    });
+    summary.push_str(&format!(
+        "cross-check ({query}): {} and {} report identical minimal cut sets\n  {}: {:.2} ms\n  {}: {:.2} ms\n",
+        primary_kind.name(),
+        reference_kind.name(),
+        primary_kind.name(),
+        ms(primary_elapsed),
+        reference_kind.name(),
+        ms(reference_elapsed),
+    ));
+    let json = serde_json::to_string_pretty(&value).expect("reports always serialise");
     Ok((json, summary))
 }
 
@@ -616,10 +843,11 @@ fn run_path_set(options: &CliOptions, tree: &FaultTree) -> Result<(String, Strin
     Ok((json, summary))
 }
 
-fn run_importance(tree: &FaultTree) -> Result<(String, String), CliError> {
+fn run_importance(options: &CliOptions, tree: &FaultTree) -> Result<(String, String), CliError> {
     let cut_sets = cut_sets_for_analysis(tree)?;
-    let table =
-        ft_analysis::importance::ImportanceTable::compute(tree, &cut_sets, exact_top_probability);
+    let ordering = options.bdd_ordering;
+    let exact = move |t: &FaultTree| exact_top_probability(t, ordering);
+    let table = ft_analysis::importance::ImportanceTable::compute(tree, &cut_sets, exact);
     let json = serde_json::to_string_pretty(
         &tree
             .event_ids()
@@ -1012,6 +1240,132 @@ mod tests {
             parse_args(["--example", "fps", "--analysis", "magic"]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn backend_flags_are_parsed_and_validated() {
+        let options = parse_args([
+            "--example",
+            "fps",
+            "--backend",
+            "bdd",
+            "--bdd-ordering",
+            "natural",
+            "--preprocess",
+            "--cross-check",
+        ])
+        .unwrap();
+        assert_eq!(options.backend, BackendKind::Bdd);
+        assert_eq!(options.bdd_ordering, VariableOrdering::Natural);
+        assert!(options.preprocess);
+        assert!(options.cross_check);
+        // Unknown names are usage errors.
+        assert!(matches!(
+            parse_args(["--example", "fps", "--backend", "zbdd"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["--example", "fps", "--bdd-ordering", "random"]),
+            Err(CliError::Usage(_))
+        ));
+        // --algorithm belongs to the maxsat backend.
+        assert!(matches!(
+            parse_args([
+                "--example",
+                "fps",
+                "--backend",
+                "mocus",
+                "--algorithm",
+                "oll"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        // Backend flags only apply to the mpmcs analysis.
+        assert!(matches!(
+            parse_args([
+                "--example",
+                "fps",
+                "--analysis",
+                "ascii",
+                "--backend",
+                "bdd"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        // Cross-check is a single-tree mode.
+        assert!(matches!(
+            parse_args(["--batch", "models/", "--cross-check"]),
+            Err(CliError::Usage(_))
+        ));
+        // The usage text documents the new flags.
+        for flag in [
+            "--backend",
+            "--cross-check",
+            "--bdd-ordering",
+            "--preprocess",
+        ] {
+            assert!(USAGE.contains(flag), "usage must document {flag}");
+        }
+    }
+
+    #[test]
+    fn every_backend_reports_the_paper_answer() {
+        for backend in ["maxsat", "bdd", "mocus", "auto"] {
+            for preprocess in [false, true] {
+                let mut args = vec!["--example", "fps", "--backend", backend, "--quiet"];
+                if preprocess {
+                    args.push("--preprocess");
+                }
+                let (json, _) = run(&parse_args(args).unwrap()).unwrap();
+                let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+                assert_eq!(
+                    parsed["mpmcs"][0]["name"].as_str(),
+                    Some("x1"),
+                    "{backend} preprocess={preprocess}"
+                );
+                assert!((parsed["probability"].as_f64().unwrap() - 0.02).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_check_wraps_the_report_and_reports_per_backend_timings() {
+        let options = parse_args([
+            "--example",
+            "fps",
+            "--backend",
+            "bdd",
+            "--cross-check",
+            "--all",
+            "--algorithm",
+            "sequential",
+            "--quiet",
+        ]);
+        // --algorithm with --backend bdd is rejected; drop it.
+        assert!(options.is_err());
+        let options = parse_args([
+            "--example",
+            "fps",
+            "--backend",
+            "bdd",
+            "--cross-check",
+            "--all",
+        ])
+        .unwrap();
+        let (json, summary) = run(&options).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["cross_check"]["match"].as_bool(), Some(true));
+        let backends = parsed["cross_check"]["backends"].as_array().unwrap();
+        assert_eq!(backends.len(), 2);
+        assert_eq!(backends[0]["backend"].as_str(), Some("bdd"));
+        assert_eq!(backends[1]["backend"].as_str(), Some("maxsat"));
+        assert_eq!(backends[0]["cut_sets"].as_u64(), Some(5));
+        assert_eq!(
+            parsed["report"].as_array().map(|r| r.len()),
+            Some(5),
+            "the primary backend's report rides along"
+        );
+        assert!(summary.contains("identical minimal cut sets"));
     }
 
     #[test]
