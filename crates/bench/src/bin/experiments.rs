@@ -1,6 +1,7 @@
 //! Prints the tables and series of the paper's evaluation (experiments E1–E7
 //! of `DESIGN.md`), plus the post-paper scaling experiments (E10 batch
-//! workers, E11 incremental enumeration, E12 cross-backend comparison).
+//! workers, E11 incremental enumeration, E12 cross-backend comparison, E13
+//! session-facade streaming).
 //!
 //! ```text
 //! cargo run --release -p ft-bench --bin experiments -- all
@@ -12,8 +13,8 @@ use std::process::ExitCode;
 
 use ft_bench::{
     backend_comparison, baselines, batch_scaling, encodings, enumeration_scaling,
-    extended_baselines, extended_measures, fig2, portfolio, scalability, table1, voting,
-    BASELINE_SIZES, SCALABILITY_SIZES,
+    extended_baselines, extended_measures, fig2, portfolio, scalability, session_streaming, table1,
+    voting, BASELINE_SIZES, SCALABILITY_SIZES,
 };
 
 const SEED: u64 = 2020;
@@ -41,6 +42,7 @@ fn main() -> ExitCode {
             "batch-scaling",
             "enumeration-scaling",
             "backend-comparison",
+            "session-streaming",
         ];
     }
 
@@ -105,9 +107,21 @@ fn main() -> ExitCode {
                     backend_comparison(&[40, 60, 80], SEED)
                 }
             }
+            "session-streaming" => {
+                // E13: the facade's streamed prefix vs a deeper collected
+                // top-k; the rows assert prefix identity and SAT-level early
+                // exit before any timing is published. The depths mirror
+                // E11's proven-safe enumeration band (deeper sweeps hit the
+                // weighted-OLL cliff, see the E11 note above).
+                if quick {
+                    session_streaming(&[100, 250], 5, 15, SEED)
+                } else {
+                    session_streaming(&[100, 250], 8, 18, SEED)
+                }
+            }
             other => {
                 eprintln!(
-                    "unknown experiment {other:?}; available: table1 fig2 scalability portfolio baselines encodings voting extended-baselines measures batch-scaling enumeration-scaling backend-comparison all"
+                    "unknown experiment {other:?}; available: table1 fig2 scalability portfolio baselines encodings voting extended-baselines measures batch-scaling enumeration-scaling backend-comparison session-streaming all"
                 );
                 return ExitCode::from(2);
             }

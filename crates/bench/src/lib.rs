@@ -909,6 +909,158 @@ pub fn backend_comparison(sizes: &[usize], seed: u64) -> String {
     out
 }
 
+/// One row of the E13 session-facade streaming study: the cost of a streamed
+/// canonical prefix versus the collected full enumeration, both through the
+/// [`ft_session::Analyzer`] facade.
+#[derive(Clone, Debug)]
+pub struct SessionStreamingRow {
+    /// Structural family name.
+    pub family: &'static str,
+    /// Target total node count.
+    pub target_nodes: usize,
+    /// Length of the streamed prefix.
+    pub prefix: usize,
+    /// Depth of the collected top-k query the prefix is compared against.
+    pub collected_k: usize,
+    /// Solutions the collected query actually found (≤ `collected_k`).
+    pub found: usize,
+    /// Wall time of streaming the prefix (early exit).
+    pub stream_time: Duration,
+    /// Wall time of the collected top-k enumeration.
+    pub collected_time: Duration,
+    /// SAT calls issued by the streamed prefix.
+    pub stream_sat_calls: u64,
+    /// SAT calls issued by the collected top-k enumeration.
+    pub collected_sat_calls: u64,
+}
+
+/// E13 — the session facade's streaming contract, measured: a stream taking
+/// the first `prefix` cut sets must (a) deliver exactly the first `prefix`
+/// entries of the collected `top_k(k)` answer (`prefix < k`) and (b) stop
+/// the SAT engine early (strictly fewer SAT calls than the deeper collected
+/// query). Both legs run through [`ft_session::Analyzer`]; a violated
+/// contract fails the study (and the CI smoke step) instead of printing a
+/// flag. The collected leg is a bounded top-k rather than an exhaustive
+/// enumeration for the same reason E11 bounds its depth: full MaxSAT
+/// enumeration of a generated family's cut sets hits the weighted-OLL
+/// deep-k cliff, which would measure instance hardness, not streaming.
+pub fn session_streaming_rows(
+    sizes: &[usize],
+    prefix: usize,
+    k: usize,
+    seed: u64,
+) -> Vec<SessionStreamingRow> {
+    use ft_session::Analyzer;
+    assert!(prefix < k, "the contrast needs a deeper collected query");
+    let mut rows = Vec::new();
+    for family in [Family::RandomMixed, Family::OrHeavy] {
+        for &size in sizes {
+            let tree = family.generate(size, seed);
+            let mut collected_analyzer =
+                Analyzer::for_tree(tree.clone()).algorithm(AlgorithmChoice::SequentialPortfolio);
+            let (collected, collected_time) = timed(|| {
+                collected_analyzer
+                    .top_k(k)
+                    .expect("generated trees have cut sets")
+            });
+            let collected_sat_calls = collected
+                .solutions
+                .iter()
+                .map(|s| s.stats.as_ref().map_or(0, |stats| stats.sat_calls))
+                .sum();
+            let stream_analyzer =
+                Analyzer::for_tree(tree).algorithm(AlgorithmChoice::SequentialPortfolio);
+            let ((streamed, stream_sat_calls), stream_time) = timed(|| {
+                let mut stream = stream_analyzer.stream();
+                let mut out = Vec::new();
+                for item in stream.by_ref().take(prefix) {
+                    out.push(item.expect("generated trees have cut sets"));
+                }
+                let calls = stream.sat_calls().unwrap_or(0);
+                (out, calls)
+            });
+            assert_eq!(
+                streamed.len(),
+                prefix.min(collected.solutions.len()),
+                "{}-{size}: stream must deliver the requested prefix",
+                family.name()
+            );
+            for (s, c) in streamed.iter().zip(&collected.solutions) {
+                assert_eq!(
+                    s.cut_set,
+                    c.cut_set,
+                    "{}-{size}: streamed prefix diverged from the collected answer",
+                    family.name()
+                );
+            }
+            if collected.solutions.len() > prefix + 1 {
+                assert!(
+                    stream_sat_calls < collected_sat_calls,
+                    "{}-{size}: early exit must stop the SAT engine ({} vs {})",
+                    family.name(),
+                    stream_sat_calls,
+                    collected_sat_calls
+                );
+            }
+            rows.push(SessionStreamingRow {
+                family: family.name(),
+                target_nodes: size,
+                prefix: streamed.len(),
+                collected_k: k,
+                found: collected.solutions.len(),
+                stream_time,
+                collected_time,
+                stream_sat_calls,
+                collected_sat_calls,
+            });
+        }
+    }
+    rows
+}
+
+/// Formats the E13 rows.
+pub fn session_streaming(sizes: &[usize], prefix: usize, k: usize, seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# E13 — session facade: streamed top-{prefix} prefix vs collected top-{k}\n"
+    ));
+    out.push_str(
+        "family        target  prefix  found  stream_ms  collected_ms  stream_calls  collected_calls\n",
+    );
+    for row in session_streaming_rows(sizes, prefix, k, seed) {
+        out.push_str(&format!(
+            "{:<13} {:<7} {:<7} {:<6} {:<10.2} {:<13.2} {:<13} {:<15}\n",
+            row.family,
+            row.target_nodes,
+            row.prefix,
+            row.found,
+            ms(row.stream_time),
+            ms(row.collected_time),
+            row.stream_sat_calls,
+            row.collected_sat_calls
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod session_streaming_tests {
+    use super::*;
+
+    #[test]
+    fn session_streaming_rows_hold_the_prefix_and_early_exit_contracts() {
+        let rows = session_streaming_rows(&[60], 3, 8, 9);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.prefix <= row.found);
+            assert!(row.stream_sat_calls > 0);
+        }
+        let table = session_streaming(&[60], 3, 8, 9);
+        assert!(table.contains("E13"));
+        assert!(table.contains("stream_calls"));
+    }
+}
+
 #[cfg(test)]
 mod backend_comparison_tests {
     use super::*;

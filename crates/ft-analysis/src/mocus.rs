@@ -14,8 +14,14 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 use fault_tree::{CutSet, FaultTree, GateKind, NodeId};
+
+/// A cancellation probe polled once per gate expansion: when it returns
+/// `true` the run stops cleanly with [`MocusError::Interrupted`]. See
+/// [`Mocus::with_interrupt`].
+pub type MocusInterrupt = Arc<dyn Fn() -> bool + Send + Sync>;
 
 /// Errors produced by the MOCUS expansion.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,6 +31,9 @@ pub enum MocusError {
         /// The configured budget.
         budget: usize,
     },
+    /// The installed [interrupt probe](Mocus::with_interrupt) fired before
+    /// the expansion finished (deadline expired or the query was cancelled).
+    Interrupted,
 }
 
 impl fmt::Display for MocusError {
@@ -33,6 +42,12 @@ impl fmt::Display for MocusError {
             MocusError::BudgetExceeded { budget } => {
                 write!(f, "MOCUS expansion exceeded the budget of {budget} sets")
             }
+            MocusError::Interrupted => {
+                write!(
+                    f,
+                    "MOCUS expansion was stopped by its budget/cancellation probe"
+                )
+            }
         }
     }
 }
@@ -40,10 +55,21 @@ impl fmt::Display for MocusError {
 impl std::error::Error for MocusError {}
 
 /// The MOCUS minimal cut set generator.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Mocus<'a> {
     tree: &'a FaultTree,
     max_sets: usize,
+    interrupt: Option<MocusInterrupt>,
+}
+
+impl fmt::Debug for Mocus<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mocus")
+            .field("tree", &self.tree.name())
+            .field("max_sets", &self.max_sets)
+            .field("interruptible", &self.interrupt.is_some())
+            .finish()
+    }
 }
 
 impl<'a> Mocus<'a> {
@@ -55,12 +81,27 @@ impl<'a> Mocus<'a> {
         Mocus {
             tree,
             max_sets: Self::DEFAULT_MAX_SETS,
+            interrupt: None,
         }
     }
 
     /// Overrides the intermediate-set budget.
     pub fn with_budget(tree: &'a FaultTree, max_sets: usize) -> Self {
-        Mocus { tree, max_sets }
+        Mocus {
+            tree,
+            max_sets,
+            interrupt: None,
+        }
+    }
+
+    /// Installs a cancellation probe, polled once per gate expansion. A run
+    /// whose probe fires stops cleanly with [`MocusError::Interrupted`]
+    /// instead of burning through the rest of its budget — this is how the
+    /// analysis facade's wall-clock deadlines reach the classic expansion
+    /// loop.
+    pub fn with_interrupt(mut self, interrupt: MocusInterrupt) -> Self {
+        self.interrupt = Some(interrupt);
+        self
     }
 
     /// Computes all minimal cut sets.
@@ -74,6 +115,9 @@ impl<'a> Mocus<'a> {
         // events already resolved).
         let mut families: Vec<BTreeSet<NodeId>> = vec![BTreeSet::from([self.tree.top()])];
         loop {
+            if self.interrupt.as_ref().is_some_and(|probe| probe()) {
+                return Err(MocusError::Interrupted);
+            }
             if families.len() > self.max_sets {
                 return Err(MocusError::BudgetExceeded {
                     budget: self.max_sets,
@@ -201,6 +245,22 @@ mod tests {
     use fault_tree::examples::{
         fire_protection_system, pressure_tank_system, redundant_sensor_network,
     };
+
+    #[test]
+    fn interrupt_probe_stops_the_expansion_cleanly() {
+        let tree = fire_protection_system();
+        // A pre-fired probe stops before any expansion happens.
+        let stopped = Mocus::new(&tree)
+            .with_interrupt(Arc::new(|| true))
+            .minimal_cut_sets();
+        assert_eq!(stopped, Err(MocusError::Interrupted));
+        // A quiet probe changes nothing.
+        let all = Mocus::new(&tree)
+            .with_interrupt(Arc::new(|| false))
+            .minimal_cut_sets()
+            .expect("small tree");
+        assert_eq!(all.len(), 5);
+    }
 
     #[test]
     fn combinations_enumerate_k_subsets() {

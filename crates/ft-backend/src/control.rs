@@ -1,0 +1,237 @@
+//! Query budgets and cooperative cancellation.
+//!
+//! Production query serving needs two properties the plain collected APIs
+//! lack: a hard bound on how long (and how far) a query may run, and a way
+//! for another thread to stop a query that is no longer wanted. This module
+//! provides the shared vocabulary:
+//!
+//! * [`Budget`] — a declarative per-query limit: wall-clock deadline and/or
+//!   a cap on the number of reported solutions;
+//! * [`CancelToken`] — a clonable, thread-safe cancellation handle;
+//! * [`QueryControl`] — one *armed* budget: deadline stamped at query start,
+//!   checked wherever the engines loop (the CDCL search loop, the MPMCS
+//!   enumeration, the MOCUS expansion), and convertible into the
+//!   [`sat_solver::InterruptHook`] probe the solver layer polls.
+//!
+//! The session facade (`ft-session`) re-exports these types; they live here
+//! so that every backend can honour them without depending on the facade.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sat_solver::InterruptHook;
+
+/// A declarative per-query resource limit.
+///
+/// The default budget is unlimited. Budgets compose builder-style:
+///
+/// ```rust
+/// use ft_backend::Budget;
+///
+/// let budget = Budget::wall_ms(500).max_solutions(10);
+/// assert_eq!(budget.max_solutions_limit(), Some(10));
+/// assert!(budget.wall_limit().is_some());
+/// assert!(!Budget::unlimited().is_limited());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    wall: Option<Duration>,
+    max_solutions: Option<usize>,
+}
+
+impl Budget {
+    /// The unlimited budget (the default).
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// A budget with a wall-clock deadline of `ms` milliseconds per query.
+    pub fn wall_ms(ms: u64) -> Self {
+        Budget {
+            wall: Some(Duration::from_millis(ms)),
+            max_solutions: None,
+        }
+    }
+
+    /// Builds a budget from optional CLI-style limits (`--timeout-ms` /
+    /// `--max-solutions`); `None` everywhere yields the unlimited budget.
+    pub fn from_limits(timeout_ms: Option<u64>, max_solutions: Option<usize>) -> Self {
+        Budget {
+            wall: timeout_ms.map(Duration::from_millis),
+            max_solutions,
+        }
+    }
+
+    /// Sets the wall-clock deadline.
+    pub fn with_wall(mut self, limit: Duration) -> Self {
+        self.wall = Some(limit);
+        self
+    }
+
+    /// Caps the number of solutions a query may report.
+    pub fn max_solutions(mut self, limit: usize) -> Self {
+        self.max_solutions = Some(limit);
+        self
+    }
+
+    /// The wall-clock limit, if any.
+    pub fn wall_limit(&self) -> Option<Duration> {
+        self.wall
+    }
+
+    /// The solution-count cap, if any.
+    pub fn max_solutions_limit(&self) -> Option<usize> {
+        self.max_solutions
+    }
+
+    /// `true` when any limit is set.
+    pub fn is_limited(&self) -> bool {
+        self.wall.is_some() || self.max_solutions.is_some()
+    }
+}
+
+/// A clonable, thread-safe cancellation handle.
+///
+/// All clones share one flag: cancelling any of them cancels the query
+/// everywhere the token (or a [`QueryControl`] armed with it) is observed.
+///
+/// ```rust
+/// use ft_backend::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let observer = token.clone();
+/// assert!(!observer.is_cancelled());
+/// token.cancel();
+/// assert!(observer.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a query stopped before completing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopCause {
+    /// The wall-clock deadline of the query's [`Budget`] expired.
+    Deadline,
+    /// The query's [`CancelToken`] was cancelled.
+    Cancelled,
+}
+
+impl fmt::Display for StopCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopCause::Deadline => write!(f, "the wall-clock deadline expired"),
+            StopCause::Cancelled => write!(f, "the query was cancelled"),
+        }
+    }
+}
+
+/// One *armed* budget: a [`Budget`] whose deadline was stamped at query
+/// start, paired with the query's [`CancelToken`].
+///
+/// Engines poll [`QueryControl::stop_cause`] at their loop boundaries; the
+/// SAT layer polls the equivalent [`QueryControl::interrupt_hook`] deep
+/// inside the CDCL search.
+#[derive(Clone, Debug)]
+pub struct QueryControl {
+    deadline: Option<Instant>,
+    cancel: CancelToken,
+}
+
+impl QueryControl {
+    /// Arms `budget` now (the deadline clock starts ticking) under `cancel`.
+    pub fn begin(budget: &Budget, cancel: &CancelToken) -> Self {
+        QueryControl {
+            deadline: budget.wall_limit().map(|limit| Instant::now() + limit),
+            cancel: cancel.clone(),
+        }
+    }
+
+    /// A control that never stops the query (no deadline, fresh token).
+    pub fn unbounded() -> Self {
+        QueryControl {
+            deadline: None,
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// Why the query must stop now, if it must.
+    pub fn stop_cause(&self) -> Option<StopCause> {
+        if self.cancel.is_cancelled() {
+            return Some(StopCause::Cancelled);
+        }
+        if self
+            .deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
+        {
+            return Some(StopCause::Deadline);
+        }
+        None
+    }
+
+    /// The control as the probe the SAT search loop polls
+    /// ([`sat_solver::Solver::set_interrupt`]).
+    pub fn interrupt_hook(&self) -> InterruptHook {
+        let control = self.clone();
+        Arc::new(move || control.stop_cause().is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_tokens_share_state_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn controls_report_the_right_stop_cause() {
+        let token = CancelToken::new();
+        let unbounded = QueryControl::begin(&Budget::unlimited(), &token);
+        assert_eq!(unbounded.stop_cause(), None);
+
+        // An already-expired deadline fires immediately.
+        let expired = QueryControl::begin(&Budget::wall_ms(0), &token);
+        assert_eq!(expired.stop_cause(), Some(StopCause::Deadline));
+
+        // Cancellation wins over everything and reaches armed controls.
+        token.cancel();
+        assert_eq!(unbounded.stop_cause(), Some(StopCause::Cancelled));
+        assert!(unbounded.interrupt_hook()());
+    }
+
+    #[test]
+    fn budgets_compose_builder_style() {
+        let budget = Budget::wall_ms(250).max_solutions(3);
+        assert_eq!(budget.wall_limit(), Some(Duration::from_millis(250)));
+        assert_eq!(budget.max_solutions_limit(), Some(3));
+        assert!(budget.is_limited());
+        assert!(!Budget::default().is_limited());
+    }
+}

@@ -51,6 +51,7 @@
 
 mod auto;
 mod bdd;
+mod control;
 mod maxsat;
 mod mocus;
 mod preprocess;
@@ -64,8 +65,9 @@ use mpmcs::AlgorithmChoice;
 
 pub use auto::{choose_backend, StructuralFeatures};
 pub use bdd::BddBackend;
+pub use control::{Budget, CancelToken, QueryControl, StopCause};
 pub use maxsat::MaxSatBackend;
-pub use mocus::MocusBackend;
+pub use mocus::{exact_union_probability, MocusBackend};
 pub use preprocess::{decompose, ModularDecomposition, ModulePiece, PreprocessedBackend};
 pub use solution::{canonical_sort, scaled_cut_cost, BackendSolution};
 
@@ -194,14 +196,42 @@ impl fmt::Display for BackendError {
 
 impl std::error::Error for BackendError {}
 
+/// An enumeration outcome under a [`QueryControl`]: the solutions reported
+/// before the query completed or was stopped, plus the stop cause (if any).
+///
+/// Only the MaxSAT engine is *anytime* — a stopped query still reports the
+/// canonical prefix it had proven. The classical engines (BDD path walks,
+/// MOCUS expansion) compute the full family before any solution is known, so
+/// a stopped query reports an empty prefix; either way the partial result is
+/// well-labelled rather than silently wrong.
+#[derive(Clone, Debug)]
+pub struct Enumerated {
+    /// The reported solutions, in the canonical cross-backend order. A
+    /// complete query reports the full family; a stopped MaxSAT query
+    /// reports the proven prefix.
+    pub solutions: Vec<BackendSolution>,
+    /// `None` when the query ran to completion; otherwise why it stopped.
+    pub stopped: Option<StopCause>,
+}
+
+impl Enumerated {
+    /// `true` when the query ran to completion (the solutions are the whole
+    /// minimal-cut-set family).
+    pub fn is_complete(&self) -> bool {
+        self.stopped.is_none()
+    }
+}
+
 /// One interface for the four core fault-tree analysis queries, implemented
 /// by all three engines.
 ///
 /// Implementations return cut sets over the event identifiers of the tree
 /// passed to the query, in the canonical order of [`canonical_sort`]
 /// (non-increasing probability, refined by exact scaled cost, ties broken by
-/// cut set) — so any two backends are directly comparable.
-pub trait AnalysisBackend {
+/// cut set) — so any two backends are directly comparable. Backends are
+/// `Send + Sync`: they hold configuration, not per-query state, so one
+/// instance may serve concurrent queries from many threads.
+pub trait AnalysisBackend: Send + Sync {
     /// The stable engine name (`"maxsat"`, `"bdd"`, `"mocus"`).
     fn name(&self) -> &'static str;
 
@@ -238,6 +268,37 @@ pub trait AnalysisBackend {
     /// exactly within its budget (MCS-based engines on trees with many cut
     /// sets), or a budget error.
     fn top_event_probability(&self, tree: &FaultTree) -> Result<f64, BackendError>;
+
+    /// Every minimal cut set, most probable first, under a deadline /
+    /// cancellation control — the entry point the session facade's budgets
+    /// flow through.
+    ///
+    /// The default implementation brackets the collected
+    /// [`all_mcs`](AnalysisBackend::all_mcs) with control checks, so a query
+    /// is only stopped at the boundaries; engines with interruptible inner loops
+    /// override it (the MaxSAT engine streams and reports the proven prefix,
+    /// MOCUS polls the control inside its expansion loop).
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`all_mcs`](AnalysisBackend::all_mcs); a *stopped*
+    /// query is not an error — it reports [`Enumerated::stopped`].
+    fn all_mcs_under(
+        &self,
+        tree: &FaultTree,
+        control: &QueryControl,
+    ) -> Result<Enumerated, BackendError> {
+        if let Some(cause) = control.stop_cause() {
+            return Ok(Enumerated {
+                solutions: Vec::new(),
+                stopped: Some(cause),
+            });
+        }
+        Ok(Enumerated {
+            solutions: self.all_mcs(tree)?,
+            stopped: None,
+        })
+    }
 }
 
 /// Resolves [`BackendKind::Auto`] against a concrete tree; other kinds pass

@@ -1,10 +1,15 @@
 //! The MaxSAT engine behind the [`AnalysisBackend`] interface.
 
-use fault_tree::{CutSet, FaultTree};
-use mpmcs::{AlgorithmChoice, EnumerationLimit, MpmcsError, MpmcsOptions, MpmcsSolver};
+use std::sync::Arc;
 
+use fault_tree::{CutSet, FaultTree};
+use mpmcs::{
+    AlgorithmChoice, EnumerationLimit, McsStream, MpmcsError, MpmcsOptions, MpmcsSolver, StreamStep,
+};
+
+use crate::control::{QueryControl, StopCause};
 use crate::solution::BackendSolution;
-use crate::{AnalysisBackend, BackendError};
+use crate::{AnalysisBackend, BackendError, Enumerated};
 
 /// The paper's Weighted Partial MaxSAT pipeline as an analysis backend,
 /// wrapping the incremental [`MpmcsSolver`].
@@ -100,6 +105,58 @@ impl AnalysisBackend for MaxSatBackend {
             Err(other) => return Err(other),
         };
         crate::mocus::exact_union_probability(tree, &cut_sets, self.probability_budget, self.name())
+    }
+
+    /// The MaxSAT engine is *anytime*: the enumeration streams one cut set at
+    /// a time from a live incremental session with the control's probe
+    /// threaded down into the CDCL search loop, so a stopped query reports
+    /// the canonical prefix it had proven instead of nothing.
+    fn all_mcs_under(
+        &self,
+        tree: &FaultTree,
+        control: &QueryControl,
+    ) -> Result<Enumerated, BackendError> {
+        let stopped = |solutions: Vec<BackendSolution>, control: &QueryControl| Enumerated {
+            solutions,
+            // The hook may have fired between two control polls; report the
+            // most specific cause still observable.
+            stopped: Some(control.stop_cause().unwrap_or(StopCause::Cancelled)),
+        };
+        if control.stop_cause().is_some() {
+            return Ok(stopped(Vec::new(), control));
+        }
+        if self.options.algorithm == AlgorithmChoice::LinearSu || !self.options.incremental {
+            // An explicit linear-SAT–UNSAT (or from-scratch) request has no
+            // streaming counterpart; honour it through the collected path
+            // with control checks at the boundaries, keeping the requested
+            // algorithm and its tags instead of silently running OLL.
+            return Ok(Enumerated {
+                solutions: self.all_mcs(tree)?,
+                stopped: None,
+            });
+        }
+        let mut stream = McsStream::open(Arc::new(tree.clone()), self.options);
+        stream.set_interrupt(Some(control.interrupt_hook()));
+        let mut solutions = Vec::new();
+        loop {
+            // Solutions already proven (buffered tie groups) bypass the SAT
+            // loop and its probe, so poll the control here as well.
+            if control.stop_cause().is_some() {
+                return Ok(stopped(solutions, control));
+            }
+            match stream.next_step().map_err(map_error)? {
+                StreamStep::Solution(solution) => {
+                    solutions.push(BackendSolution::from_mpmcs(solution));
+                }
+                StreamStep::Exhausted => {
+                    return Ok(Enumerated {
+                        solutions,
+                        stopped: None,
+                    })
+                }
+                StreamStep::Interrupted => return Ok(stopped(solutions, control)),
+            }
+        }
     }
 }
 

@@ -4,10 +4,11 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use fault_tree::{CutSet, EventId, FaultTree};
-use ft_analysis::mocus::Mocus;
+use ft_analysis::mocus::{Mocus, MocusError};
 
+use crate::control::{QueryControl, StopCause};
 use crate::solution::{canonical_sort, charge_first, BackendSolution};
-use crate::{AnalysisBackend, BackendError};
+use crate::{AnalysisBackend, BackendError, Enumerated};
 
 /// The classic MOCUS top-down cut-set generator as an analysis backend.
 ///
@@ -43,8 +44,10 @@ impl MocusBackend {
     }
 }
 
-/// Exact probability of the union of the given cut sets — the shared
-/// quantification path of the MCS-based backends (MOCUS and MaxSAT).
+/// Exact probability of the union of `cut_sets` — the shared quantification
+/// path of the MCS-based backends (MOCUS and MaxSAT), exported so the
+/// session facade can quantify an already-enumerated (warm) cut-set family
+/// without re-running the enumeration.
 ///
 /// Computed by recursive pivotal (Shannon) decomposition over the cut-set
 /// family: condition on the most shared event `e`, recurse into the family
@@ -55,7 +58,7 @@ impl MocusBackend {
 /// handles families the bundled models produce. `budget` caps the number of
 /// recursion nodes; overruns report
 /// [`BackendError::ProbabilityUnsupported`].
-pub(crate) fn exact_union_probability(
+pub fn exact_union_probability(
     tree: &FaultTree,
     cut_sets: &[CutSet],
     budget: usize,
@@ -193,7 +196,11 @@ fn split_components(cuts: &[CutSet]) -> Vec<Vec<CutSet>> {
             }
         }
     }
-    let mut groups: HashMap<usize, Vec<CutSet>> = HashMap::new();
+    // Ordered by root index: the caller multiplies the component
+    // probabilities together, and floating-point products are only
+    // bit-reproducible across calls when the factor order is deterministic.
+    let mut groups: std::collections::BTreeMap<usize, Vec<CutSet>> =
+        std::collections::BTreeMap::new();
     for (index, cut) in cuts.iter().enumerate() {
         let root = find(&mut parent, index);
         groups.entry(root).or_default().push(cut.clone());
@@ -234,6 +241,51 @@ impl AnalysisBackend for MocusBackend {
     fn top_event_probability(&self, tree: &FaultTree) -> Result<f64, BackendError> {
         let cut_sets = self.cut_sets(tree)?;
         exact_union_probability(tree, &cut_sets, self.probability_budget, self.name())
+    }
+
+    /// MOCUS polls the control once per gate expansion, so a deadline or a
+    /// cancellation stops the (potentially exponential) expansion promptly.
+    /// The expansion computes the family bottom-up — no cut set is known
+    /// until the end — so a stopped query reports an empty, well-labelled
+    /// prefix rather than unordered partial work.
+    fn all_mcs_under(
+        &self,
+        tree: &FaultTree,
+        control: &QueryControl,
+    ) -> Result<Enumerated, BackendError> {
+        let start = Instant::now();
+        let probe = control.clone();
+        let expansion = Mocus::with_budget(tree, self.max_sets)
+            .with_interrupt(std::sync::Arc::new(move || probe.stop_cause().is_some()))
+            .minimal_cut_sets();
+        let cut_sets = match expansion {
+            Ok(cut_sets) => cut_sets,
+            Err(MocusError::Interrupted) => {
+                return Ok(Enumerated {
+                    solutions: Vec::new(),
+                    stopped: Some(control.stop_cause().unwrap_or(StopCause::Cancelled)),
+                })
+            }
+            Err(error) => {
+                return Err(BackendError::Budget {
+                    backend: "mocus",
+                    detail: error.to_string(),
+                })
+            }
+        };
+        if cut_sets.is_empty() {
+            return Err(BackendError::NoCutSet);
+        }
+        let mut solutions: Vec<BackendSolution> = cut_sets
+            .into_iter()
+            .map(|cut| BackendSolution::from_cut(tree, cut, self.name()))
+            .collect();
+        canonical_sort(tree, &mut solutions);
+        charge_first(&mut solutions, start.elapsed());
+        Ok(Enumerated {
+            solutions,
+            stopped: None,
+        })
     }
 }
 

@@ -6,7 +6,8 @@ use std::time::Instant;
 
 use bdd_engine::VariableOrdering;
 use fault_tree::FaultTree;
-use ft_backend::{backend_for, BackendConfig, BackendKind};
+use ft_backend::{BackendKind, Budget};
+use ft_session::{Analyzer, SessionError};
 use mpmcs::AlgorithmChoice;
 
 use crate::manifest::{BatchJob, BatchManifest};
@@ -48,6 +49,14 @@ pub struct BatchConfig {
     /// Run the modular divide-and-conquer preprocessing pass in front of
     /// every per-tree analysis.
     pub preprocess: bool,
+    /// Per-tree wall-clock budget in milliseconds (CLI `--timeout-ms`). A
+    /// tree whose analysis hits the deadline reports the canonical solution
+    /// prefix it had proven, marked `truncated` — never a silently
+    /// incomplete answer.
+    pub timeout_ms: Option<u64>,
+    /// Per-tree cap on reported solutions (CLI `--max-solutions`); rows
+    /// capped below `top_k` are marked `truncated`.
+    pub max_solutions: Option<usize>,
 }
 
 impl Default for BatchConfig {
@@ -61,11 +70,18 @@ impl Default for BatchConfig {
             backend: BackendKind::MaxSat,
             bdd_ordering: VariableOrdering::DepthFirst,
             preprocess: false,
+            timeout_ms: None,
+            max_solutions: None,
         }
     }
 }
 
 impl BatchConfig {
+    /// The per-query [`Budget`] implied by the configured limits.
+    pub fn budget(&self) -> Budget {
+        Budget::from_limits(self.timeout_ms, self.max_solutions)
+    }
+
     /// The worker count a manifest of `jobs_available` jobs will actually
     /// use: the configured count (or the available parallelism when 0),
     /// capped by the number of jobs and floored at 1.
@@ -162,7 +178,9 @@ fn algorithm_name(algorithm: AlgorithmChoice) -> &'static str {
     }
 }
 
-/// Loads and analyses one job, capturing any failure in the report row.
+/// Loads and analyses one job through the session facade, capturing any
+/// failure in the report row. Budget-stopped analyses report the canonical
+/// prefix proven before the stop, marked `truncated`.
 fn analyze_job(job: &BatchJob, config: &BatchConfig) -> TreeReport {
     let start = Instant::now();
     let mut report = TreeReport {
@@ -176,6 +194,7 @@ fn analyze_job(job: &BatchJob, config: &BatchConfig) -> TreeReport {
         cut_sets: Vec::new(),
         error: None,
         importance: None,
+        truncated: None,
     };
     let tree = match job.load() {
         Ok(tree) => tree,
@@ -187,28 +206,39 @@ fn analyze_job(job: &BatchJob, config: &BatchConfig) -> TreeReport {
     };
     report.num_events = tree.num_events();
     report.num_gates = tree.num_gates();
-    let backend_config = BackendConfig {
-        algorithm: config.algorithm,
-        bdd_ordering: config.bdd_ordering,
-        preprocess: config.preprocess,
-        ..BackendConfig::default()
-    };
-    let (resolved, backend) = backend_for(config.backend, &tree, &backend_config);
-    report.backend = resolved.name().to_string();
-    match backend.top_k(&tree, config.top_k.max(1)) {
-        Ok(solutions) => {
+    let mut analyzer = Analyzer::for_tree(tree)
+        .backend(config.backend)
+        .algorithm(config.algorithm)
+        .bdd_ordering(config.bdd_ordering)
+        .preprocess(config.preprocess)
+        .budget(config.budget());
+    report.backend = analyzer.resolved_backend().name().to_string();
+    match analyzer.top_k(config.top_k.max(1)) {
+        Ok(set) => {
             report.status = "ok".to_string();
-            report.sat_calls = solutions
+            report.truncated = set.is_truncated().then_some(true);
+            report.sat_calls = set
+                .solutions
                 .iter()
                 .map(|s| s.stats.as_ref().map_or(0, |stats| stats.sat_calls))
                 .sum();
-            report.cut_sets = solutions
+            report.cut_sets = set
+                .solutions
                 .iter()
-                .map(|solution| solution.to_report(&tree, config.stats))
+                .map(|solution| solution.to_report(analyzer.tree(), config.stats))
                 .collect();
             if config.importance {
-                report.importance = importance_rows(&tree, config.bdd_ordering);
+                report.importance = importance_rows(analyzer.tree(), config.bdd_ordering);
             }
+        }
+        Err(SessionError::Stopped(_)) => {
+            // The budget fired before even one solution was proven: the row
+            // is an explicitly truncated empty answer, not a solver failure
+            // — it stays "ok" so the summary's failure count keeps meaning
+            // "broken model", and the [truncated] marker tells the operator
+            // to raise the budget.
+            report.status = "ok".to_string();
+            report.truncated = Some(true);
         }
         Err(error) => {
             report.error = Some(format!("solver error: {error}"));
@@ -413,6 +443,31 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A deadline that fires before any solution leaves the row an
+    /// explicitly truncated *ok* answer — never an error: the summary's
+    /// failure count must keep meaning "broken model".
+    #[test]
+    fn budget_stopped_rows_are_truncated_not_failed() {
+        let manifest = BatchManifest::generated(Family::RandomMixed, 60, 2, 3);
+        let report = run_batch(
+            &manifest,
+            &BatchConfig {
+                timeout_ms: Some(0),
+                ..BatchConfig::default()
+            },
+        );
+        assert_eq!(report.summary.failed, 0);
+        assert_eq!(report.summary.succeeded, 2);
+        assert!(report.any_truncated());
+        for row in &report.results {
+            assert_eq!(row.status, "ok");
+            assert_eq!(row.truncated, Some(true));
+            assert!(row.error.is_none());
+            assert!(row.cut_sets.is_empty());
+        }
+        assert!(report.render_text().contains("[truncated]"));
     }
 
     #[test]

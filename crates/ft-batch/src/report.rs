@@ -49,6 +49,11 @@ pub struct TreeReport {
     pub error: Option<String>,
     /// The importance table, when the batch was configured to compute it.
     pub importance: Option<Vec<ImportanceRow>>,
+    /// `Some(true)` when a per-tree budget (`timeout_ms` / `max_solutions`)
+    /// stopped the analysis early: `cut_sets` then holds the canonical
+    /// prefix proven before the stop. Absent for complete rows, so budgetless
+    /// batches keep their historical byte format.
+    pub truncated: Option<bool>,
 }
 
 serde::impl_serde_struct!(TreeReport {
@@ -60,7 +65,7 @@ serde::impl_serde_struct!(TreeReport {
     sat_calls,
     solve_time_ms,
     cut_sets
-} optional { error, importance });
+} optional { error, importance, truncated });
 
 /// Aggregate statistics over a whole batch run.
 #[derive(Clone, Debug, PartialEq)]
@@ -125,6 +130,12 @@ impl BatchReport {
         serde_json::to_string_pretty(self).expect("batch reports always serialise")
     }
 
+    /// `true` when any per-tree budget stopped an analysis early — the CLI
+    /// maps this to its distinct partial-results exit code.
+    pub fn any_truncated(&self) -> bool {
+        self.results.iter().any(|r| r.truncated == Some(true))
+    }
+
     /// Renders the report as pretty-printed JSON with every timing field
     /// zeroed ([`redact_timings`]), every `solver_stats` block dropped
     /// ([`redact_solver_stats`]) and the worker count masked — the pieces of
@@ -154,13 +165,18 @@ impl BatchReport {
                 "ok" => {
                     let best = result.cut_sets.first();
                     out.push_str(&format!(
-                        "{:<width$}  ok     p={:<12} |MPMCS|={:<3} cut_sets={:<3} sat_calls={:<5} {:.2} ms\n",
+                        "{:<width$}  ok     p={:<12} |MPMCS|={:<3} cut_sets={:<3} sat_calls={:<5} {:.2} ms{}\n",
                         result.name,
                         best.map_or_else(|| "-".to_string(), |b| format!("{:.4e}", b.probability)),
                         best.map_or(0, |b| b.mpmcs.len()),
                         result.cut_sets.len(),
                         result.sat_calls,
                         result.solve_time_ms,
+                        if result.truncated == Some(true) {
+                            "  [truncated]"
+                        } else {
+                            ""
+                        },
                     ));
                 }
                 _ => {
@@ -287,6 +303,7 @@ mod tests {
                     cut_sets: Vec::new(),
                     error: None,
                     importance: None,
+                    truncated: None,
                 },
                 TreeReport {
                     name: "b.dft".to_string(),
@@ -299,6 +316,7 @@ mod tests {
                     cut_sets: Vec::new(),
                     error: Some("cannot parse b.dft: bad gate".to_string()),
                     importance: None,
+                    truncated: None,
                 },
             ],
         }

@@ -1,0 +1,517 @@
+//! The session-oriented [`Analyzer`] facade.
+
+use std::sync::Arc;
+
+use bdd_engine::VariableOrdering;
+use fault_tree::{CutSet, FaultTree};
+use ft_backend::{
+    backend_for, exact_union_probability, AnalysisBackend, BackendConfig, BackendKind,
+    BackendSolution, Budget, CancelToken, QueryControl,
+};
+use mpmcs::{AlgorithmChoice, McsStream, MpmcsOptions, StreamStep};
+
+use crate::results::{ImportanceReport, ImportanceRow, SessionError, SolutionSet, Termination};
+use crate::stream::SolutionStream;
+
+/// The warm per-analyzer solver state of the incremental MaxSAT engine: one
+/// live enumeration session plus the canonical solution prefix it has proven
+/// so far. Queries extend the prefix lazily — `top_k(5)` after `top_k(3)`
+/// solves two more optima, not eight.
+#[derive(Debug, Default)]
+pub(crate) struct WarmState {
+    stream: Option<McsStream>,
+    cache: Vec<BackendSolution>,
+    exhausted: bool,
+    no_cut_set: bool,
+}
+
+/// The session-oriented entry point for fault-tree analysis.
+///
+/// An `Analyzer` owns the parsed tree and the warm incremental solver state,
+/// and answers the core queries through one typed, budget-aware interface —
+/// replacing the assemble-it-yourself `FaultTree` → [`BackendConfig`] →
+/// [`backend_for`] → per-query wiring:
+///
+/// ```rust
+/// use fault_tree::examples::fire_protection_system;
+/// use ft_session::{Analyzer, BackendKind, Budget};
+///
+/// let mut analyzer = Analyzer::for_tree(fire_protection_system())
+///     .backend(BackendKind::MaxSat)
+///     .budget(Budget::wall_ms(5_000).max_solutions(64));
+/// let best = analyzer.mpmcs().unwrap();
+/// assert!((best.probability - 0.02).abs() < 1e-9); // the paper's answer
+/// let top = analyzer.top_k(3).unwrap(); // reuses the warm session
+/// assert_eq!(top.solutions.len(), 3);
+/// assert!(!top.is_truncated());
+/// ```
+///
+/// # Query semantics
+///
+/// All enumeration queries answer in the **canonical enumeration order**
+/// (exact integer scaled cost, then cut set): `top_k(k)` is always the first
+/// `k` entries of the full `all_mcs()` sequence, and a streamed prefix of
+/// length `n` equals the first `n` entries of the collected answer. Budgets
+/// ([`Budget`]) and cancellation ([`CancelToken`]) stop queries cleanly with
+/// partial, well-labelled results ([`SolutionSet::termination`]) — the
+/// already-delivered prefix is always exactly what an unbudgeted run would
+/// have delivered first.
+///
+/// # Engine modes
+///
+/// With the (default) MaxSAT backend and no modular preprocessing, queries
+/// run through a **warm incremental session**: the tree is encoded once, the
+/// CDCL state persists across queries, and every query extends the proven
+/// prefix instead of starting over. Classical backends (BDD, MOCUS), the
+/// modular preprocessing pass, and explicit `linear-su` algorithm requests
+/// delegate to the corresponding [`AnalysisBackend`] per query.
+pub struct Analyzer {
+    tree: Arc<FaultTree>,
+    requested: BackendKind,
+    config: BackendConfig,
+    budget: Budget,
+    cancel: CancelToken,
+    /// The resolved kind and engine, built lazily on the first query so a
+    /// chain of builder setters never constructs throw-away backends.
+    engine: Option<(BackendKind, Box<dyn AnalysisBackend>)>,
+    warm: WarmState,
+}
+
+impl std::fmt::Debug for Analyzer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Analyzer")
+            .field("tree", &self.tree.name())
+            .field("backend", &self.resolved_backend())
+            .field("preprocess", &self.config.preprocess)
+            .field("budget", &self.budget)
+            .field("warm_prefix", &self.warm.cache.len())
+            .finish()
+    }
+}
+
+impl Analyzer {
+    /// Creates an analyzer owning `tree`, with the default configuration
+    /// (MaxSAT backend, no preprocessing, unlimited budget).
+    pub fn for_tree(tree: FaultTree) -> Analyzer {
+        Analyzer::for_shared(Arc::new(tree))
+    }
+
+    /// Creates an analyzer over a shared tree handle — the form the
+    /// [`AnalysisService`](crate::AnalysisService) uses to share one parsed
+    /// tree across many per-thread analyzers.
+    pub fn for_shared(tree: Arc<FaultTree>) -> Analyzer {
+        Analyzer {
+            tree,
+            requested: BackendKind::default(),
+            config: BackendConfig::default(),
+            budget: Budget::unlimited(),
+            cancel: CancelToken::new(),
+            engine: None,
+            warm: WarmState::default(),
+        }
+    }
+
+    /// Selects the analysis engine ([`BackendKind::Auto`] resolves against
+    /// the tree's structural features on the first query). Resets the warm
+    /// state.
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.requested = kind;
+        self.reset();
+        self
+    }
+
+    /// Enables (or disables) the modular divide-and-conquer preprocessing
+    /// pass in front of the engine. Resets the warm state.
+    pub fn preprocess(mut self, enabled: bool) -> Self {
+        self.config.preprocess = enabled;
+        self.reset();
+        self
+    }
+
+    /// Selects the MaxSAT strategy used by delegated single-shot queries
+    /// (warm-session enumeration always runs the deterministic core-guided
+    /// session; an explicit [`AlgorithmChoice::LinearSu`] request opts out of
+    /// the warm session entirely). Resets the warm state.
+    pub fn algorithm(mut self, algorithm: AlgorithmChoice) -> Self {
+        self.config.algorithm = algorithm;
+        self.reset();
+        self
+    }
+
+    /// Selects the BDD variable ordering (BDD backend and the importance
+    /// table's exact probability). Resets the warm state.
+    pub fn bdd_ordering(mut self, ordering: VariableOrdering) -> Self {
+        self.config.bdd_ordering = ordering;
+        self.reset();
+        self
+    }
+
+    /// Sets the per-query [`Budget`]. The wall clock is armed at every query
+    /// start; the solution cap applies to each enumeration query's answer.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a [`CancelToken`]: cancelling it (from any thread) stops the
+    /// analyzer's in-flight and future queries cleanly.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    fn reset(&mut self) {
+        self.engine = None;
+        self.warm = WarmState::default();
+    }
+
+    /// Builds (or reuses) the resolved engine. Queries go through this so
+    /// builder chains pay for exactly one backend construction.
+    fn ensure_engine(&mut self) -> &dyn AnalysisBackend {
+        if self.engine.is_none() {
+            self.engine = Some(backend_for(self.requested, &self.tree, &self.config));
+        }
+        &*self.engine.as_ref().expect("just ensured").1
+    }
+
+    /// The analysed tree.
+    pub fn tree(&self) -> &FaultTree {
+        &self.tree
+    }
+
+    /// The shared handle to the analysed tree.
+    pub fn shared_tree(&self) -> Arc<FaultTree> {
+        Arc::clone(&self.tree)
+    }
+
+    /// The resolved engine answering this analyzer's queries
+    /// ([`BackendKind::Auto`] resolves against the tree's structural
+    /// features).
+    pub fn resolved_backend(&self) -> BackendKind {
+        match &self.engine {
+            Some((resolved, _)) => *resolved,
+            None => ft_backend::resolve_backend(self.requested, &self.tree),
+        }
+    }
+
+    /// The per-query budget in effect.
+    pub fn query_budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// `true` when queries run through the warm incremental MaxSAT session
+    /// (see the type-level docs for the exact conditions).
+    pub fn uses_warm_session(&self) -> bool {
+        self.resolved_backend() == BackendKind::MaxSat
+            && !self.config.preprocess
+            && self.config.algorithm != AlgorithmChoice::LinearSu
+    }
+
+    /// The canonical solution prefix proven by the warm session so far
+    /// (empty for delegated engines) — exposed for warm-reuse assertions.
+    pub fn warm_prefix_len(&self) -> usize {
+        self.warm.cache.len()
+    }
+
+    pub(crate) fn mpmcs_options(&self) -> MpmcsOptions {
+        MpmcsOptions {
+            algorithm: self.config.algorithm,
+            ..MpmcsOptions::new()
+        }
+    }
+
+    /// A transient engine for consumers that only hold `&self` (the lazy
+    /// stream); queries on `&mut self` use the cached [`ensure_engine`]
+    /// instead.
+    ///
+    /// [`ensure_engine`]: Analyzer::ensure_engine
+    pub(crate) fn build_backend(&self) -> Box<dyn AnalysisBackend> {
+        backend_for(self.requested, &self.tree, &self.config).1
+    }
+
+    pub(crate) fn control(&self) -> QueryControl {
+        QueryControl::begin(&self.budget, &self.cancel)
+    }
+
+    /// Extends the warm canonical prefix to `target` solutions (or to
+    /// exhaustion when `None`), stopping early when `control` fires. Returns
+    /// the stop cause that ended the extension, if any.
+    fn extend_prefix(
+        &mut self,
+        target: Option<usize>,
+        control: &QueryControl,
+    ) -> Result<Option<Termination>, SessionError> {
+        debug_assert!(self.uses_warm_session());
+        if self.warm.no_cut_set {
+            return Err(SessionError::NoCutSet);
+        }
+        let options = self.mpmcs_options();
+        let stream = self
+            .warm
+            .stream
+            .get_or_insert_with(|| McsStream::open(Arc::clone(&self.tree), options));
+        stream.set_interrupt(Some(control.interrupt_hook()));
+        let mut stopped = None;
+        while target.is_none_or(|t| self.warm.cache.len() < t) && !self.warm.exhausted {
+            if let Some(cause) = control.stop_cause() {
+                stopped = Some(Termination::from(cause));
+                break;
+            }
+            match stream.next_step() {
+                Ok(StreamStep::Solution(solution)) => {
+                    self.warm.cache.push(BackendSolution::from_mpmcs(solution));
+                }
+                Ok(StreamStep::Exhausted) => self.warm.exhausted = true,
+                Ok(StreamStep::Interrupted) => {
+                    stopped = Some(
+                        control
+                            .stop_cause()
+                            .map_or(Termination::Cancelled, Termination::from),
+                    );
+                    break;
+                }
+                Err(mpmcs::MpmcsError::NoCutSet) => {
+                    self.warm.no_cut_set = true;
+                    self.warm.exhausted = true;
+                    return Err(SessionError::NoCutSet);
+                }
+                Err(other) => return Err(other.into()),
+            }
+        }
+        stream.set_interrupt(None);
+        // The tie-group look-ahead may already have proven exhaustion (the
+        // last delivered group was closed by UNSAT, not by a costlier
+        // optimum) — fold that knowledge in so cap-boundary answers are
+        // labelled `Complete`, never conservatively truncated.
+        if stream.is_exhausted() {
+            self.warm.exhausted = true;
+        }
+        Ok(stopped)
+    }
+
+    /// The Maximum Probability Minimal Cut Set — deterministically the
+    /// *canonical* optimum (smallest cut set among equal-probability ties).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoCutSet`] when the top event cannot occur;
+    /// [`SessionError::Stopped`] when the budget or cancellation fired
+    /// before the optimum was proven; engine errors otherwise.
+    pub fn mpmcs(&mut self) -> Result<BackendSolution, SessionError> {
+        let control = self.control();
+        if self.uses_warm_session() {
+            let stopped = self.extend_prefix(Some(1), &control)?;
+            match self.warm.cache.first() {
+                Some(best) => Ok(best.clone()),
+                None => Err(stopped_error(stopped, &control)),
+            }
+        } else {
+            if let Some(cause) = control.stop_cause() {
+                return Err(SessionError::Stopped(cause.into()));
+            }
+            let tree = Arc::clone(&self.tree);
+            Ok(self.ensure_engine().mpmcs(&tree)?)
+        }
+    }
+
+    /// The `k` most probable minimal cut sets — always the first `k` entries
+    /// of the canonical full enumeration.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoCutSet`] when the tree has no cut set at all;
+    /// engine errors otherwise. A budget-stopped query is **not** an error:
+    /// it reports its partial prefix with a truncated
+    /// [`termination`](SolutionSet::termination).
+    pub fn top_k(&mut self, k: usize) -> Result<SolutionSet, SessionError> {
+        self.enumerate(Some(k))
+    }
+
+    /// Every minimal cut set, most probable first (canonical order).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Analyzer::top_k`].
+    pub fn all_mcs(&mut self) -> Result<SolutionSet, SessionError> {
+        self.enumerate(None)
+    }
+
+    fn enumerate(&mut self, k: Option<usize>) -> Result<SolutionSet, SessionError> {
+        let control = self.control();
+        let cap = self.budget.max_solutions_limit();
+        // Whether the solution cap — rather than the request itself — is the
+        // binding bound on the answer; only then can `SolutionCap` apply.
+        let cap_constrains = match (k, cap) {
+            (Some(k), Some(cap)) => cap < k,
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        let target = match (k, cap) {
+            (Some(k), Some(cap)) => Some(k.min(cap)),
+            (Some(k), None) => Some(k),
+            (None, cap) => cap,
+        };
+        if self.uses_warm_session() {
+            let stopped = self.extend_prefix(target, &control)?;
+            let delivered = target.map_or(self.warm.cache.len(), |t| t.min(self.warm.cache.len()));
+            let solutions = self.warm.cache[..delivered].to_vec();
+            let termination = match stopped {
+                Some(cause) => cause,
+                None if self.warm.exhausted => Termination::Complete,
+                // Not exhausted means the tie-group look-ahead has already
+                // proven a costlier solution beyond the prefix, so a binding
+                // cap really did truncate; a satisfied `top_k(k)` request is
+                // complete by definition.
+                None if cap_constrains => Termination::SolutionCap,
+                None => Termination::Complete,
+            };
+            Ok(SolutionSet {
+                solutions,
+                termination,
+            })
+        } else if let (Some(t), None) = (target, self.budget.wall_limit()) {
+            // Bounded request without a deadline: delegate to the engine's
+            // own top-k, which may be far cheaper than a full enumeration
+            // (the modular preprocessing pass composes per-module top-k's).
+            if let Some(cause) = control.stop_cause() {
+                return Err(SessionError::Stopped(cause.into()));
+            }
+            // When the cap binds, probe one solution deeper so a cap that
+            // exactly matches the family size is labelled `Complete`, not
+            // conservatively truncated.
+            let request = if cap_constrains { t + 1 } else { t };
+            let tree = Arc::clone(&self.tree);
+            let mut solutions = self.ensure_engine().top_k(&tree, request)?;
+            let capped = cap_constrains && solutions.len() > t;
+            solutions.truncate(t);
+            Ok(SolutionSet {
+                solutions,
+                termination: if capped {
+                    Termination::SolutionCap
+                } else {
+                    Termination::Complete
+                },
+            })
+        } else {
+            let tree = Arc::clone(&self.tree);
+            let enumerated = self.ensure_engine().all_mcs_under(&tree, &control)?;
+            let total = enumerated.solutions.len();
+            let mut solutions = enumerated.solutions;
+            if let Some(t) = target {
+                solutions.truncate(t);
+            }
+            let termination = match enumerated.stopped {
+                Some(cause) => Termination::from(cause),
+                None if cap_constrains && target.is_some_and(|t| total > t) => {
+                    Termination::SolutionCap
+                }
+                None => Termination::Complete,
+            };
+            Ok(SolutionSet {
+                solutions,
+                termination,
+            })
+        }
+    }
+
+    /// The exact probability of the top event.
+    ///
+    /// With the warm MaxSAT session this quantifies the *cached* cut-set
+    /// family (extending it to exhaustion first), so repeated probability
+    /// queries — or a probability query after `all_mcs()` — never re-run the
+    /// enumeration.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Stopped`] when the budget fired before the family was
+    /// fully enumerated, and the engines' budget errors.
+    pub fn probability(&mut self) -> Result<f64, SessionError> {
+        let control = self.control();
+        if self.uses_warm_session() {
+            match self.extend_prefix(None, &control) {
+                Ok(None) => {}
+                Ok(Some(termination)) => {
+                    return Err(stopped_error(Some(termination), &control));
+                }
+                // The MaxSAT engine's convention: no cut set means the top
+                // event cannot occur, so its probability is exactly zero.
+                Err(SessionError::NoCutSet) => return Ok(0.0),
+                Err(other) => return Err(other),
+            }
+            let cut_sets: Vec<CutSet> = self.warm.cache.iter().map(|s| s.cut_set.clone()).collect();
+            Ok(exact_union_probability(
+                &self.tree,
+                &cut_sets,
+                self.config.probability_budget,
+                "maxsat",
+            )?)
+        } else {
+            if let Some(cause) = control.stop_cause() {
+                return Err(SessionError::Stopped(cause.into()));
+            }
+            let tree = Arc::clone(&self.tree);
+            Ok(self.ensure_engine().top_event_probability(&tree)?)
+        }
+    }
+
+    /// The per-event importance table (Birnbaum, Fussell-Vesely, RAW, RRW,
+    /// criticality, structural), computed from the full minimal-cut-set
+    /// family and the exact BDD probability.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Analyzer::all_mcs`] for the enumeration part;
+    /// budget-stopped enumerations surface as [`SessionError::Stopped`]
+    /// (an importance table over a partial family would be silently wrong).
+    pub fn importance(&mut self) -> Result<ImportanceReport, SessionError> {
+        let family = self.all_mcs()?;
+        if family.is_truncated() {
+            return Err(SessionError::Stopped(family.termination));
+        }
+        let cut_sets: Vec<CutSet> = family
+            .solutions
+            .into_iter()
+            .map(|solution| solution.cut_set)
+            .collect();
+        let ordering = self.config.bdd_ordering;
+        let exact = move |t: &FaultTree| {
+            bdd_engine::compile_fault_tree(t, ordering).top_event_probability(t)
+        };
+        let table = ft_analysis::importance::ImportanceTable::compute(&self.tree, &cut_sets, exact);
+        let rows = self
+            .tree
+            .event_ids()
+            .map(|event| {
+                let i = event.index();
+                ImportanceRow {
+                    event: self.tree.event(event).name().to_string(),
+                    birnbaum: table.birnbaum[i],
+                    fussell_vesely: table.fussell_vesely[i],
+                    raw: table.raw[i],
+                    rrw: table.rrw[i],
+                    criticality: table.criticality[i],
+                    structural: table.structural[i],
+                }
+            })
+            .collect();
+        Ok(ImportanceReport { rows })
+    }
+
+    /// Opens a lazy [`SolutionStream`]: minimal cut sets are pulled one at a
+    /// time from a live CDCL session (bounded memory, early exit), in the
+    /// same canonical order the collected queries answer in. The analyzer's
+    /// budget and cancel token govern the stream; the analyzer's own warm
+    /// state is untouched, so streams and collected queries compose freely.
+    pub fn stream(&self) -> SolutionStream {
+        SolutionStream::open(self)
+    }
+}
+
+/// Maps a stopped-before-first-answer extension into the facade error.
+fn stopped_error(stopped: Option<Termination>, control: &QueryControl) -> SessionError {
+    SessionError::Stopped(stopped.unwrap_or_else(|| {
+        control
+            .stop_cause()
+            .map_or(Termination::Cancelled, Termination::from)
+    }))
+}

@@ -1,0 +1,96 @@
+//! The session-oriented analysis facade of the MPMCS4FTA-rs workspace.
+//!
+//! Everything below this crate is assemble-it-yourself: parse a
+//! [`fault_tree::FaultTree`], pick a [`ft_backend::BackendKind`], wire a
+//! [`ft_backend::BackendConfig`] through [`ft_backend::backend_for`], and
+//! call per-query methods that collect everything into `Vec`s with no way
+//! to stop early. This crate is the durable entry point that replaces that
+//! plumbing:
+//!
+//! * [`Analyzer`] — a builder-style facade owning the parsed tree and the
+//!   warm incremental solver state, answering typed queries
+//!   ([`Analyzer::mpmcs`], [`Analyzer::top_k`], [`Analyzer::all_mcs`],
+//!   [`Analyzer::probability`], [`Analyzer::importance`]);
+//! * [`SolutionStream`] — lazy streaming: one cut set at a time from the
+//!   live CDCL session, bounded memory, early exit, byte-identical to the
+//!   collected answers;
+//! * [`Budget`] / [`CancelToken`] — per-query wall-clock deadlines, solution
+//!   caps and cross-thread cancellation, threaded down through the MPMCS
+//!   enumeration and the engine loops into the SAT search itself, with
+//!   partial results always well-labelled ([`SolutionSet::termination`]);
+//! * [`AnalysisService`] — a `Send + Sync` registry sharing immutable parsed
+//!   trees across threads with per-thread warm sessions, for concurrent
+//!   query serving.
+//!
+//! # Quick start
+//!
+//! ```rust
+//! use fault_tree::examples::fire_protection_system;
+//! use ft_session::{Analyzer, BackendKind, Budget};
+//!
+//! let mut analyzer = Analyzer::for_tree(fire_protection_system())
+//!     .backend(BackendKind::MaxSat)
+//!     .budget(Budget::wall_ms(5_000));
+//!
+//! // Typed collected queries share one warm incremental session:
+//! let best = analyzer.mpmcs().unwrap();
+//! assert!((best.probability - 0.02).abs() < 1e-9);
+//! let all = analyzer.all_mcs().unwrap();
+//! assert_eq!(all.solutions.len(), 5);
+//! assert!(!all.is_truncated());
+//!
+//! // Streaming pulls one solution at a time from a live session:
+//! let first_two: Vec<_> = analyzer.stream().take(2).collect();
+//! assert_eq!(first_two.len(), 2);
+//! ```
+//!
+//! The re-exported [`BackendKind`], [`Budget`], [`CancelToken`] and
+//! [`BackendSolution`] types make this crate a one-stop import for
+//! consumers; the CLI, the batch engine and the bench harness all go through
+//! it.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod analyzer;
+mod results;
+mod service;
+mod stream;
+
+pub use analyzer::Analyzer;
+pub use results::{ImportanceReport, ImportanceRow, SessionError, SolutionSet, Termination};
+pub use service::{AnalysisService, ServiceConfig};
+pub use stream::SolutionStream;
+
+// The facade's vocabulary types, re-exported so consumers need one import.
+pub use bdd_engine::VariableOrdering;
+pub use ft_backend::{BackendKind, BackendSolution, Budget, CancelToken, StopCause};
+pub use mpmcs::AlgorithmChoice;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fault_tree::examples::fire_protection_system;
+
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn analyzers_move_between_threads() {
+        // An Analyzer owns its warm solver state outright, so a worker
+        // thread can be handed one wholesale.
+        assert_send::<Analyzer>();
+    }
+
+    #[test]
+    fn the_issue_example_compiles_and_answers() {
+        let mut analyzer = Analyzer::for_tree(fire_protection_system())
+            .backend(BackendKind::MaxSat)
+            .preprocess(false)
+            .budget(Budget::wall_ms(500).max_solutions(16));
+        let best = analyzer.mpmcs().expect("solvable");
+        assert_eq!(best.event_names(analyzer.tree()), vec!["x1", "x2"]);
+        let top = analyzer.top_k(2).expect("solvable");
+        assert_eq!(top.solutions.len(), 2);
+        assert_eq!(top.termination, Termination::Complete);
+    }
+}

@@ -1,0 +1,211 @@
+//! Typed query results and errors of the session facade.
+
+use std::fmt;
+
+use ft_backend::{BackendError, BackendSolution, StopCause};
+use mpmcs::MpmcsError;
+
+/// How a query ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Termination {
+    /// The query ran to completion: the answer is exact and exhaustive for
+    /// what was asked.
+    Complete,
+    /// The [`Budget::max_solutions`](ft_backend::Budget::max_solutions) cap
+    /// truncated the answer; more solutions exist beyond the delivered
+    /// prefix.
+    SolutionCap,
+    /// The wall-clock deadline of the query's budget expired; the answer is
+    /// the canonical prefix proven before the deadline.
+    Deadline,
+    /// The query's [`CancelToken`](ft_backend::CancelToken) was cancelled;
+    /// the answer is the canonical prefix proven before the cancellation.
+    Cancelled,
+    /// The query failed mid-stream (verification or engine error); the
+    /// delivered prefix is valid but the enumeration did not finish. Only
+    /// reported by [`SolutionStream`](crate::SolutionStream) — collected
+    /// queries surface failures as [`SessionError`]s instead.
+    Failed,
+}
+
+impl Termination {
+    /// A stable machine-readable label (used by the CLI JSON output).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Termination::Complete => "complete",
+            Termination::SolutionCap => "solution-cap",
+            Termination::Deadline => "deadline",
+            Termination::Cancelled => "cancelled",
+            Termination::Failed => "failed",
+        }
+    }
+
+    /// `true` unless the query ran to completion.
+    pub fn is_truncated(&self) -> bool {
+        *self != Termination::Complete
+    }
+}
+
+impl fmt::Display for Termination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl From<StopCause> for Termination {
+    fn from(cause: StopCause) -> Self {
+        match cause {
+            StopCause::Deadline => Termination::Deadline,
+            StopCause::Cancelled => Termination::Cancelled,
+        }
+    }
+}
+
+/// The typed result of a collected enumeration query
+/// ([`Analyzer::top_k`](crate::Analyzer::top_k) /
+/// [`Analyzer::all_mcs`](crate::Analyzer::all_mcs)): the solutions in
+/// canonical order plus an explicit, well-labelled termination status, so a
+/// budget-stopped partial answer can never be mistaken for a complete one.
+#[derive(Clone, Debug)]
+pub struct SolutionSet {
+    /// The reported minimal cut sets, most probable first (canonical order).
+    pub solutions: Vec<BackendSolution>,
+    /// How the query ended.
+    pub termination: Termination,
+}
+
+impl SolutionSet {
+    /// `true` when the query stopped before delivering everything asked for
+    /// (solution cap, deadline, or cancellation).
+    pub fn is_truncated(&self) -> bool {
+        self.termination.is_truncated()
+    }
+}
+
+/// One row of a typed importance report.
+#[derive(Clone, Debug)]
+pub struct ImportanceRow {
+    /// Basic-event name.
+    pub event: String,
+    /// Birnbaum structural importance `∂P(top)/∂p(event)`.
+    pub birnbaum: f64,
+    /// Fussell-Vesely importance.
+    pub fussell_vesely: f64,
+    /// Risk Achievement Worth.
+    pub raw: f64,
+    /// Risk Reduction Worth (may be `f64::INFINITY` for single-point
+    /// failures).
+    pub rrw: f64,
+    /// Criticality importance.
+    pub criticality: f64,
+    /// Structural importance.
+    pub structural: f64,
+}
+
+/// The typed result of [`Analyzer::importance`](crate::Analyzer::importance):
+/// one row per basic event, in event-identifier order.
+#[derive(Clone, Debug)]
+pub struct ImportanceReport {
+    /// Per-event importance measures.
+    pub rows: Vec<ImportanceRow>,
+}
+
+/// Errors surfaced by the session facade.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionError {
+    /// The tree has no cut set at all (the top event cannot occur).
+    NoCutSet,
+    /// The query's budget (deadline or solution cap) or cancellation
+    /// stopped it before it could produce the required answer (e.g. an
+    /// MPMCS query stopped before the first optimum was proven, an
+    /// importance table whose cut-set family was capped, or a classical
+    /// engine stopped mid-computation).
+    Stopped(Termination),
+    /// The underlying analysis backend failed (engine budget overruns,
+    /// internal invariants).
+    Backend(BackendError),
+    /// The MPMCS pipeline failed (verification errors).
+    Pipeline(String),
+    /// The [`AnalysisService`](crate::AnalysisService) has no tree registered
+    /// under the requested name.
+    UnknownTree(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::NoCutSet => write!(f, "the fault tree has no cut set"),
+            SessionError::Stopped(termination) => {
+                write!(f, "the query stopped before completing: {termination}")
+            }
+            SessionError::Backend(error) => write!(f, "{error}"),
+            SessionError::Pipeline(message) => write!(f, "pipeline error: {message}"),
+            SessionError::UnknownTree(name) => {
+                write!(f, "no fault tree registered under {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<BackendError> for SessionError {
+    fn from(error: BackendError) -> Self {
+        match error {
+            BackendError::NoCutSet => SessionError::NoCutSet,
+            other => SessionError::Backend(other),
+        }
+    }
+}
+
+impl From<MpmcsError> for SessionError {
+    fn from(error: MpmcsError) -> Self {
+        match error {
+            MpmcsError::NoCutSet => SessionError::NoCutSet,
+            other => SessionError::Pipeline(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminations_label_and_classify() {
+        assert_eq!(Termination::Complete.label(), "complete");
+        assert!(!Termination::Complete.is_truncated());
+        for stopped in [
+            Termination::SolutionCap,
+            Termination::Deadline,
+            Termination::Cancelled,
+            Termination::Failed,
+        ] {
+            assert!(stopped.is_truncated(), "{stopped}");
+        }
+        assert_eq!(Termination::Failed.label(), "failed");
+        assert_eq!(
+            Termination::from(StopCause::Deadline),
+            Termination::Deadline
+        );
+        assert_eq!(
+            Termination::from(StopCause::Cancelled),
+            Termination::Cancelled
+        );
+    }
+
+    #[test]
+    fn errors_map_no_cut_set_uniformly() {
+        assert_eq!(
+            SessionError::from(BackendError::NoCutSet),
+            SessionError::NoCutSet
+        );
+        assert_eq!(
+            SessionError::from(MpmcsError::NoCutSet),
+            SessionError::NoCutSet
+        );
+        assert!(SessionError::UnknownTree("x".into())
+            .to_string()
+            .contains("x"));
+    }
+}

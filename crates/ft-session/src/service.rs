@@ -1,0 +1,264 @@
+//! The thread-safe [`AnalysisService`] for concurrent query serving.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use bdd_engine::VariableOrdering;
+use fault_tree::FaultTree;
+use ft_backend::{BackendKind, Budget};
+use mpmcs::AlgorithmChoice;
+
+use crate::analyzer::Analyzer;
+use crate::results::{SessionError, SolutionSet};
+
+/// The analyzer template an [`AnalysisService`] stamps out per query thread.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// The analysis engine (resolved per tree for [`BackendKind::Auto`]).
+    pub backend: BackendKind,
+    /// Run the modular divide-and-conquer preprocessing pass.
+    pub preprocess: bool,
+    /// The MaxSAT strategy for delegated single-shot queries.
+    pub algorithm: AlgorithmChoice,
+    /// The BDD variable ordering.
+    pub bdd_ordering: VariableOrdering,
+    /// The per-query budget every stamped analyzer starts with.
+    pub budget: Budget,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            backend: BackendKind::MaxSat,
+            preprocess: false,
+            // Deterministic by default: a service answering the same query
+            // on two threads must give byte-identical answers.
+            algorithm: AlgorithmChoice::SequentialPortfolio,
+            bdd_ordering: VariableOrdering::DepthFirst,
+            budget: Budget::unlimited(),
+        }
+    }
+}
+
+/// A `Send + Sync` registry of parsed fault trees serving concurrent
+/// analysis queries.
+///
+/// The service shares each **immutable parsed tree** across threads behind
+/// an `Arc`, and stamps out a fresh per-thread [`Analyzer`] (with its own
+/// warm incremental solver session) for each worker — solver state is never
+/// shared, so queries neither lock each other out nor interleave
+/// nondeterministically. With the default deterministic configuration, `N`
+/// threads asking the same question get `N` byte-identical answers.
+///
+/// ```rust
+/// use fault_tree::examples::fire_protection_system;
+/// use ft_session::AnalysisService;
+///
+/// let service = AnalysisService::new();
+/// service.register("fps", fire_protection_system());
+/// let answers: Vec<_> = std::thread::scope(|scope| {
+///     (0..4)
+///         .map(|_| scope.spawn(|| service.top_k("fps", 3).unwrap()))
+///         .map(|handle| handle.join().unwrap())
+///         .collect()
+/// });
+/// for answer in &answers {
+///     assert_eq!(answer.solutions.len(), 3);
+///     assert_eq!(answer.solutions[0].cut_set, answers[0].solutions[0].cut_set);
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct AnalysisService {
+    trees: RwLock<HashMap<String, Arc<FaultTree>>>,
+    config: ServiceConfig,
+}
+
+impl AnalysisService {
+    /// Creates an empty service with the default (deterministic)
+    /// configuration.
+    pub fn new() -> Self {
+        AnalysisService::default()
+    }
+
+    /// Creates an empty service with an explicit analyzer template.
+    pub fn with_config(config: ServiceConfig) -> Self {
+        AnalysisService {
+            trees: RwLock::new(HashMap::new()),
+            config,
+        }
+    }
+
+    /// The analyzer template in effect.
+    pub fn config(&self) -> ServiceConfig {
+        self.config
+    }
+
+    /// Registers `tree` under `name`, replacing any previous registration.
+    /// Returns the shared handle.
+    pub fn register(&self, name: impl Into<String>, tree: FaultTree) -> Arc<FaultTree> {
+        self.register_shared(name, Arc::new(tree))
+    }
+
+    /// Registers an already-shared tree handle under `name`.
+    pub fn register_shared(&self, name: impl Into<String>, tree: Arc<FaultTree>) -> Arc<FaultTree> {
+        let handle = Arc::clone(&tree);
+        self.trees
+            .write()
+            .expect("tree registry lock poisoned")
+            .insert(name.into(), tree);
+        handle
+    }
+
+    /// Removes the registration under `name`; `true` when something was
+    /// removed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.trees
+            .write()
+            .expect("tree registry lock poisoned")
+            .remove(name)
+            .is_some()
+    }
+
+    /// The registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .trees
+            .read()
+            .expect("tree registry lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered trees.
+    pub fn len(&self) -> usize {
+        self.trees
+            .read()
+            .expect("tree registry lock poisoned")
+            .len()
+    }
+
+    /// `true` when no tree is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The shared handle of the tree registered under `name`.
+    pub fn tree(&self, name: &str) -> Option<Arc<FaultTree>> {
+        self.trees
+            .read()
+            .expect("tree registry lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Stamps out a fresh analyzer over the tree registered under `name` —
+    /// the per-thread handle for a worker that will issue several queries
+    /// and wants to keep the warm session between them. The registry lock is
+    /// held only while the handle is cloned; queries never hold it.
+    pub fn analyzer(&self, name: &str) -> Result<Analyzer, SessionError> {
+        let tree = self
+            .tree(name)
+            .ok_or_else(|| SessionError::UnknownTree(name.to_string()))?;
+        Ok(Analyzer::for_shared(tree)
+            .backend(self.config.backend)
+            .preprocess(self.config.preprocess)
+            .algorithm(self.config.algorithm)
+            .bdd_ordering(self.config.bdd_ordering)
+            .budget(self.config.budget))
+    }
+
+    /// One-shot convenience: the MPMCS of the tree registered under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::UnknownTree`] for unregistered names, plus the
+    /// [`Analyzer::mpmcs`] contract.
+    pub fn mpmcs(&self, name: &str) -> Result<ft_backend::BackendSolution, SessionError> {
+        self.analyzer(name)?.mpmcs()
+    }
+
+    /// One-shot convenience: the `k` most probable minimal cut sets of the
+    /// tree registered under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::UnknownTree`] for unregistered names, plus the
+    /// [`Analyzer::top_k`] contract.
+    pub fn top_k(&self, name: &str, k: usize) -> Result<SolutionSet, SessionError> {
+        self.analyzer(name)?.top_k(k)
+    }
+
+    /// One-shot convenience: the exact top-event probability of the tree
+    /// registered under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::UnknownTree`] for unregistered names, plus the
+    /// [`Analyzer::probability`] contract.
+    pub fn probability(&self, name: &str) -> Result<f64, SessionError> {
+        self.analyzer(name)?.probability()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fault_tree::examples::{fire_protection_system, pressure_tank_system};
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn the_service_is_send_and_sync() {
+        assert_send_sync::<AnalysisService>();
+        assert_send_sync::<Arc<AnalysisService>>();
+    }
+
+    #[test]
+    fn registration_lifecycle_round_trips() {
+        let service = AnalysisService::new();
+        assert!(service.is_empty());
+        service.register("fps", fire_protection_system());
+        service.register("tank", pressure_tank_system());
+        assert_eq!(service.len(), 2);
+        assert_eq!(service.names(), vec!["fps".to_string(), "tank".to_string()]);
+        assert!(service.tree("fps").is_some());
+        assert!(service.remove("tank"));
+        assert!(!service.remove("tank"));
+        assert_eq!(service.len(), 1);
+        assert!(matches!(
+            service.mpmcs("tank"),
+            Err(SessionError::UnknownTree(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_queries_agree_across_threads() {
+        let service = AnalysisService::new();
+        service.register("fps", fire_protection_system());
+        let answers: Vec<SolutionSet> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| scope.spawn(|| service.top_k("fps", 5).expect("solvable")))
+                .map(|handle| handle.join().expect("no panic"))
+                .collect()
+        });
+        for answer in &answers {
+            assert_eq!(answer.solutions.len(), 5);
+            assert!(!answer.is_truncated());
+            for (a, b) in answer.solutions.iter().zip(&answers[0].solutions) {
+                assert_eq!(a.cut_set, b.cut_set);
+                assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn per_thread_analyzers_share_the_parsed_tree() {
+        let service = AnalysisService::new();
+        let registered = service.register("fps", fire_protection_system());
+        let analyzer = service.analyzer("fps").expect("registered");
+        assert!(Arc::ptr_eq(&registered, &analyzer.shared_tree()));
+    }
+}

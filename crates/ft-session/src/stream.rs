@@ -1,0 +1,198 @@
+//! Lazy solution streaming — see [`SolutionStream`].
+
+use ft_backend::{BackendSolution, QueryControl};
+use mpmcs::{McsStream, StreamStep};
+
+use crate::analyzer::Analyzer;
+use crate::results::{SessionError, Termination};
+
+/// What feeds the stream.
+enum Source {
+    /// A live incremental MaxSAT session: one cut set is proven per pull,
+    /// memory stays bounded by the current equal-cost tie group, and
+    /// stopping the stream stops the SAT engine.
+    Live(Box<McsStream>),
+    /// A delegated engine (BDD, MOCUS, preprocessing, explicit linear-su):
+    /// these compute the whole family before any solution is known, so the
+    /// stream iterates an eagerly collected, canonical answer.
+    Collected(std::vec::IntoIter<BackendSolution>),
+    /// The delegated computation failed (or was stopped) before producing
+    /// anything; the error is delivered once.
+    Failed(Option<SessionError>),
+}
+
+/// A lazy iterator over minimal cut sets in canonical enumeration order.
+///
+/// Opened by [`Analyzer::stream`]. The stream delivers **byte-identical**
+/// solutions to the collected queries: a prefix of length `n` equals the
+/// first `n` entries of [`Analyzer::all_mcs`]. The analyzer's budget governs
+/// the stream — the wall clock arms when the stream is opened, the solution
+/// cap bounds the number of items — and [`SolutionStream::termination`]
+/// reports how the stream ended.
+///
+/// ```rust
+/// use fault_tree::examples::fire_protection_system;
+/// use ft_session::{Analyzer, Termination};
+///
+/// let analyzer = Analyzer::for_tree(fire_protection_system());
+/// let mut names = Vec::new();
+/// let mut stream = analyzer.stream();
+/// for solution in stream.by_ref() {
+///     names.push(solution.unwrap().cut_set.display_names(analyzer.tree()));
+/// }
+/// assert_eq!(names.len(), 5);
+/// assert_eq!(names[0], "{x1, x2}"); // the MPMCS arrives first
+/// assert_eq!(stream.termination(), Some(Termination::Complete));
+/// ```
+pub struct SolutionStream {
+    source: Source,
+    control: QueryControl,
+    cap: Option<usize>,
+    delivered: usize,
+    termination: Option<Termination>,
+}
+
+impl std::fmt::Debug for SolutionStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolutionStream")
+            .field("delivered", &self.delivered)
+            .field("cap", &self.cap)
+            .field("termination", &self.termination)
+            .field("live", &matches!(self.source, Source::Live(_)))
+            .finish()
+    }
+}
+
+impl SolutionStream {
+    pub(crate) fn open(analyzer: &Analyzer) -> SolutionStream {
+        let control = analyzer.control();
+        let cap = analyzer.query_budget().max_solutions_limit();
+        let source = if analyzer.uses_warm_session() {
+            let mut live = McsStream::open(analyzer.shared_tree(), analyzer.mpmcs_options());
+            live.set_interrupt(Some(control.interrupt_hook()));
+            Source::Live(Box::new(live))
+        } else {
+            match analyzer
+                .build_backend()
+                .all_mcs_under(analyzer.tree(), &control)
+            {
+                Ok(enumerated) => {
+                    if let Some(cause) = enumerated.stopped {
+                        // The delegated engine stopped before completing;
+                        // mark the termination up front so iteration over
+                        // whatever prefix it proved ends cleanly.
+                        return SolutionStream {
+                            source: Source::Collected(enumerated.solutions.into_iter()),
+                            control,
+                            cap,
+                            delivered: 0,
+                            termination: Some(Termination::from(cause)),
+                        };
+                    }
+                    Source::Collected(enumerated.solutions.into_iter())
+                }
+                Err(error) => Source::Failed(Some(error.into())),
+            }
+        };
+        SolutionStream {
+            source,
+            control,
+            cap,
+            delivered: 0,
+            termination: None,
+        }
+    }
+
+    /// How the stream ended: `None` while items may still come,
+    /// [`Termination::Complete`] after the family was exhausted, and a
+    /// truncated termination when the cap, deadline or cancellation cut the
+    /// stream short.
+    pub fn termination(&self) -> Option<Termination> {
+        self.termination
+    }
+
+    /// Number of solutions delivered so far.
+    pub fn delivered(&self) -> usize {
+        self.delivered
+    }
+
+    /// Cumulative SAT-solver calls issued by the live session (`None` for
+    /// delegated engines) — the early-exit witness used by the regression
+    /// tests: a stream stopped after `n` of `N` solutions has issued SAT
+    /// calls proportional to `n`.
+    pub fn sat_calls(&self) -> Option<u64> {
+        match &self.source {
+            Source::Live(live) => Some(live.sat_calls()),
+            _ => None,
+        }
+    }
+}
+
+impl Iterator for SolutionStream {
+    type Item = Result<BackendSolution, SessionError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.termination.is_some() {
+            return None;
+        }
+        if self.cap.is_some_and(|cap| self.delivered >= cap) {
+            // The cap ended the stream; when the family happens to be
+            // exactly cap-sized the live session already knows.
+            let complete = match &self.source {
+                Source::Live(live) => live.is_exhausted(),
+                Source::Collected(rest) => rest.len() == 0,
+                Source::Failed(_) => false,
+            };
+            self.termination = Some(if complete {
+                Termination::Complete
+            } else {
+                Termination::SolutionCap
+            });
+            return None;
+        }
+        match &mut self.source {
+            Source::Failed(error) => {
+                self.termination = Some(Termination::Failed);
+                error.take().map(Err)
+            }
+            Source::Collected(rest) => match rest.next() {
+                Some(solution) => {
+                    self.delivered += 1;
+                    Some(Ok(solution))
+                }
+                None => {
+                    self.termination = Some(Termination::Complete);
+                    None
+                }
+            },
+            Source::Live(live) => {
+                if let Some(cause) = self.control.stop_cause() {
+                    self.termination = Some(Termination::from(cause));
+                    return None;
+                }
+                match live.next_step() {
+                    Ok(StreamStep::Solution(solution)) => {
+                        self.delivered += 1;
+                        Some(Ok(BackendSolution::from_mpmcs(solution)))
+                    }
+                    Ok(StreamStep::Exhausted) => {
+                        self.termination = Some(Termination::Complete);
+                        None
+                    }
+                    Ok(StreamStep::Interrupted) => {
+                        self.termination = Some(
+                            self.control
+                                .stop_cause()
+                                .map_or(Termination::Cancelled, Termination::from),
+                        );
+                        None
+                    }
+                    Err(error) => {
+                        self.termination = Some(Termination::Failed);
+                        Some(Err(error.into()))
+                    }
+                }
+            }
+        }
+    }
+}

@@ -12,10 +12,11 @@
 //! The soundness argument, the session-compaction safety valve and a
 //! runnable example live on the [`IncrementalMaxSat`] type itself.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use sat_solver::{Lit, Session, SolveResult, SolverStats};
+use sat_solver::{InterruptHook, Lit, Session, SolveResult, SolverStats};
 
 use crate::encodings::totalizer::Totalizer;
 use crate::instance::WcnfInstance;
@@ -82,13 +83,14 @@ const COMPACTION_CORE_BUDGET: u64 = 64;
 /// assert_eq!(second.outcome.cost(), Some(5)); // forced onto {a}
 /// assert!(second.stats.session_calls > first.stats.session_calls);
 /// ```
-#[derive(Debug)]
 pub struct IncrementalMaxSat<'a> {
     session: Session,
-    /// The original instance, borrowed for model extraction, exact cost
-    /// accounting, and session compaction (one-shot consumers like
-    /// `OllSolver` pay no clone).
-    instance: &'a WcnfInstance,
+    /// The original instance — borrowed for one-shot consumers (like
+    /// `OllSolver`, which pays no clone) or owned for self-contained
+    /// streaming sessions ([`IncrementalMaxSat::owned`]). Used for model
+    /// extraction, exact cost accounting and session compaction; never
+    /// mutated, so the `Cow` never actually copies after construction.
+    instance: Cow<'a, WcnfInstance>,
     /// Hard clauses added after construction, replayed on compaction.
     added_hard: Vec<Vec<Lit>>,
     /// Residual soft weights per assumption literal (OLL reformulation
@@ -109,6 +111,21 @@ pub struct IncrementalMaxSat<'a> {
     /// call (the flag rearms when a call completes).
     compaction_allowed: bool,
     calls: u64,
+    /// The cancellation probe forwarded into the SAT search loop (and
+    /// re-installed after a compaction rebuilds the solver).
+    interrupt: Option<InterruptHook>,
+}
+
+impl std::fmt::Debug for IncrementalMaxSat<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncrementalMaxSat")
+            .field("session", &self.session)
+            .field("added_hard", &self.added_hard.len())
+            .field("lower_bound", &self.lower_bound)
+            .field("calls", &self.calls)
+            .field("interruptible", &self.interrupt.is_some())
+            .finish()
+    }
 }
 
 impl<'a> IncrementalMaxSat<'a> {
@@ -120,7 +137,18 @@ impl<'a> IncrementalMaxSat<'a> {
 
     /// Creates a session over `instance` with an explicit OLL configuration.
     pub fn with_config(instance: &'a WcnfInstance, config: OllConfig) -> Self {
-        let (session, weights, baseline) = build_state(&config, instance, &[]);
+        Self::from_cow(Cow::Borrowed(instance), config)
+    }
+
+    /// Creates a self-contained `'static` session that owns its instance —
+    /// the building block of streaming enumerations, which must carry their
+    /// solver state around without borrowing from an encoding.
+    pub fn owned(instance: WcnfInstance, config: OllConfig) -> IncrementalMaxSat<'static> {
+        IncrementalMaxSat::from_cow(Cow::Owned(instance), config)
+    }
+
+    fn from_cow(instance: Cow<'a, WcnfInstance>, config: OllConfig) -> Self {
+        let (session, weights, baseline) = build_state(&config, &instance, &[]);
         IncrementalMaxSat {
             session,
             instance,
@@ -132,7 +160,18 @@ impl<'a> IncrementalMaxSat<'a> {
             checkpoint: SolverStats::default(),
             compaction_allowed: false,
             calls: 0,
+            interrupt: None,
         }
+    }
+
+    /// Installs (or clears) the cancellation probe polled by the underlying
+    /// SAT search loop. When the probe fires, the current
+    /// [`solve_with_stop`](IncrementalMaxSat::solve_with_stop) call returns
+    /// `None`; the session state stays consistent, so a later call resumes
+    /// the search.
+    pub fn set_interrupt(&mut self, hook: Option<InterruptHook>) {
+        self.session.set_interrupt(hook.clone());
+        self.interrupt = hook;
     }
 
     /// Adds a hard clause between optima (e.g. a blocking clause excluding
@@ -168,9 +207,23 @@ impl<'a> IncrementalMaxSat<'a> {
     /// Subsequent calls (typically after [`IncrementalMaxSat::add_hard`])
     /// resume from the accumulated search state; their cost is non-decreasing
     /// since hard clauses only remove models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an installed [interrupt hook](IncrementalMaxSat::set_interrupt)
+    /// fires mid-call; interruptible consumers use
+    /// [`IncrementalMaxSat::try_solve`] instead.
     pub fn solve(&mut self) -> MaxSatResult {
-        self.solve_with_stop(&AtomicBool::new(false))
+        self.try_solve()
             .expect("solve cannot be interrupted without a stop request")
+    }
+
+    /// Like [`IncrementalMaxSat::solve`], but returns `None` when the
+    /// [interrupt hook](IncrementalMaxSat::set_interrupt) fired before a
+    /// proven optimum was found. The session state stays consistent, so a
+    /// later call picks the search up again.
+    pub fn try_solve(&mut self) -> Option<MaxSatResult> {
+        self.solve_with_stop(&AtomicBool::new(false))
     }
 
     /// Like [`IncrementalMaxSat::solve`], checking `stop` between SAT calls;
@@ -209,6 +262,7 @@ impl<'a> IncrementalMaxSat<'a> {
                         },
                     ));
                 }
+                SolveResult::Interrupted => return None,
                 SolveResult::Unsat => {
                     let core: Vec<Lit> = self.session.unsat_core().to_vec();
                     if core.is_empty() {
@@ -264,8 +318,9 @@ impl<'a> IncrementalMaxSat<'a> {
     /// statistics.
     fn compact(&mut self) {
         self.retired = self.solver_stats();
-        let (session, weights, baseline) =
-            build_state(&self.config, self.instance, &self.added_hard);
+        let (mut session, weights, baseline) =
+            build_state(&self.config, &self.instance, &self.added_hard);
+        session.set_interrupt(self.interrupt.clone());
         self.session = session;
         self.weights = weights;
         self.lower_bound = baseline;

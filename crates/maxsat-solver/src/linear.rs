@@ -115,6 +115,7 @@ impl MaxSatAlgorithm for LinearSuSolver {
             SolveResult::Unsat => {
                 return finish(stats, &session, MaxSatOutcome::Unsatisfiable);
             }
+            SolveResult::Interrupted => return None,
         };
         // Extend the model to cover relaxation variables introduced by
         // `normalize_softs` (they live above `instance.num_vars()`).
@@ -192,6 +193,7 @@ impl MaxSatAlgorithm for LinearSuSolver {
                     stats.upper_bound = baseline + best_penalty;
                 }
                 SolveResult::Unsat => break,
+                SolveResult::Interrupted => return None,
             }
         }
 

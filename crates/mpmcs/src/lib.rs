@@ -50,6 +50,7 @@ mod error;
 mod pathset;
 mod report;
 mod solver;
+mod stream;
 pub mod verify;
 
 pub use encode::{EncodingStyle, MpmcsEncoding, WeightScale};
@@ -58,3 +59,4 @@ pub use error::MpmcsError;
 pub use pathset::PathSetSolution;
 pub use report::{MpmcsReport, ReportEvent, SolverStatsReport};
 pub use solver::{AlgorithmChoice, MpmcsOptions, MpmcsSolution, MpmcsSolver};
+pub use stream::{McsStream, StreamStep};

@@ -12,16 +12,16 @@
 use std::fmt;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bdd_engine::VariableOrdering;
 use fault_tree::parser::{galileo, json};
 use fault_tree::{examples, FaultTree};
-use ft_backend::{
-    backend_for, AnalysisBackend, BackendConfig, BackendError, BackendKind, BackendSolution,
-};
+use ft_backend::{BackendKind, BackendSolution, Budget};
 use ft_batch::{run_batch, BatchConfig, BatchManifest};
 use ft_generators::{random_tree, RandomTreeConfig};
+use ft_session::{Analyzer, SessionError, Termination};
 use mpmcs::{AlgorithmChoice, EnumerationLimit, MpmcsOptions, MpmcsReport, MpmcsSolver};
 
 /// Errors surfaced to the command line user.
@@ -137,6 +137,16 @@ OPTIONS:
                                 propagations, restarts, learnt-clause reuse
                                 across incremental calls) in the JSON report
                                 (mpmcs analysis and batch mode)
+    --timeout-ms <N>            Per-query wall-clock budget in milliseconds
+                                (mpmcs analysis and batch mode). A query that
+                                hits the deadline stops cleanly and reports
+                                the canonical solution prefix it had proven,
+                                marked \"truncated\": true; the process exits
+                                with code 3 when any result was truncated
+    --max-solutions <N>         Cap the number of reported solutions per query
+                                (mpmcs analysis and batch mode); capped
+                                results are marked \"truncated\": true and
+                                exit with code 3
     --output <FILE>             Write the JSON report to FILE instead of stdout
     --quiet                     Suppress the human-readable summary on stderr
 
@@ -249,6 +259,23 @@ pub struct CliOptions {
     /// Include detailed solver statistics in the JSON report (kept out of
     /// the deterministic batch rendering, like timings).
     pub stats: bool,
+    /// Per-query wall-clock budget in milliseconds (`None` = unlimited).
+    pub timeout_ms: Option<u64>,
+    /// Per-query cap on reported solutions (`None` = uncapped).
+    pub max_solutions: Option<usize>,
+}
+
+impl CliOptions {
+    /// The per-query [`Budget`] implied by the parsed flags.
+    pub fn budget(&self) -> Budget {
+        Budget::from_limits(self.timeout_ms, self.max_solutions)
+    }
+
+    /// `true` when any budget flag was given — the JSON output then carries
+    /// the explicit `truncated` / `termination` envelope.
+    pub fn budgeted(&self) -> bool {
+        self.timeout_ms.is_some() || self.max_solutions.is_some()
+    }
 }
 
 /// Parses command line arguments (excluding the program name).
@@ -284,6 +311,8 @@ where
     let mut jobs_given = false;
     let mut importance = false;
     let mut stats = false;
+    let mut timeout_ms: Option<u64> = None;
+    let mut max_solutions: Option<usize> = None;
 
     let args: Vec<String> = args.into_iter().map(Into::into).collect();
     let mut i = 0;
@@ -313,6 +342,8 @@ where
                     jobs,
                     importance,
                     stats,
+                    timeout_ms,
+                    max_solutions,
                 })
             }
             "--format" => {
@@ -372,6 +403,16 @@ where
             }
             "--importance" => importance = true,
             "--stats" => stats = true,
+            "--timeout-ms" => {
+                timeout_ms = Some(value("--timeout-ms")?.parse().map_err(|_| {
+                    CliError::Usage("--timeout-ms expects a millisecond count".to_string())
+                })?)
+            }
+            "--max-solutions" => {
+                max_solutions = Some(value("--max-solutions")?.parse().map_err(|_| {
+                    CliError::Usage("--max-solutions expects a positive integer".to_string())
+                })?)
+            }
             "--example" => input = Some(InputSource::Example(value("--example")?)),
             "--generate" => {
                 generate =
@@ -408,6 +449,15 @@ where
     }
     if top_k == Some(0) {
         return Err(usage("--top-k must be at least 1"));
+    }
+    if max_solutions == Some(0) {
+        return Err(usage("--max-solutions must be at least 1"));
+    }
+    if (timeout_ms.is_some() || max_solutions.is_some()) && cross_check {
+        return Err(usage(
+            "--timeout-ms / --max-solutions cannot be combined with --cross-check \
+             (a cross-check needs both engines' complete answers)",
+        ));
     }
     if algorithm.is_some() && matches!(backend, BackendKind::Bdd | BackendKind::Mocus) {
         return Err(usage(
@@ -458,6 +508,12 @@ where
                     "--stats only applies to the mpmcs analysis and to --batch mode",
                 ));
             }
+            if (timeout_ms.is_some() || max_solutions.is_some()) && analysis != AnalysisKind::Mpmcs
+            {
+                return Err(usage(
+                    "--timeout-ms / --max-solutions only apply to the mpmcs analysis and to --batch mode",
+                ));
+            }
             if analysis != AnalysisKind::Mpmcs
                 && (backend != BackendKind::MaxSat || cross_check || preprocess)
             {
@@ -487,6 +543,8 @@ where
         jobs,
         importance,
         stats,
+        timeout_ms,
+        max_solutions,
     })
 }
 
@@ -530,9 +588,28 @@ pub fn load_tree(input: &InputSource) -> Result<FaultTree, CliError> {
     }
 }
 
+/// The result of one CLI run: the machine-readable output, the
+/// human-readable summary, and whether any answer was truncated by a
+/// `--timeout-ms` / `--max-solutions` budget (mapped to exit code 3).
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// The machine-readable output (JSON, or DOT/ASCII for the rendering
+    /// analyses).
+    pub output: String,
+    /// The human-readable summary printed on stderr.
+    pub summary: String,
+    /// `true` when a budget stopped a query early; the JSON output then
+    /// carries `"truncated": true`.
+    pub truncated: bool,
+}
+
 /// Runs the selected mode and returns the machine-readable output (JSON, or
 /// DOT/ASCII text for the rendering analyses) plus a human-readable summary.
 /// For [`CliMode::Help`] the usage text is returned as the output.
+///
+/// This is the historical pair-returning entry point;
+/// [`run_with_status`] additionally reports budget truncation for the
+/// distinct exit code.
 ///
 /// # Errors
 ///
@@ -540,32 +617,51 @@ pub fn load_tree(input: &InputSource) -> Result<FaultTree, CliError> {
 /// the classical analyses as [`CliError::Analysis`]; manifest problems as
 /// [`CliError::Batch`].
 pub fn run(options: &CliOptions) -> Result<(String, String), CliError> {
+    run_with_status(options).map(|result| (result.output, result.summary))
+}
+
+/// Like [`run`], also reporting whether any answer was truncated by a
+/// budget (the binary exits with code 3 in that case).
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn run_with_status(options: &CliOptions) -> Result<RunOutput, CliError> {
+    let complete = |(output, summary): (String, String)| RunOutput {
+        output,
+        summary,
+        truncated: false,
+    };
     let input = match &options.mode {
-        CliMode::Help => return Ok((USAGE.to_string(), String::new())),
+        CliMode::Help => {
+            return Ok(RunOutput {
+                output: USAGE.to_string(),
+                summary: String::new(),
+                truncated: false,
+            })
+        }
         CliMode::Batch(path) => return run_batch_mode(options, path),
         CliMode::Single(input) => input,
     };
     let tree = load_tree(input)?;
     match options.analysis {
         AnalysisKind::Mpmcs => run_mpmcs(options, &tree),
-        AnalysisKind::PathSet => run_path_set(options, &tree),
-        AnalysisKind::Importance => run_importance(options, &tree),
-        AnalysisKind::Modules => run_modules(&tree),
-        AnalysisKind::Stability => run_stability(&tree),
-        AnalysisKind::Dot => run_dot(options, &tree),
-        AnalysisKind::Ascii => Ok((
-            fault_tree::export::to_ascii(&tree),
-            format!("tree: {} rendered as text\n", tree.name()),
-        )),
+        AnalysisKind::PathSet => run_path_set(options, &tree).map(complete),
+        AnalysisKind::Importance => run_importance(options, &tree).map(complete),
+        AnalysisKind::Modules => run_modules(&tree).map(complete),
+        AnalysisKind::Stability => run_stability(&tree).map(complete),
+        AnalysisKind::Dot => run_dot(options, &tree).map(complete),
+        AnalysisKind::Ascii => Ok(RunOutput {
+            output: fault_tree::export::to_ascii(&tree),
+            summary: format!("tree: {} rendered as text\n", tree.name()),
+            truncated: false,
+        }),
     }
 }
 
 /// Batch mode: build the manifest, fan the trees out over the worker pool,
 /// and aggregate one report (see [`ft_batch`]).
-fn run_batch_mode(
-    options: &CliOptions,
-    path: &std::path::Path,
-) -> Result<(String, String), CliError> {
+fn run_batch_mode(options: &CliOptions, path: &std::path::Path) -> Result<RunOutput, CliError> {
     let manifest = BatchManifest::from_path(path)?;
     if manifest.is_empty() {
         return Err(CliError::Usage(format!(
@@ -586,9 +682,15 @@ fn run_batch_mode(
         backend: options.backend,
         bdd_ordering: options.bdd_ordering,
         preprocess: options.preprocess,
+        timeout_ms: options.timeout_ms,
+        max_solutions: options.max_solutions,
     };
     let report = run_batch(&manifest, &config);
-    Ok((report.to_json(), report.render_text()))
+    Ok(RunOutput {
+        truncated: report.any_truncated(),
+        output: report.to_json(),
+        summary: report.render_text(),
+    })
 }
 
 /// The number of minimal cut sets the classical analyses are allowed to
@@ -605,33 +707,41 @@ fn exact_top_probability(tree: &FaultTree, ordering: VariableOrdering) -> f64 {
     bdd_engine::compile_fault_tree(tree, ordering).top_event_probability(tree)
 }
 
-/// The backend-layer configuration implied by the parsed options.
-fn backend_config(options: &CliOptions) -> BackendConfig {
-    BackendConfig {
-        algorithm: options.algorithm.unwrap_or_default(),
-        bdd_ordering: options.bdd_ordering,
-        preprocess: options.preprocess,
-        ..BackendConfig::default()
-    }
+/// The session-facade analyzer implied by the parsed options, over `kind`.
+/// The parsed tree is shared, not copied, between analyzers (`--cross-check`
+/// builds two).
+fn analyzer_for(options: &CliOptions, tree: &Arc<FaultTree>, kind: BackendKind) -> Analyzer {
+    Analyzer::for_shared(Arc::clone(tree))
+        .backend(kind)
+        .algorithm(options.algorithm.unwrap_or_default())
+        .bdd_ordering(options.bdd_ordering)
+        .preprocess(options.preprocess)
+        .budget(options.budget())
 }
 
-/// Runs the configured mpmcs query (single / top-k / all) through a backend.
-fn query_solutions(
-    backend: &dyn AnalysisBackend,
-    tree: &FaultTree,
+/// Runs the configured mpmcs query (single / top-k / all) through the
+/// session facade, returning the solutions plus how the query ended.
+fn query_analyzer(
+    analyzer: &mut Analyzer,
     options: &CliOptions,
-) -> Result<Vec<BackendSolution>, CliError> {
-    let result = if options.all {
-        backend.all_mcs(tree)
-    } else if let Some(k) = options.top_k {
-        backend.top_k(tree, k)
-    } else {
-        backend.mpmcs(tree).map(|solution| vec![solution])
-    };
-    result.map_err(|error| match error {
-        BackendError::NoCutSet => CliError::Solve(mpmcs::MpmcsError::NoCutSet),
+) -> Result<(Vec<BackendSolution>, Termination), CliError> {
+    let map_error = |error: SessionError| match error {
+        SessionError::NoCutSet => CliError::Solve(mpmcs::MpmcsError::NoCutSet),
+        SessionError::Stopped(cause) => CliError::Analysis(format!(
+            "the analysis stopped before producing a result: {cause}"
+        )),
         other => CliError::Analysis(other.to_string()),
-    })
+    };
+    if options.all {
+        let set = analyzer.all_mcs().map_err(map_error)?;
+        Ok((set.solutions, set.termination))
+    } else if let Some(k) = options.top_k {
+        let set = analyzer.top_k(k).map_err(map_error)?;
+        Ok((set.solutions, set.termination))
+    } else {
+        let best = analyzer.mpmcs().map_err(map_error)?;
+        Ok((vec![best], Termination::Complete))
+    }
 }
 
 /// Compares the two backends' answers of a `--cross-check` run; `Some`
@@ -690,16 +800,18 @@ fn cross_check_mismatch(
     None
 }
 
-fn run_mpmcs(options: &CliOptions, tree: &FaultTree) -> Result<(String, String), CliError> {
-    let config = backend_config(options);
-    let (primary_kind, primary) = backend_for(options.backend, tree, &config);
+fn run_mpmcs(options: &CliOptions, tree: &FaultTree) -> Result<RunOutput, CliError> {
+    let tree = Arc::new(tree.clone());
+    let mut analyzer = analyzer_for(options, &tree, options.backend);
+    let primary_kind = analyzer.resolved_backend();
     let start = Instant::now();
-    let solutions = query_solutions(&*primary, tree, options)?;
+    let (solutions, termination) = query_analyzer(&mut analyzer, options)?;
     let primary_elapsed = start.elapsed();
+    let truncated = termination.is_truncated();
 
     let reports: Vec<MpmcsReport> = solutions
         .iter()
-        .map(|solution| solution.to_report(tree, options.stats))
+        .map(|solution| solution.to_report(&tree, options.stats))
         .collect();
     // A single report renders as a bare object, several as an array —
     // exactly the pre-backend-layer output shape (`--top-k 1` has always
@@ -732,17 +844,40 @@ fn run_mpmcs(options: &CliOptions, tree: &FaultTree) -> Result<(String, String),
         summary.push_str(&format!(
             "#{}: {} p={:.6e} ({} events, {}, {:.2} ms)\n",
             rank + 1,
-            solution.cut_set.display_names(tree),
+            solution.cut_set.display_names(&tree),
             solution.probability,
             solution.cut_set.len(),
             solution.algorithm,
             solution.duration.as_secs_f64() * 1e3
         ));
     }
+    if truncated {
+        summary.push_str(&format!(
+            "truncated: the budget stopped the query ({termination}); \
+             the {} reported solutions are the canonical prefix\n",
+            solutions.len()
+        ));
+    }
 
     if !options.cross_check {
-        let json = serde_json::to_string_pretty(&report_value).expect("reports always serialise");
-        return Ok((json, summary));
+        // Budgeted runs wrap the report in an explicit envelope so partial
+        // results can never be mistaken for complete ones; budgetless runs
+        // keep the historical bare report shape.
+        let value = if options.budgeted() {
+            serde_json::json!({
+                "truncated": truncated,
+                "termination": termination.label(),
+                "report": report_value,
+            })
+        } else {
+            report_value
+        };
+        let json = serde_json::to_string_pretty(&value).expect("reports always serialise");
+        return Ok(RunOutput {
+            output: json,
+            summary,
+            truncated,
+        });
     }
 
     // Cross-check: run the reference backend on the same query and insist on
@@ -752,12 +887,13 @@ fn run_mpmcs(options: &CliOptions, tree: &FaultTree) -> Result<(String, String),
     } else {
         BackendKind::MaxSat
     };
-    let (reference_kind, reference) = backend_for(reference_kind, tree, &config);
+    let mut reference = analyzer_for(options, &tree, reference_kind);
+    let reference_kind = reference.resolved_backend();
     let start = Instant::now();
-    let reference_solutions = query_solutions(&*reference, tree, options)?;
+    let (reference_solutions, _) = query_analyzer(&mut reference, options)?;
     let reference_elapsed = start.elapsed();
 
-    if let Some(mismatch) = cross_check_mismatch(tree, &solutions, &reference_solutions) {
+    if let Some(mismatch) = cross_check_mismatch(&tree, &solutions, &reference_solutions) {
         return Err(CliError::Analysis(format!(
             "cross-check mismatch between {} and {}: {mismatch}",
             primary_kind.name(),
@@ -802,7 +938,11 @@ fn run_mpmcs(options: &CliOptions, tree: &FaultTree) -> Result<(String, String),
         ms(reference_elapsed),
     ));
     let json = serde_json::to_string_pretty(&value).expect("reports always serialise");
-    Ok((json, summary))
+    Ok(RunOutput {
+        output: json,
+        summary,
+        truncated,
+    })
 }
 
 fn run_path_set(options: &CliOptions, tree: &FaultTree) -> Result<(String, String), CliError> {
@@ -1366,6 +1506,143 @@ mod tests {
             "the primary backend's report rides along"
         );
         assert!(summary.contains("identical minimal cut sets"));
+    }
+
+    #[test]
+    fn budget_flags_are_parsed_and_validated() {
+        let options = parse_args([
+            "--example",
+            "fps",
+            "--timeout-ms",
+            "250",
+            "--max-solutions",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(options.timeout_ms, Some(250));
+        assert_eq!(options.max_solutions, Some(4));
+        assert!(options.budgeted());
+        assert_eq!(options.budget().max_solutions_limit(), Some(4));
+        // Budgets need complete answers to cross-check against.
+        assert!(matches!(
+            parse_args(["--example", "fps", "--timeout-ms", "5", "--cross-check"]),
+            Err(CliError::Usage(_))
+        ));
+        // Budgets only apply to the mpmcs analysis and batch mode.
+        assert!(matches!(
+            parse_args([
+                "--example",
+                "fps",
+                "--analysis",
+                "ascii",
+                "--timeout-ms",
+                "5"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["--example", "fps", "--max-solutions", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        // The usage text documents the new flags.
+        for flag in ["--timeout-ms", "--max-solutions"] {
+            assert!(USAGE.contains(flag), "usage must document {flag}");
+        }
+    }
+
+    #[test]
+    fn max_solutions_truncates_with_an_explicit_envelope_and_status() {
+        // A cap below the requested enumeration truncates: the JSON gains
+        // the envelope, the result is flagged for the distinct exit code.
+        let options = parse_args([
+            "--example",
+            "fps",
+            "--all",
+            "--max-solutions",
+            "2",
+            "--quiet",
+        ])
+        .unwrap();
+        let result = run_with_status(&options).unwrap();
+        assert!(result.truncated);
+        let parsed: serde_json::Value = serde_json::from_str(&result.output).unwrap();
+        assert_eq!(parsed["truncated"].as_bool(), Some(true));
+        assert_eq!(parsed["termination"].as_str(), Some("solution-cap"));
+        let report = parsed["report"].as_array().unwrap();
+        assert_eq!(report.len(), 2);
+        assert!(result.summary.contains("truncated"));
+
+        // The capped prefix equals the uncapped run's prefix.
+        let full = parse_args(["--example", "fps", "--all", "--quiet"]).unwrap();
+        let (full_json, _) = run(&full).unwrap();
+        let full_parsed: serde_json::Value = serde_json::from_str(&full_json).unwrap();
+        let full_report = full_parsed.as_array().unwrap();
+        assert_eq!(full_report.len(), 5);
+        for (capped, complete) in report.iter().zip(full_report) {
+            assert_eq!(capped["mpmcs"], complete["mpmcs"]);
+        }
+
+        // A cap exactly matching the family size is a complete answer on
+        // every engine path (regression: this used to flip with --timeout-ms).
+        for extra in [vec![], vec!["--timeout-ms", "60000"]] {
+            let mut args = vec![
+                "--example",
+                "fps",
+                "--all",
+                "--max-solutions",
+                "5",
+                "--quiet",
+            ];
+            args.extend(extra);
+            let exact = parse_args(args).unwrap();
+            let result = run_with_status(&exact).unwrap();
+            assert!(!result.truncated, "exact cap must be complete");
+            let parsed: serde_json::Value = serde_json::from_str(&result.output).unwrap();
+            assert_eq!(parsed["termination"].as_str(), Some("complete"));
+        }
+
+        // A generous budget does not truncate, but keeps the envelope.
+        let roomy = parse_args([
+            "--example",
+            "fps",
+            "--all",
+            "--max-solutions",
+            "50",
+            "--quiet",
+        ])
+        .unwrap();
+        let result = run_with_status(&roomy).unwrap();
+        assert!(!result.truncated);
+        let parsed: serde_json::Value = serde_json::from_str(&result.output).unwrap();
+        assert_eq!(parsed["truncated"].as_bool(), Some(false));
+        assert_eq!(parsed["termination"].as_str(), Some("complete"));
+    }
+
+    #[test]
+    fn batch_mode_honours_the_solution_cap() {
+        let dir = std::env::temp_dir().join(format!("mpmcs4fta_cli_budget_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let tree = examples::fire_protection_system();
+        fs::write(dir.join("fps.json"), json::to_json_string(&tree)).unwrap();
+        let options = parse_args([
+            "--batch",
+            dir.to_str().unwrap(),
+            "--top-k",
+            "5",
+            "--max-solutions",
+            "2",
+            "--quiet",
+        ])
+        .unwrap();
+        let result = run_with_status(&options).unwrap();
+        assert!(result.truncated);
+        let parsed: serde_json::Value = serde_json::from_str(&result.output).unwrap();
+        let row = &parsed["results"][0];
+        assert_eq!(row["truncated"].as_bool(), Some(true));
+        assert_eq!(row["cut_sets"].as_array().map(|c| c.len()), Some(2));
+        assert!(result.summary.contains("[truncated]"));
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -2,7 +2,11 @@
 
 use std::process::ExitCode;
 
-use mpmcs4fta_cli::{parse_args, run, CliError, CliMode, USAGE};
+use mpmcs4fta_cli::{parse_args, run_with_status, CliError, CliMode, USAGE};
+
+/// Exit code signalling that the run succeeded but a `--timeout-ms` /
+/// `--max-solutions` budget truncated at least one answer.
+const EXIT_TRUNCATED: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -17,14 +21,14 @@ fn main() -> ExitCode {
         println!("{USAGE}");
         return ExitCode::SUCCESS;
     }
-    match run(&options) {
-        Ok((json, summary)) => {
+    match run_with_status(&options) {
+        Ok(result) => {
             if !options.quiet {
-                eprint!("{summary}");
+                eprint!("{}", result.summary);
             }
             match &options.output {
                 Some(path) => {
-                    if let Err(error) = std::fs::write(path, json) {
+                    if let Err(error) = std::fs::write(path, result.output) {
                         eprintln!("cannot write {}: {error}", path.display());
                         return ExitCode::FAILURE;
                     }
@@ -32,9 +36,13 @@ fn main() -> ExitCode {
                         eprintln!("report written to {}", path.display());
                     }
                 }
-                None => println!("{json}"),
+                None => println!("{}", result.output),
             }
-            ExitCode::SUCCESS
+            if result.truncated {
+                ExitCode::from(EXIT_TRUNCATED)
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         Err(error @ CliError::Usage(_)) => {
             eprintln!("{error}");

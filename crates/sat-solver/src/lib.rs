@@ -30,7 +30,7 @@
 //! solver.add_clause([Lit::negative(a)]);
 //! match solver.solve() {
 //!     SolveResult::Sat(model) => assert!(model.value(b)),
-//!     SolveResult::Unsat => unreachable!("formula is satisfiable"),
+//!     other => unreachable!("formula is satisfiable, got {other:?}"),
 //! }
 //! ```
 
@@ -57,5 +57,5 @@ pub use preprocess::{
     preprocess, preprocess_with, PreprocessConfig, PreprocessResult, PreprocessStats,
 };
 pub use session::Session;
-pub use solver::{Model, SolveResult, Solver, SolverConfig};
+pub use solver::{InterruptHook, Model, SolveResult, Solver, SolverConfig};
 pub use stats::SolverStats;

@@ -467,6 +467,7 @@ mod tests {
                 SolveResult::Unsat => {
                     assert!(!original_sat, "case {case}: lost satisfiability");
                 }
+                SolveResult::Interrupted => unreachable!("no interrupt hook installed"),
             }
         }
     }

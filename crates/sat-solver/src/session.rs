@@ -2,7 +2,7 @@
 
 use crate::cnf::CnfFormula;
 use crate::lit::{Lit, Var};
-use crate::solver::{Model, SolveResult, Solver, SolverConfig};
+use crate::solver::{InterruptHook, Model, SolveResult, Solver, SolverConfig};
 use crate::stats::SolverStats;
 
 /// A persistent incremental solving session.
@@ -41,7 +41,7 @@ use crate::stats::SolverStats;
 /// session.add_clause([Lit::negative(a)]);
 /// match session.solve() {
 ///     SolveResult::Sat(model) => assert!(model.value(b)),
-///     SolveResult::Unsat => unreachable!(),
+///     other => unreachable!("{other:?}"),
 /// }
 /// assert_eq!(session.calls(), 2);
 /// ```
@@ -101,6 +101,14 @@ impl Session {
     /// Adds all clauses of a CNF formula.
     pub fn add_cnf(&mut self, cnf: &CnfFormula) {
         self.solver.add_cnf(cnf);
+    }
+
+    /// Installs (or clears) the cancellation probe polled by the underlying
+    /// solver's search loop (see [`InterruptHook`]). An interrupted call
+    /// returns [`SolveResult::Interrupted`] and leaves the session state
+    /// consistent, so a later call resumes the search.
+    pub fn set_interrupt(&mut self, hook: Option<InterruptHook>) {
+        self.solver.set_interrupt(hook);
     }
 
     /// Solves the current clause database, retaining learnt clauses,
@@ -184,7 +192,7 @@ mod tests {
         s.add_clause([neg(1)]);
         match s.solve() {
             SolveResult::Sat(m) => assert!(m.value(Var::from_index(2))),
-            SolveResult::Unsat => panic!("expected SAT"),
+            other => panic!("expected SAT, got {other:?}"),
         }
         assert_eq!(s.calls(), 2);
         assert_eq!(s.stats().incremental_calls, 1);
@@ -231,7 +239,7 @@ mod tests {
                 assert!(!m.value(Var::from_index(1)));
                 assert!(m.value(Var::from_index(2)));
             }
-            SolveResult::Unsat => panic!("expected SAT"),
+            other => panic!("expected SAT, got {other:?}"),
         }
         assert!(s.stats().incremental_calls >= 4);
     }

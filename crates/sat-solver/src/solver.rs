@@ -8,6 +8,8 @@
 //! produced when solving under assumptions fails, which the core-guided
 //! MaxSAT algorithms rely on.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -16,6 +18,13 @@ use crate::cnf::CnfFormula;
 use crate::heap::VarHeap;
 use crate::lit::{LBool, Lit, Var};
 use crate::stats::SolverStats;
+
+/// A cancellation probe installed with [`Solver::set_interrupt`]: the search
+/// loop polls it at restart boundaries and periodically between conflicts,
+/// and abandons the current call with [`SolveResult::Interrupted`] once it
+/// returns `true`. The closure form (rather than a bare flag) lets callers
+/// fold wall-clock deadlines and shared cancellation tokens into one probe.
+pub type InterruptHook = Arc<dyn Fn() -> bool + Send + Sync>;
 
 /// Tunable solver parameters.
 ///
@@ -101,6 +110,11 @@ pub enum SolveResult {
     Sat(Model),
     /// The formula (under the given assumptions) is unsatisfiable.
     Unsat,
+    /// The call was abandoned because the installed [`InterruptHook`] fired
+    /// before the search decided the formula. The solver state stays
+    /// consistent (the trail is fully backtracked, learnt clauses are kept),
+    /// so a later call resumes the search seamlessly.
+    Interrupted,
 }
 
 impl SolveResult {
@@ -113,7 +127,7 @@ impl SolveResult {
     pub fn model(&self) -> Option<&Model> {
         match self {
             SolveResult::Sat(m) => Some(m),
-            SolveResult::Unsat => None,
+            SolveResult::Unsat | SolveResult::Interrupted => None,
         }
     }
 }
@@ -150,6 +164,17 @@ pub struct Solver {
     num_original_clauses: usize,
     unsat_core: Vec<Lit>,
     last_model: Option<Model>,
+    interrupt: Option<InterruptHook>,
+}
+
+/// Private outcome of one bounded `search` episode.
+enum SearchOutcome {
+    /// The formula was decided within the conflict budget.
+    Decided(bool),
+    /// The conflict budget was exhausted; restart and search again.
+    Restart,
+    /// The interrupt hook fired mid-search.
+    Interrupted,
 }
 
 impl Default for Solver {
@@ -201,7 +226,20 @@ impl Solver {
             num_original_clauses: 0,
             unsat_core: Vec::new(),
             last_model: None,
+            interrupt: None,
         }
+    }
+
+    /// Installs (or clears) the cancellation probe polled by the search loop.
+    /// See [`InterruptHook`].
+    pub fn set_interrupt(&mut self, hook: Option<InterruptHook>) {
+        self.interrupt = hook;
+    }
+
+    /// `true` when an installed interrupt hook currently requests
+    /// cancellation.
+    fn interrupt_requested(&self) -> bool {
+        self.interrupt.as_ref().is_some_and(|hook| hook())
     }
 
     /// Creates a solver preloaded with the clauses of `cnf`.
@@ -680,18 +718,31 @@ impl Solver {
         levels.len() as u32
     }
 
-    /// CDCL search with a conflict budget. Returns `Some(result)` when decided
-    /// within the budget, `None` when the budget is exhausted (restart).
-    fn search(&mut self, conflict_budget: u64, assumptions: &[Lit]) -> Option<bool> {
+    /// How many conflicts may pass between polls of the interrupt hook
+    /// within one `search` episode (the hook is also polled at every restart
+    /// boundary). Small enough to bound cancellation latency, large enough to
+    /// keep the probe off the hot path.
+    const INTERRUPT_CHECK_INTERVAL: u64 = 512;
+
+    /// CDCL search with a conflict budget: decided within the budget,
+    /// restart-requested when the budget is exhausted, or interrupted when
+    /// the installed hook fired.
+    fn search(&mut self, conflict_budget: u64, assumptions: &[Lit]) -> SearchOutcome {
         let mut conflicts = 0u64;
         loop {
             if let Some(conflict) = self.propagate() {
                 conflicts += 1;
                 self.stats.conflicts += 1;
+                if conflicts.is_multiple_of(Self::INTERRUPT_CHECK_INTERVAL)
+                    && self.interrupt_requested()
+                {
+                    self.cancel_until(0);
+                    return SearchOutcome::Interrupted;
+                }
                 if self.decision_level() == 0 {
                     self.ok = false;
                     self.unsat_core.clear();
-                    return Some(false);
+                    return SearchOutcome::Decided(false);
                 }
                 let (learnt, backtrack_level) = self.analyze(conflict);
                 self.cancel_until(backtrack_level);
@@ -712,7 +763,7 @@ impl Solver {
             } else {
                 if conflicts >= conflict_budget {
                     self.cancel_until(0);
-                    return None;
+                    return SearchOutcome::Restart;
                 }
                 if self.db.num_learnt as f64 > self.max_learnt {
                     self.reduce_db();
@@ -729,7 +780,7 @@ impl Solver {
                             // The core stores assumption literals themselves.
                             let core: Vec<Lit> = self.unsat_core.iter().map(|&l| !l).collect();
                             self.unsat_core = core;
-                            return Some(false);
+                            return SearchOutcome::Decided(false);
                         }
                         LBool::Undef => {
                             next = Some(p);
@@ -743,7 +794,7 @@ impl Solver {
                         self.stats.decisions += 1;
                         match self.pick_branch_lit() {
                             Some(lit) => lit,
-                            None => return Some(true),
+                            None => return SearchOutcome::Decided(true),
                         }
                     }
                 };
@@ -777,6 +828,11 @@ impl Solver {
     /// When the result is [`SolveResult::Unsat`], [`Solver::unsat_core`]
     /// returns a subset of the assumptions that is already unsatisfiable
     /// together with the clause database (the *final conflict*).
+    ///
+    /// When an [`InterruptHook`] is installed ([`Solver::set_interrupt`]) and
+    /// fires mid-search, the call returns [`SolveResult::Interrupted`] with
+    /// the trail fully backtracked; learnt clauses, activities and phases are
+    /// kept, so a later call resumes the search.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
         if self.stats.solve_calls > 0 {
             // A warm start: every learnt clause still alive was derived by an
@@ -799,11 +855,16 @@ impl Solver {
         }
         let mut restarts = 0u64;
         let result = loop {
+            if self.interrupt_requested() {
+                self.cancel_until(0);
+                return SolveResult::Interrupted;
+            }
             let budget =
                 (Self::luby(2.0, restarts) * self.config.restart_first as f64).max(1.0) as u64;
             match self.search(budget, assumptions) {
-                Some(answer) => break answer,
-                None => {
+                SearchOutcome::Decided(answer) => break answer,
+                SearchOutcome::Interrupted => return SolveResult::Interrupted,
+                SearchOutcome::Restart => {
                     restarts += 1;
                     self.stats.restarts += 1;
                 }
@@ -857,7 +918,7 @@ mod tests {
         s.add_clause([Lit::positive(a)]);
         match s.solve() {
             SolveResult::Sat(m) => assert!(m.value(a)),
-            SolveResult::Unsat => panic!("expected SAT"),
+            other => panic!("expected SAT, got {other:?}"),
         }
     }
 
@@ -891,7 +952,7 @@ mod tests {
                 assert!(m.value(Var::from_index(1)));
                 assert!(m.value(Var::from_index(2)));
             }
-            SolveResult::Unsat => panic!("expected SAT"),
+            other => panic!("expected SAT, got {other:?}"),
         }
     }
 
@@ -934,7 +995,7 @@ mod tests {
         // And SAT with a single assumption.
         match s.solve_with_assumptions(&[Lit::negative(a)]) {
             SolveResult::Sat(m) => assert!(m.value(b)),
-            SolveResult::Unsat => panic!("expected SAT"),
+            other => panic!("expected SAT, got {other:?}"),
         }
     }
 
@@ -1007,7 +1068,7 @@ mod tests {
         s.add_clause([neg(1)]);
         match s.solve() {
             SolveResult::Sat(m) => assert!(m.value(Var::from_index(2))),
-            SolveResult::Unsat => panic!("expected SAT"),
+            other => panic!("expected SAT, got {other:?}"),
         }
         s.add_clause([neg(2)]);
         assert_eq!(s.solve(), SolveResult::Unsat);
@@ -1027,6 +1088,32 @@ mod tests {
     }
 
     #[test]
+    fn interrupt_hook_abandons_and_later_resumes_the_search() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let mut s = Solver::new();
+        s.ensure_vars(2);
+        s.add_clause([pos(0), pos(1)]);
+        let flag = Arc::new(AtomicBool::new(true));
+        let probe = Arc::clone(&flag);
+        s.set_interrupt(Some(Arc::new(move || probe.load(Ordering::Relaxed))));
+        assert_eq!(s.solve(), SolveResult::Interrupted);
+        assert!(s.last_model().is_none());
+        assert!(s.is_ok(), "an interrupted call proves nothing");
+        // Clearing the request lets the same solver finish the call.
+        flag.store(false, Ordering::Relaxed);
+        assert!(s.solve().is_sat());
+        // Assumption-based calls are interruptible too.
+        flag.store(true, Ordering::Relaxed);
+        assert_eq!(
+            s.solve_with_assumptions(&[neg(0)]),
+            SolveResult::Interrupted
+        );
+        flag.store(false, Ordering::Relaxed);
+        assert!(s.solve_with_assumptions(&[neg(0)]).is_sat());
+    }
+
+    #[test]
     fn luby_sequence_prefix() {
         let seq: Vec<f64> = (0..9).map(|i| Solver::luby(2.0, i)).collect();
         assert_eq!(seq, vec![1.0, 1.0, 2.0, 1.0, 1.0, 2.0, 4.0, 1.0, 1.0]);
@@ -1043,7 +1130,7 @@ mod tests {
                 let true_count = m.as_slice().iter().filter(|&&b| b).count();
                 assert!(true_count <= 2, "phase saving should keep the model sparse");
             }
-            SolveResult::Unsat => panic!("expected SAT"),
+            other => panic!("expected SAT, got {other:?}"),
         }
     }
 }

@@ -1,12 +1,12 @@
-//! Quickstart: build a fault tree programmatically and compute its Maximum
-//! Probability Minimal Cut Set.
+//! Quickstart: build a fault tree programmatically and analyse it through
+//! the session-oriented `Analyzer` facade — the recommended entry point.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use fault_tree::{FaultTreeBuilder, FaultTreeError};
-use mpmcs::{MpmcsReport, MpmcsSolver};
+use ft_session::{Analyzer, Budget};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Model the system as a fault tree.
@@ -18,20 +18,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tree.num_gates()
     );
 
-    // 2. Run the MaxSAT pipeline (paper Steps 1-6).
-    let solver = MpmcsSolver::new();
-    let solution = solver.solve(&tree)?;
+    // 2. Open an analyzer: it owns the tree and a warm incremental solver
+    //    session, and every query below reuses that session. The budget
+    //    bounds each query's wall clock — long-running queries stop cleanly
+    //    with well-labelled partial results instead of hanging.
+    let mut analyzer = Analyzer::for_tree(tree).budget(Budget::wall_ms(10_000));
 
-    // 3. Inspect the answer.
+    // 3. Typed queries: the MPMCS (the paper's headline question)...
+    let best = analyzer.mpmcs()?;
     println!(
         "MPMCS = {}  (probability {:.4}, found by {})",
-        solution.cut_set.display_names(&tree),
-        solution.probability,
-        solution.algorithm
+        best.cut_set.display_names(analyzer.tree()),
+        best.probability,
+        best.algorithm
     );
 
-    // 4. Emit the JSON report of the original MPMCS4FTA tool.
-    let report = MpmcsReport::new(&tree, &solution);
+    // ...the full ranking, and the exact top-event probability.
+    let all = analyzer.all_mcs()?;
+    println!("{} minimal cut sets in total:", all.solutions.len());
+    for (rank, solution) in all.solutions.iter().enumerate() {
+        println!(
+            "  #{}: {} p={:.4}",
+            rank + 1,
+            solution.cut_set.display_names(analyzer.tree()),
+            solution.probability
+        );
+    }
+    println!(
+        "exact top-event probability: {:.6}",
+        analyzer.probability()?
+    );
+
+    // 4. Streaming: pull cut sets lazily from the live solver session —
+    //    bounded memory, early exit, identical order to the collected calls.
+    let top2: Vec<_> = analyzer.stream().take(2).collect::<Result<_, _>>()?;
+    println!(
+        "streamed the two most probable cut sets: {} and {}",
+        top2[0].cut_set.display_names(analyzer.tree()),
+        top2[1].cut_set.display_names(analyzer.tree())
+    );
+
+    // 5. Emit the JSON report of the original MPMCS4FTA tool.
+    let report = best.to_report(analyzer.tree(), false);
     println!("{}", report.to_json());
     Ok(())
 }

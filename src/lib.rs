@@ -2,9 +2,13 @@
 //!
 //! This crate contains no code of its own; it exists so that the repository
 //! root can host the cross-crate integration tests (`tests/`) and the
-//! runnable examples (`examples/`). The actual functionality lives in the
-//! `crates/` workspace members:
+//! runnable examples (`examples/`), and so that downstream users get the
+//! whole workspace through one dependency. The actual functionality lives in
+//! the `crates/` workspace members:
 //!
+//! * [`ft_session`] — **start here**: the session-oriented [`Analyzer`]
+//!   facade (typed queries, streaming solutions, budgets/cancellation) and
+//!   the thread-safe `AnalysisService`;
 //! * [`fault_tree`] — the fault-tree model, parsers and structural analysis;
 //! * [`sat_solver`] — the CDCL SAT solver and Tseitin encoder;
 //! * [`maxsat_solver`] — Weighted Partial MaxSAT algorithms and the parallel
@@ -13,12 +17,27 @@
 //! * [`bdd_engine`] — the ROBDD baseline;
 //! * [`ft_analysis`] — MOCUS, brute force, quantification and importance
 //!   measures;
+//! * [`ft_backend`] — the unified analysis-backend layer (MaxSAT / BDD /
+//!   MOCUS behind one trait, modular preprocessing, auto selection);
+//! * [`ft_batch`] — the parallel batch-analysis engine;
 //! * [`ft_generators`] — synthetic workloads.
+//!
+//! The assemble-it-yourself path — wiring `FaultTree` →
+//! `ft_backend::backend_for` → per-query calls by hand — remains available
+//! for engine-level work, but new consumers should go through
+//! [`ft_session::Analyzer`]: it owns the warm incremental solver state,
+//! supports budgets, cancellation and streaming, and its typed results
+//! label partial answers instead of silently truncating.
+//!
+//! [`Analyzer`]: ft_session::Analyzer
 
 pub use bdd_engine;
 pub use fault_tree;
 pub use ft_analysis;
+pub use ft_backend;
+pub use ft_batch;
 pub use ft_generators;
+pub use ft_session;
 pub use maxsat_solver;
 pub use mpmcs;
 pub use sat_solver;

@@ -1,0 +1,375 @@
+//! Acceptance suite for the session-oriented `Analyzer` facade: facade
+//! answers must be byte-identical to direct backend calls on every bundled
+//! model, streaming must equal the collected path, and budgets/cancellation
+//! must stop queries deterministically (a stopped stream's prefix equals the
+//! unbudgeted run's prefix).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use fault_tree::parser::{galileo, json};
+use fault_tree::FaultTree;
+use ft_backend::{backend_for, BackendConfig, BackendError, BackendKind};
+use ft_session::{AnalysisService, Analyzer, Budget, CancelToken, SessionError, Termination};
+
+fn bundled_trees() -> Vec<(String, FaultTree)> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/trees");
+    let mut paths: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("examples/trees/ ships with the repository")
+        .map(|entry| entry.expect("readable directory entry").path())
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "examples/trees/ must not be empty");
+    paths
+        .into_iter()
+        .map(|path| {
+            let text = fs::read_to_string(&path).expect("readable model file");
+            let tree = if path.extension().and_then(|e| e.to_str()) == Some("json") {
+                json::from_json_str(&text).expect("valid JSON model")
+            } else {
+                galileo::parse_galileo(&text).expect("valid Galileo model")
+            };
+            (
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+                tree,
+            )
+        })
+        .collect()
+}
+
+/// Byte-level comparison key of a solution: the cut set plus the exact bit
+/// patterns of its probability and log weight.
+fn key(solution: &ft_backend::BackendSolution) -> (Vec<usize>, u64, u64) {
+    (
+        solution.cut_set.iter().map(|e| e.index()).collect(),
+        solution.probability.to_bits(),
+        solution.log_weight.to_bits(),
+    )
+}
+
+/// The facade's full enumeration must be byte-identical to the direct
+/// backend's `all_mcs` on every bundled model, for every engine.
+#[test]
+fn facade_all_mcs_is_byte_identical_to_direct_backend_calls() {
+    for (name, tree) in bundled_trees() {
+        for kind in [BackendKind::MaxSat, BackendKind::Bdd, BackendKind::Mocus] {
+            let (_, backend) = backend_for(kind, &tree, &BackendConfig::default());
+            let direct = backend
+                .all_mcs(&tree)
+                .unwrap_or_else(|e| panic!("{name}/{kind}: direct all_mcs failed: {e}"));
+            let mut analyzer = Analyzer::for_tree(tree.clone()).backend(kind);
+            let facade = analyzer
+                .all_mcs()
+                .unwrap_or_else(|e| panic!("{name}/{kind}: facade all_mcs failed: {e}"));
+            assert!(!facade.is_truncated(), "{name}/{kind}");
+            assert_eq!(facade.solutions.len(), direct.len(), "{name}/{kind}");
+            for (f, d) in facade.solutions.iter().zip(&direct) {
+                assert_eq!(key(f), key(d), "{name}/{kind}: solutions diverged");
+            }
+        }
+    }
+}
+
+/// `top_k(k)` through the facade is the canonical prefix of the full
+/// enumeration — and `mpmcs()` is its first entry.
+#[test]
+fn facade_top_k_and_mpmcs_are_canonical_prefixes() {
+    for (name, tree) in bundled_trees() {
+        for kind in [BackendKind::MaxSat, BackendKind::Bdd, BackendKind::Mocus] {
+            let (_, backend) = backend_for(kind, &tree, &BackendConfig::default());
+            let full = backend.all_mcs(&tree).expect("bundled models are solvable");
+            let mut analyzer = Analyzer::for_tree(tree.clone()).backend(kind);
+            let best = analyzer.mpmcs().expect("bundled models are solvable");
+            assert_eq!(key(&best), key(&full[0]), "{name}/{kind}: mpmcs");
+            for k in [1, 3] {
+                let top = analyzer.top_k(k).expect("bundled models are solvable");
+                assert_eq!(top.termination, Termination::Complete);
+                assert_eq!(top.solutions.len(), k.min(full.len()), "{name}/{kind}");
+                for (f, d) in top.solutions.iter().zip(&full) {
+                    assert_eq!(key(f), key(d), "{name}/{kind}: top-{k} diverged");
+                }
+            }
+        }
+    }
+}
+
+/// The facade's exact probability matches the direct backend's (including
+/// the typed refusal when the quantification budget is exceeded).
+#[test]
+fn facade_probability_matches_direct_backends() {
+    for (name, tree) in bundled_trees() {
+        for kind in [BackendKind::MaxSat, BackendKind::Bdd, BackendKind::Mocus] {
+            let (_, backend) = backend_for(kind, &tree, &BackendConfig::default());
+            let mut analyzer = Analyzer::for_tree(tree.clone()).backend(kind);
+            match backend.top_event_probability(&tree) {
+                Ok(direct) => {
+                    let facade = analyzer
+                        .probability()
+                        .unwrap_or_else(|e| panic!("{name}/{kind}: facade refused: {e}"));
+                    assert_eq!(
+                        facade.to_bits(),
+                        direct.to_bits(),
+                        "{name}/{kind}: probabilities diverged"
+                    );
+                }
+                Err(BackendError::ProbabilityUnsupported { .. }) => {
+                    assert!(
+                        matches!(
+                            analyzer.probability(),
+                            Err(SessionError::Backend(
+                                BackendError::ProbabilityUnsupported { .. }
+                            ))
+                        ),
+                        "{name}/{kind}: facade must refuse exactly like the backend"
+                    );
+                }
+                Err(other) => panic!("{name}/{kind}: unexpected backend error: {other}"),
+            }
+        }
+    }
+}
+
+/// Streaming yields byte-identical solutions to the collected API on every
+/// bundled model — the headline redesign's acceptance criterion.
+#[test]
+fn streaming_is_byte_identical_to_collected_on_all_bundled_trees() {
+    for (name, tree) in bundled_trees() {
+        let mut analyzer = Analyzer::for_tree(tree);
+        let collected = analyzer.all_mcs().expect("bundled models are solvable");
+        let streamed: Vec<_> = analyzer
+            .stream()
+            .map(|item| item.expect("bundled models are solvable"))
+            .collect();
+        assert_eq!(streamed.len(), collected.solutions.len(), "{name}");
+        for (s, c) in streamed.iter().zip(&collected.solutions) {
+            assert_eq!(key(s), key(c), "{name}: streamed solutions diverged");
+        }
+    }
+}
+
+/// Early exit: a budget-capped stream of `n` solutions stops the SAT engine
+/// instead of enumerating the whole family, witnessed by the SAT-call
+/// counters; its storage is bounded by the current tie group plus one
+/// look-ahead solution, never the family size.
+#[test]
+fn capped_streams_exit_early_by_sat_call_count() {
+    let (_, tree) = bundled_trees()
+        .into_iter()
+        .find(|(name, _)| name.contains("water_treatment"))
+        .expect("the SCADA model is bundled");
+
+    let full_analyzer = Analyzer::for_tree(tree.clone());
+    let mut full_stream = full_analyzer.stream();
+    let full: Vec<_> = full_stream
+        .by_ref()
+        .map(|item| item.expect("solvable"))
+        .collect();
+    let full_calls = full_stream.sat_calls().expect("live stream");
+    assert!(full.len() > 3, "the study needs a non-trivial family");
+
+    let capped_analyzer = Analyzer::for_tree(tree).budget(Budget::unlimited().max_solutions(2));
+    let mut capped_stream = capped_analyzer.stream();
+    let capped: Vec<_> = capped_stream
+        .by_ref()
+        .map(|item| item.expect("solvable"))
+        .collect();
+    let capped_calls = capped_stream.sat_calls().expect("live stream");
+    assert_eq!(capped.len(), 2);
+    assert_eq!(capped_stream.termination(), Some(Termination::SolutionCap));
+    assert!(
+        capped_calls < full_calls,
+        "early exit must stop the SAT engine: {capped_calls} vs {full_calls}"
+    );
+    // The capped prefix equals the full run's prefix (cancellation
+    // determinism at the solution-cap boundary).
+    for (c, f) in capped.iter().zip(&full) {
+        assert_eq!(key(c), key(f));
+    }
+}
+
+/// Cancellation determinism: a stream stopped by a `CancelToken` mid-run has
+/// delivered exactly a prefix of what the unbudgeted run delivers.
+#[test]
+fn cancelled_streams_deliver_a_prefix_of_the_unbudgeted_run() {
+    let (_, tree) = bundled_trees()
+        .into_iter()
+        .find(|(name, _)| name.contains("aircraft"))
+        .expect("the hydraulics model is bundled");
+
+    let reference: Vec<_> = Analyzer::for_tree(tree.clone())
+        .stream()
+        .map(|item| item.expect("solvable"))
+        .collect();
+    assert!(reference.len() >= 2);
+
+    // Cancel after the second delivery; the stream must stop cleanly and
+    // the delivered prefix must match the reference exactly.
+    let token = CancelToken::new();
+    let analyzer = Analyzer::for_tree(tree).cancel_token(token.clone());
+    let mut delivered = Vec::new();
+    let mut stream = analyzer.stream();
+    for item in stream.by_ref() {
+        delivered.push(item.expect("solvable"));
+        if delivered.len() == 2 {
+            token.cancel();
+        }
+    }
+    assert_eq!(stream.termination(), Some(Termination::Cancelled));
+    assert_eq!(delivered.len(), 2);
+    for (d, r) in delivered.iter().zip(&reference) {
+        assert_eq!(key(d), key(r));
+    }
+
+    // Collected queries observe the same cancellation, with partial,
+    // well-labelled results.
+    let mut cancelled_analyzer = Analyzer::for_tree(fault_tree::examples::fire_protection_system())
+        .cancel_token(token.clone());
+    let partial = cancelled_analyzer.all_mcs().expect("no cut-set error");
+    assert_eq!(partial.termination, Termination::Cancelled);
+    assert!(partial.solutions.is_empty());
+    assert!(matches!(
+        cancelled_analyzer.mpmcs(),
+        Err(SessionError::Stopped(_))
+    ));
+}
+
+/// A pre-expired deadline stops every engine cleanly — including the MOCUS
+/// expansion loop and the classical backends — with explicit truncation.
+#[test]
+fn expired_deadlines_stop_every_backend_cleanly() {
+    let tree = fault_tree::examples::fire_protection_system();
+    for kind in [BackendKind::MaxSat, BackendKind::Bdd, BackendKind::Mocus] {
+        let mut analyzer = Analyzer::for_tree(tree.clone())
+            .backend(kind)
+            .budget(Budget::wall_ms(0));
+        let result = analyzer.all_mcs().expect("a stop is not an error");
+        assert_eq!(result.termination, Termination::Deadline, "{kind}");
+        assert!(result.solutions.is_empty(), "{kind}");
+        assert!(matches!(
+            analyzer.mpmcs(),
+            Err(SessionError::Stopped(Termination::Deadline))
+        ));
+    }
+}
+
+/// Warm reuse: consecutive queries on one analyzer extend the same session
+/// instead of re-solving — `top_k(3)` after `top_k(1)` keeps the proven
+/// prefix, and `all_mcs()` extends it to exhaustion.
+#[test]
+fn warm_sessions_extend_across_queries() {
+    let (_, tree) = bundled_trees().remove(0);
+    let mut analyzer = Analyzer::for_tree(tree);
+    assert!(analyzer.uses_warm_session());
+    let _ = analyzer.mpmcs().expect("solvable");
+    let after_first = analyzer.warm_prefix_len();
+    assert!(after_first >= 1);
+    let top = analyzer.top_k(3).expect("solvable");
+    assert!(analyzer.warm_prefix_len() >= top.solutions.len());
+    let all = analyzer.all_mcs().expect("solvable");
+    assert_eq!(analyzer.warm_prefix_len(), all.solutions.len());
+    // The prefix relation holds across the query sequence.
+    for (t, a) in top.solutions.iter().zip(&all.solutions) {
+        assert_eq!(key(t), key(a));
+    }
+}
+
+/// Truncation labelling is precise and consistent across engine paths: a
+/// solution cap that exactly matches the family size is `Complete` (exit 0),
+/// whether or not a deadline is also configured, for the warm session and
+/// the delegated engines alike.
+#[test]
+fn exact_cap_boundaries_are_labelled_complete_on_every_path() {
+    let tree = fault_tree::examples::fire_protection_system(); // exactly 5 cut sets
+    for kind in [BackendKind::MaxSat, BackendKind::Bdd, BackendKind::Mocus] {
+        for with_deadline in [false, true] {
+            let budget = if with_deadline {
+                Budget::wall_ms(60_000).max_solutions(5)
+            } else {
+                Budget::unlimited().max_solutions(5)
+            };
+            let mut analyzer = Analyzer::for_tree(tree.clone())
+                .backend(kind)
+                .budget(budget);
+            let all = analyzer.all_mcs().expect("solvable");
+            assert_eq!(all.solutions.len(), 5, "{kind}/{with_deadline}");
+            assert_eq!(
+                all.termination,
+                Termination::Complete,
+                "{kind}/deadline={with_deadline}: an exactly-capped complete answer must not be labelled truncated"
+            );
+            // One below the family size really is truncated — on every path.
+            let mut tight =
+                Analyzer::for_tree(tree.clone())
+                    .backend(kind)
+                    .budget(if with_deadline {
+                        Budget::wall_ms(60_000).max_solutions(4)
+                    } else {
+                        Budget::unlimited().max_solutions(4)
+                    });
+            let capped = tight.all_mcs().expect("solvable");
+            assert_eq!(capped.solutions.len(), 4, "{kind}/{with_deadline}");
+            assert_eq!(
+                capped.termination,
+                Termination::SolutionCap,
+                "{kind}/deadline={with_deadline}"
+            );
+        }
+    }
+}
+
+/// An explicit linear-SAT–UNSAT request is honoured by every facade query —
+/// the enumeration must not be silently rerouted to the OLL session.
+#[test]
+fn linear_su_requests_keep_the_linear_algorithm_on_all_queries() {
+    let tree = fault_tree::examples::fire_protection_system();
+    let mut analyzer = Analyzer::for_tree(tree).algorithm(ft_session::AlgorithmChoice::LinearSu);
+    assert!(!analyzer.uses_warm_session());
+    let all = analyzer.all_mcs().expect("solvable");
+    assert_eq!(all.solutions.len(), 5);
+    assert!(
+        all.solutions
+            .iter()
+            .all(|s| s.algorithm.starts_with("linear-su")),
+        "{:?}",
+        all.solutions
+            .iter()
+            .map(|s| s.algorithm.clone())
+            .collect::<Vec<_>>()
+    );
+    let top = analyzer.top_k(2).expect("solvable");
+    assert!(top
+        .solutions
+        .iter()
+        .all(|s| s.algorithm.starts_with("linear-su")));
+}
+
+/// The thread-safe service: N threads hammering one `AnalysisService` get
+/// identical answers, with one shared parsed tree and per-thread sessions.
+#[test]
+fn service_answers_identically_across_threads() {
+    let service = AnalysisService::new();
+    for (name, tree) in bundled_trees() {
+        service.register(name, tree);
+    }
+    let names = service.names();
+    type ThreadAnswers = Vec<(String, Vec<(Vec<usize>, u64, u64)>)>;
+    let per_thread: Vec<ThreadAnswers> = std::thread::scope(|scope| {
+        (0..4)
+            .map(|_| {
+                scope.spawn(|| {
+                    names
+                        .iter()
+                        .map(|name| {
+                            let answer = service.top_k(name, 3).expect("bundled models solve");
+                            (name.clone(), answer.solutions.iter().map(key).collect())
+                        })
+                        .collect()
+                })
+            })
+            .map(|handle| handle.join().expect("workers do not panic"))
+            .collect()
+    });
+    for thread in &per_thread {
+        assert_eq!(thread, &per_thread[0], "threads must agree exactly");
+    }
+}
