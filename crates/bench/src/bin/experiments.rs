@@ -1,28 +1,48 @@
 //! Prints the tables and series of the paper's evaluation (experiments E1–E7
 //! of `DESIGN.md`), plus the post-paper scaling experiments (E10 batch
 //! workers, E11 incremental enumeration, E12 cross-backend comparison, E13
-//! session-facade streaming).
+//! session-facade streaming, E14 hot-path).
 //!
 //! ```text
 //! cargo run --release -p ft-bench --bin experiments -- all
 //! cargo run --release -p ft-bench --bin experiments -- table1 fig2 scalability
 //! cargo run --release -p ft-bench --bin experiments -- scalability --quick
+//! cargo run --release -p ft-bench --bin experiments -- hot-path --json
 //! ```
+//!
+//! `--json` additionally writes a machine-readable `BENCH_<experiment>.json`
+//! snapshot into the current directory for the studies that support one
+//! (`hot-path`, `enumeration-scaling`, `session-streaming`), so the perf
+//! trajectory survives ROADMAP re-anchors. The `hot-path` study always
+//! writes its snapshot: `BENCH_hotpath.json` is a tracked artefact.
 
 use std::process::ExitCode;
 
 use ft_bench::{
     backend_comparison, baselines, batch_scaling, encodings, enumeration_scaling,
-    extended_baselines, extended_measures, fig2, portfolio, scalability, session_streaming, table1,
-    voting, BASELINE_SIZES, SCALABILITY_SIZES,
+    enumeration_scaling_rows, enumeration_scaling_snapshot, enumeration_scaling_table,
+    extended_baselines, extended_measures, fig2, hot_path_rows, hot_path_snapshot, hot_path_table,
+    portfolio, scalability, session_streaming, session_streaming_rows, session_streaming_snapshot,
+    session_streaming_table, table1, voting, BASELINE_SIZES, SCALABILITY_SIZES,
 };
 
 const SEED: u64 = 2020;
+
+/// Writes a `BENCH_*.json` snapshot next to the working directory, reporting
+/// failures on stderr without failing the run (the printed table is the
+/// primary artefact).
+fn write_snapshot(file: &str, json: &str) {
+    match std::fs::write(file, json) {
+        Ok(()) => eprintln!("wrote {file}"),
+        Err(error) => eprintln!("could not write {file}: {error}"),
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // `--smoke` is the CI alias for `--quick` (small sizes, same assertions).
     let quick = args.iter().any(|a| a == "--quick" || a == "--smoke");
+    let json = args.iter().any(|a| a == "--json");
     let mut selected: Vec<&str> = args
         .iter()
         .map(String::as_str)
@@ -43,6 +63,7 @@ fn main() -> ExitCode {
             "enumeration-scaling",
             "backend-comparison",
             "session-streaming",
+            "hot-path",
         ];
     }
 
@@ -88,10 +109,16 @@ fn main() -> ExitCode {
                 // fragmentation, the very pathology the incremental session
                 // compacts its way out of), so larger parameters would
                 // measure instance hardness rather than solver-state reuse.
-                if quick {
-                    enumeration_scaling(&[100, 250], 15, SEED)
+                let k = if quick { 15 } else { 18 };
+                if json {
+                    let rows = enumeration_scaling_rows(&[100, 250], k, SEED);
+                    write_snapshot(
+                        "BENCH_enumeration_scaling.json",
+                        &enumeration_scaling_snapshot(&rows, SEED),
+                    );
+                    enumeration_scaling_table(&rows, k)
                 } else {
-                    enumeration_scaling(&[100, 250], 18, SEED)
+                    enumeration_scaling(&[100, 250], k, SEED)
                 }
             }
             "backend-comparison" => {
@@ -113,15 +140,35 @@ fn main() -> ExitCode {
                 // exit before any timing is published. The depths mirror
                 // E11's proven-safe enumeration band (deeper sweeps hit the
                 // weighted-OLL cliff, see the E11 note above).
-                if quick {
-                    session_streaming(&[100, 250], 5, 15, SEED)
+                let (prefix, k) = if quick { (5, 15) } else { (8, 18) };
+                if json {
+                    let rows = session_streaming_rows(&[100, 250], prefix, k, SEED);
+                    write_snapshot(
+                        "BENCH_session_streaming.json",
+                        &session_streaming_snapshot(&rows, SEED),
+                    );
+                    session_streaming_table(&rows, prefix, k)
                 } else {
-                    session_streaming(&[100, 250], 8, 18, SEED)
+                    session_streaming(&[100, 250], prefix, k, SEED)
                 }
+            }
+            "hot-path" => {
+                // E14: the hot-path study measures the same workload grid
+                // the pre-refactor baseline was captured on; `--quick` only
+                // trims the raw leg's largest size. The snapshot is always
+                // written — `BENCH_hotpath.json` is a tracked artefact.
+                let raw_sizes: &[usize] = if quick {
+                    &[250, 500]
+                } else {
+                    &[250, 500, 1000]
+                };
+                let rows = hot_path_rows(raw_sizes, &[100, 250], 15, SEED);
+                write_snapshot("BENCH_hotpath.json", &hot_path_snapshot(&rows, SEED));
+                hot_path_table(&rows)
             }
             other => {
                 eprintln!(
-                    "unknown experiment {other:?}; available: table1 fig2 scalability portfolio baselines encodings voting extended-baselines measures batch-scaling enumeration-scaling backend-comparison session-streaming all"
+                    "unknown experiment {other:?}; available: table1 fig2 scalability portfolio baselines encodings voting extended-baselines measures batch-scaling enumeration-scaling backend-comparison session-streaming hot-path all"
                 );
                 return ExitCode::from(2);
             }

@@ -715,6 +715,13 @@ pub fn enumeration_scaling_rows(
 /// the wall-clock and SAT-call contrast between warm-started and
 /// from-scratch enumeration.
 pub fn enumeration_scaling(sizes: &[usize], k: usize, seed: u64) -> String {
+    enumeration_scaling_table(&enumeration_scaling_rows(sizes, k, seed), k)
+}
+
+/// Formats already-measured E11 rows (shared by [`enumeration_scaling`] and
+/// the `--json` snapshot path of the `experiments` binary, which needs the
+/// rows twice).
+pub fn enumeration_scaling_table(rows: &[EnumerationScalingRow], k: usize) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "# E11 — top-{k} enumeration: incremental session vs from-scratch pipeline\n"
@@ -722,7 +729,7 @@ pub fn enumeration_scaling(sizes: &[usize], k: usize, seed: u64) -> String {
     out.push_str(
         "family        target  found  incremental_ms  scratch_ms  speedup  inc_calls  scr_calls\n",
     );
-    for row in enumeration_scaling_rows(sizes, k, seed) {
+    for row in rows {
         out.push_str(&format!(
             "{:<13} {:<7} {:<6} {:<15.2} {:<11.2} {:<8.2} {:<10} {:<10}\n",
             row.family,
@@ -1020,6 +1027,12 @@ pub fn session_streaming_rows(
 
 /// Formats the E13 rows.
 pub fn session_streaming(sizes: &[usize], prefix: usize, k: usize, seed: u64) -> String {
+    session_streaming_table(&session_streaming_rows(sizes, prefix, k, seed), prefix, k)
+}
+
+/// Formats already-measured E13 rows (shared by [`session_streaming`] and
+/// the `--json` snapshot path of the `experiments` binary).
+pub fn session_streaming_table(rows: &[SessionStreamingRow], prefix: usize, k: usize) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "# E13 — session facade: streamed top-{prefix} prefix vs collected top-{k}\n"
@@ -1027,7 +1040,7 @@ pub fn session_streaming(sizes: &[usize], prefix: usize, k: usize, seed: u64) ->
     out.push_str(
         "family        target  prefix  found  stream_ms  collected_ms  stream_calls  collected_calls\n",
     );
-    for row in session_streaming_rows(sizes, prefix, k, seed) {
+    for row in rows {
         out.push_str(&format!(
             "{:<13} {:<7} {:<7} {:<6} {:<10.2} {:<13.2} {:<13} {:<15}\n",
             row.family,
@@ -1141,5 +1154,470 @@ mod extended_tests {
         assert!(output.contains("{x1, x2}"));
         assert!(output.contains("maximum-reliability"));
         assert!(output.contains("birnbaum"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E14 — hot-path study (wall-clock per propagation/conflict of the CDCL core)
+// ---------------------------------------------------------------------------
+
+/// One row of the E14 hot-path study: the cost of the CDCL inner loop on a
+/// fixed workload, expressed per propagation and per conflict so the figure
+/// survives workload growth, with the pre-arena-refactor (seed) layout's
+/// figure alongside where one was captured.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HotPathRow {
+    /// Which leg produced the row: `"raw-cdcl"` (hard clauses plus blocking
+    /// clauses straight on [`sat_solver::Solver`]) or `"top-k"` (incremental
+    /// MaxSAT enumeration through the full pipeline).
+    pub leg: String,
+    /// Structural family name.
+    pub family: String,
+    /// Target total node count of the generated tree.
+    pub target_nodes: usize,
+    /// Models found (raw leg) or cut sets found (top-k leg).
+    pub found: usize,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Wall time of the leg in milliseconds.
+    pub wall_ms: f64,
+    /// Nanoseconds per propagation — the study's primary figure.
+    pub ns_per_prop: f64,
+    /// Nanoseconds per conflict.
+    pub ns_per_conflict: f64,
+    /// The same workload's ns/propagation under the pre-refactor clause
+    /// layout (one heap `Vec<Lit>` per clause), measured once on the seed
+    /// commit's solver in a release build ([`HOT_PATH_SEED_BASELINE`]).
+    /// `None` for workloads outside the captured grid.
+    pub baseline_ns_per_prop: Option<f64>,
+    /// `baseline_ns_per_prop / ns_per_prop` — above 1.0 means the flat-arena
+    /// layout beats the seed layout on this workload.
+    pub speedup: Option<f64>,
+}
+
+serde::impl_serde_struct!(HotPathRow {
+    leg,
+    family,
+    target_nodes,
+    found,
+    propagations,
+    conflicts,
+    wall_ms,
+    ns_per_prop,
+    ns_per_conflict,
+} optional { baseline_ns_per_prop, speedup });
+
+/// The pre-refactor layout's ns/propagation, measured on the seed commit
+/// (per-clause `Vec<Lit>` storage, hard-wired VSIDS, no inprocessing) with
+/// the exact workloads of [`hot_path_rows`] at seed 2020 in a release build:
+/// `(leg, family, target_nodes, ns_per_prop)`. Absolute numbers shift with
+/// the host CPU, which is why [`hot_path_snapshot`] records both sides of
+/// the comparison instead of only the ratio.
+pub const HOT_PATH_SEED_BASELINE: &[(&str, &str, usize, f64)] = &[
+    ("raw-cdcl", "random-mixed", 250, 109.84),
+    ("raw-cdcl", "random-mixed", 500, 87.42),
+    ("raw-cdcl", "random-mixed", 1000, 89.97),
+    ("raw-cdcl", "and-heavy", 250, 109.65),
+    ("raw-cdcl", "and-heavy", 500, 93.63),
+    ("raw-cdcl", "and-heavy", 1000, 64.77),
+    ("raw-cdcl", "or-heavy", 250, 90.37),
+    ("raw-cdcl", "or-heavy", 500, 91.23),
+    ("raw-cdcl", "or-heavy", 1000, 72.73),
+    ("top-k", "random-mixed", 100, 122.99),
+    ("top-k", "random-mixed", 250, 121.92),
+    ("top-k", "or-heavy", 100, 163.94),
+    ("top-k", "or-heavy", 250, 189.61),
+    ("top-k", "shared-dag", 100, 134.20),
+    ("top-k", "shared-dag", 250, 124.24),
+];
+
+fn hot_path_baseline(leg: &str, family: &str, size: usize) -> Option<f64> {
+    HOT_PATH_SEED_BASELINE
+        .iter()
+        .find(|(l, f, s, _)| *l == leg && *f == family && *s == size)
+        .map(|(_, _, _, ns)| *ns)
+}
+
+/// Models enumerated per workload by the raw-CDCL leg (matches the baseline
+/// capture run).
+const HOT_PATH_RAW_MODELS: usize = 200;
+
+/// Event variables the raw-CDCL leg's blocking clauses range over (matches
+/// the baseline capture run).
+const HOT_PATH_BLOCK_VARS: usize = 64;
+
+fn hot_path_row(
+    leg: &str,
+    family: Family,
+    size: usize,
+    found: usize,
+    propagations: u64,
+    conflicts: u64,
+    wall: Duration,
+) -> HotPathRow {
+    let ns = wall.as_nanos() as f64;
+    let ns_per_prop = ns / propagations.max(1) as f64;
+    let baseline = hot_path_baseline(leg, family.name(), size);
+    HotPathRow {
+        leg: leg.to_string(),
+        family: family.name().to_string(),
+        target_nodes: size,
+        found,
+        propagations,
+        conflicts,
+        wall_ms: ms(wall),
+        ns_per_prop,
+        ns_per_conflict: ns / conflicts.max(1) as f64,
+        baseline_ns_per_prop: baseline,
+        speedup: baseline.map(|b| b / ns_per_prop),
+    }
+}
+
+/// Enumerates up to [`HOT_PATH_RAW_MODELS`] models of `solver`, blocking each
+/// found assignment projected onto the first [`HOT_PATH_BLOCK_VARS`]
+/// variables, and returns how many models were found.
+fn hot_path_enumerate(solver: &mut sat_solver::Solver, num_vars: usize, cap: usize) -> usize {
+    use sat_solver::{Lit, SolveResult, Var};
+    let mut models = 0usize;
+    while models < cap {
+        match solver.solve() {
+            SolveResult::Sat(model) => {
+                models += 1;
+                let block: Vec<Lit> = (0..num_vars.min(HOT_PATH_BLOCK_VARS))
+                    .map(|i| Lit::new(Var::from_index(i), model.value(Var::from_index(i))))
+                    .collect();
+                if !solver.add_clause(block) {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    models
+}
+
+/// E14 — the hot-path study. Two legs share the generated families:
+///
+/// * **raw-cdcl** drives [`sat_solver::Solver`] directly with the hard
+///   clauses of the MPMCS encoding and enumerates models under blocking
+///   clauses — propagation and conflict analysis dominate, so ns/propagation
+///   isolates the clause-arena memory layout from MaxSAT logic;
+/// * **top-k** runs the full incremental MaxSAT enumeration
+///   ([`MpmcsSolver::solve_top_k`]) the way every production query does.
+///
+/// Before any timing is trusted, [`assert_hot_path_equivalence`] proves the
+/// perf-motivated solver features cannot change answers: the top-k leg is
+/// re-run under random branching and must report identical cut sets, and a
+/// full model enumeration is re-run under aggressive inprocessing (interval
+/// 1, variable elimination on) plus random branching and must produce the
+/// identical projected model set.
+pub fn hot_path_rows(
+    raw_sizes: &[usize],
+    topk_sizes: &[usize],
+    k: usize,
+    seed: u64,
+) -> Vec<HotPathRow> {
+    use sat_solver::{CnfFormula, Solver};
+    assert_hot_path_equivalence(seed);
+    let mut rows = Vec::new();
+    for family in [Family::RandomMixed, Family::AndHeavy, Family::OrHeavy] {
+        for &size in raw_sizes {
+            let tree = family.generate(size, seed);
+            let encoding = MpmcsSolver::new().encode(&tree);
+            let instance = encoding.instance();
+            let mut cnf = CnfFormula::with_vars(instance.num_vars());
+            for clause in instance.hard_clauses() {
+                cnf.add_clause(clause.iter().copied());
+            }
+            let start = Instant::now();
+            let mut solver = Solver::from_cnf(&cnf);
+            let models = hot_path_enumerate(&mut solver, instance.num_vars(), HOT_PATH_RAW_MODELS);
+            let wall = start.elapsed();
+            let stats = solver.stats();
+            rows.push(hot_path_row(
+                "raw-cdcl",
+                family,
+                size,
+                models,
+                stats.propagations,
+                stats.conflicts,
+                wall,
+            ));
+        }
+    }
+    let solver = MpmcsSolver::with_options(MpmcsOptions {
+        algorithm: AlgorithmChoice::SequentialPortfolio,
+        ..MpmcsOptions::new()
+    });
+    for family in [Family::RandomMixed, Family::OrHeavy, Family::SharedDag] {
+        for &size in topk_sizes {
+            let tree = family.generate(size, seed);
+            let (solutions, wall) = timed(|| {
+                solver
+                    .solve_top_k(&tree, k)
+                    .expect("generated trees have cut sets")
+            });
+            let propagations = solutions.iter().map(|s| s.stats.propagations).sum();
+            let conflicts = solutions.iter().map(|s| s.stats.conflicts).sum();
+            rows.push(hot_path_row(
+                "top-k",
+                family,
+                size,
+                solutions.len(),
+                propagations,
+                conflicts,
+                wall,
+            ));
+        }
+    }
+    rows
+}
+
+/// The E14 answers-identical guard (see [`hot_path_rows`]); panics on any
+/// divergence, so the study — and the CI smoke step running it — fails
+/// instead of publishing timings for a solver that changed answers.
+pub fn assert_hot_path_equivalence(seed: u64) {
+    use sat_solver::{
+        BranchingChoice, CnfFormula, InprocessConfig, SolveResult, Solver, SolverConfig,
+    };
+    use std::collections::BTreeSet;
+
+    // Leg 1: top-k cut sets must not depend on the branching heuristic.
+    let tree = Family::RandomMixed.generate(120, seed);
+    let answers = |branching: BranchingChoice| {
+        MpmcsSolver::with_options(MpmcsOptions {
+            algorithm: AlgorithmChoice::SequentialPortfolio,
+            branching,
+            ..MpmcsOptions::new()
+        })
+        .solve_top_k(&tree, 8)
+        .expect("generated trees have cut sets")
+        .into_iter()
+        .map(|s| (s.cut_set, s.log_weight.to_bits()))
+        .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        answers(BranchingChoice::Vsids),
+        answers(BranchingChoice::Random),
+        "top-k answers diverged across branching heuristics"
+    );
+
+    // Leg 2: the full projected model set must survive aggressive
+    // inprocessing (every level-0 boundary, variable elimination on) plus
+    // random branching. The fire-protection example is small enough to
+    // enumerate to exhaustion.
+    let tree = fire_protection_system();
+    let encoding = MpmcsSolver::new().encode(&tree);
+    let instance = encoding.instance();
+    let project = instance.num_vars().min(16);
+    let models_under = |config: SolverConfig| {
+        use sat_solver::{Lit, Var};
+        let mut cnf = CnfFormula::with_vars(instance.num_vars());
+        for clause in instance.hard_clauses() {
+            cnf.add_clause(clause.iter().copied());
+        }
+        let mut solver = Solver::with_config(config);
+        solver.add_cnf(&cnf);
+        let mut models = BTreeSet::new();
+        while let SolveResult::Sat(model) = solver.solve() {
+            let bits: Vec<bool> = (0..project)
+                .map(|i| model.value(Var::from_index(i)))
+                .collect();
+            assert!(models.insert(bits.clone()), "duplicate projected model");
+            assert!(models.len() <= 4096, "projection unexpectedly large");
+            let block: Vec<Lit> = bits
+                .iter()
+                .enumerate()
+                .map(|(i, &value)| Lit::new(Var::from_index(i), value))
+                .collect();
+            if !solver.add_clause(block) {
+                break;
+            }
+        }
+        models
+    };
+    let aggressive = SolverConfig {
+        branching: BranchingChoice::Random,
+        inprocess: InprocessConfig {
+            interval_conflicts: 1,
+            var_elim: true,
+            ..InprocessConfig::default()
+        },
+        ..SolverConfig::default()
+    };
+    let plain = models_under(SolverConfig::default());
+    assert!(!plain.is_empty(), "the example tree is satisfiable");
+    assert_eq!(
+        plain,
+        models_under(aggressive),
+        "projected model set diverged under aggressive inprocessing"
+    );
+}
+
+/// Formats already-measured E14 rows.
+pub fn hot_path_table(rows: &[HotPathRow]) -> String {
+    let mut out = String::new();
+    out.push_str("# E14 — hot path: ns/propagation of the CDCL core, arena vs seed layout\n");
+    out.push_str(
+        "leg       family        target  found  props       conflicts  wall_ms    ns/prop   ns/conf   seed_ns/prop  speedup\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{:<9} {:<13} {:<7} {:<6} {:<11} {:<10} {:<10.3} {:<9.2} {:<9.1} {:<13} {}\n",
+            row.leg,
+            row.family,
+            row.target_nodes,
+            row.found,
+            row.propagations,
+            row.conflicts,
+            row.wall_ms,
+            row.ns_per_prop,
+            row.ns_per_conflict,
+            row.baseline_ns_per_prop
+                .map_or_else(|| "-".to_string(), |b| format!("{b:<13.2}")),
+            row.speedup
+                .map_or_else(|| "-".to_string(), |s| format!("{s:.2}x")),
+        ));
+    }
+    out
+}
+
+/// E14 convenience wrapper: measures and renders in one call.
+pub fn hot_path(raw_sizes: &[usize], topk_sizes: &[usize], k: usize, seed: u64) -> String {
+    hot_path_table(&hot_path_rows(raw_sizes, topk_sizes, k, seed))
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable `BENCH_*.json` snapshots
+// ---------------------------------------------------------------------------
+
+/// Wraps rendered study rows in the standard snapshot envelope the
+/// `BENCH_*.json` files carry, so perf trajectories survive ROADMAP
+/// re-anchors in a diffable, machine-readable form.
+pub fn bench_snapshot_json(experiment: &str, seed: u64, rows: Vec<serde::Value>) -> String {
+    use serde::Serialize;
+    let mut map = serde::Map::new();
+    map.insert("experiment".to_string(), experiment.to_value());
+    map.insert("seed".to_string(), seed.to_value());
+    map.insert("rows".to_string(), serde::Value::Array(rows));
+    serde_json::to_string_pretty(&serde::Value::Object(map)).expect("snapshots always serialise")
+}
+
+/// The `BENCH_hotpath.json` document for measured E14 rows.
+pub fn hot_path_snapshot(rows: &[HotPathRow], seed: u64) -> String {
+    use serde::Serialize;
+    bench_snapshot_json(
+        "E14-hot-path",
+        seed,
+        rows.iter().map(|r| r.to_value()).collect(),
+    )
+}
+
+/// The `BENCH_enumeration_scaling.json` document for measured E11 rows.
+pub fn enumeration_scaling_snapshot(rows: &[EnumerationScalingRow], seed: u64) -> String {
+    use serde::Serialize;
+    let rows = rows
+        .iter()
+        .map(|r| {
+            let mut map = serde::Map::new();
+            map.insert("family".to_string(), r.family.to_value());
+            map.insert("target_nodes".to_string(), r.target_nodes.to_value());
+            map.insert("k".to_string(), r.k.to_value());
+            map.insert("found".to_string(), r.found.to_value());
+            map.insert(
+                "incremental_ms".to_string(),
+                ms(r.incremental_time).to_value(),
+            );
+            map.insert("scratch_ms".to_string(), ms(r.scratch_time).to_value());
+            map.insert("speedup".to_string(), r.speedup.to_value());
+            map.insert(
+                "incremental_sat_calls".to_string(),
+                r.incremental_sat_calls.to_value(),
+            );
+            map.insert(
+                "scratch_sat_calls".to_string(),
+                r.scratch_sat_calls.to_value(),
+            );
+            serde::Value::Object(map)
+        })
+        .collect();
+    bench_snapshot_json("E11-enumeration-scaling", seed, rows)
+}
+
+/// The `BENCH_session_streaming.json` document for measured E13 rows.
+pub fn session_streaming_snapshot(rows: &[SessionStreamingRow], seed: u64) -> String {
+    use serde::Serialize;
+    let rows = rows
+        .iter()
+        .map(|r| {
+            let mut map = serde::Map::new();
+            map.insert("family".to_string(), r.family.to_value());
+            map.insert("target_nodes".to_string(), r.target_nodes.to_value());
+            map.insert("prefix".to_string(), r.prefix.to_value());
+            map.insert("collected_k".to_string(), r.collected_k.to_value());
+            map.insert("found".to_string(), r.found.to_value());
+            map.insert("stream_ms".to_string(), ms(r.stream_time).to_value());
+            map.insert("collected_ms".to_string(), ms(r.collected_time).to_value());
+            map.insert(
+                "stream_sat_calls".to_string(),
+                r.stream_sat_calls.to_value(),
+            );
+            map.insert(
+                "collected_sat_calls".to_string(),
+                r.collected_sat_calls.to_value(),
+            );
+            serde::Value::Object(map)
+        })
+        .collect();
+    bench_snapshot_json("E13-session-streaming", seed, rows)
+}
+
+#[cfg(test)]
+mod hot_path_tests {
+    use super::*;
+
+    #[test]
+    fn hot_path_rows_measure_both_legs_and_render() {
+        let rows = hot_path_rows(&[250], &[100], 5, 2020);
+        // 3 raw-cdcl families × 1 size + 3 top-k families × 1 size.
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(row.found > 0, "{}-{}", row.leg, row.family);
+            assert!(row.propagations > 0);
+            assert!(row.ns_per_prop > 0.0);
+        }
+        // The captured baseline grid covers every measured workload here.
+        assert!(rows.iter().all(|r| r.speedup.is_some()));
+        let table = hot_path_table(&rows);
+        assert!(table.contains("E14"));
+        assert!(table.contains("raw-cdcl"));
+        assert!(table.contains("top-k"));
+        let json = hot_path_snapshot(&rows, 2020);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["experiment"].as_str(), Some("E14-hot-path"));
+        assert_eq!(parsed["rows"].as_array().unwrap().len(), 6);
+        assert!(parsed["rows"][0]["ns_per_prop"].as_f64().unwrap() > 0.0);
+        assert!(parsed["rows"][0]["baseline_ns_per_prop"].as_f64().is_some());
+    }
+
+    #[test]
+    fn study_snapshots_carry_the_envelope_and_rows() {
+        let rows = enumeration_scaling_rows(&[40], 3, 6);
+        let json = enumeration_scaling_snapshot(&rows, 6);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            parsed["experiment"].as_str(),
+            Some("E11-enumeration-scaling")
+        );
+        assert_eq!(parsed["rows"].as_array().unwrap().len(), rows.len());
+        assert!(parsed["rows"][0]["incremental_sat_calls"].as_u64().unwrap() > 0);
+
+        let rows = session_streaming_rows(&[60], 3, 8, 9);
+        let json = session_streaming_snapshot(&rows, 9);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["experiment"].as_str(), Some("E13-session-streaming"));
+        assert_eq!(parsed["rows"].as_array().unwrap().len(), rows.len());
     }
 }

@@ -61,7 +61,7 @@ use std::fmt;
 
 use bdd_engine::VariableOrdering;
 use fault_tree::FaultTree;
-use mpmcs::AlgorithmChoice;
+use mpmcs::{AlgorithmChoice, BranchingChoice, MpmcsOptions};
 
 pub use auto::{choose_backend, StructuralFeatures};
 pub use bdd::BddBackend;
@@ -121,6 +121,8 @@ impl fmt::Display for BackendKind {
 pub struct BackendConfig {
     /// The MaxSAT strategy used by [`MaxSatBackend`].
     pub algorithm: AlgorithmChoice,
+    /// The SAT branching heuristic used by [`MaxSatBackend`]'s solvers.
+    pub branching: BranchingChoice,
     /// The BDD variable ordering used by [`BddBackend`].
     pub bdd_ordering: VariableOrdering,
     /// Budget on intermediate MOCUS sets ([`MocusBackend`]).
@@ -142,6 +144,7 @@ impl Default for BackendConfig {
     fn default() -> Self {
         BackendConfig {
             algorithm: AlgorithmChoice::SequentialPortfolio,
+            branching: BranchingChoice::Vsids,
             bdd_ordering: VariableOrdering::DepthFirst,
             mocus_budget: 1_000_000,
             bdd_path_budget: 1_000_000,
@@ -321,8 +324,12 @@ pub fn backend_for(
 ) -> (BackendKind, Box<dyn AnalysisBackend>) {
     let resolved = resolve_backend(kind, tree);
     let raw: Box<dyn AnalysisBackend> = match resolved {
-        BackendKind::MaxSat => Box::new(MaxSatBackend::new(
-            config.algorithm,
+        BackendKind::MaxSat => Box::new(MaxSatBackend::with_options(
+            MpmcsOptions {
+                algorithm: config.algorithm,
+                branching: config.branching,
+                ..MpmcsOptions::new()
+            },
             config.probability_budget,
         )),
         BackendKind::Bdd => Box::new(BddBackend::new(config.bdd_ordering, config.bdd_path_budget)),

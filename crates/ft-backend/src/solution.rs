@@ -103,6 +103,10 @@ impl BackendSolution {
                     restarts: stats.restarts,
                     learnt_reused: stats.learnt_reused,
                     session_calls: stats.session_calls,
+                    inprocess_rounds: stats.inprocess_rounds,
+                    inprocess_strengthened: stats.inprocess_strengthened,
+                    inprocess_removed: stats.inprocess_removed,
+                    arena_compactions: stats.arena_compactions,
                 }),
                 _ => None,
             },

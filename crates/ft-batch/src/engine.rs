@@ -8,7 +8,7 @@ use bdd_engine::VariableOrdering;
 use fault_tree::FaultTree;
 use ft_backend::{BackendKind, Budget};
 use ft_session::{Analyzer, SessionError};
-use mpmcs::AlgorithmChoice;
+use mpmcs::{AlgorithmChoice, BranchingChoice};
 
 use crate::manifest::{BatchJob, BatchManifest};
 use crate::report::{BatchReport, BatchSummary, ImportanceRow, TreeReport};
@@ -31,6 +31,8 @@ pub struct BatchConfig {
     /// worker pool (one tree per thread), which keeps per-tree results
     /// bit-identical for any worker count.
     pub algorithm: AlgorithmChoice,
+    /// The SAT decision heuristic used by the MaxSAT backend's solvers.
+    pub branching: BranchingChoice,
     /// Also compute the Birnbaum / Fussell-Vesely / criticality importance
     /// table per tree (needs cut-set enumeration; skipped for trees whose
     /// cut-set count exceeds an internal budget).
@@ -65,6 +67,7 @@ impl Default for BatchConfig {
             jobs: 0,
             top_k: 1,
             algorithm: AlgorithmChoice::SequentialPortfolio,
+            branching: BranchingChoice::Vsids,
             importance: false,
             stats: false,
             backend: BackendKind::MaxSat,
@@ -209,6 +212,7 @@ fn analyze_job(job: &BatchJob, config: &BatchConfig) -> TreeReport {
     let mut analyzer = Analyzer::for_tree(tree)
         .backend(config.backend)
         .algorithm(config.algorithm)
+        .branching(config.branching)
         .bdd_ordering(config.bdd_ordering)
         .preprocess(config.preprocess)
         .budget(config.budget());

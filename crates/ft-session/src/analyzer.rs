@@ -8,7 +8,7 @@ use ft_backend::{
     backend_for, exact_union_probability, AnalysisBackend, BackendConfig, BackendKind,
     BackendSolution, Budget, CancelToken, QueryControl,
 };
-use mpmcs::{AlgorithmChoice, McsStream, MpmcsOptions, StreamStep};
+use mpmcs::{AlgorithmChoice, BranchingChoice, McsStream, MpmcsOptions, StreamStep};
 
 use crate::results::{ImportanceReport, ImportanceRow, SessionError, SolutionSet, Termination};
 use crate::stream::SolutionStream;
@@ -138,6 +138,14 @@ impl Analyzer {
         self
     }
 
+    /// Selects the SAT decision heuristic used by the MaxSAT backend's
+    /// solvers (default [`BranchingChoice::Vsids`]). Resets the warm state.
+    pub fn branching(mut self, branching: BranchingChoice) -> Self {
+        self.config.branching = branching;
+        self.reset();
+        self
+    }
+
     /// Selects the BDD variable ordering (BDD backend and the importance
     /// table's exact probability). Resets the warm state.
     pub fn bdd_ordering(mut self, ordering: VariableOrdering) -> Self {
@@ -216,6 +224,7 @@ impl Analyzer {
     pub(crate) fn mpmcs_options(&self) -> MpmcsOptions {
         MpmcsOptions {
             algorithm: self.config.algorithm,
+            branching: self.config.branching,
             ..MpmcsOptions::new()
         }
     }

@@ -21,7 +21,12 @@ pub trait ClauseSink {
 
 impl ClauseSink for Solver {
     fn add_var(&mut self) -> Var {
-        self.new_var()
+        let v = self.new_var();
+        // Encoding variables (totalizer/GTE outputs) are assumed and re-used
+        // by later reformulation clauses; keep them out of inprocessing's
+        // variable elimination.
+        self.freeze_var(v);
+        v
     }
 
     fn add_sink_clause(&mut self, lits: &[Lit]) {

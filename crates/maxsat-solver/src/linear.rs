@@ -160,6 +160,10 @@ impl MaxSatAlgorithm for LinearSuSolver {
                 result.stats.propagations += spent.propagations;
                 result.stats.restarts += spent.restarts;
                 result.stats.learnt_reused += spent.learnt_reused;
+                result.stats.inprocess_rounds += spent.inprocess_rounds;
+                result.stats.inprocess_strengthened += spent.inprocess_strengthened;
+                result.stats.inprocess_removed += spent.inprocess_removed;
+                result.stats.arena_compactions += spent.arena_compactions;
                 return Some(result);
             }
         };

@@ -76,9 +76,18 @@ pub(crate) fn normalize_softs(
     for soft in instance.soft_clauses() {
         match soft.lits.len() {
             0 => baseline += soft.weight,
-            1 => *weights.entry(soft.lits[0]).or_insert(0) += soft.weight,
+            1 => {
+                // The soft literal itself is assumed later; keep it safe from
+                // variable elimination.
+                session.freeze_var(soft.lits[0].var());
+                *weights.entry(soft.lits[0]).or_insert(0) += soft.weight;
+            }
             _ => {
                 let relax = Lit::positive(session.new_var());
+                // Selectors are assumed on every solver call and re-used by
+                // the OLL reformulation; inprocessing must never eliminate
+                // them.
+                session.freeze_var(relax.var());
                 let mut clause = soft.lits.clone();
                 clause.push(relax);
                 session.add_clause(clause);

@@ -11,7 +11,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
 
-use sat_solver::SolverConfig;
+use sat_solver::{BranchingChoice, SolverConfig};
 
 use crate::incremental::IncrementalMaxSat;
 use crate::instance::WcnfInstance;
@@ -58,6 +58,22 @@ impl Default for PortfolioConfig {
             entries: default_entries(),
             sequential: false,
         }
+    }
+}
+
+impl PortfolioConfig {
+    /// Applies one branching heuristic to every entry's SAT configuration.
+    /// Custom entries own their solvers and are left untouched.
+    #[must_use]
+    pub fn with_branching(mut self, branching: BranchingChoice) -> Self {
+        for entry in &mut self.entries {
+            match entry {
+                PortfolioEntry::Oll(config) => config.sat_config.branching = branching,
+                PortfolioEntry::LinearSu(config) => config.sat_config.branching = branching,
+                PortfolioEntry::Custom(_) => {}
+            }
+        }
+        self
     }
 }
 
@@ -179,6 +195,10 @@ impl MaxSatAlgorithm for PortfolioSolver {
             let mut total_propagations = 0u64;
             let mut total_restarts = 0u64;
             let mut total_learnt_reused = 0u64;
+            let mut total_inprocess_rounds = 0u64;
+            let mut total_inprocess_strengthened = 0u64;
+            let mut total_inprocess_removed = 0u64;
+            let mut total_arena_compactions = 0u64;
             for entry in &self.config.entries {
                 if stop.load(Ordering::Relaxed) {
                     break;
@@ -191,6 +211,10 @@ impl MaxSatAlgorithm for PortfolioSolver {
                 total_propagations += result.stats.propagations;
                 total_restarts += result.stats.restarts;
                 total_learnt_reused += result.stats.learnt_reused;
+                total_inprocess_rounds += result.stats.inprocess_rounds;
+                total_inprocess_strengthened += result.stats.inprocess_strengthened;
+                total_inprocess_removed += result.stats.inprocess_removed;
+                total_arena_compactions += result.stats.arena_compactions;
                 if result.outcome == MaxSatOutcome::Unsatisfiable {
                     // Hard-clause unsatisfiability is a property of the
                     // instance; no later entry can answer differently.
@@ -215,6 +239,10 @@ impl MaxSatAlgorithm for PortfolioSolver {
             result.stats.propagations = total_propagations;
             result.stats.restarts = total_restarts;
             result.stats.learnt_reused = total_learnt_reused;
+            result.stats.inprocess_rounds = total_inprocess_rounds;
+            result.stats.inprocess_strengthened = total_inprocess_strengthened;
+            result.stats.inprocess_removed = total_inprocess_removed;
+            result.stats.arena_compactions = total_arena_compactions;
             return Some(result);
         }
 

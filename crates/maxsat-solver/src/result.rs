@@ -77,6 +77,14 @@ pub struct MaxSatStats {
     /// stays the winning session's own count, so there `sat_calls` may
     /// exceed `session_calls`.
     pub session_calls: u64,
+    /// Inprocessing rounds run by the underlying SAT search during this run.
+    pub inprocess_rounds: u64,
+    /// Clauses strengthened by inprocessing during this run.
+    pub inprocess_strengthened: u64,
+    /// Clauses removed by inprocessing during this run.
+    pub inprocess_removed: u64,
+    /// Clause-arena compactions performed during this run.
+    pub arena_compactions: u64,
 }
 
 impl MaxSatStats {
@@ -109,6 +117,10 @@ impl MaxSatStats {
             restarts: self.restarts + other.restarts,
             learnt_reused: self.learnt_reused + other.learnt_reused,
             session_calls: self.session_calls + other.session_calls,
+            inprocess_rounds: self.inprocess_rounds + other.inprocess_rounds,
+            inprocess_strengthened: self.inprocess_strengthened + other.inprocess_strengthened,
+            inprocess_removed: self.inprocess_removed + other.inprocess_removed,
+            arena_compactions: self.arena_compactions + other.arena_compactions,
         }
     }
 
@@ -119,6 +131,10 @@ impl MaxSatStats {
         self.propagations = solver.propagations;
         self.restarts = solver.restarts;
         self.learnt_reused = solver.learnt_reused;
+        self.inprocess_rounds = solver.inprocess_rounds;
+        self.inprocess_strengthened = solver.inprocess_strengthened;
+        self.inprocess_removed = solver.inprocess_removed;
+        self.arena_compactions = solver.arena_compactions;
     }
 }
 
@@ -127,7 +143,8 @@ impl fmt::Display for MaxSatStats {
         write!(
             f,
             "{}: sat_calls={} cores={} improvements={} lb={} ub={} conflicts={} \
-             propagations={} restarts={} reused={}",
+             propagations={} restarts={} reused={} inprocess_rounds={} strengthened={} \
+             removed={} compactions={}",
             self.algorithm,
             self.sat_calls,
             self.cores,
@@ -137,7 +154,11 @@ impl fmt::Display for MaxSatStats {
             self.conflicts,
             self.propagations,
             self.restarts,
-            self.learnt_reused
+            self.learnt_reused,
+            self.inprocess_rounds,
+            self.inprocess_strengthened,
+            self.inprocess_removed,
+            self.arena_compactions
         )
     }
 }

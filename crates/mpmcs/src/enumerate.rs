@@ -170,8 +170,17 @@ impl MpmcsSolver {
         let setup_start = Instant::now();
         // Exactly one tree encoding per enumeration call...
         let encoding = self.encode(tree);
-        // ...and exactly one solver session shared by every cut set.
-        let mut session = PortfolioSolver::sequential().incremental(encoding.instance());
+        // ...and exactly one solver session shared by every cut set (the
+        // configured branching heuristic reaches it through the portfolio's
+        // first core-guided entry).
+        let mut session = PortfolioSolver::new(
+            maxsat_solver::PortfolioConfig {
+                sequential: true,
+                ..maxsat_solver::PortfolioConfig::default()
+            }
+            .with_branching(self.options().branching),
+        )
+        .incremental(encoding.instance());
         // The encoding + session construction is charged to the first
         // reported solution, mirroring what the from-scratch pipeline spends
         // inside every per-solution timer.

@@ -58,5 +58,6 @@ pub use enumerate::EnumerationLimit;
 pub use error::MpmcsError;
 pub use pathset::PathSetSolution;
 pub use report::{MpmcsReport, ReportEvent, SolverStatsReport};
+pub use sat_solver::BranchingChoice;
 pub use solver::{AlgorithmChoice, MpmcsOptions, MpmcsSolution, MpmcsSolver};
 pub use stream::{McsStream, StreamStep};

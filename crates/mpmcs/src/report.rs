@@ -48,6 +48,15 @@ pub struct SolverStatsReport {
     pub learnt_reused: u64,
     /// Cumulative SAT calls of the owning solver session after this cut set.
     pub session_calls: u64,
+    /// Inprocessing rounds run at level-0 boundaries (subsumption,
+    /// self-subsuming resolution, optional variable elimination).
+    pub inprocess_rounds: u64,
+    /// Clauses strengthened by inprocessing.
+    pub inprocess_strengthened: u64,
+    /// Clauses removed by inprocessing.
+    pub inprocess_removed: u64,
+    /// Clause-arena compactions performed by the solver.
+    pub arena_compactions: u64,
 }
 
 serde::impl_serde_struct!(SolverStatsReport {
@@ -56,7 +65,11 @@ serde::impl_serde_struct!(SolverStatsReport {
     propagations,
     restarts,
     learnt_reused,
-    session_calls
+    session_calls,
+    inprocess_rounds,
+    inprocess_strengthened,
+    inprocess_removed,
+    arena_compactions
 });
 
 /// A serialisable MPMCS analysis report.
@@ -141,6 +154,10 @@ impl MpmcsReport {
             restarts: solution.stats.restarts,
             learnt_reused: solution.stats.learnt_reused,
             session_calls: solution.stats.session_calls,
+            inprocess_rounds: solution.stats.inprocess_rounds,
+            inprocess_strengthened: solution.stats.inprocess_strengthened,
+            inprocess_removed: solution.stats.inprocess_removed,
+            arena_compactions: solution.stats.arena_compactions,
         });
         report
     }

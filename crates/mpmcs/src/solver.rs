@@ -8,6 +8,8 @@ use maxsat_solver::{
     OllSolver, PortfolioConfig, PortfolioSolver,
 };
 
+use sat_solver::{BranchingChoice, SolverConfig};
+
 use crate::encode::{EncodingStyle, MpmcsEncoding, WeightScale};
 use crate::error::MpmcsError;
 use crate::verify;
@@ -52,6 +54,10 @@ pub struct MpmcsOptions {
     /// reuse and a wall-clock race over fresh solvers are mutually
     /// exclusive by construction.
     pub incremental: bool,
+    /// The branching heuristic driving every underlying SAT solver's
+    /// decisions (VSIDS by default; see
+    /// [`BranchingChoice`](sat_solver::BranchingChoice)).
+    pub branching: BranchingChoice,
 }
 
 impl MpmcsOptions {
@@ -64,6 +70,7 @@ impl MpmcsOptions {
             scale: WeightScale::default(),
             verify: true,
             incremental: true,
+            branching: BranchingChoice::Vsids,
         }
     }
 }
@@ -191,13 +198,34 @@ impl MpmcsSolver {
 
     fn run_maxsat(&self, encoding: &MpmcsEncoding) -> maxsat_solver::MaxSatResult {
         let instance = encoding.instance();
+        let branching = self.options.branching;
+        let sat_config = SolverConfig {
+            branching,
+            ..SolverConfig::default()
+        };
         match self.options.algorithm {
-            AlgorithmChoice::Portfolio => PortfolioSolver::default().solve(instance),
-            AlgorithmChoice::SequentialPortfolio => PortfolioSolver::sequential().solve(instance),
-            AlgorithmChoice::Oll => OllSolver::new(OllConfig::default()).solve(instance),
-            AlgorithmChoice::LinearSu => {
-                LinearSuSolver::new(LinearSuConfig::default()).solve(instance)
+            AlgorithmChoice::Portfolio => {
+                PortfolioSolver::new(PortfolioConfig::default().with_branching(branching))
+                    .solve(instance)
             }
+            AlgorithmChoice::SequentialPortfolio => PortfolioSolver::new(
+                PortfolioConfig {
+                    sequential: true,
+                    ..PortfolioConfig::default()
+                }
+                .with_branching(branching),
+            )
+            .solve(instance),
+            AlgorithmChoice::Oll => OllSolver::new(OllConfig {
+                sat_config,
+                ..OllConfig::default()
+            })
+            .solve(instance),
+            AlgorithmChoice::LinearSu => LinearSuSolver::new(LinearSuConfig {
+                sat_config,
+                ..LinearSuConfig::default()
+            })
+            .solve(instance),
         }
     }
 

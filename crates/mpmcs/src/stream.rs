@@ -30,6 +30,12 @@ use crate::solver::{MpmcsOptions, MpmcsSolution, MpmcsSolver};
 use crate::verify;
 
 /// One step of a [`McsStream`].
+///
+/// The `Solution` variant carries the full [`MpmcsSolution`] (cut set plus
+/// its per-stage statistics block) inline rather than boxed: streams hand
+/// each step straight to the consumer, so the size difference against the
+/// data-free terminal variants never accumulates anywhere.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum StreamStep {
     /// The next minimal cut set in canonical enumeration order.

@@ -22,7 +22,9 @@ use ft_backend::{BackendKind, BackendSolution, Budget};
 use ft_batch::{run_batch, BatchConfig, BatchManifest};
 use ft_generators::{random_tree, RandomTreeConfig};
 use ft_session::{Analyzer, SessionError, Termination};
-use mpmcs::{AlgorithmChoice, EnumerationLimit, MpmcsOptions, MpmcsReport, MpmcsSolver};
+use mpmcs::{
+    AlgorithmChoice, BranchingChoice, EnumerationLimit, MpmcsOptions, MpmcsReport, MpmcsSolver,
+};
 
 /// Errors surfaced to the command line user.
 #[derive(Debug)]
@@ -128,6 +130,10 @@ OPTIONS:
                                 (maxsat backend only; default: portfolio;
                                 batch default: sequential, which keeps batch
                                 reports deterministic)
+    --branching <NAME>          vsids (default) | random — the SAT decision
+                                heuristic of the MaxSAT backend's solvers
+                                (maxsat backend only; random is a baseline
+                                for heuristic experiments)
     --analysis <NAME>           mpmcs (default) | path-set | importance | modules |
                                 stability | dot | ascii   (single-tree modes only)
     --top-k <N>                 Report the N most probable minimal cut sets
@@ -135,7 +141,8 @@ OPTIONS:
     --all                       Report every minimal cut set (single-tree only)
     --stats                     Include detailed solver statistics (conflicts,
                                 propagations, restarts, learnt-clause reuse
-                                across incremental calls) in the JSON report
+                                across incremental calls, inprocessing rounds,
+                                clause-arena compactions) in the JSON report
                                 (mpmcs analysis and batch mode)
     --timeout-ms <N>            Per-query wall-clock budget in milliseconds
                                 (mpmcs analysis and batch mode). A query that
@@ -236,6 +243,9 @@ pub struct CliOptions {
     /// Which MaxSAT strategy to use (`None` = the mode's default: parallel
     /// portfolio for single trees, deterministic sequential for batches).
     pub algorithm: Option<AlgorithmChoice>,
+    /// Which SAT decision heuristic the MaxSAT backend's solvers use
+    /// (default: VSIDS).
+    pub branching: BranchingChoice,
     /// Which analysis engine answers the MPMCS queries.
     pub backend: BackendKind,
     /// Run a second (reference) backend and assert identical cut sets.
@@ -296,6 +306,8 @@ where
     let mut format: Option<InputFormat> = None;
     let mut analysis = AnalysisKind::Mpmcs;
     let mut algorithm: Option<AlgorithmChoice> = None;
+    let mut branching = BranchingChoice::Vsids;
+    let mut branching_given = false;
     let mut backend = BackendKind::MaxSat;
     let mut cross_check = false;
     let mut bdd_ordering = VariableOrdering::DepthFirst;
@@ -331,6 +343,7 @@ where
                     mode: CliMode::Help,
                     analysis,
                     algorithm,
+                    branching,
                     backend,
                     cross_check,
                     bdd_ordering,
@@ -361,6 +374,14 @@ where
                     "linear-su" | "linear" => AlgorithmChoice::LinearSu,
                     other => return Err(CliError::Usage(format!("unknown algorithm {other:?}"))),
                 })
+            }
+            "--branching" => {
+                branching_given = true;
+                branching = match value("--branching")?.as_str() {
+                    "vsids" => BranchingChoice::Vsids,
+                    "random" => BranchingChoice::Random,
+                    other => return Err(CliError::Usage(format!("unknown branching {other:?}"))),
+                }
             }
             "--backend" => {
                 let name = value("--backend")?;
@@ -464,6 +485,11 @@ where
             "--algorithm only applies to the maxsat backend (and to auto when it resolves to maxsat)",
         ));
     }
+    if branching_given && matches!(backend, BackendKind::Bdd | BackendKind::Mocus) {
+        return Err(usage(
+            "--branching only applies to the maxsat backend (and to auto when it resolves to maxsat)",
+        ));
+    }
     let mode = match (batch, input) {
         (Some(_), Some(_)) => {
             return Err(usage("--batch cannot be combined with a single-tree input"))
@@ -532,6 +558,7 @@ where
         mode,
         analysis,
         algorithm,
+        branching,
         backend,
         cross_check,
         bdd_ordering,
@@ -677,6 +704,7 @@ fn run_batch_mode(options: &CliOptions, path: &std::path::Path) -> Result<RunOut
         algorithm: options
             .algorithm
             .unwrap_or(AlgorithmChoice::SequentialPortfolio),
+        branching: options.branching,
         importance: options.importance,
         stats: options.stats,
         backend: options.backend,
@@ -714,6 +742,7 @@ fn analyzer_for(options: &CliOptions, tree: &Arc<FaultTree>, kind: BackendKind) 
     Analyzer::for_shared(Arc::clone(tree))
         .backend(kind)
         .algorithm(options.algorithm.unwrap_or_default())
+        .branching(options.branching)
         .bdd_ordering(options.bdd_ordering)
         .preprocess(options.preprocess)
         .budget(options.budget())
@@ -948,6 +977,7 @@ fn run_mpmcs(options: &CliOptions, tree: &FaultTree) -> Result<RunOutput, CliErr
 fn run_path_set(options: &CliOptions, tree: &FaultTree) -> Result<(String, String), CliError> {
     let solver = MpmcsSolver::with_options(MpmcsOptions {
         algorithm: options.algorithm.unwrap_or_default(),
+        branching: options.branching,
         ..MpmcsOptions::new()
     });
     let solutions = if options.all {
@@ -1050,6 +1080,7 @@ fn run_stability(tree: &FaultTree) -> Result<(String, String), CliError> {
 fn run_dot(options: &CliOptions, tree: &FaultTree) -> Result<(String, String), CliError> {
     let solver = MpmcsSolver::with_options(MpmcsOptions {
         algorithm: options.algorithm.unwrap_or_default(),
+        branching: options.branching,
         ..MpmcsOptions::new()
     });
     let solution = solver.solve(tree)?;
@@ -1165,6 +1196,79 @@ mod tests {
             parse_args(["--unknown", "x.json"]),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn parses_the_branching_flag_and_rejects_it_off_the_maxsat_backend() {
+        let options = parse_args(["--example", "fps"]).unwrap();
+        assert_eq!(options.branching, BranchingChoice::Vsids);
+        let options = parse_args(["--example", "fps", "--branching", "random"]).unwrap();
+        assert_eq!(options.branching, BranchingChoice::Random);
+        let options = parse_args(["--example", "fps", "--branching", "vsids"]).unwrap();
+        assert_eq!(options.branching, BranchingChoice::Vsids);
+        assert!(matches!(
+            parse_args(["--example", "fps", "--branching", "magic"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args([
+                "--example",
+                "fps",
+                "--backend",
+                "bdd",
+                "--branching",
+                "random"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args([
+                "--example",
+                "fps",
+                "--backend",
+                "mocus",
+                "--branching",
+                "vsids"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn random_branching_reports_the_same_mpmcs() {
+        let run_with = |branching: &str| {
+            let options = parse_args([
+                "--example",
+                "fps",
+                "--algorithm",
+                "sequential",
+                "--branching",
+                branching,
+                "--top-k",
+                "3",
+                "--quiet",
+            ])
+            .unwrap();
+            let (json, _) = run(&options).unwrap();
+            let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+            parsed
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|r| {
+                    (
+                        r["probability"].as_f64().unwrap(),
+                        r["mpmcs"]
+                            .as_array()
+                            .unwrap()
+                            .iter()
+                            .map(|e| e["name"].as_str().unwrap().to_string())
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run_with("vsids"), run_with("random"));
     }
 
     #[test]

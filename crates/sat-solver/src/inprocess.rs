@@ -1,0 +1,662 @@
+//! Session-safe inprocessing: bounded simplification between solve calls.
+//!
+//! A round runs at a level-0 boundary (the start of a
+//! [`Solver::solve_with_assumptions`] call) once enough conflicts have
+//! accumulated since the previous round. It performs, in order:
+//!
+//! 1. **Top-level simplification** — clauses satisfied at level 0 are
+//!    deleted; literals false at level 0 are removed (a clause shrunk to one
+//!    literal is enqueued, to zero makes the database unsat).
+//! 2. **Subsumption and self-subsuming resolution** — for every live clause
+//!    `C` within the size bound, any clause `D ⊇ C` is deleted, and any `D`
+//!    containing all of `C` except one literal in negated form is
+//!    strengthened by removing that literal (the resolvent of `C` and `D` is
+//!    a strict subset of `D`). Both steps preserve logical *equivalence*, so
+//!    they are unconditionally sound for incremental sessions: clauses and
+//!    assumptions added later can never be invalidated.
+//! 3. **Bounded variable elimination** (opt-in, `var_elim`) — a variable
+//!    whose pos/neg occurrence lists are small is resolved away when the
+//!    resolvent set is no larger than the clauses it replaces. VE only
+//!    preserves *equisatisfiability*, so it is restricted to variables that
+//!    are not [frozen](Solver::freeze_var) — assumption variables are frozen
+//!    automatically, and the MaxSAT layer freezes its soft-clause selectors —
+//!    and the eliminated variable's clauses are kept on a stack, both to
+//!    extend models with consistent values and to *restore* the variable if
+//!    a later `add_clause` (or assumption) mentions it again.
+//!
+//! All passes are bounded (clause-size and occurrence-list budgets) so a
+//! round costs a small slice of the search time it amortises.
+//!
+//! [`Solver::solve_with_assumptions`]: crate::Solver::solve_with_assumptions
+
+use crate::clause::ClauseRef;
+use crate::lit::{LBool, Lit, Var};
+use crate::solver::Solver;
+
+/// Schedule and bounds for inprocessing rounds.
+///
+/// The defaults keep inprocessing dormant on easy workloads (a round only
+/// triggers after `interval_conflicts` conflicts since the last one) and
+/// bounded on hard ones. Variable elimination is opt-in because it is only
+/// safe for variables the embedding layers have not promised to re-use; the
+/// solver protects assumption variables automatically and exposes
+/// [`Solver::freeze_var`](crate::Solver::freeze_var) for the rest.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InprocessConfig {
+    /// Master switch for scheduled rounds ([`Solver::inprocess_now`] works
+    /// regardless).
+    ///
+    /// [`Solver::inprocess_now`]: crate::Solver::inprocess_now
+    pub enabled: bool,
+    /// Conflicts that must accumulate between rounds.
+    pub interval_conflicts: u64,
+    /// Only clauses with at most this many literals act as subsumers.
+    pub subsumption_limit: usize,
+    /// At most this many occurrence-list candidates are checked per subsumer.
+    pub occ_budget: usize,
+    /// Enables bounded variable elimination (off by default; see the module
+    /// docs for why it is opt-in).
+    pub var_elim: bool,
+    /// A variable is only eliminated when both occurrence lists have at most
+    /// this many clauses.
+    pub var_elim_max_occ: usize,
+}
+
+impl Default for InprocessConfig {
+    fn default() -> Self {
+        InprocessConfig {
+            enabled: true,
+            interval_conflicts: 8000,
+            subsumption_limit: 30,
+            occ_budget: 2000,
+            var_elim: false,
+            var_elim_max_occ: 10,
+        }
+    }
+}
+
+impl Solver {
+    /// Runs a scheduled inprocessing round if one is due.
+    pub(crate) fn maybe_inprocess(&mut self) {
+        let config = self.config.inprocess;
+        if !config.enabled {
+            return;
+        }
+        if self.stats.conflicts - self.last_inprocess_conflicts < config.interval_conflicts {
+            return;
+        }
+        self.inprocess_now();
+    }
+
+    /// Runs one inprocessing round immediately (top-level simplification,
+    /// subsumption / self-subsuming resolution, and — when enabled —
+    /// bounded variable elimination). Must be called at decision level 0
+    /// with a fully propagated trail, i.e. between solve calls; no-op when
+    /// the database is already unsat.
+    pub fn inprocess_now(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return;
+        }
+        // Level-0 reasons are never dereferenced by conflict analysis (it
+        // stops at level-0 literals), so clearing them is safe and leaves no
+        // clause "locked" during this round.
+        for &lit in &self.trail {
+            self.reason[lit.var().index()] = None;
+        }
+        self.simplify_top_level();
+        if self.ok {
+            self.subsumption_pass();
+        }
+        if self.ok && self.config.inprocess.var_elim {
+            self.eliminate_vars();
+        }
+        self.stats.inprocess_rounds += 1;
+        self.stats.learnt_clauses = self.db.num_learnt as u64;
+        self.last_inprocess_conflicts = self.stats.conflicts;
+        self.maybe_compact();
+    }
+
+    /// Deletes clauses satisfied at level 0 and strips falsified literals,
+    /// repeating while new top-level units keep appearing.
+    fn simplify_top_level(&mut self) {
+        loop {
+            let crefs: Vec<ClauseRef> = self.db.refs().collect();
+            let mut new_units = false;
+            for cref in crefs {
+                if self.db.is_deleted(cref) {
+                    continue;
+                }
+                let len = self.db.len_of(cref);
+                let mut satisfied = false;
+                let mut keep: Vec<Lit> = Vec::with_capacity(len);
+                for k in 0..len {
+                    let lit = self.db.lit_at(cref, k);
+                    match self.lit_value(lit) {
+                        LBool::True => {
+                            satisfied = true;
+                            break;
+                        }
+                        LBool::False => {}
+                        LBool::Undef => keep.push(lit),
+                    }
+                }
+                if satisfied {
+                    self.db.delete(cref);
+                    self.stats.inprocess_removed += 1;
+                    continue;
+                }
+                if keep.len() == len {
+                    continue;
+                }
+                self.stats.inprocess_strengthened += 1;
+                if self.rewrite_clause(cref, &keep) {
+                    new_units = true;
+                }
+                if !self.ok {
+                    return;
+                }
+            }
+            if !new_units {
+                break;
+            }
+            if self.propagate().is_some() {
+                self.ok = false;
+                return;
+            }
+        }
+    }
+
+    /// Replaces a live clause's literals in place. Returns `true` when the
+    /// rewrite produced a new top-level unit (the caller must re-propagate).
+    /// Sets `ok = false` when the clause became empty.
+    fn rewrite_clause(&mut self, cref: ClauseRef, new_lits: &[Lit]) -> bool {
+        debug_assert!(!self.db.is_deleted(cref));
+        self.detach_clause(cref);
+        match new_lits.len() {
+            0 => {
+                self.db.delete(cref);
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.db.delete(cref);
+                match self.lit_value(new_lits[0]) {
+                    LBool::True => false,
+                    LBool::False => {
+                        self.ok = false;
+                        false
+                    }
+                    LBool::Undef => {
+                        self.unchecked_enqueue(new_lits[0], None);
+                        true
+                    }
+                }
+            }
+            _ => {
+                self.db.shrink(cref, new_lits);
+                self.attach_clause(cref);
+                false
+            }
+        }
+    }
+
+    /// Backward subsumption and self-subsuming resolution over all live
+    /// clauses, bounded by the configured subsumer size and occurrence
+    /// budget.
+    fn subsumption_pass(&mut self) {
+        let limit = self.config.inprocess.subsumption_limit;
+        let occ_budget = self.config.inprocess.occ_budget;
+        let crefs: Vec<ClauseRef> = self.db.refs().filter(|&c| !self.db.is_deleted(c)).collect();
+        // Occurrence lists over every live clause (the subsumee side is
+        // unbounded; only subsumers are size-limited).
+        let mut occ: Vec<Vec<u32>> = vec![Vec::new(); 2 * self.num_vars()];
+        for &cref in &crefs {
+            for &lit in self.db.lits(cref) {
+                occ[lit.code()].push(cref.0);
+            }
+        }
+        // `stamp[lit] == epoch` marks the literals of the current subsumer.
+        let mut stamp: Vec<u64> = vec![0; 2 * self.num_vars()];
+        let mut epoch = 0u64;
+        let mut units = false;
+        for &c in &crefs {
+            if self.db.is_deleted(c) {
+                continue;
+            }
+            let clen = self.db.len_of(c);
+            if clen > limit {
+                continue;
+            }
+            epoch += 1;
+            let mut best = self.db.lit_at(c, 0);
+            for k in 0..clen {
+                let lit = self.db.lit_at(c, k);
+                stamp[lit.code()] = epoch;
+                if occ[lit.code()].len() < occ[best.code()].len() {
+                    best = lit;
+                }
+            }
+            // Scan the shortest occurrence list of C's literals for
+            // candidate supersets. A subsumed D contains every literal of C,
+            // so it sits in `occ[best]`; a strengthening candidate may have
+            // `best` flipped, so `occ[!best]` must be scanned too.
+            let candidates: Vec<u32> = occ[best.code()]
+                .iter()
+                .chain(occ[(!best).code()].iter())
+                .copied()
+                .take(occ_budget)
+                .collect();
+            for d_offset in candidates {
+                let d = ClauseRef(d_offset);
+                if d == c || self.db.is_deleted(d) || self.db.is_deleted(c) {
+                    continue;
+                }
+                let dlen = self.db.len_of(d);
+                if dlen < clen {
+                    continue;
+                }
+                // Count C's literals found in D directly (hits) or negated
+                // (at most one allowed, for self-subsuming resolution).
+                let mut hits = 0usize;
+                let mut negated: Option<Lit> = None;
+                for k in 0..dlen {
+                    let dl = self.db.lit_at(d, k);
+                    if stamp[dl.code()] == epoch {
+                        hits += 1;
+                    } else if stamp[(!dl).code()] == epoch {
+                        if negated.is_some() {
+                            negated = None;
+                            hits = 0;
+                            break; // two negated matches: resolvent is a tautology
+                        }
+                        negated = Some(dl);
+                    }
+                }
+                if hits == clen && negated.is_none() {
+                    // C ⊆ D: D is redundant. If a learnt C subsumes an
+                    // original D, C must survive learnt-DB reduction.
+                    if self.db.is_learnt(c) && !self.db.is_learnt(d) {
+                        self.db.promote(c);
+                        self.stats.learnt_clauses = self.db.num_learnt as u64;
+                    }
+                    self.db.delete(d);
+                    self.stats.inprocess_removed += 1;
+                } else if hits + 1 == clen {
+                    if let Some(dl) = negated {
+                        // Self-subsuming resolution: resolve C and D on
+                        // `dl`'s variable; the resolvent is D \ {dl}.
+                        let keep: Vec<Lit> = self
+                            .db
+                            .lits(d)
+                            .iter()
+                            .copied()
+                            .filter(|&l| l != dl)
+                            .collect();
+                        self.stats.inprocess_strengthened += 1;
+                        if self.rewrite_clause(d, &keep) {
+                            units = true;
+                        }
+                        if !self.ok {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        if units {
+            if self.propagate().is_some() {
+                self.ok = false;
+                return;
+            }
+            // Strengthening to units can satisfy or shorten other clauses;
+            // one cheap follow-up pass picks those up.
+            self.simplify_top_level();
+        }
+    }
+
+    /// Bounded variable elimination: resolves away unassigned, unfrozen
+    /// variables with small occurrence lists when doing so does not grow the
+    /// clause database. Learnt clauses containing the variable are dropped
+    /// (they are implied, so this is sound); original clauses are stored on
+    /// the elimination stack for model extension and restoration.
+    fn eliminate_vars(&mut self) {
+        let max_occ = self.config.inprocess.var_elim_max_occ;
+        for v_idx in 0..self.num_vars() {
+            let var = Var::from_index(v_idx);
+            if self.frozen[v_idx] || self.eliminated[v_idx] || !self.assigns[v_idx].is_undef() {
+                continue;
+            }
+            let pos_lit = Lit::positive(var);
+            let neg_lit = Lit::negative(var);
+            let mut pos: Vec<ClauseRef> = Vec::new();
+            let mut neg: Vec<ClauseRef> = Vec::new();
+            let mut learnt_occ: Vec<ClauseRef> = Vec::new();
+            let mut too_many = false;
+            for cref in self.db.refs() {
+                if self.db.is_deleted(cref) {
+                    continue;
+                }
+                let lits = self.db.lits(cref);
+                let occurs_pos = lits.contains(&pos_lit);
+                let occurs_neg = lits.contains(&neg_lit);
+                if !occurs_pos && !occurs_neg {
+                    continue;
+                }
+                if self.db.is_learnt(cref) {
+                    learnt_occ.push(cref);
+                    continue;
+                }
+                if occurs_pos {
+                    pos.push(cref);
+                } else {
+                    neg.push(cref);
+                }
+                if pos.len() > max_occ || neg.len() > max_occ {
+                    too_many = true;
+                    break;
+                }
+            }
+            if too_many {
+                continue;
+            }
+            // Build the resolvent set; bail out if it grows the database.
+            let mut resolvents: Vec<Vec<Lit>> = Vec::new();
+            let mut grows = false;
+            'pairs: for &cp in &pos {
+                for &cn in &neg {
+                    if let Some(resolvent) = self.resolve_on(cp, cn, var) {
+                        resolvents.push(resolvent);
+                        if resolvents.len() > pos.len() + neg.len() {
+                            grows = true;
+                            break 'pairs;
+                        }
+                    }
+                }
+            }
+            if grows {
+                continue;
+            }
+            // Commit: store the originals, drop every occurrence, add the
+            // resolvents.
+            let mut stored: Vec<Vec<Lit>> = Vec::with_capacity(pos.len() + neg.len());
+            for &cref in pos.iter().chain(neg.iter()) {
+                stored.push(self.db.lits(cref).to_vec());
+                self.db.delete(cref);
+                self.stats.inprocess_removed += 1;
+            }
+            for &cref in &learnt_occ {
+                self.db.delete(cref);
+            }
+            self.eliminated[v_idx] = true;
+            self.elim_stack.push((var, stored));
+            let mut units = false;
+            for resolvent in resolvents {
+                match resolvent.len() {
+                    0 => {
+                        self.ok = false;
+                        return;
+                    }
+                    1 => match self.lit_value(resolvent[0]) {
+                        LBool::True => {}
+                        LBool::False => {
+                            self.ok = false;
+                            return;
+                        }
+                        LBool::Undef => {
+                            self.unchecked_enqueue(resolvent[0], None);
+                            units = true;
+                        }
+                    },
+                    _ => {
+                        let cref = self.db.add(&resolvent, false);
+                        self.attach_clause(cref);
+                    }
+                }
+            }
+            if units && self.propagate().is_some() {
+                self.ok = false;
+                return;
+            }
+            self.stats.learnt_clauses = self.db.num_learnt as u64;
+        }
+    }
+
+    /// Resolvent of two clauses on `var` (`cp` contains `var` positively,
+    /// `cn` negatively), with level-0-false literals dropped. `None` when
+    /// the resolvent is a tautology or satisfied at level 0.
+    fn resolve_on(&self, cp: ClauseRef, cn: ClauseRef, var: Var) -> Option<Vec<Lit>> {
+        let mut resolvent: Vec<Lit> = Vec::new();
+        for &lit in self.db.lits(cp).iter().chain(self.db.lits(cn).iter()) {
+            if lit.var() == var {
+                continue;
+            }
+            match self.lit_value(lit) {
+                LBool::True => return None,
+                LBool::False => continue,
+                LBool::Undef => resolvent.push(lit),
+            }
+        }
+        resolvent.sort_unstable();
+        resolvent.dedup();
+        for pair in resolvent.windows(2) {
+            if pair[1] == !pair[0] {
+                return None; // tautology
+            }
+        }
+        Some(resolvent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{SolveResult, SolverConfig};
+    use crate::CnfFormula;
+
+    fn pos(i: usize) -> Lit {
+        Lit::positive(Var::from_index(i))
+    }
+    fn neg(i: usize) -> Lit {
+        Lit::negative(Var::from_index(i))
+    }
+
+    fn live_clauses(solver: &Solver) -> Vec<Vec<Lit>> {
+        solver
+            .db
+            .refs()
+            .filter(|&c| !solver.db.is_deleted(c))
+            .map(|c| solver.db.lits(c).to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn subsumption_deletes_supersets() {
+        let mut s = Solver::new();
+        s.ensure_vars(4);
+        s.add_clause([pos(0), pos(1)]);
+        s.add_clause([pos(0), pos(1), pos(2)]); // subsumed
+        s.add_clause([pos(0), pos(1), neg(3)]); // subsumed
+        s.add_clause([pos(2), pos(3)]);
+        s.inprocess_now();
+        assert_eq!(s.stats().inprocess_rounds, 1);
+        assert_eq!(s.stats().inprocess_removed, 2);
+        assert_eq!(live_clauses(&s).len(), 2);
+        assert!(s.solve().is_sat());
+        s.assert_integrity();
+    }
+
+    #[test]
+    fn self_subsuming_resolution_strengthens() {
+        let mut s = Solver::new();
+        s.ensure_vars(3);
+        s.add_clause([pos(0), pos(1)]);
+        s.add_clause([neg(0), pos(1), pos(2)]); // SSR on x0 → (x1 ∨ x2)
+        s.inprocess_now();
+        assert!(s.stats().inprocess_strengthened >= 1);
+        let clauses = live_clauses(&s);
+        assert!(
+            clauses.iter().any(|c| {
+                let mut c = c.clone();
+                c.sort_unstable();
+                c == vec![pos(1), pos(2)]
+            }),
+            "expected the strengthened clause, got {clauses:?}"
+        );
+        assert!(s.solve().is_sat());
+        s.assert_integrity();
+    }
+
+    #[test]
+    fn top_level_simplification_removes_satisfied_and_false_literals() {
+        let mut s = Solver::new();
+        s.ensure_vars(4);
+        s.add_clause([pos(0)]);
+        s.add_clause([pos(1), pos(2), pos(3)]);
+        // Added before x0 was known true, so it survives as a full clause...
+        // actually add_clause simplifies at level 0 already; force the
+        // situation by adding the unit last via inprocessing instead:
+        let mut s2 = Solver::new();
+        s2.ensure_vars(4);
+        s2.add_clause([pos(1), pos(2)]);
+        s2.add_clause([neg(0), pos(3)]);
+        s2.add_clause([pos(0)]);
+        // After the unit x0, (¬x0 ∨ x3) should shrink to the unit x3.
+        s2.inprocess_now();
+        assert!(s2.is_ok());
+        assert_eq!(s2.lit_value(pos(3)), LBool::True);
+        assert!(s2.solve().is_sat());
+        s2.assert_integrity();
+        drop(s);
+    }
+
+    #[test]
+    fn variable_elimination_respects_frozen_and_extends_models() {
+        let config = SolverConfig {
+            inprocess: InprocessConfig {
+                var_elim: true,
+                ..InprocessConfig::default()
+            },
+            ..SolverConfig::default()
+        };
+        let mut s = Solver::with_config(config);
+        s.ensure_vars(4);
+        // x1 is a pure connector: (x0 ∨ x1) ∧ (¬x1 ∨ x2) ∧ (¬x1 ∨ x3)
+        s.add_clause([pos(0), pos(1)]);
+        s.add_clause([neg(1), pos(2)]);
+        s.add_clause([neg(1), pos(3)]);
+        s.freeze_var(Var::from_index(0));
+        s.inprocess_now();
+        assert!(s.eliminated.iter().any(|&e| e), "some variable eliminated");
+        assert!(!s.eliminated[0], "frozen variables must survive");
+        // The model must cover the eliminated variable consistently.
+        match s.solve_with_assumptions(&[neg(0)]) {
+            SolveResult::Sat(m) => {
+                assert!(m.value(Var::from_index(1)), "x1 forced true when x0 false");
+                assert!(m.value(Var::from_index(2)));
+                assert!(m.value(Var::from_index(3)));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+        s.assert_integrity();
+    }
+
+    #[test]
+    fn eliminated_variables_are_restored_on_later_clause_additions() {
+        let config = SolverConfig {
+            inprocess: InprocessConfig {
+                var_elim: true,
+                ..InprocessConfig::default()
+            },
+            ..SolverConfig::default()
+        };
+        let mut s = Solver::with_config(config);
+        s.ensure_vars(3);
+        s.add_clause([pos(0), pos(1)]);
+        s.add_clause([neg(1), pos(2)]);
+        s.inprocess_now();
+        let eliminated: Vec<usize> = (0..3).filter(|&i| s.eliminated[i]).collect();
+        assert!(!eliminated.is_empty());
+        let v = Var::from_index(eliminated[0]);
+        // A later clause mentioning the eliminated variable must transparently
+        // restore it.
+        assert!(s.add_clause([Lit::positive(v), pos(0)]));
+        assert!(!s.eliminated[v.index()]);
+        assert!(s.solve().is_sat());
+        s.assert_integrity();
+        // Assumptions on an eliminated variable restore it too.
+        let mut s = Solver::with_config(SolverConfig {
+            inprocess: InprocessConfig {
+                var_elim: true,
+                ..InprocessConfig::default()
+            },
+            ..SolverConfig::default()
+        });
+        s.ensure_vars(3);
+        s.add_clause([pos(0), pos(1)]);
+        s.add_clause([neg(1), pos(2)]);
+        s.inprocess_now();
+        let eliminated: Vec<usize> = (0..3).filter(|&i| s.eliminated[i]).collect();
+        assert!(!eliminated.is_empty());
+        let v = Var::from_index(eliminated[0]);
+        assert!(s.solve_with_assumptions(&[Lit::negative(v)]).is_sat());
+        assert!(!s.eliminated[v.index()]);
+        assert!(s.is_frozen(v), "assumed variables are frozen");
+    }
+
+    #[test]
+    fn inprocessing_preserves_answers_on_random_3sat() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for instance in 0..15 {
+            let num_vars = 25;
+            let mut cnf = CnfFormula::with_vars(num_vars);
+            for _ in 0..100 {
+                let mut clause = Vec::new();
+                for _ in 0..3 {
+                    let v = Var::from_index(rng.gen_range(0..num_vars));
+                    clause.push(Lit::new(v, rng.gen_bool(0.5)));
+                }
+                cnf.add_clause(clause);
+            }
+            let mut plain = Solver::from_cnf(&cnf);
+            let expected = plain.solve().is_sat();
+            let mut inproc = Solver::with_config(SolverConfig {
+                inprocess: InprocessConfig {
+                    interval_conflicts: 1,
+                    var_elim: true,
+                    ..InprocessConfig::default()
+                },
+                ..SolverConfig::default()
+            });
+            inproc.add_cnf(&cnf);
+            inproc.inprocess_now();
+            let got = inproc.solve();
+            assert_eq!(got.is_sat(), expected, "instance {instance} must agree");
+            if let SolveResult::Sat(model) = got {
+                assert_eq!(
+                    cnf.evaluate(model.as_slice()),
+                    Some(true),
+                    "instance {instance}: extended model must satisfy the formula"
+                );
+            }
+            inproc.assert_integrity();
+        }
+    }
+
+    #[test]
+    fn learnt_subsumer_is_promoted_to_irredundant() {
+        let mut s = Solver::new();
+        s.ensure_vars(3);
+        s.add_clause([pos(0), pos(1), pos(2)]);
+        // Hand-craft a learnt clause that subsumes the original.
+        let cref = s.db.add(&[pos(0), pos(1)], true);
+        s.attach_clause(cref);
+        assert_eq!(s.db.num_learnt, 1);
+        s.inprocess_now();
+        assert_eq!(s.db.num_learnt, 0, "subsumer became irredundant");
+        assert_eq!(s.stats().inprocess_removed, 1);
+        assert!(s.solve().is_sat());
+    }
+}

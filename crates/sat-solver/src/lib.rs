@@ -9,10 +9,14 @@
 //! * [`BoolExpr`] and [`tseitin::TseitinEncoder`] — an arbitrary Boolean
 //!   expression tree (with AND/OR/NOT and `at-least-k` voting operators) and
 //!   its polynomial-size, equisatisfiable CNF conversion (paper Step 2).
-//! * [`Solver`] — a CDCL solver with two-literal watches, first-UIP clause
-//!   learning, VSIDS branching, phase saving, Luby restarts, learnt-clause
-//!   database reduction, and **solving under assumptions** with final-core
-//!   extraction (needed by the core-guided MaxSAT algorithms).
+//! * [`Solver`] — a CDCL solver with a flat clause arena (offset-based
+//!   [`ClauseRef`]s, in-place compaction), two-literal watches, first-UIP
+//!   clause learning, pluggable branching ([`BranchingStrategy`]; VSIDS with
+//!   phase saving by default), Luby restarts, learnt-clause database
+//!   reduction, session-safe inprocessing (bounded subsumption /
+//!   self-subsuming resolution, optional constrained variable elimination —
+//!   see [`InprocessConfig`]), and **solving under assumptions** with
+//!   final-core extraction (needed by the core-guided MaxSAT algorithms).
 //! * [`Session`] — a persistent incremental solving session: new clauses and
 //!   fresh variables between solve calls, learnt clauses / activities /
 //!   phases retained, per-call statistics deltas. The MaxSAT layer and the
@@ -37,11 +41,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod branching;
 mod clause;
 mod cnf;
 pub mod dimacs;
 mod expr;
 mod heap;
+mod inprocess;
 mod lit;
 pub mod preprocess;
 mod session;
@@ -49,9 +55,11 @@ mod solver;
 mod stats;
 pub mod tseitin;
 
+pub use branching::{BranchingChoice, BranchingStrategy, RandomBranching, VsidsBranching};
 pub use clause::{Clause, ClauseRef};
 pub use cnf::CnfFormula;
 pub use expr::BoolExpr;
+pub use inprocess::InprocessConfig;
 pub use lit::{LBool, Lit, Var};
 pub use preprocess::{
     preprocess, preprocess_with, PreprocessConfig, PreprocessResult, PreprocessStats,

@@ -13,13 +13,13 @@ pub struct Var(pub(crate) u32);
 
 impl Var {
     /// Creates a variable from its dense index.
-    #[inline]
+    #[inline(always)]
     pub fn from_index(index: usize) -> Self {
         Var(index as u32)
     }
 
     /// Returns the dense index of this variable.
-    #[inline]
+    #[inline(always)]
     pub fn index(self) -> usize {
         self.0 as usize
     }
@@ -41,49 +41,49 @@ pub struct Lit(pub(crate) u32);
 
 impl Lit {
     /// Creates a positive literal for `var`.
-    #[inline]
+    #[inline(always)]
     pub fn positive(var: Var) -> Self {
         Lit(var.0 << 1)
     }
 
     /// Creates a negative literal for `var`.
-    #[inline]
+    #[inline(always)]
     pub fn negative(var: Var) -> Self {
         Lit(var.0 << 1 | 1)
     }
 
     /// Creates a literal from a variable and a sign (`true` = negated).
-    #[inline]
+    #[inline(always)]
     pub fn new(var: Var, negated: bool) -> Self {
         Lit(var.0 << 1 | negated as u32)
     }
 
     /// The variable underlying this literal.
-    #[inline]
+    #[inline(always)]
     pub fn var(self) -> Var {
         Var(self.0 >> 1)
     }
 
     /// Returns `true` if this literal is negated.
-    #[inline]
+    #[inline(always)]
     pub fn is_negative(self) -> bool {
         self.0 & 1 == 1
     }
 
     /// Returns `true` if this literal is positive.
-    #[inline]
+    #[inline(always)]
     pub fn is_positive(self) -> bool {
         !self.is_negative()
     }
 
     /// Dense code of the literal, suitable for indexing (`2 * var + sign`).
-    #[inline]
+    #[inline(always)]
     pub fn code(self) -> usize {
         self.0 as usize
     }
 
     /// Builds a literal back from its dense [`Lit::code`].
-    #[inline]
+    #[inline(always)]
     pub fn from_code(code: usize) -> Self {
         Lit(code as u32)
     }
@@ -113,7 +113,7 @@ impl Lit {
 impl Not for Lit {
     type Output = Lit;
 
-    #[inline]
+    #[inline(always)]
     fn not(self) -> Lit {
         Lit(self.0 ^ 1)
     }
@@ -149,7 +149,7 @@ pub enum LBool {
 
 impl LBool {
     /// Converts a `bool` into the corresponding defined [`LBool`].
-    #[inline]
+    #[inline(always)]
     pub fn from_bool(b: bool) -> Self {
         if b {
             LBool::True
@@ -159,13 +159,13 @@ impl LBool {
     }
 
     /// Returns `true` if the value is [`LBool::Undef`].
-    #[inline]
+    #[inline(always)]
     pub fn is_undef(self) -> bool {
         matches!(self, LBool::Undef)
     }
 
     /// Logical negation; `Undef` stays `Undef`.
-    #[inline]
+    #[inline(always)]
     pub fn negate(self) -> Self {
         match self {
             LBool::True => LBool::False,
@@ -175,7 +175,7 @@ impl LBool {
     }
 
     /// Converts to `Option<bool>` (`None` when unassigned).
-    #[inline]
+    #[inline(always)]
     pub fn to_option(self) -> Option<bool> {
         match self {
             LBool::True => Some(true),

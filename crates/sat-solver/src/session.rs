@@ -158,6 +158,28 @@ impl Session {
         delta
     }
 
+    /// Protects `var` from inprocessing's variable elimination. Assumption
+    /// variables are frozen automatically; encoding layers must freeze
+    /// variables they plan to assume or re-use in future clauses (soft-clause
+    /// selectors, totalizer outputs).
+    pub fn freeze_var(&mut self, var: Var) {
+        self.solver.freeze_var(var);
+    }
+
+    /// Runs one inprocessing round immediately (the session is always at a
+    /// level-0 boundary between calls). Scheduled rounds run automatically
+    /// per [`crate::InprocessConfig`]; this forces one now.
+    pub fn inprocess_now(&mut self) {
+        self.solver.inprocess_now();
+    }
+
+    /// Compacts the solver's clause arena immediately, rewriting watch lists
+    /// and reason references in place (normally triggered automatically once
+    /// enough of the arena is dead).
+    pub fn compact_clauses(&mut self) {
+        self.solver.compact_clauses();
+    }
+
     /// Mutable access to the underlying solver, for encoding builders
     /// (totalizers, generalized totalizers) that allocate fresh variables and
     /// clauses in place between solve calls.
@@ -284,5 +306,82 @@ mod tests {
         assert!(s.solver().num_learnt() > 0);
         let _ = s.solve();
         assert!(s.stats().learnt_reused > 0);
+    }
+
+    /// Regression test for the arena refactor: interleaves solve calls,
+    /// clause additions, forced inprocessing rounds and arena compactions,
+    /// asserting after every step that watch lists and reason references
+    /// still point at live clauses and that `stats_delta` stays monotone.
+    #[test]
+    fn arena_compaction_and_inprocessing_survive_an_incremental_session() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut s = Session::with_config(SolverConfig {
+            inprocess: crate::InprocessConfig {
+                interval_conflicts: 5,
+                var_elim: true,
+                ..crate::InprocessConfig::default()
+            },
+            ..SolverConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(2020);
+        let num_vars = 40;
+        s.ensure_vars(num_vars);
+        let mut cumulative = SolverStats::default();
+        let mut models = 0usize;
+        for round in 0..60 {
+            // Grow the formula: a few random ternary clauses per round (the
+            // blocking-clause enumeration access pattern).
+            for _ in 0..4 {
+                let mut clause = Vec::new();
+                for _ in 0..3 {
+                    let v = Var::from_index(rng.gen_range(0..num_vars));
+                    clause.push(Lit::new(v, rng.gen_bool(0.5)));
+                }
+                if !s.add_clause(clause) {
+                    break;
+                }
+            }
+            if !s.is_ok() {
+                break;
+            }
+            // Solve under a random assumption (freezes that variable).
+            let assumption = Lit::new(
+                Var::from_index(rng.gen_range(0..num_vars)),
+                rng.gen_bool(0.5),
+            );
+            match s.solve_with_assumptions(&[assumption]) {
+                SolveResult::Sat(_) => models += 1,
+                SolveResult::Unsat => {}
+                SolveResult::Interrupted => panic!("no interrupt installed"),
+            }
+            // Periodically force the maintenance paths the refactor touched.
+            if round % 7 == 3 {
+                s.inprocess_now();
+            }
+            if round % 11 == 5 {
+                s.compact_clauses();
+            }
+            s.solver().assert_integrity();
+            // Per-call deltas must be non-negative (delta_since would
+            // underflow-panic in debug builds) and sum to the session total.
+            let delta = s.stats_delta();
+            cumulative = cumulative.merged(&delta);
+            assert_eq!(cumulative.solve_calls, s.stats().solve_calls);
+            assert_eq!(cumulative.conflicts, s.stats().conflicts);
+            assert_eq!(cumulative.propagations, s.stats().propagations);
+            assert_eq!(cumulative.inprocess_rounds, s.stats().inprocess_rounds);
+            assert_eq!(cumulative.arena_compactions, s.stats().arena_compactions);
+        }
+        assert!(models > 0, "the session must see satisfiable rounds");
+        assert!(
+            s.stats().arena_compactions > 0,
+            "forced compactions must be counted"
+        );
+        assert!(
+            s.stats().inprocess_rounds > 0,
+            "forced inprocessing rounds must be counted"
+        );
     }
 }

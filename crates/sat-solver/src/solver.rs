@@ -2,20 +2,23 @@
 //!
 //! The implementation follows the classic MiniSat architecture: two-literal
 //! watches with blockers, first-UIP conflict analysis with basic clause
-//! minimisation, VSIDS variable activities with phase saving, Luby restarts,
-//! and activity/LBD-guided learnt-clause database reduction. Assumptions are
-//! supported and a final conflict (unsat core over the assumptions) is
-//! produced when solving under assumptions fails, which the core-guided
-//! MaxSAT algorithms rely on.
+//! minimisation, pluggable branching (VSIDS with phase saving by default,
+//! see [`BranchingStrategy`]), Luby restarts, and activity/LBD-guided
+//! learnt-clause database reduction. Clauses live in a flat arena
+//! ([`crate::clause`]) addressed by offset, compacted in place when enough
+//! of it is dead. Assumptions are supported and a final conflict (unsat
+//! core over the assumptions) is produced when solving under assumptions
+//! fails, which the core-guided MaxSAT algorithms rely on. Between solve
+//! calls the solver can run bounded inprocessing (subsumption,
+//! self-subsuming resolution, constrained variable elimination — see
+//! [`crate::inprocess`]).
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use crate::clause::{ClauseDb, ClauseRef};
+use crate::branching::{BranchingChoice, BranchingStrategy};
+use crate::clause::{self, ClauseDb, ClauseRef};
 use crate::cnf::CnfFormula;
-use crate::heap::VarHeap;
+use crate::inprocess::InprocessConfig;
 use crate::lit::{LBool, Lit, Var};
 use crate::stats::SolverStats;
 
@@ -37,7 +40,7 @@ pub struct SolverConfig {
     pub var_decay: f64,
     /// Multiplicative decay applied to clause activities (0 < decay < 1).
     pub clause_decay: f64,
-    /// Frequency of random branching decisions in `[0, 1)`.
+    /// Frequency of random branching decisions in `[0, 1)` (VSIDS only).
     pub random_var_freq: f64,
     /// Initial number of conflicts between restarts.
     pub restart_first: u64,
@@ -49,6 +52,11 @@ pub struct SolverConfig {
     pub learntsize_factor: f64,
     /// Growth factor applied to the learnt-clause limit after each reduction.
     pub learntsize_inc: f64,
+    /// Which branching heuristic drives decisions (see
+    /// [`BranchingChoice`]).
+    pub branching: BranchingChoice,
+    /// Inprocessing schedule and bounds (see [`InprocessConfig`]).
+    pub inprocess: InprocessConfig,
 }
 
 impl Default for SolverConfig {
@@ -62,6 +70,8 @@ impl Default for SolverConfig {
             seed: 42,
             learntsize_factor: 1.0 / 3.0,
             learntsize_inc: 1.1,
+            branching: BranchingChoice::Vsids,
+            inprocess: InprocessConfig::default(),
         }
     }
 }
@@ -133,38 +143,47 @@ impl SolveResult {
 }
 
 #[derive(Clone, Copy, Debug)]
-struct Watcher {
-    cref: ClauseRef,
-    blocker: Lit,
+pub(crate) struct Watcher {
+    pub(crate) cref: ClauseRef,
+    pub(crate) blocker: Lit,
 }
 
 /// A CDCL SAT solver.
 ///
 /// See the [crate-level documentation](crate) for an example.
 pub struct Solver {
-    config: SolverConfig,
-    db: ClauseDb,
-    watches: Vec<Vec<Watcher>>,
-    assigns: Vec<LBool>,
-    phase: Vec<bool>,
-    reason: Vec<Option<ClauseRef>>,
-    level: Vec<u32>,
-    trail: Vec<Lit>,
+    pub(crate) config: SolverConfig,
+    pub(crate) db: ClauseDb,
+    pub(crate) watches: Vec<Vec<Watcher>>,
+    pub(crate) assigns: Vec<LBool>,
+    pub(crate) phase: Vec<bool>,
+    pub(crate) reason: Vec<Option<ClauseRef>>,
+    pub(crate) level: Vec<u32>,
+    pub(crate) trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     qhead: usize,
-    activity: Vec<f64>,
-    var_inc: f64,
     cla_inc: f64,
-    order: VarHeap,
+    branching: Box<dyn BranchingStrategy>,
     seen: Vec<bool>,
-    ok: bool,
-    stats: SolverStats,
-    rng: StdRng,
+    pub(crate) ok: bool,
+    pub(crate) stats: SolverStats,
     max_learnt: f64,
     num_original_clauses: usize,
     unsat_core: Vec<Lit>,
     last_model: Option<Model>,
     interrupt: Option<InterruptHook>,
+    /// Variables that inprocessing must never eliminate (assumption
+    /// variables are frozen automatically; encoding layers freeze their
+    /// selector variables explicitly).
+    pub(crate) frozen: Vec<bool>,
+    /// Variables removed by bounded variable elimination. Their clauses are
+    /// kept on [`Solver::elim_stack`] for model extension and restoration.
+    pub(crate) eliminated: Vec<bool>,
+    /// For each eliminated variable, the clauses it occurred in at
+    /// elimination time (model extension walks this in reverse).
+    pub(crate) elim_stack: Vec<(Var, Vec<Vec<Lit>>)>,
+    /// Conflict count at the end of the last inprocessing round.
+    pub(crate) last_inprocess_conflicts: u64,
 }
 
 /// Private outcome of one bounded `search` episode.
@@ -188,6 +207,7 @@ impl std::fmt::Debug for Solver {
         f.debug_struct("Solver")
             .field("num_vars", &self.num_vars())
             .field("num_clauses", &self.db.len())
+            .field("branching", &self.branching.name())
             .field("ok", &self.ok)
             .field("stats", &self.stats)
             .finish()
@@ -202,7 +222,7 @@ impl Solver {
 
     /// Creates a solver with an explicit configuration.
     pub fn with_config(config: SolverConfig) -> Self {
-        let rng = StdRng::seed_from_u64(config.seed);
+        let branching = config.branching.build(&config);
         Solver {
             config,
             db: ClauseDb::default(),
@@ -214,19 +234,20 @@ impl Solver {
             trail: Vec::new(),
             trail_lim: Vec::new(),
             qhead: 0,
-            activity: Vec::new(),
-            var_inc: 1.0,
             cla_inc: 1.0,
-            order: VarHeap::new(),
+            branching,
             seen: Vec::new(),
             ok: true,
             stats: SolverStats::default(),
-            rng,
             max_learnt: 0.0,
             num_original_clauses: 0,
             unsat_core: Vec::new(),
             last_model: None,
             interrupt: None,
+            frozen: Vec::new(),
+            eliminated: Vec::new(),
+            elim_stack: Vec::new(),
+            last_inprocess_conflicts: 0,
         }
     }
 
@@ -265,9 +286,23 @@ impl Solver {
         self.db.num_learnt
     }
 
+    /// Read-only views of every live clause (original and learnt), in
+    /// insertion order.
+    pub fn clauses(&self) -> impl Iterator<Item = crate::clause::Clause<'_>> {
+        self.db
+            .refs()
+            .filter(|&c| !self.db.is_deleted(c))
+            .map(|c| self.db.view(c))
+    }
+
     /// Search statistics accumulated so far.
     pub fn stats(&self) -> &SolverStats {
         &self.stats
+    }
+
+    /// The name of the branching heuristic in effect.
+    pub fn branching_name(&self) -> &'static str {
+        self.branching.name()
     }
 
     /// `false` once the clause database has been proven unsatisfiable at the
@@ -283,11 +318,12 @@ impl Solver {
         self.phase.push(self.config.default_phase);
         self.reason.push(None);
         self.level.push(0);
-        self.activity.push(0.0);
         self.seen.push(false);
+        self.frozen.push(false);
+        self.eliminated.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
-        self.order.insert(v, &self.activity);
+        self.branching.on_new_var(v);
         v
     }
 
@@ -296,6 +332,20 @@ impl Solver {
         while self.num_vars() < n {
             self.new_var();
         }
+    }
+
+    /// Marks `var` as untouchable by inprocessing's variable elimination.
+    /// Assumption variables are frozen automatically on every
+    /// [`Solver::solve_with_assumptions`] call; encoding layers (soft-clause
+    /// selectors, totalizer outputs) freeze theirs at allocation time.
+    pub fn freeze_var(&mut self, var: Var) {
+        self.ensure_vars(var.index() + 1);
+        self.frozen[var.index()] = true;
+    }
+
+    /// `true` when `var` is protected from variable elimination.
+    pub fn is_frozen(&self, var: Var) -> bool {
+        self.frozen.get(var.index()).copied().unwrap_or(false)
     }
 
     /// Adds all clauses of a [`CnfFormula`].
@@ -322,6 +372,21 @@ impl Solver {
         let mut clause: Vec<Lit> = lits.into_iter().collect();
         for lit in &clause {
             self.ensure_vars(lit.var().index() + 1);
+        }
+        // A new clause may mention a variable that inprocessing eliminated;
+        // restore such variables first (re-adding their original clauses
+        // keeps the database logically equivalent — the resolvents that
+        // replaced them are implied).
+        if !self.elim_stack.is_empty() {
+            for lit in &clause {
+                let v = lit.var();
+                if self.eliminated[v.index()] {
+                    self.restore_eliminated_var(v);
+                    if !self.ok {
+                        return false;
+                    }
+                }
+            }
         }
         clause.sort_unstable();
         clause.dedup();
@@ -353,7 +418,7 @@ impl Solver {
                 self.ok
             }
             _ => {
-                let cref = self.db.add(simplified, false);
+                let cref = self.db.add(&simplified, false);
                 self.num_original_clauses += 1;
                 self.attach_clause(cref);
                 true
@@ -361,22 +426,53 @@ impl Solver {
         }
     }
 
-    fn attach_clause(&mut self, cref: ClauseRef) {
-        let (l0, l1) = {
-            let c = self.db.get(cref);
-            (c.lits[0], c.lits[1])
-        };
+    /// Re-activates a variable removed by variable elimination: its original
+    /// clauses are added back (restoring any variables *they* mention that
+    /// were eliminated later, recursively).
+    fn restore_eliminated_var(&mut self, var: Var) {
+        if !self.eliminated[var.index()] {
+            return;
+        }
+        self.eliminated[var.index()] = false;
+        let pos = self
+            .elim_stack
+            .iter()
+            .rposition(|(v, _)| *v == var)
+            .expect("eliminated variable has a stack entry");
+        let (_, clauses) = self.elim_stack.remove(pos);
+        for lits in clauses {
+            // `add_clause` restores nested eliminated variables itself.
+            self.add_clause(lits);
+            if !self.ok {
+                return;
+            }
+        }
+    }
+
+    pub(crate) fn attach_clause(&mut self, cref: ClauseRef) {
+        let l0 = self.db.lit_at(cref, 0);
+        let l1 = self.db.lit_at(cref, 1);
         self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
         self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
     }
 
-    #[inline]
+    /// Removes the clause's two watcher entries (it must currently be
+    /// attached and live). Used by inprocessing before rewriting a clause's
+    /// literals in place.
+    pub(crate) fn detach_clause(&mut self, cref: ClauseRef) {
+        let l0 = self.db.lit_at(cref, 0);
+        let l1 = self.db.lit_at(cref, 1);
+        self.watches[(!l0).code()].retain(|w| w.cref != cref);
+        self.watches[(!l1).code()].retain(|w| w.cref != cref);
+    }
+
+    #[inline(always)]
     fn var_value(&self, var: Var) -> LBool {
         self.assigns[var.index()]
     }
 
-    #[inline]
-    fn lit_value(&self, lit: Lit) -> LBool {
+    #[inline(always)]
+    pub(crate) fn lit_value(&self, lit: Lit) -> LBool {
         let v = self.assigns[lit.var().index()];
         if lit.is_negative() {
             v.negate()
@@ -385,8 +481,8 @@ impl Solver {
         }
     }
 
-    #[inline]
-    fn decision_level(&self) -> u32 {
+    #[inline(always)]
+    pub(crate) fn decision_level(&self) -> u32 {
         self.trail_lim.len() as u32
     }
 
@@ -394,7 +490,7 @@ impl Solver {
         self.trail_lim.push(self.trail.len());
     }
 
-    fn unchecked_enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) {
+    pub(crate) fn unchecked_enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) {
         debug_assert!(self.lit_value(lit).is_undef());
         let v = lit.var().index();
         self.assigns[v] = LBool::from_bool(lit.is_positive());
@@ -414,36 +510,20 @@ impl Solver {
             self.phase[v.index()] = self.var_value(v) == LBool::True;
             self.assigns[v.index()] = LBool::Undef;
             self.reason[v.index()] = None;
-            if !self.order.contains(v) {
-                self.order.insert(v, &self.activity);
-            }
+            self.branching.on_unassign(v);
         }
         self.trail_lim.truncate(level as usize);
         self.qhead = self.trail.len();
     }
 
-    fn var_bump_activity(&mut self, var: Var) {
-        let idx = var.index();
-        self.activity[idx] += self.var_inc;
-        if self.activity[idx] > 1e100 {
-            for a in &mut self.activity {
-                *a *= 1e-100;
-            }
-            self.var_inc *= 1e-100;
-        }
-        self.order.update(var, &self.activity);
-    }
-
-    fn var_decay_activity(&mut self) {
-        self.var_inc /= self.config.var_decay;
-    }
-
     fn clause_bump_activity(&mut self, cref: ClauseRef) {
-        let c = self.db.get_mut(cref);
-        c.activity += self.cla_inc;
-        if c.activity > 1e20 {
-            for clause in &mut self.db.clauses {
-                clause.activity *= 1e-20;
+        let activity = self.db.activity(cref) + self.cla_inc;
+        self.db.set_activity(cref, activity);
+        if activity > 1e20 {
+            let refs: Vec<ClauseRef> = self.db.refs().collect();
+            for c in refs {
+                let scaled = self.db.activity(c) * 1e-20;
+                self.db.set_activity(c, scaled);
             }
             self.cla_inc *= 1e-20;
         }
@@ -454,75 +534,76 @@ impl Solver {
     }
 
     /// Unit propagation. Returns the conflicting clause, if any.
-    fn propagate(&mut self) -> Option<ClauseRef> {
+    ///
+    /// The watcher scan is allocation-free: each watch list is taken out,
+    /// compacted in place (the blocker fast path just slides the entry
+    /// down), and put back.
+    pub(crate) fn propagate(&mut self) -> Option<ClauseRef> {
         let mut conflict = None;
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
-            let watchers = std::mem::take(&mut self.watches[p.code()]);
-            let mut kept = Vec::with_capacity(watchers.len());
-            let mut idx = 0;
-            while idx < watchers.len() {
-                let w = watchers[idx];
-                idx += 1;
+            let mut watchers = std::mem::take(&mut self.watches[p.code()]);
+            let total = watchers.len();
+            let mut i = 0;
+            let mut j = 0;
+            'watchers: while i < total {
+                let w = watchers[i];
+                i += 1;
                 if self.lit_value(w.blocker) == LBool::True {
-                    kept.push(w);
+                    watchers[j] = w;
+                    j += 1;
                     continue;
                 }
-                if self.db.get(w.cref).deleted {
+                if self.db.is_deleted(w.cref) {
                     continue; // lazily drop watchers of deleted clauses
                 }
                 let false_lit = !p;
-                {
-                    let clause = self.db.get_mut(w.cref);
-                    if clause.lits[0] == false_lit {
-                        clause.lits.swap(0, 1);
-                    }
+                if self.db.lit_at(w.cref, 0) == false_lit {
+                    self.db.swap_lits(w.cref, 0, 1);
                 }
-                let first = self.db.get(w.cref).lits[0];
+                let first = self.db.lit_at(w.cref, 0);
                 if first != w.blocker && self.lit_value(first) == LBool::True {
-                    kept.push(Watcher {
+                    watchers[j] = Watcher {
                         cref: w.cref,
                         blocker: first,
-                    });
+                    };
+                    j += 1;
                     continue;
                 }
                 // Look for a replacement watch.
-                let len = self.db.get(w.cref).lits.len();
-                let mut replaced = false;
+                let len = self.db.len_of(w.cref);
                 for k in 2..len {
-                    let cand = self.db.get(w.cref).lits[k];
+                    let cand = self.db.lit_at(w.cref, k);
                     if self.lit_value(cand) != LBool::False {
-                        self.db.get_mut(w.cref).lits.swap(1, k);
+                        self.db.swap_lits(w.cref, 1, k);
                         self.watches[(!cand).code()].push(Watcher {
                             cref: w.cref,
                             blocker: first,
                         });
-                        replaced = true;
-                        break;
+                        continue 'watchers;
                     }
                 }
-                if replaced {
-                    continue;
-                }
                 // Unit or conflicting: keep watching.
-                kept.push(Watcher {
+                watchers[j] = Watcher {
                     cref: w.cref,
                     blocker: first,
-                });
+                };
+                j += 1;
                 if self.lit_value(first) == LBool::False {
                     conflict = Some(w.cref);
                     self.qhead = self.trail.len();
-                    while idx < watchers.len() {
-                        kept.push(watchers[idx]);
-                        idx += 1;
-                    }
+                    // Copy the unexamined tail back in one block move.
+                    watchers.copy_within(i..total, j);
+                    j += total - i;
+                    i = total;
                 } else {
                     self.unchecked_enqueue(first, Some(w.cref));
                 }
             }
-            self.watches[p.code()] = kept;
+            watchers.truncate(j);
+            self.watches[p.code()] = watchers;
             if conflict.is_some() {
                 break;
             }
@@ -539,16 +620,17 @@ impl Solver {
         let mut index = self.trail.len();
 
         loop {
-            if self.db.get(conflict).learnt {
+            if self.db.is_learnt(conflict) {
                 self.clause_bump_activity(conflict);
             }
-            let lits: Vec<Lit> = self.db.get(conflict).lits.clone();
+            let len = self.db.len_of(conflict);
             let start = usize::from(p.is_some());
-            for &q in &lits[start..] {
+            for k in start..len {
+                let q = self.db.lit_at(conflict, k);
                 let v = q.var();
                 if !self.seen[v.index()] && self.level[v.index()] > 0 {
                     self.seen[v.index()] = true;
-                    self.var_bump_activity(v);
+                    self.branching.on_conflict_var(v);
                     if self.level[v.index()] >= self.decision_level() {
                         path_count += 1;
                     } else {
@@ -583,11 +665,11 @@ impl Solver {
             let keep = match self.reason[lit.var().index()] {
                 None => true,
                 Some(reason) => {
-                    let reason_lits = &self.db.get(reason).lits;
-                    reason_lits
-                        .iter()
-                        .skip(1)
-                        .any(|&r| !self.seen[r.var().index()] && self.level[r.var().index()] > 0)
+                    let rlen = self.db.len_of(reason);
+                    (1..rlen).any(|k| {
+                        let r = self.db.lit_at(reason, k);
+                        !self.seen[r.var().index()] && self.level[r.var().index()] > 0
+                    })
                 }
             };
             if keep {
@@ -641,8 +723,9 @@ impl Solver {
                     self.unsat_core.push(!lit);
                 }
                 Some(reason) => {
-                    let lits: Vec<Lit> = self.db.get(reason).lits.clone();
-                    for &q in &lits[1..] {
+                    let rlen = self.db.len_of(reason);
+                    for k in 1..rlen {
+                        let q = self.db.lit_at(reason, k);
                         if self.level[q.var().index()] > 0 {
                             self.seen[q.var().index()] = true;
                         }
@@ -654,39 +737,18 @@ impl Solver {
         self.seen[p.var().index()] = false;
     }
 
-    fn pick_branch_lit(&mut self) -> Option<Lit> {
-        // Optional random decisions for portfolio diversification.
-        if self.config.random_var_freq > 0.0
-            && self.rng.gen::<f64>() < self.config.random_var_freq
-            && self.num_vars() > 0
-        {
-            let idx = self.rng.gen_range(0..self.num_vars());
-            let v = Var::from_index(idx);
-            if self.var_value(v).is_undef() {
-                return Some(Lit::new(v, !self.phase[idx]));
-            }
-        }
-        loop {
-            let v = self.order.pop_max(&self.activity)?;
-            if self.var_value(v).is_undef() {
-                return Some(Lit::new(v, !self.phase[v.index()]));
-            }
-        }
-    }
-
     fn reduce_db(&mut self) {
         let mut learnt_refs: Vec<ClauseRef> = Vec::new();
-        for (i, c) in self.db.clauses.iter().enumerate() {
-            if c.learnt && !c.deleted && c.lits.len() > 2 {
-                learnt_refs.push(ClauseRef(i as u32));
+        for cref in self.db.refs() {
+            if self.db.is_learnt(cref) && !self.db.is_deleted(cref) && self.db.len_of(cref) > 2 {
+                learnt_refs.push(cref);
             }
         }
         learnt_refs.sort_by(|&a, &b| {
-            let ca = self.db.get(a);
-            let cb = self.db.get(b);
-            cb.lbd.cmp(&ca.lbd).then(
-                ca.activity
-                    .partial_cmp(&cb.activity)
+            self.db.lbd(b).cmp(&self.db.lbd(a)).then(
+                self.db
+                    .activity(a)
+                    .partial_cmp(&self.db.activity(b))
                     .unwrap_or(std::cmp::Ordering::Equal),
             )
         });
@@ -696,7 +758,7 @@ impl Solver {
             if removed >= to_remove {
                 break;
             }
-            if self.is_locked(cref) || self.db.get(cref).lbd <= 2 {
+            if self.is_locked(cref) || self.db.lbd(cref) <= 2 {
                 continue;
             }
             self.db.delete(cref);
@@ -704,10 +766,42 @@ impl Solver {
             removed += 1;
         }
         self.stats.learnt_clauses = self.db.num_learnt as u64;
+        self.maybe_compact();
     }
 
-    fn is_locked(&self, cref: ClauseRef) -> bool {
-        let first = self.db.get(cref).lits[0];
+    /// Compacts the clause arena when at least a quarter of it is dead.
+    pub(crate) fn maybe_compact(&mut self) {
+        if self.db.arena_len() >= 2048 && self.db.wasted * 4 >= self.db.arena_len() {
+            self.compact_clauses();
+        }
+    }
+
+    /// Rewrites the clause arena in place, dropping deleted clauses, then
+    /// remaps every watcher and reason reference to the new offsets. Safe at
+    /// any decision level; normally triggered automatically by learnt-DB
+    /// reduction and inprocessing, exposed for tests and embedders that want
+    /// to bound memory eagerly.
+    pub fn compact_clauses(&mut self) {
+        let table = self.db.compact();
+        for list in &mut self.watches {
+            list.retain_mut(|w| match clause::remap(&table, w.cref) {
+                Some(new) => {
+                    w.cref = new;
+                    true
+                }
+                None => false,
+            });
+        }
+        for slot in &mut self.reason {
+            if let Some(cref) = *slot {
+                *slot = clause::remap(&table, cref);
+            }
+        }
+        self.stats.arena_compactions += 1;
+    }
+
+    pub(crate) fn is_locked(&self, cref: ClauseRef) -> bool {
+        let first = self.db.lit_at(cref, 0);
         self.lit_value(first) == LBool::True && self.reason[first.var().index()] == Some(cref)
     }
 
@@ -751,13 +845,13 @@ impl Solver {
                 } else {
                     let lbd = self.compute_lbd(&learnt);
                     let asserting = learnt[0];
-                    let cref = self.db.add(learnt, true);
-                    self.db.get_mut(cref).lbd = lbd;
+                    let cref = self.db.add(&learnt, true);
+                    self.db.set_lbd(cref, lbd);
                     self.attach_clause(cref);
                     self.clause_bump_activity(cref);
                     self.unchecked_enqueue(asserting, Some(cref));
                 }
-                self.var_decay_activity();
+                self.branching.on_conflict();
                 self.clause_decay_activity();
                 self.stats.learnt_clauses = self.db.num_learnt as u64;
             } else {
@@ -792,7 +886,7 @@ impl Solver {
                     Some(lit) => lit,
                     None => {
                         self.stats.decisions += 1;
-                        match self.pick_branch_lit() {
+                        match self.branching.pick(&self.assigns, &self.phase) {
                             Some(lit) => lit,
                             None => return SearchOutcome::Decided(true),
                         }
@@ -848,6 +942,21 @@ impl Solver {
         }
         for lit in assumptions {
             self.ensure_vars(lit.var().index() + 1);
+            // Assumption variables must survive variable elimination: freeze
+            // them forever, and restore any that were eliminated before this
+            // call first assumed them.
+            self.frozen[lit.var().index()] = true;
+            if self.eliminated[lit.var().index()] {
+                self.restore_eliminated_var(lit.var());
+                if !self.ok {
+                    return SolveResult::Unsat;
+                }
+            }
+        }
+        // A level-0 boundary: run scheduled inprocessing before the search.
+        self.maybe_inprocess();
+        if !self.ok {
+            return SolveResult::Unsat;
         }
         if self.max_learnt <= 0.0 {
             self.max_learnt =
@@ -871,13 +980,14 @@ impl Solver {
             }
         };
         let outcome = if result {
-            let values: Vec<bool> = (0..self.num_vars())
+            let mut values: Vec<bool> = (0..self.num_vars())
                 .map(|i| match self.assigns[i] {
                     LBool::True => true,
                     LBool::False => false,
                     LBool::Undef => self.phase[i],
                 })
                 .collect();
+            self.extend_model(&mut values);
             let model = Model { values };
             self.last_model = Some(model.clone());
             SolveResult::Sat(model)
@@ -886,6 +996,30 @@ impl Solver {
         };
         self.cancel_until(0);
         outcome
+    }
+
+    /// Assigns every eliminated variable a value satisfying its stored
+    /// clauses (walking the elimination stack in reverse, so variables
+    /// eliminated later — whose clauses may mention variables eliminated
+    /// earlier — are fixed first... the other way around: clauses stored for
+    /// an *earlier* elimination may mention variables eliminated *later*,
+    /// so the later ones must be decided first).
+    fn extend_model(&self, values: &mut [bool]) {
+        for (var, clauses) in self.elim_stack.iter().rev() {
+            // Try the current tentative value; flip if any stored clause is
+            // falsified (resolution guarantees one of the two values works).
+            let satisfied = |values: &[bool], lits: &[Lit]| {
+                lits.iter()
+                    .any(|l| values[l.var().index()] ^ l.is_negative())
+            };
+            if clauses.iter().any(|c| !satisfied(values, c)) {
+                values[var.index()] = !values[var.index()];
+            }
+            debug_assert!(
+                clauses.iter().all(|c| satisfied(values, c)),
+                "variable elimination must be model-extendable"
+            );
+        }
     }
 
     /// The final conflict of the last failed `solve_with_assumptions` call:
@@ -897,6 +1031,46 @@ impl Solver {
     /// The model of the last successful solve call, if any.
     pub fn last_model(&self) -> Option<&Model> {
         self.last_model.as_ref()
+    }
+
+    /// Checks the internal watch/reason/arena invariants, panicking on any
+    /// violation. Used by the compaction and inprocessing regression tests;
+    /// O(total literals), so never called on the hot path.
+    #[doc(hidden)]
+    pub fn assert_integrity(&self) {
+        for cref in self.db.refs() {
+            if self.db.is_deleted(cref) {
+                continue;
+            }
+            let lits = self.db.lits(cref);
+            assert!(lits.len() >= 2, "attached clauses have at least 2 literals");
+            for watched in &lits[..2] {
+                assert!(
+                    self.watches[(!*watched).code()]
+                        .iter()
+                        .any(|w| w.cref == cref),
+                    "live clause {cref:?} must be watched by its first two literals"
+                );
+            }
+        }
+        for list in &self.watches {
+            for w in list {
+                assert!(
+                    w.cref.offset() < self.db.arena_len(),
+                    "watcher points into the arena"
+                );
+            }
+        }
+        for (v, slot) in self.reason.iter().enumerate() {
+            if let Some(cref) = slot {
+                assert!(!self.db.is_deleted(*cref), "reason clauses stay live");
+                assert_eq!(
+                    self.db.lit_at(*cref, 0).var(),
+                    Var::from_index(v),
+                    "a reason clause's first literal is the implied literal"
+                );
+            }
+        }
     }
 }
 
@@ -1058,6 +1232,38 @@ mod tests {
     }
 
     #[test]
+    fn random_branching_agrees_with_vsids_on_random_3sat() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        for instance in 0..20 {
+            let num_vars = 25;
+            let mut cnf = CnfFormula::with_vars(num_vars);
+            for _ in 0..95 {
+                let mut clause = Vec::new();
+                for _ in 0..3 {
+                    let v = Var::from_index(rng.gen_range(0..num_vars));
+                    clause.push(Lit::new(v, rng.gen_bool(0.5)));
+                }
+                cnf.add_clause(clause);
+            }
+            let mut vsids = Solver::from_cnf(&cnf);
+            let mut random = Solver::with_config(SolverConfig {
+                branching: BranchingChoice::Random,
+                ..SolverConfig::default()
+            });
+            random.add_cnf(&cnf);
+            assert_eq!(random.branching_name(), "random");
+            let a = vsids.solve().is_sat();
+            let b = random.solve().is_sat();
+            assert_eq!(a, b, "instance {instance}: heuristics must agree");
+            if let Some(model) = random.last_model() {
+                assert_eq!(cnf.evaluate(model.as_slice()), Some(true));
+            }
+        }
+    }
+
+    #[test]
     fn solver_is_reusable_across_incremental_clause_additions() {
         let mut s = Solver::new();
         s.ensure_vars(3);
@@ -1132,5 +1338,45 @@ mod tests {
             }
             other => panic!("expected SAT, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn explicit_compaction_preserves_the_search_state() {
+        // Pigeonhole forces real learning; compacting mid-session must not
+        // change any later answer.
+        let mut s = Solver::new();
+        let var = |i: usize, j: usize| Var::from_index(i * 3 + j);
+        s.ensure_vars(12);
+        for i in 0..4 {
+            s.add_clause((0..3).map(|j| Lit::positive(var(i, j))));
+        }
+        for j in 0..3 {
+            for i1 in 0..4 {
+                for i2 in (i1 + 1)..4 {
+                    s.add_clause([Lit::negative(var(i1, j)), Lit::negative(var(i2, j))]);
+                }
+            }
+        }
+        // Satisfiable under an assumption set that relaxes one pigeon...
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(!s.is_ok());
+
+        // A fresh solver exercising compaction on a satisfiable formula.
+        let mut s = Solver::new();
+        s.ensure_vars(30);
+        for i in 0..29 {
+            s.add_clause([neg(i), pos(i + 1)]);
+        }
+        assert!(s.solve_with_assumptions(&[pos(0)]).is_sat());
+        s.assert_integrity();
+        s.compact_clauses();
+        s.assert_integrity();
+        assert_eq!(s.stats().arena_compactions, 1);
+        assert!(s.solve_with_assumptions(&[pos(0)]).is_sat());
+        assert!(s.solve_with_assumptions(&[neg(29)]).is_sat());
+        assert_eq!(
+            s.solve_with_assumptions(&[pos(0), neg(29)]),
+            SolveResult::Unsat
+        );
     }
 }
