@@ -1,0 +1,14 @@
+#[test]
+fn inprocess_ssr_unit_leaves_reasons_live() {
+    use sat_solver::{Lit, Var, Solver};
+    let p = |i: usize| Lit::positive(Var::from_index(i));
+    let n = |i: usize| Lit::negative(Var::from_index(i));
+    let mut s = Solver::new();
+    s.ensure_vars(3);
+    s.add_clause([p(0), p(1)]);
+    s.add_clause([n(0), p(1)]); // SSR on x0 -> unit x1
+    s.add_clause([n(1), p(2)]); // propagates x2 with this clause as reason
+    s.inprocess_now();
+    assert!(s.is_ok());
+    s.assert_integrity();
+}
