@@ -13,17 +13,19 @@
 //! `--json` additionally writes a machine-readable `BENCH_<experiment>.json`
 //! snapshot into the current directory for the studies that support one
 //! (`hot-path`, `enumeration-scaling`, `session-streaming`), so the perf
-//! trajectory survives ROADMAP re-anchors. The `hot-path` study always
-//! writes its snapshot: `BENCH_hotpath.json` is a tracked artefact.
+//! trajectory survives ROADMAP re-anchors. The `hot-path` and `cache-reuse`
+//! studies always write their snapshots: `BENCH_hotpath.json` and
+//! `BENCH_cache.json` are tracked artefacts.
 
 use std::process::ExitCode;
 
 use ft_bench::{
-    backend_comparison, baselines, batch_scaling, encodings, enumeration_scaling,
-    enumeration_scaling_rows, enumeration_scaling_snapshot, enumeration_scaling_table,
-    extended_baselines, extended_measures, fig2, hot_path_rows, hot_path_snapshot, hot_path_table,
-    portfolio, scalability, session_streaming, session_streaming_rows, session_streaming_snapshot,
-    session_streaming_table, table1, voting, BASELINE_SIZES, SCALABILITY_SIZES,
+    backend_comparison, baselines, batch_scaling, cache_reuse_rows, cache_reuse_snapshot,
+    cache_reuse_table, encodings, enumeration_scaling, enumeration_scaling_rows,
+    enumeration_scaling_snapshot, enumeration_scaling_table, extended_baselines, extended_measures,
+    fig2, hot_path_rows, hot_path_snapshot, hot_path_table, portfolio, scalability,
+    session_streaming, session_streaming_rows, session_streaming_snapshot, session_streaming_table,
+    table1, voting, BASELINE_SIZES, SCALABILITY_SIZES,
 };
 
 const SEED: u64 = 2020;
@@ -64,6 +66,7 @@ fn main() -> ExitCode {
             "backend-comparison",
             "session-streaming",
             "hot-path",
+            "cache-reuse",
         ];
     }
 
@@ -166,9 +169,26 @@ fn main() -> ExitCode {
                 write_snapshot("BENCH_hotpath.json", &hot_path_snapshot(&rows, SEED));
                 hot_path_table(&rows)
             }
+            "cache-reuse" => {
+                // E15: cold vs warm shared-cache batches over the
+                // shared-modules family; the rows assert cache-on/off report
+                // byte-identity before any timing is published. The snapshot
+                // is always written — `BENCH_cache.json` is a tracked
+                // artefact.
+                // Sizes start at 250: below that, tree generation dominates
+                // both runs and the warm speedup collapses into fixed costs.
+                let (sizes, trees): (&[usize], usize) = if quick {
+                    (&[100, 250], 6)
+                } else {
+                    (&[250, 500, 1000], 12)
+                };
+                let rows = cache_reuse_rows(sizes, trees, SEED);
+                write_snapshot("BENCH_cache.json", &cache_reuse_snapshot(&rows, SEED));
+                cache_reuse_table(&rows)
+            }
             other => {
                 eprintln!(
-                    "unknown experiment {other:?}; available: table1 fig2 scalability portfolio baselines encodings voting extended-baselines measures batch-scaling enumeration-scaling backend-comparison session-streaming hot-path all"
+                    "unknown experiment {other:?}; available: table1 fig2 scalability portfolio baselines encodings voting extended-baselines measures batch-scaling enumeration-scaling backend-comparison session-streaming hot-path cache-reuse all"
                 );
                 return ExitCode::from(2);
             }

@@ -1489,6 +1489,148 @@ pub fn hot_path(raw_sizes: &[usize], topk_sizes: &[usize], k: usize, seed: u64) 
     hot_path_table(&hot_path_rows(raw_sizes, topk_sizes, k, seed))
 }
 
+/// One row of the E15 cache-reuse table: the same shared-module-heavy batch
+/// analysed cache-off, cache-cold, and cache-warm.
+#[derive(Clone, Debug)]
+pub struct CacheReuseRow {
+    /// Target total node count per tree.
+    pub nodes: usize,
+    /// Number of trees in the batch (cycling over three distinct seeds, so
+    /// the corpus itself repeats whole trees).
+    pub trees: usize,
+    /// Wall time with no cache attached.
+    pub baseline_time: Duration,
+    /// Wall time of the first run against an empty shared cache (pays the
+    /// insertions, already reuses repeated trees within the batch).
+    pub cold_time: Duration,
+    /// Wall time of a re-run against the now-populated shared cache.
+    pub warm_time: Duration,
+    /// `baseline_time / cold_time` — within-batch reuse.
+    pub cold_speedup: f64,
+    /// `cold_time / warm_time` — cross-run reuse, the headline number.
+    pub warm_speedup: f64,
+    /// Cache hits during the cold run.
+    pub cold_hits: u64,
+    /// Cache misses during the cold run.
+    pub cold_misses: u64,
+    /// Hit rate of the warm run (`hits / (hits + misses)`).
+    pub warm_hit_rate: f64,
+    /// Entries resident after the warm run.
+    pub entries: u64,
+    /// Bytes resident after the warm run.
+    pub bytes: u64,
+}
+
+/// E15 — cache reuse on shared-module-heavy batches: for each target size,
+/// builds a batch of [`Family::SharedModules`] trees cycling over three
+/// distinct seeds (so whole trees repeat within the corpus), then runs it
+/// three times — cache-off, cache-cold, cache-warm (same shared
+/// [`AnalysisCache`](ft_backend::AnalysisCache)).
+///
+/// Before any timing is trusted, the three deterministic report renderings
+/// are asserted byte-identical: the cache must change wall time and counters,
+/// never answers. The batch runs single-worker so timings and hit attribution
+/// are scheduling-independent.
+pub fn cache_reuse_rows(sizes: &[usize], num_trees: usize, seed: u64) -> Vec<CacheReuseRow> {
+    use ft_backend::{AnalysisCache, DEFAULT_CACHE_BYTES};
+    use ft_batch::{run_batch, BatchConfig, BatchJob, BatchManifest, TreeSource};
+    use std::sync::Arc;
+    let mut rows = Vec::new();
+    for &nodes in sizes {
+        let manifest = BatchManifest {
+            jobs: (0..num_trees)
+                .map(|i| {
+                    let job_seed = seed + (i % 3) as u64;
+                    BatchJob {
+                        name: format!("shared-modules-{nodes}n-{i}-seed{job_seed}"),
+                        source: TreeSource::Generated {
+                            family: Family::SharedModules,
+                            nodes,
+                            seed: job_seed,
+                        },
+                    }
+                })
+                .collect(),
+        };
+        let config = BatchConfig {
+            jobs: 1,
+            top_k: 3,
+            ..BatchConfig::default()
+        };
+        let (baseline_report, baseline_time) = timed(|| run_batch(&manifest, &config));
+        let cache = Arc::new(AnalysisCache::new(DEFAULT_CACHE_BYTES));
+        let cached_config = BatchConfig {
+            cache: Some(Arc::clone(&cache)),
+            ..config.clone()
+        };
+        let (cold_report, cold_time) = timed(|| run_batch(&manifest, &cached_config));
+        let cold_stats = cache.stats();
+        let (warm_report, warm_time) = timed(|| run_batch(&manifest, &cached_config));
+        let warm_stats = cache.stats();
+        assert_eq!(
+            baseline_report.to_deterministic_json(),
+            cold_report.to_deterministic_json(),
+            "cache-on and cache-off reports must be byte-identical ({nodes} nodes)"
+        );
+        assert_eq!(
+            cold_report.to_deterministic_json(),
+            warm_report.to_deterministic_json(),
+            "warm replays must reproduce the cold report ({nodes} nodes)"
+        );
+        let warm_hits = warm_stats.hits - cold_stats.hits;
+        let warm_misses = warm_stats.misses - cold_stats.misses;
+        rows.push(CacheReuseRow {
+            nodes,
+            trees: manifest.len(),
+            baseline_time,
+            cold_time,
+            warm_time,
+            cold_speedup: baseline_time.as_secs_f64() / cold_time.as_secs_f64().max(1e-12),
+            warm_speedup: cold_time.as_secs_f64() / warm_time.as_secs_f64().max(1e-12),
+            cold_hits: cold_stats.hits,
+            cold_misses: cold_stats.misses,
+            warm_hit_rate: warm_hits as f64 / ((warm_hits + warm_misses) as f64).max(1.0),
+            entries: warm_stats.entries,
+            bytes: warm_stats.bytes,
+        });
+    }
+    rows
+}
+
+/// Formats already-measured E15 rows.
+pub fn cache_reuse_table(rows: &[CacheReuseRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# E15 — analysis-cache reuse on shared-module-heavy batches (cache-off vs cold vs warm, 1 worker)\n",
+    );
+    out.push_str(
+        "nodes   trees  off_ms     cold_ms    warm_ms    cold_x   warm_x   cold_hits  cold_miss  warm_hit%  entries  bytes\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{:<7} {:<6} {:<10.2} {:<10.2} {:<10.2} {:<8.2} {:<8.2} {:<10} {:<10} {:<10.1} {:<8} {}\n",
+            row.nodes,
+            row.trees,
+            ms(row.baseline_time),
+            ms(row.cold_time),
+            ms(row.warm_time),
+            row.cold_speedup,
+            row.warm_speedup,
+            row.cold_hits,
+            row.cold_misses,
+            row.warm_hit_rate * 100.0,
+            row.entries,
+            row.bytes,
+        ));
+    }
+    out
+}
+
+/// E15 convenience wrapper: measures and renders in one call.
+pub fn cache_reuse(sizes: &[usize], num_trees: usize, seed: u64) -> String {
+    cache_reuse_table(&cache_reuse_rows(sizes, num_trees, seed))
+}
+
 // ---------------------------------------------------------------------------
 // Machine-readable `BENCH_*.json` snapshots
 // ---------------------------------------------------------------------------
@@ -1546,6 +1688,31 @@ pub fn enumeration_scaling_snapshot(rows: &[EnumerationScalingRow], seed: u64) -
     bench_snapshot_json("E11-enumeration-scaling", seed, rows)
 }
 
+/// The `BENCH_cache.json` document for measured E15 rows.
+pub fn cache_reuse_snapshot(rows: &[CacheReuseRow], seed: u64) -> String {
+    use serde::Serialize;
+    let rows = rows
+        .iter()
+        .map(|r| {
+            let mut map = serde::Map::new();
+            map.insert("nodes".to_string(), r.nodes.to_value());
+            map.insert("trees".to_string(), r.trees.to_value());
+            map.insert("baseline_ms".to_string(), ms(r.baseline_time).to_value());
+            map.insert("cold_ms".to_string(), ms(r.cold_time).to_value());
+            map.insert("warm_ms".to_string(), ms(r.warm_time).to_value());
+            map.insert("cold_speedup".to_string(), r.cold_speedup.to_value());
+            map.insert("warm_speedup".to_string(), r.warm_speedup.to_value());
+            map.insert("cold_hits".to_string(), r.cold_hits.to_value());
+            map.insert("cold_misses".to_string(), r.cold_misses.to_value());
+            map.insert("warm_hit_rate".to_string(), r.warm_hit_rate.to_value());
+            map.insert("entries".to_string(), r.entries.to_value());
+            map.insert("bytes".to_string(), r.bytes.to_value());
+            serde::Value::Object(map)
+        })
+        .collect();
+    bench_snapshot_json("E15-cache-reuse", seed, rows)
+}
+
 /// The `BENCH_session_streaming.json` document for measured E13 rows.
 pub fn session_streaming_snapshot(rows: &[SessionStreamingRow], seed: u64) -> String {
     use serde::Serialize;
@@ -1600,6 +1767,30 @@ mod hot_path_tests {
         assert_eq!(parsed["rows"].as_array().unwrap().len(), 6);
         assert!(parsed["rows"][0]["ns_per_prop"].as_f64().unwrap() > 0.0);
         assert!(parsed["rows"][0]["baseline_ns_per_prop"].as_f64().is_some());
+    }
+
+    #[test]
+    fn cache_reuse_rows_prove_identity_and_measure_reuse() {
+        let rows = cache_reuse_rows(&[90], 6, 33);
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.trees, 6);
+        // The corpus cycles over three seeds, so even the cold run replays
+        // whole trees; the warm run answers everything from the cache.
+        assert!(row.cold_hits > 0, "cold run reuses repeated trees");
+        assert!(
+            row.warm_hit_rate > 0.99,
+            "warm run must be all hits (got {})",
+            row.warm_hit_rate
+        );
+        assert!(row.entries > 0 && row.bytes > 0);
+        let table = cache_reuse_table(&rows);
+        assert!(table.contains("E15"));
+        let json = cache_reuse_snapshot(&rows, 33);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["experiment"].as_str(), Some("E15-cache-reuse"));
+        assert_eq!(parsed["rows"].as_array().unwrap().len(), 1);
+        assert!(parsed["rows"][0]["warm_speedup"].as_f64().is_some());
     }
 
     #[test]

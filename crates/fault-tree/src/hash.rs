@@ -1,0 +1,517 @@
+//! Content-addressed canonical form and hashing for fault trees.
+//!
+//! Two fault trees that are *isomorphic* — equal up to renaming events and
+//! gates and up to reordering the inputs of the symmetric gates (AND, OR and
+//! VOT are all invariant under input permutation) — have the same minimal
+//! cut sets modulo the renaming. A canonical digest that respects exactly
+//! those symmetries therefore identifies an analysis *subproblem* rather
+//! than one particular spelling of it, which is what a content-addressed
+//! analysis cache needs: repeated isomorphic modules inside one tree, or
+//! across the trees of a batch, collapse onto a single cache line.
+//!
+//! [`canonical_form`] computes two Merkle-style digests plus a canonical
+//! event numbering:
+//!
+//! * the **structure** hash covers the gate DAG only — gate kinds, VOT
+//!   thresholds, the (sorted, hence order-insensitive) child lists, and the
+//!   *sharing pattern* of events and gates. Renaming every node and
+//!   shuffling every gate's inputs leaves it unchanged; changing a
+//!   probability leaves it unchanged too.
+//! * the **weighted** hash additionally folds in, per event, the exact
+//!   scaled-integer MaxSAT weight the canonical solution order keys on
+//!   ([`scaled_weight`]) *and* the raw bits of the probability — so any
+//!   probability change, however small, produces a new digest. This is the
+//!   cache key: equal weighted hashes mean equal cut-set families, equal
+//!   canonical solution order and bit-identical probabilities.
+//!
+//! Sharing awareness matters: `AND(OR(a, b), OR(a, c))` (the event `a` is
+//! shared) and `AND(OR(a, b), OR(d, c))` (four distinct events) have
+//! different cut-set families even though the two gate trees are shaped
+//! identically. A naive bottom-up Merkle hash cannot see the difference, so
+//! the digest here interleaves bottom-up hashing with top-down *context*
+//! refinement (a Weisfeiler–Leman style colour refinement on the DAG): each
+//! round, every node first absorbs a digest of its subtree, then a sorted
+//! multiset of digests of its parent contexts, so shared nodes — which have
+//! more than one parent context — separate from lookalike copies. All
+//! multisets are sorted before hashing, which is what makes the digest
+//! invariant under input reordering by construction.
+//!
+//! The refinement runs a small fixed number of rounds. Like every hashing
+//! scheme the digest is probabilistic: distinct trees collide with
+//! probability ~2⁻¹²⁸, plus the (astronomically unlikely for fault-tree
+//! shaped DAGs) class of refinement-equivalent non-isomorphic graphs. The
+//! zero-collision property over the generated corpus is enforced by test.
+
+use crate::{EventId, FaultTree, GateKind, NodeId, Probability};
+
+/// Number of up/down refinement rounds. Two rounds separate every sharing
+/// pattern our generators and examples produce; three adds margin for deep
+/// DAGs at negligible cost (each round is linear in the tree size).
+const ROUNDS: usize = 3;
+
+/// The two canonical digests of a fault tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TreeHash {
+    /// Digest of the gate DAG and its sharing pattern only — invariant
+    /// under event/gate renaming, symmetric-input reordering *and* any
+    /// probability change.
+    pub structure: u128,
+    /// The structure digest refined with the exact per-event weights
+    /// ([`scaled_weight`] plus the raw probability bits) — the
+    /// content-address of the analysis subproblem.
+    pub weighted: u128,
+}
+
+/// The canonical form of a fault tree: its digests plus the canonical event
+/// numbering that lets cached answers be stored independently of any one
+/// tree's identifier assignment.
+#[derive(Clone, Debug)]
+pub struct CanonicalForm {
+    /// The canonical digests.
+    pub hash: TreeHash,
+    /// Canonical index → event identifier, for every event reachable from
+    /// the top. Events are ranked by their final weighted refinement colour
+    /// (ties — genuinely interchangeable events — broken by identifier).
+    pub event_order: Vec<EventId>,
+    /// Event identifier index → canonical index (`u32::MAX` for events not
+    /// reachable from the top, which no cut set can mention).
+    pub event_rank: Vec<u32>,
+}
+
+impl CanonicalForm {
+    /// Maps an event of the hashed tree to its canonical index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event is not reachable from the top of the hashed tree
+    /// (such an event cannot appear in any cut set).
+    pub fn rank(&self, event: EventId) -> u32 {
+        let rank = self.event_rank[event.index()];
+        assert!(rank != u32::MAX, "event unreachable from the top");
+        rank
+    }
+
+    /// Maps a canonical index back to an event of the hashed tree.
+    pub fn event(&self, rank: u32) -> EventId {
+        self.event_order[rank as usize]
+    }
+}
+
+/// The exact integer weight of one event probability under the default
+/// MaxSAT weight scale (10⁹ units per unit of `−ln p`, probability-zero
+/// events pinned at `64·10⁹`) — the same scaled integers the canonical
+/// cross-backend solution order keys on. Kept in lock-step with
+/// `mpmcs::WeightScale::default()` by a cross-crate test in `ft-backend`.
+pub fn scaled_weight(probability: Probability) -> u64 {
+    let log_weight = probability.log_weight().value();
+    if log_weight <= 0.0 {
+        return 0;
+    }
+    let effective = if log_weight.is_finite() {
+        log_weight
+    } else {
+        64.0
+    };
+    let scaled = (effective * 1e9).round();
+    (scaled as u64).max(1)
+}
+
+/// A 128-bit digest as two independently mixed 64-bit lanes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Digest(u64, u64);
+
+impl Digest {
+    fn as_u128(self) -> u128 {
+        ((self.0 as u128) << 64) | self.1 as u128
+    }
+}
+
+/// One multiply-mix step (wyhash-style: XOR-fold of a 128-bit product).
+fn mix(a: u64, b: u64) -> u64 {
+    let x = (a ^ 0x9e37_79b9_7f4a_7c15).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    let y = (b ^ 0x94d0_49bb_1331_11eb).wrapping_mul(0xd6e8_feb8_6659_fd93);
+    let product = (x as u128).wrapping_mul((y | 1) as u128);
+    ((product >> 64) as u64) ^ (product as u64)
+}
+
+/// Folds one digest into an accumulator (order-sensitive; callers sort
+/// multisets first where order must not matter).
+fn fold(h: Digest, v: Digest) -> Digest {
+    Digest(
+        mix(h.0, v.0),
+        mix(h.1 ^ 0xa076_1d64_78bd_642f, v.1 ^ 0xe703_7ed1_a0b4_28db),
+    )
+}
+
+/// A tagged leaf digest from up to two payload words.
+fn leaf(tag: u64, a: u64, b: u64) -> Digest {
+    Digest(
+        mix(mix(tag, a), b),
+        mix(mix(tag ^ 0x8ebc_6af0_9c88_c6e3, b), a),
+    )
+}
+
+const TAG_EVENT: u64 = 0x01;
+const TAG_AND: u64 = 0x02;
+const TAG_OR: u64 = 0x03;
+const TAG_VOT: u64 = 0x04;
+const TAG_TOP: u64 = 0x05;
+const TAG_CTX: u64 = 0x06;
+const TAG_ROOT: u64 = 0x07;
+
+fn gate_tag(kind: GateKind) -> (u64, u64) {
+    match kind {
+        GateKind::And => (TAG_AND, 0),
+        GateKind::Or => (TAG_OR, 0),
+        GateKind::Vot { k } => (TAG_VOT, k as u64),
+    }
+}
+
+/// The reachable slice of the tree, in orders convenient for the two passes.
+struct Reachable {
+    /// Reachable nodes, children before parents (events first).
+    up_order: Vec<NodeId>,
+    /// Parent gates of every node (indexed like `slot`).
+    parents: Vec<Vec<usize>>,
+    /// Node → dense slot index (`usize::MAX` when unreachable).
+    event_slot: Vec<usize>,
+    gate_slot: Vec<usize>,
+}
+
+fn reachable(tree: &FaultTree) -> Reachable {
+    let mut event_slot = vec![usize::MAX; tree.num_events()];
+    let mut gate_slot = vec![usize::MAX; tree.num_gates()];
+    let mut up_order: Vec<NodeId> = Vec::new();
+    // Iterative post-order DFS from the top: children land before parents.
+    let mut stack: Vec<(NodeId, bool)> = vec![(tree.top(), false)];
+    while let Some((node, expanded)) = stack.pop() {
+        match node {
+            NodeId::Event(e) => {
+                if event_slot[e.index()] == usize::MAX {
+                    event_slot[e.index()] = up_order.len();
+                    up_order.push(node);
+                }
+            }
+            NodeId::Gate(g) => {
+                if expanded {
+                    gate_slot[g.index()] = up_order.len();
+                    up_order.push(node);
+                } else if gate_slot[g.index()] == usize::MAX {
+                    // Mark in-progress so shared gates expand once; the
+                    // final slot is assigned post-order above.
+                    gate_slot[g.index()] = usize::MAX - 1;
+                    stack.push((node, true));
+                    for &input in tree.gate(g).inputs() {
+                        let pending = match input {
+                            NodeId::Event(e) => event_slot[e.index()] == usize::MAX,
+                            NodeId::Gate(c) => gate_slot[c.index()] == usize::MAX,
+                        };
+                        if pending {
+                            stack.push((input, false));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let slot_of = |node: NodeId| match node {
+        NodeId::Event(e) => event_slot[e.index()],
+        NodeId::Gate(g) => gate_slot[g.index()],
+    };
+    let mut parents: Vec<Vec<usize>> = vec![Vec::new(); up_order.len()];
+    for &node in &up_order {
+        if let NodeId::Gate(g) = node {
+            let gate = slot_of(node);
+            for &input in tree.gate(g).inputs() {
+                parents[slot_of(input)].push(gate);
+            }
+        }
+    }
+    Reachable {
+        up_order,
+        parents,
+        event_slot,
+        gate_slot,
+    }
+}
+
+/// Runs the up/down refinement with the given initial event colours and
+/// returns the final digest of the top plus the final colour of every
+/// reachable node (indexed by slot).
+fn refine(tree: &FaultTree, reach: &Reachable, event_colors: &[Digest]) -> (Digest, Vec<Digest>) {
+    let slots = reach.up_order.len();
+    let slot_of = |node: NodeId| match node {
+        NodeId::Event(e) => reach.event_slot[e.index()],
+        NodeId::Gate(g) => reach.gate_slot[g.index()],
+    };
+    // colors: the evolving per-node refinement colour.
+    let mut colors: Vec<Digest> = vec![leaf(TAG_ROOT, 0, 0); slots];
+    for &node in &reach.up_order {
+        if let NodeId::Event(e) = node {
+            colors[slot_of(node)] = event_colors[e.index()];
+        }
+    }
+    let mut up: Vec<Digest> = vec![leaf(TAG_ROOT, 0, 0); slots];
+    for round in 0..ROUNDS {
+        // Up pass: Merkle digest over the current colours, children sorted
+        // (AND, OR and VOT are all symmetric in their inputs).
+        for &node in &reach.up_order {
+            let slot = slot_of(node);
+            up[slot] = match node {
+                NodeId::Event(_) => fold(leaf(TAG_EVENT, 0, 0), colors[slot]),
+                NodeId::Gate(g) => {
+                    let gate = tree.gate(g);
+                    let (tag, k) = gate_tag(gate.kind());
+                    let mut children: Vec<Digest> = gate
+                        .inputs()
+                        .iter()
+                        .map(|&input| up[slot_of(input)])
+                        .collect();
+                    children.sort_unstable();
+                    let mut h = fold(leaf(tag, k, gate.inputs().len() as u64), colors[slot]);
+                    for child in children {
+                        h = fold(h, child);
+                    }
+                    h
+                }
+            };
+        }
+        if round + 1 == ROUNDS {
+            break;
+        }
+        // Down pass: every node absorbs a sorted multiset of its parents'
+        // contexts, so shared nodes separate from lookalike copies.
+        let mut ctx: Vec<Digest> = vec![leaf(TAG_TOP, 0, 0); slots];
+        for &node in reach.up_order.iter().rev() {
+            let slot = slot_of(node);
+            if !reach.parents[slot].is_empty() {
+                let mut contributions: Vec<Digest> = reach.parents[slot]
+                    .iter()
+                    .map(|&parent| fold(ctx[parent], up[parent]))
+                    .collect();
+                contributions.sort_unstable();
+                let mut h = leaf(TAG_CTX, contributions.len() as u64, 0);
+                for contribution in contributions {
+                    h = fold(h, contribution);
+                }
+                ctx[slot] = h;
+            }
+        }
+        for slot in 0..slots {
+            colors[slot] = fold(fold(colors[slot], up[slot]), ctx[slot]);
+        }
+    }
+    let top = fold(
+        leaf(
+            TAG_ROOT,
+            reach
+                .up_order
+                .iter()
+                .filter(|n| matches!(n, NodeId::Event(_)))
+                .count() as u64,
+            0,
+        ),
+        up[slot_of(tree.top())],
+    );
+    (top, up)
+}
+
+/// Computes the canonical form of `tree`: both digests plus the canonical
+/// event numbering (see [`CanonicalForm`]).
+pub fn canonical_form(tree: &FaultTree) -> CanonicalForm {
+    let reach = reachable(tree);
+    // Structure: every event starts with the same colour.
+    let structure_init: Vec<Digest> = vec![leaf(TAG_EVENT, 0, 0); tree.num_events()];
+    let (structure_top, _) = refine(tree, &reach, &structure_init);
+    // Weighted: events start from their exact weights.
+    let weighted_init: Vec<Digest> = (0..tree.num_events())
+        .map(|index| {
+            let p = tree.event(EventId::from_index(index)).probability();
+            leaf(TAG_EVENT, scaled_weight(p), p.value().to_bits())
+        })
+        .collect();
+    let (weighted_top, weighted_colors) = refine(tree, &reach, &weighted_init);
+
+    // Canonical event numbering: rank reachable events by final weighted
+    // colour; genuinely interchangeable events tie and fall back to
+    // identifier order, which is harmless because any bijection between
+    // interchangeable events is an isomorphism.
+    let mut ranked: Vec<(Digest, EventId)> = (0..tree.num_events())
+        .filter(|&index| reach.event_slot[index] != usize::MAX)
+        .map(|index| {
+            (
+                weighted_colors[reach.event_slot[index]],
+                EventId::from_index(index),
+            )
+        })
+        .collect();
+    ranked.sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.index().cmp(&b.1.index())));
+    let event_order: Vec<EventId> = ranked.into_iter().map(|(_, e)| e).collect();
+    let mut event_rank = vec![u32::MAX; tree.num_events()];
+    for (rank, &event) in event_order.iter().enumerate() {
+        event_rank[event.index()] = rank as u32;
+    }
+    CanonicalForm {
+        hash: TreeHash {
+            structure: structure_top.as_u128(),
+            weighted: weighted_top.as_u128(),
+        },
+        event_order,
+        event_rank,
+    }
+}
+
+/// Computes just the two canonical digests of `tree`.
+pub fn tree_hash(tree: &FaultTree) -> TreeHash {
+    canonical_form(tree).hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{fire_protection_system, railway_level_crossing};
+    use crate::{BasicEvent, FaultTreeBuilder};
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let tree = fire_protection_system();
+        assert_eq!(tree_hash(&tree), tree_hash(&tree));
+        let form = canonical_form(&tree);
+        assert_eq!(form.event_order.len(), tree.num_events());
+        for rank in 0..form.event_order.len() as u32 {
+            assert_eq!(form.rank(form.event(rank)), rank);
+        }
+    }
+
+    #[test]
+    fn different_examples_do_not_collide() {
+        let a = tree_hash(&fire_protection_system());
+        let b = tree_hash(&railway_level_crossing());
+        assert_ne!(a.structure, b.structure);
+        assert_ne!(a.weighted, b.weighted);
+    }
+
+    #[test]
+    fn renaming_preserves_both_digests() {
+        let tree = fire_protection_system();
+        let renamed = {
+            let events: Vec<BasicEvent> = tree
+                .event_ids()
+                .map(|e| BasicEvent::new(format!("evt{}", e.index()), tree.event(e).probability()))
+                .collect();
+            let gates: Vec<crate::Gate> = tree
+                .gate_ids()
+                .map(|g| {
+                    let gate = tree.gate(g);
+                    crate::Gate::new(
+                        format!("g{}", g.index()),
+                        gate.kind(),
+                        gate.inputs().to_vec(),
+                    )
+                })
+                .collect();
+            FaultTree::from_parts(
+                format!("renamed:{}", tree.name()),
+                events,
+                gates,
+                tree.top(),
+            )
+            .expect("renamed tree is valid")
+        };
+        assert_eq!(tree_hash(&tree), tree_hash(&renamed));
+    }
+
+    #[test]
+    fn sharing_an_event_changes_the_structure_digest() {
+        // AND(OR(a, b), OR(a, c)) vs AND(OR(a, b), OR(d, c)): identical
+        // shapes, different sharing, different cut sets.
+        let p = Probability::new(0.1).unwrap();
+        let build = |shared: bool| {
+            let mut builder = FaultTreeBuilder::new("sharing");
+            let a = builder.basic_event_with("a", p).unwrap();
+            let b = builder.basic_event_with("b", p).unwrap();
+            let c = builder.basic_event_with("c", p).unwrap();
+            let left = builder
+                .gate(
+                    "left",
+                    GateKind::Or,
+                    vec![NodeId::Event(a), NodeId::Event(b)],
+                )
+                .unwrap();
+            let second = if shared {
+                a
+            } else {
+                builder.basic_event_with("d", p).unwrap()
+            };
+            let right = builder
+                .gate(
+                    "right",
+                    GateKind::Or,
+                    vec![NodeId::Event(second), NodeId::Event(c)],
+                )
+                .unwrap();
+            let top = builder
+                .gate(
+                    "top",
+                    GateKind::And,
+                    vec![NodeId::Gate(left), NodeId::Gate(right)],
+                )
+                .unwrap();
+            builder.build(NodeId::Gate(top)).expect("valid")
+        };
+        let shared = tree_hash(&build(true));
+        let copied = tree_hash(&build(false));
+        assert_ne!(shared.structure, copied.structure);
+        assert_ne!(shared.weighted, copied.weighted);
+    }
+
+    #[test]
+    fn probability_changes_touch_only_the_weighted_digest() {
+        let p = |v: f64| Probability::new(v).unwrap();
+        let build = |pa: f64| {
+            let mut builder = FaultTreeBuilder::new("weights");
+            let a = builder.basic_event_with("a", p(pa)).unwrap();
+            let b = builder.basic_event_with("b", p(0.2)).unwrap();
+            let top = builder
+                .gate(
+                    "top",
+                    GateKind::And,
+                    vec![NodeId::Event(a), NodeId::Event(b)],
+                )
+                .unwrap();
+            builder.build(NodeId::Gate(top)).expect("valid")
+        };
+        let base = tree_hash(&build(0.1));
+        let nudged = tree_hash(&build(0.1 + 1e-13));
+        assert_eq!(base.structure, nudged.structure);
+        assert_ne!(base.weighted, nudged.weighted, "sub-quantum nudges count");
+    }
+
+    #[test]
+    fn vot_threshold_is_part_of_the_structure() {
+        let p = Probability::new(0.1).unwrap();
+        let build = |k: usize| {
+            let mut builder = FaultTreeBuilder::new("vot");
+            let inputs: Vec<NodeId> = (0..3)
+                .map(|i| NodeId::Event(builder.basic_event_with(format!("e{i}"), p).unwrap()))
+                .collect();
+            let top = builder.gate("top", GateKind::Vot { k }, inputs).unwrap();
+            builder.build(NodeId::Gate(top)).expect("valid")
+        };
+        assert_ne!(
+            tree_hash(&build(2)).structure,
+            tree_hash(&build(3)).structure
+        );
+    }
+
+    #[test]
+    fn scaled_weight_edge_cases() {
+        assert_eq!(scaled_weight(Probability::new(1.0).unwrap()), 0);
+        assert_eq!(
+            scaled_weight(Probability::new(0.0).unwrap()),
+            64_000_000_000
+        );
+        let half = scaled_weight(Probability::new(0.5).unwrap());
+        assert_eq!(half, (0.5f64.ln().abs() * 1e9).round() as u64);
+    }
+}

@@ -54,6 +54,7 @@ pub mod examples;
 pub mod export;
 mod formula;
 mod gate;
+pub mod hash;
 pub mod parser;
 mod probability;
 pub mod transform;
@@ -65,5 +66,6 @@ pub use error::FaultTreeError;
 pub use event::{BasicEvent, EventId};
 pub use formula::StructureFormula;
 pub use gate::{Gate, GateId, GateKind};
+pub use hash::{canonical_form, tree_hash, CanonicalForm, TreeHash};
 pub use probability::{LogWeight, Probability};
 pub use tree::{FaultTree, FaultTreeBuilder, NodeId};

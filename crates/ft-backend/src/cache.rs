@@ -1,0 +1,776 @@
+//! The content-addressed analysis cache.
+//!
+//! Rauzy-style BDD engines owe much of their speed to caching results on
+//! canonical subproblems. The engine-agnostic equivalent built here keys
+//! complete query answers on the *canonical weighted hash* of the queried
+//! tree ([`fault_tree::canonical_form`]) — so two isomorphic trees (or
+//! modules, or the same tree queried twice) share one cache line — plus the
+//! query kind and the full backend configuration, so engines with different
+//! output conventions never alias.
+//!
+//! Three invariants keep cached answers byte-identical to fresh solves:
+//!
+//! * **Only complete answers are cached.** Budget-truncated enumerations
+//!   ([`Enumerated::stopped`](crate::Enumerated)), cancelled queries and
+//!   budget errors are never inserted, so a warm query after a truncated one
+//!   still computes (and then caches) the complete answer.
+//! * **Cut sets are stored in canonical index space** (the event numbering
+//!   of [`CanonicalForm`]), remapped onto the hitting tree's identifiers and
+//!   re-sorted into the canonical cross-backend order on every hit.
+//!   Probabilities are *recomputed* from the hitting tree's exact event
+//!   probabilities via [`BackendSolution::from_cut`], not replayed — equal
+//!   weighted hashes guarantee bit-identical inputs to that computation.
+//! * **Per-solution solver statistics and timings are dropped** on the
+//!   store; deterministic report comparison already redacts both (a hit
+//!   pattern depends on scheduling, so they could never be stable anyway).
+//!
+//! One documented corner: partial entries ([`QueryKind::Mpmcs`],
+//! [`QueryKind::TopK`]) cut the canonical order at a boundary that may fall
+//! *inside* a group of equal-cost solutions, and the within-group order
+//! follows the querying tree's own event numbering — which a *differently
+//! numbered* isomorphic tree cannot reproduce. Replaying such an entry on a
+//! permuted twin may therefore pick a different (equally optimal, equally
+//! valid) tie representative than that twin's own enumeration would.
+//! Same-tree replays — the overwhelmingly common case — are always
+//! byte-identical, as are full families and probabilities on any twin.
+//!
+//! The table is sharded (independent mutexes, selected by key hash) and
+//! memory-bounded: each shard evicts its least-recently-used entries once
+//! its slice of the byte budget is exceeded. Hit/miss/insert/eviction and
+//! byte counters are global atomics, cheap enough to expose everywhere.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use fault_tree::{canonical_form, CanonicalForm, CutSet, FaultTree};
+
+use crate::solution::{canonical_sort, BackendSolution};
+use crate::{BackendConfig, BackendError, BackendKind};
+
+/// Number of independent shards (power of two; selected by key hash).
+const SHARDS: usize = 16;
+
+/// Default byte budget: 64 MiB, comfortably thousands of module families.
+pub const DEFAULT_CACHE_BYTES: usize = 64 << 20;
+
+/// The query a cached answer belongs to. Part of the cache key: answers to
+/// different queries never alias, and `top_k` answers are per-`k` (a longer
+/// prefix is a different, larger computation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// [`AnalysisBackend::mpmcs`](crate::AnalysisBackend::mpmcs).
+    Mpmcs,
+    /// [`AnalysisBackend::top_k`](crate::AnalysisBackend::top_k) with this `k`.
+    TopK(usize),
+    /// [`AnalysisBackend::all_mcs`](crate::AnalysisBackend::all_mcs).
+    AllMcs,
+    /// [`AnalysisBackend::top_event_probability`](crate::AnalysisBackend::top_event_probability).
+    TopProbability,
+}
+
+/// One full cache key.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct CacheKey {
+    /// The canonical weighted hash of the queried tree.
+    weighted: u128,
+    /// The query the answer belongs to.
+    query: QueryKind,
+    /// Fingerprint of the resolved backend kind and its full configuration
+    /// ([`config_fingerprint`]).
+    config: u64,
+}
+
+/// A cached complete answer, in canonical index space.
+#[derive(Clone, Debug)]
+enum CachedAnswer {
+    /// A complete solution family (enumeration queries). Each cut set is a
+    /// sorted list of canonical event indices, paired with the algorithm
+    /// label of the engine that produced it.
+    Family(Vec<(Vec<u32>, String)>),
+    /// The single MPMCS answer.
+    Best(Vec<u32>, String),
+    /// An exact top-event probability (stored as raw bits).
+    Probability(u64),
+    /// The tree has no cut set at all — a deterministic structural fact
+    /// worth caching (the engines prove it the expensive way).
+    NoCutSet,
+}
+
+impl CachedAnswer {
+    /// Approximate heap footprint, for the byte budget.
+    fn bytes(&self) -> usize {
+        let base = std::mem::size_of::<CacheKey>() + std::mem::size_of::<CachedAnswer>() + 48;
+        match self {
+            CachedAnswer::Family(cuts) => {
+                base + cuts
+                    .iter()
+                    .map(|(cut, algorithm)| 48 + cut.len() * 4 + algorithm.len())
+                    .sum::<usize>()
+            }
+            CachedAnswer::Best(cut, algorithm) => base + cut.len() * 4 + algorithm.len(),
+            CachedAnswer::Probability(_) | CachedAnswer::NoCutSet => base,
+        }
+    }
+}
+
+struct Entry {
+    answer: CachedAnswer,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<CacheKey, Entry>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// A point-in-time snapshot of the cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the table.
+    pub hits: u64,
+    /// Lookups that fell through to a fresh solve.
+    pub misses: u64,
+    /// Complete answers inserted.
+    pub insertions: u64,
+    /// Entries evicted under the byte budget.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Approximate resident bytes.
+    pub bytes: u64,
+    /// The configured byte budget.
+    pub capacity: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The sharded, memory-bounded, content-addressed analysis cache.
+///
+/// One instance is meant to be shared — wrapped in an [`Arc`] — across every
+/// analyzer of an [`AnalysisService`](../ft_session) and every worker of a
+/// batch run: the more consumers, the more cross-tree reuse.
+pub struct AnalysisCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_budget: usize,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for AnalysisCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl AnalysisCache {
+    /// Creates a cache bounded by `byte_budget` approximate resident bytes.
+    pub fn new(byte_budget: usize) -> Self {
+        let shard_budget = (byte_budget / SHARDS).max(1);
+        AnalysisCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget,
+            capacity: byte_budget,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a cache with the default byte budget, ready for sharing.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(AnalysisCache::new(DEFAULT_CACHE_BYTES))
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        let mut entries = 0u64;
+        let mut bytes = 0u64;
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            entries += shard.entries.len() as u64;
+            bytes += shard.bytes as u64;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes,
+            capacity: self.capacity as u64,
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
+    }
+
+    fn lookup(&self, key: &CacheKey) -> Option<CachedAnswer> {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let answer = entry.answer.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(answer)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: CacheKey, answer: CachedAnswer) {
+        let bytes = answer.bytes();
+        if bytes > self.shard_budget {
+            // An answer larger than a whole shard would immediately evict
+            // everything; skip it.
+            return;
+        }
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        if let Some(previous) = shard.entries.remove(&key) {
+            shard.bytes -= previous.bytes;
+        }
+        shard.bytes += bytes;
+        shard.entries.insert(
+            key,
+            Entry {
+                answer,
+                bytes,
+                last_used: tick,
+            },
+        );
+        let mut evicted = 0u64;
+        while shard.bytes > self.shard_budget {
+            let victim = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(key, _)| key.clone())
+                .expect("non-empty over-budget shard");
+            let entry = shard.entries.remove(&victim).expect("victim present");
+            shard.bytes -= entry.bytes;
+            evicted += 1;
+        }
+        drop(shard);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Fingerprint of the resolved backend kind plus every [`BackendConfig`]
+/// field — cache entries never cross a configuration boundary (different
+/// engines, orderings or budgets may differ in algorithm labels or
+/// feasibility even where they agree on the answer).
+pub fn config_fingerprint(kind: BackendKind, config: &BackendConfig) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    kind.name().hash(&mut hasher);
+    format!("{:?}", config.algorithm).hash(&mut hasher);
+    format!("{:?}", config.branching).hash(&mut hasher);
+    format!("{:?}", config.bdd_ordering).hash(&mut hasher);
+    config.mocus_budget.hash(&mut hasher);
+    config.bdd_path_budget.hash(&mut hasher);
+    config.probability_budget.hash(&mut hasher);
+    config.preprocess.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// The result of a cache lookup: a miss, a cached complete answer, or a
+/// cached proof that the tree has no cut set.
+#[derive(Clone, Debug)]
+pub enum Cached<T> {
+    /// Nothing cached under this key.
+    Miss,
+    /// The cached complete answer, rebuilt against the queried tree.
+    Hit(T),
+    /// The cached proof that the top event cannot occur.
+    NoCutSet,
+}
+
+/// A shared cache plus the configuration fingerprint its consumer queries
+/// under — everything needed to consult the table for one tree.
+///
+/// Beyond the internal backend wrappers, the session facade's warm
+/// incremental MaxSAT path uses the explicit lookup/store pairs: it extends
+/// a proven prefix query by query and can only deposit the family once the
+/// enumeration is exhausted, which does not fit a closure-shaped API.
+#[derive(Clone, Debug)]
+pub struct CacheHandle {
+    pub(crate) cache: Arc<AnalysisCache>,
+    pub(crate) fingerprint: u64,
+}
+
+impl CacheHandle {
+    /// Binds `cache` to the configuration fingerprint its consumer queries
+    /// under (see [`config_fingerprint`]).
+    pub fn new(cache: Arc<AnalysisCache>, fingerprint: u64) -> Self {
+        CacheHandle { cache, fingerprint }
+    }
+
+    /// The shared cache this handle consults.
+    pub fn cache(&self) -> &Arc<AnalysisCache> {
+        &self.cache
+    }
+
+    fn key(&self, form: &CanonicalForm, query: QueryKind) -> CacheKey {
+        CacheKey {
+            weighted: form.hash.weighted,
+            query,
+            config: self.fingerprint,
+        }
+    }
+
+    /// Looks up a complete solution family for `query`.
+    pub fn lookup_solutions(
+        &self,
+        tree: &FaultTree,
+        query: QueryKind,
+    ) -> Cached<Vec<BackendSolution>> {
+        let form = canonical_form(tree);
+        match self.cache.lookup(&self.key(&form, query)) {
+            Some(CachedAnswer::Family(cuts)) => Cached::Hit(decode_family(tree, &form, &cuts)),
+            Some(CachedAnswer::NoCutSet) => Cached::NoCutSet,
+            _ => Cached::Miss,
+        }
+    }
+
+    /// Stores a **complete** solution family for `query`. The caller is
+    /// responsible for the completeness invariant — never pass a
+    /// budget-truncated prefix.
+    pub fn store_solutions(
+        &self,
+        tree: &FaultTree,
+        query: QueryKind,
+        solutions: &[BackendSolution],
+    ) {
+        let form = canonical_form(tree);
+        let key = self.key(&form, query);
+        self.cache.insert(key, encode_family(&form, solutions));
+    }
+
+    /// Looks up the MPMCS answer.
+    pub fn lookup_best(&self, tree: &FaultTree) -> Cached<BackendSolution> {
+        let form = canonical_form(tree);
+        match self.cache.lookup(&self.key(&form, QueryKind::Mpmcs)) {
+            Some(CachedAnswer::Best(cut, algorithm)) => {
+                Cached::Hit(decode_solution(tree, &form, &cut, &algorithm))
+            }
+            Some(CachedAnswer::NoCutSet) => Cached::NoCutSet,
+            _ => Cached::Miss,
+        }
+    }
+
+    /// Stores a proven MPMCS answer.
+    pub fn store_best(&self, tree: &FaultTree, solution: &BackendSolution) {
+        let form = canonical_form(tree);
+        let key = self.key(&form, QueryKind::Mpmcs);
+        self.cache.insert(
+            key,
+            CachedAnswer::Best(
+                encode_cut(&form, &solution.cut_set),
+                solution.algorithm.clone(),
+            ),
+        );
+    }
+
+    /// Looks up an exact top-event probability.
+    pub fn lookup_probability(&self, tree: &FaultTree) -> Cached<f64> {
+        let form = canonical_form(tree);
+        match self
+            .cache
+            .lookup(&self.key(&form, QueryKind::TopProbability))
+        {
+            Some(CachedAnswer::Probability(bits)) => Cached::Hit(f64::from_bits(bits)),
+            Some(CachedAnswer::NoCutSet) => Cached::NoCutSet,
+            _ => Cached::Miss,
+        }
+    }
+
+    /// Stores an exact top-event probability.
+    pub fn store_probability(&self, tree: &FaultTree, probability: f64) {
+        let form = canonical_form(tree);
+        let key = self.key(&form, QueryKind::TopProbability);
+        self.cache
+            .insert(key, CachedAnswer::Probability(probability.to_bits()));
+    }
+
+    /// Stores the proof that the tree has no cut set, under `query`.
+    pub fn store_no_cut_set(&self, tree: &FaultTree, query: QueryKind) {
+        let form = canonical_form(tree);
+        let key = self.key(&form, query);
+        self.cache.insert(key, CachedAnswer::NoCutSet);
+    }
+
+    /// Consults the cache for an enumeration query; on a miss runs `solve`
+    /// and stores the result when (and only when) it is a complete family
+    /// or a [`BackendError::NoCutSet`] proof.
+    pub(crate) fn solutions(
+        &self,
+        tree: &FaultTree,
+        query: QueryKind,
+        solve: impl FnOnce() -> Result<Vec<BackendSolution>, BackendError>,
+    ) -> Result<Vec<BackendSolution>, BackendError> {
+        let form = canonical_form(tree);
+        let key = self.key(&form, query);
+        match self.cache.lookup(&key) {
+            Some(CachedAnswer::Family(cuts)) => Ok(decode_family(tree, &form, &cuts)),
+            Some(CachedAnswer::NoCutSet) => Err(BackendError::NoCutSet),
+            _ => match solve() {
+                Ok(solutions) => {
+                    self.cache.insert(key, encode_family(&form, &solutions));
+                    Ok(solutions)
+                }
+                Err(BackendError::NoCutSet) => {
+                    self.cache.insert(key, CachedAnswer::NoCutSet);
+                    Err(BackendError::NoCutSet)
+                }
+                Err(other) => Err(other),
+            },
+        }
+    }
+
+    /// Consults the cache for the MPMCS query; mirrors
+    /// [`CacheHandle::solutions`].
+    pub(crate) fn best(
+        &self,
+        tree: &FaultTree,
+        solve: impl FnOnce() -> Result<BackendSolution, BackendError>,
+    ) -> Result<BackendSolution, BackendError> {
+        let form = canonical_form(tree);
+        let key = self.key(&form, QueryKind::Mpmcs);
+        match self.cache.lookup(&key) {
+            Some(CachedAnswer::Best(cut, algorithm)) => {
+                Ok(decode_solution(tree, &form, &cut, &algorithm))
+            }
+            Some(CachedAnswer::NoCutSet) => Err(BackendError::NoCutSet),
+            _ => match solve() {
+                Ok(solution) => {
+                    self.cache.insert(
+                        key,
+                        CachedAnswer::Best(
+                            encode_cut(&form, &solution.cut_set),
+                            solution.algorithm.clone(),
+                        ),
+                    );
+                    Ok(solution)
+                }
+                Err(BackendError::NoCutSet) => {
+                    self.cache.insert(key, CachedAnswer::NoCutSet);
+                    Err(BackendError::NoCutSet)
+                }
+                Err(other) => Err(other),
+            },
+        }
+    }
+
+    /// Consults the cache for the exact top-event probability.
+    pub(crate) fn probability(
+        &self,
+        tree: &FaultTree,
+        solve: impl FnOnce() -> Result<f64, BackendError>,
+    ) -> Result<f64, BackendError> {
+        let form = canonical_form(tree);
+        let key = self.key(&form, QueryKind::TopProbability);
+        match self.cache.lookup(&key) {
+            Some(CachedAnswer::Probability(bits)) => Ok(f64::from_bits(bits)),
+            Some(CachedAnswer::NoCutSet) => Err(BackendError::NoCutSet),
+            _ => match solve() {
+                Ok(probability) => {
+                    self.cache
+                        .insert(key, CachedAnswer::Probability(probability.to_bits()));
+                    Ok(probability)
+                }
+                Err(BackendError::NoCutSet) => {
+                    self.cache.insert(key, CachedAnswer::NoCutSet);
+                    Err(BackendError::NoCutSet)
+                }
+                Err(other) => Err(other),
+            },
+        }
+    }
+}
+
+fn encode_cut(form: &CanonicalForm, cut: &CutSet) -> Vec<u32> {
+    let mut ranks: Vec<u32> = cut.iter().map(|event| form.rank(event)).collect();
+    ranks.sort_unstable();
+    ranks
+}
+
+fn encode_family(form: &CanonicalForm, solutions: &[BackendSolution]) -> CachedAnswer {
+    CachedAnswer::Family(
+        solutions
+            .iter()
+            .map(|solution| {
+                (
+                    encode_cut(form, &solution.cut_set),
+                    solution.algorithm.clone(),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn decode_solution(
+    tree: &FaultTree,
+    form: &CanonicalForm,
+    ranks: &[u32],
+    algorithm: &str,
+) -> BackendSolution {
+    let cut: CutSet = ranks.iter().map(|&rank| form.event(rank)).collect();
+    BackendSolution::from_cut(tree, cut, algorithm)
+}
+
+fn decode_family(
+    tree: &FaultTree,
+    form: &CanonicalForm,
+    cuts: &[(Vec<u32>, String)],
+) -> Vec<BackendSolution> {
+    let mut solutions: Vec<BackendSolution> = cuts
+        .iter()
+        .map(|(ranks, algorithm)| decode_solution(tree, form, ranks, algorithm))
+        .collect();
+    canonical_sort(tree, &mut solutions);
+    solutions
+}
+
+/// A caching wrapper around any backend: every whole-tree query consults the
+/// shared [`AnalysisCache`] first, so repeated (or isomorphic) trees across
+/// a session or batch are answered without touching the engine. Complete
+/// answers only — see the module docs for the invariants.
+pub struct CachedBackend {
+    inner: Box<dyn AnalysisBackend>,
+    handle: CacheHandle,
+}
+
+use crate::{AnalysisBackend, Enumerated, QueryControl};
+
+impl CachedBackend {
+    /// Wraps `inner`, consulting `cache` under the given configuration
+    /// fingerprint (see [`config_fingerprint`]).
+    pub fn new(
+        inner: Box<dyn AnalysisBackend>,
+        cache: Arc<AnalysisCache>,
+        fingerprint: u64,
+    ) -> Self {
+        CachedBackend {
+            inner,
+            handle: CacheHandle { cache, fingerprint },
+        }
+    }
+}
+
+impl AnalysisBackend for CachedBackend {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn mpmcs(&self, tree: &FaultTree) -> Result<BackendSolution, BackendError> {
+        self.handle.best(tree, || self.inner.mpmcs(tree))
+    }
+
+    fn top_k(&self, tree: &FaultTree, k: usize) -> Result<Vec<BackendSolution>, BackendError> {
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        self.handle
+            .solutions(tree, QueryKind::TopK(k), || self.inner.top_k(tree, k))
+    }
+
+    fn all_mcs(&self, tree: &FaultTree) -> Result<Vec<BackendSolution>, BackendError> {
+        self.handle
+            .solutions(tree, QueryKind::AllMcs, || self.inner.all_mcs(tree))
+    }
+
+    fn top_event_probability(&self, tree: &FaultTree) -> Result<f64, BackendError> {
+        self.handle
+            .probability(tree, || self.inner.top_event_probability(tree))
+    }
+
+    fn all_mcs_under(
+        &self,
+        tree: &FaultTree,
+        control: &QueryControl,
+    ) -> Result<Enumerated, BackendError> {
+        let form = canonical_form(tree);
+        let key = self.handle.key(&form, QueryKind::AllMcs);
+        match self.handle.cache.lookup(&key) {
+            // A cached complete family answers even an expiring control —
+            // returning it is free.
+            Some(CachedAnswer::Family(cuts)) => Ok(Enumerated {
+                solutions: decode_family(tree, &form, &cuts),
+                stopped: None,
+            }),
+            Some(CachedAnswer::NoCutSet) => Err(BackendError::NoCutSet),
+            _ => match self.inner.all_mcs_under(tree, control) {
+                Ok(enumerated) => {
+                    // Truncated prefixes must never poison the table.
+                    if enumerated.is_complete() {
+                        self.handle
+                            .cache
+                            .insert(key, encode_family(&form, &enumerated.solutions));
+                    }
+                    Ok(enumerated)
+                }
+                Err(BackendError::NoCutSet) => {
+                    self.handle.cache.insert(key, CachedAnswer::NoCutSet);
+                    Err(BackendError::NoCutSet)
+                }
+                Err(other) => Err(other),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{backend_for_cached, BackendConfig, BackendKind};
+    use fault_tree::examples::fire_protection_system;
+
+    fn cached(
+        kind: BackendKind,
+        tree: &FaultTree,
+        cache: &Arc<AnalysisCache>,
+    ) -> Box<dyn AnalysisBackend> {
+        backend_for_cached(kind, tree, &BackendConfig::default(), Some(cache.clone())).1
+    }
+
+    #[test]
+    fn hits_reproduce_fresh_answers_bit_for_bit() {
+        let tree = fire_protection_system();
+        let cache = AnalysisCache::shared();
+        for kind in [BackendKind::MaxSat, BackendKind::Bdd, BackendKind::Mocus] {
+            let backend = cached(kind, &tree, &cache);
+            let cold = backend.all_mcs(&tree).expect("solvable");
+            let warm = backend.all_mcs(&tree).expect("solvable");
+            assert_eq!(cold.len(), warm.len());
+            for (a, b) in cold.iter().zip(&warm) {
+                assert_eq!(a.cut_set, b.cut_set, "{kind}");
+                assert_eq!(a.probability.to_bits(), b.probability.to_bits(), "{kind}");
+                assert_eq!(a.algorithm, b.algorithm, "{kind}");
+            }
+            let best_cold = backend.mpmcs(&tree).expect("solvable");
+            let best_warm = backend.mpmcs(&tree).expect("solvable");
+            assert_eq!(best_cold.cut_set, best_warm.cut_set);
+            let p_cold = backend.top_event_probability(&tree).expect("in budget");
+            let p_warm = backend.top_event_probability(&tree).expect("in budget");
+            assert_eq!(p_cold.to_bits(), p_warm.to_bits());
+        }
+        let stats = cache.stats();
+        assert!(stats.hits >= 9, "one warm hit per query per backend");
+        assert!(stats.insertions >= 9);
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn different_backends_never_alias() {
+        let tree = fire_protection_system();
+        let config = BackendConfig::default();
+        assert_ne!(
+            config_fingerprint(BackendKind::MaxSat, &config),
+            config_fingerprint(BackendKind::Bdd, &config)
+        );
+        assert_ne!(
+            config_fingerprint(BackendKind::MaxSat, &config),
+            config_fingerprint(
+                BackendKind::MaxSat,
+                &BackendConfig {
+                    preprocess: true,
+                    ..config
+                }
+            )
+        );
+        let cache = AnalysisCache::shared();
+        let maxsat = cached(BackendKind::MaxSat, &tree, &cache);
+        let bdd = cached(BackendKind::Bdd, &tree, &cache);
+        maxsat.all_mcs(&tree).expect("solvable");
+        bdd.all_mcs(&tree).expect("solvable");
+        // Second backend missed despite the identical tree: distinct keys.
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().insertions, 2);
+    }
+
+    #[test]
+    fn the_byte_budget_evicts_least_recently_used_entries() {
+        let tree = fire_protection_system();
+        // A budget so small every shard holds at most one tiny family.
+        let cache = Arc::new(AnalysisCache::new(SHARDS * 400));
+        let backend = cached(BackendKind::Bdd, &tree, &cache);
+        for k in 1..=24 {
+            backend.top_k(&tree, k).expect("solvable");
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions > 0, "tiny budget must evict: {stats:?}");
+        assert!(stats.bytes <= stats.capacity);
+    }
+
+    #[test]
+    fn truncated_enumerations_are_never_cached() {
+        let tree = fire_protection_system();
+        let cache = AnalysisCache::shared();
+        let backend = cached(BackendKind::MaxSat, &tree, &cache);
+        let cancelled = crate::CancelToken::new();
+        cancelled.cancel();
+        let control = QueryControl::begin(&crate::Budget::unlimited(), &cancelled);
+        let truncated = backend
+            .all_mcs_under(&tree, &control)
+            .expect("stopped, not failed");
+        assert!(truncated.stopped.is_some());
+        assert_eq!(cache.stats().insertions, 0, "no poison");
+        // The warm query still computes — and then caches — the full family.
+        let relaxed = QueryControl::begin(&crate::Budget::unlimited(), &crate::CancelToken::new());
+        let complete = backend.all_mcs_under(&tree, &relaxed).expect("solvable");
+        assert!(complete.is_complete());
+        assert_eq!(complete.solutions.len(), 5);
+        assert_eq!(cache.stats().insertions, 1);
+    }
+
+    #[test]
+    fn scaled_weight_matches_the_maxsat_weight_scale() {
+        // `fault_tree::hash::scaled_weight` must stay in lock-step with the
+        // MaxSAT default weight scale the canonical solution order keys on.
+        let scale = mpmcs::WeightScale::default();
+        for p in [0.0, 1e-12, 0.001, 0.1, 0.25, 0.5, 0.999, 1.0] {
+            let probability = fault_tree::Probability::new(p).unwrap();
+            assert_eq!(
+                fault_tree::hash::scaled_weight(probability),
+                scale.scale(probability.log_weight().value()),
+                "p = {p}"
+            );
+        }
+    }
+}

@@ -51,6 +51,7 @@
 
 mod auto;
 mod bdd;
+mod cache;
 mod control;
 mod maxsat;
 mod mocus;
@@ -58,6 +59,7 @@ mod preprocess;
 mod solution;
 
 use std::fmt;
+use std::sync::Arc;
 
 use bdd_engine::VariableOrdering;
 use fault_tree::FaultTree;
@@ -65,6 +67,10 @@ use mpmcs::{AlgorithmChoice, BranchingChoice, MpmcsOptions};
 
 pub use auto::{choose_backend, StructuralFeatures};
 pub use bdd::BddBackend;
+pub use cache::{
+    config_fingerprint, AnalysisCache, CacheHandle, CacheStats, Cached, CachedBackend, QueryKind,
+    DEFAULT_CACHE_BYTES,
+};
 pub use control::{Budget, CancelToken, QueryControl, StopCause};
 pub use maxsat::MaxSatBackend;
 pub use mocus::{exact_union_probability, MocusBackend};
@@ -322,6 +328,21 @@ pub fn backend_for(
     tree: &FaultTree,
     config: &BackendConfig,
 ) -> (BackendKind, Box<dyn AnalysisBackend>) {
+    backend_for_cached(kind, tree, config, None)
+}
+
+/// [`backend_for`], optionally sharing a content-addressed
+/// [`AnalysisCache`]: whole-tree queries go through a [`CachedBackend`]
+/// wrapper, and (when preprocessing is on) the [`PreprocessedBackend`] pass
+/// manager additionally consults the same cache for every module solve, so
+/// repeated isomorphic modules — within one tree or across the trees of a
+/// batch — are solved once.
+pub fn backend_for_cached(
+    kind: BackendKind,
+    tree: &FaultTree,
+    config: &BackendConfig,
+    cache: Option<Arc<AnalysisCache>>,
+) -> (BackendKind, Box<dyn AnalysisBackend>) {
     let resolved = resolve_backend(kind, tree);
     let raw: Box<dyn AnalysisBackend> = match resolved {
         BackendKind::MaxSat => Box::new(MaxSatBackend::with_options(
@@ -339,10 +360,23 @@ pub fn backend_for(
         )),
         BackendKind::Auto => unreachable!("resolve_backend never returns Auto"),
     };
-    let backend = if config.preprocess {
-        Box::new(PreprocessedBackend::new(raw))
+    let fingerprint = cache.as_ref().map(|_| config_fingerprint(resolved, config));
+    let backend: Box<dyn AnalysisBackend> = if config.preprocess {
+        let pass_manager = match (&cache, fingerprint) {
+            (Some(cache), Some(fingerprint)) => {
+                PreprocessedBackend::with_cache(raw, cache.clone(), fingerprint)
+            }
+            _ => PreprocessedBackend::new(raw),
+        };
+        Box::new(pass_manager)
     } else {
         raw
+    };
+    let backend = match (cache, fingerprint) {
+        (Some(cache), Some(fingerprint)) => {
+            Box::new(CachedBackend::new(backend, cache, fingerprint))
+        }
+        _ => backend,
     };
     (resolved, backend)
 }

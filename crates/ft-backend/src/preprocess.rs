@@ -22,6 +22,7 @@
 //! identifiers, so cut sets remain directly comparable.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 use fault_tree::transform::simplify;
@@ -29,6 +30,7 @@ use fault_tree::{BasicEvent, CutSet, EventId, FaultTree, Gate, GateId, NodeId, P
 use ft_analysis::modules::{gate_event_support, modules};
 use maxsat_solver::MaxSatStats;
 
+use crate::cache::{AnalysisCache, CacheHandle, QueryKind};
 use crate::solution::{canonical_sort, charge_first, BackendSolution};
 use crate::{AnalysisBackend, BackendError};
 
@@ -351,12 +353,70 @@ fn module_piece(tree: &FaultTree, root: GateId) -> ModulePiece {
 /// query reports the merged statistics of every piece instead).
 pub struct PreprocessedBackend {
     inner: Box<dyn AnalysisBackend>,
+    /// When set, every module solve consults the shared content-addressed
+    /// cache first — this is where repeated isomorphic modules pay off
+    /// within a single tree (and across trees sharing the cache).
+    cache: Option<CacheHandle>,
 }
 
 impl PreprocessedBackend {
     /// Wraps an engine in the pass manager.
     pub fn new(inner: Box<dyn AnalysisBackend>) -> Self {
-        PreprocessedBackend { inner }
+        PreprocessedBackend { inner, cache: None }
+    }
+
+    /// Wraps an engine in the pass manager with module-level memoization
+    /// through the shared `cache`, keyed under `fingerprint` (see
+    /// [`config_fingerprint`](crate::config_fingerprint)).
+    pub fn with_cache(
+        inner: Box<dyn AnalysisBackend>,
+        cache: Arc<AnalysisCache>,
+        fingerprint: u64,
+    ) -> Self {
+        PreprocessedBackend {
+            inner,
+            cache: Some(CacheHandle { cache, fingerprint }),
+        }
+    }
+
+    /// A module enumeration, through the cache when one is attached.
+    fn module_solutions(
+        &self,
+        piece: &ModulePiece,
+        limit: Option<usize>,
+    ) -> Result<Vec<BackendSolution>, BackendError> {
+        let solve = || match limit {
+            Some(k) => self.top_k(&piece.tree, k),
+            None => self.all_mcs(&piece.tree),
+        };
+        match &self.cache {
+            Some(handle) => {
+                let query = match limit {
+                    Some(k) => QueryKind::TopK(k),
+                    None => QueryKind::AllMcs,
+                };
+                handle.solutions(&piece.tree, query, solve)
+            }
+            None => solve(),
+        }
+    }
+
+    /// A module MPMCS, through the cache when one is attached.
+    fn module_best(&self, piece: &ModulePiece) -> Result<BackendSolution, BackendError> {
+        match &self.cache {
+            Some(handle) => handle.best(&piece.tree, || self.mpmcs(&piece.tree)),
+            None => self.mpmcs(&piece.tree),
+        }
+    }
+
+    /// A module top-event probability, through the cache when one is attached.
+    fn module_probability(&self, piece: &ModulePiece) -> Result<f64, BackendError> {
+        match &self.cache {
+            Some(handle) => {
+                handle.probability(&piece.tree, || self.top_event_probability(&piece.tree))
+            }
+            None => self.top_event_probability(&piece.tree),
+        }
     }
 
     /// Merges the optional MaxSAT statistics of composed pieces (classical
@@ -378,10 +438,7 @@ impl PreprocessedBackend {
         let mut module_choices: Vec<Vec<CutSet>> = Vec::new();
         let mut module_best: Vec<f64> = Vec::new();
         for piece in &decomposition.modules {
-            let solutions = match limit {
-                Some(k) => self.top_k(&piece.tree, k)?,
-                None => self.all_mcs(&piece.tree)?,
-            };
+            let solutions = self.module_solutions(piece, limit)?;
             module_best.push(solutions[0].probability);
             module_choices.push(
                 solutions
@@ -438,7 +495,7 @@ impl AnalysisBackend for PreprocessedBackend {
         // maximises over the whole tree.
         let mut module_best: Vec<BackendSolution> = Vec::new();
         for piece in &decomposition.modules {
-            let mut best = self.mpmcs(&piece.tree)?;
+            let mut best = self.module_best(piece)?;
             best.cut_set = piece.to_original(&best.cut_set);
             module_best.push(best);
         }
@@ -498,7 +555,7 @@ impl AnalysisBackend for PreprocessedBackend {
         // probabilities, and modules are independent by construction.
         let mut probabilities: Vec<f64> = Vec::new();
         for piece in &decomposition.modules {
-            probabilities.push(self.top_event_probability(&piece.tree)?);
+            probabilities.push(self.module_probability(piece)?);
         }
         let quotient = decomposition.quotient_tree(&probabilities);
         self.inner.top_event_probability(&quotient)

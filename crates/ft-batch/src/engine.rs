@@ -1,24 +1,25 @@
 //! The sharded worker pool that drives a batch run.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 
 use bdd_engine::VariableOrdering;
 use fault_tree::FaultTree;
-use ft_backend::{BackendKind, Budget};
+use ft_backend::{AnalysisCache, BackendKind, Budget};
 use ft_session::{Analyzer, SessionError};
 use mpmcs::{AlgorithmChoice, BranchingChoice};
 
 use crate::manifest::{BatchJob, BatchManifest};
-use crate::report::{BatchReport, BatchSummary, ImportanceRow, TreeReport};
+use crate::report::{BatchReport, BatchSummary, CacheSummary, ImportanceRow, TreeReport};
 
 /// How many minimal cut sets the importance pre-computation (MOCUS) may
 /// enumerate per tree before the importance table is skipped for that tree.
 const MOCUS_BUDGET: usize = 50_000;
 
 /// Configuration of a batch run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct BatchConfig {
     /// Worker threads; `0` asks the OS for the available parallelism. The
     /// pool never spawns more workers than there are jobs.
@@ -59,6 +60,14 @@ pub struct BatchConfig {
     /// Per-tree cap on reported solutions (CLI `--max-solutions`); rows
     /// capped below `top_k` are marked `truncated`.
     pub max_solutions: Option<usize>,
+    /// A shared content-addressed [`AnalysisCache`] consulted and fed by
+    /// every worker (CLI `--cache`). Workers reuse complete canonical
+    /// answers across isomorphic trees — and across batches when the same
+    /// handle is passed again. Counters land in
+    /// [`BatchSummary::cache`](crate::BatchSummary); like timings they are
+    /// redacted from the deterministic rendering, because the cache never
+    /// changes an answer, only how fast it arrives.
+    pub cache: Option<Arc<AnalysisCache>>,
 }
 
 impl Default for BatchConfig {
@@ -75,6 +84,7 @@ impl Default for BatchConfig {
             preprocess: false,
             timeout_ms: None,
             max_solutions: None,
+            cache: None,
         }
     }
 }
@@ -114,6 +124,7 @@ impl BatchConfig {
 /// ```
 pub fn run_batch(manifest: &BatchManifest, config: &BatchConfig) -> BatchReport {
     let start = Instant::now();
+    let before = config.cache.as_ref().map(|cache| cache.stats());
     let total = manifest.jobs.len();
     let workers = config.effective_jobs(total);
     let mut slots: Vec<Option<TreeReport>> = (0..total).map(|_| None).collect();
@@ -167,6 +178,21 @@ pub fn run_batch(manifest: &BatchManifest, config: &BatchConfig) -> BatchReport 
         total_cut_sets: results.iter().map(|r| r.cut_sets.len()).sum(),
         total_sat_calls: results.iter().map(|r| r.sat_calls).sum(),
         wall_time_ms: start.elapsed().as_secs_f64() * 1e3,
+        cache: config.cache.as_ref().map(|cache| {
+            // Monotone counters are reported as this batch's delta so a
+            // long-lived shared cache does not smear earlier batches into
+            // the summary; occupancy is the current absolute state.
+            let after = cache.stats();
+            let base = before.as_ref().expect("snapshot taken when cache is on");
+            CacheSummary {
+                hits: after.hits - base.hits,
+                misses: after.misses - base.misses,
+                insertions: after.insertions - base.insertions,
+                evictions: after.evictions - base.evictions,
+                entries: after.entries,
+                bytes: after.bytes,
+            }
+        }),
     };
     BatchReport { summary, results }
 }
@@ -216,6 +242,9 @@ fn analyze_job(job: &BatchJob, config: &BatchConfig) -> TreeReport {
         .bdd_ordering(config.bdd_ordering)
         .preprocess(config.preprocess)
         .budget(config.budget());
+    if let Some(cache) = &config.cache {
+        analyzer = analyzer.cache(Arc::clone(cache));
+    }
     report.backend = analyzer.resolved_backend().name().to_string();
     match analyzer.top_k(config.top_k.max(1)) {
         Ok(set) => {
@@ -472,6 +501,50 @@ mod tests {
             assert!(row.cut_sets.is_empty());
         }
         assert!(report.render_text().contains("[truncated]"));
+    }
+
+    /// A shared cache across batch runs reuses complete answers (hits on the
+    /// warm run) without changing a byte of the deterministic report — and
+    /// its counters land in the summary.
+    #[test]
+    fn a_shared_cache_reuses_answers_without_changing_the_report() {
+        let manifest = BatchManifest::generated(Family::SharedDag, 60, 3, 5);
+        let baseline = run_batch(
+            &manifest,
+            &BatchConfig {
+                top_k: 3,
+                ..BatchConfig::default()
+            },
+        );
+        let cache = ft_backend::AnalysisCache::shared();
+        let config = BatchConfig {
+            top_k: 3,
+            cache: Some(Arc::clone(&cache)),
+            ..BatchConfig::default()
+        };
+        let cold = run_batch(&manifest, &config);
+        let warm = run_batch(&manifest, &config);
+        assert_eq!(
+            baseline.to_deterministic_json(),
+            cold.to_deterministic_json()
+        );
+        assert_eq!(
+            baseline.to_deterministic_json(),
+            warm.to_deterministic_json()
+        );
+        let cold_cache = cold.summary.cache.as_ref().expect("cache configured");
+        assert!(
+            cold_cache.insertions > 0,
+            "cold run deposits: {cold_cache:?}"
+        );
+        let warm_cache = warm.summary.cache.as_ref().expect("cache configured");
+        assert_eq!(warm_cache.hits as usize, manifest.jobs.len());
+        assert_eq!(warm_cache.insertions, 0, "warm run recomputes nothing");
+        assert!(
+            baseline.summary.cache.is_none(),
+            "cacheless summaries keep their shape"
+        );
+        assert!(warm.render_text().contains("cache: "));
     }
 
     #[test]

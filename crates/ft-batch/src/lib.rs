@@ -50,5 +50,6 @@ mod report;
 pub use engine::{run_batch, BatchConfig};
 pub use manifest::{BatchError, BatchJob, BatchManifest, TreeFormat, TreeSource};
 pub use report::{
-    redact_solver_stats, redact_timings, BatchReport, BatchSummary, ImportanceRow, TreeReport,
+    redact_search_counters, redact_solver_stats, redact_timings, BatchReport, BatchSummary,
+    CacheSummary, ImportanceRow, TreeReport,
 };

@@ -67,6 +67,35 @@ serde::impl_serde_struct!(TreeReport {
     cut_sets
 } optional { error, importance, truncated });
 
+/// Counter snapshot of the shared analysis cache over one batch run
+/// (present when the batch was configured with a cache). The monotone
+/// counters are this batch's delta; `entries`/`bytes` are the cache's
+/// occupancy after the run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheSummary {
+    /// Module/query answers served from the cache during this batch.
+    pub hits: u64,
+    /// Lookups that had to be computed fresh.
+    pub misses: u64,
+    /// Complete answers deposited during this batch.
+    pub insertions: u64,
+    /// Entries evicted under the byte budget during this batch.
+    pub evictions: u64,
+    /// Entries resident after the run.
+    pub entries: u64,
+    /// Approximate resident bytes after the run.
+    pub bytes: u64,
+}
+
+serde::impl_serde_struct!(CacheSummary {
+    hits,
+    misses,
+    insertions,
+    evictions,
+    entries,
+    bytes
+});
+
 /// Aggregate statistics over a whole batch run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BatchSummary {
@@ -93,6 +122,10 @@ pub struct BatchSummary {
     pub total_sat_calls: u64,
     /// End-to-end wall-clock time of the batch, in milliseconds.
     pub wall_time_ms: f64,
+    /// Shared-cache counters for this batch, when a cache was attached.
+    /// Absent otherwise, so cacheless batches keep their historical byte
+    /// format; stripped from the deterministic rendering either way.
+    pub cache: Option<CacheSummary>,
 }
 
 serde::impl_serde_struct!(BatchSummary {
@@ -107,7 +140,7 @@ serde::impl_serde_struct!(BatchSummary {
     total_cut_sets,
     total_sat_calls,
     wall_time_ms
-});
+} optional { cache });
 
 /// The aggregated result of one batch run.
 ///
@@ -138,14 +171,18 @@ impl BatchReport {
 
     /// Renders the report as pretty-printed JSON with every timing field
     /// zeroed ([`redact_timings`]), every `solver_stats` block dropped
-    /// ([`redact_solver_stats`]) and the worker count masked — the pieces of
-    /// run metadata that describe *how* the answer was computed rather than
-    /// the answer itself. Two runs of the same batch produce byte-identical
-    /// output from this method regardless of `--jobs` or `--stats`.
+    /// ([`redact_solver_stats`]), the SAT-call and cache counters masked
+    /// ([`redact_search_counters`]) and the worker count masked — the pieces
+    /// of run metadata that describe *how* the answer was computed rather
+    /// than the answer itself. Two runs of the same batch produce
+    /// byte-identical output from this method regardless of `--jobs`,
+    /// `--stats` or `--cache`.
     pub fn to_deterministic_json(&self) -> String {
         let mut masked = self.clone();
         masked.summary.jobs = 0;
-        let value = redact_solver_stats(&redact_timings(&serde_json::to_value(&masked)));
+        let value = redact_search_counters(&redact_solver_stats(&redact_timings(
+            &serde_json::to_value(&masked),
+        )));
         serde_json::to_string_pretty(&value).expect("batch reports always serialise")
     }
 
@@ -199,6 +236,17 @@ impl BatchReport {
             self.summary.jobs,
             self.summary.wall_time_ms,
         ));
+        if let Some(cache) = &self.summary.cache {
+            out.push_str(&format!(
+                "cache: {} hits, {} misses, {} insertions, {} evictions, {} entries ({} bytes)\n",
+                cache.hits,
+                cache.misses,
+                cache.insertions,
+                cache.evictions,
+                cache.entries,
+                cache.bytes,
+            ));
+        }
         out
     }
 }
@@ -242,6 +290,32 @@ pub fn redact_timings(value: &Value) -> Value {
 /// ```
 pub fn redact_solver_stats(value: &Value) -> Value {
     rewrite_fields(value, &|key| (key == "solver_stats").then_some(Value::Null))
+}
+
+/// Returns a copy of `value` with every `sat_calls` / `total_sat_calls`
+/// field zeroed and every `cache` counter block removed. Like timings,
+/// these describe search *effort*: a cache hit answers a tree without any
+/// SAT calls, so leaving the counters in place would make otherwise
+/// byte-identical cache-on and cache-off reports differ.
+///
+/// ```rust
+/// use ft_batch::redact_search_counters;
+///
+/// let report: serde::Value = serde_json::from_str(
+///     r#"{ "sat_calls": 7, "probability": 0.02, "cache": { "hits": 3 } }"#,
+/// )
+/// .unwrap();
+/// let redacted = redact_search_counters(&report);
+/// assert_eq!(redacted.get("sat_calls").unwrap().as_u64(), Some(0));
+/// assert!(redacted.get("cache").is_none());
+/// assert_eq!(redacted.get("probability").unwrap().as_f64(), Some(0.02));
+/// ```
+pub fn redact_search_counters(value: &Value) -> Value {
+    rewrite_fields(value, &|key| match key {
+        "sat_calls" | "total_sat_calls" => Some(Value::Number(Number::from_i128(0))),
+        "cache" => Some(Value::Null),
+        _ => None,
+    })
 }
 
 /// The shared recursive walker behind the redaction helpers: every object
@@ -290,6 +364,7 @@ mod tests {
                 total_cut_sets: 1,
                 total_sat_calls: 9,
                 wall_time_ms: 3.25,
+                cache: None,
             },
             results: vec![
                 TreeReport {

@@ -243,17 +243,22 @@ pub enum Family {
     SharedDag,
     /// Random trees with a sizeable fraction of voting gates.
     VotingHeavy,
+    /// Trees dominated by repeated isomorphic modules (see
+    /// [`shared_module_tree`]): the reuse-heavy workload behind the analysis
+    /// cache benchmarks.
+    SharedModules,
 }
 
 impl Family {
     /// All families, in a stable order.
-    pub fn all() -> [Family; 5] {
+    pub fn all() -> [Family; 6] {
         [
             Family::RandomMixed,
             Family::AndHeavy,
             Family::OrHeavy,
             Family::SharedDag,
             Family::VotingHeavy,
+            Family::SharedModules,
         ]
     }
 
@@ -278,10 +283,15 @@ impl Family {
             Family::OrHeavy => "or-heavy",
             Family::SharedDag => "shared-dag",
             Family::VotingHeavy => "voting-heavy",
+            Family::SharedModules => "shared-modules",
         }
     }
 
     /// The generator configuration of this family for a target node count.
+    ///
+    /// For [`Family::SharedModules`] the returned configuration is only a
+    /// size proxy: [`Family::generate`] builds that family with the dedicated
+    /// [`shared_module_tree`] constructor instead of [`random_tree`].
     pub fn config(&self, total_nodes: usize) -> RandomTreeConfig {
         let base = RandomTreeConfig::with_total_nodes(total_nodes);
         match self {
@@ -304,12 +314,22 @@ impl Family {
                 vot_ratio: 0.3,
                 ..base
             },
+            Family::SharedModules => base,
         }
     }
 
     /// Generates the family instance with the given target node count.
     pub fn generate(&self, total_nodes: usize, seed: u64) -> FaultTree {
-        random_tree(&self.config(total_nodes), seed)
+        match self {
+            Family::SharedModules => {
+                // Each module copy is ~13 nodes (8 events, 4 ORs, 1 AND);
+                // spread the copies over up to three distinct shapes.
+                let copies = (total_nodes / 13).max(2);
+                let shapes = copies.min(3);
+                shared_module_tree(shapes, copies / shapes, 8, seed)
+            }
+            _ => random_tree(&self.config(total_nodes), seed),
+        }
     }
 }
 
@@ -481,6 +501,101 @@ pub fn modular_tree(modules: usize, events_per_module: usize, seed: u64) -> Faul
     builder.build(top).expect("modular trees are valid")
 }
 
+/// Generates a tree dominated by *repeated isomorphic modules*: `shapes`
+/// distinct module structures, each instantiated `multiplicity` times under a
+/// top OR gate.
+///
+/// Every copy of a shape has private, freshly named events but the *same*
+/// structure and the same event probabilities, so the copies are isomorphic
+/// both structurally and weight-wise. This is the reuse-heavy workload for
+/// the content-addressed analysis cache: within one tree, module-level
+/// memoization solves each shape once and replays it `multiplicity - 1`
+/// times; across trees of the same seed, whole-tree answers replay from the
+/// shared cache.
+///
+/// Shapes alternate between AND-of-ORs and OR-of-ANDs blocks (by shape
+/// parity) with independently seeded probabilities, so distinct shapes do
+/// not collide with each other.
+///
+/// # Panics
+///
+/// Panics if `shapes`, `multiplicity`, or `events_per_module` is zero.
+pub fn shared_module_tree(
+    shapes: usize,
+    multiplicity: usize,
+    events_per_module: usize,
+    seed: u64,
+) -> FaultTree {
+    assert!(shapes > 0, "at least one module shape is required");
+    assert!(multiplicity > 0, "each shape needs at least one copy");
+    assert!(events_per_module > 0, "modules need at least one event");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Per-shape probabilities, sampled once and reused by every copy so the
+    // copies agree weight-wise, not just structurally.
+    let shape_probabilities: Vec<Vec<f64>> = (0..shapes)
+        .map(|_| {
+            (0..events_per_module)
+                .map(|_| rng.gen_range(0.001..=0.2))
+                .collect()
+        })
+        .collect();
+    let mut builder = FaultTreeBuilder::new(format!(
+        "shared-modules-{shapes}x{multiplicity}x{events_per_module}-seed{seed}"
+    ));
+    let mut copy_roots: Vec<NodeId> = Vec::with_capacity(shapes * multiplicity);
+    for (s, probabilities) in shape_probabilities.iter().enumerate() {
+        // Even shapes are AND-of-ORs, odd shapes OR-of-ANDs.
+        let (inner, outer) = if s % 2 == 0 {
+            (GateKind::Or, GateKind::And)
+        } else {
+            (GateKind::And, GateKind::Or)
+        };
+        for c in 0..multiplicity {
+            let mut leaves: Vec<NodeId> = probabilities
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| {
+                    NodeId::from(
+                        builder
+                            .basic_event(format!("s{s}c{c}e{i}"), p)
+                            .expect("generated probabilities are valid"),
+                    )
+                })
+                .collect();
+            let mut inners: Vec<NodeId> = Vec::new();
+            let mut inner_index = 0usize;
+            while leaves.len() > 1 {
+                let take = 2.min(leaves.len());
+                let inputs: Vec<NodeId> = leaves.split_off(leaves.len() - take);
+                let gate = builder
+                    .gate(format!("s{s}c{c}g{inner_index}"), inner, inputs)
+                    .expect("valid gate");
+                inner_index += 1;
+                inners.push(gate.into());
+            }
+            inners.extend(leaves);
+            let root = if inners.len() == 1 {
+                inners[0]
+            } else {
+                builder
+                    .gate(format!("s{s}c{c}root"), outer, inners)
+                    .expect("valid gate")
+                    .into()
+            };
+            copy_roots.push(root);
+        }
+    }
+    let top = if copy_roots.len() == 1 {
+        copy_roots[0]
+    } else {
+        builder
+            .or_gate("top", copy_roots)
+            .expect("valid gate")
+            .into()
+    };
+    builder.build(top).expect("shared-module trees are valid")
+}
+
 /// Generates a deep chain: a path of alternating AND/OR gates of the given
 /// depth, each gate combining one fresh basic event with the previous gate.
 ///
@@ -601,6 +716,54 @@ mod extended_tests {
         }
         // Same seed reproduces the same tree.
         assert_eq!(modular_tree(5, 4, 3), modular_tree(5, 4, 3));
+    }
+
+    #[test]
+    fn shared_module_trees_repeat_isomorphic_copies() {
+        let shapes = 2usize;
+        let multiplicity = 3usize;
+        let events = 6usize;
+        let tree = shared_module_tree(shapes, multiplicity, events, 17);
+        assert!(tree.validate().is_ok());
+        assert_eq!(tree.num_events(), shapes * multiplicity * events);
+        // Same seed reproduces the same tree; a different seed does not.
+        assert_eq!(
+            shared_module_tree(shapes, multiplicity, events, 17),
+            shared_module_tree(shapes, multiplicity, events, 17)
+        );
+        assert_ne!(
+            shared_module_tree(shapes, multiplicity, events, 17),
+            shared_module_tree(shapes, multiplicity, events, 18)
+        );
+        // Every copy of a shape carries the same event probabilities, so the
+        // copies are isomorphic weight-wise, not just structurally.
+        for s in 0..shapes {
+            let copy_probabilities = |c: usize| -> Vec<f64> {
+                (0..events)
+                    .map(|i| {
+                        let event = tree
+                            .event_by_name(&format!("s{s}c{c}e{i}"))
+                            .expect("copy events exist");
+                        tree.event(event).probability().value()
+                    })
+                    .collect()
+            };
+            let first = copy_probabilities(0);
+            for c in 1..multiplicity {
+                assert_eq!(first, copy_probabilities(c), "shape {s} copy {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_modules_family_is_registered_and_generates() {
+        assert_eq!(
+            Family::by_name("shared-modules"),
+            Some(Family::SharedModules)
+        );
+        let tree = Family::SharedModules.generate(300, 4);
+        assert!(tree.validate().is_ok());
+        assert!(tree.num_events() >= 100, "got {}", tree.num_events());
     }
 
     #[test]

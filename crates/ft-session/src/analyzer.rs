@@ -5,8 +5,9 @@ use std::sync::Arc;
 use bdd_engine::VariableOrdering;
 use fault_tree::{CutSet, FaultTree};
 use ft_backend::{
-    backend_for, exact_union_probability, AnalysisBackend, BackendConfig, BackendKind,
-    BackendSolution, Budget, CancelToken, QueryControl,
+    backend_for_cached, config_fingerprint, exact_union_probability, AnalysisBackend,
+    AnalysisCache, BackendConfig, BackendKind, BackendSolution, Budget, CacheHandle, Cached,
+    CancelToken, QueryControl, QueryKind,
 };
 use mpmcs::{AlgorithmChoice, BranchingChoice, McsStream, MpmcsOptions, StreamStep};
 
@@ -30,7 +31,7 @@ pub(crate) struct WarmState {
 /// An `Analyzer` owns the parsed tree and the warm incremental solver state,
 /// and answers the core queries through one typed, budget-aware interface —
 /// replacing the assemble-it-yourself `FaultTree` → [`BackendConfig`] →
-/// [`backend_for`] → per-query wiring:
+/// [`ft_backend::backend_for`] → per-query wiring:
 ///
 /// ```rust
 /// use fault_tree::examples::fire_protection_system;
@@ -71,6 +72,8 @@ pub struct Analyzer {
     config: BackendConfig,
     budget: Budget,
     cancel: CancelToken,
+    /// The shared content-addressed analysis cache, when attached.
+    cache: Option<Arc<AnalysisCache>>,
     /// The resolved kind and engine, built lazily on the first query so a
     /// chain of builder setters never constructs throw-away backends.
     engine: Option<(BackendKind, Box<dyn AnalysisBackend>)>,
@@ -106,6 +109,7 @@ impl Analyzer {
             config: BackendConfig::default(),
             budget: Budget::unlimited(),
             cancel: CancelToken::new(),
+            cache: None,
             engine: None,
             warm: WarmState::default(),
         }
@@ -168,6 +172,23 @@ impl Analyzer {
         self
     }
 
+    /// Attaches a shared content-addressed [`AnalysisCache`]: complete query
+    /// answers are deposited under the tree's canonical weighted hash and
+    /// replayed — bit-identically — for any isomorphic tree queried under
+    /// the same configuration, by this analyzer or any other holding the
+    /// same cache. Budget-truncated answers are never cached. Resets the
+    /// warm state.
+    pub fn cache(mut self, cache: Arc<AnalysisCache>) -> Self {
+        self.cache = Some(cache);
+        self.reset();
+        self
+    }
+
+    /// The shared analysis cache, when one is attached.
+    pub fn shared_cache(&self) -> Option<&Arc<AnalysisCache>> {
+        self.cache.as_ref()
+    }
+
     fn reset(&mut self) {
         self.engine = None;
         self.warm = WarmState::default();
@@ -177,7 +198,12 @@ impl Analyzer {
     /// builder chains pay for exactly one backend construction.
     fn ensure_engine(&mut self) -> &dyn AnalysisBackend {
         if self.engine.is_none() {
-            self.engine = Some(backend_for(self.requested, &self.tree, &self.config));
+            self.engine = Some(backend_for_cached(
+                self.requested,
+                &self.tree,
+                &self.config,
+                self.cache.clone(),
+            ));
         }
         &*self.engine.as_ref().expect("just ensured").1
     }
@@ -235,7 +261,17 @@ impl Analyzer {
     ///
     /// [`ensure_engine`]: Analyzer::ensure_engine
     pub(crate) fn build_backend(&self) -> Box<dyn AnalysisBackend> {
-        backend_for(self.requested, &self.tree, &self.config).1
+        backend_for_cached(self.requested, &self.tree, &self.config, self.cache.clone()).1
+    }
+
+    /// The cache handle the warm MaxSAT session consults (the delegated
+    /// engines consult the cache inside [`backend_for_cached`] instead).
+    fn warm_cache_handle(&self) -> Option<CacheHandle> {
+        let cache = self.cache.as_ref()?;
+        Some(CacheHandle::new(
+            Arc::clone(cache),
+            config_fingerprint(BackendKind::MaxSat, &self.config),
+        ))
     }
 
     pub(crate) fn control(&self) -> QueryControl {
@@ -253,6 +289,30 @@ impl Analyzer {
         debug_assert!(self.uses_warm_session());
         if self.warm.no_cut_set {
             return Err(SessionError::NoCutSet);
+        }
+        // Already satisfied: never open (or touch) the live session.
+        if self.warm.exhausted || target.is_some_and(|t| self.warm.cache.len() >= t) {
+            return Ok(None);
+        }
+        let handle = self.warm_cache_handle();
+        // A shared-cache hit replaces the whole live enumeration: the cached
+        // family is complete, so the warm state jumps straight to exhausted.
+        if let Some(handle) = &handle {
+            if self.warm.stream.is_none() && self.warm.cache.is_empty() {
+                match handle.lookup_solutions(&self.tree, QueryKind::AllMcs) {
+                    Cached::Hit(solutions) => {
+                        self.warm.cache = solutions;
+                        self.warm.exhausted = true;
+                        return Ok(None);
+                    }
+                    Cached::NoCutSet => {
+                        self.warm.no_cut_set = true;
+                        self.warm.exhausted = true;
+                        return Err(SessionError::NoCutSet);
+                    }
+                    Cached::Miss => {}
+                }
+            }
         }
         let options = self.mpmcs_options();
         let stream = self
@@ -282,6 +342,9 @@ impl Analyzer {
                 Err(mpmcs::MpmcsError::NoCutSet) => {
                     self.warm.no_cut_set = true;
                     self.warm.exhausted = true;
+                    if let Some(handle) = &handle {
+                        handle.store_no_cut_set(&self.tree, QueryKind::AllMcs);
+                    }
                     return Err(SessionError::NoCutSet);
                 }
                 Err(other) => return Err(other.into()),
@@ -294,6 +357,13 @@ impl Analyzer {
         // labelled `Complete`, never conservatively truncated.
         if stream.is_exhausted() {
             self.warm.exhausted = true;
+        }
+        // Deposit the family once the enumeration is exhausted — and only
+        // then: a budget-truncated prefix must never poison the cache.
+        if self.warm.exhausted && stopped.is_none() {
+            if let Some(handle) = &handle {
+                handle.store_solutions(&self.tree, QueryKind::AllMcs, &self.warm.cache);
+            }
         }
         Ok(stopped)
     }
@@ -309,9 +379,25 @@ impl Analyzer {
     pub fn mpmcs(&mut self) -> Result<BackendSolution, SessionError> {
         let control = self.control();
         if self.uses_warm_session() {
+            // A fresh analyzer consults the shared cache before paying for
+            // the encoding; a proven optimum is a complete, cacheable answer.
+            if self.warm.cache.is_empty() && !self.warm.no_cut_set {
+                if let Some(handle) = self.warm_cache_handle() {
+                    match handle.lookup_best(&self.tree) {
+                        Cached::Hit(best) => return Ok(best),
+                        Cached::NoCutSet => return Err(SessionError::NoCutSet),
+                        Cached::Miss => {}
+                    }
+                }
+            }
             let stopped = self.extend_prefix(Some(1), &control)?;
             match self.warm.cache.first() {
-                Some(best) => Ok(best.clone()),
+                Some(best) => {
+                    if let Some(handle) = self.warm_cache_handle() {
+                        handle.store_best(&self.tree, best);
+                    }
+                    Ok(best.clone())
+                }
                 None => Err(stopped_error(stopped, &control)),
             }
         } else {
@@ -361,11 +447,68 @@ impl Analyzer {
             (None, cap) => cap,
         };
         if self.uses_warm_session() {
+            // A fresh session consults the shared cache for a complete
+            // top-`target` prefix before paying for the encoding. The hit
+            // bypasses the warm state entirely (restoring a prefix without
+            // its live solver session could not be extended later), so a
+            // subsequent larger query enumerates normally from scratch.
+            if self.warm.stream.is_none()
+                && self.warm.cache.is_empty()
+                && !self.warm.no_cut_set
+                && !self.warm.exhausted
+            {
+                if let (Some(t), Some(handle)) = (target, self.warm_cache_handle()) {
+                    match handle.lookup_solutions(&self.tree, QueryKind::TopK(t)) {
+                        Cached::Hit(solutions) => {
+                            // Deposits under `TopK` only happen while the
+                            // enumeration was provably not exhausted, so the
+                            // cache-off labels are reproduced exactly.
+                            let termination = if cap_constrains {
+                                Termination::SolutionCap
+                            } else {
+                                Termination::Complete
+                            };
+                            return Ok(SolutionSet {
+                                solutions,
+                                termination,
+                            });
+                        }
+                        Cached::NoCutSet => {
+                            self.warm.no_cut_set = true;
+                            self.warm.exhausted = true;
+                            return Err(SessionError::NoCutSet);
+                        }
+                        Cached::Miss => {}
+                    }
+                }
+            }
             let stopped = self.extend_prefix(target, &control)?;
+            // A prefix that reached its target without a budget stop is the
+            // *complete* answer to that top-`target` query, cacheable even
+            // though the family enumeration is still open. (Exhausted
+            // families are already deposited under `AllMcs`.)
+            if stopped.is_none() && !self.warm.exhausted {
+                if let Some(t) = target {
+                    if self.warm.cache.len() >= t {
+                        if let Some(handle) = self.warm_cache_handle() {
+                            handle.store_solutions(
+                                &self.tree,
+                                QueryKind::TopK(t),
+                                &self.warm.cache[..t],
+                            );
+                        }
+                    }
+                }
+            }
             let delivered = target.map_or(self.warm.cache.len(), |t| t.min(self.warm.cache.len()));
             let solutions = self.warm.cache[..delivered].to_vec();
             let termination = match stopped {
                 Some(cause) => cause,
+                // A cache-restored (or previously exhausted) family can be
+                // larger than a binding cap: the cap still truncates.
+                None if cap_constrains && self.warm.cache.len() > delivered => {
+                    Termination::SolutionCap
+                }
                 None if self.warm.exhausted => Termination::Complete,
                 // Not exhausted means the tie-group look-ahead has already
                 // proven a costlier solution beyond the prefix, so a binding
@@ -437,6 +580,14 @@ impl Analyzer {
     pub fn probability(&mut self) -> Result<f64, SessionError> {
         let control = self.control();
         if self.uses_warm_session() {
+            let handle = self.warm_cache_handle();
+            if let Some(handle) = &handle {
+                match handle.lookup_probability(&self.tree) {
+                    Cached::Hit(probability) => return Ok(probability),
+                    Cached::NoCutSet => return Ok(0.0),
+                    Cached::Miss => {}
+                }
+            }
             match self.extend_prefix(None, &control) {
                 Ok(None) => {}
                 Ok(Some(termination)) => {
@@ -444,16 +595,25 @@ impl Analyzer {
                 }
                 // The MaxSAT engine's convention: no cut set means the top
                 // event cannot occur, so its probability is exactly zero.
-                Err(SessionError::NoCutSet) => return Ok(0.0),
+                Err(SessionError::NoCutSet) => {
+                    if let Some(handle) = &handle {
+                        handle.store_probability(&self.tree, 0.0);
+                    }
+                    return Ok(0.0);
+                }
                 Err(other) => return Err(other),
             }
             let cut_sets: Vec<CutSet> = self.warm.cache.iter().map(|s| s.cut_set.clone()).collect();
-            Ok(exact_union_probability(
+            let probability = exact_union_probability(
                 &self.tree,
                 &cut_sets,
                 self.config.probability_budget,
                 "maxsat",
-            )?)
+            )?;
+            if let Some(handle) = &handle {
+                handle.store_probability(&self.tree, probability);
+            }
+            Ok(probability)
         } else {
             if let Some(cause) = control.stop_cause() {
                 return Err(SessionError::Stopped(cause.into()));

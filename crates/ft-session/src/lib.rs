@@ -64,7 +64,9 @@ pub use stream::SolutionStream;
 
 // The facade's vocabulary types, re-exported so consumers need one import.
 pub use bdd_engine::VariableOrdering;
-pub use ft_backend::{BackendKind, BackendSolution, Budget, CancelToken, StopCause};
+pub use ft_backend::{
+    AnalysisCache, BackendKind, BackendSolution, Budget, CacheStats, CancelToken, StopCause,
+};
 pub use mpmcs::AlgorithmChoice;
 
 #[cfg(test)]

@@ -5,7 +5,7 @@ use std::sync::{Arc, RwLock};
 
 use bdd_engine::VariableOrdering;
 use fault_tree::FaultTree;
-use ft_backend::{BackendKind, Budget};
+use ft_backend::{AnalysisCache, BackendKind, Budget, CacheStats};
 use mpmcs::AlgorithmChoice;
 
 use crate::analyzer::Analyzer;
@@ -71,6 +71,9 @@ impl Default for ServiceConfig {
 pub struct AnalysisService {
     trees: RwLock<HashMap<String, Arc<FaultTree>>>,
     config: ServiceConfig,
+    /// One shared content-addressed cache across every stamped analyzer:
+    /// any thread's complete answer is every other thread's warm start.
+    cache: Option<Arc<AnalysisCache>>,
 }
 
 impl AnalysisService {
@@ -85,7 +88,27 @@ impl AnalysisService {
         AnalysisService {
             trees: RwLock::new(HashMap::new()),
             config,
+            cache: None,
         }
+    }
+
+    /// Attaches a shared content-addressed [`AnalysisCache`]: every stamped
+    /// analyzer (and one-shot convenience query) consults and feeds the same
+    /// table, so isomorphic queries across threads and registered trees are
+    /// answered once. Builder-style, for use at construction time.
+    pub fn with_cache(mut self, cache: Arc<AnalysisCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The shared analysis cache, when one is attached.
+    pub fn shared_cache(&self) -> Option<&Arc<AnalysisCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Counter snapshot of the shared cache, when one is attached.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|cache| cache.stats())
     }
 
     /// The analyzer template in effect.
@@ -162,12 +185,16 @@ impl AnalysisService {
         let tree = self
             .tree(name)
             .ok_or_else(|| SessionError::UnknownTree(name.to_string()))?;
-        Ok(Analyzer::for_shared(tree)
+        let mut analyzer = Analyzer::for_shared(tree)
             .backend(self.config.backend)
             .preprocess(self.config.preprocess)
             .algorithm(self.config.algorithm)
             .bdd_ordering(self.config.bdd_ordering)
-            .budget(self.config.budget))
+            .budget(self.config.budget);
+        if let Some(cache) = &self.cache {
+            analyzer = analyzer.cache(Arc::clone(cache));
+        }
+        Ok(analyzer)
     }
 
     /// One-shot convenience: the MPMCS of the tree registered under `name`.

@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use bdd_engine::VariableOrdering;
 use fault_tree::parser::{galileo, json};
 use fault_tree::{examples, FaultTree};
-use ft_backend::{BackendKind, BackendSolution, Budget};
+use ft_backend::{AnalysisCache, BackendKind, BackendSolution, Budget, DEFAULT_CACHE_BYTES};
 use ft_batch::{run_batch, BatchConfig, BatchManifest};
 use ft_generators::{random_tree, RandomTreeConfig};
 use ft_session::{Analyzer, SessionError, Termination};
@@ -154,6 +154,17 @@ OPTIONS:
                                 (mpmcs analysis and batch mode); capped
                                 results are marked \"truncated\": true and
                                 exit with code 3
+    --cache                     Share one content-addressed analysis cache
+                                across the run: complete answers are keyed on
+                                the canonical weighted hash of the (sub)tree
+                                and replayed bit-identically for repeated or
+                                isomorphic trees and modules (mpmcs analysis
+                                and batch mode). Counters appear in the
+                                summary, and — like timings — are kept out of
+                                deterministic batch report comparisons
+    --cache-bytes <N>           Byte budget of the --cache table (default
+                                67108864 = 64 MiB); least-recently-used
+                                entries are evicted beyond it. Implies --cache
     --output <FILE>             Write the JSON report to FILE instead of stdout
     --quiet                     Suppress the human-readable summary on stderr
 
@@ -273,6 +284,10 @@ pub struct CliOptions {
     pub timeout_ms: Option<u64>,
     /// Per-query cap on reported solutions (`None` = uncapped).
     pub max_solutions: Option<usize>,
+    /// Share one content-addressed analysis cache across the run.
+    pub cache: bool,
+    /// Byte budget of the `--cache` table (`None` = the default 64 MiB).
+    pub cache_bytes: Option<usize>,
 }
 
 impl CliOptions {
@@ -285,6 +300,16 @@ impl CliOptions {
     /// the explicit `truncated` / `termination` envelope.
     pub fn budgeted(&self) -> bool {
         self.timeout_ms.is_some() || self.max_solutions.is_some()
+    }
+
+    /// The shared analysis cache implied by the parsed flags, when `--cache`
+    /// was given.
+    pub fn analysis_cache(&self) -> Option<Arc<AnalysisCache>> {
+        self.cache.then(|| {
+            Arc::new(AnalysisCache::new(
+                self.cache_bytes.unwrap_or(DEFAULT_CACHE_BYTES),
+            ))
+        })
     }
 }
 
@@ -325,6 +350,8 @@ where
     let mut stats = false;
     let mut timeout_ms: Option<u64> = None;
     let mut max_solutions: Option<usize> = None;
+    let mut cache = false;
+    let mut cache_bytes: Option<usize> = None;
 
     let args: Vec<String> = args.into_iter().map(Into::into).collect();
     let mut i = 0;
@@ -357,6 +384,8 @@ where
                     stats,
                     timeout_ms,
                     max_solutions,
+                    cache,
+                    cache_bytes,
                 })
             }
             "--format" => {
@@ -434,6 +463,12 @@ where
                     CliError::Usage("--max-solutions expects a positive integer".to_string())
                 })?)
             }
+            "--cache" => cache = true,
+            "--cache-bytes" => {
+                cache_bytes = Some(value("--cache-bytes")?.parse().map_err(|_| {
+                    CliError::Usage("--cache-bytes expects a byte count".to_string())
+                })?)
+            }
             "--example" => input = Some(InputSource::Example(value("--example")?)),
             "--generate" => {
                 generate =
@@ -473,6 +508,13 @@ where
     }
     if max_solutions == Some(0) {
         return Err(usage("--max-solutions must be at least 1"));
+    }
+    if cache_bytes == Some(0) {
+        return Err(usage("--cache-bytes must be at least 1"));
+    }
+    // An explicit byte budget is an explicit request for the cache.
+    if cache_bytes.is_some() {
+        cache = true;
     }
     if (timeout_ms.is_some() || max_solutions.is_some()) && cross_check {
         return Err(usage(
@@ -534,6 +576,11 @@ where
                     "--stats only applies to the mpmcs analysis and to --batch mode",
                 ));
             }
+            if cache && analysis != AnalysisKind::Mpmcs {
+                return Err(usage(
+                    "--cache only applies to the mpmcs analysis and to --batch mode",
+                ));
+            }
             if (timeout_ms.is_some() || max_solutions.is_some()) && analysis != AnalysisKind::Mpmcs
             {
                 return Err(usage(
@@ -572,6 +619,8 @@ where
         stats,
         timeout_ms,
         max_solutions,
+        cache,
+        cache_bytes,
     })
 }
 
@@ -712,6 +761,7 @@ fn run_batch_mode(options: &CliOptions, path: &std::path::Path) -> Result<RunOut
         preprocess: options.preprocess,
         timeout_ms: options.timeout_ms,
         max_solutions: options.max_solutions,
+        cache: options.analysis_cache(),
     };
     let report = run_batch(&manifest, &config);
     Ok(RunOutput {
@@ -738,14 +788,23 @@ fn exact_top_probability(tree: &FaultTree, ordering: VariableOrdering) -> f64 {
 /// The session-facade analyzer implied by the parsed options, over `kind`.
 /// The parsed tree is shared, not copied, between analyzers (`--cross-check`
 /// builds two).
-fn analyzer_for(options: &CliOptions, tree: &Arc<FaultTree>, kind: BackendKind) -> Analyzer {
-    Analyzer::for_shared(Arc::clone(tree))
+fn analyzer_for(
+    options: &CliOptions,
+    tree: &Arc<FaultTree>,
+    kind: BackendKind,
+    cache: Option<Arc<AnalysisCache>>,
+) -> Analyzer {
+    let mut analyzer = Analyzer::for_shared(Arc::clone(tree))
         .backend(kind)
         .algorithm(options.algorithm.unwrap_or_default())
         .branching(options.branching)
         .bdd_ordering(options.bdd_ordering)
         .preprocess(options.preprocess)
-        .budget(options.budget())
+        .budget(options.budget());
+    if let Some(cache) = cache {
+        analyzer = analyzer.cache(cache);
+    }
+    analyzer
 }
 
 /// Runs the configured mpmcs query (single / top-k / all) through the
@@ -831,7 +890,8 @@ fn cross_check_mismatch(
 
 fn run_mpmcs(options: &CliOptions, tree: &FaultTree) -> Result<RunOutput, CliError> {
     let tree = Arc::new(tree.clone());
-    let mut analyzer = analyzer_for(options, &tree, options.backend);
+    let cache = options.analysis_cache();
+    let mut analyzer = analyzer_for(options, &tree, options.backend, cache.clone());
     let primary_kind = analyzer.resolved_backend();
     let start = Instant::now();
     let (solutions, termination) = query_analyzer(&mut analyzer, options)?;
@@ -887,19 +947,49 @@ fn run_mpmcs(options: &CliOptions, tree: &FaultTree) -> Result<RunOutput, CliErr
             solutions.len()
         ));
     }
+    if let Some(cache) = &cache {
+        let stats = cache.stats();
+        summary.push_str(&format!(
+            "cache: {} hits, {} misses, {} insertions, {} entries ({} bytes of {})\n",
+            stats.hits, stats.misses, stats.insertions, stats.entries, stats.bytes, stats.capacity,
+        ));
+    }
 
     if !options.cross_check {
+        let cache_stats = cache.as_ref().filter(|_| options.stats).map(|cache| {
+            let stats = cache.stats();
+            serde_json::json!({
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "insertions": stats.insertions,
+                "evictions": stats.evictions,
+                "entries": stats.entries,
+                "bytes": stats.bytes,
+                "capacity": stats.capacity,
+            })
+        });
         // Budgeted runs wrap the report in an explicit envelope so partial
         // results can never be mistaken for complete ones; budgetless runs
-        // keep the historical bare report shape.
-        let value = if options.budgeted() {
-            serde_json::json!({
+        // keep the historical bare report shape. `--cache --stats` runs use
+        // the envelope too, to carry the cache counters — a flag combination
+        // that never existed before, so no historical shape is disturbed.
+        let value = match (options.budgeted(), cache_stats) {
+            (true, Some(cache_stats)) => serde_json::json!({
                 "truncated": truncated,
                 "termination": termination.label(),
                 "report": report_value,
-            })
-        } else {
-            report_value
+                "cache_stats": cache_stats,
+            }),
+            (true, None) => serde_json::json!({
+                "truncated": truncated,
+                "termination": termination.label(),
+                "report": report_value,
+            }),
+            (false, Some(cache_stats)) => serde_json::json!({
+                "report": report_value,
+                "cache_stats": cache_stats,
+            }),
+            (false, None) => report_value,
         };
         let json = serde_json::to_string_pretty(&value).expect("reports always serialise");
         return Ok(RunOutput {
@@ -916,7 +1006,7 @@ fn run_mpmcs(options: &CliOptions, tree: &FaultTree) -> Result<RunOutput, CliErr
     } else {
         BackendKind::MaxSat
     };
-    let mut reference = analyzer_for(options, &tree, reference_kind);
+    let mut reference = analyzer_for(options, &tree, reference_kind, cache.clone());
     let reference_kind = reference.resolved_backend();
     let start = Instant::now();
     let (reference_solutions, _) = query_analyzer(&mut reference, options)?;
@@ -1720,6 +1810,85 @@ mod tests {
         let parsed: serde_json::Value = serde_json::from_str(&result.output).unwrap();
         assert_eq!(parsed["truncated"].as_bool(), Some(false));
         assert_eq!(parsed["termination"].as_str(), Some("complete"));
+    }
+
+    #[test]
+    fn cache_flags_are_parsed_validated_and_surface_counters() {
+        let options = parse_args(["--example", "fps", "--cache", "--quiet"]).unwrap();
+        assert!(options.cache);
+        assert_eq!(options.cache_bytes, None);
+        // --cache-bytes implies --cache.
+        let options = parse_args(["--example", "fps", "--cache-bytes", "1048576"]).unwrap();
+        assert!(options.cache);
+        assert_eq!(options.cache_bytes, Some(1 << 20));
+        assert!(matches!(
+            parse_args(["--example", "fps", "--cache-bytes", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["--example", "fps", "--analysis", "ascii", "--cache"]),
+            Err(CliError::Usage(_))
+        ));
+        for flag in ["--cache", "--cache-bytes"] {
+            assert!(USAGE.contains(flag), "usage must document {flag}");
+        }
+
+        // Single-tree mode: the summary reports the counters, and with
+        // --stats the JSON envelope carries them too.
+        let options = parse_args(["--example", "fps", "--top-k", "3", "--cache"]).unwrap();
+        let (_, summary) = run(&options).unwrap();
+        assert!(summary.contains("cache: "), "summary: {summary}");
+        let options =
+            parse_args(["--example", "fps", "--top-k", "3", "--cache", "--stats"]).unwrap();
+        let (json, _) = run(&options).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(parsed["cache_stats"]["misses"].as_u64().unwrap() > 0);
+        assert_eq!(parsed["report"].as_array().map(|r| r.len()), Some(3));
+    }
+
+    #[test]
+    fn cached_batches_report_identical_answers_and_their_counters() {
+        let dir = std::env::temp_dir().join(format!("mpmcs4fta_cli_cache_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let tree = examples::fire_protection_system();
+        // Two copies of the same model: the second is answered from the
+        // cache within a single batch run.
+        fs::write(dir.join("a.json"), json::to_json_string(&tree)).unwrap();
+        fs::write(dir.join("b.json"), json::to_json_string(&tree)).unwrap();
+        let run_batch_with = |extra: &[&str]| {
+            // One worker: the second copy deterministically hits the entry
+            // the first one deposited.
+            let mut args = vec![
+                "--batch",
+                dir.to_str().unwrap(),
+                "--top-k",
+                "2",
+                "--jobs",
+                "1",
+                "--quiet",
+            ];
+            args.extend(extra);
+            let (json, _) = run(&parse_args(args).unwrap()).unwrap();
+            json
+        };
+        let plain = run_batch_with(&[]);
+        let cached = run_batch_with(&["--cache"]);
+        let normalise = |text: &str| {
+            serde_json::from_str::<ft_batch::BatchReport>(text)
+                .expect("valid batch report")
+                .to_deterministic_json()
+        };
+        assert_eq!(
+            normalise(&plain),
+            normalise(&cached),
+            "--cache must not change a byte of the deterministic report"
+        );
+        let parsed: serde_json::Value = serde_json::from_str(&cached).unwrap();
+        assert!(parsed["summary"]["cache"]["hits"].as_u64().unwrap() > 0);
+        let plain_parsed: serde_json::Value = serde_json::from_str(&plain).unwrap();
+        assert!(plain_parsed["summary"]["cache"].is_null());
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -101,9 +101,7 @@ impl Solver {
         // Level-0 reasons are never dereferenced by conflict analysis (it
         // stops at level-0 literals), so clearing them is safe and leaves no
         // clause "locked" during this round.
-        for &lit in &self.trail {
-            self.reason[lit.var().index()] = None;
-        }
+        self.clear_top_level_reasons();
         self.simplify_top_level();
         if self.ok {
             self.subsumption_pass();
@@ -115,6 +113,17 @@ impl Solver {
         self.stats.learnt_clauses = self.db.num_learnt as u64;
         self.last_inprocess_conflicts = self.stats.conflicts;
         self.maybe_compact();
+    }
+
+    /// Drops the reason references of every (level-0) trail literal. Units
+    /// derived *during* a round propagate further literals whose reasons are
+    /// ordinary clauses — and a later deletion sweep may remove exactly those
+    /// clauses as satisfied — so every propagation inside a round must be
+    /// followed by this before any clause can be deleted.
+    fn clear_top_level_reasons(&mut self) {
+        for &lit in &self.trail {
+            self.reason[lit.var().index()] = None;
+        }
     }
 
     /// Deletes clauses satisfied at level 0 and strips falsified literals,
@@ -164,6 +173,7 @@ impl Solver {
                 self.ok = false;
                 return;
             }
+            self.clear_top_level_reasons();
         }
     }
 
@@ -309,6 +319,7 @@ impl Solver {
                 self.ok = false;
                 return;
             }
+            self.clear_top_level_reasons();
             // Strengthening to units can satisfy or shorten other clauses;
             // one cheap follow-up pass picks those up.
             self.simplify_top_level();
@@ -414,9 +425,12 @@ impl Solver {
                     }
                 }
             }
-            if units && self.propagate().is_some() {
-                self.ok = false;
-                return;
+            if units {
+                if self.propagate().is_some() {
+                    self.ok = false;
+                    return;
+                }
+                self.clear_top_level_reasons();
             }
             self.stats.learnt_clauses = self.db.num_learnt as u64;
         }
@@ -504,6 +518,39 @@ mod tests {
             "expected the strengthened clause, got {clauses:?}"
         );
         assert!(s.solve().is_sat());
+        s.assert_integrity();
+    }
+
+    #[test]
+    fn ssr_derived_units_leave_propagation_reasons_live() {
+        // Regression: self-subsuming resolution on x0 turns (x0 ∨ x1) into
+        // the unit x1, whose top-level propagation forces x2 with
+        // (¬x1 ∨ x2) as its reason clause. Strengthening/garbage collection
+        // in the same inprocessing pass must not delete or move that reason
+        // out from under the trail — the integrity check walks every
+        // assigned literal's reason.
+        let mut s = Solver::new();
+        s.ensure_vars(3);
+        s.add_clause([pos(0), pos(1)]);
+        s.add_clause([neg(0), pos(1)]); // SSR on x0 → unit x1
+        s.add_clause([neg(1), pos(2)]); // propagates x2; reason clause
+        s.inprocess_now();
+        assert!(s.is_ok());
+        s.assert_integrity();
+        // The pass actually did the rewrite it is meant to guard.
+        assert_eq!(s.stats().inprocess_rounds, 1);
+        assert!(s.stats().inprocess_strengthened >= 1, "SSR must fire");
+        // Both propagations are fixed at the top level after the pass.
+        assert_eq!(s.lit_value(pos(1)), LBool::True);
+        assert_eq!(s.lit_value(pos(2)), LBool::True);
+        // And the solver still answers with a model honouring them.
+        match s.solve() {
+            SolveResult::Sat(m) => {
+                assert!(m.value(Var::from_index(1)));
+                assert!(m.value(Var::from_index(2)));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
         s.assert_integrity();
     }
 

@@ -281,6 +281,84 @@ fn cli_backends_emit_identical_deterministic_json() {
     }
 }
 
+/// Attaching a shared analysis cache changes no answer: for every bundled
+/// model, every backend (including `auto`) and preprocess on/off, the
+/// cache-off, cache-cold and cache-warm runs of MPMCS, top-k, all-MCS and
+/// probability agree bit for bit — and the warm run actually hits.
+#[test]
+fn cached_analyzers_answer_byte_identically_across_backends() {
+    use ft_backend::{AnalysisCache, BackendSolution, DEFAULT_CACHE_BYTES};
+    use ft_session::Analyzer;
+    use std::sync::Arc;
+
+    fn key(solution: &BackendSolution) -> (Vec<usize>, u64, u64) {
+        (
+            solution.cut_set.iter().map(|e| e.index()).collect(),
+            solution.probability.to_bits(),
+            solution.log_weight.to_bits(),
+        )
+    }
+
+    type Fingerprint = (
+        Vec<(Vec<usize>, u64, u64)>,
+        Vec<(Vec<usize>, u64, u64)>,
+        (Vec<usize>, u64, u64),
+        u64,
+    );
+    fn fingerprint(mut analyzer: Analyzer) -> Fingerprint {
+        let best = analyzer.mpmcs().expect("bundled models are solvable");
+        let top = analyzer.top_k(3).expect("bundled models are solvable");
+        let all = analyzer.all_mcs().expect("bundled models are solvable");
+        let probability = analyzer
+            .probability()
+            .expect("bundled models are within the IE budget");
+        (
+            all.solutions.iter().map(key).collect(),
+            top.solutions.iter().map(key).collect(),
+            key(&best),
+            probability.to_bits(),
+        )
+    }
+
+    for (name, tree) in bundled_trees() {
+        for kind in [
+            BackendKind::MaxSat,
+            BackendKind::Bdd,
+            BackendKind::Mocus,
+            BackendKind::Auto,
+        ] {
+            for preprocess in [false, true] {
+                let analyzer = |cache: Option<Arc<AnalysisCache>>| {
+                    let mut a = Analyzer::for_tree(tree.clone())
+                        .backend(kind)
+                        .preprocess(preprocess);
+                    if let Some(cache) = cache {
+                        a = a.cache(cache);
+                    }
+                    a
+                };
+                let plain = fingerprint(analyzer(None));
+                let cache = Arc::new(AnalysisCache::new(DEFAULT_CACHE_BYTES));
+                let cold = fingerprint(analyzer(Some(Arc::clone(&cache))));
+                let cold_hits = cache.stats().hits;
+                let warm = fingerprint(analyzer(Some(Arc::clone(&cache))));
+                assert_eq!(
+                    plain, cold,
+                    "{name}/{kind}/preprocess={preprocess}: cold cache changed an answer"
+                );
+                assert_eq!(
+                    plain, warm,
+                    "{name}/{kind}/preprocess={preprocess}: warm cache changed an answer"
+                );
+                assert!(
+                    cache.stats().hits > cold_hits,
+                    "{name}/{kind}/preprocess={preprocess}: the warm run must hit"
+                );
+            }
+        }
+    }
+}
+
 /// `--cross-check` passes on the bundled examples for every backend and
 /// query shape.
 #[test]

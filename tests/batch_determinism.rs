@@ -16,7 +16,10 @@ fn examples_trees_dir() -> std::path::PathBuf {
 /// Runs `manifest` at the given worker count and returns the
 /// timing-redacted, worker-count-masked JSON rendering.
 fn deterministic_json(manifest: &BatchManifest, jobs: usize, config: &BatchConfig) -> String {
-    let config = BatchConfig { jobs, ..*config };
+    let config = BatchConfig {
+        jobs,
+        ..config.clone()
+    };
     run_batch(manifest, &config).to_deterministic_json()
 }
 
@@ -88,6 +91,44 @@ fn repeated_runs_of_the_same_batch_are_identical() {
         &config,
     );
     assert_eq!(a, b);
+}
+
+#[test]
+fn cache_on_and_off_batches_are_byte_identical_and_jobs_invariant() {
+    use ft_backend::{AnalysisCache, DEFAULT_CACHE_BYTES};
+    use std::sync::Arc;
+    // The shipped examples plus the reuse-heavy generated families: attaching
+    // a shared cache — cold or already warm, single- or multi-worker — must
+    // never change the deterministic report.
+    let examples = BatchManifest::from_dir(&examples_trees_dir()).expect("trees dir readable");
+    let shared_dag = BatchManifest::generated(Family::SharedDag, 90, 4, 21);
+    let shared_modules = BatchManifest::generated(Family::SharedModules, 120, 4, 21);
+    for (label, manifest) in [
+        ("examples", &examples),
+        ("shared-dag", &shared_dag),
+        ("shared-modules", &shared_modules),
+    ] {
+        let config = BatchConfig {
+            top_k: 3,
+            ..BatchConfig::default()
+        };
+        let plain = deterministic_json(manifest, 4, &config);
+        let cache = Arc::new(AnalysisCache::new(DEFAULT_CACHE_BYTES));
+        let cached_config = BatchConfig {
+            cache: Some(Arc::clone(&cache)),
+            ..config
+        };
+        let cold = deterministic_json(manifest, 1, &cached_config);
+        let warm = deterministic_json(manifest, 8, &cached_config);
+        assert_eq!(plain, cold, "{label}: a cold cache changed the report");
+        assert_eq!(plain, warm, "{label}: a warm cache changed the report");
+        let stats = cache.stats();
+        assert!(
+            stats.hits as usize >= manifest.len(),
+            "{label}: the warm rerun must answer every job from the cache (got {} hits)",
+            stats.hits
+        );
+    }
 }
 
 #[test]

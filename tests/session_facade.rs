@@ -373,3 +373,72 @@ fn service_answers_identically_across_threads() {
         assert_eq!(thread, &per_thread[0], "threads must agree exactly");
     }
 }
+
+/// Budget-truncated answers are never cached: a capped query inserts nothing
+/// into a shared analysis cache, a later uncapped query on the same tree
+/// still computes — and then caches — the complete answer, and a third query
+/// replays it from the cache bit for bit.
+#[test]
+fn truncated_results_are_never_cached() {
+    use std::sync::Arc;
+
+    use ft_backend::{AnalysisCache, DEFAULT_CACHE_BYTES};
+
+    let tree = ft_generators::wide_or(8, 3);
+    for kind in [BackendKind::MaxSat, BackendKind::Bdd, BackendKind::Mocus] {
+        let cache = Arc::new(AnalysisCache::new(DEFAULT_CACHE_BYTES));
+        // Reference: the complete answer, no cache involved.
+        let expected = Analyzer::for_tree(tree.clone())
+            .backend(kind)
+            .top_k(5)
+            .expect("solvable");
+        assert_eq!(expected.termination, Termination::Complete);
+        assert_eq!(expected.solutions.len(), 5);
+
+        // Capped run: stops after 2 of the 5 requested solutions. The
+        // truncated family must not be deposited.
+        let truncated = Analyzer::for_tree(tree.clone())
+            .backend(kind)
+            .cache(Arc::clone(&cache))
+            .budget(Budget::unlimited().max_solutions(2))
+            .top_k(5)
+            .expect("solvable");
+        assert!(truncated.is_truncated(), "{kind}");
+        assert_eq!(truncated.solutions.len(), 2, "{kind}");
+
+        // A capped run may legitimately deposit *complete* sub-answers it
+        // proved along the way (the canonical top-2 prefix, module
+        // families), but never the truncated 2-of-5 family itself: the
+        // uncapped warm query below must miss on its own key, recompute, and
+        // deliver all five solutions.
+        let misses_before = cache.stats().misses;
+        let complete = Analyzer::for_tree(tree.clone())
+            .backend(kind)
+            .cache(Arc::clone(&cache))
+            .top_k(5)
+            .expect("solvable");
+        assert_eq!(complete.termination, Termination::Complete, "{kind}");
+        assert_eq!(complete.solutions.len(), 5, "{kind}");
+        for (c, e) in complete.solutions.iter().zip(&expected.solutions) {
+            assert_eq!(key(c), key(e), "{kind}: post-truncation answer diverged");
+        }
+        assert!(
+            cache.stats().misses > misses_before,
+            "{kind}: the truncated family must not answer the uncapped query"
+        );
+        assert!(cache.stats().insertions > 0, "{kind}");
+
+        // And a third query replays it from the cache.
+        let hits_before = cache.stats().hits;
+        let replayed = Analyzer::for_tree(tree.clone())
+            .backend(kind)
+            .cache(Arc::clone(&cache))
+            .top_k(5)
+            .expect("solvable");
+        assert_eq!(replayed.termination, Termination::Complete, "{kind}");
+        assert!(cache.stats().hits > hits_before, "{kind}: replay must hit");
+        for (c, e) in replayed.solutions.iter().zip(&expected.solutions) {
+            assert_eq!(key(c), key(e), "{kind}: cached replay diverged");
+        }
+    }
+}
