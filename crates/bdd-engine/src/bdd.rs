@@ -30,6 +30,33 @@ struct Node {
     high: BddRef,
 }
 
+/// Preallocated memoisation state for [`Bdd::probability_with`].
+///
+/// One scratch serves any number of quantifications of diagrams from one
+/// manager; entries from earlier calls are invalidated by bumping an epoch
+/// counter rather than by clearing the buffers.
+#[derive(Clone, Debug, Default)]
+pub struct ProbabilityScratch {
+    value: Vec<f64>,
+    epoch: Vec<u64>,
+    current: u64,
+}
+
+impl ProbabilityScratch {
+    /// Creates an empty scratch; the buffers grow on first use.
+    pub fn new() -> Self {
+        ProbabilityScratch::default()
+    }
+
+    fn begin(&mut self, num_nodes: usize) {
+        if self.value.len() < num_nodes {
+            self.value.resize(num_nodes, 0.0);
+            self.epoch.resize(num_nodes, 0);
+        }
+        self.current += 1;
+    }
+}
+
 /// A reduced ordered binary decision diagram manager.
 ///
 /// Variables are identified by their *level* `0..num_vars`, with level 0
@@ -207,11 +234,28 @@ impl Bdd {
     /// independently with probability `probabilities[i]` (Shannon
     /// decomposition over the diagram).
     pub fn probability(&self, node: BddRef, probabilities: &[f64]) -> f64 {
+        self.probability_with(node, probabilities, &mut ProbabilityScratch::new())
+    }
+
+    /// Same as [`Bdd::probability`], but memoising into a caller-provided
+    /// scratch. Repeated quantifications of one diagram (e.g. mission-time
+    /// sweeps) then allocate nothing per call: the scratch buffers grow to
+    /// the node-table size once and are invalidated in O(1) afterwards.
+    ///
+    /// The traversal and memoisation points are identical to
+    /// [`Bdd::probability`], so both entry points return bit-identical
+    /// results for the same inputs.
+    pub fn probability_with(
+        &self,
+        node: BddRef,
+        probabilities: &[f64],
+        scratch: &mut ProbabilityScratch,
+    ) -> f64 {
         fn walk(
             bdd: &Bdd,
             node: BddRef,
             probabilities: &[f64],
-            cache: &mut HashMap<BddRef, f64>,
+            scratch: &mut ProbabilityScratch,
         ) -> f64 {
             if node == BddRef::TRUE {
                 return 1.0;
@@ -219,17 +263,20 @@ impl Bdd {
             if node == BddRef::FALSE {
                 return 0.0;
             }
-            if let Some(&p) = cache.get(&node) {
-                return p;
+            let index = node.index();
+            if scratch.epoch[index] == scratch.current {
+                return scratch.value[index];
             }
-            let n = bdd.nodes[node.index()];
+            let n = bdd.nodes[index];
             let p_var = probabilities[n.var as usize];
-            let p = p_var * walk(bdd, n.high, probabilities, cache)
-                + (1.0 - p_var) * walk(bdd, n.low, probabilities, cache);
-            cache.insert(node, p);
+            let p = p_var * walk(bdd, n.high, probabilities, scratch)
+                + (1.0 - p_var) * walk(bdd, n.low, probabilities, scratch);
+            scratch.epoch[index] = scratch.current;
+            scratch.value[index] = p;
             p
         }
-        walk(self, node, probabilities, &mut HashMap::new())
+        scratch.begin(self.nodes.len());
+        walk(self, node, probabilities, scratch)
     }
 
     /// Number of distinct nodes reachable from `node` (excluding terminals).

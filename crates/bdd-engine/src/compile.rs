@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use fault_tree::{EventId, FaultTree, GateId, GateKind, NodeId};
 
-use crate::bdd::{Bdd, BddRef};
+use crate::bdd::{Bdd, BddRef, ProbabilityScratch};
 
 /// The variable ordering used when compiling a fault tree.
 ///
@@ -200,6 +200,47 @@ impl CompiledTree {
             .collect();
         self.bdd.probability(self.root, &by_level)
     }
+
+    /// Creates a reusable requantifier over this compiled diagram.
+    ///
+    /// A sweep compiles the structure once and then calls
+    /// [`Requantifier::probability_with`] per timepoint, which touches no
+    /// BDD construction code and allocates nothing after the first call.
+    pub fn requantifier(&self) -> Requantifier<'_> {
+        Requantifier {
+            compiled: self,
+            scratch: ProbabilityScratch::new(),
+            by_level: vec![0.0; self.event_of_level.len()],
+        }
+    }
+}
+
+/// Incremental requantification state for one [`CompiledTree`]: the shared
+/// diagram plus a preallocated probability memo and per-level buffer.
+///
+/// Because both [`VariableOrdering`]s are purely structural, the same
+/// compiled diagram serves every timepoint of a mission-time sweep; each
+/// point only rewrites the leaf probabilities. Results are bit-identical to
+/// [`CompiledTree::top_event_probability`] on a tree carrying the same
+/// per-event probabilities.
+#[derive(Clone, Debug)]
+pub struct Requantifier<'a> {
+    compiled: &'a CompiledTree,
+    scratch: ProbabilityScratch,
+    by_level: Vec<f64>,
+}
+
+impl Requantifier<'_> {
+    /// Re-evaluates the top-event probability with `probability_of`
+    /// supplying each event's probability for this quantification.
+    pub fn probability_with(&mut self, mut probability_of: impl FnMut(EventId) -> f64) -> f64 {
+        for (level, &event) in self.compiled.event_of_level.iter().enumerate() {
+            self.by_level[level] = probability_of(event);
+        }
+        self.compiled
+            .bdd
+            .probability_with(self.compiled.root, &self.by_level, &mut self.scratch)
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +304,37 @@ mod tests {
         assert!(
             (natural.top_event_probability(&tree) - dfs.top_event_probability(&tree)).abs() < 1e-15
         );
+    }
+
+    #[test]
+    fn requantification_is_bit_identical_to_fresh_quantification() {
+        for ordering in [VariableOrdering::Natural, VariableOrdering::DepthFirst] {
+            let tree = pressure_tank_system();
+            let compiled = compile_fault_tree(&tree, ordering);
+            let mut requantifier = compiled.requantifier();
+            // Sweep a family of probability assignments through one shared
+            // scratch and compare each against a fresh point quantification.
+            for step in 0..50 {
+                let t = step as f64 / 10.0;
+                let scale = 1.0 - (-t).exp();
+                let fresh = {
+                    let by_level: Vec<f64> = (0..tree.num_events())
+                        .map(|level| {
+                            let e = compiled.event_at(level);
+                            tree.event(e).probability().value() * scale
+                        })
+                        .collect();
+                    compiled.bdd().probability(compiled.root(), &by_level)
+                };
+                let swept =
+                    requantifier.probability_with(|e| tree.event(e).probability().value() * scale);
+                assert_eq!(
+                    swept.to_bits(),
+                    fresh.to_bits(),
+                    "step {step} ({ordering:?})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -37,6 +37,6 @@ mod compile;
 pub mod zbdd;
 
 pub use analysis::{BddAnalysisError, McsEnumeration};
-pub use bdd::{Bdd, BddRef};
-pub use compile::{compile_fault_tree, CompiledTree, VariableOrdering};
+pub use bdd::{Bdd, BddRef, ProbabilityScratch};
+pub use compile::{compile_fault_tree, CompiledTree, Requantifier, VariableOrdering};
 pub use zbdd::{Zbdd, ZbddAnalysis, ZbddRef};

@@ -13,9 +13,9 @@
 //! `--json` additionally writes a machine-readable `BENCH_<experiment>.json`
 //! snapshot into the current directory for the studies that support one
 //! (`hot-path`, `enumeration-scaling`, `session-streaming`), so the perf
-//! trajectory survives ROADMAP re-anchors. The `hot-path` and `cache-reuse`
-//! studies always write their snapshots: `BENCH_hotpath.json` and
-//! `BENCH_cache.json` are tracked artefacts.
+//! trajectory survives ROADMAP re-anchors. The `hot-path`, `cache-reuse` and
+//! `sweep-scaling` studies always write their snapshots: `BENCH_hotpath.json`,
+//! `BENCH_cache.json` and `BENCH_sweep.json` are tracked artefacts.
 
 use std::process::ExitCode;
 
@@ -25,7 +25,8 @@ use ft_bench::{
     enumeration_scaling_snapshot, enumeration_scaling_table, extended_baselines, extended_measures,
     fig2, hot_path_rows, hot_path_snapshot, hot_path_table, portfolio, scalability,
     session_streaming, session_streaming_rows, session_streaming_snapshot, session_streaming_table,
-    table1, voting, BASELINE_SIZES, SCALABILITY_SIZES,
+    sweep_scaling_rows, sweep_scaling_snapshot, sweep_scaling_table, table1, voting,
+    BASELINE_SIZES, SCALABILITY_SIZES,
 };
 
 const SEED: u64 = 2020;
@@ -67,6 +68,7 @@ fn main() -> ExitCode {
             "session-streaming",
             "hot-path",
             "cache-reuse",
+            "sweep-scaling",
         ];
     }
 
@@ -186,9 +188,29 @@ fn main() -> ExitCode {
                 write_snapshot("BENCH_cache.json", &cache_reuse_snapshot(&rows, SEED));
                 cache_reuse_table(&rows)
             }
+            "sweep-scaling" => {
+                // E16: the incremental mission-time sweep vs the naive
+                // per-point structural re-solve, over a ≥100-point grid; the
+                // rows assert per-point bit-identity before any timing is
+                // published. The snapshot is always written —
+                // `BENCH_sweep.json` is a tracked artefact. Sizes stay under
+                // the full-enumeration cliff: exact quantification on the
+                // random-mixed family explodes combinatorially just below 40
+                // nodes, and the naive leg pays that enumeration at *every*
+                // grid point (that is the baseline being measured), so the
+                // study tops out at 36 nodes to keep its wall clock sane.
+                let (sizes, points): (&[usize], usize) = if quick {
+                    (&[24], 100)
+                } else {
+                    (&[24, 36], 120)
+                };
+                let rows = sweep_scaling_rows(sizes, points, SEED);
+                write_snapshot("BENCH_sweep.json", &sweep_scaling_snapshot(&rows, SEED));
+                sweep_scaling_table(&rows)
+            }
             other => {
                 eprintln!(
-                    "unknown experiment {other:?}; available: table1 fig2 scalability portfolio baselines encodings voting extended-baselines measures batch-scaling enumeration-scaling backend-comparison session-streaming hot-path cache-reuse all"
+                    "unknown experiment {other:?}; available: table1 fig2 scalability portfolio baselines encodings voting extended-baselines measures batch-scaling enumeration-scaling backend-comparison session-streaming hot-path cache-reuse sweep-scaling all"
                 );
                 return ExitCode::from(2);
             }

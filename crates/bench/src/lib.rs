@@ -16,7 +16,7 @@ use std::time::{Duration, Instant};
 
 use bdd_engine::{McsEnumeration, VariableOrdering};
 use fault_tree::examples::fire_protection_system;
-use fault_tree::{FaultTree, StructuralAnalysis};
+use fault_tree::{FailureModel, FaultTree, StructuralAnalysis};
 use ft_analysis::mocus::Mocus;
 use ft_backend::{backend_for, BackendConfig, BackendKind};
 use ft_generators::Family;
@@ -1632,6 +1632,141 @@ pub fn cache_reuse(sizes: &[usize], num_trees: usize, seed: u64) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// E16 — mission-time sweep scaling
+// ---------------------------------------------------------------------------
+
+/// One measured row of the E16 sweep-scaling study: the incremental
+/// `probability_sweep` (structure solved once, each mission time
+/// re-quantified in O(size)) against the naive loop re-solving the structure
+/// at every grid point.
+#[derive(Clone, Debug)]
+pub struct SweepScalingRow {
+    /// Generator family name.
+    pub family: String,
+    /// Analysis engine ("bdd" or "maxsat").
+    pub backend: &'static str,
+    /// Requested node count of the generated tree.
+    pub target_nodes: usize,
+    /// Mission times quantified.
+    pub points: usize,
+    /// Wall time of one incremental sweep over the whole grid.
+    pub incremental_time: Duration,
+    /// Wall time of the naive loop re-solving the structure per point.
+    pub naive_time: Duration,
+    /// `naive_time / incremental_time`.
+    pub speedup: f64,
+}
+
+/// The mission-time grid of the E16 study: `points` times evenly spaced over
+/// `[0, 4]` — both sides of the default mission time, where the generated
+/// probabilities live.
+pub fn sweep_grid(points: usize) -> Vec<f64> {
+    assert!(points >= 2, "a sweep grid needs at least two mission times");
+    (0..points)
+        .map(|i| 4.0 * i as f64 / (points - 1) as f64)
+        .collect()
+}
+
+/// Attaches an exponential failure law `1 − exp(−λt)` to every event, with λ
+/// chosen so the law reproduces the event's stored probability at the
+/// default mission time — the sweep curves genuinely move over the grid,
+/// while every `t = 1` answer still matches the untimed tree's.
+pub fn with_exponential_models(tree: &FaultTree) -> FaultTree {
+    let mut events = tree.events().to_vec();
+    for event in events.iter_mut() {
+        let p = event.probability().value().clamp(1e-9, 1.0 - 1e-9);
+        let model = FailureModel::exponential(-(1.0 - p).ln()).expect("finite rate");
+        event.set_model(Some(model));
+    }
+    FaultTree::from_parts(tree.name(), events, tree.gates().to_vec(), tree.top())
+        .expect("re-attaching models preserves validity")
+}
+
+/// E16: measures both legs on two generated families × the BDD and MaxSAT
+/// routes, first proving every incremental point **bit-identical** to the
+/// naive point query at that time — timings are only published for answers
+/// already shown to be the same bits.
+pub fn sweep_scaling_rows(sizes: &[usize], points: usize, seed: u64) -> Vec<SweepScalingRow> {
+    let grid = sweep_grid(points);
+    let mut rows = Vec::new();
+    for &nodes in sizes {
+        for family in [Family::RandomMixed, Family::SharedDag] {
+            let tree = with_exponential_models(&family.generate(nodes, seed));
+            for (backend_name, kind) in [("bdd", BackendKind::Bdd), ("maxsat", BackendKind::MaxSat)]
+            {
+                let (_, backend) = backend_for(kind, &tree, &BackendConfig::default());
+                let reference = backend
+                    .probability_sweep(&tree, &grid)
+                    .expect("in-budget sweep");
+                for (i, &t) in grid.iter().enumerate() {
+                    let point = backend
+                        .top_event_probability(&tree.at_time(t))
+                        .expect("in-budget point query");
+                    assert_eq!(
+                        reference[i].to_bits(),
+                        point.to_bits(),
+                        "{}-{nodes}/{backend_name}: sweep diverged at t={t}",
+                        family.name()
+                    );
+                }
+                let (swept, incremental_time) = timed(|| {
+                    backend
+                        .probability_sweep(&tree, &grid)
+                        .expect("in-budget sweep")
+                });
+                let (naive, naive_time) = timed(|| {
+                    grid.iter()
+                        .map(|&t| {
+                            backend
+                                .top_event_probability(&tree.at_time(t))
+                                .expect("in-budget point query")
+                        })
+                        .collect::<Vec<f64>>()
+                });
+                assert_eq!(swept, naive, "timed legs must reproduce the proven curve");
+                rows.push(SweepScalingRow {
+                    family: family.name().to_string(),
+                    backend: backend_name,
+                    target_nodes: nodes,
+                    points,
+                    incremental_time,
+                    naive_time,
+                    speedup: naive_time.as_secs_f64() / incremental_time.as_secs_f64().max(1e-12),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Formats already-measured E16 rows.
+pub fn sweep_scaling_table(rows: &[SweepScalingRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# E16 — mission-time sweep scaling (incremental re-quantification vs naive per-point re-solve)\n",
+    );
+    out.push_str("family         backend  nodes   points  incremental_ms  naive_ms    speedup\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{:<14} {:<8} {:<7} {:<7} {:<15.2} {:<11.2} {:.2}\n",
+            row.family,
+            row.backend,
+            row.target_nodes,
+            row.points,
+            ms(row.incremental_time),
+            ms(row.naive_time),
+            row.speedup,
+        ));
+    }
+    out
+}
+
+/// E16 convenience wrapper: measures and renders in one call.
+pub fn sweep_scaling(sizes: &[usize], points: usize, seed: u64) -> String {
+    sweep_scaling_table(&sweep_scaling_rows(sizes, points, seed))
+}
+
+// ---------------------------------------------------------------------------
 // Machine-readable `BENCH_*.json` snapshots
 // ---------------------------------------------------------------------------
 
@@ -1713,6 +1848,29 @@ pub fn cache_reuse_snapshot(rows: &[CacheReuseRow], seed: u64) -> String {
     bench_snapshot_json("E15-cache-reuse", seed, rows)
 }
 
+/// The `BENCH_sweep.json` document for measured E16 rows.
+pub fn sweep_scaling_snapshot(rows: &[SweepScalingRow], seed: u64) -> String {
+    use serde::Serialize;
+    let rows = rows
+        .iter()
+        .map(|r| {
+            let mut map = serde::Map::new();
+            map.insert("family".to_string(), r.family.to_value());
+            map.insert("backend".to_string(), r.backend.to_value());
+            map.insert("target_nodes".to_string(), r.target_nodes.to_value());
+            map.insert("points".to_string(), r.points.to_value());
+            map.insert(
+                "incremental_ms".to_string(),
+                ms(r.incremental_time).to_value(),
+            );
+            map.insert("naive_ms".to_string(), ms(r.naive_time).to_value());
+            map.insert("speedup".to_string(), r.speedup.to_value());
+            serde::Value::Object(map)
+        })
+        .collect();
+    bench_snapshot_json("E16-sweep-scaling", seed, rows)
+}
+
 /// The `BENCH_session_streaming.json` document for measured E13 rows.
 pub fn session_streaming_snapshot(rows: &[SessionStreamingRow], seed: u64) -> String {
     use serde::Serialize;
@@ -1791,6 +1949,31 @@ mod hot_path_tests {
         assert_eq!(parsed["experiment"].as_str(), Some("E15-cache-reuse"));
         assert_eq!(parsed["rows"].as_array().unwrap().len(), 1);
         assert!(parsed["rows"][0]["warm_speedup"].as_f64().is_some());
+    }
+
+    #[test]
+    fn sweep_scaling_rows_prove_identity_and_measure_both_legs() {
+        // Debug-mode unit test: tiny trees and a short grid — every naive
+        // point (and every identity check) is a full exact quantification.
+        let rows = sweep_scaling_rows(&[24], 6, 2020);
+        // 2 families × 2 backends.
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert_eq!(row.points, 6);
+            assert!(row.incremental_time > Duration::ZERO);
+            assert!(row.naive_time > Duration::ZERO);
+            assert!(row.speedup > 0.0);
+        }
+        assert!(rows.iter().any(|r| r.backend == "bdd"));
+        assert!(rows.iter().any(|r| r.backend == "maxsat"));
+        let table = sweep_scaling_table(&rows);
+        assert!(table.contains("E16"));
+        assert!(table.contains("random-mixed"));
+        let json = sweep_scaling_snapshot(&rows, 2020);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["experiment"].as_str(), Some("E16-sweep-scaling"));
+        assert_eq!(parsed["rows"].as_array().unwrap().len(), 4);
+        assert!(parsed["rows"][0]["speedup"].as_f64().unwrap() > 0.0);
     }
 
     #[test]

@@ -10,6 +10,11 @@ pub enum FaultTreeError {
         /// The offending value.
         value: f64,
     },
+    /// A failure/repair rate was negative or not finite.
+    InvalidRate {
+        /// The offending value.
+        value: f64,
+    },
     /// A gate was declared with no inputs.
     EmptyGate {
         /// Name of the offending gate.
@@ -55,6 +60,9 @@ impl fmt::Display for FaultTreeError {
         match self {
             FaultTreeError::InvalidProbability { value } => {
                 write!(f, "probability {value} is not within [0, 1]")
+            }
+            FaultTreeError::InvalidRate { value } => {
+                write!(f, "rate {value} is not a finite non-negative number")
             }
             FaultTreeError::EmptyGate { gate } => write!(f, "gate {gate:?} has no inputs"),
             FaultTreeError::InvalidVotingThreshold { gate, k, n } => write!(

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::error::FaultTreeError;
 use crate::probability::Probability;
 
 /// Identifier of a basic event (dense index within its [`FaultTree`](crate::FaultTree)).
@@ -28,19 +29,161 @@ impl fmt::Display for EventId {
     }
 }
 
+/// The mission time at which rate-parameterised events are evaluated to
+/// obtain their *base* probability (the value stored on the event and used
+/// by every non-sweep query): one unit of mission time.
+pub const DEFAULT_MISSION_TIME: f64 = 1.0;
+
+/// The time-dependent failure law of a basic event (Fault Tree Handbook
+/// semantics), evaluable at any mission time `t`.
+///
+/// Events without a model are time-invariant: their stored probability holds
+/// at every `t`. A model makes the event *sweepable* — mission-time sweeps
+/// re-quantify the tree with [`FailureModel::probability_at`] per timepoint.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FailureModel {
+    /// A time-invariant probability (explicitly pinned; equivalent to having
+    /// no model at all).
+    Fixed(Probability),
+    /// A non-repairable exponential failure law: `p(t) = 1 − exp(−λt)`.
+    Exponential {
+        /// The failure rate `λ ≥ 0` (per unit mission time).
+        lambda: f64,
+    },
+    /// A repairable component's steady-state unavailability ramp:
+    /// `p(t) = λ/(λ+μ) · (1 − exp(−(λ+μ)t))`.
+    Repairable {
+        /// The failure rate `λ ≥ 0`.
+        lambda: f64,
+        /// The repair rate `μ ≥ 0`.
+        mu: f64,
+    },
+}
+
+impl FailureModel {
+    /// An exponential failure law with rate `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultTreeError::InvalidRate`] when `lambda` is negative or
+    /// not finite.
+    pub fn exponential(lambda: f64) -> Result<Self, FaultTreeError> {
+        check_rate(lambda)?;
+        Ok(FailureModel::Exponential { lambda })
+    }
+
+    /// A repairable unavailability law with failure rate `lambda` and repair
+    /// rate `mu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultTreeError::InvalidRate`] when either rate is negative
+    /// or not finite.
+    pub fn repairable(lambda: f64, mu: f64) -> Result<Self, FaultTreeError> {
+        check_rate(lambda)?;
+        check_rate(mu)?;
+        Ok(FailureModel::Repairable { lambda, mu })
+    }
+
+    /// The probability of the event at mission time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` is negative or not finite — mission times come from
+    /// validated sweep grids.
+    pub fn probability_at(&self, t: f64) -> Probability {
+        assert!(
+            t.is_finite() && t >= 0.0,
+            "mission time {t} must be finite and non-negative"
+        );
+        let value = match self {
+            FailureModel::Fixed(p) => return *p,
+            FailureModel::Exponential { lambda } => 1.0 - (-lambda * t).exp(),
+            FailureModel::Repairable { lambda, mu } => {
+                let total = lambda + mu;
+                if total == 0.0 {
+                    0.0
+                } else {
+                    lambda / total * (1.0 - (-total * t).exp())
+                }
+            }
+        };
+        Probability::new(value.clamp(0.0, 1.0)).expect("failure laws stay within [0, 1]")
+    }
+
+    /// The probability at the default mission time
+    /// ([`DEFAULT_MISSION_TIME`]) — the base probability parsers store for
+    /// rate-parameterised events.
+    pub fn base_probability(&self) -> Probability {
+        self.probability_at(DEFAULT_MISSION_TIME)
+    }
+}
+
+fn check_rate(rate: f64) -> Result<(), FaultTreeError> {
+    if rate.is_finite() && rate >= 0.0 {
+        Ok(())
+    } else {
+        Err(FaultTreeError::InvalidRate { value: rate })
+    }
+}
+
+// Externally tagged, like `NodeId`: `{"fixed": p}`, `{"exponential": λ}`,
+// `{"repairable": {"lambda": λ, "mu": μ}}` — re-validated on the way in.
+impl serde::Serialize for FailureModel {
+    fn to_value(&self) -> serde::Value {
+        let (tag, body) = match self {
+            FailureModel::Fixed(p) => ("fixed", serde::Serialize::to_value(p)),
+            FailureModel::Exponential { lambda } => {
+                ("exponential", serde::Serialize::to_value(lambda))
+            }
+            FailureModel::Repairable { lambda, mu } => {
+                let mut rates = serde::Map::new();
+                rates.insert("lambda".to_string(), serde::Serialize::to_value(lambda));
+                rates.insert("mu".to_string(), serde::Serialize::to_value(mu));
+                ("repairable", serde::Value::Object(rates))
+            }
+        };
+        let mut tagged = serde::Map::new();
+        tagged.insert(tag.to_string(), body);
+        serde::Value::Object(tagged)
+    }
+}
+
+impl serde::Deserialize for FailureModel {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        if let Some(p) = value.get("fixed") {
+            Ok(FailureModel::Fixed(serde::Deserialize::from_value(p)?))
+        } else if let Some(lambda) = value.get("exponential") {
+            FailureModel::exponential(serde::Deserialize::from_value(lambda)?)
+                .map_err(|e| serde::Error::custom(e.to_string()))
+        } else if let Some(rates) = value.get("repairable") {
+            let lambda = serde::de::field(rates, "lambda")?;
+            let mu = serde::de::field(rates, "mu")?;
+            FailureModel::repairable(lambda, mu).map_err(|e| serde::Error::custom(e.to_string()))
+        } else {
+            Err(serde::Error::custom(format!(
+                "invalid failure model: expected an object tagged `fixed`, `exponential` or `repairable`, found {}",
+                value.kind()
+            )))
+        }
+    }
+}
+
 /// A basic event: an atomic failure mode with a probability of occurrence.
 ///
 /// Basic events model hardware failures, human errors, software faults,
 /// communication failures, cyber attacks, and any other leaf-level condition
-/// of the analysed system.
+/// of the analysed system. An optional [`FailureModel`] additionally makes
+/// the probability a function of mission time.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BasicEvent {
     name: String,
     probability: Probability,
     description: Option<String>,
+    model: Option<FailureModel>,
 }
 
-serde::impl_serde_struct!(BasicEvent { name, probability } optional { description });
+serde::impl_serde_struct!(BasicEvent { name, probability } optional { description, model });
 
 impl BasicEvent {
     /// Creates a basic event.
@@ -49,6 +192,7 @@ impl BasicEvent {
             name: name.into(),
             probability,
             description: None,
+            model: None,
         }
     }
 
@@ -62,6 +206,19 @@ impl BasicEvent {
             name: name.into(),
             probability,
             description: Some(description.into()),
+            model: None,
+        }
+    }
+
+    /// Creates a rate-parameterised basic event. The stored base probability
+    /// is the model evaluated at the default mission time
+    /// ([`FailureModel::base_probability`]).
+    pub fn with_model(name: impl Into<String>, model: FailureModel) -> Self {
+        BasicEvent {
+            name: name.into(),
+            probability: model.base_probability(),
+            description: None,
+            model: Some(model),
         }
     }
 
@@ -83,6 +240,32 @@ impl BasicEvent {
     /// Replaces the probability (used by sensitivity analyses).
     pub fn set_probability(&mut self, probability: Probability) {
         self.probability = probability;
+    }
+
+    /// The time-dependent failure model, when the event has one.
+    pub fn model(&self) -> Option<&FailureModel> {
+        self.model.as_ref()
+    }
+
+    /// Attaches (or removes) the time-dependent failure model. The stored
+    /// base probability is untouched.
+    pub fn set_model(&mut self, model: Option<FailureModel>) {
+        self.model = model;
+    }
+
+    /// The probability of the event at mission time `t`: the failure model
+    /// evaluated at `t`, or the stored probability for time-invariant
+    /// events.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the event has a model and `t` is negative or not finite
+    /// (see [`FailureModel::probability_at`]).
+    pub fn probability_at(&self, t: f64) -> Probability {
+        match &self.model {
+            Some(model) => model.probability_at(t),
+            None => self.probability,
+        }
     }
 }
 
@@ -121,5 +304,75 @@ mod tests {
         let json = serde_json::to_string(&event).unwrap();
         let back: BasicEvent = serde_json::from_str(&json).unwrap();
         assert_eq!(event, back);
+    }
+
+    #[test]
+    fn failure_models_follow_the_handbook_laws() {
+        let exp = FailureModel::exponential(0.5).unwrap();
+        assert_eq!(exp.probability_at(0.0).value(), 0.0);
+        assert!((exp.probability_at(2.0).value() - (1.0 - (-1.0f64).exp())).abs() < 1e-15);
+        // Monotone non-decreasing, capped at 1.
+        assert!(exp.probability_at(10.0).value() <= 1.0);
+        assert!(exp.probability_at(3.0).value() > exp.probability_at(2.0).value());
+
+        let rep = FailureModel::repairable(0.2, 0.8).unwrap();
+        assert_eq!(rep.probability_at(0.0).value(), 0.0);
+        // Ramps towards the steady-state unavailability λ/(λ+μ) = 0.2.
+        assert!((rep.probability_at(1e6).value() - 0.2).abs() < 1e-12);
+
+        // Degenerate repairable law: no failures means zero unavailability.
+        let idle = FailureModel::repairable(0.0, 0.0).unwrap();
+        assert_eq!(idle.probability_at(5.0).value(), 0.0);
+
+        let fixed = FailureModel::Fixed(Probability::new(0.3).unwrap());
+        assert_eq!(fixed.probability_at(0.0).value(), 0.3);
+        assert_eq!(fixed.probability_at(42.0).value(), 0.3);
+    }
+
+    #[test]
+    fn invalid_rates_are_rejected() {
+        for rate in [-0.1, f64::NAN, f64::INFINITY] {
+            assert!(FailureModel::exponential(rate).is_err(), "{rate}");
+            assert!(FailureModel::repairable(rate, 0.1).is_err(), "{rate}");
+            assert!(FailureModel::repairable(0.1, rate).is_err(), "{rate}");
+        }
+    }
+
+    #[test]
+    fn modelled_events_evaluate_at_time_and_round_trip() {
+        let event = BasicEvent::with_model("pump", FailureModel::exponential(0.25).unwrap());
+        // The base probability is the model at the default mission time.
+        assert_eq!(
+            event.probability().value(),
+            1.0 - (-0.25f64 * DEFAULT_MISSION_TIME).exp()
+        );
+        assert_eq!(
+            event.probability_at(4.0).value(),
+            1.0 - (-1.0f64).exp(),
+            "bit-exact law evaluation"
+        );
+        let json = serde_json::to_string(&event).unwrap();
+        let back: BasicEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(event, back);
+
+        let repairable =
+            BasicEvent::with_model("link", FailureModel::repairable(0.1, 0.9).unwrap());
+        let json = serde_json::to_string(&repairable).unwrap();
+        let back: BasicEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(repairable, back);
+
+        // Time-invariant events answer their stored probability at every t.
+        let plain = BasicEvent::new("x", Probability::new(0.4).unwrap());
+        assert_eq!(plain.probability_at(0.0).value(), 0.4);
+        assert_eq!(plain.probability_at(100.0).value(), 0.4);
+    }
+
+    #[test]
+    fn bad_failure_model_documents_are_rejected() {
+        assert!(serde_json::from_str::<FailureModel>(r#"{"exponential": -1.0}"#).is_err());
+        assert!(serde_json::from_str::<FailureModel>(r#"{"weibull": 1.0}"#).is_err());
+        assert!(
+            serde_json::from_str::<FailureModel>(r#"{"repairable": {"lambda": 0.1}}"#).is_err()
+        );
     }
 }

@@ -63,7 +63,7 @@ mod tree;
 pub use analysis::{StructuralAnalysis, TreeStats};
 pub use cutset::CutSet;
 pub use error::FaultTreeError;
-pub use event::{BasicEvent, EventId};
+pub use event::{BasicEvent, EventId, FailureModel, DEFAULT_MISSION_TIME};
 pub use formula::StructureFormula;
 pub use gate::{Gate, GateId, GateKind};
 pub use hash::{canonical_form, tree_hash, CanonicalForm, TreeHash};

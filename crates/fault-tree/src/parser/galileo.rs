@@ -14,11 +14,18 @@
 //! Lines end with `;`; names may be double-quoted or bare; `//` starts a
 //! comment. Only the static subset (AND, OR, `k of n`, `prob=`) is supported —
 //! dynamic gates (SPARE, FDEP, PAND) are out of scope for this reproduction.
+//!
+//! Basic events may alternatively be rate-parameterised: `"x" lambda=0.1;`
+//! declares an exponential failure law `p(t) = 1 − exp(−λt)` and `"x"
+//! lambda=0.1 mu=0.9;` a repairable unavailability law (Fault Tree Handbook
+//! semantics). The stored base probability of such events is the law at the
+//! default mission time ([`crate::DEFAULT_MISSION_TIME`]); mission-time
+//! sweeps re-evaluate it per timepoint.
 
 use std::collections::HashMap;
 
 use crate::error::FaultTreeError;
-use crate::event::{BasicEvent, EventId};
+use crate::event::{BasicEvent, EventId, FailureModel};
 use crate::gate::{Gate, GateId, GateKind};
 use crate::probability::Probability;
 use crate::tree::{FaultTree, NodeId};
@@ -33,10 +40,13 @@ pub(crate) enum RawNode {
         /// Names of the input nodes.
         inputs: Vec<String>,
     },
-    /// A basic event with a probability.
+    /// A basic event with a probability and/or a time-dependent failure law.
     Event {
-        /// Probability of occurrence.
-        probability: f64,
+        /// Explicit probability of occurrence, when given. When absent, the
+        /// base probability is derived from the model.
+        probability: Option<f64>,
+        /// Time-dependent failure law, when given.
+        model: Option<FailureModel>,
     },
 }
 
@@ -134,7 +144,39 @@ pub fn parse_galileo(input: &str) -> Result<FaultTree, FaultTreeError> {
             let probability: f64 = prob_text.parse().map_err(|_| {
                 parse_error(line_number, format!("invalid probability {prob_text:?}"))
             })?;
-            RawNode::Event { probability }
+            RawNode::Event {
+                probability: Some(probability),
+                model: None,
+            }
+        } else if let Some(lambda_text) = second.strip_prefix("lambda=") {
+            let lambda: f64 = lambda_text.parse().map_err(|_| {
+                parse_error(line_number, format!("invalid failure rate {lambda_text:?}"))
+            })?;
+            // An optional `mu=<rate>` after the failure rate selects the
+            // repairable unavailability law.
+            let mu = match tokens.get(2).map(|t| t.to_ascii_lowercase()) {
+                None => None,
+                Some(third) => match third.strip_prefix("mu=") {
+                    Some(mu_text) => Some(mu_text.parse::<f64>().map_err(|_| {
+                        parse_error(line_number, format!("invalid repair rate {mu_text:?}"))
+                    })?),
+                    None => {
+                        return Err(parse_error(
+                            line_number,
+                            format!("expected mu=<rate> after lambda, found {:?}", tokens[2]),
+                        ))
+                    }
+                },
+            };
+            let model = match mu {
+                Some(mu) => FailureModel::repairable(lambda, mu),
+                None => FailureModel::exponential(lambda),
+            }
+            .map_err(|e| parse_error(line_number, e.to_string()))?;
+            RawNode::Event {
+                probability: None,
+                model: Some(model),
+            }
         } else if second == "and" || second == "or" {
             let kind = if second == "and" {
                 GateKind::And
@@ -194,12 +236,23 @@ pub(crate) fn build_tree(
     let mut gate_names: Vec<&String> = Vec::new();
     for name in order {
         match &raw[name] {
-            RawNode::Event { probability } => {
+            RawNode::Event { probability, model } => {
+                let base = match (probability, model) {
+                    (Some(p), _) => Probability::new(*p)?,
+                    (None, Some(model)) => model.base_probability(),
+                    (None, None) => {
+                        return Err(FaultTreeError::Parse {
+                            line: 0,
+                            message: format!(
+                                "event {name:?} needs a probability or a failure rate"
+                            ),
+                        })
+                    }
+                };
                 let id = EventId::from_index(events.len());
-                events.push(BasicEvent::new(
-                    name.clone(),
-                    Probability::new(*probability)?,
-                ));
+                let mut event = BasicEvent::new(name.clone(), base);
+                event.set_model(*model);
+                events.push(event);
                 event_ids.insert(name, id);
             }
             RawNode::Gate { .. } => {
@@ -255,11 +308,25 @@ pub fn to_galileo_string(tree: &FaultTree) -> String {
         ));
     }
     for event in tree.events() {
-        out.push_str(&format!(
-            "\"{}\" prob={};\n",
-            event.name(),
-            event.probability().value()
-        ));
+        // Rate-parameterised events are written as their rates (the base
+        // probability is re-derived on parse); everything else — including
+        // explicitly pinned `Fixed` models, which Galileo cannot express —
+        // is written as its probability.
+        match event.model() {
+            Some(FailureModel::Exponential { lambda }) => {
+                out.push_str(&format!("\"{}\" lambda={lambda};\n", event.name()));
+            }
+            Some(FailureModel::Repairable { lambda, mu }) => {
+                out.push_str(&format!("\"{}\" lambda={lambda} mu={mu};\n", event.name()));
+            }
+            _ => {
+                out.push_str(&format!(
+                    "\"{}\" prob={};\n",
+                    event.name(),
+                    event.probability().value()
+                ));
+            }
+        }
     }
     out
 }
@@ -346,6 +413,47 @@ toplevel "top";
     }
 
     #[test]
+    fn parses_rate_parameterised_events() {
+        let text = "toplevel top;\ntop or pump link;\npump lambda=0.5;\nlink lambda=0.1 mu=0.9;\n";
+        let tree = parse_galileo(text).expect("valid Galileo input");
+        let pump = tree.event(tree.event_by_name("pump").unwrap());
+        assert_eq!(
+            pump.model(),
+            Some(&FailureModel::Exponential { lambda: 0.5 })
+        );
+        // The stored base probability is the law at the default mission time.
+        assert_eq!(
+            pump.probability().value(),
+            1.0 - (-0.5f64 * crate::event::DEFAULT_MISSION_TIME).exp()
+        );
+        let link = tree.event(tree.event_by_name("link").unwrap());
+        assert_eq!(
+            link.model(),
+            Some(&FailureModel::Repairable {
+                lambda: 0.1,
+                mu: 0.9
+            })
+        );
+
+        // The writer emits the rates back, and the round trip is exact.
+        let written = to_galileo_string(&tree);
+        assert!(written.contains("lambda=0.5"), "{written}");
+        assert!(written.contains("lambda=0.1 mu=0.9"), "{written}");
+        let reparsed = parse_galileo(&written).expect("round trip");
+        for id in tree.event_ids() {
+            let original = tree.event(id);
+            let back = reparsed.event(reparsed.event_by_name(original.name()).unwrap());
+            assert_eq!(original.model(), back.model());
+            assert_eq!(
+                original.probability().value().to_bits(),
+                back.probability().value().to_bits(),
+                "bit-exact base probability for {}",
+                original.name()
+            );
+        }
+    }
+
+    #[test]
     fn reports_helpful_errors() {
         assert!(matches!(
             parse_galileo("toplevel a\n"),
@@ -369,6 +477,22 @@ toplevel "top";
         ));
         assert!(matches!(
             parse_galileo("toplevel q;\nq 2of3 a b;\na prob=0.1;\nb prob=0.1;\n"),
+            Err(FaultTreeError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_galileo("toplevel a;\na lambda=oops;\n"),
+            Err(FaultTreeError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_galileo("toplevel a;\na lambda=-1;\n"),
+            Err(FaultTreeError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_galileo("toplevel a;\na lambda=0.1 mu=oops;\n"),
+            Err(FaultTreeError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_galileo("toplevel a;\na lambda=0.1 nu=0.2;\n"),
             Err(FaultTreeError::Parse { .. })
         ));
     }

@@ -18,6 +18,7 @@
 use std::collections::HashMap;
 
 use crate::error::FaultTreeError;
+use crate::event::FailureModel;
 use crate::gate::GateKind;
 use crate::tree::{FaultTree, NodeId};
 
@@ -44,17 +45,28 @@ serde::impl_serde_struct!(FaultTreeDocument {
 });
 
 /// A basic event declaration inside a [`FaultTreeDocument`].
+///
+/// An event is given either an explicit `probability`, a failure rate
+/// `lambda` (exponential law, optionally with a repair rate `mu` for the
+/// repairable unavailability law), or both — in which case the probability
+/// is the stored base value and the rates define the mission-time law.
 #[derive(Clone, Debug, PartialEq)]
 pub struct EventDocument {
     /// Event name (must be unique across events and gates).
     pub name: String,
-    /// Probability of occurrence in `[0, 1]`.
-    pub probability: f64,
+    /// Probability of occurrence in `[0, 1]`. When absent, derived from the
+    /// failure law at the default mission time.
+    pub probability: Option<f64>,
+    /// Failure rate `λ ≥ 0` of the exponential law `p(t) = 1 − exp(−λt)`.
+    pub lambda: Option<f64>,
+    /// Repair rate `μ ≥ 0`; together with `lambda` selects the repairable
+    /// unavailability law `λ/(λ+μ)·(1 − exp(−(λ+μ)t))`.
+    pub mu: Option<f64>,
     /// Optional free-form description.
     pub description: Option<String>,
 }
 
-serde::impl_serde_struct!(EventDocument { name, probability } optional { description });
+serde::impl_serde_struct!(EventDocument { name } optional { probability, lambda, mu, description });
 
 /// A gate declaration inside a [`FaultTreeDocument`].
 #[derive(Clone, Debug, PartialEq)]
@@ -88,10 +100,34 @@ impl FaultTreeDocument {
                     name: event.name.clone(),
                 });
             }
+            let model = match (event.lambda, event.mu) {
+                (Some(lambda), Some(mu)) => Some(FailureModel::repairable(lambda, mu)?),
+                (Some(lambda), None) => Some(FailureModel::exponential(lambda)?),
+                (None, Some(_)) => {
+                    return Err(FaultTreeError::Parse {
+                        line: 0,
+                        message: format!(
+                            "event {:?} declares a repair rate \"mu\" without a failure rate \"lambda\"",
+                            event.name
+                        ),
+                    })
+                }
+                (None, None) => None,
+            };
+            if event.probability.is_none() && model.is_none() {
+                return Err(FaultTreeError::Parse {
+                    line: 0,
+                    message: format!(
+                        "event {:?} needs a \"probability\" or a failure rate \"lambda\"",
+                        event.name
+                    ),
+                });
+            }
             raw.insert(
                 event.name.clone(),
                 RawNode::Event {
                     probability: event.probability,
+                    model,
                 },
             );
             order.push(event.name.clone());
@@ -128,16 +164,20 @@ impl FaultTreeDocument {
             order.push(gate.name.clone());
         }
         let tree = build_tree(&self.name, &self.top, &raw, &order)?;
-        // Re-attach event descriptions (build_tree only keeps probabilities).
+        // Re-attach event descriptions (build_tree only keeps probabilities
+        // and failure models).
         let mut events = tree.events().to_vec();
         for doc in &self.events {
             if let Some(id) = tree.event_by_name(&doc.name) {
                 if let Some(description) = &doc.description {
-                    events[id.index()] = crate::BasicEvent::with_description(
+                    let model = events[id.index()].model().copied();
+                    let mut event = crate::BasicEvent::with_description(
                         doc.name.clone(),
                         events[id.index()].probability(),
                         description.clone(),
                     );
+                    event.set_model(model);
+                    events[id.index()] = event;
                 }
             }
         }
@@ -152,10 +192,19 @@ impl FaultTreeDocument {
             events: tree
                 .events()
                 .iter()
-                .map(|e| EventDocument {
-                    name: e.name().to_string(),
-                    probability: e.probability().value(),
-                    description: e.description().map(str::to_string),
+                .map(|e| {
+                    let (lambda, mu) = match e.model() {
+                        Some(FailureModel::Exponential { lambda }) => (Some(*lambda), None),
+                        Some(FailureModel::Repairable { lambda, mu }) => (Some(*lambda), Some(*mu)),
+                        _ => (None, None),
+                    };
+                    EventDocument {
+                        name: e.name().to_string(),
+                        probability: Some(e.probability().value()),
+                        lambda,
+                        mu,
+                        description: e.description().map(str::to_string),
+                    }
                 })
                 .collect(),
             gates: tree
@@ -253,6 +302,72 @@ mod tests {
         assert_eq!(tree.event(b).description(), Some("backup fails"));
         assert!(tree.evaluate(&[true, true]));
         assert!(!tree.evaluate(&[true, false]));
+    }
+
+    #[test]
+    fn parses_rate_parameterised_events() {
+        let json = r#"{
+            "name": "demo",
+            "top": "g",
+            "events": [
+                { "name": "a", "lambda": 0.5 },
+                { "name": "b", "lambda": 0.1, "mu": 0.9, "description": "repairable pump" }
+            ],
+            "gates": [
+                { "name": "g", "kind": "or", "inputs": ["a", "b"] }
+            ]
+        }"#;
+        let tree = from_json_str(json).expect("valid document");
+        let a = tree.event_by_name("a").unwrap();
+        let b = tree.event_by_name("b").unwrap();
+        let exponential = crate::FailureModel::exponential(0.5).unwrap();
+        let repairable = crate::FailureModel::repairable(0.1, 0.9).unwrap();
+        assert_eq!(tree.event(a).model(), Some(&exponential));
+        assert_eq!(tree.event(b).model(), Some(&repairable));
+        assert_eq!(tree.event(b).description(), Some("repairable pump"));
+        assert_eq!(
+            tree.event(a).probability().value(),
+            exponential.base_probability().value()
+        );
+        assert_eq!(
+            tree.event(b).probability().value(),
+            repairable.base_probability().value()
+        );
+        // The exported document carries both the base probability and the
+        // rates, and re-importing reproduces the tree exactly.
+        let reparsed = from_json_str(&to_json_string(&tree)).expect("round trip");
+        assert_eq!(reparsed, tree);
+    }
+
+    #[test]
+    fn rate_documents_are_validated() {
+        let mu_without_lambda = r#"{
+            "name": "demo", "top": "a",
+            "events": [ { "name": "a", "mu": 0.5 } ],
+            "gates": []
+        }"#;
+        assert!(matches!(
+            from_json_str(mu_without_lambda),
+            Err(FaultTreeError::Parse { .. })
+        ));
+        let no_probability_or_rate = r#"{
+            "name": "demo", "top": "a",
+            "events": [ { "name": "a" } ],
+            "gates": []
+        }"#;
+        assert!(matches!(
+            from_json_str(no_probability_or_rate),
+            Err(FaultTreeError::Parse { .. })
+        ));
+        let negative_rate = r#"{
+            "name": "demo", "top": "a",
+            "events": [ { "name": "a", "lambda": -0.5 } ],
+            "gates": []
+        }"#;
+        assert!(matches!(
+            from_json_str(negative_rate),
+            Err(FaultTreeError::InvalidRate { .. })
+        ));
     }
 
     #[test]

@@ -373,6 +373,44 @@ impl FaultTree {
         Ok(())
     }
 
+    /// `true` when any event carries a time-dependent
+    /// [`FailureModel`](crate::event::FailureModel)
+    /// (other than an explicitly pinned fixed probability), i.e. when
+    /// [`FaultTree::at_time`] can produce different trees for different
+    /// mission times.
+    pub fn has_time_dependence(&self) -> bool {
+        self.events.iter().any(|event| {
+            matches!(
+                event.model(),
+                Some(crate::event::FailureModel::Exponential { .. })
+                    | Some(crate::event::FailureModel::Repairable { .. })
+            )
+        })
+    }
+
+    /// The tree evaluated at mission time `t`: structurally identical (same
+    /// events, gates, identifiers and models), with every event's probability
+    /// replaced by [`BasicEvent::probability_at`]`(t)`. Time-invariant events
+    /// keep their stored probability, so a model-free tree is returned
+    /// unchanged at every `t`.
+    ///
+    /// This is the single definition of "the tree at time `t`" shared by the
+    /// point queries and the incremental sweep paths, so sweep curves are
+    /// bit-identical to per-point re-analyses.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` is negative or not finite and an event has a model
+    /// (see [`FailureModel`](crate::event::FailureModel)).
+    pub fn at_time(&self, t: f64) -> FaultTree {
+        let mut tree = self.clone();
+        for event in &mut tree.events {
+            let p = event.probability_at(t);
+            event.set_probability(p);
+        }
+        tree
+    }
+
     /// Creates a tree directly from parts, validating the result.
     ///
     /// This is the low-level constructor used by the parsers; prefer
@@ -460,6 +498,26 @@ impl FaultTreeBuilder {
         let id = EventId::from_index(self.events.len());
         self.names.insert(name.clone(), NodeId::Event(id));
         self.events.push(BasicEvent::new(name, probability));
+        Ok(id)
+    }
+
+    /// Adds a basic event whose probability follows a time-dependent
+    /// failure law; the stored base probability is the law evaluated at
+    /// [`crate::DEFAULT_MISSION_TIME`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is already used.
+    pub fn modelled_event(
+        &mut self,
+        name: impl Into<String>,
+        model: crate::event::FailureModel,
+    ) -> Result<EventId, FaultTreeError> {
+        let name = name.into();
+        self.check_fresh_name(&name)?;
+        let id = EventId::from_index(self.events.len());
+        self.names.insert(name.clone(), NodeId::Event(id));
+        self.events.push(BasicEvent::with_model(name, model));
         Ok(id)
     }
 
@@ -780,6 +838,51 @@ mod tests {
         let json = serde_json::to_string(&tree).unwrap();
         let back: FaultTree = serde_json::from_str(&json).unwrap();
         assert_eq!(tree, back);
+    }
+
+    #[test]
+    fn at_time_requantifies_modelled_events_only() {
+        use crate::event::FailureModel;
+
+        let mut events = vec![
+            BasicEvent::with_model("pump", FailureModel::exponential(0.5).unwrap()),
+            BasicEvent::new("valve", Probability::new(0.25).unwrap()),
+        ];
+        events[1].set_model(Some(FailureModel::Fixed(Probability::new(0.25).unwrap())));
+        let gates = vec![Gate::new(
+            "top",
+            GateKind::Or,
+            vec![
+                NodeId::Event(EventId::from_index(0)),
+                NodeId::Event(EventId::from_index(1)),
+            ],
+        )];
+        let tree =
+            FaultTree::from_parts("timed", events, gates, NodeId::Gate(GateId::from_index(0)))
+                .unwrap();
+        assert!(tree.has_time_dependence());
+
+        let at2 = tree.at_time(2.0);
+        assert_eq!(at2.num_events(), 2);
+        assert_eq!(
+            at2.event(EventId::from_index(0)).probability().value(),
+            1.0 - (-1.0f64).exp()
+        );
+        // Fixed-model and model-free events are invariant.
+        assert_eq!(
+            at2.event(EventId::from_index(1)).probability().value(),
+            0.25
+        );
+        // Models survive, so `at_time` composes.
+        assert!(at2.has_time_dependence());
+        assert_eq!(
+            at2.at_time(0.0).event(EventId::from_index(0)).probability(),
+            Probability::ZERO
+        );
+
+        let plain = simple_tree();
+        assert!(!plain.has_time_dependence());
+        assert_eq!(plain.at_time(7.0), plain);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! parse→export→parse must preserve the structure exactly.
 
 use fault_tree::parser::{galileo, json};
-use fault_tree::{examples, FaultTree, GateKind};
+use fault_tree::{examples, FailureModel, FaultTree, FaultTreeBuilder, GateKind};
 
 /// Structural equality that is independent of node identifiers: compares
 /// trees by names, probabilities, gate kinds and named input lists.
@@ -23,6 +23,12 @@ fn assert_structurally_equal(a: &FaultTree, b: &FaultTree, context: &str) {
             b.event(other_id).probability().value(),
             event.probability().value(),
             "{context}: probability of {}",
+            event.name()
+        );
+        assert_eq!(
+            b.event(other_id).model(),
+            event.model(),
+            "{context}: failure model of {}",
             event.name()
         );
     }
@@ -70,6 +76,45 @@ fn galileo_parse_export_parse_is_stable() {
             .expect("re-exported Galileo parses");
         assert_eq!(twice, once, "second Galileo round trip of {name}");
     }
+}
+
+/// A small tree mixing fixed-probability, exponential and repairable events.
+fn rate_parameterised_tree() -> FaultTree {
+    let mut builder = FaultTreeBuilder::new("mission-time demo");
+    let fixed = builder.basic_event("fixed", 0.3).expect("fixed event");
+    let wearing = builder
+        .modelled_event("wearing", FailureModel::exponential(0.5).expect("rate"))
+        .expect("exponential event");
+    let serviced = builder
+        .modelled_event(
+            "serviced",
+            FailureModel::repairable(0.1, 0.9).expect("rates"),
+        )
+        .expect("repairable event");
+    let top = builder
+        .gate(
+            "top",
+            GateKind::Or,
+            [fixed.into(), wearing.into(), serviced.into()],
+        )
+        .expect("gate");
+    builder.build(top.into()).expect("tree")
+}
+
+#[test]
+fn failure_models_survive_both_formats() {
+    let tree = rate_parameterised_tree();
+    let via_json = json::from_json_str(&json::to_json_string(&tree)).expect("json");
+    assert_eq!(via_json, tree, "JSON round trip with failure models");
+    let via_galileo = galileo::parse_galileo(&galileo::to_galileo_string(&tree)).expect("galileo");
+    assert_structurally_equal(
+        &tree,
+        &via_galileo,
+        "Galileo round trip with failure models",
+    );
+    let twice = galileo::parse_galileo(&galileo::to_galileo_string(&via_galileo))
+        .expect("re-exported Galileo parses");
+    assert_eq!(twice, via_galileo, "second Galileo round trip");
 }
 
 #[test]

@@ -81,6 +81,19 @@ impl AnalysisBackend for BddBackend {
     fn top_event_probability(&self, tree: &FaultTree) -> Result<f64, BackendError> {
         Ok(compile_fault_tree(tree, self.ordering).top_event_probability(tree))
     }
+
+    /// Both variable orderings are purely structural, so one compilation
+    /// serves the whole grid; each timepoint is a Shannon requantification
+    /// over the shared diagram through a preallocated scratch memo — no BDD
+    /// construction and no per-point allocation.
+    fn probability_sweep(&self, tree: &FaultTree, grid: &[f64]) -> Result<Vec<f64>, BackendError> {
+        let compiled = compile_fault_tree(tree, self.ordering);
+        let mut requantifier = compiled.requantifier();
+        Ok(grid
+            .iter()
+            .map(|&t| requantifier.probability_with(|e| tree.event(e).probability_at(t).value()))
+            .collect())
+    }
 }
 
 #[cfg(test)]

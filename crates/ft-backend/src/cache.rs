@@ -45,7 +45,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use fault_tree::{canonical_form, CanonicalForm, CutSet, FaultTree};
+use fault_tree::{canonical_form, CanonicalForm, CutSet, FailureModel, FaultTree};
 
 use crate::solution::{canonical_sort, BackendSolution};
 use crate::{BackendConfig, BackendError, BackendKind};
@@ -69,6 +69,13 @@ pub enum QueryKind {
     AllMcs,
     /// [`AnalysisBackend::top_event_probability`](crate::AnalysisBackend::top_event_probability).
     TopProbability,
+    /// [`AnalysisBackend::probability_sweep`](crate::AnalysisBackend::probability_sweep)
+    /// with this [`sweep_fingerprint`] (grid bits plus every event's time
+    /// law). Sweep entries are keyed on the **structure** hash rather than
+    /// the weighted hash: the fingerprint already pins the complete
+    /// time-dependent weighting, so isomorphic structures sharing the same
+    /// laws reuse one curve.
+    Sweep(u64),
 }
 
 /// One full cache key.
@@ -94,6 +101,8 @@ enum CachedAnswer {
     Best(Vec<u32>, String),
     /// An exact top-event probability (stored as raw bits).
     Probability(u64),
+    /// A mission-time sweep curve, one raw-bits probability per grid point.
+    Curve(Vec<u64>),
     /// The tree has no cut set at all — a deterministic structural fact
     /// worth caching (the engines prove it the expensive way).
     NoCutSet,
@@ -111,6 +120,7 @@ impl CachedAnswer {
                     .sum::<usize>()
             }
             CachedAnswer::Best(cut, algorithm) => base + cut.len() * 4 + algorithm.len(),
+            CachedAnswer::Curve(points) => base + points.len() * 8,
             CachedAnswer::Probability(_) | CachedAnswer::NoCutSet => base,
         }
     }
@@ -309,6 +319,43 @@ pub fn config_fingerprint(kind: BackendKind, config: &BackendConfig) -> u64 {
     hasher.finish()
 }
 
+/// Fingerprint of everything a sweep curve depends on beyond the tree
+/// structure: the grid (exact `f64` bits) and every reachable event's time
+/// law — failure model or fixed probability — in canonical event order.
+/// Together with [`TreeHash::structure`](fault_tree::TreeHash) this pins the
+/// curve completely: mission times only ever move the leaf probabilities
+/// through these laws.
+pub fn sweep_fingerprint(tree: &FaultTree, form: &CanonicalForm, grid: &[f64]) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    grid.len().hash(&mut hasher);
+    for &t in grid {
+        t.to_bits().hash(&mut hasher);
+    }
+    for &id in &form.event_order {
+        let event = tree.event(id);
+        match event.model() {
+            None => {
+                0u8.hash(&mut hasher);
+                event.probability().value().to_bits().hash(&mut hasher);
+            }
+            Some(FailureModel::Fixed(p)) => {
+                1u8.hash(&mut hasher);
+                p.value().to_bits().hash(&mut hasher);
+            }
+            Some(FailureModel::Exponential { lambda }) => {
+                2u8.hash(&mut hasher);
+                lambda.to_bits().hash(&mut hasher);
+            }
+            Some(FailureModel::Repairable { lambda, mu }) => {
+                3u8.hash(&mut hasher);
+                lambda.to_bits().hash(&mut hasher);
+                mu.to_bits().hash(&mut hasher);
+            }
+        }
+    }
+    hasher.finish()
+}
+
 /// The result of a cache lookup: a miss, a cached complete answer, or a
 /// cached proof that the tree has no cut set.
 #[derive(Clone, Debug)]
@@ -426,6 +473,71 @@ impl CacheHandle {
         let key = self.key(&form, QueryKind::TopProbability);
         self.cache
             .insert(key, CachedAnswer::Probability(probability.to_bits()));
+    }
+
+    /// The cache key of a sweep over `grid`: the structure hash (standing in
+    /// for the weighted hash — the fingerprint pins the weights' time laws)
+    /// plus the grid/law fingerprint.
+    fn sweep_key(&self, tree: &FaultTree, form: &CanonicalForm, grid: &[f64]) -> CacheKey {
+        CacheKey {
+            weighted: form.hash.structure,
+            query: QueryKind::Sweep(sweep_fingerprint(tree, form, grid)),
+            config: self.fingerprint,
+        }
+    }
+
+    /// Looks up a mission-time sweep curve for exactly this grid.
+    pub fn lookup_curve(&self, tree: &FaultTree, grid: &[f64]) -> Cached<Vec<f64>> {
+        let form = canonical_form(tree);
+        match self.cache.lookup(&self.sweep_key(tree, &form, grid)) {
+            Some(CachedAnswer::Curve(points)) => {
+                Cached::Hit(points.iter().map(|&bits| f64::from_bits(bits)).collect())
+            }
+            Some(CachedAnswer::NoCutSet) => Cached::NoCutSet,
+            _ => Cached::Miss,
+        }
+    }
+
+    /// Stores a complete mission-time sweep curve for `grid`.
+    pub fn store_curve(&self, tree: &FaultTree, grid: &[f64], curve: &[f64]) {
+        let form = canonical_form(tree);
+        let key = self.sweep_key(tree, &form, grid);
+        self.cache.insert(
+            key,
+            CachedAnswer::Curve(curve.iter().map(|p| p.to_bits()).collect()),
+        );
+    }
+
+    /// Consults the cache for a mission-time sweep; mirrors
+    /// [`CacheHandle::probability`].
+    pub(crate) fn curve(
+        &self,
+        tree: &FaultTree,
+        grid: &[f64],
+        solve: impl FnOnce() -> Result<Vec<f64>, BackendError>,
+    ) -> Result<Vec<f64>, BackendError> {
+        let form = canonical_form(tree);
+        let key = self.sweep_key(tree, &form, grid);
+        match self.cache.lookup(&key) {
+            Some(CachedAnswer::Curve(points)) => {
+                Ok(points.iter().map(|&bits| f64::from_bits(bits)).collect())
+            }
+            Some(CachedAnswer::NoCutSet) => Err(BackendError::NoCutSet),
+            _ => match solve() {
+                Ok(curve) => {
+                    self.cache.insert(
+                        key,
+                        CachedAnswer::Curve(curve.iter().map(|p| p.to_bits()).collect()),
+                    );
+                    Ok(curve)
+                }
+                Err(BackendError::NoCutSet) => {
+                    self.cache.insert(key, CachedAnswer::NoCutSet);
+                    Err(BackendError::NoCutSet)
+                }
+                Err(other) => Err(other),
+            },
+        }
     }
 
     /// Stores the proof that the tree has no cut set, under `query`.
@@ -620,6 +732,11 @@ impl AnalysisBackend for CachedBackend {
             .probability(tree, || self.inner.top_event_probability(tree))
     }
 
+    fn probability_sweep(&self, tree: &FaultTree, grid: &[f64]) -> Result<Vec<f64>, BackendError> {
+        self.handle
+            .curve(tree, grid, || self.inner.probability_sweep(tree, grid))
+    }
+
     fn all_mcs_under(
         &self,
         tree: &FaultTree,
@@ -694,6 +811,92 @@ mod tests {
         assert!(stats.hits >= 9, "one warm hit per query per backend");
         assert!(stats.insertions >= 9);
         assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn cached_sweeps_reproduce_fresh_curves_bit_for_bit() {
+        let mut builder = fault_tree::FaultTreeBuilder::new("sweep cache");
+        let pump = builder
+            .modelled_event("pump", fault_tree::FailureModel::exponential(0.4).unwrap())
+            .unwrap();
+        let valve = builder.basic_event("valve", 0.05).unwrap();
+        let standby = builder
+            .modelled_event(
+                "standby",
+                fault_tree::FailureModel::repairable(0.2, 0.8).unwrap(),
+            )
+            .unwrap();
+        let pumps = builder
+            .gate(
+                "pumps",
+                fault_tree::GateKind::And,
+                [pump.into(), standby.into()],
+            )
+            .unwrap();
+        let top = builder
+            .gate(
+                "top",
+                fault_tree::GateKind::Or,
+                [valve.into(), pumps.into()],
+            )
+            .unwrap();
+        let tree = builder.build(top.into()).unwrap();
+        let grid: Vec<f64> = (0..40).map(|i| i as f64 * 0.25).collect();
+        for kind in [BackendKind::MaxSat, BackendKind::Bdd, BackendKind::Mocus] {
+            for preprocess in [false, true] {
+                let config = BackendConfig {
+                    preprocess,
+                    ..BackendConfig::default()
+                };
+                let plain = crate::backend_for(kind, &tree, &config).1;
+                let fresh = plain.probability_sweep(&tree, &grid).expect("solvable");
+                let cache = AnalysisCache::shared();
+                let cached = backend_for_cached(kind, &tree, &config, Some(cache.clone())).1;
+                let cold = cached.probability_sweep(&tree, &grid).expect("solvable");
+                let warm = cached.probability_sweep(&tree, &grid).expect("solvable");
+                for (point, (&f, (&c, &w))) in fresh.iter().zip(cold.iter().zip(&warm)).enumerate()
+                {
+                    assert_eq!(
+                        f.to_bits(),
+                        c.to_bits(),
+                        "{kind} preprocess={preprocess} point {point} cold"
+                    );
+                    assert_eq!(
+                        f.to_bits(),
+                        w.to_bits(),
+                        "{kind} preprocess={preprocess} point {point} warm"
+                    );
+                }
+                assert!(cache.stats().hits > 0, "warm sweep must hit: {kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_entries_key_on_the_grid_and_the_time_laws() {
+        let tree = fire_protection_system();
+        let form = canonical_form(&tree);
+        let grid_a = [0.0, 0.5, 1.0];
+        let grid_b = [0.0, 0.5, 2.0];
+        assert_ne!(
+            sweep_fingerprint(&tree, &form, &grid_a),
+            sweep_fingerprint(&tree, &form, &grid_b),
+            "different grids must not alias"
+        );
+        let mut events = tree.events().to_vec();
+        events[0].set_model(Some(FailureModel::exponential(0.3).unwrap()));
+        let modelled =
+            FaultTree::from_parts(tree.name(), events, tree.gates().to_vec(), tree.top()).unwrap();
+        let modelled_form = canonical_form(&modelled);
+        assert_eq!(
+            modelled_form.hash.structure, form.hash.structure,
+            "attaching a model never changes the structure hash"
+        );
+        assert_ne!(
+            sweep_fingerprint(&tree, &form, &grid_a),
+            sweep_fingerprint(&modelled, &modelled_form, &grid_a),
+            "different time laws must not alias"
+        );
     }
 
     #[test]

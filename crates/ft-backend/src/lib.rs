@@ -68,12 +68,12 @@ use mpmcs::{AlgorithmChoice, BranchingChoice, MpmcsOptions};
 pub use auto::{choose_backend, StructuralFeatures};
 pub use bdd::BddBackend;
 pub use cache::{
-    config_fingerprint, AnalysisCache, CacheHandle, CacheStats, Cached, CachedBackend, QueryKind,
-    DEFAULT_CACHE_BYTES,
+    config_fingerprint, sweep_fingerprint, AnalysisCache, CacheHandle, CacheStats, Cached,
+    CachedBackend, QueryKind, DEFAULT_CACHE_BYTES,
 };
 pub use control::{Budget, CancelToken, QueryControl, StopCause};
 pub use maxsat::MaxSatBackend;
-pub use mocus::{exact_union_probability, MocusBackend};
+pub use mocus::{exact_union_probability, reprice_sweep, MocusBackend};
 pub use preprocess::{decompose, ModularDecomposition, ModulePiece, PreprocessedBackend};
 pub use solution::{canonical_sort, scaled_cut_cost, BackendSolution};
 
@@ -277,6 +277,34 @@ pub trait AnalysisBackend: Send + Sync {
     /// exactly within its budget (MCS-based engines on trees with many cut
     /// sets), or a budget error.
     fn top_event_probability(&self, tree: &FaultTree) -> Result<f64, BackendError>;
+
+    /// The exact top-event probability at every mission time in `grid` — a
+    /// *mission-time sweep*. Point `i` of the result equals
+    /// [`top_event_probability`](AnalysisBackend::top_event_probability) on
+    /// [`FaultTree::at_time`]`(grid[i])`, bit for bit.
+    ///
+    /// The default implementation is exactly that naive per-point loop.
+    /// Every engine overrides it with an incremental path that solves the
+    /// structure **once** and re-quantifies each timepoint in time linear in
+    /// the solved representation (BDD nodes, cut-set family, or module
+    /// decomposition) — mission times move only the leaf probabilities, never
+    /// the structure.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as
+    /// [`top_event_probability`](AnalysisBackend::top_event_probability).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `grid` contains a negative or non-finite mission time and
+    /// the tree has time-dependent events (see
+    /// [`fault_tree::FailureModel::probability_at`]).
+    fn probability_sweep(&self, tree: &FaultTree, grid: &[f64]) -> Result<Vec<f64>, BackendError> {
+        grid.iter()
+            .map(|&t| self.top_event_probability(&tree.at_time(t)))
+            .collect()
+    }
 
     /// Every minimal cut set, most probable first, under a deadline /
     /// cancellation control — the entry point the session facade's budgets

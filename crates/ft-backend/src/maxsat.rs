@@ -107,6 +107,27 @@ impl AnalysisBackend for MaxSatBackend {
         crate::mocus::exact_union_probability(tree, &cut_sets, self.probability_budget, self.name())
     }
 
+    /// The minimal-cut-set family depends on the structure alone, so the SAT
+    /// enumeration runs once for the whole grid; each timepoint re-prices the
+    /// cached family under the probabilities at `t`, re-establishes the
+    /// canonical (weight-dependent) order the point query quantifies in, and
+    /// computes the exact union — zero further SAT calls.
+    fn probability_sweep(&self, tree: &FaultTree, grid: &[f64]) -> Result<Vec<f64>, BackendError> {
+        let family: Vec<CutSet> = match self.all_mcs(tree) {
+            Ok(solutions) => solutions.into_iter().map(|s| s.cut_set).collect(),
+            Err(BackendError::NoCutSet) => return Ok(vec![0.0; grid.len()]),
+            Err(other) => return Err(other),
+        };
+        crate::mocus::reprice_sweep(
+            tree,
+            &family,
+            grid,
+            self.probability_budget,
+            self.name(),
+            true,
+        )
+    }
+
     /// The MaxSAT engine is *anytime*: the enumeration streams one cut set at
     /// a time from a live incremental session with the control's probe
     /// threaded down into the CDCL search loop, so a stopped query reports

@@ -170,6 +170,51 @@ fn pivotal(
     }
 }
 
+/// Sweeps an already-enumerated minimal-cut-set family over a mission-time
+/// grid: per point, re-derive the event probabilities at `t`, optionally
+/// re-establish the canonical (probability-dependent) order, and quantify
+/// the union exactly. Shared by the MCS-based backends' incremental
+/// [`AnalysisBackend::probability_sweep`] overrides — the enumeration (the
+/// expensive, structural part) never re-runs.
+///
+/// `canonical` selects the per-point family order and must mirror the
+/// backend's point query: the MaxSAT engine quantifies in the canonical
+/// enumeration order (which depends on the weights, hence on `t`), while
+/// MOCUS quantifies in its structural expansion order (independent of `t`).
+/// The session facade's warm sweep goes through this same function so its
+/// curves are bit-identical to the backend's.
+///
+/// # Errors
+///
+/// Propagates [`exact_union_probability`]'s budget error when a point's
+/// pivotal decomposition exceeds `budget`.
+pub fn reprice_sweep(
+    tree: &FaultTree,
+    family: &[CutSet],
+    grid: &[f64],
+    budget: usize,
+    backend: &'static str,
+    canonical: bool,
+) -> Result<Vec<f64>, BackendError> {
+    let mut curve = Vec::with_capacity(grid.len());
+    for &t in grid {
+        let tree_t = tree.at_time(t);
+        let value = if canonical {
+            let mut solutions: Vec<BackendSolution> = family
+                .iter()
+                .map(|cut| BackendSolution::from_cut(&tree_t, cut.clone(), backend))
+                .collect();
+            canonical_sort(&tree_t, &mut solutions);
+            let cuts: Vec<CutSet> = solutions.into_iter().map(|s| s.cut_set).collect();
+            exact_union_probability(&tree_t, &cuts, budget, backend)?
+        } else {
+            exact_union_probability(&tree_t, family, budget, backend)?
+        };
+        curve.push(value);
+    }
+    Ok(curve)
+}
+
 /// Partitions a cut-set family into its event-connected components (cuts in
 /// different components share no event). Union-find over the cut indices.
 fn split_components(cuts: &[CutSet]) -> Vec<Vec<CutSet>> {
@@ -241,6 +286,22 @@ impl AnalysisBackend for MocusBackend {
     fn top_event_probability(&self, tree: &FaultTree) -> Result<f64, BackendError> {
         let cut_sets = self.cut_sets(tree)?;
         exact_union_probability(tree, &cut_sets, self.probability_budget, self.name())
+    }
+
+    /// The MOCUS expansion is purely structural, so it runs once for the
+    /// whole grid; each timepoint re-quantifies the same family — in the
+    /// same expansion order the point query uses — under the probabilities
+    /// at `t`.
+    fn probability_sweep(&self, tree: &FaultTree, grid: &[f64]) -> Result<Vec<f64>, BackendError> {
+        let family = self.cut_sets(tree)?;
+        reprice_sweep(
+            tree,
+            &family,
+            grid,
+            self.probability_budget,
+            self.name(),
+            false,
+        )
     }
 
     /// MOCUS polls the control once per gate expansion, so a deadline or a

@@ -419,6 +419,16 @@ impl PreprocessedBackend {
         }
     }
 
+    /// A module mission-time sweep, through the cache when one is attached.
+    fn module_sweep(&self, piece: &ModulePiece, grid: &[f64]) -> Result<Vec<f64>, BackendError> {
+        match &self.cache {
+            Some(handle) => handle.curve(&piece.tree, grid, || {
+                self.probability_sweep(&piece.tree, grid)
+            }),
+            None => self.probability_sweep(&piece.tree, grid),
+        }
+    }
+
     /// Merges the optional MaxSAT statistics of composed pieces (classical
     /// engines contribute nothing).
     fn merge_stats(pieces: &[Option<MaxSatStats>]) -> Option<MaxSatStats> {
@@ -559,6 +569,30 @@ impl AnalysisBackend for PreprocessedBackend {
         }
         let quotient = decomposition.quotient_tree(&probabilities);
         self.inner.top_event_probability(&quotient)
+    }
+
+    /// Simplification and modular decomposition are purely structural, so
+    /// they run once for the whole grid; each module is then swept once
+    /// through this pass manager's own incremental path (recursively
+    /// re-decomposing it), and every timepoint only re-quantifies the small
+    /// quotient tree — the exact composition the point query performs at
+    /// that time.
+    fn probability_sweep(&self, tree: &FaultTree, grid: &[f64]) -> Result<Vec<f64>, BackendError> {
+        let simplified = simplify(tree);
+        let Some(decomposition) = decompose(&simplified) else {
+            return self.inner.probability_sweep(&simplified, grid);
+        };
+        let mut module_curves: Vec<Vec<f64>> = Vec::new();
+        for piece in &decomposition.modules {
+            module_curves.push(self.module_sweep(piece, grid)?);
+        }
+        let mut curve = Vec::with_capacity(grid.len());
+        for (index, &t) in grid.iter().enumerate() {
+            let probabilities: Vec<f64> = module_curves.iter().map(|curve| curve[index]).collect();
+            let quotient = decomposition.quotient_tree(&probabilities).at_time(t);
+            curve.push(self.inner.top_event_probability(&quotient)?);
+        }
+        Ok(curve)
     }
 }
 

@@ -12,7 +12,9 @@ use ft_session::{Analyzer, SessionError};
 use mpmcs::{AlgorithmChoice, BranchingChoice};
 
 use crate::manifest::{BatchJob, BatchManifest};
-use crate::report::{BatchReport, BatchSummary, CacheSummary, ImportanceRow, TreeReport};
+use crate::report::{
+    BatchReport, BatchSummary, CacheSummary, ImportanceRow, SweepCurve, TreeReport,
+};
 
 /// How many minimal cut sets the importance pre-computation (MOCUS) may
 /// enumerate per tree before the importance table is skipped for that tree.
@@ -68,6 +70,13 @@ pub struct BatchConfig {
     /// redacted from the deterministic rendering, because the cache never
     /// changes an answer, only how fast it arrives.
     pub cache: Option<Arc<AnalysisCache>>,
+    /// A mission-time grid (CLI `--sweep`): every tree additionally reports
+    /// its top-event probability curve over these times, computed
+    /// incrementally by [`Analyzer::sweep`] — the structure is solved once
+    /// and each point re-quantified, bit-identical to the corresponding
+    /// point queries. `None` (the default) keeps sweepless reports at their
+    /// historical byte format.
+    pub sweep: Option<Vec<f64>>,
 }
 
 impl Default for BatchConfig {
@@ -85,6 +94,7 @@ impl Default for BatchConfig {
             timeout_ms: None,
             max_solutions: None,
             cache: None,
+            sweep: None,
         }
     }
 }
@@ -224,6 +234,7 @@ fn analyze_job(job: &BatchJob, config: &BatchConfig) -> TreeReport {
         error: None,
         importance: None,
         truncated: None,
+        sweep: None,
     };
     let tree = match job.load() {
         Ok(tree) => tree,
@@ -262,6 +273,21 @@ fn analyze_job(job: &BatchJob, config: &BatchConfig) -> TreeReport {
                 .collect();
             if config.importance {
                 report.importance = importance_rows(analyzer.tree(), config.bdd_ordering);
+            }
+            if let Some(grid) = &config.sweep {
+                match analyzer.sweep(grid) {
+                    Ok(curve) => {
+                        report.sweep = Some(SweepCurve {
+                            grid: curve.grid,
+                            probabilities: curve.probabilities,
+                        });
+                    }
+                    Err(SessionError::Stopped(_)) => report.truncated = Some(true),
+                    // Any other sweep failure (e.g. a quantification budget
+                    // overrun) leaves the curve off the row, like an
+                    // over-budget importance table.
+                    Err(_) => {}
+                }
             }
         }
         Err(SessionError::Stopped(_)) => {
@@ -545,6 +571,50 @@ mod tests {
             "cacheless summaries keep their shape"
         );
         assert!(warm.render_text().contains("cache: "));
+    }
+
+    /// An opt-in sweep grid attaches a per-tree curve whose every point is
+    /// bit-identical to the facade's point query at that mission time;
+    /// leaving the grid off keeps the historical report bytes (no `sweep`
+    /// key at all).
+    #[test]
+    fn sweep_grids_attach_bit_identical_curves_only_when_requested() {
+        // Small trees with benign seeds: every grid point pays a full exact
+        // quantification (the batch sweep itself plus the facade's reference
+        // point query), and the random-mixed family can produce trees whose
+        // full enumeration explodes combinatorially even at this node count.
+        let manifest = BatchManifest::generated(Family::RandomMixed, 24, 2, 2020);
+        let grid = vec![0.0, 0.5, 2.0];
+        let plain = run_batch(&manifest, &BatchConfig::default());
+        assert!(
+            !plain.to_json().contains("\"sweep\""),
+            "sweepless reports keep their historical shape"
+        );
+        let swept = run_batch(
+            &manifest,
+            &BatchConfig {
+                sweep: Some(grid.clone()),
+                ..BatchConfig::default()
+            },
+        );
+        assert_eq!(swept.summary.succeeded, 2);
+        for (row, job) in swept.results.iter().zip(&manifest.jobs) {
+            let curve = row.sweep.as_ref().expect("sweep requested");
+            assert_eq!(curve.grid, grid);
+            let tree = job.load().expect("generated jobs load");
+            for (&t, &swept_p) in curve.grid.iter().zip(&curve.probabilities) {
+                let point = Analyzer::for_tree(tree.at_time(t))
+                    .probability()
+                    .expect("solvable");
+                assert_eq!(
+                    swept_p.to_bits(),
+                    point.to_bits(),
+                    "{}: batch sweep diverged at t={t}",
+                    row.name
+                );
+            }
+        }
+        assert!(swept.to_json().contains("\"sweep\""));
     }
 
     #[test]

@@ -51,5 +51,5 @@ pub use engine::{run_batch, BatchConfig};
 pub use manifest::{BatchError, BatchJob, BatchManifest, TreeFormat, TreeSource};
 pub use report::{
     redact_search_counters, redact_solver_stats, redact_timings, BatchReport, BatchSummary,
-    CacheSummary, ImportanceRow, TreeReport,
+    CacheSummary, ImportanceRow, SweepCurve, TreeReport,
 };

@@ -24,6 +24,23 @@ serde::impl_serde_struct!(ImportanceRow {
     criticality
 });
 
+/// A mission-time sweep curve of one tree: the top-event probability at
+/// every grid point, computed incrementally (structure solved once, each
+/// point re-quantified) and bit-identical to the corresponding point
+/// queries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepCurve {
+    /// The mission-time grid, in query order.
+    pub grid: Vec<f64>,
+    /// `probabilities[i]` is the exact top-event probability at `grid[i]`.
+    pub probabilities: Vec<f64>,
+}
+
+serde::impl_serde_struct!(SweepCurve {
+    grid,
+    probabilities
+});
+
 /// The per-tree slice of a batch report.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TreeReport {
@@ -54,6 +71,10 @@ pub struct TreeReport {
     /// prefix proven before the stop. Absent for complete rows, so budgetless
     /// batches keep their historical byte format.
     pub truncated: Option<bool>,
+    /// The mission-time sweep curve, when the batch was configured with a
+    /// grid ([`BatchConfig::sweep`](crate::BatchConfig)). Absent otherwise,
+    /// keeping sweepless batches' historical byte format.
+    pub sweep: Option<SweepCurve>,
 }
 
 serde::impl_serde_struct!(TreeReport {
@@ -65,7 +86,7 @@ serde::impl_serde_struct!(TreeReport {
     sat_calls,
     solve_time_ms,
     cut_sets
-} optional { error, importance, truncated });
+} optional { error, importance, truncated, sweep });
 
 /// Counter snapshot of the shared analysis cache over one batch run
 /// (present when the batch was configured with a cache). The monotone
@@ -379,6 +400,7 @@ mod tests {
                     error: None,
                     importance: None,
                     truncated: None,
+                    sweep: None,
                 },
                 TreeReport {
                     name: "b.dft".to_string(),
@@ -392,6 +414,7 @@ mod tests {
                     error: Some("cannot parse b.dft: bad gate".to_string()),
                     importance: None,
                     truncated: None,
+                    sweep: None,
                 },
             ],
         }

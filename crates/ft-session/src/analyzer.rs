@@ -11,7 +11,9 @@ use ft_backend::{
 };
 use mpmcs::{AlgorithmChoice, BranchingChoice, McsStream, MpmcsOptions, StreamStep};
 
-use crate::results::{ImportanceReport, ImportanceRow, SessionError, SolutionSet, Termination};
+use crate::results::{
+    ImportanceReport, ImportanceRow, SessionError, SolutionSet, SweepReport, Termination,
+};
 use crate::stream::SolutionStream;
 
 /// The warm per-analyzer solver state of the incremental MaxSAT engine: one
@@ -623,6 +625,131 @@ impl Analyzer {
         }
     }
 
+    /// The exact top-event probability curve over a mission-time grid — the
+    /// incremental sweep query.
+    ///
+    /// The structural solve runs **once** for the whole grid: the warm MaxSAT
+    /// session enumerates the minimal-cut-set family a single time and every
+    /// timepoint re-prices it under the probabilities at `t` (the family
+    /// depends on the structure alone); the delegated engines go through
+    /// their own [`AnalysisBackend::probability_sweep`] overrides (the BDD
+    /// backend re-quantifies its compiled diagram, the preprocessing pass
+    /// recomposes per-module curves). Each point is bit-identical to the
+    /// corresponding point [`Analyzer::probability`] query against
+    /// [`FaultTree::at_time`]`(t)`.
+    ///
+    /// With a shared [`AnalysisCache`] attached, complete curves are
+    /// deposited under the tree's *structure* hash plus a grid/time-law
+    /// fingerprint and replayed bit-identically for isomorphic trees.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Stopped`] when the budget or cancellation fired
+    /// before the structural solve finished, and the engines' budget errors.
+    /// A tree with no cut set yields the all-zero curve, mirroring
+    /// [`Analyzer::probability`].
+    pub fn sweep(&mut self, grid: &[f64]) -> Result<SweepReport, SessionError> {
+        let control = self.control();
+        let report = |probabilities: Vec<f64>| SweepReport {
+            grid: grid.to_vec(),
+            probabilities,
+        };
+        if self.uses_warm_session() {
+            let handle = self.warm_cache_handle();
+            if let Some(handle) = &handle {
+                match handle.lookup_curve(&self.tree, grid) {
+                    Cached::Hit(probabilities) => return Ok(report(probabilities)),
+                    Cached::NoCutSet => return Ok(report(vec![0.0; grid.len()])),
+                    Cached::Miss => {}
+                }
+            }
+            match self.extend_prefix(None, &control) {
+                Ok(None) => {}
+                Ok(Some(termination)) => {
+                    return Err(stopped_error(Some(termination), &control));
+                }
+                // No cut set: the top event cannot occur at any time.
+                Err(SessionError::NoCutSet) => {
+                    let probabilities = vec![0.0; grid.len()];
+                    if let Some(handle) = &handle {
+                        handle.store_curve(&self.tree, grid, &probabilities);
+                    }
+                    return Ok(report(probabilities));
+                }
+                Err(other) => return Err(other),
+            }
+            let family: Vec<CutSet> = self.warm.cache.iter().map(|s| s.cut_set.clone()).collect();
+            let probabilities = ft_backend::reprice_sweep(
+                &self.tree,
+                &family,
+                grid,
+                self.config.probability_budget,
+                "maxsat",
+                true,
+            )?;
+            if let Some(handle) = &handle {
+                handle.store_curve(&self.tree, grid, &probabilities);
+            }
+            Ok(report(probabilities))
+        } else {
+            if let Some(cause) = control.stop_cause() {
+                return Err(SessionError::Stopped(cause.into()));
+            }
+            let tree = Arc::clone(&self.tree);
+            Ok(report(self.ensure_engine().probability_sweep(&tree, grid)?))
+        }
+    }
+
+    /// Per-event importance tables over a mission-time grid — one
+    /// [`ImportanceReport`] per grid point, each bit-identical to the point
+    /// [`Analyzer::importance`] query against [`FaultTree::at_time`]`(t)`.
+    ///
+    /// The two structural solves are amortized across the whole grid: the
+    /// minimal-cut-set family is enumerated once (it depends on the structure
+    /// alone, so each point only re-establishes the canonical weight-
+    /// dependent order), and the exact-probability oracle compiles the ROBDD
+    /// once and re-quantifies it per conditioned probability vector.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Analyzer::importance`]: a budget-stopped family
+    /// enumeration surfaces as [`SessionError::Stopped`].
+    pub fn importance_sweep(
+        &mut self,
+        grid: &[f64],
+    ) -> Result<Vec<ImportanceReport>, SessionError> {
+        let family = self.all_mcs()?;
+        if family.is_truncated() {
+            return Err(SessionError::Stopped(family.termination));
+        }
+        let cuts: Vec<CutSet> = family
+            .solutions
+            .into_iter()
+            .map(|solution| solution.cut_set)
+            .collect();
+        let compiled = bdd_engine::compile_fault_tree(&self.tree, self.config.bdd_ordering);
+        let mut requantifier = compiled.requantifier();
+        let mut reports = Vec::with_capacity(grid.len());
+        for &t in grid {
+            let tree_t = self.tree.at_time(t);
+            // The point query's family arrives in the canonical order at
+            // `t`; re-establish it so order-sensitive sums match bit for bit.
+            let mut solutions: Vec<BackendSolution> = cuts
+                .iter()
+                .map(|cut| BackendSolution::from_cut(&tree_t, cut.clone(), "maxsat"))
+                .collect();
+            ft_backend::canonical_sort(&tree_t, &mut solutions);
+            let cuts_t: Vec<CutSet> = solutions.into_iter().map(|s| s.cut_set).collect();
+            let exact = |conditioned: &FaultTree| {
+                requantifier
+                    .probability_with(|event| conditioned.event(event).probability().value())
+            };
+            let table = ft_analysis::importance::ImportanceTable::compute(&tree_t, &cuts_t, exact);
+            reports.push(importance_report(&tree_t, &table));
+        }
+        Ok(reports)
+    }
+
     /// The per-event importance table (Birnbaum, Fussell-Vesely, RAW, RRW,
     /// criticality, structural), computed from the full minimal-cut-set
     /// family and the exact BDD probability.
@@ -647,23 +774,7 @@ impl Analyzer {
             bdd_engine::compile_fault_tree(t, ordering).top_event_probability(t)
         };
         let table = ft_analysis::importance::ImportanceTable::compute(&self.tree, &cut_sets, exact);
-        let rows = self
-            .tree
-            .event_ids()
-            .map(|event| {
-                let i = event.index();
-                ImportanceRow {
-                    event: self.tree.event(event).name().to_string(),
-                    birnbaum: table.birnbaum[i],
-                    fussell_vesely: table.fussell_vesely[i],
-                    raw: table.raw[i],
-                    rrw: table.rrw[i],
-                    criticality: table.criticality[i],
-                    structural: table.structural[i],
-                }
-            })
-            .collect();
-        Ok(ImportanceReport { rows })
+        Ok(importance_report(&self.tree, &table))
     }
 
     /// Opens a lazy [`SolutionStream`]: minimal cut sets are pulled one at a
@@ -674,6 +785,30 @@ impl Analyzer {
     pub fn stream(&self) -> SolutionStream {
         SolutionStream::open(self)
     }
+}
+
+/// Materialises a computed importance table into the facade's typed report
+/// (one row per basic event, in event-identifier order).
+fn importance_report(
+    tree: &FaultTree,
+    table: &ft_analysis::importance::ImportanceTable,
+) -> ImportanceReport {
+    let rows = tree
+        .event_ids()
+        .map(|event| {
+            let i = event.index();
+            ImportanceRow {
+                event: tree.event(event).name().to_string(),
+                birnbaum: table.birnbaum[i],
+                fussell_vesely: table.fussell_vesely[i],
+                raw: table.raw[i],
+                rrw: table.rrw[i],
+                criticality: table.criticality[i],
+                structural: table.structural[i],
+            }
+        })
+        .collect();
+    ImportanceReport { rows }
 }
 
 /// Maps a stopped-before-first-answer extension into the facade error.

@@ -10,7 +10,8 @@
 //! * [`Analyzer`] — a builder-style facade owning the parsed tree and the
 //!   warm incremental solver state, answering typed queries
 //!   ([`Analyzer::mpmcs`], [`Analyzer::top_k`], [`Analyzer::all_mcs`],
-//!   [`Analyzer::probability`], [`Analyzer::importance`]);
+//!   [`Analyzer::probability`], [`Analyzer::importance`], and the
+//!   incremental mission-time [`Analyzer::sweep`]);
 //! * [`SolutionStream`] — lazy streaming: one cut set at a time from the
 //!   live CDCL session, bounded memory, early exit, byte-identical to the
 //!   collected answers;
@@ -58,7 +59,9 @@ mod service;
 mod stream;
 
 pub use analyzer::Analyzer;
-pub use results::{ImportanceReport, ImportanceRow, SessionError, SolutionSet, Termination};
+pub use results::{
+    ImportanceReport, ImportanceRow, SessionError, SolutionSet, SweepReport, Termination,
+};
 pub use service::{AnalysisService, ServiceConfig};
 pub use stream::SolutionStream;
 

@@ -110,6 +110,30 @@ pub struct ImportanceReport {
     pub rows: Vec<ImportanceRow>,
 }
 
+/// The typed result of [`Analyzer::sweep`](crate::Analyzer::sweep): the
+/// top-event probability curve over a mission-time grid. Each point is
+/// bit-identical to the corresponding point
+/// [`probability()`](crate::Analyzer::probability) query against the tree
+/// re-quantified at that time — the sweep only amortizes the structural
+/// solve, never changes an answer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepReport {
+    /// The mission-time grid, in query order.
+    pub grid: Vec<f64>,
+    /// `probabilities[i]` is the exact top-event probability at `grid[i]`.
+    pub probabilities: Vec<f64>,
+}
+
+impl SweepReport {
+    /// Iterates the curve as `(t, probability)` pairs.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.grid
+            .iter()
+            .copied()
+            .zip(self.probabilities.iter().copied())
+    }
+}
+
 /// Errors surfaced by the session facade.
 #[derive(Clone, Debug, PartialEq)]
 pub enum SessionError {

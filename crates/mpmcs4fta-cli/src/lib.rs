@@ -165,6 +165,16 @@ OPTIONS:
     --cache-bytes <N>           Byte budget of the --cache table (default
                                 67108864 = 64 MiB); least-recently-used
                                 entries are evicted beyond it. Implies --cache
+    --sweep <START:END:STEP>    Mission-time sweep (mpmcs analysis and batch
+                                mode): report the top-event probability at
+                                every time START, START+STEP, ... <= END.
+                                The structure is solved once (BDD compile /
+                                cut-set enumeration) and re-quantified per
+                                point, each point bit-identical to the same
+                                query against the tree evaluated at that time
+    --sweep-format <json|csv>   Output of a single-tree --sweep: json
+                                (default; grid + probabilities arrays) or csv
+                                (t,probability rows, ready for plotting)
     --output <FILE>             Write the JSON report to FILE instead of stdout
     --quiet                     Suppress the human-readable summary on stderr
 
@@ -232,6 +242,44 @@ pub enum InputFormat {
     Galileo,
 }
 
+/// A mission-time grid specification parsed from `--sweep <START:END:STEP>`:
+/// the times `START, START+STEP, …` up to and including `END`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepRange {
+    /// First mission time (non-negative).
+    pub start: f64,
+    /// Inclusive upper bound on the mission times.
+    pub end: f64,
+    /// Spacing between consecutive mission times (positive).
+    pub step: f64,
+}
+
+impl SweepRange {
+    /// How many mission times the range describes.
+    pub fn points(&self) -> usize {
+        // The epsilon keeps an exactly-divisible range (0:10:0.5) from
+        // losing its endpoint to floating-point rounding.
+        ((self.end - self.start) / self.step + 1e-9).floor() as usize + 1
+    }
+
+    /// Materialises the mission-time grid.
+    pub fn grid(&self) -> Vec<f64> {
+        (0..self.points())
+            .map(|i| self.start + i as f64 * self.step)
+            .collect()
+    }
+}
+
+/// Output format of a single-tree `--sweep` curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepFormat {
+    /// A JSON object carrying the grid and the probability curve (default).
+    #[default]
+    Json,
+    /// `t,probability` CSV rows, ready for plotting tools.
+    Csv,
+}
+
 /// The top-level mode the invocation selects.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CliMode {
@@ -245,7 +293,7 @@ pub enum CliMode {
 }
 
 /// Parsed command line options.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CliOptions {
     /// What the invocation does.
     pub mode: CliMode,
@@ -288,6 +336,10 @@ pub struct CliOptions {
     pub cache: bool,
     /// Byte budget of the `--cache` table (`None` = the default 64 MiB).
     pub cache_bytes: Option<usize>,
+    /// Mission-time sweep grid (`--sweep`; `None` = point queries).
+    pub sweep: Option<SweepRange>,
+    /// Output format of a single-tree `--sweep` curve.
+    pub sweep_format: SweepFormat,
 }
 
 impl CliOptions {
@@ -352,6 +404,9 @@ where
     let mut max_solutions: Option<usize> = None;
     let mut cache = false;
     let mut cache_bytes: Option<usize> = None;
+    let mut sweep: Option<SweepRange> = None;
+    let mut sweep_format = SweepFormat::Json;
+    let mut sweep_format_given = false;
 
     let args: Vec<String> = args.into_iter().map(Into::into).collect();
     let mut i = 0;
@@ -386,6 +441,8 @@ where
                     max_solutions,
                     cache,
                     cache_bytes,
+                    sweep,
+                    sweep_format,
                 })
             }
             "--format" => {
@@ -463,6 +520,17 @@ where
                     CliError::Usage("--max-solutions expects a positive integer".to_string())
                 })?)
             }
+            "--sweep" => sweep = Some(parse_sweep_range(&value("--sweep")?)?),
+            "--sweep-format" => {
+                sweep_format_given = true;
+                sweep_format = match value("--sweep-format")?.as_str() {
+                    "json" => SweepFormat::Json,
+                    "csv" => SweepFormat::Csv,
+                    other => {
+                        return Err(CliError::Usage(format!("unknown sweep format {other:?}")))
+                    }
+                }
+            }
             "--cache" => cache = true,
             "--cache-bytes" => {
                 cache_bytes = Some(value("--cache-bytes")?.parse().map_err(|_| {
@@ -522,6 +590,15 @@ where
              (a cross-check needs both engines' complete answers)",
         ));
     }
+    if sweep_format_given && sweep.is_none() {
+        return Err(usage("--sweep-format requires --sweep"));
+    }
+    if sweep.is_some() && cross_check {
+        return Err(usage(
+            "--sweep cannot be combined with --cross-check (cross-checks compare \
+             cut-set enumerations; sweeps report a probability curve)",
+        ));
+    }
     if algorithm.is_some() && matches!(backend, BackendKind::Bdd | BackendKind::Mocus) {
         return Err(usage(
             "--algorithm only applies to the maxsat backend (and to auto when it resolves to maxsat)",
@@ -560,6 +637,12 @@ where
                     "--seed only applies to --generate; set seeds in the manifest's generated entries",
                 ));
             }
+            if sweep_format_given {
+                return Err(usage(
+                    "--sweep-format only applies to single-tree sweeps \
+                     (batch reports embed the curves in the JSON report)",
+                ));
+            }
             CliMode::Batch(path)
         }
         (None, Some(mut input)) => {
@@ -594,6 +677,17 @@ where
                     "--backend / --cross-check / --preprocess only apply to the mpmcs analysis and to --batch mode",
                 ));
             }
+            if sweep.is_some() && analysis != AnalysisKind::Mpmcs {
+                return Err(usage(
+                    "--sweep only applies to the mpmcs analysis and to --batch mode",
+                ));
+            }
+            if sweep.is_some() && (all || top_k.is_some()) {
+                return Err(usage(
+                    "--sweep reports the top-event probability curve; \
+                     it cannot be combined with --all / --top-k",
+                ));
+            }
             if let (InputSource::File { format: slot, .. }, Some(forced)) = (&mut input, format) {
                 *slot = Some(forced);
             }
@@ -621,7 +715,55 @@ where
         max_solutions,
         cache,
         cache_bytes,
+        sweep,
+        sweep_format,
     })
+}
+
+/// The most mission times one `--sweep` may describe — a guard against a
+/// typo'd step allocating gigabytes, far above any plotting need.
+const MAX_SWEEP_POINTS: usize = 100_000;
+
+/// Parses the `--sweep` value `<START:END:STEP>` into a validated range.
+fn parse_sweep_range(text: &str) -> Result<SweepRange, CliError> {
+    let usage = || {
+        CliError::Usage(format!(
+            "--sweep expects <START:END:STEP>, three numbers like 0:10:0.5, not {text:?}"
+        ))
+    };
+    let parts: Vec<&str> = text.split(':').collect();
+    if parts.len() != 3 {
+        return Err(usage());
+    }
+    let mut numbers = [0.0f64; 3];
+    for (slot, part) in numbers.iter_mut().zip(&parts) {
+        *slot = part.trim().parse().map_err(|_| usage())?;
+        if !slot.is_finite() {
+            return Err(usage());
+        }
+    }
+    let [start, end, step] = numbers;
+    if start < 0.0 {
+        return Err(CliError::Usage(
+            "--sweep start must be non-negative (mission times)".to_string(),
+        ));
+    }
+    if step <= 0.0 {
+        return Err(CliError::Usage("--sweep step must be positive".to_string()));
+    }
+    if end < start {
+        return Err(CliError::Usage(
+            "--sweep end must not precede start".to_string(),
+        ));
+    }
+    let range = SweepRange { start, end, step };
+    let points = range.points();
+    if points > MAX_SWEEP_POINTS {
+        return Err(CliError::Usage(format!(
+            "--sweep describes {points} mission times; the limit is {MAX_SWEEP_POINTS}"
+        )));
+    }
+    Ok(range)
 }
 
 /// Loads the fault tree described by a single-tree input source.
@@ -721,6 +863,7 @@ pub fn run_with_status(options: &CliOptions) -> Result<RunOutput, CliError> {
     };
     let tree = load_tree(input)?;
     match options.analysis {
+        AnalysisKind::Mpmcs if options.sweep.is_some() => run_sweep(options, &tree),
         AnalysisKind::Mpmcs => run_mpmcs(options, &tree),
         AnalysisKind::PathSet => run_path_set(options, &tree).map(complete),
         AnalysisKind::Importance => run_importance(options, &tree).map(complete),
@@ -762,6 +905,7 @@ fn run_batch_mode(options: &CliOptions, path: &std::path::Path) -> Result<RunOut
         timeout_ms: options.timeout_ms,
         max_solutions: options.max_solutions,
         cache: options.analysis_cache(),
+        sweep: options.sweep.as_ref().map(SweepRange::grid),
     };
     let report = run_batch(&manifest, &config);
     Ok(RunOutput {
@@ -886,6 +1030,72 @@ fn cross_check_mismatch(
         }
     }
     None
+}
+
+/// `--sweep`: quantify the top-event probability over the mission-time grid,
+/// solving the structure once and re-quantifying per point through
+/// [`Analyzer::sweep`] — every point bit-identical to the same query against
+/// the tree re-quantified at that time.
+fn run_sweep(options: &CliOptions, tree: &FaultTree) -> Result<RunOutput, CliError> {
+    let range = options
+        .sweep
+        .expect("run_sweep is only dispatched with --sweep");
+    let grid = range.grid();
+    let tree = Arc::new(tree.clone());
+    let cache = options.analysis_cache();
+    let mut analyzer = analyzer_for(options, &tree, options.backend, cache.clone());
+    let backend = analyzer.resolved_backend();
+    let start = Instant::now();
+    let report = analyzer.sweep(&grid).map_err(|error| match error {
+        SessionError::NoCutSet => CliError::Solve(mpmcs::MpmcsError::NoCutSet),
+        SessionError::Stopped(cause) => CliError::Analysis(format!(
+            "the analysis stopped before producing a result: {cause}"
+        )),
+        other => CliError::Analysis(other.to_string()),
+    })?;
+    let elapsed = start.elapsed();
+
+    let output = match options.sweep_format {
+        SweepFormat::Json => {
+            let value = serde_json::json!({
+                "tree": tree.name(),
+                "backend": backend.name(),
+                "preprocess": options.preprocess,
+                "grid": report.grid,
+                "probabilities": report.probabilities,
+            });
+            serde_json::to_string_pretty(&value).expect("sweep reports always serialise")
+        }
+        SweepFormat::Csv => {
+            let mut csv = String::from("t,probability\n");
+            for (t, p) in report.points() {
+                csv.push_str(&format!("{t},{p}\n"));
+            }
+            csv
+        }
+    };
+
+    let mut summary = format!(
+        "sweep: {} at {} mission times in [{}, {}] via {} ({:.2} ms)\n",
+        tree.name(),
+        grid.len(),
+        range.start,
+        range.end,
+        backend.name(),
+        elapsed.as_secs_f64() * 1e3
+    );
+    if let Some(cache) = &cache {
+        let stats = cache.stats();
+        summary.push_str(&format!(
+            "cache: {} hits, {} misses, {} insertions, {} entries ({} bytes of {})\n",
+            stats.hits, stats.misses, stats.insertions, stats.entries, stats.bytes, stats.capacity,
+        ));
+    }
+    Ok(RunOutput {
+        output,
+        summary,
+        truncated: false,
+    })
 }
 
 fn run_mpmcs(options: &CliOptions, tree: &FaultTree) -> Result<RunOutput, CliError> {
@@ -1810,6 +2020,185 @@ mod tests {
         let parsed: serde_json::Value = serde_json::from_str(&result.output).unwrap();
         assert_eq!(parsed["truncated"].as_bool(), Some(false));
         assert_eq!(parsed["termination"].as_str(), Some("complete"));
+    }
+
+    #[test]
+    fn sweep_flags_are_parsed_and_validated() {
+        let options = parse_args(["--example", "fps", "--sweep", "0:10:0.5"]).unwrap();
+        let range = options.sweep.expect("--sweep given");
+        assert_eq!(range.start, 0.0);
+        assert_eq!(range.end, 10.0);
+        assert_eq!(range.step, 0.5);
+        assert_eq!(range.points(), 21);
+        let grid = range.grid();
+        assert_eq!(grid.len(), 21);
+        assert_eq!(grid[0], 0.0);
+        assert_eq!(grid[20], 10.0);
+        assert_eq!(options.sweep_format, SweepFormat::Json);
+        let options = parse_args([
+            "--example",
+            "fps",
+            "--sweep",
+            "0:1:0.25",
+            "--sweep-format",
+            "csv",
+        ])
+        .unwrap();
+        assert_eq!(options.sweep_format, SweepFormat::Csv);
+        // A single time is a valid (degenerate) sweep.
+        let single = parse_args(["--example", "fps", "--sweep", "2:2:1"]).unwrap();
+        assert_eq!(single.sweep.unwrap().grid(), vec![2.0]);
+        // Malformed or out-of-range specifications are usage errors.
+        for bad in [
+            "0:10",
+            "a:b:c",
+            "0:10:0",
+            "5:1:1",
+            "-1:1:0.5",
+            "nan:1:1",
+            "0:1e9:0.0001",
+        ] {
+            assert!(
+                matches!(
+                    parse_args(["--example", "fps", "--sweep", bad]),
+                    Err(CliError::Usage(_))
+                ),
+                "--sweep {bad} must be rejected"
+            );
+        }
+        assert!(matches!(
+            parse_args(["--example", "fps", "--sweep-format", "csv"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args([
+                "--example",
+                "fps",
+                "--sweep",
+                "0:1:1",
+                "--sweep-format",
+                "tsv"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        // A sweep is a probability-curve query: cut-set enumeration flags and
+        // cross-checks do not compose with it.
+        assert!(matches!(
+            parse_args(["--example", "fps", "--sweep", "0:1:1", "--all"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["--example", "fps", "--sweep", "0:1:1", "--top-k", "2"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(["--example", "fps", "--sweep", "0:1:1", "--cross-check"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args([
+                "--example",
+                "fps",
+                "--analysis",
+                "ascii",
+                "--sweep",
+                "0:1:1"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        // Batches accept --sweep but pick the format themselves (JSON report).
+        assert!(parse_args(["--batch", "models/", "--sweep", "0:1:1"]).is_ok());
+        assert!(matches!(
+            parse_args([
+                "--batch",
+                "models/",
+                "--sweep",
+                "0:1:1",
+                "--sweep-format",
+                "csv"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        for flag in ["--sweep", "--sweep-format"] {
+            assert!(USAGE.contains(flag), "usage must document {flag}");
+        }
+    }
+
+    #[test]
+    fn sweep_mode_emits_curves_in_both_formats_matching_point_queries() {
+        let options = parse_args(["--example", "fps", "--sweep", "0:2:0.5", "--quiet"]).unwrap();
+        let (json, summary) = run(&options).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["backend"].as_str(), Some("maxsat"));
+        let grid: Vec<f64> = parsed["grid"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_f64().unwrap())
+            .collect();
+        assert_eq!(grid, vec![0.0, 0.5, 1.0, 1.5, 2.0]);
+        let probabilities: Vec<f64> = parsed["probabilities"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_f64().unwrap())
+            .collect();
+        assert_eq!(probabilities.len(), 5);
+        // Every point must be bit-identical to the facade's point query
+        // against the tree evaluated at that mission time.
+        let tree = examples::fire_protection_system();
+        for (&t, &p) in grid.iter().zip(&probabilities) {
+            let point = Analyzer::for_tree(tree.at_time(t))
+                .probability()
+                .expect("solvable");
+            assert_eq!(p.to_bits(), point.to_bits(), "CLI sweep diverged at t={t}");
+        }
+        assert!(summary.contains("sweep"), "summary: {summary}");
+
+        let options = parse_args([
+            "--example",
+            "fps",
+            "--sweep",
+            "0:2:0.5",
+            "--sweep-format",
+            "csv",
+            "--quiet",
+        ])
+        .unwrap();
+        let (csv, _) = run(&options).unwrap();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t,probability");
+        assert_eq!(lines.len(), 6, "header + one row per grid point");
+        assert!(lines[1].starts_with("0,"));
+        // CSV rows round-trip to the exact JSON probabilities (Rust prints
+        // the shortest exactly-round-tripping decimal).
+        for (line, &p) in lines[1..].iter().zip(&probabilities) {
+            let printed: f64 = line.split(',').nth(1).unwrap().parse().unwrap();
+            assert_eq!(printed.to_bits(), p.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_sweeps_attach_curves_per_tree() {
+        let dir = std::env::temp_dir().join(format!("mpmcs4fta_cli_sweep_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let tree = examples::fire_protection_system();
+        fs::write(dir.join("fps.json"), json::to_json_string(&tree)).unwrap();
+        let options = parse_args([
+            "--batch",
+            dir.to_str().unwrap(),
+            "--sweep",
+            "0:1:0.5",
+            "--quiet",
+        ])
+        .unwrap();
+        let (json, _) = run(&options).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let curve = &parsed["results"][0]["sweep"];
+        assert_eq!(curve["grid"].as_array().map(|g| g.len()), Some(3));
+        assert_eq!(curve["probabilities"].as_array().map(|p| p.len()), Some(3));
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
