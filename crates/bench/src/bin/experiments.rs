@@ -13,9 +13,10 @@
 //! `--json` additionally writes a machine-readable `BENCH_<experiment>.json`
 //! snapshot into the current directory for the studies that support one
 //! (`hot-path`, `enumeration-scaling`, `session-streaming`), so the perf
-//! trajectory survives ROADMAP re-anchors. The `hot-path`, `cache-reuse` and
-//! `sweep-scaling` studies always write their snapshots: `BENCH_hotpath.json`,
-//! `BENCH_cache.json` and `BENCH_sweep.json` are tracked artefacts.
+//! trajectory survives ROADMAP re-anchors. The `hot-path`, `cache-reuse`,
+//! `sweep-scaling` and `server-load` studies always write their snapshots:
+//! `BENCH_hotpath.json`, `BENCH_cache.json`, `BENCH_sweep.json` and
+//! `BENCH_server.json` are tracked artefacts.
 
 use std::process::ExitCode;
 
@@ -24,7 +25,8 @@ use ft_bench::{
     cache_reuse_table, encodings, enumeration_scaling, enumeration_scaling_rows,
     enumeration_scaling_snapshot, enumeration_scaling_table, extended_baselines, extended_measures,
     fig2, hot_path_rows, hot_path_snapshot, hot_path_table, portfolio, scalability,
-    session_streaming, session_streaming_rows, session_streaming_snapshot, session_streaming_table,
+    server_load_rows, server_load_snapshot, server_load_table, session_streaming,
+    session_streaming_rows, session_streaming_snapshot, session_streaming_table,
     sweep_scaling_rows, sweep_scaling_snapshot, sweep_scaling_table, table1, voting,
     BASELINE_SIZES, SCALABILITY_SIZES,
 };
@@ -69,6 +71,7 @@ fn main() -> ExitCode {
             "hot-path",
             "cache-reuse",
             "sweep-scaling",
+            "server-load",
         ];
     }
 
@@ -208,9 +211,24 @@ fn main() -> ExitCode {
                 write_snapshot("BENCH_sweep.json", &sweep_scaling_snapshot(&rows, SEED));
                 sweep_scaling_table(&rows)
             }
+            "server-load" => {
+                // E17: the HTTP front end under ladders of concurrent
+                // keep-alive clients, shared analysis cache off (cold) vs on
+                // (warm); every measured answer is byte-compared to the
+                // reference before any timing is published. The snapshot is
+                // always written — `BENCH_server.json` is a tracked artefact.
+                let (connections, requests): (&[usize], usize) = if quick {
+                    (&[1, 4], 10)
+                } else {
+                    (&[1, 2, 4, 8, 16], 40)
+                };
+                let rows = server_load_rows(connections, requests, SEED);
+                write_snapshot("BENCH_server.json", &server_load_snapshot(&rows, SEED));
+                server_load_table(&rows)
+            }
             other => {
                 eprintln!(
-                    "unknown experiment {other:?}; available: table1 fig2 scalability portfolio baselines encodings voting extended-baselines measures batch-scaling enumeration-scaling backend-comparison session-streaming hot-path cache-reuse sweep-scaling all"
+                    "unknown experiment {other:?}; available: table1 fig2 scalability portfolio baselines encodings voting extended-baselines measures batch-scaling enumeration-scaling backend-comparison session-streaming hot-path cache-reuse sweep-scaling server-load all"
                 );
                 return ExitCode::from(2);
             }

@@ -1767,6 +1767,181 @@ pub fn sweep_scaling(sizes: &[usize], points: usize, seed: u64) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// E17 — HTTP server load (latency/throughput curve)
+// ---------------------------------------------------------------------------
+
+/// One measured row of the E17 server-load study: `connections` concurrent
+/// keep-alive clients each issuing `requests / connections` MPMCS queries
+/// against the HTTP front end, with the shared analysis cache off ("cold")
+/// or on ("warm").
+#[derive(Clone, Debug)]
+pub struct ServerLoadRow {
+    /// Cache mode: "cold" (every request re-solves) or "warm" (the shared
+    /// content-addressed cache answers repeats).
+    pub mode: &'static str,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Total requests completed across all connections.
+    pub requests: usize,
+    /// Median per-request latency.
+    pub p50: Duration,
+    /// 99th-percentile per-request latency.
+    pub p99: Duration,
+    /// Completed requests per second of wall time.
+    pub throughput_rps: f64,
+    /// Connections shed with 503 during the measurement (queue sized to
+    /// keep this at zero; non-zero values flag an under-provisioned run).
+    pub shed: u64,
+}
+
+fn nearest_rank(sorted: &[Duration], percentile: f64) -> Duration {
+    assert!(!sorted.is_empty(), "percentiles need at least one sample");
+    let rank = ((sorted.len() as f64 - 1.0) * percentile / 100.0).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// E17: boots one server per cache mode, registers a generated tree, and
+/// drives it with ladders of concurrent keep-alive clients — after first
+/// proving every answer byte-identical to the first one (timings are only
+/// published for answers already shown to be the same bytes, modulo the
+/// per-solution wall-clock line).
+pub fn server_load_rows(
+    connection_counts: &[usize],
+    requests_per_client: usize,
+    seed: u64,
+) -> Vec<ServerLoadRow> {
+    use std::io::{BufReader, Write};
+    use std::net::TcpStream;
+    use std::sync::{Arc, Barrier};
+
+    let tree = Family::RandomMixed.generate(60, seed);
+    let max_connections = connection_counts.iter().copied().max().unwrap_or(1);
+    let redact = |text: &str| -> String {
+        text.lines()
+            .filter(|line| !line.contains("\"solve_time_ms\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    let mut rows = Vec::new();
+    for (mode, cache_bytes) in [("cold", None), ("warm", Some(64 * 1024 * 1024))] {
+        let handle = ft_server::Server::start(ft_server::ServerConfig {
+            workers: 4,
+            queue_depth: max_connections * 2 + 4,
+            cache_bytes,
+            ..ft_server::ServerConfig::default()
+        })
+        .expect("the load server binds an ephemeral loopback port");
+        handle.service().register("bench", tree.clone());
+        let addr = handle.addr();
+        let request =
+            "GET /trees/bench/mpmcs HTTP/1.1\r\nHost: bench\r\nConnection: keep-alive\r\n\r\n";
+
+        // Prime, then capture the reference answer. The first request in
+        // warm mode pays the solve and feeds the cache, so its report
+        // carries solve-side counters (`sat_calls`) that cached replays
+        // don't; the *second* request is the steady state every measured
+        // response is held byte-identical to.
+        let one_request = || {
+            let mut stream = TcpStream::connect(addr).expect("connect to the load server");
+            stream
+                .write_all(request.as_bytes())
+                .expect("write the reference request");
+            let mut reader = BufReader::new(stream);
+            let response =
+                ft_server::http::read_response(&mut reader).expect("read the reference response");
+            assert_eq!(response.status, 200, "{}", response.text());
+            redact(&response.text())
+        };
+        one_request();
+        let reference = one_request();
+
+        for &connections in connection_counts {
+            let shed_before = handle.counters().shed;
+            let barrier = Arc::new(Barrier::new(connections + 1));
+            let clients: Vec<_> = (0..connections)
+                .map(|_| {
+                    let barrier = Arc::clone(&barrier);
+                    let reference = reference.clone();
+                    std::thread::spawn(move || {
+                        let stream = TcpStream::connect(addr).expect("connect to the load server");
+                        let mut writer = stream.try_clone().expect("clone the client socket");
+                        let mut reader = BufReader::new(stream);
+                        barrier.wait();
+                        let mut latencies = Vec::with_capacity(requests_per_client);
+                        for _ in 0..requests_per_client {
+                            let start = Instant::now();
+                            writer
+                                .write_all(request.as_bytes())
+                                .expect("write a measured request");
+                            let response = ft_server::http::read_response(&mut reader)
+                                .expect("read a measured response");
+                            latencies.push(start.elapsed());
+                            assert_eq!(response.status, 200);
+                            assert_eq!(
+                                redact(&response.text()),
+                                reference,
+                                "a measured answer diverged from the reference"
+                            );
+                        }
+                        latencies
+                    })
+                })
+                .collect();
+            barrier.wait();
+            let start = Instant::now();
+            let mut latencies: Vec<Duration> = clients
+                .into_iter()
+                .flat_map(|client| client.join().expect("a load client panicked"))
+                .collect();
+            let wall = start.elapsed();
+            latencies.sort();
+            let requests = latencies.len();
+            rows.push(ServerLoadRow {
+                mode,
+                connections,
+                requests,
+                p50: nearest_rank(&latencies, 50.0),
+                p99: nearest_rank(&latencies, 99.0),
+                throughput_rps: requests as f64 / wall.as_secs_f64().max(1e-9),
+                shed: handle.counters().shed - shed_before,
+            });
+        }
+        handle.shutdown();
+    }
+    rows
+}
+
+/// Formats already-measured E17 rows.
+pub fn server_load_table(rows: &[ServerLoadRow]) -> String {
+    let mut out = String::new();
+    out.push_str("# E17 — HTTP server load (concurrent keep-alive clients, MPMCS query)\n");
+    out.push_str("mode   connections  requests  p50_ms    p99_ms    throughput_rps  shed\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{:<6} {:<12} {:<9} {:<9.2} {:<9.2} {:<15.1} {}\n",
+            row.mode,
+            row.connections,
+            row.requests,
+            ms(row.p50),
+            ms(row.p99),
+            row.throughput_rps,
+            row.shed,
+        ));
+    }
+    out
+}
+
+/// E17 convenience wrapper: measures and renders in one call.
+pub fn server_load(connection_counts: &[usize], requests_per_client: usize, seed: u64) -> String {
+    server_load_table(&server_load_rows(
+        connection_counts,
+        requests_per_client,
+        seed,
+    ))
+}
+
+// ---------------------------------------------------------------------------
 // Machine-readable `BENCH_*.json` snapshots
 // ---------------------------------------------------------------------------
 
@@ -1869,6 +2044,26 @@ pub fn sweep_scaling_snapshot(rows: &[SweepScalingRow], seed: u64) -> String {
         })
         .collect();
     bench_snapshot_json("E16-sweep-scaling", seed, rows)
+}
+
+/// The `BENCH_server.json` document for measured E17 rows.
+pub fn server_load_snapshot(rows: &[ServerLoadRow], seed: u64) -> String {
+    use serde::Serialize;
+    let rows = rows
+        .iter()
+        .map(|r| {
+            let mut map = serde::Map::new();
+            map.insert("mode".to_string(), r.mode.to_value());
+            map.insert("connections".to_string(), r.connections.to_value());
+            map.insert("requests".to_string(), r.requests.to_value());
+            map.insert("p50_ms".to_string(), ms(r.p50).to_value());
+            map.insert("p99_ms".to_string(), ms(r.p99).to_value());
+            map.insert("throughput_rps".to_string(), r.throughput_rps.to_value());
+            map.insert("shed".to_string(), r.shed.to_value());
+            serde::Value::Object(map)
+        })
+        .collect();
+    bench_snapshot_json("E17-server-load", seed, rows)
 }
 
 /// The `BENCH_session_streaming.json` document for measured E13 rows.
@@ -1974,6 +2169,31 @@ mod hot_path_tests {
         assert_eq!(parsed["experiment"].as_str(), Some("E16-sweep-scaling"));
         assert_eq!(parsed["rows"].as_array().unwrap().len(), 4);
         assert!(parsed["rows"][0]["speedup"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn server_load_rows_prove_identity_and_measure_the_ladder() {
+        // Debug-mode unit test: a tiny connection ladder and few requests —
+        // every answer is still byte-compared to the reference.
+        let rows = server_load_rows(&[1, 2], 3, 2020);
+        // 2 modes × 2 ladder steps.
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert_eq!(row.requests, row.connections * 3);
+            assert!(row.p50 > Duration::ZERO);
+            assert!(row.p99 >= row.p50);
+            assert!(row.throughput_rps > 0.0);
+            assert_eq!(row.shed, 0, "the sized queue must not shed");
+        }
+        assert!(rows.iter().any(|r| r.mode == "cold"));
+        assert!(rows.iter().any(|r| r.mode == "warm"));
+        let table = server_load_table(&rows);
+        assert!(table.contains("E17"));
+        let json = server_load_snapshot(&rows, 2020);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["experiment"].as_str(), Some("E17-server-load"));
+        assert_eq!(parsed["rows"].as_array().unwrap().len(), 4);
+        assert!(parsed["rows"][0]["p99_ms"].as_f64().unwrap() > 0.0);
     }
 
     #[test]

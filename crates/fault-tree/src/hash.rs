@@ -62,6 +62,20 @@ pub struct TreeHash {
     pub weighted: u128,
 }
 
+impl TreeHash {
+    /// The weighted digest as the canonical 32-character lowercase-hex
+    /// content address — the registry key used by register-by-hash service
+    /// registrations and the HTTP front end's `/trees/{hash}` routes.
+    pub fn weighted_hex(&self) -> String {
+        format!("{:032x}", self.weighted)
+    }
+
+    /// The structure digest as 32-character lowercase hex.
+    pub fn structure_hex(&self) -> String {
+        format!("{:032x}", self.structure)
+    }
+}
+
 /// The canonical form of a fault tree: its digests plus the canonical event
 /// numbering that lets cached answers be stored independently of any one
 /// tree's identifier assignment.

@@ -1,0 +1,779 @@
+//! A minimal, tested HTTP/1.1 wire layer over blocking `std::io` streams.
+//!
+//! This module implements exactly the slice of RFC 7230 the front end
+//! needs — request parsing with hard header/body-size limits, keep-alive
+//! negotiation, fixed-length and chunked response writing (including
+//! trailers), and a tiny client used by the integration tests and the
+//! load generator. Anything outside that slice is rejected with a precise
+//! status code rather than guessed at: requests with a transfer-encoded
+//! body get `501`, bodies without a `Content-Length` get `411`, oversized
+//! headers get `431`, and oversized bodies get `413`.
+
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request line (method + target + version) in bytes.
+pub const MAX_REQUEST_LINE_BYTES: usize = 8 * 1024;
+/// Cap on the combined size of all header lines in bytes.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Cap on the number of header fields in one request.
+pub const MAX_HEADER_COUNT: usize = 64;
+
+/// A parsed HTTP/1.1 request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method verbatim (`GET`, `POST`, ...).
+    pub method: String,
+    /// Percent-decoded path component of the request target.
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Header fields with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless a `Content-Length` was supplied).
+    pub body: Vec<u8>,
+    /// `true` for `HTTP/1.1` requests, `false` for `HTTP/1.0`.
+    pub http11: bool,
+}
+
+impl Request {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == want)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a query parameter, by exact name.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after this exchange.
+    ///
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close` is sent;
+    /// HTTP/1.0 defaults to close unless `Connection: keep-alive` is sent.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+}
+
+/// A request that could not be parsed, mapped to the response it earns.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, header, or body framing: `400`.
+    BadRequest(String),
+    /// Request line longer than [`MAX_REQUEST_LINE_BYTES`]: `414`.
+    UriTooLong,
+    /// Headers beyond [`MAX_HEADER_BYTES`] or [`MAX_HEADER_COUNT`]: `431`.
+    HeadersTooLarge,
+    /// A body-bearing method without `Content-Length`: `411`.
+    LengthRequired,
+    /// Declared body larger than the server's limit: `413`.
+    PayloadTooLarge {
+        /// The declared `Content-Length`.
+        declared: usize,
+        /// The server's configured cap.
+        limit: usize,
+    },
+    /// A request feature this server does not implement: `501`.
+    NotImplemented(String),
+    /// The peer went quiet mid-request (read timeout): `408`.
+    Timeout,
+    /// The connection failed at the socket level; no response possible.
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// The status code this parse failure maps to (`0` for I/O failures
+    /// where no response can be written).
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::UriTooLong => 414,
+            HttpError::HeadersTooLarge => 431,
+            HttpError::LengthRequired => 411,
+            HttpError::PayloadTooLarge { .. } => 413,
+            HttpError::NotImplemented(_) => 501,
+            HttpError::Timeout => 408,
+            HttpError::Io(_) => 0,
+        }
+    }
+
+    /// Human-readable description used in the JSON error body.
+    pub fn message(&self) -> String {
+        match self {
+            HttpError::BadRequest(m) => m.clone(),
+            HttpError::UriTooLong => format!("request line exceeds {MAX_REQUEST_LINE_BYTES} bytes"),
+            HttpError::HeadersTooLarge => {
+                format!("headers exceed {MAX_HEADER_BYTES} bytes or {MAX_HEADER_COUNT} fields")
+            }
+            HttpError::LengthRequired => {
+                "a request body requires a Content-Length header".to_string()
+            }
+            HttpError::PayloadTooLarge { declared, limit } => {
+                format!("declared body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            HttpError::NotImplemented(m) => m.clone(),
+            HttpError::Timeout => "timed out waiting for the rest of the request".to_string(),
+            HttpError::Io(e) => e.to_string(),
+        }
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Read one `\r\n`- (or `\n`-) terminated line, enforcing `cap` bytes.
+///
+/// Returns `Ok(None)` on clean EOF before any byte of the line.
+fn read_line<R: BufRead>(
+    reader: &mut R,
+    cap: usize,
+    over_cap: fn() -> HttpError,
+) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::BadRequest(
+                    "connection closed mid-line".to_string(),
+                ));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let text = String::from_utf8(line).map_err(|_| {
+                        HttpError::BadRequest("header line is not valid UTF-8".to_string())
+                    })?;
+                    return Ok(Some(text));
+                }
+                if line.len() >= cap {
+                    return Err(over_cap());
+                }
+                line.push(byte[0]);
+            }
+            Err(e) if is_timeout(&e) => {
+                if line.is_empty() {
+                    return Err(HttpError::Timeout);
+                }
+                return Err(HttpError::Timeout);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Decode `%XX` escapes and `+`-as-space in a URL component.
+fn percent_decode(text: &str) -> Result<String, HttpError> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .ok_or_else(|| HttpError::BadRequest("truncated percent-escape".to_string()))?;
+                let hi = (hex[0] as char).to_digit(16);
+                let lo = (hex[1] as char).to_digit(16);
+                match (hi, lo) {
+                    (Some(hi), Some(lo)) => out.push((hi * 16 + lo) as u8),
+                    _ => return Err(HttpError::BadRequest("invalid percent-escape".to_string())),
+                }
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            other => {
+                out.push(other);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out)
+        .map_err(|_| HttpError::BadRequest("percent-escape decodes to invalid UTF-8".to_string()))
+}
+
+fn parse_query(raw: &str) -> Result<Vec<(String, String)>, HttpError> {
+    let mut pairs = Vec::new();
+    for piece in raw.split('&') {
+        if piece.is_empty() {
+            continue;
+        }
+        let (key, value) = match piece.split_once('=') {
+            Some((k, v)) => (percent_decode(k)?, percent_decode(v)?),
+            None => (percent_decode(piece)?, String::new()),
+        };
+        pairs.push((key, value));
+    }
+    Ok(pairs)
+}
+
+/// Read one request from `reader`.
+///
+/// Returns `Ok(None)` when the peer closed the connection cleanly between
+/// requests (the normal end of a keep-alive session). `max_body_bytes`
+/// bounds the accepted `Content-Length`.
+pub fn read_request<R: BufRead>(
+    reader: &mut R,
+    max_body_bytes: usize,
+) -> Result<Option<Request>, HttpError> {
+    let request_line = match read_line(reader, MAX_REQUEST_LINE_BYTES, || HttpError::UriTooLong)? {
+        Some(line) => line,
+        None => return Ok(None),
+    };
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
+        .ok_or_else(|| HttpError::BadRequest("malformed request line".to_string()))?
+        .to_string();
+    let target = parts
+        .next()
+        .filter(|t| t.starts_with('/'))
+        .ok_or_else(|| HttpError::BadRequest("malformed request target".to_string()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing HTTP version".to_string()))?;
+    if parts.next().is_some() {
+        return Err(HttpError::BadRequest("malformed request line".to_string()));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => {
+            return Err(HttpError::BadRequest(format!(
+                "unsupported protocol version {other:?}"
+            )))
+        }
+    };
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let path = percent_decode(raw_path)?;
+    let query = parse_query(raw_query)?;
+
+    let mut headers = Vec::new();
+    let mut header_bytes = 0usize;
+    loop {
+        let line = read_line(reader, MAX_HEADER_BYTES, || HttpError::HeadersTooLarge)?
+            .ok_or_else(|| HttpError::BadRequest("connection closed in headers".to_string()))?;
+        if line.is_empty() {
+            break;
+        }
+        header_bytes += line.len();
+        if header_bytes > MAX_HEADER_BYTES || headers.len() >= MAX_HEADER_COUNT {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header line {line:?}")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadRequest(format!(
+                "malformed header name {name:?}"
+            )));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut request = Request {
+        method,
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+        http11,
+    };
+
+    if request.header("transfer-encoding").is_some() {
+        return Err(HttpError::NotImplemented(
+            "transfer-encoded request bodies are not supported".to_string(),
+        ));
+    }
+    let declared = match request.header("content-length") {
+        Some(text) => Some(
+            text.trim()
+                .parse::<usize>()
+                .map_err(|_| HttpError::BadRequest(format!("invalid Content-Length {text:?}")))?,
+        ),
+        None => None,
+    };
+    match declared {
+        Some(len) if len > max_body_bytes => {
+            return Err(HttpError::PayloadTooLarge {
+                declared: len,
+                limit: max_body_bytes,
+            });
+        }
+        Some(len) => {
+            let mut body = vec![0u8; len];
+            let mut filled = 0usize;
+            while filled < len {
+                match reader.read(&mut body[filled..]) {
+                    Ok(0) => {
+                        return Err(HttpError::BadRequest(
+                            "connection closed mid-body".to_string(),
+                        ))
+                    }
+                    Ok(n) => filled += n,
+                    Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(HttpError::Io(e)),
+                }
+            }
+            request.body = body;
+        }
+        None => {
+            if matches!(request.method.as_str(), "POST" | "PUT") {
+                return Err(HttpError::LengthRequired);
+            }
+        }
+    }
+    Ok(Some(request))
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// A fixed-length response ready to serialise.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond `Content-Type`/`Content-Length`/`Connection`.
+    pub headers: Vec<(String, String)>,
+    /// `Content-Type` value; ignored for empty bodies.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status and pre-rendered body text.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// An empty-bodied response (e.g. `204 No Content`).
+    pub fn empty(status: u16) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "application/json",
+            body: Vec::new(),
+        }
+    }
+
+    /// Attach an extra header.
+    pub fn with_header(mut self, name: &str, value: String) -> Self {
+        self.headers.push((name.to_string(), value));
+        self
+    }
+}
+
+/// Serialise a fixed-length response onto `stream`.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\n",
+        response.status,
+        reason(response.status)
+    );
+    for (name, value) in &response.headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    if !response.body.is_empty() {
+        head.push_str(&format!("Content-Type: {}\r\n", response.content_type));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n", response.body.len()));
+    head.push_str(if keep_alive {
+        "Connection: keep-alive\r\n"
+    } else {
+        "Connection: close\r\n"
+    });
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+/// An in-flight chunked (streaming) response.
+///
+/// The header is written on construction and declares the trailer fields
+/// that [`ChunkedWriter::finish`] will append after the final chunk.
+pub struct ChunkedWriter<W: Write> {
+    stream: W,
+    done: bool,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Start a chunked response: write the status line and headers,
+    /// declaring `trailer_names` as trailers.
+    pub fn start(
+        mut stream: W,
+        status: u16,
+        content_type: &str,
+        trailer_names: &[&str],
+        keep_alive: bool,
+    ) -> io::Result<Self> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", status, reason(status));
+        head.push_str(&format!("Content-Type: {content_type}\r\n"));
+        head.push_str("Transfer-Encoding: chunked\r\n");
+        if !trailer_names.is_empty() {
+            head.push_str(&format!("Trailer: {}\r\n", trailer_names.join(", ")));
+        }
+        head.push_str(if keep_alive {
+            "Connection: keep-alive\r\n"
+        } else {
+            "Connection: close\r\n"
+        });
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(ChunkedWriter {
+            stream,
+            done: false,
+        })
+    }
+
+    /// Emit one chunk. Empty payloads are skipped (an empty chunk would
+    /// terminate the body).
+    pub fn write_chunk(&mut self, payload: &[u8]) -> io::Result<()> {
+        if payload.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", payload.len())?;
+        self.stream.write_all(payload)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminate the body and append the trailer fields.
+    pub fn finish(mut self, trailers: &[(&str, String)]) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n")?;
+        for (name, value) in trailers {
+            write!(self.stream, "{name}: {value}\r\n")?;
+        }
+        self.stream.write_all(b"\r\n")?;
+        self.done = true;
+        self.stream.flush()
+    }
+
+    /// Whether [`ChunkedWriter::finish`] completed.
+    pub fn is_finished(&self) -> bool {
+        self.done
+    }
+}
+
+/// A parsed response, as seen by the test/load-generator client.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Header fields with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Reassembled body (chunked bodies are decoded).
+    pub body: Vec<u8>,
+    /// Trailer fields from a chunked body, lower-cased names.
+    pub trailers: Vec<(String, String)>,
+    /// Raw chunk payloads in arrival order (empty for fixed-length bodies).
+    pub chunks: Vec<Vec<u8>>,
+}
+
+impl ClientResponse {
+    /// First header value by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == want)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First trailer value by case-insensitive name.
+    pub fn trailer(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.trailers
+            .iter()
+            .find(|(k, _)| *k == want)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 text (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn client_read_line<R: BufRead>(reader: &mut R) -> io::Result<String> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-response",
+        ));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Read one response from `reader` (client side). Decodes chunked bodies,
+/// capturing per-chunk payloads and trailers.
+pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<ClientResponse> {
+    let status_line = client_read_line(reader)?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed status line {status_line:?}"),
+            )
+        })?;
+    let mut headers = Vec::new();
+    loop {
+        let line = client_read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let mut response = ClientResponse {
+        status,
+        headers,
+        body: Vec::new(),
+        trailers: Vec::new(),
+        chunks: Vec::new(),
+    };
+    let chunked = response
+        .header("transfer-encoding")
+        .is_some_and(|v| v.eq_ignore_ascii_case("chunked"));
+    if chunked {
+        loop {
+            let size_line = client_read_line(reader)?;
+            let size = usize::from_str_radix(size_line.trim(), 16).map_err(|_| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed chunk size {size_line:?}"),
+                )
+            })?;
+            if size == 0 {
+                loop {
+                    let line = client_read_line(reader)?;
+                    if line.is_empty() {
+                        break;
+                    }
+                    if let Some((name, value)) = line.split_once(':') {
+                        response
+                            .trailers
+                            .push((name.to_ascii_lowercase(), value.trim().to_string()));
+                    }
+                }
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader.read_exact(&mut chunk)?;
+            let mut crlf = [0u8; 2];
+            reader.read_exact(&mut crlf)?;
+            response.body.extend_from_slice(&chunk);
+            response.chunks.push(chunk);
+        }
+    } else {
+        let length = response
+            .header("content-length")
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        let mut body = vec![0u8; length];
+        reader.read_exact(&mut body)?;
+        response.body = body;
+    }
+    Ok(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        let mut reader = BufReader::new(raw.as_bytes());
+        read_request(&mut reader, 1024)
+    }
+
+    #[test]
+    fn parses_a_get_with_query_and_headers() {
+        let request = parse(
+            "GET /trees/abc/top-k?k=3&backend=bdd&x=a%20b HTTP/1.1\r\nHost: h\r\nAccept: */*\r\n\r\n",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/trees/abc/top-k");
+        assert_eq!(request.param("k"), Some("3"));
+        assert_eq!(request.param("backend"), Some("bdd"));
+        assert_eq!(request.param("x"), Some("a b"));
+        assert_eq!(request.header("host"), Some("h"));
+        assert!(request.wants_keep_alive());
+    }
+
+    #[test]
+    fn parses_a_post_body_exactly() {
+        let request = parse("POST /trees HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap()
+            .unwrap();
+        assert_eq!(request.body, b"hello");
+    }
+
+    #[test]
+    fn post_without_length_is_length_required() {
+        let err = parse("POST /trees HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 411);
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413() {
+        let err = parse("POST /trees HTTP/1.1\r\nContent-Length: 9999\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn transfer_encoded_request_is_501() {
+        let err = parse("POST /trees HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 501);
+    }
+
+    #[test]
+    fn garbage_request_line_is_400() {
+        let err = parse("this is not http\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn clean_eof_before_any_byte_is_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn header_flood_is_431() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..100 {
+            raw.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        let err = parse(&raw).unwrap_err();
+        assert_eq!(err.status(), 431);
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let request = parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!request.wants_keep_alive());
+        let request = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(request.wants_keep_alive());
+    }
+
+    #[test]
+    fn fixed_response_round_trips_through_the_client() {
+        let mut wire = Vec::new();
+        let response = Response::json(200, "{\"ok\":true}".to_string())
+            .with_header("X-Extra", "1".to_string());
+        write_response(&mut wire, &response, true).unwrap();
+        let parsed = read_response(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.header("x-extra"), Some("1"));
+        assert_eq!(parsed.header("connection"), Some("keep-alive"));
+        assert_eq!(parsed.text(), "{\"ok\":true}");
+    }
+
+    #[test]
+    fn chunked_response_round_trips_with_trailers() {
+        let mut wire = Vec::new();
+        {
+            let mut writer = ChunkedWriter::start(
+                &mut wire,
+                200,
+                "application/json",
+                &["x-termination", "x-truncated"],
+                false,
+            )
+            .unwrap();
+            writer.write_chunk(b"[\n  one").unwrap();
+            writer.write_chunk(b"").unwrap();
+            writer.write_chunk(b",\n  two").unwrap();
+            writer.write_chunk(b"\n]").unwrap();
+            writer
+                .finish(&[
+                    ("x-termination", "complete".to_string()),
+                    ("x-truncated", "false".to_string()),
+                ])
+                .unwrap();
+        }
+        let parsed = read_response(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.header("trailer"), Some("x-termination, x-truncated"));
+        assert_eq!(parsed.chunks.len(), 3);
+        assert_eq!(parsed.text(), "[\n  one,\n  two\n]");
+        assert_eq!(parsed.trailer("x-termination"), Some("complete"));
+        assert_eq!(parsed.trailer("x-truncated"), Some("false"));
+    }
+}

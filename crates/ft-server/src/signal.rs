@@ -1,0 +1,72 @@
+//! A minimal SIGINT/SIGTERM hook for the `serve` command.
+//!
+//! The handler does the only async-signal-safe thing possible: it sets a
+//! process-wide flag. The serve loop polls [`interrupted`] and performs
+//! the actual graceful shutdown (stop accepting, cancel in-flight work,
+//! drain) from ordinary code. `std` already links the platform C library,
+//! so registering the handler needs no external crate — just the
+//! two-line `signal(2)` declaration below, which is the crate's single
+//! allowed departure from `unsafe_code = "deny"`.
+
+// The `signal(2)` registration is inherently an FFI call; everything it
+// touches is a single atomic flag.
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// Installs handlers for `SIGINT` and `SIGTERM` that set the
+/// [`interrupted`] flag. Safe to call more than once.
+#[cfg(unix)]
+pub fn install() {
+    type Handler = extern "C" fn(i32);
+    extern "C" {
+        fn signal(signum: i32, handler: Handler) -> isize;
+    }
+    extern "C" fn mark(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, mark);
+        signal(SIGTERM, mark);
+    }
+}
+
+/// On non-Unix targets no handler is registered; [`interrupted`] only
+/// ever fires through [`trigger`].
+#[cfg(not(unix))]
+pub fn install() {}
+
+/// Whether a termination signal has arrived since the last [`reset`].
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// Sets the flag exactly as the signal handler would — lets tests (and
+/// other shutdown paths) drive the serve loop without raising a signal.
+pub fn trigger() {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag (start of a serve loop).
+pub fn reset() {
+    INTERRUPTED.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_flag_round_trips() {
+        reset();
+        assert!(!interrupted());
+        trigger();
+        assert!(interrupted());
+        reset();
+        assert!(!interrupted());
+    }
+}

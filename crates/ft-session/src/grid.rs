@@ -1,0 +1,102 @@
+//! Mission-time grid specifications (`START:END:STEP`) — shared by the CLI's
+//! `--sweep` flag and the HTTP front end's `sweep` query parameter, so both
+//! describe exactly the same grids.
+
+/// The most mission times one sweep request may describe — a guard against a
+/// typo'd step allocating gigabytes, far above any plotting need.
+pub const MAX_SWEEP_POINTS: usize = 100_000;
+
+/// A mission-time grid specification parsed from `<START:END:STEP>`:
+/// the times `START, START+STEP, …` up to and including `END`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepRange {
+    /// First mission time (non-negative).
+    pub start: f64,
+    /// Inclusive upper bound on the mission times.
+    pub end: f64,
+    /// Spacing between consecutive mission times (positive).
+    pub step: f64,
+}
+
+impl SweepRange {
+    /// How many mission times the range describes.
+    pub fn points(&self) -> usize {
+        // The epsilon keeps an exactly-divisible range (0:10:0.5) from
+        // losing its endpoint to floating-point rounding.
+        ((self.end - self.start) / self.step + 1e-9).floor() as usize + 1
+    }
+
+    /// Materialises the mission-time grid.
+    pub fn grid(&self) -> Vec<f64> {
+        (0..self.points())
+            .map(|i| self.start + i as f64 * self.step)
+            .collect()
+    }
+
+    /// Parses and validates a `<START:END:STEP>` specification.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the problem: malformed or non-finite
+    /// numbers, a negative start, a non-positive step, an end before the
+    /// start, or a grid beyond [`MAX_SWEEP_POINTS`].
+    pub fn parse(text: &str) -> Result<SweepRange, String> {
+        let malformed = || {
+            format!(
+                "a sweep range expects <START:END:STEP>, three numbers like 0:10:0.5, not {text:?}"
+            )
+        };
+        let parts: Vec<&str> = text.split(':').collect();
+        if parts.len() != 3 {
+            return Err(malformed());
+        }
+        let mut numbers = [0.0f64; 3];
+        for (slot, part) in numbers.iter_mut().zip(&parts) {
+            *slot = part.trim().parse().map_err(|_| malformed())?;
+            if !slot.is_finite() {
+                return Err(malformed());
+            }
+        }
+        let [start, end, step] = numbers;
+        if start < 0.0 {
+            return Err("the sweep start must be non-negative (mission times)".to_string());
+        }
+        if step <= 0.0 {
+            return Err("the sweep step must be positive".to_string());
+        }
+        if end < start {
+            return Err("the sweep end must not precede the start".to_string());
+        }
+        let range = SweepRange { start, end, step };
+        let points = range.points();
+        if points > MAX_SWEEP_POINTS {
+            return Err(format!(
+                "the sweep describes {points} mission times; the limit is {MAX_SWEEP_POINTS}"
+            ));
+        }
+        Ok(range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_parse_and_materialise() {
+        let range = SweepRange::parse("0:10:0.5").expect("valid");
+        assert_eq!(range.points(), 21);
+        let grid = range.grid();
+        assert_eq!(grid.first(), Some(&0.0));
+        assert_eq!(grid.last(), Some(&10.0));
+    }
+
+    #[test]
+    fn invalid_ranges_are_rejected_with_reasons() {
+        for bad in ["", "1:2", "a:b:c", "1:2:3:4", "-1:2:1", "0:2:0", "3:2:1"] {
+            assert!(SweepRange::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+        // Too many points.
+        assert!(SweepRange::parse("0:1000:0.001").is_err());
+    }
+}

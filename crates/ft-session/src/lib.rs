@@ -54,11 +54,14 @@
 #![deny(missing_docs)]
 
 mod analyzer;
+mod grid;
+pub mod report;
 mod results;
 mod service;
 mod stream;
 
 pub use analyzer::Analyzer;
+pub use grid::{SweepRange, MAX_SWEEP_POINTS};
 pub use results::{
     ImportanceReport, ImportanceRow, SessionError, SolutionSet, SweepReport, Termination,
 };

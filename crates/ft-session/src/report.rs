@@ -1,0 +1,199 @@
+//! Canonical JSON rendering of query answers — shared by every front end.
+//!
+//! The CLI (`mpmcs4fta`) and the HTTP front end (`ft-server`) must report
+//! **byte-identical** JSON for the same query on the same tree: that is the
+//! contract the wire-level equivalence suites assert, and it is what makes
+//! an HTTP answer substitutable for a local run. Rather than keeping two
+//! renderers in sync, both front ends call the functions here; the shapes
+//! below are therefore the single source of truth for the workspace's
+//! machine-readable query output.
+//!
+//! * [`report_value`] / [`render_report`] — the MPMCS / top-k / all-MCS
+//!   report: one [`MpmcsReport`](mpmcs::MpmcsReport) object for a single
+//!   solution, an array for several, and — for budgeted queries — the
+//!   explicit `{"truncated", "termination", "report"}` envelope that keeps a
+//!   partial answer from ever passing as a complete one.
+//! * [`render_probability`] — the exact top-event probability.
+//! * [`render_importance`] — the per-event importance table (the CLI's
+//!   `--analysis importance` shape: `rrw` degrades to `null` when infinite).
+//! * [`render_sweep_json`] / [`render_sweep_csv`] — the mission-time
+//!   probability curve (the CLI's `--sweep` shapes).
+
+use fault_tree::FaultTree;
+use ft_backend::BackendSolution;
+
+use crate::results::{ImportanceReport, SolutionSet, SweepReport, Termination};
+
+/// The JSON value of an enumeration answer: a bare report object when
+/// exactly one solution is reported (the historical `--top-k 1` shape), an
+/// array of report objects otherwise. `stats` attaches the detailed
+/// solver-statistics block where the engine provided one.
+pub fn report_value(
+    tree: &FaultTree,
+    solutions: &[BackendSolution],
+    stats: bool,
+) -> serde_json::Value {
+    let reports: Vec<mpmcs::MpmcsReport> = solutions
+        .iter()
+        .map(|solution| solution.to_report(tree, stats))
+        .collect();
+    if reports.len() == 1 {
+        serde_json::to_value(&reports[0])
+    } else {
+        serde_json::to_value(&reports)
+    }
+}
+
+/// Renders an enumeration answer exactly the way the CLI does: the bare
+/// report for unbudgeted queries, the explicit
+/// `{"truncated", "termination", "report"}` envelope when a budget was in
+/// force (`budgeted`), pretty-printed in both cases.
+pub fn render_report(
+    tree: &FaultTree,
+    solutions: &[BackendSolution],
+    termination: Termination,
+    budgeted: bool,
+    stats: bool,
+) -> String {
+    let report = report_value(tree, solutions, stats);
+    let value = if budgeted {
+        serde_json::json!({
+            "truncated": termination.is_truncated(),
+            "termination": termination.label(),
+            "report": report,
+        })
+    } else {
+        report
+    };
+    serde_json::to_string_pretty(&value).expect("reports always serialise")
+}
+
+/// Renders a [`SolutionSet`] (see [`render_report`]).
+pub fn render_solution_set(
+    tree: &FaultTree,
+    set: &SolutionSet,
+    budgeted: bool,
+    stats: bool,
+) -> String {
+    render_report(tree, &set.solutions, set.termination, budgeted, stats)
+}
+
+/// Renders the exact top-event probability of `tree` under `backend`.
+pub fn render_probability(
+    tree: &FaultTree,
+    backend: ft_backend::BackendKind,
+    preprocess: bool,
+    probability: f64,
+) -> String {
+    let value = serde_json::json!({
+        "tree": tree.name(),
+        "backend": backend.name(),
+        "preprocess": preprocess,
+        "probability": probability,
+    });
+    serde_json::to_string_pretty(&value).expect("probability reports always serialise")
+}
+
+/// Renders an [`ImportanceReport`] in the CLI's `--analysis importance`
+/// shape: one row per basic event, `rrw` as `null` when the measure is
+/// infinite (single points of failure).
+pub fn render_importance(report: &ImportanceReport) -> String {
+    let rows: Vec<serde_json::Value> = report
+        .rows
+        .iter()
+        .map(|row| {
+            serde_json::json!({
+                "event": row.event,
+                "birnbaum": row.birnbaum,
+                "fussell_vesely": row.fussell_vesely,
+                "raw": row.raw,
+                "rrw": if row.rrw.is_finite() { Some(row.rrw) } else { None },
+                "criticality": row.criticality,
+                "structural": row.structural,
+            })
+        })
+        .collect();
+    serde_json::to_string_pretty(&rows).expect("importance tables always serialise")
+}
+
+/// Renders a mission-time sweep curve in the CLI's `--sweep` JSON shape.
+pub fn render_sweep_json(
+    tree: &FaultTree,
+    backend: ft_backend::BackendKind,
+    preprocess: bool,
+    report: &SweepReport,
+) -> String {
+    let value = serde_json::json!({
+        "tree": tree.name(),
+        "backend": backend.name(),
+        "preprocess": preprocess,
+        "grid": report.grid,
+        "probabilities": report.probabilities,
+    });
+    serde_json::to_string_pretty(&value).expect("sweep reports always serialise")
+}
+
+/// Renders a mission-time sweep curve as `t,probability` CSV rows (the
+/// CLI's `--sweep-format csv` shape).
+pub fn render_sweep_csv(report: &SweepReport) -> String {
+    let mut csv = String::from("t,probability\n");
+    for (t, p) in report.points() {
+        csv.push_str(&format!("{t},{p}\n"));
+    }
+    csv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::results::ImportanceRow;
+    use crate::Analyzer;
+    use fault_tree::examples::fire_protection_system;
+
+    #[test]
+    fn one_solution_renders_as_an_object_many_as_an_array() {
+        let tree = fire_protection_system();
+        let mut analyzer = Analyzer::for_tree(tree.clone());
+        let set = analyzer.top_k(3).expect("solvable");
+        let one = render_report(
+            &tree,
+            &set.solutions[..1],
+            Termination::Complete,
+            false,
+            false,
+        );
+        assert!(one.starts_with('{'), "single report is a bare object");
+        let many = render_report(&tree, &set.solutions, Termination::Complete, false, false);
+        assert!(many.starts_with('['), "several reports form an array");
+    }
+
+    #[test]
+    fn the_budget_envelope_labels_truncation() {
+        let tree = fire_protection_system();
+        let mut analyzer = Analyzer::for_tree(tree.clone());
+        let set = analyzer.top_k(2).expect("solvable");
+        let enveloped = render_solution_set(&tree, &set, true, false);
+        assert!(enveloped.contains("\"truncated\": false"));
+        assert!(enveloped.contains("\"termination\": \"complete\""));
+        assert!(enveloped.contains("\"report\""));
+        let bare = render_solution_set(&tree, &set, false, false);
+        assert!(!bare.contains("\"termination\""));
+    }
+
+    #[test]
+    fn infinite_rrw_degrades_to_null() {
+        let report = ImportanceReport {
+            rows: vec![ImportanceRow {
+                event: "x".to_string(),
+                birnbaum: 0.5,
+                fussell_vesely: 1.0,
+                raw: 2.0,
+                rrw: f64::INFINITY,
+                criticality: 1.0,
+                structural: 0.25,
+            }],
+        };
+        let json = render_importance(&report);
+        assert!(json.contains("\"rrw\": null"));
+    }
+}

@@ -132,14 +132,61 @@ impl AnalysisService {
         handle
     }
 
+    /// Registers `tree` under its canonical content address — the
+    /// 32-hex-character weighted [`fault_tree::TreeHash`] digest — and
+    /// returns `(address, handle, created)`.
+    ///
+    /// Registration is **idempotent**: re-registering an isomorphic tree
+    /// (equal up to renaming and symmetric-input reordering, with the same
+    /// probabilities) resolves to the same address and keeps the first
+    /// registration's handle, reporting `created == false`. This is the
+    /// addressing scheme the HTTP front end's `/trees` routes use, so
+    /// in-process consumers and wire consumers share one namespace.
+    pub fn register_by_hash(&self, tree: FaultTree) -> (String, Arc<FaultTree>, bool) {
+        self.register_shared_by_hash(Arc::new(tree))
+    }
+
+    /// [`register_by_hash`](AnalysisService::register_by_hash) over an
+    /// already-shared handle.
+    pub fn register_shared_by_hash(&self, tree: Arc<FaultTree>) -> (String, Arc<FaultTree>, bool) {
+        let address = fault_tree::tree_hash(&tree).weighted_hex();
+        let mut trees = self.trees.write().expect("tree registry lock poisoned");
+        match trees.get(&address) {
+            Some(existing) => (address, Arc::clone(existing), false),
+            None => {
+                trees.insert(address.clone(), Arc::clone(&tree));
+                (address, tree, true)
+            }
+        }
+    }
+
     /// Removes the registration under `name`; `true` when something was
     /// removed.
     pub fn remove(&self, name: &str) -> bool {
+        self.unregister(name).is_some()
+    }
+
+    /// Removes the registration under `name`, returning the evicted handle
+    /// (the parsed tree stays alive for analyzers still holding it).
+    pub fn unregister(&self, name: &str) -> Option<Arc<FaultTree>> {
         self.trees
             .write()
             .expect("tree registry lock poisoned")
             .remove(name)
-            .is_some()
+    }
+
+    /// Every registration as `(name, handle)` rows, sorted by name — the
+    /// introspection the `GET /trees` route serves.
+    pub fn list_trees(&self) -> Vec<(String, Arc<FaultTree>)> {
+        let mut rows: Vec<(String, Arc<FaultTree>)> = self
+            .trees
+            .read()
+            .expect("tree registry lock poisoned")
+            .iter()
+            .map(|(name, tree)| (name.clone(), Arc::clone(tree)))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
     }
 
     /// The registered names, sorted.
@@ -279,6 +326,46 @@ mod tests {
                 assert_eq!(a.probability.to_bits(), b.probability.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn hash_registration_is_idempotent_and_content_addressed() {
+        let service = AnalysisService::new();
+        let (address, handle, created) = service.register_by_hash(fire_protection_system());
+        assert_eq!(address.len(), 32, "32-hex-character weighted digest");
+        assert!(created);
+        // Re-uploading the same tree resolves to the same address and the
+        // original handle.
+        let (again, second, created_again) = service.register_by_hash(fire_protection_system());
+        assert_eq!(again, address);
+        assert!(!created_again);
+        assert!(Arc::ptr_eq(&handle, &second));
+        assert_eq!(service.len(), 1);
+        // A different tree gets a different address.
+        let (other, _, _) = service.register_by_hash(pressure_tank_system());
+        assert_ne!(other, address);
+        // The address is the query name.
+        assert!(service.mpmcs(&address).is_ok());
+    }
+
+    #[test]
+    fn list_and_unregister_round_trip() {
+        let service = AnalysisService::new();
+        service.register("b-tank", pressure_tank_system());
+        let registered = service.register("a-fps", fire_protection_system());
+        let rows = service.list_trees();
+        assert_eq!(
+            rows.iter()
+                .map(|(name, _)| name.as_str())
+                .collect::<Vec<_>>(),
+            vec!["a-fps", "b-tank"],
+            "rows are sorted by name"
+        );
+        assert!(Arc::ptr_eq(&rows[0].1, &registered));
+        let evicted = service.unregister("a-fps").expect("registered");
+        assert!(Arc::ptr_eq(&evicted, &registered));
+        assert!(service.unregister("a-fps").is_none());
+        assert_eq!(service.len(), 1);
     }
 
     #[test]

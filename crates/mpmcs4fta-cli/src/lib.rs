@@ -22,9 +22,7 @@ use ft_backend::{AnalysisCache, BackendKind, BackendSolution, Budget, DEFAULT_CA
 use ft_batch::{run_batch, BatchConfig, BatchManifest};
 use ft_generators::{random_tree, RandomTreeConfig};
 use ft_session::{Analyzer, SessionError, Termination};
-use mpmcs::{
-    AlgorithmChoice, BranchingChoice, EnumerationLimit, MpmcsOptions, MpmcsReport, MpmcsSolver,
-};
+use mpmcs::{AlgorithmChoice, BranchingChoice, EnumerationLimit, MpmcsOptions, MpmcsSolver};
 
 /// Errors surfaced to the command line user.
 #[derive(Debug)]
@@ -92,6 +90,7 @@ USAGE:
     mpmcs4fta [OPTIONS] --example fps|tank|sensors|scada|crossing|hydraulics
     mpmcs4fta [OPTIONS] --generate <NODES> [--seed <SEED>]
     mpmcs4fta [OPTIONS] --batch <DIR|MANIFEST> [--jobs <N>] [--importance]
+    mpmcs4fta serve [--port <P>] [--workers <N>] [--cache-bytes <B>]
 
 MODES:
     <INPUT>                     Analyse one fault tree from a file, in JSON
@@ -104,6 +103,9 @@ MODES:
                                 trees + generated workloads listed in a JSON
                                 MANIFEST; prints one aggregated JSON report
                                 with per-tree results in input order
+    serve                       Run the HTTP front end: register trees and
+                                answer every analysis above over a socket,
+                                with chunked streaming of solution sets
     --help, -h                  Show this message
 
 OPTIONS:
@@ -182,6 +184,18 @@ BATCH OPTIONS:
     --jobs <N>                  Worker threads (default: all available cores)
     --importance                Also compute the per-tree importance table
 
+SERVE OPTIONS:
+    --port <P>                  TCP port to listen on (default: 0 — an
+                                ephemeral port, printed on startup)
+    --host <ADDR>               Bind address (default: 127.0.0.1)
+    --workers <N>               Request worker threads (default: 4); further
+                                connections queue, and beyond the queue the
+                                server sheds with 503 + Retry-After
+    --cache-bytes <B>           Enable the shared content-addressed analysis
+                                cache with a byte budget, shared by every
+                                connection
+    --quiet                     Suppress the shutdown summary on stderr
+
 ANALYSES:
     mpmcs        the Maximum Probability Minimal Cut Set (paper pipeline)
     path-set     maximum-reliability minimal path sets (dual problem)
@@ -242,33 +256,10 @@ pub enum InputFormat {
     Galileo,
 }
 
-/// A mission-time grid specification parsed from `--sweep <START:END:STEP>`:
-/// the times `START, START+STEP, …` up to and including `END`.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SweepRange {
-    /// First mission time (non-negative).
-    pub start: f64,
-    /// Inclusive upper bound on the mission times.
-    pub end: f64,
-    /// Spacing between consecutive mission times (positive).
-    pub step: f64,
-}
-
-impl SweepRange {
-    /// How many mission times the range describes.
-    pub fn points(&self) -> usize {
-        // The epsilon keeps an exactly-divisible range (0:10:0.5) from
-        // losing its endpoint to floating-point rounding.
-        ((self.end - self.start) / self.step + 1e-9).floor() as usize + 1
-    }
-
-    /// Materialises the mission-time grid.
-    pub fn grid(&self) -> Vec<f64> {
-        (0..self.points())
-            .map(|i| self.start + i as f64 * self.step)
-            .collect()
-    }
-}
+// The mission-time grid specification behind `--sweep <START:END:STEP>` now
+// lives in the facade so the HTTP front end's `sweep` endpoint describes
+// exactly the same grids; re-exported here for the historical CLI API.
+pub use ft_session::{SweepRange, MAX_SWEEP_POINTS};
 
 /// Output format of a single-tree `--sweep` curve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -278,6 +269,31 @@ pub enum SweepFormat {
     Json,
     /// `t,probability` CSV rows, ready for plotting tools.
     Csv,
+}
+
+/// Options of the `serve` subcommand (the HTTP front end).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Interface to bind (default `127.0.0.1`).
+    pub host: String,
+    /// TCP port to bind; `0` (the default) picks an ephemeral port, which
+    /// is printed on startup.
+    pub port: u16,
+    /// Fixed worker-pool size.
+    pub workers: usize,
+    /// Attach a shared analysis cache of this many bytes.
+    pub cache_bytes: Option<usize>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            host: "127.0.0.1".to_string(),
+            port: 0,
+            workers: 4,
+            cache_bytes: None,
+        }
+    }
 }
 
 /// The top-level mode the invocation selects.
@@ -290,6 +306,8 @@ pub enum CliMode {
     /// Analyse a fleet of fault trees: a directory of model files or a JSON
     /// batch manifest.
     Batch(PathBuf),
+    /// `serve`: run the HTTP front end until interrupted.
+    Serve(ServeOptions),
 }
 
 /// Parsed command line options.
@@ -409,6 +427,10 @@ where
     let mut sweep_format_given = false;
 
     let args: Vec<String> = args.into_iter().map(Into::into).collect();
+    // `serve` is a subcommand with its own small flag vocabulary.
+    if args.first().map(String::as_str) == Some("serve") {
+        return parse_serve_args(&args[1..]);
+    }
     let mut i = 0;
     let usage = |message: &str| CliError::Usage(message.to_string());
     while i < args.len() {
@@ -720,50 +742,139 @@ where
     })
 }
 
-/// The most mission times one `--sweep` may describe — a guard against a
-/// typo'd step allocating gigabytes, far above any plotting need.
-const MAX_SWEEP_POINTS: usize = 100_000;
+/// A [`CliOptions`] carrying only a mode — the `serve` subcommand ignores
+/// the single-tree analysis flags.
+fn serve_cli_options(mode: CliMode) -> CliOptions {
+    CliOptions {
+        mode,
+        analysis: AnalysisKind::Mpmcs,
+        algorithm: None,
+        branching: BranchingChoice::Vsids,
+        backend: BackendKind::MaxSat,
+        cross_check: false,
+        bdd_ordering: VariableOrdering::DepthFirst,
+        preprocess: false,
+        top_k: None,
+        all: false,
+        output: None,
+        quiet: false,
+        jobs: 0,
+        importance: false,
+        stats: false,
+        timeout_ms: None,
+        max_solutions: None,
+        cache: false,
+        cache_bytes: None,
+        sweep: None,
+        sweep_format: SweepFormat::Json,
+    }
+}
+
+/// Parses the flags of the `serve` subcommand.
+fn parse_serve_args(args: &[String]) -> Result<CliOptions, CliError> {
+    let mut serve = ServeOptions::default();
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let mut value = |name: &str| -> Result<String, CliError> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{name} expects a value")))
+        };
+        match arg {
+            "--help" | "-h" => return Ok(serve_cli_options(CliMode::Help)),
+            "--port" => {
+                serve.port = value("--port")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--port expects a TCP port number".to_string()))?
+            }
+            "--workers" => {
+                serve.workers = value("--workers")?.parse().map_err(|_| {
+                    CliError::Usage("--workers expects a positive integer".to_string())
+                })?;
+                if serve.workers == 0 {
+                    return Err(CliError::Usage("--workers must be at least 1".to_string()));
+                }
+            }
+            "--cache-bytes" => {
+                let bytes: usize = value("--cache-bytes")?.parse().map_err(|_| {
+                    CliError::Usage("--cache-bytes expects a byte count".to_string())
+                })?;
+                if bytes == 0 {
+                    return Err(CliError::Usage(
+                        "--cache-bytes must be at least 1".to_string(),
+                    ));
+                }
+                serve.cache_bytes = Some(bytes);
+            }
+            "--host" => serve.host = value("--host")?,
+            "--quiet" => quiet = true,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown serve option {other:?} (serve takes --port, --workers, \
+                     --cache-bytes, --host, --quiet)"
+                )))
+            }
+        }
+        i += 1;
+    }
+    let mut options = serve_cli_options(CliMode::Serve(serve));
+    options.quiet = quiet;
+    Ok(options)
+}
+
+/// `serve`: run the HTTP front end until a termination signal arrives,
+/// then drain gracefully and report the admission counters.
+fn run_serve(serve: &ServeOptions) -> Result<RunOutput, CliError> {
+    ft_server::signal::reset();
+    ft_server::signal::install();
+    let handle = ft_server::Server::start(ft_server::ServerConfig {
+        host: serve.host.clone(),
+        port: serve.port,
+        workers: serve.workers,
+        cache_bytes: serve.cache_bytes,
+        ..ft_server::ServerConfig::default()
+    })?;
+    // Printed unconditionally: with `--port 0` this line is the only way
+    // to learn the bound port.
+    eprintln!(
+        "mpmcs4fta serving on http://{} ({} workers{}); Ctrl-C to stop",
+        handle.addr(),
+        serve.workers,
+        match serve.cache_bytes {
+            Some(bytes) => format!(", {bytes}-byte shared cache"),
+            None => String::new(),
+        }
+    );
+    while !ft_server::signal::interrupted() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let counters = handle.counters();
+    handle.shutdown();
+    let output = serde_json::to_string_pretty(&serde_json::json!({
+        "accepted": counters.accepted,
+        "requests": counters.requests,
+        "shed": counters.shed,
+        "streamed": counters.streamed,
+    }))
+    .expect("counter reports always serialise");
+    Ok(RunOutput {
+        output,
+        summary: format!(
+            "server stopped: {} requests served on {} connections, {} shed\n",
+            counters.requests, counters.accepted, counters.shed
+        ),
+        truncated: false,
+    })
+}
 
 /// Parses the `--sweep` value `<START:END:STEP>` into a validated range.
+/// The grid semantics live in [`ft_session::SweepRange`], shared with the
+/// HTTP front end's `sweep` endpoint.
 fn parse_sweep_range(text: &str) -> Result<SweepRange, CliError> {
-    let usage = || {
-        CliError::Usage(format!(
-            "--sweep expects <START:END:STEP>, three numbers like 0:10:0.5, not {text:?}"
-        ))
-    };
-    let parts: Vec<&str> = text.split(':').collect();
-    if parts.len() != 3 {
-        return Err(usage());
-    }
-    let mut numbers = [0.0f64; 3];
-    for (slot, part) in numbers.iter_mut().zip(&parts) {
-        *slot = part.trim().parse().map_err(|_| usage())?;
-        if !slot.is_finite() {
-            return Err(usage());
-        }
-    }
-    let [start, end, step] = numbers;
-    if start < 0.0 {
-        return Err(CliError::Usage(
-            "--sweep start must be non-negative (mission times)".to_string(),
-        ));
-    }
-    if step <= 0.0 {
-        return Err(CliError::Usage("--sweep step must be positive".to_string()));
-    }
-    if end < start {
-        return Err(CliError::Usage(
-            "--sweep end must not precede start".to_string(),
-        ));
-    }
-    let range = SweepRange { start, end, step };
-    let points = range.points();
-    if points > MAX_SWEEP_POINTS {
-        return Err(CliError::Usage(format!(
-            "--sweep describes {points} mission times; the limit is {MAX_SWEEP_POINTS}"
-        )));
-    }
-    Ok(range)
+    SweepRange::parse(text).map_err(|reason| CliError::Usage(format!("--sweep: {reason}")))
 }
 
 /// Loads the fault tree described by a single-tree input source.
@@ -859,6 +970,7 @@ pub fn run_with_status(options: &CliOptions) -> Result<RunOutput, CliError> {
             })
         }
         CliMode::Batch(path) => return run_batch_mode(options, path),
+        CliMode::Serve(serve) => return run_serve(serve),
         CliMode::Single(input) => input,
     };
     let tree = load_tree(input)?;
@@ -1057,22 +1169,9 @@ fn run_sweep(options: &CliOptions, tree: &FaultTree) -> Result<RunOutput, CliErr
 
     let output = match options.sweep_format {
         SweepFormat::Json => {
-            let value = serde_json::json!({
-                "tree": tree.name(),
-                "backend": backend.name(),
-                "preprocess": options.preprocess,
-                "grid": report.grid,
-                "probabilities": report.probabilities,
-            });
-            serde_json::to_string_pretty(&value).expect("sweep reports always serialise")
+            ft_session::report::render_sweep_json(&tree, backend, options.preprocess, &report)
         }
-        SweepFormat::Csv => {
-            let mut csv = String::from("t,probability\n");
-            for (t, p) in report.points() {
-                csv.push_str(&format!("{t},{p}\n"));
-            }
-            csv
-        }
+        SweepFormat::Csv => ft_session::report::render_sweep_csv(&report),
     };
 
     let mut summary = format!(
@@ -1108,18 +1207,11 @@ fn run_mpmcs(options: &CliOptions, tree: &FaultTree) -> Result<RunOutput, CliErr
     let primary_elapsed = start.elapsed();
     let truncated = termination.is_truncated();
 
-    let reports: Vec<MpmcsReport> = solutions
-        .iter()
-        .map(|solution| solution.to_report(&tree, options.stats))
-        .collect();
     // A single report renders as a bare object, several as an array —
     // exactly the pre-backend-layer output shape (`--top-k 1` has always
-    // produced an object).
-    let report_value = if reports.len() == 1 {
-        serde_json::to_value(&reports[0])
-    } else {
-        serde_json::to_value(&reports)
-    };
+    // produced an object). The shared renderer keeps this byte-identical
+    // to the HTTP front end's answers.
+    let report_value = ft_session::report::report_value(&tree, &solutions, options.stats);
 
     let mut summary = String::new();
     summary.push_str(&format!(
@@ -1183,25 +1275,33 @@ fn run_mpmcs(options: &CliOptions, tree: &FaultTree) -> Result<RunOutput, CliErr
         // keep the historical bare report shape. `--cache --stats` runs use
         // the envelope too, to carry the cache counters — a flag combination
         // that never existed before, so no historical shape is disturbed.
-        let value = match (options.budgeted(), cache_stats) {
-            (true, Some(cache_stats)) => serde_json::json!({
-                "truncated": truncated,
-                "termination": termination.label(),
-                "report": report_value,
-                "cache_stats": cache_stats,
-            }),
-            (true, None) => serde_json::json!({
-                "truncated": truncated,
-                "termination": termination.label(),
-                "report": report_value,
-            }),
-            (false, Some(cache_stats)) => serde_json::json!({
-                "report": report_value,
-                "cache_stats": cache_stats,
-            }),
-            (false, None) => report_value,
+        let json = match cache_stats {
+            Some(cache_stats) if options.budgeted() => {
+                let value = serde_json::json!({
+                    "truncated": truncated,
+                    "termination": termination.label(),
+                    "report": report_value,
+                    "cache_stats": cache_stats,
+                });
+                serde_json::to_string_pretty(&value).expect("reports always serialise")
+            }
+            Some(cache_stats) => {
+                let value = serde_json::json!({
+                    "report": report_value,
+                    "cache_stats": cache_stats,
+                });
+                serde_json::to_string_pretty(&value).expect("reports always serialise")
+            }
+            // The plain shapes — bare report, or the budget envelope —
+            // come from the shared renderer, byte-identical to ft-server.
+            None => ft_session::report::render_report(
+                &tree,
+                &solutions,
+                termination,
+                options.budgeted(),
+                options.stats,
+            ),
         };
-        let json = serde_json::to_string_pretty(&value).expect("reports always serialise");
         return Ok(RunOutput {
             output: json,
             summary,
@@ -1318,24 +1418,26 @@ fn run_importance(options: &CliOptions, tree: &FaultTree) -> Result<(String, Str
     let ordering = options.bdd_ordering;
     let exact = move |t: &FaultTree| exact_top_probability(t, ordering);
     let table = ft_analysis::importance::ImportanceTable::compute(tree, &cut_sets, exact);
-    let json = serde_json::to_string_pretty(
-        &tree
+    // Rendered through the shared report module (the HTTP front end's
+    // importance endpoint uses the same function on the facade's table).
+    let report = ft_session::ImportanceReport {
+        rows: tree
             .event_ids()
             .map(|event| {
                 let i = event.index();
-                serde_json::json!({
-                    "event": tree.event(event).name(),
-                    "birnbaum": table.birnbaum[i],
-                    "fussell_vesely": table.fussell_vesely[i],
-                    "raw": table.raw[i],
-                    "rrw": if table.rrw[i].is_finite() { Some(table.rrw[i]) } else { None },
-                    "criticality": table.criticality[i],
-                    "structural": table.structural[i],
-                })
+                ft_session::ImportanceRow {
+                    event: tree.event(event).name().to_string(),
+                    birnbaum: table.birnbaum[i],
+                    fussell_vesely: table.fussell_vesely[i],
+                    raw: table.raw[i],
+                    rrw: table.rrw[i],
+                    criticality: table.criticality[i],
+                    structural: table.structural[i],
+                }
             })
-            .collect::<Vec<_>>(),
-    )
-    .expect("importance tables always serialise");
+            .collect(),
+    };
+    let json = ft_session::report::render_importance(&report);
     Ok((json, table.render(tree)))
 }
 
@@ -1422,6 +1524,78 @@ mod tests {
         for flag in ["--batch", "--jobs", "--importance", "--top-k", "--analysis"] {
             assert!(USAGE.contains(flag), "usage must document {flag}");
         }
+    }
+
+    #[test]
+    fn parses_a_serve_invocation() {
+        let options = parse_args(["serve"]).unwrap();
+        assert_eq!(options.mode, CliMode::Serve(ServeOptions::default()));
+        let options = parse_args([
+            "serve",
+            "--port",
+            "8080",
+            "--workers",
+            "2",
+            "--cache-bytes",
+            "1048576",
+            "--host",
+            "0.0.0.0",
+            "--quiet",
+        ])
+        .unwrap();
+        assert_eq!(
+            options.mode,
+            CliMode::Serve(ServeOptions {
+                host: "0.0.0.0".to_string(),
+                port: 8080,
+                workers: 2,
+                cache_bytes: Some(1_048_576),
+            })
+        );
+        assert!(options.quiet);
+        assert_eq!(parse_args(["serve", "--help"]).unwrap().mode, CliMode::Help);
+        // The usage text documents the subcommand.
+        for token in ["serve", "SERVE OPTIONS", "--workers"] {
+            assert!(USAGE.contains(token), "usage must document {token}");
+        }
+    }
+
+    #[test]
+    fn serve_flag_mistakes_are_rejected() {
+        for flags in [
+            vec!["serve", "--port", "notaport"],
+            vec!["serve", "--port"],
+            vec!["serve", "--workers", "0"],
+            vec!["serve", "--cache-bytes", "0"],
+            vec!["serve", "--backend", "bdd"],
+            vec!["serve", "tree.json"],
+        ] {
+            assert!(
+                matches!(parse_args(flags.clone()), Err(CliError::Usage(_))),
+                "{flags:?} must be a usage error"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_runs_until_interrupted_and_reports_counters() {
+        let serve = ServeOptions {
+            workers: 1,
+            ..ServeOptions::default()
+        };
+        // Raise the flag up front: run_serve resets it, so trip it again
+        // from a helper thread shortly after the server boots.
+        let trip = std::thread::spawn(|| {
+            std::thread::sleep(Duration::from_millis(250));
+            ft_server::signal::trigger();
+        });
+        let result = run_serve(&serve).unwrap();
+        trip.join().unwrap();
+        assert!(!result.truncated);
+        assert!(result.summary.contains("server stopped"));
+        let counters: serde_json::Value = serde_json::from_str(&result.output).unwrap();
+        assert_eq!(counters["requests"], serde_json::json!(0));
+        assert_eq!(counters["shed"], serde_json::json!(0));
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! End-to-end smoke test of the HTTP front end: boot a server on an
+//! ephemeral port, upload a bundled model over the socket, hit every
+//! endpoint once, assert the golden facts of each answer, and shut down
+//! gracefully.
+//!
+//! ```text
+//! cargo run --release --example server_smoke
+//! ```
+//!
+//! Run as a CI smoke step: the process exits non-zero (panics) if any
+//! endpoint misbehaves, so a regression anywhere on the
+//! socket → parse → analyse → render path turns the build red.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use ft_server::http::{read_response, ClientResponse};
+use ft_server::{Server, ServerConfig};
+
+fn request(addr: SocketAddr, request: &str) -> ClientResponse {
+    let mut stream = TcpStream::connect(addr).expect("connect to the smoke server");
+    stream
+        .write_all(request.as_bytes())
+        .expect("write the request");
+    let mut reader = BufReader::new(stream);
+    read_response(&mut reader).expect("read the response")
+}
+
+fn get(addr: SocketAddr, path: &str) -> ClientResponse {
+    request(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn json(response: &ClientResponse) -> serde_json::Value {
+    serde_json::from_str(&response.text()).expect("a JSON answer")
+}
+
+fn main() {
+    let handle = Server::start(ServerConfig {
+        workers: 2,
+        cache_bytes: Some(16 * 1024 * 1024),
+        ..ServerConfig::default()
+    })
+    .expect("the server binds an ephemeral loopback port");
+    let addr = handle.addr();
+    println!("smoke server on http://{addr}");
+
+    // Health before any work.
+    let health = get(addr, "/health");
+    assert_eq!(health.status, 200);
+    assert_eq!(json(&health)["status"], serde_json::json!("ok"));
+
+    // Upload the fire protection system from the bundled model file.
+    let model = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("examples/trees/fire_protection.json"),
+    )
+    .expect("bundled model file");
+    let upload = request(
+        addr,
+        &format!(
+            "POST /trees HTTP/1.1\r\nHost: smoke\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{model}",
+            model.len()
+        ),
+    );
+    assert_eq!(upload.status, 201, "{}", upload.text());
+    let entry = json(&upload);
+    let hash = entry["hash"].as_str().expect("content hash").to_string();
+    assert_eq!(entry["created"], serde_json::json!(true));
+    println!(
+        "registered {} as {hash}",
+        entry["tree"].as_str().unwrap_or("?")
+    );
+
+    // The registry lists it.
+    let list = get(addr, "/trees");
+    assert_eq!(list.status, 200);
+    assert_eq!(json(&list)["trees"].as_array().map(Vec::len), Some(1));
+
+    // One query per analysis endpoint, with a golden assert each.
+    let mpmcs = get(addr, &format!("/trees/{hash}/mpmcs"));
+    assert_eq!(mpmcs.status, 200);
+    let report = json(&mpmcs);
+    assert!(
+        report["probability"].as_f64().expect("MPMCS probability") > 0.0,
+        "the fire protection MPMCS has positive probability"
+    );
+
+    let top = get(addr, &format!("/trees/{hash}/top-k?k=2"));
+    assert_eq!(top.status, 200);
+    assert_eq!(json(&top).as_array().map(Vec::len), Some(2));
+
+    let all = get(addr, &format!("/trees/{hash}/all-mcs"));
+    assert_eq!(all.status, 200);
+    let collected = all.text();
+
+    // The same enumeration streamed: reassembles to the collected bytes.
+    let streamed = get(addr, &format!("/trees/{hash}/all-mcs?stream=true"));
+    assert_eq!(streamed.status, 200);
+    assert_eq!(streamed.trailer("x-termination"), Some("complete"));
+    let strip = |text: &str| {
+        text.lines()
+            .filter(|line| !line.contains("\"solve_time_ms\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip(&streamed.text()),
+        strip(&collected),
+        "the stream must reassemble to the collected answer"
+    );
+    println!(
+        "streamed {} chunk(s), {} solution(s)",
+        streamed.chunks.len(),
+        streamed.trailer("x-delivered").unwrap_or("?")
+    );
+
+    let probability = get(addr, &format!("/trees/{hash}/probability"));
+    assert_eq!(probability.status, 200);
+    let p = json(&probability)["probability"]
+        .as_f64()
+        .expect("top-event probability");
+    assert!((0.0..=1.0).contains(&p));
+
+    let importance = get(addr, &format!("/trees/{hash}/importance"));
+    assert_eq!(importance.status, 200);
+    assert!(!json(&importance)
+        .as_array()
+        .expect("importance rows")
+        .is_empty());
+
+    let sweep = get(addr, &format!("/trees/{hash}/sweep?range=0:2:1"));
+    assert_eq!(sweep.status, 200);
+    assert_eq!(json(&sweep)["grid"].as_array().map(Vec::len), Some(3));
+
+    // Budgets label truncation instead of hiding it.
+    let capped = get(addr, &format!("/trees/{hash}/all-mcs?max-solutions=1"));
+    assert_eq!(capped.status, 200);
+    assert_eq!(json(&capped)["truncated"], serde_json::json!(true));
+
+    // Deregister and verify the hash is gone.
+    let deleted = request(
+        addr,
+        &format!("DELETE /trees/{hash} HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n"),
+    );
+    assert_eq!(deleted.status, 204);
+    assert_eq!(get(addr, &format!("/trees/{hash}/mpmcs")).status, 404);
+
+    let counters = handle.counters();
+    handle.shutdown();
+    println!(
+        "smoke OK: {} requests on {} connections, {} streamed, {} shed",
+        counters.requests, counters.accepted, counters.streamed, counters.shed
+    );
+}

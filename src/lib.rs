@@ -20,7 +20,10 @@
 //! * [`ft_backend`] — the unified analysis-backend layer (MaxSAT / BDD /
 //!   MOCUS behind one trait, modular preprocessing, auto selection);
 //! * [`ft_batch`] — the parallel batch-analysis engine;
-//! * [`ft_generators`] — synthetic workloads.
+//! * [`ft_generators`] — synthetic workloads;
+//! * [`ft_server`] — the zero-dependency HTTP/1.1 front end on
+//!   `AnalysisService` (content-addressed tree registry, typed query
+//!   endpoints, chunked streaming, admission control).
 //!
 //! The assemble-it-yourself path — wiring `FaultTree` →
 //! `ft_backend::backend_for` → per-query calls by hand — remains available
@@ -37,6 +40,7 @@ pub use ft_analysis;
 pub use ft_backend;
 pub use ft_batch;
 pub use ft_generators;
+pub use ft_server;
 pub use ft_session;
 pub use maxsat_solver;
 pub use mpmcs;
